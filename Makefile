@@ -1,0 +1,30 @@
+# Janus reproduction — common entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-paper examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+experiments-paper:
+	REPRO_SCALE=paper $(PYTHON) -m repro.experiments.runner
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

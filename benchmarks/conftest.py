@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``test_figN_*``/``test_tableN_*`` benchmark regenerates one table or
+figure of the paper (at the ``REPRO_SCALE`` profile) and prints the same
+rows/series the paper reports; the ``test_ablation_*`` benchmarks measure
+the design choices DESIGN.md calls out; ``test_core_micro`` tracks the hot
+admission path.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their figure reports; -s is implied for readability
+    # when run through the documented command, but keep output useful
+    # either way by flushing through the capture.
+    pass
+
+
+@pytest.fixture
+def report_sink(capsys):
+    """Print a report so it lands in the benchmark output."""
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+    return emit

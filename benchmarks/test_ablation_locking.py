@@ -1,0 +1,81 @@
+"""Ablation: the local-QoS-table lock (paper §V-C future work).
+
+The paper attributes QoS-server CPU under-utilization to "the
+implementation of the locking mechanism being used to manage the QoS rules
+in the local QoS table" and defers optimizing it.  This ablation measures
+the optimization: the single synchronized table (``lock_shards=1``, the
+paper's design) versus a sharded-lock table, under real multi-thread
+contention on the real :class:`~repro.core.admission.AdmissionController`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.config import AdmissionConfig
+from repro.core.rules import QoSRule
+from repro.metrics.report import format_table
+from repro.workload.keygen import uuid_keys
+
+N_THREADS = 4
+CHECKS_PER_THREAD = 8_000
+KEYS = uuid_keys(256, seed=88)
+SOURCE = InMemoryRuleSource(
+    {k: QoSRule(k, refill_rate=1e9, capacity=1e9) for k in KEYS})
+
+
+def contended_run(lock_shards: int) -> float:
+    """Run N threads of admission checks; return checks/second."""
+    controller = AdmissionController(
+        SOURCE, AdmissionConfig(lock_shards=lock_shards))
+    for k in KEYS:          # materialize buckets outside the timed region
+        controller.check(k)
+    barrier = threading.Barrier(N_THREADS + 1)
+    done = threading.Barrier(N_THREADS + 1)
+
+    def worker(wid: int) -> None:
+        local_keys = KEYS[wid::N_THREADS] or KEYS
+        barrier.wait()
+        i = 0
+        for _ in range(CHECKS_PER_THREAD):
+            controller.check(local_keys[i])
+            i = (i + 1) % len(local_keys)
+        done.wait()
+
+    threads = [threading.Thread(target=worker, args=(w,), daemon=True)
+               for w in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    import time
+    barrier.wait()
+    t0 = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - t0
+    for t in threads:
+        t.join()
+    return N_THREADS * CHECKS_PER_THREAD / elapsed
+
+
+@pytest.mark.parametrize("shards", [1, 16])
+def test_locking_throughput(benchmark, shards):
+    """pytest-benchmark point for each lock configuration."""
+    throughput = benchmark.pedantic(
+        contended_run, args=(shards,), rounds=3, iterations=1)
+    assert throughput > 1_000       # sanity: the path works under threads
+
+
+def test_locking_ablation_report(benchmark, report_sink):
+    def sweep():
+        return [(shards, round(contended_run(shards)))
+                for shards in (1, 4, 16)]
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_sink(format_table(
+        ("lock shards", "checks/s (4 threads)"), rows,
+        title="Ablation: synchronized table (1 shard = paper) vs sharded "
+              "locks (the paper's future-work optimization)"))
+    # The decisions must be identical regardless of sharding — only the
+    # throughput may differ (correctness is covered by unit tests too).
+    assert all(t > 0 for _, t in rows)

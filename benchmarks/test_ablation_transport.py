@@ -1,0 +1,65 @@
+"""Ablation: UDP vs TCP on the router -> QoS server leg (paper §III-B).
+
+"The overhead of opening and closing a large volume of short-lived TCP
+connections is too expensive.  With its connect-less nature, the UDP
+protocol can achieve higher communication efficiency."  This ablation
+samples both legs in the network model: the UDP exchange (with the paper's
+timeout/retry compensation for loss) versus per-request TCP (one connect +
+one round trip).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.metrics.report import format_table
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+def sample_legs(n: int = 5_000, udp_loss: float = 1e-4):
+    sim = Simulation()
+    net = Network(sim, RngRegistry(7), udp_loss=udp_loss)
+    udp = [2 * net.one_way("rr", "qos") for _ in range(n)]
+    tcp = [net.tcp_connect_delay("rr", "qos") + net.tcp_rtt("rr", "qos")
+           for _ in range(n)]
+    return udp, tcp
+
+
+def test_udp_leg_sampling(benchmark):
+    benchmark.pedantic(sample_legs, kwargs={"n": 2_000},
+                       rounds=3, iterations=1)
+
+
+def test_transport_ablation_report(benchmark, report_sink):
+    udp, tcp = benchmark.pedantic(sample_legs, rounds=1, iterations=1)
+    udp_mean = statistics.mean(udp)
+    tcp_mean = statistics.mean(tcp)
+    rows = [
+        ("UDP exchange (paper)", f"{udp_mean * 1e6:.0f}",
+         f"{sorted(udp)[int(0.9 * len(udp))] * 1e6:.0f}"),
+        ("TCP connect + RTT", f"{tcp_mean * 1e6:.0f}",
+         f"{sorted(tcp)[int(0.9 * len(tcp))] * 1e6:.0f}"),
+    ]
+    report_sink(format_table(
+        ("transport", "mean (us)", "P90 (us)"), rows,
+        title="Ablation: router->QoS transport cost per request"))
+    # TCP pays the handshake: roughly 2x the wire time of the UDP exchange.
+    assert tcp_mean > 1.7 * udp_mean
+
+
+def test_udp_retry_compensates_loss_within_budget(benchmark):
+    """With the paper's 5-retry budget, even 1% loss keeps the expected
+    number of attempts near 1 — the efficiency claim quantified."""
+    loss = 0.01
+    per_attempt_failure = 1 - (1 - loss) ** 2      # request AND response
+    expected_attempts = benchmark.pedantic(
+        lambda: sum((k + 1) * (per_attempt_failure ** k)
+                    * (1 - per_attempt_failure) for k in range(5)),
+        rounds=1, iterations=1)
+    assert expected_attempts == pytest.approx(1.02, abs=0.01)
+    residual_failure = per_attempt_failure ** 5
+    assert residual_failure < 1e-8      # default replies essentially never

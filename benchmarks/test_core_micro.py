@@ -1,0 +1,94 @@
+"""Microbenchmarks of the hot admission path.
+
+Tracks the per-operation costs that bound a pure-Python QoS server's
+throughput: the leaky-bucket consume, the full admission check, the routing
+hash, the wire codec, and the database point lookup.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.bucket import LeakyBucket
+from repro.core.hashing import crc32_router
+from repro.core.protocol import QoSRequest, QoSResponse, decode
+from repro.core.rules import QoSRule
+from repro.db.rulestore import RuleStore
+from repro.workload.keygen import uuid_keys
+
+KEYS = uuid_keys(512, seed=123)
+
+
+def test_bucket_try_consume(benchmark):
+    bucket = LeakyBucket(1e12, 1e9)
+
+    def run():
+        for _ in range(100):
+            bucket.try_consume()
+
+    benchmark(run)
+
+
+def test_admission_check(benchmark):
+    source = InMemoryRuleSource(
+        {k: QoSRule(k, 1e9, 1e12) for k in KEYS})
+    controller = AdmissionController(source)
+    for k in KEYS:
+        controller.check(k)
+
+    def run():
+        for k in KEYS[:100]:
+            controller.check(k)
+
+    benchmark(run)
+    assert controller.stats.denied == 0
+
+
+def test_crc32_routing(benchmark):
+    sample = KEYS[:200]
+
+    def run():
+        for k in sample:
+            crc32_router(k, 20)
+
+    benchmark(run)
+
+
+def test_protocol_encode_decode(benchmark):
+    request = QoSRequest(12345, "user:some-tenant-key", 1.0)
+
+    def run():
+        for _ in range(100):
+            decode(request.encode())
+
+    benchmark(run)
+
+
+def test_protocol_response_roundtrip(benchmark):
+    response = QoSResponse(12345, True)
+
+    def run():
+        for _ in range(100):
+            decode(response.encode())
+
+    benchmark(run)
+
+
+def test_rulestore_point_lookup(benchmark):
+    store = RuleStore()
+    for k in KEYS:
+        store.put_rule(QoSRule(k, 10.0, 100.0))
+
+    def run():
+        for k in KEYS[:100]:
+            store.get_rule(k)
+
+    benchmark(run)
+
+
+def test_rulestore_checkpoint(benchmark):
+    store = RuleStore()
+    for k in KEYS[:100]:
+        store.put_rule(QoSRule(k, 10.0, 100.0))
+    credits = {k: 50.0 for k in KEYS[:100]}
+
+    benchmark(store.checkpoint, credits)

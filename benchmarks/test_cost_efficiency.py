@@ -1,0 +1,54 @@
+"""Bench: cost efficiency across the Table I catalog (extension analysis).
+
+Folds Table I's prices into the capacity model: dollars per million
+admission decisions per instance type, and the cheapest deployments for
+representative targets (including the paper's 100 k rps headline point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import format_table
+from repro.perfmodel.cost import CostModel
+
+
+def test_cost_per_million_decisions(benchmark, report_sink):
+    model = CostModel()
+    rows = benchmark(model.efficiency_table)
+    pretty = [(name, f"{cap / 1e3:.1f}k", f"${usd:.4f}")
+              for name, cap, usd in rows]
+    report_sink(format_table(
+        ("QoS instance", "capacity (rps)", "USD per 1M decisions"),
+        pretty,
+        title="Cost efficiency of the QoS layer (Table I prices)"))
+    costs = [usd for _, _, usd in rows]
+    assert costs == sorted(costs, reverse=True)   # bigger = mildly cheaper
+
+
+def test_cheapest_deployments(benchmark, report_sink):
+    model = CostModel()
+
+    def sweep():
+        return [(target, model.cheapest_for(target))
+                for target in (5_000, 25_000, 100_000, 250_000)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pretty = []
+    for target, best in rows:
+        assert best is not None
+        pretty.append((
+            f"{target / 1e3:.0f}k rps",
+            f"{best.topology.n_qos_servers}x {best.topology.qos_instance}",
+            f"{best.topology.n_routers}x {best.topology.router_instance}",
+            f"{best.capacity_rps / 1e3:.1f}k",
+            f"${best.usd_per_hour:.2f}/hr",
+            f"${best.usd_per_million_decisions:.4f}"))
+    report_sink(format_table(
+        ("target", "QoS layer", "router layer", "capacity",
+         "bill", "USD/1M decisions"), pretty,
+        title="Cheapest Table I deployments per admission target"))
+    # The paper's headline point costs single-digit dollars per hour.
+    headline = dict(rows)[100_000]
+    assert headline.usd_per_hour < 12.0
+    assert headline.capacity_rps > 100_000

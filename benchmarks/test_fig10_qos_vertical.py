@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 10 (QoS server vertical scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_qos_vertical
+from repro.experiments.scale import current_scale
+
+
+def test_fig10_qos_vertical(benchmark, report_sink):
+    scale = current_scale()
+    points = benchmark.pedantic(
+        fig10_qos_vertical.run, args=(scale,), rounds=1, iterations=1)
+    tps = [p.model_throughput for p in points]
+    assert tps == sorted(tps)
+    # Fig. 10b: routers heavily over-provisioned; QoS layer is the binder.
+    assert all(p.model_router_cpu < 0.5 for p in points)
+    assert all(p.bottleneck == "qos" for p in points)
+    # Paper anchor: ~90-100 k rps at c3.8xlarge (axis tops at 100k).
+    assert 70_000 < points[-1].model_throughput < 105_000
+    report_sink(fig10_qos_vertical.report(points))

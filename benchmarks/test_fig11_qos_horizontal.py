@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 11 (QoS server horizontal scaling).
+
+This is the paper's headline figure: linear scaling to >100 000 requests
+per second with ten 4-vCPU QoS server nodes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_qos_horizontal
+from repro.experiments.scale import current_scale
+
+
+def test_fig11_qos_horizontal(benchmark, report_sink):
+    scale = current_scale()
+    points = benchmark.pedantic(
+        fig11_qos_horizontal.run, args=(scale,), rounds=1, iterations=1)
+    assert fig11_qos_horizontal.linearity_r2(points) > 0.999
+    assert points[-1].model_throughput > 100_000       # the abstract claim
+    assert points[-1].swept_vcpus == 40
+    # Fig. 11b: router-layer CPU climbs as QoS capacity is added.
+    assert points[-1].model_router_cpu > 2 * points[0].model_router_cpu
+    report_sink(fig11_qos_horizontal.report(points))

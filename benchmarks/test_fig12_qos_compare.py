@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 12 (QoS server vertical vs horizontal)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_qos_scaling_compare
+from repro.experiments.scale import current_scale
+
+
+def test_fig12_qos_compare(benchmark, report_sink):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        fig12_qos_scaling_compare.run, args=(scale,), rounds=1, iterations=1)
+    # Paper: vertical slightly ahead at equal vCPUs...
+    for vcpus, ratio in result.vertical_advantage():
+        if vcpus > 4:
+            assert 1.0 < ratio < 1.2
+    # ...but horizontal keeps scaling past the biggest instance.
+    assert result.horizontal_peak > result.vertical_peak
+    report_sink(fig12_qos_scaling_compare.report(result))

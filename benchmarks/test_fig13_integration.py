@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 13 (photo-sharing application integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13_integration
+from repro.experiments.scale import current_scale
+
+
+def test_fig13_integration(benchmark, report_sink):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        fig13_integration.run, args=(scale,), rounds=1, iterations=1)
+
+    # Fig. 13a upper pair: burst at 130 rps, steady state 100 + ~30 rejected.
+    accepted, rejected = result.custom.steady_state_rates(tail=8.0)
+    assert accepted == pytest.approx(100.0, rel=0.1)
+    assert rejected == pytest.approx(30.0, rel=0.5)
+    assert result.custom.log.accepted.rate_at(3.0) > 110.0
+
+    # Fig. 13a lower pair: guest bucket drains within seconds -> 10 rps.
+    accepted_d, rejected_d = result.default.steady_state_rates(tail=8.0)
+    assert accepted_d == pytest.approx(10.0, abs=2.0)
+    assert rejected_d > 100.0
+
+    # Fig. 13b: small overhead on accepted, ~3 ms rejection path.
+    base = result.no_qos.accepted_summary()
+    with_qos = result.custom.accepted_summary()
+    assert 0 < with_qos.p90 - base.p90 < 5e-3
+    assert result.default.rejected_summary().p90 < 3.5e-3
+
+    report_sink(fig13_integration.report(result))

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (gateway vs DNS load balancer latency)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_loadbalancer
+from repro.experiments.scale import current_scale
+
+
+def test_fig5_gateway_vs_dns(benchmark, report_sink):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        fig5_loadbalancer.run, args=(scale,), rounds=1, iterations=1)
+    # Paper shape: DNS wins by roughly half a millisecond at every metric.
+    assert result.dns.mean < result.gateway.mean
+    assert result.dns.p90 < result.gateway.p90
+    assert 250e-6 < result.gateway_penalty < 900e-6
+    report_sink(fig5_loadbalancer.report(result))

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 6 (key pressure across 20 QoS servers)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_keypressure
+from repro.experiments.scale import current_scale
+
+
+def test_fig6_key_pressure(benchmark, report_sink):
+    scale = current_scale()
+    rows = benchmark.pedantic(
+        fig6_keypressure.run, args=(scale,), rounds=1, iterations=1)
+    assert len(rows) == 4
+    for row in rows:
+        # Paper at 500 k keys: min 4.933%, max 5.065%, std < 0.03%.
+        # Sampling noise scales as 1/sqrt(n); allow proportional slack.
+        slack = (500_000 / row.n_keys) ** 0.5
+        assert row.min_pct > 5.0 - 0.25 * slack
+        assert row.max_pct < 5.0 + 0.25 * slack
+        assert row.std_pct < 0.05 * slack
+    report_sink(fig6_keypressure.report(rows))

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 7 (request router vertical scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_router_vertical
+from repro.experiments.scale import current_scale
+
+
+def test_fig7_router_vertical(benchmark, report_sink):
+    scale = current_scale()
+    points = benchmark.pedantic(
+        fig7_router_vertical.run, args=(scale,), rounds=1, iterations=1)
+    tps = [p.model_throughput for p in points]
+    assert tps == sorted(tps)                      # grows with size
+    assert points[0].model_router_cpu > 0.95       # small nodes depleted
+    assert points[-1].bottleneck == "qos"          # pressure shifts (7b)
+    for p in points:
+        if p.sim is not None:
+            assert abs(p.sim.throughput - p.model_throughput) \
+                <= 0.2 * p.model_throughput
+    report_sink(fig7_router_vertical.report(points))

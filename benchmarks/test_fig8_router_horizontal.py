@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 8 (request router horizontal scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_router_horizontal
+from repro.experiments.scale import current_scale
+
+
+def test_fig8_router_horizontal(benchmark, report_sink):
+    scale = current_scale()
+    points = benchmark.pedantic(
+        fig8_router_horizontal.run, args=(scale,), rounds=1, iterations=1)
+    # Linear growth at the head of the sweep...
+    assert points[3].model_throughput == pytest.approx(
+        4 * points[0].model_throughput, rel=0.02)
+    # ...and the paper's plateau past ~8 routers against one c3.8xlarge.
+    plateau = fig8_router_horizontal.plateau_index(points)
+    assert 8 <= plateau <= 10
+    assert points[-1].bottleneck == "qos"
+    report_sink(fig8_router_horizontal.report(points))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 (router vertical vs horizontal at equal vCPUs)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_router_scaling_compare
+from repro.experiments.scale import current_scale
+
+
+def test_fig9_router_compare(benchmark, report_sink):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        fig9_router_scaling_compare.run, args=(scale,), rounds=1, iterations=1)
+    # Paper: "approximately the same throughput, regardless of the scaling
+    # technique" — the curves agree within 10% wherever the router binds.
+    assert fig9_router_scaling_compare.max_relative_gap(result) < 0.10
+    report_sink(fig9_router_scaling_compare.report(result))

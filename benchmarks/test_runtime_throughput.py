@@ -1,0 +1,65 @@
+"""Bench: the real-socket runtime's throughput and latency on localhost.
+
+Not a paper figure — the paper's numbers come from a 15-node EC2 fleet —
+but the measurement that matters for anyone deploying *this* Python
+implementation: end-to-end decisions/second through LB -> router -> UDP
+server on one machine, and the per-check latency profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import QoSRule
+from repro.metrics.report import format_kv
+from repro.runtime.cluster import LocalCluster
+from repro.workload.ab import run_ab
+from repro.workload.keygen import uuid_keys
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(n_routers=2, n_qos_servers=2) as c:
+        for k in uuid_keys(256, seed=5):
+            c.rules.put_rule(QoSRule(k, refill_rate=1e9, capacity=1e9))
+        yield c
+
+
+def test_real_socket_throughput(benchmark, cluster, report_sink):
+    keys = uuid_keys(256, seed=5)
+
+    def drive():
+        return run_ab(cluster.endpoint,
+                      lambda w, i: keys[(w * 131 + i) % len(keys)],
+                      n_requests=600, concurrency=6)
+
+    result = benchmark.pedantic(drive, rounds=2, iterations=1)
+    summary = result.latency.as_milliseconds()
+    report_sink(format_kv({
+        "throughput (rps)": round(result.throughput),
+        "allowed": result.allowed,
+        "default replies": result.default_replies,
+        "p50 (ms)": round(summary["p50_ms"], 2),
+        "p90 (ms)": round(summary["p90_ms"], 2),
+        "p99 (ms)": round(summary["p99_ms"], 2),
+    }, title="Real-socket LocalCluster (2 routers + 2 QoS servers, "
+             "loopback):"))
+    assert result.allowed == 600
+    assert result.default_replies == 0
+    assert result.throughput > 100          # very conservative floor
+    assert summary["p90_ms"] < 100.0
+
+
+def test_single_check_latency(benchmark, cluster):
+    client = cluster.client()
+    client.check("warmup-key")      # establish the keep-alive connection
+
+    keys = uuid_keys(256, seed=5)
+    index = {"i": 0}
+
+    def one_check():
+        index["i"] = (index["i"] + 1) % len(keys)
+        return client.check(keys[index["i"]])
+
+    allowed = benchmark(one_check)
+    assert allowed

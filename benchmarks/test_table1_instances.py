@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (EC2 instance catalog)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, report_sink):
+    rows = benchmark(table1.run)
+    assert len(rows) == 7
+    assert rows[0]["instance"] == "c3.large"
+    assert rows[4]["vcpu_cores"] == 32
+    report_sink(table1.report())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Autoscaling the router layer through a traffic wave (§V-A extension).
+
+The paper notes the router layer "can be managed by an Auto Scaling group
+... based on ... the average CPU utilization on the request router nodes."
+This demo drives a simulated deployment with a rising-then-falling client
+wave and shows the Auto Scaling group growing and shrinking the router
+fleet, with the elastic QoS-layer resize (state migration) thrown in at
+the peak.
+
+Run:  python examples/autoscaling_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClusterTopology, JanusConfig, RouterConfig
+from repro.core.rules import QoSRule
+from repro.server import AutoScaler, SimJanusCluster, SimRequestRouter
+from repro.server.dns import Resolver
+from repro.workload import ClosedLoopClient, KeyCycle, uuid_keys
+
+
+def main() -> None:
+    config = JanusConfig(
+        topology=ClusterTopology(n_routers=1, n_qos_servers=1,
+                                 router_instance="c3.large",
+                                 qos_instance="c3.2xlarge"),
+        router=RouterConfig(udp_timeout=10e-3))
+    cluster = SimJanusCluster(config)
+    keys = uuid_keys(400)
+    for k in keys:
+        cluster.rules.put_rule(QoSRule(k, refill_rate=1e9, capacity=1e9))
+    cluster.prewarm()
+
+    serial = {"n": 1}
+
+    def launch_router() -> SimRequestRouter:
+        name = f"rr-{serial['n']}"
+        serial["n"] += 1
+        resolver = Resolver(cluster.dns, cluster.sim.clock)
+        return SimRequestRouter(
+            cluster.sim, cluster.net, name, "c3.large",
+            cluster.qos_service_names, config=cluster.config.router,
+            calibration=cluster.calib, rng=cluster.rng,
+            resolve=resolver.resolve_one)
+
+    scaler = AutoScaler(
+        cluster.sim, cluster.gateway_lb, launch_router,
+        min_nodes=1, max_nodes=5, period=1.0, cooldown=1.5, boot_delay=0.5,
+        dns_update=lambda addrs: cluster.dns.set_addresses(
+            cluster.endpoint, addrs))
+
+    # The traffic wave: clients join for 10 s, then leave.
+    clients: list[ClosedLoopClient] = []
+
+    def wave():
+        for i in range(36):
+            clients.append(ClosedLoopClient(
+                cluster, f"c{i}", KeyCycle(keys, i * 13), mode="gateway"))
+            yield 10.0 / 36
+        yield 8.0
+        for client in clients:
+            client.process.interrupt("wave over")
+
+    cluster.sim.spawn(wave(), "wave")
+    print("traffic wave: 0 -> 36 closed-loop clients over 10 s, "
+          "hold 8 s, then stop\n")
+
+    print("t (s) | routers | mean router CPU | completed rps")
+    print("------+---------+-----------------+--------------")
+    last_n = 0
+    for t in range(1, 31):
+        n0 = sum(len(c.log) for c in clients)
+        cluster.sim.run(until=float(t))
+        n1 = sum(len(c.log) for c in clients)
+        if t % 2 == 0:
+            print(f"{t:5d} | {len(scaler.fleet()):7d} "
+                  f"| {scaler.mean_cpu() * 100:14.0f}% "
+                  f"| {(n1 - n0):13d}")
+        if t == 14:
+            # At the peak, also grow the QoS layer (with state migration).
+            report = cluster.resize_qos(2)
+            print(f"      > resized QoS layer 1 -> 2 "
+                  f"({report.keys_moved}/{report.keys_total} keys migrated "
+                  f"with their credits)")
+
+    print("\nautoscaling activity:")
+    for event in scaler.events:
+        print(f"  t={event.time:5.1f}s {event.action:>10} {event.router} "
+              f"(observed CPU {event.observed_cpu * 100:.0f}%, fleet now "
+              f"{event.fleet_size})")
+
+
+if __name__ == "__main__":
+    main()

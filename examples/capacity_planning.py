@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic model and Table I prices.
+
+Answers the operator's question the paper's evaluation enables: "I need to
+admit X requests per second — what do I deploy, and what does it cost?"
+Sweeps QoS-layer options (instance type x node count) under a fixed router
+layer, filters to configurations meeting the target, and ranks by $/hour —
+including the vertical-vs-horizontal trade of Figs. 9 and 12.
+
+Run:  python examples/capacity_planning.py [target_rps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.config import ClusterTopology
+from repro.perfmodel import CapacityModel
+from repro.simnet.instances import C3_FAMILY, get_instance
+
+
+def plan(target_rps: float) -> None:
+    model = CapacityModel()
+    print(f"target: {target_rps:,.0f} admitted requests/second\n")
+    options = []
+    for instance in C3_FAMILY:
+        node_cap, _ = model.qos_node_capacity(instance)
+        for n_nodes in range(1, 17):
+            if n_nodes * node_cap < target_rps:
+                continue
+            # Size the router layer to not be the bottleneck.
+            rr_cap, _ = model.rr_node_capacity("c3.xlarge")
+            n_routers = max(2, int(target_rps / rr_cap) + 1)
+            topo = ClusterTopology(
+                n_routers=n_routers, n_qos_servers=n_nodes,
+                router_instance="c3.xlarge", qos_instance=instance)
+            estimate = model.estimate(topo)
+            if estimate.capacity < target_rps:
+                continue
+            cost = (n_nodes * get_instance(instance).price_usd_hr
+                    + n_routers * get_instance("c3.xlarge").price_usd_hr)
+            options.append((cost, topo, estimate))
+            break       # smallest sufficient count for this instance type
+
+    if not options:
+        print("no configuration in the catalog meets that target")
+        return
+
+    options.sort(key=lambda option: option[0])
+    print(f"{'QoS layer':>18} | {'routers':>7} | {'capacity':>10} "
+          f"| {'bottleneck':>10} | {'USD/hr':>7}")
+    print("-" * 66)
+    for cost, topo, estimate in options:
+        qos = f"{topo.n_qos_servers}x {topo.qos_instance}"
+        print(f"{qos:>18} | {topo.n_routers:>7} "
+              f"| {estimate.capacity:>10,.0f} | {estimate.bottleneck:>10} "
+              f"| {cost:>7.2f}")
+
+    best = options[0]
+    print(f"\ncheapest: {best[1].n_qos_servers}x {best[1].qos_instance} "
+          f"at ${best[0]:.2f}/hr "
+          f"(headroom {best[2].capacity / target_rps - 1:+.0%})")
+    print("\nNote the Fig. 12 effect: one big node edges out the same "
+          "vCPUs split across small nodes, but only small nodes scale "
+          "past the biggest instance in the catalog.")
+
+
+if __name__ == "__main__":
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 100_000.0
+    plan(target)

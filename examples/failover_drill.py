@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Failover drill: exercise every §III high-availability path.
+
+Runs a simulated deployment with HA QoS-server pairs and a Multi-AZ
+database under steady traffic, then kills, in order:
+
+1. a QoS server master  — the slave (with a replicated local QoS table) is
+   promoted through the DNS health check;
+2. the database master  — the standby takes over; check-pointed credits
+   survive;
+3. a QoS server with no slave — a replacement node re-warms lazily from
+   the last checkpoint.
+
+Run:  python examples/failover_drill.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClusterTopology, JanusConfig, ServerConfig
+from repro.core.rules import QoSRule
+from repro.server import SimJanusCluster, launch_replacement
+from repro.workload import ClosedLoopClient, KeyCycle, uuid_keys
+
+
+def main() -> None:
+    config = JanusConfig(
+        topology=ClusterTopology(n_routers=2, n_qos_servers=2, qos_ha=True),
+        server=ServerConfig(workers=4, ha_replication_interval=0.5),
+        dns_ttl=1.0)
+    cluster = SimJanusCluster(config)
+    keys = uuid_keys(60)
+    for k in keys:
+        cluster.rules.put_rule(QoSRule(k, refill_rate=1e6, capacity=1e6))
+    cluster.prewarm()
+    clients = [ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i * 17))
+               for i in range(4)]
+    sim = cluster.sim
+
+    def genuine_rate(t0: float, t1: float) -> float:
+        n = sum(1 for c in clients for r in c.log.records
+                if t0 <= r.finished_at < t1 and not r.is_default_reply)
+        return n / (t1 - t0)
+
+    print("warming up under steady traffic...")
+    sim.run(until=3.0)
+    print(f"  t=3s   genuine decisions: {genuine_rate(2.0, 3.0):,.0f}/s")
+
+    print("\n[1] killing QoS master qos-0 (HA pair, replicated table)...")
+    pair = cluster.ha_pairs[0]
+    master_table = pair.master.controller.table_size()
+    promoted = pair.fail_master()
+    sim.run(until=6.0)
+    print(f"  promoted {promoted.name}: local table "
+          f"{promoted.controller.table_size()} keys "
+          f"(master had {master_table})")
+    print(f"  t=6s   genuine decisions: {genuine_rate(5.0, 6.0):,.0f}/s "
+          f"(traffic redirected after the 1 s DNS TTL)")
+
+    print("\n[2] failing the database master (Multi-AZ)...")
+    for server in cluster.qos_servers:
+        server.controller.checkpoint()
+    new_master = cluster.db.fail_master()
+    cluster.db.launch_standby()
+    sim.run(until=9.0)
+    print(f"  promoted {new_master}; rules intact: "
+          f"{cluster.rules.count()} rows")
+    print(f"  t=9s   genuine decisions: {genuine_rate(8.0, 9.0):,.0f}/s")
+
+    print("\n[3] killing qos-1 (no slave) and launching a replacement...")
+    victim = cluster.active_qos_server(1)
+    victim.controller.checkpoint()
+    victim.fail()
+    replacement = launch_replacement(
+        cluster.sim, cluster.net, cluster.dns,
+        cluster.qos_service_names[1], victim, cluster.rules,
+        rng=cluster.rng)
+    sim.run(until=13.0)
+    print(f"  replacement {replacement.name}: "
+          f"{replacement.decisions} decisions, table re-warmed to "
+          f"{replacement.controller.table_size()} keys")
+    print(f"  t=13s  genuine decisions: {genuine_rate(12.0, 13.0):,.0f}/s")
+
+    print("\nNo failure touched the other partition: routing hashes never "
+          "changed, so each failure stayed local (paper §II-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Reproduction of *Janus: A Generic QoS Framework for SaaS Applications*.
+
+Janus (Jiang, Lee & Zomaya, IEEE CLUSTER 2018) is a generic, horizontally
+scalable admission-control framework.  QoS requests carrying a string *QoS
+key* are partitioned by ``CRC32(key) mod N`` across independent QoS server
+nodes, each holding a local table of leaky buckets with a refill mechanism.
+The public API re-exported here covers the pieces a downstream user needs:
+
+- :class:`~repro.core.bucket.LeakyBucket` and
+  :class:`~repro.core.admission.AdmissionController` — the admission-control
+  core (a distributed set of leaky buckets with refill).
+- :class:`~repro.core.rules.QoSRule` / :class:`~repro.db.rulestore.RuleStore`
+  — rule management backed by the relational database substrate.
+- :class:`~repro.runtime.cluster.LocalCluster` and
+  :func:`~repro.runtime.client.qos_check` — a real-socket Janus deployment
+  on localhost.
+- :mod:`repro.simnet` / :mod:`repro.server` — the discrete-event cluster
+  simulator used to regenerate the paper's AWS-scale evaluation.
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import AdmissionController, QoSRule, InMemoryRuleSource
+
+    rules = InMemoryRuleSource({"alice": QoSRule("alice", refill_rate=100.0,
+                                                 capacity=1000.0)})
+    qos = AdmissionController(rules)
+    allowed = qos.check("alice")     # -> True / False
+"""
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.bucket import LeakyBucket, RefillMode
+from repro.core.config import (
+    AdmissionConfig,
+    ClusterTopology,
+    JanusConfig,
+    RouterConfig,
+    ServerConfig,
+)
+from repro.core.errors import (
+    ConfigurationError,
+    JanusError,
+    ProtocolError,
+    RoutingError,
+    RuleNotFoundError,
+)
+from repro.core.hashing import crc32_router, RendezvousRouter, ConsistentHashRing
+from repro.core.rules import DefaultRulePolicy, QoSRule
+from repro.core.protocol import QoSRequest, QoSResponse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionConfig",
+    "ClusterTopology",
+    "ConfigurationError",
+    "ConsistentHashRing",
+    "DefaultRulePolicy",
+    "InMemoryRuleSource",
+    "JanusConfig",
+    "JanusError",
+    "LeakyBucket",
+    "ProtocolError",
+    "QoSRequest",
+    "QoSResponse",
+    "QoSRule",
+    "RefillMode",
+    "RendezvousRouter",
+    "RouterConfig",
+    "RoutingError",
+    "RuleNotFoundError",
+    "ServerConfig",
+    "crc32_router",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Application substrates: the generic QoS wrapper and the photo-sharing app."""
+
+from repro.apps.memcached import Memcached
+from repro.apps.nosql import NoSqlService, OpResult, ThrottledError
+from repro.apps.photoshare import PageView, PhotoShareApp
+from repro.apps.webapp import (
+    HTTP_FORBIDDEN,
+    HTTP_OK,
+    ServiceResult,
+    SimWebService,
+)
+
+__all__ = [
+    "HTTP_FORBIDDEN",
+    "HTTP_OK",
+    "Memcached",
+    "NoSqlService",
+    "OpResult",
+    "PageView",
+    "PhotoShareApp",
+    "ServiceResult",
+    "SimWebService",
+    "ThrottledError",
+]

@@ -1,0 +1,75 @@
+"""Tiny Memcached substrate for the photo-sharing app (paper §V-D).
+
+The app's index page "connects to a Memcached server for session sharing".
+This is a functional cache (get/set/delete with LRU eviction and TTL) used
+by :mod:`repro.apps.photoshare` both for realism (session hits/misses
+change which code path runs) and as a standalone example substrate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Memcached"]
+
+
+@dataclass(slots=True)
+class _Entry:
+    value: Any
+    expires_at: float       # inf = no expiry
+
+
+class Memcached:
+    """An in-memory LRU cache with TTL, mimicking the memcached contract."""
+
+    def __init__(self, max_items: int = 10_000,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_items < 1:
+            raise ConfigurationError(f"max_items must be >= 1, got {max_items}")
+        self.max_items = max_items
+        self._clock = clock
+        self._data: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def set(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
+        expires = self._clock() + ttl if ttl is not None else float("inf")
+        with self._lock:
+            if key in self._data:
+                self._data.pop(key)
+            elif len(self._data) >= self.max_items:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = _Entry(value, expires)
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None or entry.expires_at <= self._clock():
+                if entry is not None:
+                    del self._data[key]
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def flush_all(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,109 @@
+"""A NoSQL database service with per-database quotas (paper §II, §IV).
+
+"For a NoSQL database service, a particular user might purchase different
+access rates for different databases, then the QoS key can be the
+combination of the user identification and the database name."  This
+substrate is that service: a functional multi-tenant key-value store whose
+data-plane operations pass through Janus with
+:func:`~repro.core.keys.user_database_key` keys before touching storage.
+
+Works against any QoS check callable, so it runs both over the simulator
+(:func:`repro.workload.simclient.qos_round_trip`) and the real runtime
+(:meth:`repro.runtime.client.QoSClient.check`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import ConfigurationError, JanusError
+from repro.core.keys import user_database_key
+
+__all__ = ["NoSqlService", "ThrottledError", "OpResult"]
+
+
+class ThrottledError(JanusError):
+    """Raised when Janus denies the operation (the service's 429/403)."""
+
+    def __init__(self, user: str, database: str):
+        super().__init__(f"user {user!r} throttled on database {database!r}")
+        self.user = user
+        self.database = database
+
+
+@dataclass(frozen=True, slots=True)
+class OpResult:
+    """Outcome of one data-plane operation."""
+
+    operation: str
+    database: str
+    value: Any = None
+
+
+class NoSqlService:
+    """Multi-tenant KV store with Janus admission on every operation.
+
+    ``qos_check(key, cost)`` is the integration point (Fig. 4): it returns
+    a boolean verdict.  Reads cost 1 credit, writes cost ``write_cost``
+    (writes are more expensive to serve — a use of the protocol's weighted
+    cost field).
+    """
+
+    def __init__(self, qos_check: Callable[[str, float], bool], *,
+                 write_cost: float = 2.0):
+        if write_cost <= 0:
+            raise ConfigurationError(f"write_cost must be > 0, got {write_cost}")
+        self._qos_check = qos_check
+        self.write_cost = write_cost
+        self._databases: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.served = 0
+        self.throttled = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _admit(self, user: str, database: str, cost: float) -> None:
+        if not self._qos_check(user_database_key(user, database), cost):
+            self.throttled += 1
+            raise ThrottledError(user, database)
+        self.served += 1
+
+    def _table(self, database: str) -> Dict[str, Any]:
+        with self._lock:
+            return self._databases.setdefault(database, {})
+
+    # -- data plane ---------------------------------------------------------
+
+    def get(self, user: str, database: str, key: str) -> OpResult:
+        self._admit(user, database, 1.0)
+        table = self._table(database)
+        with self._lock:
+            return OpResult("get", database, table.get(key))
+
+    def put(self, user: str, database: str, key: str, value: Any) -> OpResult:
+        self._admit(user, database, self.write_cost)
+        table = self._table(database)
+        with self._lock:
+            table[key] = value
+        return OpResult("put", database, value)
+
+    def delete(self, user: str, database: str, key: str) -> OpResult:
+        self._admit(user, database, self.write_cost)
+        table = self._table(database)
+        with self._lock:
+            existed = table.pop(key, None) is not None
+        return OpResult("delete", database, existed)
+
+    def scan(self, user: str, database: str, *, limit: int = 100) -> OpResult:
+        # A scan touches many rows: admission cost scales with the limit.
+        self._admit(user, database, max(1.0, limit / 10.0))
+        table = self._table(database)
+        with self._lock:
+            items = dict(list(table.items())[:limit])
+        return OpResult("scan", database, items)
+
+    def database_size(self, database: str) -> int:
+        with self._lock:
+            return len(self._databases.get(database, {}))

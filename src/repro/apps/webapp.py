@@ -1,0 +1,94 @@
+"""Generic service endpoint with and without QoS support (paper Fig. 4, §IV).
+
+Without QoS: endpoint → auth → execution engine → response.
+With QoS: endpoint → auth → **QoS check** → execution engine (TRUE) or an
+actively-throttled error response (FALSE).
+
+The QoS check is pluggable — any generator function taking the QoS key and
+returning a boolean verdict.  In the simulator that is
+:func:`repro.workload.simclient.qos_round_trip` against a
+:class:`~repro.server.SimJanusCluster`; in the real runtime it is
+:func:`repro.runtime.client.qos_check` wrapped trivially.  This mirrors the
+paper's 3-line PHP integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.engine import Simulation
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngRegistry
+
+__all__ = ["SimWebService", "ServiceResult", "HTTP_OK", "HTTP_FORBIDDEN"]
+
+HTTP_OK = 200
+#: The paper's wrapper returns "HTTP/1.1 403 Forbidden" on throttling.
+HTTP_FORBIDDEN = 403
+
+#: A QoS check: generator yielding sim events, returning (allowed: bool).
+QoSCheck = Callable[[str], Generator]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceResult:
+    """Outcome of one service request."""
+
+    status: int
+    allowed: bool
+    qos_latency: float      # time spent inside the QoS check (0 if none)
+
+    @property
+    def throttled(self) -> bool:
+        return self.status == HTTP_FORBIDDEN
+
+
+class SimWebService:
+    """A service endpoint node implementing the Fig. 4 flow."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        instance: str,
+        execution: Callable[[], Generator],
+        *,
+        qos_check: Optional[QoSCheck] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rng: Optional[RngRegistry] = None,
+        auth_cpu: float = 50e-6,
+    ):
+        self.sim = sim
+        self.name = name
+        self.node = SimNode(sim, name, instance)
+        self.execution = execution
+        self.qos_check = qos_check
+        self.calib = calibration
+        self._rng = (rng or RngRegistry()).stream(f"web.{name}.service")
+        self.auth_cpu = auth_cpu
+        self.served = 0
+        self.throttled = 0
+
+    def _jitter(self, mean: float) -> float:
+        sigma = self.calib.service_sigma
+        return mean * self._rng.lognormvariate(-sigma * sigma / 2.0, sigma)
+
+    def handle(self, qos_key: str):
+        """One request through the endpoint (generator; yields sim events)."""
+        # Authentication / authorization step (both variants).
+        yield from self.node.cpu(self._jitter(self.auth_cpu))
+        qos_latency = 0.0
+        if self.qos_check is not None:
+            t0 = self.sim.now
+            allowed = yield from self.qos_check(qos_key)
+            qos_latency = self.sim.now - t0
+            if not allowed:
+                # Actively throttle: emit the 403 and return immediately.
+                yield from self.node.cpu(self._jitter(self.calib.app_throttle_cpu))
+                self.throttled += 1
+                return ServiceResult(HTTP_FORBIDDEN, False, qos_latency)
+        yield from self.execution()
+        self.served += 1
+        return ServiceResult(HTTP_OK, True, qos_latency)

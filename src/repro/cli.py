@@ -1,0 +1,262 @@
+"""``janus`` command-line interface.
+
+A small operational surface over the real-socket runtime:
+
+- ``janus rules init|add|remove|list`` — maintain a JSON rules file (the
+  provider's plan catalog);
+- ``janus serve --rules rules.json`` — boot a LocalCluster from the file
+  and print its endpoint (Ctrl-C to stop);
+- ``janus check --endpoint URL KEY`` — one admission check against a
+  running deployment (exit code 0 admit / 1 deny);
+- ``janus loadtest --endpoint URL -n 2000 -c 8`` — ab-style load test;
+- ``janus stats --endpoint URL`` — dump a router's ``/stats``;
+- ``janus experiments ...`` — alias for the reproduction runner.
+
+Installed as the ``janus-experiments`` (runner) and usable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.errors import JanusError
+from repro.core.rules import QoSRule
+
+__all__ = ["main", "load_rules_file", "save_rules_file"]
+
+
+# --------------------------------------------------------------------- #
+# rules file handling
+# --------------------------------------------------------------------- #
+
+def load_rules_file(path: Path) -> list[QoSRule]:
+    """Read a JSON rules file: a list of {key, refill_rate, capacity}."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise JanusError(f"rules file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise JanusError(f"rules file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise JanusError(f"rules file {path} must contain a JSON list")
+    rules = []
+    for i, row in enumerate(payload):
+        try:
+            rules.append(QoSRule(
+                key=row["key"],
+                refill_rate=float(row["refill_rate"]),
+                capacity=float(row["capacity"]),
+                credit=(float(row["credit"])
+                        if row.get("credit") is not None else None)))
+        except (KeyError, TypeError, ValueError, JanusError) as exc:
+            raise JanusError(f"rules file entry #{i} invalid: {exc}") from exc
+    return rules
+
+
+def save_rules_file(path: Path, rules: Iterable[QoSRule]) -> None:
+    payload = [
+        {"key": r.key, "refill_rate": r.refill_rate, "capacity": r.capacity,
+         **({"credit": r.credit} if r.credit is not None else {})}
+        for r in rules
+    ]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    if args.rules_action == "init":
+        if path.exists() and not args.force:
+            print(f"refusing to overwrite {path} (use --force)",
+                  file=sys.stderr)
+            return 1
+        save_rules_file(path, [])
+        print(f"created empty rules file {path}")
+        return 0
+    rules = {r.key: r for r in load_rules_file(path)}
+    if args.rules_action == "add":
+        rules[args.key] = QoSRule(args.key, refill_rate=args.rate,
+                                  capacity=args.capacity)
+        save_rules_file(path, rules.values())
+        print(f"{args.key}: rate={args.rate}/s capacity={args.capacity}")
+        return 0
+    if args.rules_action == "remove":
+        if rules.pop(args.key, None) is None:
+            print(f"no rule for {args.key!r}", file=sys.stderr)
+            return 1
+        save_rules_file(path, rules.values())
+        print(f"removed {args.key}")
+        return 0
+    # list
+    for rule in rules.values():
+        print(f"{rule.key}\trate={rule.refill_rate}/s "
+              f"capacity={rule.capacity}"
+              + (f" credit={rule.credit}" if rule.credit is not None else ""))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import LocalCluster
+
+    cluster = LocalCluster(n_routers=args.routers,
+                           n_qos_servers=args.qos_servers)
+    for rule in load_rules_file(Path(args.rules)):
+        cluster.rules.put_rule(rule)
+    cluster.start()
+    print(f"Janus serving at {cluster.endpoint} "
+          f"({args.routers} routers, {args.qos_servers} QoS servers, "
+          f"{cluster.rules.count()} rules)")
+    stop = {"flag": False}
+
+    def handler(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+    try:
+        while not stop["flag"]:
+            if args.max_seconds is not None and args.max_seconds <= 0:
+                break
+            time.sleep(0.2)
+            if args.max_seconds is not None:
+                args.max_seconds -= 0.2
+    finally:
+        cluster.stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.runtime.client import QoSClient
+
+    client = QoSClient(args.endpoint, fail_open=False)
+    result = client.check_detailed(args.key, cost=args.cost)
+    verdict = "ALLOW" if result.allowed else "DENY"
+    origin = " (default reply)" if result.is_default_reply else ""
+    print(f"{verdict}{origin} key={args.key} "
+          f"latency={result.latency * 1e3:.2f}ms attempts={result.attempts}")
+    return 0 if result.allowed else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.workload.ab import run_ab
+    from repro.workload.keygen import uuid_keys
+
+    if args.keys > 0:
+        keys = uuid_keys(args.keys, seed=args.seed)
+
+        def keygen(worker: int, i: int) -> str:
+            return keys[(worker * 131 + i) % len(keys)]
+    else:
+        def keygen(worker: int, i: int) -> str:
+            return args.key
+
+    result = run_ab(args.endpoint, keygen,
+                    n_requests=args.requests, concurrency=args.concurrency)
+    summary = result.latency.as_milliseconds()
+    print(f"requests:   {result.requests} in {result.duration:.2f}s "
+          f"({result.throughput:.0f} rps)")
+    print(f"verdicts:   {result.allowed} allowed, {result.denied} denied, "
+          f"{result.default_replies} default replies, "
+          f"{result.transport_errors} transport errors")
+    print(f"latency ms: mean={summary['mean_ms']:.2f} "
+          f"p50={summary['p50_ms']:.2f} p90={summary['p90_ms']:.2f} "
+          f"p99={summary['p99_ms']:.2f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with urllib.request.urlopen(f"{args.endpoint}/stats", timeout=5.0) as r:
+        print(json.dumps(json.loads(r.read()), indent=2))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+    return runner_main(args.names)
+
+
+# --------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="janus", description="Janus QoS framework (reproduction) CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rules = sub.add_parser("rules", help="maintain a JSON rules file")
+    rules.add_argument("--file", "-f", default="qos_rules.json")
+    rules_sub = rules.add_subparsers(dest="rules_action", required=True)
+    init = rules_sub.add_parser("init")
+    init.add_argument("--force", action="store_true")
+    add = rules_sub.add_parser("add")
+    add.add_argument("key")
+    add.add_argument("--rate", type=float, required=True,
+                     help="purchased requests/second (refill rate)")
+    add.add_argument("--capacity", type=float, required=True,
+                     help="burst capacity (bucket size)")
+    remove = rules_sub.add_parser("remove")
+    remove.add_argument("key")
+    rules_sub.add_parser("list")
+    rules.set_defaults(func=_cmd_rules)
+
+    serve = sub.add_parser("serve", help="boot a LocalCluster")
+    serve.add_argument("--rules", required=True)
+    serve.add_argument("--routers", type=int, default=2)
+    serve.add_argument("--qos-servers", type=int, default=2)
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help=argparse.SUPPRESS)       # test hook
+    serve.set_defaults(func=_cmd_serve)
+
+    check = sub.add_parser("check", help="one admission check")
+    check.add_argument("key")
+    check.add_argument("--endpoint", required=True)
+    check.add_argument("--cost", type=float, default=1.0)
+    check.set_defaults(func=_cmd_check)
+
+    loadtest = sub.add_parser("loadtest",
+                              help="ab-style load test against a deployment")
+    loadtest.add_argument("--endpoint", required=True)
+    loadtest.add_argument("--requests", "-n", type=int, default=1_000)
+    loadtest.add_argument("--concurrency", "-c", type=int, default=4)
+    loadtest.add_argument("--keys", type=int, default=64,
+                          help="size of the random key population "
+                               "(0 = use --key for every request)")
+    loadtest.add_argument("--key", default="loadtest-key")
+    loadtest.add_argument("--seed", type=int, default=1)
+    loadtest.set_defaults(func=_cmd_loadtest)
+
+    stats = sub.add_parser("stats", help="dump a router's /stats")
+    stats.add_argument("--endpoint", required=True,
+                       help="a router URL (not the LB)")
+    stats.set_defaults(func=_cmd_stats)
+
+    experiments = sub.add_parser("experiments",
+                                 help="regenerate the paper's evaluation")
+    experiments.add_argument("names", nargs="*")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except JanusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

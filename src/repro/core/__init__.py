@@ -1,0 +1,68 @@
+"""Core Janus contribution: leaky buckets, rules, routing hash, protocol.
+
+Every QoS server — simulated or real — runs the same
+:class:`~repro.core.admission.AdmissionController`; every request router —
+simulated or real — uses the same :func:`~repro.core.hashing.crc32_router`
+and :mod:`~repro.core.protocol` codec.  Keeping the decision logic in one
+place is what makes the simulator's admission decisions bit-identical to
+the real runtime's.
+"""
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionStats,
+    BucketSnapshot,
+    InMemoryRuleSource,
+    RuleSource,
+)
+from repro.core.bucket import LeakyBucket, RefillMode
+from repro.core.dedup import DedupCache
+from repro.core.shaping import TrafficShaper
+from repro.core.config import (
+    AdmissionConfig,
+    ClusterTopology,
+    JanusConfig,
+    RouterConfig,
+    ServerConfig,
+)
+from repro.core.hashing import (
+    ConsistentHashRing,
+    ModuloRouter,
+    RendezvousRouter,
+    crc32_of,
+    crc32_router,
+    key_pressure,
+)
+from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator, decode
+from repro.core.rules import DENY_ALL, GUEST_ACCESS, DefaultRulePolicy, QoSRule
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "BucketSnapshot",
+    "ClusterTopology",
+    "ConsistentHashRing",
+    "DedupCache",
+    "DENY_ALL",
+    "DefaultRulePolicy",
+    "GUEST_ACCESS",
+    "InMemoryRuleSource",
+    "JanusConfig",
+    "LeakyBucket",
+    "ModuloRouter",
+    "QoSRequest",
+    "QoSResponse",
+    "QoSRule",
+    "RefillMode",
+    "RendezvousRouter",
+    "RequestIdGenerator",
+    "RouterConfig",
+    "RuleSource",
+    "ServerConfig",
+    "TrafficShaper",
+    "crc32_of",
+    "crc32_router",
+    "decode",
+    "key_pressure",
+]

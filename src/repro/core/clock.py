@@ -1,0 +1,48 @@
+"""Clock abstraction shared by the real runtime and the simulator.
+
+Every time-dependent component in the library (leaky buckets, sync loops,
+latency recorders) takes a ``clock`` callable returning seconds as ``float``.
+The real runtime passes :func:`time.monotonic`; the discrete-event simulator
+passes its engine's ``now`` method.  Keeping this a plain callable (rather
+than an interface) keeps the hot admission path free of attribute lookups.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+#: Default wall clock used outside the simulator.
+MONOTONIC: Clock = time.monotonic
+
+
+class ManualClock:
+    """A hand-advanced clock for tests.
+
+    >>> clk = ManualClock()
+    >>> clk()
+    0.0
+    >>> clk.advance(1.5)
+    >>> clk()
+    1.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot move time backwards (dt={dt})")
+        self._now += dt
+
+    def set(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"cannot move time backwards ({t} < {self._now})")
+        self._now = float(t)

@@ -1,0 +1,143 @@
+"""Typed configuration for Janus deployments (real runtime and simulator).
+
+Defaults follow the paper's implementation choices: a 100-microsecond UDP
+communication timeout with at most 5 retries on the router (§III-B), worker
+threads equal to the number of vCPUs on the QoS server (§III-C), and
+configurable database sync / check-pointing intervals (§II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bucket import RefillMode
+from repro.core.errors import ConfigurationError
+from repro.core.rules import DefaultRulePolicy, DENY_ALL
+
+__all__ = [
+    "AdmissionConfig",
+    "RouterConfig",
+    "ServerConfig",
+    "ClusterTopology",
+    "JanusConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionConfig:
+    """Configuration of one QoS server's admission controller."""
+
+    #: Policy for keys absent from the database (§II-D).
+    default_rule: DefaultRulePolicy = DENY_ALL
+    #: Bucket refill behaviour; INTERVAL matches the paper's housekeeping
+    #: thread, CONTINUOUS is the exact lazy variant.
+    refill_mode: RefillMode = RefillMode.CONTINUOUS
+    #: Housekeeping refill period (seconds); only used in INTERVAL mode.
+    refill_interval: float = 0.1
+    #: "configurable update interval" for pulling rule changes from the DB.
+    sync_interval: float = 30.0
+    #: "configurable update interval" for check-pointing credits to the DB.
+    checkpoint_interval: float = 30.0
+    #: Number of lock shards protecting the local QoS table.  1 reproduces
+    #: the paper's single synchronized map (its acknowledged bottleneck);
+    #: larger values implement the paper's "can be further optimized"
+    #: future work and are measured by the locking ablation.
+    lock_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.refill_interval <= 0:
+            raise ConfigurationError(f"refill_interval must be > 0, got {self.refill_interval}")
+        if self.sync_interval <= 0 or self.checkpoint_interval <= 0:
+            raise ConfigurationError("sync and checkpoint intervals must be > 0")
+        if self.lock_shards < 1:
+            raise ConfigurationError(f"lock_shards must be >= 1, got {self.lock_shards}")
+
+
+@dataclass(frozen=True, slots=True)
+class RouterConfig:
+    """Configuration of a request-router node (§III-B)."""
+
+    #: Per-attempt UDP timeout.  The paper uses 100 microseconds on AWS's
+    #: intra-AZ network; the real-socket LocalCluster raises this because a
+    #: GIL-scheduled Python server cannot guarantee 100 us turnarounds.
+    udp_timeout: float = 100e-6
+    #: Maximum number of attempts (the paper's "maximum number of 5 retries"
+    #: yields a worst case of 5 x timeout before the default reply).
+    max_retries: int = 5
+    #: Verdict returned to the client when all retries fail.  Fail-open
+    #: (True) preserves availability; fail-closed (False) preserves quota.
+    default_reply: bool = True
+
+    def __post_init__(self) -> None:
+        if self.udp_timeout <= 0:
+            raise ConfigurationError(f"udp_timeout must be > 0, got {self.udp_timeout}")
+        if self.max_retries < 1:
+            raise ConfigurationError(f"max_retries must be >= 1, got {self.max_retries}")
+
+    @property
+    def worst_case_wait(self) -> float:
+        """Upper bound on time spent before the default reply (§III-B)."""
+        return self.udp_timeout * self.max_retries
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Configuration of a QoS server node (§III-C)."""
+
+    #: Worker threads polling the FIFO; "N equals the number of vCPUs".
+    workers: int = 4
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Replication pull period for an optional HA slave (§III-C).
+    ha_replication_interval: float = 1.0
+    #: Duplicate-suppression window in seconds (extension; see
+    #: :mod:`repro.core.dedup`).  ``None`` reproduces the paper's stateless
+    #: server, where a router retry crossing a delayed response consumes a
+    #: duplicate credit.
+    dedup_window: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.ha_replication_interval <= 0:
+            raise ConfigurationError("ha_replication_interval must be > 0")
+        if self.dedup_window is not None and self.dedup_window <= 0:
+            raise ConfigurationError("dedup_window must be > 0 when set")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterTopology:
+    """Shape of a Janus deployment: node counts and instance types."""
+
+    n_routers: int = 2
+    n_qos_servers: int = 2
+    router_instance: str = "c3.xlarge"
+    qos_instance: str = "c3.xlarge"
+    #: "gateway" (ELB-style, Fig. 1a) or "dns" (Route53-style, Fig. 1b).
+    load_balancer: str = "gateway"
+    #: Optional hot-standby slave per QoS server (§III-C).
+    qos_ha: bool = False
+    #: Multi-AZ master/standby database (§III-D).
+    db_ha: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_routers < 1 or self.n_qos_servers < 1:
+            raise ConfigurationError("topology needs at least one router and one QoS server")
+        if self.load_balancer not in ("gateway", "dns"):
+            raise ConfigurationError(
+                f"load_balancer must be 'gateway' or 'dns', got {self.load_balancer!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class JanusConfig:
+    """Aggregate configuration for a whole deployment."""
+
+    topology: ClusterTopology = field(default_factory=ClusterTopology)
+    router: RouterConfig = field(default_factory=RouterConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    #: DNS record TTL; §V-A uses 30 seconds and discusses the resulting
+    #: client-pinning skew of the DNS load balancer.
+    dns_ttl: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.dns_ttl <= 0:
+            raise ConfigurationError(f"dns_ttl must be > 0, got {self.dns_ttl}")

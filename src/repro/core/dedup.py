@@ -1,0 +1,84 @@
+"""Duplicate-request suppression for the QoS server (extension).
+
+The paper's retry protocol has a subtle cost: when a router's retry crosses
+a delayed response, the QoS server decides the same logical request twice
+and consumes an extra credit (§III-B/C make the server stateless with
+respect to request ids).  At the paper's loss rates this is negligible, but
+a congested server can amplify it badly — our saturation experiments
+measured multi-x duplication before widening the timeout (see
+`repro.experiments.driver`).
+
+:class:`DedupCache` makes decisions idempotent per ``(router, request_id)``
+within a sliding time window: a retry hits the cache and gets the *original
+verdict* back without touching the bucket.  This is the standard
+at-most-once RPC trick; it is OFF by default to stay paper-faithful and is
+enabled via ``ServerConfig(dedup_window=...)``.
+
+The cache is O(1) per lookup with amortized expiry: entries are kept in
+insertion order (monotone timestamps), so expiry pops from the front.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.core.clock import MONOTONIC, Clock
+from repro.core.errors import ConfigurationError
+
+__all__ = ["DedupCache"]
+
+
+class DedupCache:
+    """Sliding-window memo of ``(source, request_id) -> verdict``."""
+
+    def __init__(self, window: float, *, max_entries: int = 100_000,
+                 clock: Clock = MONOTONIC):
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.window = window
+        self.max_entries = max_entries
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, Tuple[float, bool]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _expire_locked(self, now: float) -> None:
+        horizon = now - self.window
+        while self._entries:
+            key, (stamp, _) = next(iter(self._entries.items()))
+            if stamp >= horizon and len(self._entries) <= self.max_entries:
+                break
+            del self._entries[key]
+            self.evictions += 1
+
+    def lookup(self, source: Hashable, request_id: int) -> Optional[bool]:
+        """Return the memoized verdict for a duplicate, or ``None``."""
+        now = self._clock()
+        key = (source, request_id)
+        with self._lock:
+            self._expire_locked(now)
+            entry = self._entries.get(key)
+            if entry is None or entry[0] < now - self.window:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry[1]
+
+    def remember(self, source: Hashable, request_id: int, verdict: bool) -> None:
+        """Memoize a fresh decision."""
+        now = self._clock()
+        key = (source, request_id)
+        with self._lock:
+            self._entries[key] = (now, verdict)
+            self._entries.move_to_end(key)
+            self._expire_locked(now)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

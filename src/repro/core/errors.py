@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Janus reproduction.
+
+All library-raised exceptions derive from :class:`JanusError` so callers can
+catch one base type at the integration boundary (the pattern recommended in
+§IV of the paper: a thin wrapper that fails open or closed by policy).
+"""
+
+from __future__ import annotations
+
+
+class JanusError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(JanusError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class RuleNotFoundError(JanusError, KeyError):
+    """A QoS rule was requested for a key that has no row in the database.
+
+    The paper treats this as *guest/unknown traffic* to be governed by the
+    default rule (§II-D); this exception is therefore only raised by the
+    low-level stores — :class:`~repro.core.admission.AdmissionController`
+    converts it into the default-rule path.
+    """
+
+    def __init__(self, key: str):
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable.
+        return f"no QoS rule for key {self.key!r}"
+
+
+class RoutingError(JanusError):
+    """The request router could not map a QoS key to a backend server."""
+
+
+class ProtocolError(JanusError):
+    """A wire message could not be encoded or decoded."""
+
+
+class CommunicationError(JanusError):
+    """A router↔server exchange failed after exhausting all retries."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ReplicationError(JanusError):
+    """A master/slave replication or failover step failed."""
+
+
+class SQLError(JanusError):
+    """The database substrate rejected a statement."""
+
+
+class SimulationError(JanusError):
+    """The discrete-event simulator detected an internal inconsistency."""

@@ -1,0 +1,173 @@
+"""Request-routing hash algorithms (paper §II-B, Fig. 2) and extensions.
+
+The paper's request router computes ``seed = CRC32(qos_key)`` and selects
+backend ``n = seed mod N``.  With a fixed number of QoS servers this pins
+every key to one server regardless of which router handles it — the property
+that removes all intra-layer communication.  The trade-off (acknowledged
+implicitly by the paper's fixed-``N`` assumption) is that changing ``N``
+remaps almost every key; the :class:`ConsistentHashRing` and
+:class:`RendezvousRouter` extensions bound that remapping and are compared
+in ``benchmarks/test_ablation_hashing.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import zlib
+from collections import Counter
+from typing import Callable, Iterable, Sequence
+
+from repro.core.errors import RoutingError
+
+__all__ = [
+    "crc32_of",
+    "crc32_router",
+    "ModuloRouter",
+    "ConsistentHashRing",
+    "RendezvousRouter",
+    "key_pressure",
+]
+
+
+def crc32_of(key: str) -> int:
+    """32-bit CRC of a QoS key (the paper's hash seed)."""
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+
+def crc32_router(key: str, n_servers: int) -> int:
+    """The paper's routing function: ``mod(CRC32(key), N)`` (Fig. 2)."""
+    if n_servers <= 0:
+        raise RoutingError(f"n_servers must be positive, got {n_servers}")
+    return crc32_of(key) % n_servers
+
+
+class ModuloRouter:
+    """Stateful wrapper around :func:`crc32_router` over a server list."""
+
+    def __init__(self, servers: Sequence[str]):
+        if not servers:
+            raise RoutingError("server list must be non-empty")
+        self._servers = list(servers)
+
+    @property
+    def servers(self) -> list[str]:
+        return list(self._servers)
+
+    def route(self, key: str) -> str:
+        return self._servers[crc32_router(key, len(self._servers))]
+
+    def route_index(self, key: str) -> int:
+        return crc32_router(key, len(self._servers))
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes (extension, not in the paper).
+
+    Adding or removing one server remaps only ~``1/N`` of the keyspace,
+    versus ~``(N-1)/N`` for modulo routing.  Uses MD5 points on a 64-bit
+    ring with ``replicas`` virtual nodes per server.
+    """
+
+    def __init__(self, servers: Iterable[str] = (), replicas: int = 100):
+        if replicas <= 0:
+            raise RoutingError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        self._servers: set[str] = set()
+        for s in servers:
+            self.add_server(s)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(hashlib.md5(value.encode("utf-8")).digest()[:8], "big")
+
+    def add_server(self, server: str) -> None:
+        if server in self._servers:
+            raise RoutingError(f"server {server!r} already on ring")
+        self._servers.add(server)
+        for r in range(self.replicas):
+            point = self._hash(f"{server}#{r}")
+            idx = bisect.bisect(self._points, point)
+            self._points.insert(idx, point)
+            self._ring.insert(idx, (point, server))
+
+    def remove_server(self, server: str) -> None:
+        if server not in self._servers:
+            raise RoutingError(f"server {server!r} not on ring")
+        self._servers.remove(server)
+        keep = [(p, s) for (p, s) in self._ring if s != server]
+        self._ring = keep
+        self._points = [p for (p, _) in keep]
+
+    @property
+    def servers(self) -> set[str]:
+        return set(self._servers)
+
+    def route(self, key: str) -> str:
+        if not self._ring:
+            raise RoutingError("ring is empty")
+        point = self._hash(key)
+        idx = bisect.bisect(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._ring[idx][1]
+
+
+class RendezvousRouter:
+    """Highest-random-weight (rendezvous) hashing (extension).
+
+    Like consistent hashing, removing a server only remaps that server's
+    keys; unlike a ring it needs no virtual-node tuning, at ``O(N)`` cost
+    per lookup.
+    """
+
+    def __init__(self, servers: Iterable[str] = ()):
+        self._servers: list[str] = list(dict.fromkeys(servers))
+
+    @property
+    def servers(self) -> list[str]:
+        return list(self._servers)
+
+    def add_server(self, server: str) -> None:
+        if server in self._servers:
+            raise RoutingError(f"server {server!r} already present")
+        self._servers.append(server)
+
+    def remove_server(self, server: str) -> None:
+        try:
+            self._servers.remove(server)
+        except ValueError:
+            raise RoutingError(f"server {server!r} not present") from None
+
+    @staticmethod
+    def _weight(key: str, server: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(f"{key}@{server}".encode("utf-8")).digest()[:8], "big")
+
+    def route(self, key: str) -> str:
+        if not self._servers:
+            raise RoutingError("no servers registered")
+        return max(self._servers, key=lambda s: self._weight(key, s))
+
+
+def key_pressure(
+    keys: Iterable[str],
+    n_servers: int,
+    router: Callable[[str, int], int] = crc32_router,
+) -> list[float]:
+    """Fraction of keys landing on each of ``n_servers`` (paper Fig. 6).
+
+    "Assuming that each QoS server receives equal workload from the request
+    router then its key pressure should be 5% of the total workload" (for
+    20 servers).  Returns a list of per-server fractions summing to 1.
+    """
+    counts: Counter[int] = Counter()
+    total = 0
+    for key in keys:
+        counts[router(key, n_servers)] += 1
+        total += 1
+    if total == 0:
+        raise RoutingError("key iterable was empty")
+    return [counts.get(i, 0) / total for i in range(n_servers)]

@@ -1,0 +1,103 @@
+"""QoS key composition helpers (paper §II, §IV).
+
+"The composition of the QoS key depends on the nature of the service
+provided": a single-feature web service keys on the user id; a NoSQL
+database service keys on ``user + database``; the photo-sharing demo keys on
+the client IP; crawler shaping keys on the User-Agent header.  These helpers
+produce canonical, collision-free key strings for those cases so that
+different tenants can never alias each other's buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "compose_key",
+    "user_key",
+    "user_database_key",
+    "ip_key",
+    "user_agent_key",
+    "SEPARATOR",
+]
+
+#: Separator used between key components.  Components containing it are
+#: escaped, keeping composed keys injective.
+SEPARATOR = ":"
+_ESCAPE = "\\"
+
+
+def _escape(part: str) -> str:
+    return part.replace(_ESCAPE, _ESCAPE + _ESCAPE).replace(SEPARATOR, _ESCAPE + SEPARATOR)
+
+
+def compose_key(namespace: str, *parts: str) -> str:
+    """Build a namespaced QoS key from one or more components.
+
+    The namespace prevents cross-use-case collisions (e.g. a user named
+    ``10.0.0.1`` vs. the IP ``10.0.0.1``) and every component is escaped so
+    the mapping from tuples to strings is injective.
+
+    >>> compose_key("user", "alice")
+    'user:alice'
+    >>> compose_key("nosql", "alice", "photos")
+    'nosql:alice:photos'
+    """
+    if not namespace:
+        raise ConfigurationError("namespace must be non-empty")
+    for p in parts:
+        if not isinstance(p, str) or not p:
+            raise ConfigurationError(f"key components must be non-empty strings, got {p!r}")
+    return SEPARATOR.join([_escape(namespace), *(_escape(p) for p in parts)])
+
+
+def split_key(key: str) -> list[str]:
+    """Invert :func:`compose_key` (namespace first).
+
+    >>> split_key(compose_key("nosql", "a:b", "c"))
+    ['nosql', 'a:b', 'c']
+    """
+    parts: list[str] = []
+    buf: list[str] = []
+    i = 0
+    while i < len(key):
+        ch = key[i]
+        if ch == _ESCAPE and i + 1 < len(key):
+            buf.append(key[i + 1])
+            i += 2
+            continue
+        if ch == SEPARATOR:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    parts.append("".join(buf))
+    return parts
+
+
+def user_key(user_id: str) -> str:
+    """Key for per-user rate plans on a single-feature service."""
+    return compose_key("user", user_id)
+
+
+def user_database_key(user_id: str, database: str) -> str:
+    """Key for a NoSQL service selling per-database access rates (§IV)."""
+    return compose_key("nosql", user_id, database)
+
+
+def ip_key(ip_address: str) -> str:
+    """Key on the client IP, as in the photo-sharing demo (§IV)."""
+    return compose_key("ip", ip_address)
+
+
+def user_agent_key(user_agent: str) -> str:
+    """Key on the HTTP User-Agent header (search-crawler shaping, §IV)."""
+    return compose_key("ua", user_agent)
+
+
+def bulk_keys(namespace: str, ids: Iterable[str]) -> list[str]:
+    """Compose many keys in one namespace (workload-generation helper)."""
+    return [compose_key(namespace, i) for i in ids]

@@ -1,0 +1,162 @@
+"""Key-value request/response wire protocol (paper §II, §III-B/C).
+
+Janus adopts "a key-value request-response mechanism for easy integration":
+a QoS request carries a string QoS key; the QoS response is a boolean where
+TRUE admits and FALSE denies.  This module defines the two message types and
+a compact binary codec used on the router↔server UDP path, plus the HTTP
+query-string form used on the client→router path.
+
+Datagram layout (network byte order)::
+
+    offset  size  field
+    0       2     magic 0x4A51 ("JQ")
+    2       1     version (1)
+    3       1     type (1=request, 2=response)
+    4       8     request id (u64) — matches responses to retried requests
+    request:
+    12      2     key length L (u16)
+    14      L     key, UTF-8
+    14+L    8     cost (f64) — credits to consume, normally 1.0
+    response:
+    12      1     verdict (0=deny, 1=admit)
+    13      1     flags (bit0: default-reply, i.e. produced after retry
+                  exhaustion rather than by a QoS server)
+
+The request id lets a router discard a stale response that arrives after it
+has already retried: the paper's routers resend "the same request ... until
+a response is received" (§III-C), so responses must be idempotently
+matchable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import struct
+import threading
+from dataclasses import dataclass
+
+from repro.core.errors import ProtocolError
+
+__all__ = ["QoSRequest", "QoSResponse", "RequestIdGenerator",
+           "MAX_KEY_BYTES", "MAGIC", "VERSION"]
+
+MAGIC = 0x4A51
+VERSION = 1
+_TYPE_REQUEST = 1
+_TYPE_RESPONSE = 2
+
+_HEADER = struct.Struct("!HBBQ")          # magic, version, type, request id
+_REQ_KEY_LEN = struct.Struct("!H")
+_REQ_COST = struct.Struct("!d")
+_RESP_BODY = struct.Struct("!BB")
+
+#: Maximum encoded key size; u16 length prefix, and a QoS key should always
+#: fit one UDP datagram with room to spare.
+MAX_KEY_BYTES = 4096
+
+FLAG_DEFAULT_REPLY = 0x01
+
+
+@dataclass(frozen=True, slots=True)
+class QoSRequest:
+    """A QoS admission request: ``(request_id, key, cost)``."""
+
+    request_id: int
+    key: str
+    cost: float = 1.0
+
+    def encode(self) -> bytes:
+        key_bytes = self.key.encode("utf-8")
+        if not key_bytes:
+            raise ProtocolError("QoS key must be non-empty")
+        if len(key_bytes) > MAX_KEY_BYTES:
+            raise ProtocolError(f"QoS key exceeds {MAX_KEY_BYTES} bytes")
+        if not (0 <= self.request_id < 2**64):
+            raise ProtocolError(f"request_id out of u64 range: {self.request_id}")
+        if not (math.isfinite(self.cost) and self.cost > 0):
+            raise ProtocolError(f"cost must be finite and > 0, got {self.cost}")
+        return b"".join((
+            _HEADER.pack(MAGIC, VERSION, _TYPE_REQUEST, self.request_id),
+            _REQ_KEY_LEN.pack(len(key_bytes)),
+            key_bytes,
+            _REQ_COST.pack(self.cost),
+        ))
+
+
+@dataclass(frozen=True, slots=True)
+class QoSResponse:
+    """A QoS admission response: ``(request_id, allowed, is_default_reply)``.
+
+    ``is_default_reply`` marks the router-synthesized reply returned when
+    all UDP retries to the QoS server failed (§III-B) — it never comes from
+    an actual leaky-bucket decision.
+    """
+
+    request_id: int
+    allowed: bool
+    is_default_reply: bool = False
+
+    def encode(self) -> bytes:
+        flags = FLAG_DEFAULT_REPLY if self.is_default_reply else 0
+        return (_HEADER.pack(MAGIC, VERSION, _TYPE_RESPONSE, self.request_id)
+                + _RESP_BODY.pack(1 if self.allowed else 0, flags))
+
+
+def decode(datagram: bytes) -> "QoSRequest | QoSResponse":
+    """Decode a datagram into a request or response.
+
+    Raises :class:`~repro.core.errors.ProtocolError` on malformed input —
+    a real deployment must survive stray packets on its UDP port.
+    """
+    if len(datagram) < _HEADER.size:
+        raise ProtocolError(f"datagram too short ({len(datagram)} bytes)")
+    magic, version, mtype, request_id = _HEADER.unpack_from(datagram)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04X}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    body = datagram[_HEADER.size:]
+    if mtype == _TYPE_REQUEST:
+        if len(body) < _REQ_KEY_LEN.size:
+            raise ProtocolError("request truncated before key length")
+        (key_len,) = _REQ_KEY_LEN.unpack_from(body)
+        expected = _REQ_KEY_LEN.size + key_len + _REQ_COST.size
+        if len(body) != expected:
+            raise ProtocolError(f"request body length {len(body)} != {expected}")
+        key_bytes = body[_REQ_KEY_LEN.size:_REQ_KEY_LEN.size + key_len]
+        try:
+            key = key_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"key is not valid UTF-8: {exc}") from exc
+        if not key:
+            raise ProtocolError("QoS key must be non-empty")
+        (cost,) = _REQ_COST.unpack_from(body, _REQ_KEY_LEN.size + key_len)
+        if not (math.isfinite(cost) and cost > 0):
+            raise ProtocolError(f"cost must be finite and > 0, got {cost}")
+        return QoSRequest(request_id=request_id, key=key, cost=cost)
+    if mtype == _TYPE_RESPONSE:
+        if len(body) != _RESP_BODY.size:
+            raise ProtocolError(f"response body length {len(body)} != {_RESP_BODY.size}")
+        verdict, flags = _RESP_BODY.unpack_from(body)
+        if verdict not in (0, 1):
+            raise ProtocolError(f"bad verdict byte {verdict}")
+        return QoSResponse(request_id=request_id, allowed=bool(verdict),
+                           is_default_reply=bool(flags & FLAG_DEFAULT_REPLY))
+    raise ProtocolError(f"unknown message type {mtype}")
+
+
+class RequestIdGenerator:
+    """Thread-safe monotonically increasing request ids.
+
+    Each router node owns one generator; ids are node-local because a
+    response only ever returns to the socket that sent the request.
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next_id(self) -> int:
+        with self._lock:
+            return next(self._counter) % 2**64

@@ -1,0 +1,102 @@
+"""QoS rules and default-rule policy (paper §II-C/§II-D).
+
+A *QoS rule* is the unit stored in the database's ``qos_rules`` table: the
+QoS key, the leaky-bucket capacity, the refill rate, and the current
+(check-pointed) credit — "approximately 100 bytes" per rule in the paper.
+The default-rule policy governs keys with no database row: "a combination of
+zero capacity and zero refill rate to deny access, or a combination of a
+small capacity and a small refill rate to grant limited access" (§II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["QoSRule", "DefaultRulePolicy", "DENY_ALL", "GUEST_ACCESS"]
+
+
+@dataclass(frozen=True, slots=True)
+class QoSRule:
+    """One row of the ``qos_rules`` table.
+
+    Attributes
+    ----------
+    key:
+        The QoS key this rule governs (user id, ``user:database``, client
+        IP, User-Agent, ... — see :mod:`repro.core.keys`).
+    refill_rate:
+        Purchased access rate in requests/second (bucket refill rate ``A``).
+    capacity:
+        Leaky-bucket capacity ``C`` (maximum accumulated burst credit).
+    credit:
+        Last check-pointed credit, used to seed a replacement QoS server's
+        bucket (§II-D).  ``None`` means "never check-pointed": start full.
+    """
+
+    key: str
+    refill_rate: float
+    capacity: float
+    credit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, str) or not self.key:
+            raise ConfigurationError(f"QoS key must be a non-empty string, got {self.key!r}")
+        if self.refill_rate < 0:
+            raise ConfigurationError(f"refill_rate must be >= 0, got {self.refill_rate}")
+        if self.capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {self.capacity}")
+        if self.credit is not None and not (0.0 <= self.credit <= self.capacity):
+            raise ConfigurationError(
+                f"credit must lie in [0, capacity]={self.capacity}, got {self.credit}")
+
+    @property
+    def denies_all(self) -> bool:
+        """True when this rule can never admit a request."""
+        return self.capacity == 0.0 and self.refill_rate == 0.0
+
+    def with_credit(self, credit: float) -> "QoSRule":
+        """Return a copy carrying a check-pointed credit value."""
+        return replace(self, credit=credit)
+
+    def initial_credit(self) -> float:
+        """Credit a freshly created bucket should start with."""
+        return self.capacity if self.credit is None else self.credit
+
+    # The wire/database row size claimed in the paper; used by capacity
+    # planning helpers in repro.perfmodel.
+    APPROX_ROW_BYTES = 100
+
+
+@dataclass(frozen=True, slots=True)
+class DefaultRulePolicy:
+    """Policy applied to QoS keys that have no database row.
+
+    The two canonical instances from the paper are provided as module
+    constants: :data:`DENY_ALL` and :data:`GUEST_ACCESS`.
+    """
+
+    refill_rate: float = 0.0
+    capacity: float = 0.0
+    #: Whether unknown keys should be remembered in the local table.  The
+    #: paper always creates a local bucket for them; disabling this is a
+    #: memory-protection extension for hostile key-churn workloads.
+    memorize_unknown_keys: bool = True
+
+    def __post_init__(self) -> None:
+        if self.refill_rate < 0 or self.capacity < 0:
+            raise ConfigurationError("default rule rates must be >= 0")
+
+    def rule_for(self, key: str) -> QoSRule:
+        """Materialize the default rule for ``key``."""
+        return QoSRule(key=key, refill_rate=self.refill_rate, capacity=self.capacity)
+
+
+#: "zero capacity and zero refill rate to deny access" (§II-D).
+DENY_ALL = DefaultRulePolicy(refill_rate=0.0, capacity=0.0)
+
+#: "a small capacity and a small refill rate to grant limited access"
+#: (§II-D); Fig. 13 uses refill 10 rps / capacity 100 for the unknown client.
+GUEST_ACCESS = DefaultRulePolicy(refill_rate=10.0, capacity=100.0)

@@ -1,0 +1,86 @@
+"""Traffic shaping on top of the leaky bucket (extension).
+
+The related-work section recalls the leaky bucket's original use in
+*traffic shaping* — delaying traffic to conform to a rate instead of
+dropping it.  Janus proper only polices (admit/deny), but a generic QoS
+library should offer both: :class:`TrafficShaper` turns a rule into a
+"wait this long, then proceed" primitive, useful on the client side to
+pre-pace requests so they are never rejected.
+
+The shaper uses virtual scheduling: a monotone ``next_free`` timestamp
+advances by ``cost / rate`` per admitted unit, with the bucket's burst
+capacity allowing ``capacity`` units to pass back-to-back after idle
+periods.  This is the classic token-bucket shaper (GCRA-equivalent).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.clock import MONOTONIC, Clock
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+
+__all__ = ["TrafficShaper"]
+
+
+class TrafficShaper:
+    """Compute pacing delays that conform traffic to ``rate``/``capacity``."""
+
+    def __init__(self, rate: float, capacity: float, *,
+                 clock: Clock = MONOTONIC):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock
+        # GCRA state: the theoretical arrival time of the next unit.
+        self._tat = clock()
+        self._lock = threading.Lock()
+        self.delayed = 0
+        self.passed_immediately = 0
+
+    @classmethod
+    def from_rule(cls, rule: QoSRule, *, clock: Clock = MONOTONIC) -> "TrafficShaper":
+        if rule.refill_rate <= 0:
+            raise ConfigurationError(
+                f"rule {rule.key!r} has zero rate; nothing to shape to")
+        return cls(rule.refill_rate, max(1.0, rule.capacity), clock=clock)
+
+    def reserve(self, cost: float = 1.0) -> float:
+        """Reserve ``cost`` units; returns the delay to wait before sending.
+
+        Zero when the burst allowance covers the unit.  The reservation is
+        unconditional (shapers delay, they never deny), so callers must
+        sleep the returned amount to conform.
+        """
+        if cost <= 0:
+            raise ConfigurationError(f"cost must be > 0, got {cost}")
+        now = self._clock()
+        increment = cost / self.rate
+        # Burst of exactly `capacity` unit-cost sends after an idle period
+        # (GCRA: burst = 1 + tolerance/increment).
+        tolerance = (self.capacity - 1.0) / self.rate
+        with self._lock:
+            eligible = self._tat - tolerance     # earliest conforming send
+            if now >= eligible:
+                # Conforming now: burst allowance covers it.
+                self._tat = max(self._tat, now) + increment
+                self.passed_immediately += 1
+                return 0.0
+            delay = eligible - now
+            self._tat += increment
+            self.delayed += 1
+            return delay
+
+    def would_delay(self, cost: float = 1.0) -> float:
+        """The delay :meth:`reserve` would return, without reserving."""
+        if cost <= 0:
+            raise ConfigurationError(f"cost must be > 0, got {cost}")
+        now = self._clock()
+        with self._lock:
+            tolerance = (self.capacity - 1.0) / self.rate
+            return max(0.0, (self._tat - tolerance) - now)

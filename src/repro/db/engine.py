@@ -1,0 +1,278 @@
+"""SQL executor over :class:`~repro.db.table.Table` storage (paper §III-D).
+
+:class:`Engine` is the MySQL stand-in: it parses (with a statement cache),
+plans trivially (primary-key point lookups vs. full scans) and executes.
+It is thread-safe — QoS servers issue concurrent lookups, sync queries and
+check-point updates against the shared database.
+
+A statement log can be attached for replication: every *mutating* statement
+is forwarded, parameter-bound, to the attached
+:class:`~repro.db.replication.ReplicationLink` — the mechanism behind the
+Multi-AZ master/standby RDS substitute.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.core.errors import SQLError
+from repro.db import sql as ast
+from repro.db.table import Row, Table
+
+__all__ = ["Engine", "ResultSet"]
+
+
+@dataclass(slots=True)
+class ResultSet:
+    """Result of one statement: column names, rows, affected-row count."""
+
+    columns: list[str]
+    rows: list[tuple]
+    rowcount: int = 0
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        row = self.first()
+        if row is None:
+            return None
+        return row[0]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def _bind(operand: ast.Operand, row: Optional[Row], params: Sequence[Any]) -> Any:
+    if isinstance(operand, ast.Literal):
+        return operand.value
+    if isinstance(operand, ast.Parameter):
+        return params[operand.index]
+    if isinstance(operand, ast.ColumnRef):
+        if row is None:
+            raise SQLError(f"column {operand.name!r} not allowed here")
+        if operand.name not in row:
+            raise SQLError(f"unknown column {operand.name!r}")
+        return row[operand.name]
+    raise SQLError(f"cannot bind operand {operand!r}")
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _eval_condition(cond: ast.Condition, row: Row, params: Sequence[Any]) -> bool:
+    if isinstance(cond, ast.Comparison):
+        left = _bind(cond.left, row, params)
+        right = _bind(cond.right, row, params)
+        if left is None or right is None:
+            return False        # SQL three-valued logic: NULL compares false
+        try:
+            return _COMPARATORS[cond.op](left, right)
+        except TypeError as exc:
+            raise SQLError(f"type mismatch in comparison: {exc}") from exc
+    if isinstance(cond, ast.BooleanOp):
+        if cond.op == "AND":
+            return (_eval_condition(cond.left, row, params)
+                    and _eval_condition(cond.right, row, params))
+        return (_eval_condition(cond.left, row, params)
+                or _eval_condition(cond.right, row, params))
+    if isinstance(cond, ast.NotOp):
+        return not _eval_condition(cond.operand, row, params)
+    if isinstance(cond, ast.InList):
+        value = _bind(cond.column, row, params)
+        if value is None:
+            return False
+        members = [_bind(item, row, params) for item in cond.items]
+        result = value in members
+        return not result if cond.negated else result
+    if isinstance(cond, ast.IsNull):
+        value = _bind(cond.column, row, params)
+        result = value is None
+        return not result if cond.negated else result
+    raise SQLError(f"unknown condition node {cond!r}")
+
+
+def _pk_probe(cond: Optional[ast.Condition], pk: Optional[str],
+              params: Sequence[Any]) -> tuple[bool, Any]:
+    """Detect a ``WHERE pk = <const>`` shape for the O(1) fast path."""
+    if cond is None or pk is None or not isinstance(cond, ast.Comparison):
+        return False, None
+    if cond.op != "=":
+        return False, None
+    left, right = cond.left, cond.right
+    if isinstance(right, ast.ColumnRef) and not isinstance(left, ast.ColumnRef):
+        left, right = right, left
+    if not (isinstance(left, ast.ColumnRef) and left.name == pk):
+        return False, None
+    if isinstance(right, ast.ColumnRef):
+        return False, None
+    return True, _bind(right, None, params)
+
+
+class Engine:
+    """An in-memory relational engine executing the :mod:`repro.db.sql` dialect."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._meta_lock = threading.RLock()
+        self._parse_cache: Dict[str, tuple[ast.Statement, int]] = {}
+        self._cache_lock = threading.Lock()
+        # Replication hook: called as fn(sql_text, params) after each
+        # successful mutating statement.  See repro.db.replication.
+        self.replication_hook: Optional[Callable[[str, tuple], None]] = None
+        # Monotone counters for observability / simulation cost accounting.
+        self.statements_executed = 0
+        self.rows_scanned = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _parsed(self, sql_text: str) -> tuple[ast.Statement, int]:
+        with self._cache_lock:
+            cached = self._parse_cache.get(sql_text)
+        if cached is not None:
+            return cached
+        parsed = ast.parse(sql_text)
+        with self._cache_lock:
+            if len(self._parse_cache) > 4096:    # bound the cache
+                self._parse_cache.clear()
+            self._parse_cache[sql_text] = parsed
+        return parsed
+
+    def table(self, name: str) -> Table:
+        with self._meta_lock:
+            table = self._tables.get(name)
+        if table is None:
+            raise SQLError(f"no such table: {name!r}")
+        return table
+
+    def table_names(self) -> list[str]:
+        with self._meta_lock:
+            return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql_text: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Parse (cached) and execute one statement."""
+        stmt, n_params = self._parsed(sql_text)
+        if len(params) != n_params:
+            raise SQLError(
+                f"statement expects {n_params} parameters, got {len(params)}")
+        self.statements_executed += 1
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt, params)
+        result = self._execute_mutation(stmt, params)
+        if self.replication_hook is not None:
+            self.replication_hook(sql_text, tuple(params))
+        return result
+
+    def _execute_mutation(self, stmt: ast.Statement, params: Sequence[Any]) -> ResultSet:
+        if isinstance(stmt, ast.CreateTable):
+            return self._create(stmt)
+        if isinstance(stmt, ast.DropTable):
+            return self._drop(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt, params)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt, params)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt, params)
+        raise SQLError(f"unsupported statement {stmt!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def _create(self, stmt: ast.CreateTable) -> ResultSet:
+        with self._meta_lock:
+            if stmt.table in self._tables:
+                if stmt.if_not_exists:
+                    return ResultSet([], [], 0)
+                raise SQLError(f"table {stmt.table!r} already exists")
+            self._tables[stmt.table] = Table(stmt.table, stmt.columns)
+        return ResultSet([], [], 0)
+
+    def _drop(self, stmt: ast.DropTable) -> ResultSet:
+        with self._meta_lock:
+            if stmt.table not in self._tables:
+                if stmt.if_exists:
+                    return ResultSet([], [], 0)
+                raise SQLError(f"no such table: {stmt.table!r}")
+            del self._tables[stmt.table]
+        return ResultSet([], [], 0)
+
+    def _insert(self, stmt: ast.Insert, params: Sequence[Any]) -> ResultSet:
+        table = self.table(stmt.table)
+        values = {col: _bind(op, None, params)
+                  for col, op in zip(stmt.columns, stmt.values)}
+        with table.lock:
+            table.insert(values)
+        return ResultSet([], [], 1)
+
+    def _matching_rowids(self, table: Table, where: Optional[ast.Condition],
+                         params: Sequence[Any]) -> list[int]:
+        """Rowids matching ``where``; uses the PK index when possible."""
+        is_pk, pk_value = _pk_probe(where, table.primary_key, params)
+        if is_pk:
+            rowid = table.lookup_pk(pk_value)
+            self.rows_scanned += 1
+            return [] if rowid is None else [rowid]
+        matched = []
+        for rowid, row in table.scan():
+            self.rows_scanned += 1
+            if where is None or _eval_condition(where, row, params):
+                matched.append(rowid)
+        return matched
+
+    def _select(self, stmt: ast.Select, params: Sequence[Any]) -> ResultSet:
+        table = self.table(stmt.table)
+        with table.lock:
+            rowids = self._matching_rowids(table, stmt.where, params)
+            rows = [dict(table.get(rid)) for rid in rowids]
+        if stmt.count:
+            return ResultSet(["count"], [(len(rows),)], 0)
+        if stmt.order_by is not None:
+            if not table.has_column(stmt.order_by):
+                raise SQLError(f"unknown ORDER BY column {stmt.order_by!r}")
+            # NULLs sort first ascending (MySQL behaviour).
+            rows.sort(key=lambda r: (r[stmt.order_by] is not None, r[stmt.order_by]),
+                      reverse=stmt.descending)
+        if stmt.limit is not None:
+            rows = rows[:stmt.limit]
+        columns = list(stmt.columns) if stmt.columns else table.column_names()
+        for col in columns:
+            if not table.has_column(col):
+                raise SQLError(f"unknown column {col!r} in SELECT")
+        return ResultSet(columns, [tuple(r[c] for c in columns) for r in rows], 0)
+
+    def _update(self, stmt: ast.Update, params: Sequence[Any]) -> ResultSet:
+        table = self.table(stmt.table)
+        with table.lock:
+            rowids = self._matching_rowids(table, stmt.where, params)
+            for rowid in rowids:
+                row = table.get(rowid)
+                assignments = {col: _bind(op, row, params)
+                               for col, op in stmt.assignments}
+                table.update_row(rowid, assignments)
+        return ResultSet([], [], len(rowids))
+
+    def _delete(self, stmt: ast.Delete, params: Sequence[Any]) -> ResultSet:
+        table = self.table(stmt.table)
+        with table.lock:
+            rowids = self._matching_rowids(table, stmt.where, params)
+            for rowid in rowids:
+                table.delete_row(rowid)
+        return ResultSet([], [], len(rowids))

@@ -1,0 +1,68 @@
+"""Database snapshots: dump/load the engine's state as JSON (extension).
+
+RDS persists to storage; our in-memory engine needs an explicit snapshot
+for durability across process restarts (the CLI's ``janus serve`` uses the
+rules-file variant; tests and operators use these engine-level snapshots).
+The format is versioned, self-describing JSON: schema + rows per table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.errors import SQLError
+from repro.db.engine import Engine
+from repro.db.sql import ColumnDef
+from repro.db.table import Table
+
+__all__ = ["dump_engine", "load_engine", "SNAPSHOT_VERSION"]
+
+SNAPSHOT_VERSION = 1
+
+
+def dump_engine(engine: Engine, path: Union[str, Path]) -> int:
+    """Write every table (schema + rows) to ``path``; returns row count."""
+    payload = {"version": SNAPSHOT_VERSION, "name": engine.name, "tables": {}}
+    total = 0
+    for name in engine.table_names():
+        table = engine.table(name)
+        with table.lock:
+            columns = [{
+                "name": c.name, "type": c.type,
+                "primary_key": c.primary_key, "not_null": c.not_null,
+            } for c in table.columns]
+            rows = [dict(row) for _, row in table.scan()]
+        payload["tables"][name] = {"columns": columns, "rows": rows}
+        total += len(rows)
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return total
+
+
+def load_engine(path: Union[str, Path], *, name: str = "db") -> Engine:
+    """Rebuild an :class:`Engine` from a snapshot file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SQLError(f"snapshot not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SQLError(f"snapshot {path} is not valid JSON: {exc}") from exc
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SQLError(
+            f"snapshot version {payload.get('version')!r} unsupported "
+            f"(expected {SNAPSHOT_VERSION})")
+    engine = Engine(name or payload.get("name", "db"))
+    for table_name, spec in payload.get("tables", {}).items():
+        try:
+            columns = [ColumnDef(c["name"], c["type"],
+                                 bool(c.get("primary_key")),
+                                 bool(c.get("not_null")))
+                       for c in spec["columns"]]
+            table = Table(table_name, columns)
+            for row in spec["rows"]:
+                table.insert(row)
+        except (KeyError, TypeError) as exc:
+            raise SQLError(f"snapshot table {table_name!r} malformed: {exc}") from exc
+        engine._tables[table_name] = table
+    return engine

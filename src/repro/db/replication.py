@@ -1,0 +1,154 @@
+"""Multi-AZ master/standby database replication (paper §III-D).
+
+The paper deploys RDS MySQL "in a Multi-AZ fashion": a master in one
+availability zone, a standby in another, synchronous replication, and a DNS
+name (managed by Route53) that always resolves to the current master.  On
+master failure the standby is promoted and the DNS record flips.
+
+:class:`ReplicatedDatabase` reproduces that contract:
+
+- every mutating statement executed on the master is applied synchronously
+  to the standby via the engine's replication hook;
+- :meth:`fail_master` simulates an AZ failure: the standby is promoted to
+  master, the failed node is detached, and the registered
+  :class:`~repro.server.dns.DnsService` record (if any) is repointed;
+- reads and writes always go to the *current* master, addressed through the
+  stable :attr:`endpoint` name.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.errors import ReplicationError
+from repro.db.engine import Engine, ResultSet
+
+__all__ = ["ReplicatedDatabase"]
+
+
+class ReplicatedDatabase:
+    """A synchronous master/standby pair behind one stable endpoint name."""
+
+    def __init__(self, endpoint: str = "qos-db.cluster.local",
+                 master_az: str = "az-a", standby_az: str = "az-b"):
+        self.endpoint = endpoint
+        self._master = Engine(f"{endpoint}@{master_az}")
+        self._standby: Optional[Engine] = Engine(f"{endpoint}@{standby_az}")
+        self._master_az = master_az
+        self._standby_az = standby_az
+        self._lock = threading.RLock()
+        self._failovers = 0
+        # Optional callback invoked on failover with the new master's name;
+        # the DNS layer registers here to repoint the endpoint record.
+        self.on_failover: Optional[Callable[[str], None]] = None
+        self._attach_hook()
+
+    def _attach_hook(self) -> None:
+        def replicate(sql_text: str, params: tuple) -> None:
+            with self._lock:
+                standby = self._standby
+            if standby is not None:
+                standby.execute(sql_text, params)
+        self._master.replication_hook = replicate
+
+    # ------------------------------------------------------------------ #
+    # client-facing (same surface as Engine)
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql_text: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Execute against the current master (writes replicate)."""
+        with self._lock:
+            master = self._master
+        return master.execute(sql_text, params)
+
+    def table(self, name: str):
+        with self._lock:
+            return self._master.table(name)
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return self._master.table_names()
+
+    @property
+    def statements_executed(self) -> int:
+        with self._lock:
+            return self._master.statements_executed
+
+    @property
+    def rows_scanned(self) -> int:
+        with self._lock:
+            return self._master.rows_scanned
+
+    @property
+    def replication_hook(self):
+        """Engine-compat: chaining external hooks is not supported."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    @property
+    def master_name(self) -> str:
+        with self._lock:
+            return self._master.name
+
+    @property
+    def standby_name(self) -> Optional[str]:
+        with self._lock:
+            return self._standby.name if self._standby else None
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers
+
+    @property
+    def has_standby(self) -> bool:
+        with self._lock:
+            return self._standby is not None
+
+    def fail_master(self) -> str:
+        """Kill the master and promote the standby (§III-D failover).
+
+        Returns the new master's node name.  Raises
+        :class:`~repro.core.errors.ReplicationError` when no standby is
+        available (a double failure).
+        """
+        with self._lock:
+            if self._standby is None:
+                raise ReplicationError(
+                    f"{self.endpoint}: master failed with no standby available")
+            self._master = self._standby
+            self._standby = None
+            self._master_az, self._standby_az = self._standby_az, self._master_az
+            self._failovers += 1
+            self._attach_hook()
+            new_master = self._master.name
+        if self.on_failover is not None:
+            self.on_failover(new_master)
+        return new_master
+
+    def launch_standby(self) -> str:
+        """Provision a fresh standby and bulk-copy the master's state.
+
+        After a failover the operator launches a replacement standby; RDS
+        seeds it from a snapshot.  We copy table-by-table under the master
+        lock, then attach the synchronous hook.
+        """
+        with self._lock:
+            if self._standby is not None:
+                raise ReplicationError(f"{self.endpoint}: standby already present")
+            standby = Engine(f"{self.endpoint}@{self._standby_az}")
+            for name in self._master.table_names():
+                src = self._master.table(name)
+                with src.lock:
+                    columns = src.columns
+                    rows = [dict(row) for _, row in src.scan()]
+                from repro.db.table import Table
+                dst = Table(name, columns)
+                for row in rows:
+                    dst.insert(row)
+                standby._tables[name] = dst
+            self._standby = standby
+            return standby.name

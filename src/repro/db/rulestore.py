@@ -1,0 +1,118 @@
+"""The ``qos_rules`` table API (paper §II-D, §III-D).
+
+"The QoS rules table includes four columns - the QoS key, the refill rate,
+the capacity of the leaky bucket, and the remaining credit in the bucket."
+:class:`RuleStore` wraps an :class:`~repro.db.engine.Engine` (or the master
+side of a :class:`~repro.db.replication.ReplicatedDatabase`) and implements
+the :class:`~repro.core.admission.RuleSource` protocol the QoS servers
+consume, plus the provider-side admin CRUD and the full-table warm-up scan
+(``SELECT * FROM qos_rules``) the paper issues at startup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.errors import SQLError
+from repro.core.rules import QoSRule
+from repro.db.engine import Engine, ResultSet
+
+__all__ = ["RuleStore", "QOS_RULES_SCHEMA"]
+
+TABLE = "qos_rules"
+
+QOS_RULES_SCHEMA = (
+    f"CREATE TABLE IF NOT EXISTS {TABLE} ("
+    "qos_key TEXT PRIMARY KEY, "
+    "refill_rate REAL NOT NULL, "
+    "capacity REAL NOT NULL, "
+    "credit REAL)"
+)
+
+_SELECT_ONE = f"SELECT qos_key, refill_rate, capacity, credit FROM {TABLE} WHERE qos_key = ?"
+_SELECT_ALL = f"SELECT qos_key, refill_rate, capacity, credit FROM {TABLE}"
+_INSERT = f"INSERT INTO {TABLE} (qos_key, refill_rate, capacity, credit) VALUES (?, ?, ?, ?)"
+_UPDATE = f"UPDATE {TABLE} SET refill_rate = ?, capacity = ?, credit = ? WHERE qos_key = ?"
+_CHECKPOINT = f"UPDATE {TABLE} SET credit = ? WHERE qos_key = ?"
+_DELETE = f"DELETE FROM {TABLE} WHERE qos_key = ?"
+_COUNT = f"SELECT COUNT(*) FROM {TABLE}"
+
+
+def _row_to_rule(row: tuple) -> QoSRule:
+    key, refill_rate, capacity, credit = row
+    if credit is not None:
+        # A checkpoint written under an older, larger capacity must not
+        # violate the rule invariant 0 <= credit <= capacity.
+        credit = min(max(credit, 0.0), capacity)
+    return QoSRule(key=key, refill_rate=refill_rate, capacity=capacity, credit=credit)
+
+
+class RuleStore:
+    """RuleSource over the relational substrate."""
+
+    def __init__(self, engine: Optional[Engine] = None, *, create: bool = True):
+        self.engine = engine if engine is not None else Engine("qos-db")
+        if create:
+            self.engine.execute(QOS_RULES_SCHEMA)
+
+    # ------------------------------------------------------------------ #
+    # RuleSource protocol (QoS-server side)
+    # ------------------------------------------------------------------ #
+
+    def get_rule(self, key: str) -> Optional[QoSRule]:
+        """Point lookup by primary key — the lazy-fetch path (§II-D)."""
+        result = self.engine.execute(_SELECT_ONE, (key,))
+        row = result.first()
+        return None if row is None else _row_to_rule(row)
+
+    def get_rules(self, keys: Iterable[str]) -> Mapping[str, QoSRule]:
+        """Batch lookup used by the sync loop.
+
+        The paper's servers query "with the QoS keys in the local QoS rule
+        table"; we issue point lookups per key (each O(1) via the PK index),
+        the same access pattern a prepared-statement loop produces.
+        """
+        rules: Dict[str, QoSRule] = {}
+        for key in keys:
+            rule = self.get_rule(key)
+            if rule is not None:
+                rules[key] = rule
+        return rules
+
+    def checkpoint(self, credits: Mapping[str, float]) -> None:
+        """Write current credits back (crash-recovery seed, §II-D)."""
+        for key, credit in credits.items():
+            self.engine.execute(_CHECKPOINT, (float(credit), key))
+
+    # ------------------------------------------------------------------ #
+    # provider-side admin API
+    # ------------------------------------------------------------------ #
+
+    def put_rule(self, rule: QoSRule) -> None:
+        """Insert or update a rule (the provider selling/altering a plan)."""
+        updated = self.engine.execute(
+            _UPDATE, (rule.refill_rate, rule.capacity, rule.credit, rule.key))
+        if updated.rowcount == 0:
+            self.engine.execute(
+                _INSERT, (rule.key, rule.refill_rate, rule.capacity, rule.credit))
+
+    def delete_rule(self, key: str) -> bool:
+        """Remove a rule; the key falls back to the default rule on sync."""
+        return self.engine.execute(_DELETE, (key,)).rowcount > 0
+
+    def load_all(self) -> Dict[str, QoSRule]:
+        """The warm-up full scan: ``SELECT * FROM qos_rules`` (§III-D)."""
+        result: ResultSet = self.engine.execute(_SELECT_ALL)
+        return {row[0]: _row_to_rule(row) for row in result}
+
+    def count(self) -> int:
+        return int(self.engine.execute(_COUNT).scalar())
+
+    def approx_bytes(self) -> int:
+        """Estimated table footprint (paper: ~100 bytes/rule, ~10 GB/100 M)."""
+        try:
+            table = self.engine.table(TABLE)
+        except SQLError:
+            return 0
+        with table.lock:
+            return table.approx_bytes()

@@ -1,0 +1,537 @@
+"""A small SQL dialect: tokenizer, parser and AST (paper §II-D, §III-D).
+
+The database layer of Janus is "a traditional relational database" holding
+the ``qos_rules`` table; the paper's access paths are a full-table warm-up
+scan (``SELECT * FROM qos_rules``), single-row lookups by primary key,
+credit check-point updates, and admin CRUD.  This module implements a SQL
+subset rich enough for those paths (and for a realistic test surface):
+
+- ``CREATE TABLE t (col TYPE [PRIMARY KEY], ...)`` / ``DROP TABLE t``
+- ``INSERT INTO t (c1, c2, ...) VALUES (v1, v2, ...)``
+- ``SELECT */cols FROM t [WHERE ...] [ORDER BY col [ASC|DESC]] [LIMIT n]``
+- ``UPDATE t SET c = v, ... [WHERE ...]``
+- ``DELETE FROM t [WHERE ...]``
+- ``WHERE`` supports ``=, !=, <>, <, <=, >, >=`` over columns and literals,
+  combined with ``AND`` / ``OR`` / ``NOT`` and parentheses, plus ``IN
+  (...)`` and ``IS [NOT] NULL``.
+- ``?`` positional parameters, bound at execution time.
+
+Types are ``TEXT``, ``INTEGER`` and ``REAL``.  The executor lives in
+:mod:`repro.db.engine`; this module is purely syntactic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.core.errors import SQLError
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "Statement",
+    "CreateTable",
+    "DropTable",
+    "Insert",
+    "Select",
+    "Update",
+    "Delete",
+    "ColumnDef",
+    "Comparison",
+    "BooleanOp",
+    "NotOp",
+    "InList",
+    "IsNull",
+    "Literal",
+    "ColumnRef",
+    "Parameter",
+]
+
+# --------------------------------------------------------------------- #
+# Tokenizer
+# --------------------------------------------------------------------- #
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),*?;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "CREATE", "TABLE", "DROP", "IF", "EXISTS", "PRIMARY", "KEY", "NOT", "NULL",
+    "INSERT", "INTO", "VALUES", "SELECT", "FROM", "WHERE", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "UPDATE", "SET", "DELETE", "AND", "OR", "IN",
+    "IS", "TEXT", "INTEGER", "REAL", "COUNT",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str       # KEYWORD, IDENT, NUMBER, STRING, OP, PUNCT, EOF
+    value: Any
+    pos: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens; raises :class:`SQLError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SQLError(f"unexpected character {sql[pos]!r} at position {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        text = m.group()
+        if m.lastgroup == "number":
+            value: Any = float(text) if any(c in text for c in ".eE") else int(text)
+            tokens.append(Token("NUMBER", value, m.start()))
+        elif m.lastgroup == "string":
+            tokens.append(Token("STRING", text[1:-1].replace("''", "'"), m.start()))
+        elif m.lastgroup == "ident":
+            upper = text.upper()
+            if upper in _KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, m.start()))
+            else:
+                tokens.append(Token("IDENT", text, m.start()))
+        elif m.lastgroup == "op":
+            tokens.append(Token("OP", "!=" if text == "<>" else text, m.start()))
+        else:
+            tokens.append(Token("PUNCT", text, m.start()))
+    tokens.append(Token("EOF", None, len(sql)))
+    return tokens
+
+
+# --------------------------------------------------------------------- #
+# AST
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    index: int      # 0-based position among the statement's ? markers
+
+
+Operand = Union[Literal, ColumnRef, Parameter]
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    op: str         # one of = != < <= > >=
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True, slots=True)
+class BooleanOp:
+    op: str         # AND / OR
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True, slots=True)
+class NotOp:
+    operand: "Condition"
+
+
+@dataclass(frozen=True, slots=True)
+class InList:
+    column: ColumnRef
+    items: tuple[Operand, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    column: ColumnRef
+    negated: bool = False
+
+
+Condition = Union[Comparison, BooleanOp, NotOp, InList, IsNull]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    name: str
+    type: str               # TEXT / INTEGER / REAL
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DropTable:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Operand, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    table: str
+    columns: Optional[tuple[str, ...]]      # None means *
+    where: Optional[Condition] = None
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+    count: bool = False                     # SELECT COUNT(*)
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Operand], ...]
+    where: Optional[Condition] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    table: str
+    where: Optional[Condition] = None
+
+
+Statement = Union[CreateTable, DropTable, Insert, Select, Update, Delete]
+
+
+# --------------------------------------------------------------------- #
+# Parser (recursive descent)
+# --------------------------------------------------------------------- #
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str):
+        self._tokens = tokens
+        self._sql = sql
+        self._i = 0
+        self._param_count = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._i]
+        if tok.kind != "EOF":       # never step past the EOF sentinel
+            self._i += 1
+        return tok
+
+    def _error(self, message: str) -> SQLError:
+        tok = self._peek()
+        return SQLError(f"{message} (near position {tok.pos} in {self._sql!r})")
+
+    def _expect_keyword(self, *words: str) -> str:
+        tok = self._next()
+        if tok.kind != "KEYWORD" or tok.value not in words:
+            raise self._error(f"expected {'/'.join(words)}, got {tok.value!r}")
+        return tok.value
+
+    def _accept_keyword(self, *words: str) -> Optional[str]:
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in words:
+            self._i += 1
+            return tok.value
+        return None
+
+    def _expect_punct(self, ch: str) -> None:
+        tok = self._next()
+        if tok.kind != "PUNCT" or tok.value != ch:
+            raise self._error(f"expected {ch!r}, got {tok.value!r}")
+
+    def _accept_punct(self, ch: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "PUNCT" and tok.value == ch:
+            self._i += 1
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        tok = self._next()
+        if tok.kind == "IDENT":
+            return tok.value
+        # Allow keywords that are not reserved in context (e.g. a column
+        # named "key" is tokenized as IDENT since KEY alone is a keyword
+        # only after PRIMARY; be permissive for usability).
+        if tok.kind == "KEYWORD" and tok.value in ("KEY", "VALUES", "COUNT"):
+            return tok.value.lower()
+        raise self._error(f"expected identifier, got {tok.value!r}")
+
+    # -- entry ----------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        word = self._expect_keyword("CREATE", "DROP", "INSERT", "SELECT",
+                                    "UPDATE", "DELETE")
+        stmt: Statement
+        if word == "CREATE":
+            stmt = self._create_table()
+        elif word == "DROP":
+            stmt = self._drop_table()
+        elif word == "INSERT":
+            stmt = self._insert()
+        elif word == "SELECT":
+            stmt = self._select()
+        elif word == "UPDATE":
+            stmt = self._update()
+        else:
+            stmt = self._delete()
+        self._accept_punct(";")
+        if self._peek().kind != "EOF":
+            raise self._error("trailing tokens after statement")
+        return stmt
+
+    # -- statements -----------------------------------------------------
+    def _create_table(self) -> CreateTable:
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        table = self._expect_ident()
+        self._expect_punct("(")
+        columns: list[ColumnDef] = []
+        while True:
+            name = self._expect_ident()
+            type_tok = self._next()
+            if type_tok.kind != "KEYWORD" or type_tok.value not in ("TEXT", "INTEGER", "REAL"):
+                raise self._error(f"expected column type, got {type_tok.value!r}")
+            primary = False
+            not_null = False
+            while True:
+                if self._accept_keyword("PRIMARY"):
+                    self._expect_keyword("KEY")
+                    primary = True
+                elif self._accept_keyword("NOT"):
+                    self._expect_keyword("NULL")
+                    not_null = True
+                else:
+                    break
+            columns.append(ColumnDef(name, type_tok.value, primary, not_null or primary))
+            if self._accept_punct(","):
+                continue
+            self._expect_punct(")")
+            break
+        if sum(c.primary_key for c in columns) > 1:
+            raise SQLError(f"table {table!r} declares more than one PRIMARY KEY")
+        return CreateTable(table, tuple(columns), if_not_exists)
+
+    def _drop_table(self) -> DropTable:
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        return DropTable(self._expect_ident(), if_exists)
+
+    def _insert(self) -> Insert:
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        self._expect_punct("(")
+        columns: list[str] = []
+        while True:
+            columns.append(self._expect_ident())
+            if self._accept_punct(","):
+                continue
+            self._expect_punct(")")
+            break
+        self._expect_keyword("VALUES")
+        self._expect_punct("(")
+        values: list[Operand] = []
+        while True:
+            values.append(self._operand())
+            if self._accept_punct(","):
+                continue
+            self._expect_punct(")")
+            break
+        if len(columns) != len(values):
+            raise SQLError(
+                f"INSERT has {len(columns)} columns but {len(values)} values")
+        return Insert(table, tuple(columns), tuple(values))
+
+    def _select(self) -> Select:
+        columns: Optional[tuple[str, ...]]
+        count = False
+        if self._accept_punct("*"):
+            columns = None
+        elif self._accept_keyword("COUNT"):
+            self._expect_punct("(")
+            self._expect_punct("*")
+            self._expect_punct(")")
+            columns = None
+            count = True
+        else:
+            cols: list[str] = []
+            while True:
+                cols.append(self._expect_ident())
+                if not self._accept_punct(","):
+                    break
+            columns = tuple(cols)
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._where_clause()
+        order_by = None
+        descending = False
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._expect_ident()
+            if self._accept_keyword("DESC"):
+                descending = True
+            else:
+                self._accept_keyword("ASC")
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            tok = self._next()
+            if tok.kind != "NUMBER" or not isinstance(tok.value, int) or tok.value < 0:
+                raise self._error("LIMIT expects a non-negative integer")
+            limit = tok.value
+        return Select(table, columns, where, order_by, descending, limit, count)
+
+    def _update(self) -> Update:
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments: list[tuple[str, Operand]] = []
+        while True:
+            col = self._expect_ident()
+            tok = self._next()
+            if tok.kind != "OP" or tok.value != "=":
+                raise self._error("expected '=' in SET clause")
+            assignments.append((col, self._operand()))
+            if not self._accept_punct(","):
+                break
+        return Update(table, tuple(assignments), self._where_clause())
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        return Delete(table, self._where_clause())
+
+    # -- expressions ------------------------------------------------------
+    def _where_clause(self) -> Optional[Condition]:
+        if self._accept_keyword("WHERE"):
+            return self._or_expr()
+        return None
+
+    def _or_expr(self) -> Condition:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = BooleanOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Condition:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = BooleanOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Condition:
+        if self._accept_keyword("NOT"):
+            return NotOp(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Condition:
+        if self._accept_punct("("):
+            cond = self._or_expr()
+            self._expect_punct(")")
+            return cond
+        left = self._operand()
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in ("IN", "NOT", "IS"):
+            if not isinstance(left, ColumnRef):
+                raise self._error("IN / IS require a column on the left")
+            if self._accept_keyword("IS"):
+                negated = bool(self._accept_keyword("NOT"))
+                self._expect_keyword("NULL")
+                return IsNull(left, negated)
+            negated = False
+            if self._accept_keyword("NOT"):
+                negated = True
+            self._expect_keyword("IN")
+            self._expect_punct("(")
+            items: list[Operand] = []
+            while True:
+                items.append(self._operand())
+                if self._accept_punct(","):
+                    continue
+                self._expect_punct(")")
+                break
+            return InList(left, tuple(items), negated)
+        op_tok = self._next()
+        if op_tok.kind != "OP":
+            raise self._error(f"expected comparison operator, got {op_tok.value!r}")
+        right = self._operand()
+        return Comparison(op_tok.value, left, right)
+
+    def _operand(self) -> Operand:
+        tok = self._next()
+        if tok.kind == "NUMBER":
+            return Literal(tok.value)
+        if tok.kind == "STRING":
+            return Literal(tok.value)
+        if tok.kind == "KEYWORD" and tok.value == "NULL":
+            return Literal(None)
+        if tok.kind == "PUNCT" and tok.value == "?":
+            param = Parameter(self._param_count)
+            self._param_count += 1
+            return param
+        if tok.kind == "IDENT":
+            return ColumnRef(tok.value)
+        if tok.kind == "KEYWORD" and tok.value in ("KEY", "VALUES", "COUNT"):
+            return ColumnRef(tok.value.lower())
+        raise self._error(f"expected value, parameter or column, got {tok.value!r}")
+
+
+def parse(sql: str) -> tuple[Statement, int]:
+    """Parse one SQL statement.
+
+    Returns ``(statement, n_parameters)`` where ``n_parameters`` is the
+    number of ``?`` placeholders the caller must bind.
+    """
+    parser = _Parser(tokenize(sql), sql)
+    stmt = parser.parse_statement()
+    return stmt, parser._param_count
+
+
+def iter_operands(condition: Condition) -> Iterator[Operand]:
+    """Yield every operand in a condition tree (analysis helper)."""
+    if isinstance(condition, Comparison):
+        yield condition.left
+        yield condition.right
+    elif isinstance(condition, BooleanOp):
+        yield from iter_operands(condition.left)
+        yield from iter_operands(condition.right)
+    elif isinstance(condition, NotOp):
+        yield from iter_operands(condition.operand)
+    elif isinstance(condition, InList):
+        yield condition.column
+        yield from condition.items
+    elif isinstance(condition, IsNull):
+        yield condition.column
+    else:  # pragma: no cover - defensive
+        raise SQLError(f"unknown condition node {condition!r}")

@@ -1,0 +1,148 @@
+"""In-memory table storage with a primary-key index (paper §III-D).
+
+"We set the QoS key as the primary key in the QoS rules table to speed up
+queries" — the primary-key index here is a hash index giving O(1) point
+lookups, which is the only index the paper's workload needs.  Rows are
+stored as plain dicts; type checking follows the declared column types with
+the usual numeric coercions (int → REAL).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.core.errors import SQLError
+from repro.db.sql import ColumnDef
+
+__all__ = ["Table", "Row"]
+
+Row = Dict[str, Any]
+
+_PY_TYPES = {
+    "TEXT": str,
+    "INTEGER": int,
+    "REAL": float,
+}
+
+
+class Table:
+    """One table: schema, row storage, and an optional primary-key index."""
+
+    def __init__(self, name: str, columns: Iterable[ColumnDef]):
+        self.name = name
+        self.columns: tuple[ColumnDef, ...] = tuple(columns)
+        if not self.columns:
+            raise SQLError(f"table {name!r} must have at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SQLError(f"table {name!r} has duplicate column names")
+        self._by_name = {c.name: c for c in self.columns}
+        pks = [c.name for c in self.columns if c.primary_key]
+        self.primary_key: Optional[str] = pks[0] if pks else None
+        # rowid -> row; insertion-ordered, stable under deletes.
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 1
+        self._pk_index: Dict[Any, int] = {}
+        self.lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def coerce(self, column: str, value: Any) -> Any:
+        """Validate/coerce ``value`` for ``column``; raises SQLError."""
+        col = self._by_name.get(column)
+        if col is None:
+            raise SQLError(f"table {self.name!r} has no column {column!r}")
+        if value is None:
+            if col.not_null:
+                raise SQLError(f"column {self.name}.{column} is NOT NULL")
+            return None
+        expected = _PY_TYPES[col.type]
+        if col.type == "REAL" and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if col.type == "INTEGER" and isinstance(value, float) and value.is_integer():
+            return int(value)
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise SQLError(
+                f"column {self.name}.{column} expects {col.type}, "
+                f"got {type(value).__name__} ({value!r})")
+        return value
+
+    # ------------------------------------------------------------------ #
+    # mutation (caller holds ``lock``)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, values: Row) -> int:
+        """Insert a row (missing columns become NULL); returns the rowid."""
+        row: Row = {}
+        for col in self.columns:
+            row[col.name] = self.coerce(col.name, values.get(col.name))
+        for extra in values.keys() - row.keys():
+            raise SQLError(f"table {self.name!r} has no column {extra!r}")
+        if self.primary_key is not None:
+            pk_val = row[self.primary_key]
+            if pk_val in self._pk_index:
+                raise SQLError(
+                    f"duplicate primary key {pk_val!r} in table {self.name!r}")
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        if self.primary_key is not None:
+            self._pk_index[row[self.primary_key]] = rowid
+        return rowid
+
+    def update_row(self, rowid: int, assignments: Row) -> None:
+        row = self._rows[rowid]
+        new = dict(row)
+        for col, value in assignments.items():
+            new[col] = self.coerce(col, value)
+        if self.primary_key is not None and new[self.primary_key] != row[self.primary_key]:
+            pk_val = new[self.primary_key]
+            if pk_val in self._pk_index:
+                raise SQLError(
+                    f"duplicate primary key {pk_val!r} in table {self.name!r}")
+            del self._pk_index[row[self.primary_key]]
+            self._pk_index[pk_val] = rowid
+        self._rows[rowid] = new
+
+    def delete_row(self, rowid: int) -> None:
+        row = self._rows.pop(rowid)
+        if self.primary_key is not None:
+            self._pk_index.pop(row[self.primary_key], None)
+
+    # ------------------------------------------------------------------ #
+    # access (caller holds ``lock``)
+    # ------------------------------------------------------------------ #
+
+    def rowids(self) -> list[int]:
+        return list(self._rows.keys())
+
+    def get(self, rowid: int) -> Row:
+        return self._rows[rowid]
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        yield from self._rows.items()
+
+    def lookup_pk(self, value: Any) -> Optional[int]:
+        """O(1) primary-key point lookup; returns the rowid or None."""
+        return self._pk_index.get(value)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def approx_bytes(self) -> int:
+        """Rough memory footprint (the paper sizes rules at ~100 bytes)."""
+        if not self._rows:
+            return 0
+        sample_id = next(iter(self._rows))
+        sample = self._rows[sample_id]
+        per_row = sum(
+            len(v) if isinstance(v, str) else 8
+            for v in sample.values()) + 16
+        return per_row * len(self._rows)

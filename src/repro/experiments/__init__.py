@@ -1,0 +1,39 @@
+"""One module per paper table/figure, plus the shared harness.
+
+Each ``figN_*`` module exposes ``run()`` (structured results) and
+``report()`` (the plain-text analogue of the figure).  See
+:mod:`repro.experiments.runner` for the CLI and DESIGN.md for the
+experiment index.
+"""
+
+from repro.experiments import (  # noqa: F401 (re-exported submodules)
+    driver,
+    fig5_loadbalancer,
+    fig6_keypressure,
+    fig7_router_vertical,
+    fig8_router_horizontal,
+    fig9_router_scaling_compare,
+    fig10_qos_vertical,
+    fig11_qos_horizontal,
+    fig12_qos_scaling_compare,
+    fig13_integration,
+    scale,
+    scaling,
+    table1,
+)
+
+__all__ = [
+    "driver",
+    "fig5_loadbalancer",
+    "fig6_keypressure",
+    "fig7_router_vertical",
+    "fig8_router_horizontal",
+    "fig9_router_scaling_compare",
+    "fig10_qos_vertical",
+    "fig11_qos_horizontal",
+    "fig12_qos_scaling_compare",
+    "fig13_integration",
+    "scale",
+    "scaling",
+    "table1",
+]

@@ -1,0 +1,125 @@
+"""Shared DES measurement harness for the evaluation experiments.
+
+Encapsulates the paper's benchmarking procedure: build a deployment, load
+the rule table, warm it, drive it with a closed-loop client fleet sized to
+the configuration's capacity (the tuned ``ab -c`` of §V), and measure
+throughput and per-layer CPU over a steady-state window.
+
+Heavy-load runs use a 10 ms UDP timeout instead of the paper's 100 µs.  At
+saturation the QoS-server queue holds roughly ``headroom x base-latency``
+(~2 ms) of work, so a timeout below that triggers duplicate-decision retry
+storms that collapse one partition — the paper's testbed evidently ran its
+saturation sweeps without tripping this (their queues were shallower than
+their timeout); since these figures measure *throughput*, the timeout is
+not the object under test and is widened to keep the retry path out of the
+measurement.  Light-load latency experiments (Figs. 5 and 13) keep the
+faithful 100 µs, where first-attempt completion dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ClusterTopology, JanusConfig, RouterConfig, ServerConfig
+from repro.core.rules import QoSRule
+from repro.perfmodel.capacity import CapacityModel
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.server.cluster import SimJanusCluster
+from repro.workload.keygen import KeyCycle, uuid_keys
+from repro.workload.simclient import ClosedLoopClient
+
+__all__ = ["ThroughputPoint", "measure_throughput", "build_cluster",
+           "HEAVY_LOAD_ROUTER"]
+
+#: Router config for saturation runs (see module docstring).
+HEAVY_LOAD_ROUTER = RouterConfig(udp_timeout=10e-3, max_retries=5)
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputPoint:
+    """One measured operating point of a deployment."""
+
+    topology: ClusterTopology
+    throughput: float            # client-completed requests/second
+    qos_decisions_per_s: float   # server-side decisions (retries inflate)
+    router_cpu: float            # mean router-node CPU (0..1)
+    qos_cpu: float               # mean QoS-node CPU (0..1)
+    clients: int
+    default_replies: int
+    retries: int
+
+
+def build_cluster(
+    topology: ClusterTopology,
+    *,
+    n_rules: int = 2_000,
+    router_config: Optional[RouterConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 1,
+    prewarm: bool = True,
+) -> tuple[SimJanusCluster, list[str]]:
+    """A deployment pre-loaded with ``n_rules`` effectively-unlimited rules.
+
+    Throughput experiments must measure the framework, not the rules, so
+    every key gets a rate far above the offered load (the paper's sweeps
+    likewise draw keys whose quotas are not the binding constraint).
+    """
+    config = JanusConfig(
+        topology=topology,
+        router=router_config or RouterConfig(),
+        server=server_config or ServerConfig(workers=4),
+    )
+    cluster = SimJanusCluster(config, calibration=calibration, seed=seed)
+    keys = uuid_keys(n_rules, seed=seed)
+    for key in keys:
+        cluster.rules.put_rule(QoSRule(key, refill_rate=1e9, capacity=1e9))
+    if prewarm:
+        cluster.prewarm()
+    return cluster, keys
+
+
+def measure_throughput(
+    topology: ClusterTopology,
+    *,
+    window: float = 0.35,
+    warmup: float = 0.2,
+    n_rules: int = 2_000,
+    clients: Optional[int] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 1,
+) -> ThroughputPoint:
+    """Measure one deployment's sustained throughput in the simulator."""
+    cluster, keys = build_cluster(
+        topology, n_rules=n_rules, router_config=HEAVY_LOAD_ROUTER,
+        calibration=calibration, seed=seed)
+    if clients is None:
+        clients = CapacityModel(calibration).size_fleet(topology)
+    # Each client thread works its own shuffled key subset so the fleet's
+    # instantaneous load is decorrelated across QoS partitions (a shared
+    # cycle lets one slow partition convoy every client onto itself).
+    import random as _random
+    fleet = []
+    per_client = min(len(keys), 512)
+    for i in range(clients):
+        rng = _random.Random(seed * 7919 + i)
+        sample = rng.sample(keys, per_client)
+        fleet.append(ClosedLoopClient(cluster, f"ab-{i}", KeyCycle(sample),
+                                      mode="gateway"))
+    cluster.sim.run(until=warmup)
+    cluster.begin_window()
+    handled0 = [c.log for c in fleet]
+    n0 = sum(len(log) for log in handled0)
+    cluster.sim.run(until=warmup + window)
+    n1 = sum(len(c.log) for c in fleet)
+    return ThroughputPoint(
+        topology=topology,
+        throughput=(n1 - n0) / window,
+        qos_decisions_per_s=cluster.qos_throughput(),
+        router_cpu=cluster.router_cpu(),
+        qos_cpu=cluster.qos_cpu(),
+        clients=clients,
+        default_replies=sum(r.default_replies for r in cluster.routers),
+        retries=sum(r.retries for r in cluster.routers),
+    )

@@ -1,0 +1,40 @@
+"""Fig. 10 — vertical scalability of the QoS server (paper §V-C).
+
+One QoS server node swept over the c3 family behind five c3.8xlarge
+routers (fixed, over-provisioned).  Paper shape: throughput grows with
+instance size; routers sit far below saturation; the QoS server shows CPU
+under-utilization attributed to its table-lock implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import (
+    ScalingPoint,
+    scaling_report,
+    sweep,
+    vertical_points,
+)
+from repro.simnet.instances import C3_FAMILY
+
+__all__ = ["run", "report", "DEFAULT_VALIDATE"]
+
+DEFAULT_VALIDATE = ("c3.large", "c3.xlarge")
+
+
+def run(scale: Optional[Scale] = None,
+        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+    scale = scale or current_scale()
+    if validate is None:
+        validate = C3_FAMILY if scale.name == "paper" else DEFAULT_VALIDATE
+    return sweep(vertical_points("qos", C3_FAMILY),
+                 validate=validate, scale=scale)
+
+
+def report(points: Optional[list[ScalingPoint]] = None) -> str:
+    points = points or run()
+    return scaling_report(
+        "Fig. 10: QoS server vertical scaling "
+        "(5x c3.8xlarge routers vs 1 QoS server node)", points)

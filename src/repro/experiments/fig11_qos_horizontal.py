@@ -1,0 +1,63 @@
+"""Fig. 11 — horizontal scalability of the QoS server (paper §V-C).
+
+1–10 c3.xlarge QoS server nodes behind five c3.8xlarge routers.  Paper
+shape: linear growth, crossing 100 000 rps at 10 nodes (40 vCPU cores in
+the QoS layer — the headline claim); router CPU climbs with the added
+capacity while each QoS node stays saturated until the router layer
+becomes the limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import (
+    ScalingPoint,
+    horizontal_points,
+    scaling_report,
+    sweep,
+)
+
+__all__ = ["run", "report", "linearity_r2", "COUNTS", "DEFAULT_VALIDATE"]
+
+COUNTS = tuple(range(1, 11))
+DEFAULT_VALIDATE = ("2x c3.xlarge",)
+
+
+def run(scale: Optional[Scale] = None,
+        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+    scale = scale or current_scale()
+    if validate is None:
+        validate = (tuple(f"{n}x c3.xlarge" for n in COUNTS)
+                    if scale.name == "paper" else DEFAULT_VALIDATE)
+    return sweep(horizontal_points("qos", COUNTS),
+                 validate=validate, scale=scale)
+
+
+def linearity_r2(points: list[ScalingPoint]) -> float:
+    """R^2 of a through-origin linear fit to throughput vs node count."""
+    n = np.array([p.topology.n_qos_servers for p in points], dtype=float)
+    y = np.array([p.model_throughput for p in points])
+    slope = float((n @ y) / (n @ n))
+    residual = y - slope * n
+    return 1.0 - float(residual @ residual) / float(((y - y.mean()) ** 2).sum())
+
+
+def report(points: Optional[list[ScalingPoint]] = None) -> str:
+    from repro.metrics.ascii_chart import bar_chart
+    points = points or run()
+    table = scaling_report(
+        "Fig. 11: QoS server horizontal scaling "
+        "(5x c3.8xlarge routers vs N x c3.xlarge QoS servers)", points)
+    chart = bar_chart(
+        [p.label for p in points],
+        [p.model_throughput for p in points],
+        title="throughput (requests/second):", unit=" rps")
+    best = points[-1]
+    return (f"{table}\n\n{chart}\n"
+            f"linearity R^2 = {linearity_r2(points):.4f}; "
+            f"10 nodes (40 vCPU) -> {best.model_throughput / 1e3:.1f} k rps "
+            f"(paper: >100 k rps)")

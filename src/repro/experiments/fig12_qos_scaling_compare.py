@@ -1,0 +1,79 @@
+"""Fig. 12 — vertical vs horizontal scalability of the QoS server.
+
+Replots Figs. 10 and 11 against vCPU cores in the QoS layer.  Paper shape:
+"Janus achieves slightly higher throughput when vertical scaling is used"
+at equal vCPUs, but vertical scaling tops out at the biggest instance
+(32 vCPUs) while horizontal scaling keeps going (10 nodes = 40 vCPUs beats
+one c3.8xlarge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments import fig10_qos_vertical, fig11_qos_horizontal
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import ScalingPoint
+from repro.metrics.report import format_table
+
+__all__ = ["run", "report", "Fig12Result"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig12Result:
+    vertical: list[ScalingPoint]
+    horizontal: list[ScalingPoint]
+
+    def vertical_advantage(self) -> list[tuple[int, float]]:
+        """(vcpus, vertical/horizontal throughput ratio) at matching cores."""
+        by_cores_h = {p.swept_vcpus: p for p in self.horizontal}
+        out = []
+        for pv in self.vertical:
+            ph = by_cores_h.get(pv.swept_vcpus)
+            if ph is not None:
+                out.append((pv.swept_vcpus,
+                            pv.model_throughput / ph.model_throughput))
+        return out
+
+    @property
+    def horizontal_peak(self) -> float:
+        return max(p.model_throughput for p in self.horizontal)
+
+    @property
+    def vertical_peak(self) -> float:
+        return max(p.model_throughput for p in self.vertical)
+
+
+def run(scale: Optional[Scale] = None) -> Fig12Result:
+    scale = scale or current_scale()
+    return Fig12Result(
+        vertical=fig10_qos_vertical.run(scale, validate=()),
+        horizontal=fig11_qos_horizontal.run(scale, validate=()))
+
+
+def report(result: Optional[Fig12Result] = None) -> str:
+    result = result or run()
+    by_cores_h = {p.swept_vcpus: p for p in result.horizontal}
+    rows = []
+    for pv in result.vertical:
+        ph = by_cores_h.get(pv.swept_vcpus)
+        rows.append((
+            pv.swept_vcpus, pv.label, round(pv.model_throughput / 1e3, 1),
+            "-" if ph is None else ph.label,
+            "-" if ph is None else round(ph.model_throughput / 1e3, 1)))
+    for ph in result.horizontal:
+        if ph.swept_vcpus > max(p.swept_vcpus for p in result.vertical):
+            rows.append((ph.swept_vcpus, "-", "-", ph.label,
+                         round(ph.model_throughput / 1e3, 1)))
+    table = format_table(
+        ("vCPU", "vertical config", "k-rps", "horizontal config", "k-rps"),
+        rows,
+        title="Fig. 12: QoS server vertical vs horizontal scaling")
+    ratios = result.vertical_advantage()
+    mean_ratio = sum(r for _, r in ratios) / len(ratios) if ratios else 1.0
+    return (f"{table}\n"
+            f"vertical/horizontal throughput ratio at equal vCPUs: "
+            f"{mean_ratio:.3f} (paper: slightly > 1); "
+            f"horizontal peak {result.horizontal_peak / 1e3:.1f} k vs "
+            f"vertical peak {result.vertical_peak / 1e3:.1f} k rps")

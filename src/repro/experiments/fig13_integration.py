@@ -1,0 +1,192 @@
+"""Fig. 13 — application integration with the photo-sharing app (§V-D).
+
+Setup: the photo app (5 c3.xlarge web nodes behind an ELB, dedicated
+Memcached and MySQL helpers) integrated with a Janus deployment of 2
+c3.xlarge routers and 2 c3.xlarge QoS servers.  A client drives ~130 rps
+with added noise.
+
+Three runs reproduce both panels:
+
+- **custom rule** (refill 100 rps, capacity 1000): the client sustains 130
+  rps until the accumulated credit drains, then settles at 100 rps with
+  the excess throttled (Fig. 13a, upper pair);
+- **default rule** (refill 10 rps, capacity 100): the bucket empties within
+  seconds and the client settles at 10 rps (Fig. 13a, lower pair);
+- **no QoS**: the latency baseline of Fig. 13b.
+
+Paper latency anchors (Fig. 13b): P90 27 ms without QoS, 30 ms for accepted
+requests with QoS, rejected requests throttled in ~3 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.photoshare import PhotoShareApp
+from repro.core.config import (
+    AdmissionConfig,
+    ClusterTopology,
+    JanusConfig,
+    ServerConfig,
+)
+from repro.core.keys import ip_key
+from repro.core.rules import GUEST_ACCESS, QoSRule
+from repro.experiments.scale import Scale, current_scale
+from repro.metrics.histogram import LatencySummary
+from repro.metrics.report import format_series, format_table
+from repro.metrics.series import RequestLog
+from repro.server.cluster import SimJanusCluster
+from repro.workload.arrival import NoisyConstantArrivals
+
+__all__ = ["run", "report", "Fig13Result", "ScenarioTrace"]
+
+CLIENT_IP = "10.0.0.1"
+CLIENT_RATE = 130.0
+CUSTOM_RULE = QoSRule(ip_key(CLIENT_IP), refill_rate=100.0, capacity=1000.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioTrace:
+    """One Fig. 13 run: the request log plus derived statistics."""
+
+    name: str
+    log: RequestLog
+    duration: float
+
+    @property
+    def accepted_series(self) -> list[tuple[float, float]]:
+        return self.log.accepted.series(0.0, self.duration)
+
+    @property
+    def rejected_series(self) -> list[tuple[float, float]]:
+        return self.log.rejected.series(0.0, self.duration)
+
+    def accepted_summary(self) -> LatencySummary:
+        return self.log.latency_summary(allowed=True)
+
+    def rejected_summary(self) -> LatencySummary:
+        return self.log.latency_summary(allowed=False)
+
+    def steady_state_rates(self, tail: float = 10.0) -> tuple[float, float]:
+        """(accepted/s, rejected/s) over the final ``tail`` seconds."""
+        t0, t1 = self.duration - tail, self.duration
+        accepted = sum(1 for r in self.log.records
+                       if r.allowed and t0 <= r.finished_at < t1) / tail
+        rejected = sum(1 for r in self.log.records
+                       if not r.allowed and t0 <= r.finished_at < t1) / tail
+        return accepted, rejected
+
+
+@dataclass(frozen=True, slots=True)
+class Fig13Result:
+    custom: ScenarioTrace       # refill 100 / capacity 1000
+    default: ScenarioTrace      # refill 10 / capacity 100 (guest)
+    no_qos: ScenarioTrace
+
+
+def _run_scenario(name: str, *, with_qos: bool, known_ip: bool,
+                  duration: float, seed: int) -> ScenarioTrace:
+    janus: Optional[SimJanusCluster] = None
+    if with_qos:
+        config = JanusConfig(
+            topology=ClusterTopology(
+                n_routers=2, n_qos_servers=2,
+                router_instance="c3.xlarge", qos_instance="c3.xlarge"),
+            server=ServerConfig(
+                workers=4,
+                admission=AdmissionConfig(default_rule=GUEST_ACCESS)))
+        janus = SimJanusCluster(config, seed=seed)
+        if known_ip:
+            janus.rules.put_rule(CUSTOM_RULE)
+    if janus is not None:
+        sim, net, rng = janus.sim, janus.net, janus.rng
+    else:
+        from repro.simnet.engine import Simulation
+        from repro.simnet.network import Network
+        from repro.simnet.rng import RngRegistry
+        sim = Simulation()
+        rng = RngRegistry(seed)
+        net = Network(sim, rng)
+    app = PhotoShareApp(sim, net, rng, janus=janus)
+    log = RequestLog()
+    gaps = NoisyConstantArrivals(CLIENT_RATE, noise=0.08, seed=seed).gaps()
+    net.register_zone("test-client", "client")
+
+    def driver():
+        t_end = sim.now + duration
+        serial = 0
+        while sim.now < t_end:
+            yield next(gaps)
+            if sim.now >= t_end:
+                break
+            serial += 1
+            sim.spawn(one_request(), f"page{serial}")
+
+    def one_request():
+        t0 = sim.now
+        yield sim.timeout(net.tcp_connect_delay("test-client", "app-elb"))
+        yield sim.timeout(net.one_way("test-client", "app-elb"))
+        view = yield from app.index_page(CLIENT_IP)
+        yield sim.timeout(net.one_way("app-elb", "test-client"))
+        log.record(sim.now, sim.now - t0, view.allowed)
+
+    sim.spawn(driver(), "fig13-driver")
+    sim.run(until=duration + 2.0)
+    return ScenarioTrace(name=name, log=log, duration=duration)
+
+
+def run(scale: Optional[Scale] = None, seed: int = 13) -> Fig13Result:
+    scale = scale or current_scale()
+    duration = scale.fig13_duration
+    return Fig13Result(
+        custom=_run_scenario("refill=100 cap=1000", with_qos=True,
+                             known_ip=True, duration=duration, seed=seed),
+        default=_run_scenario("refill=10 cap=100", with_qos=True,
+                              known_ip=False, duration=duration, seed=seed),
+        no_qos=_run_scenario("no QoS", with_qos=False, known_ip=False,
+                             duration=duration, seed=seed))
+
+
+def report(result: Optional[Fig13Result] = None) -> str:
+    from repro.metrics.ascii_chart import line_chart
+    result = result or run()
+    blocks = []
+    # -- Fig. 13a: accepted/rejected rates over time (decimated) ----------
+    for trace in (result.custom, result.default):
+        acc = trace.accepted_series
+        rej = trace.rejected_series
+        step = max(1, len(acc) // 12)
+        rows = [(f"{t:.0f}", a, (rej[i][1] if i < len(rej) else 0.0))
+                for i, (t, a) in enumerate(acc)][::step]
+        blocks.append(format_table(
+            ("t (s)", "accepted/s", "rejected/s"), rows,
+            title=f"Fig. 13a [{trace.name}]"))
+        # Drop the final partial bin so the chart's tail is not an artifact.
+        blocks.append(line_chart(
+            acc[:-1], second=rej[:-1] if rej else None,
+            title=f"requests/second over time [{trace.name}]",
+            y_label="rps; x: seconds", markers="*o"))
+        a_rate, r_rate = trace.steady_state_rates()
+        blocks.append(f"steady state: {a_rate:.0f} accepted/s, "
+                      f"{r_rate:.0f} rejected/s")
+    # -- Fig. 13b: latency statistics -------------------------------------
+    rows = []
+    rows.append(("No QoS",) + _lat_row(result.no_qos.accepted_summary()))
+    rows.append(("Refill=100 accepted",) + _lat_row(result.custom.accepted_summary()))
+    rows.append(("Refill=10 accepted",) + _lat_row(result.default.accepted_summary()))
+    rej = result.default.log.latencies(allowed=False) + \
+        result.custom.log.latencies(allowed=False)
+    from repro.metrics.histogram import LatencySample
+    rows.append(("Rejected",) + _lat_row(LatencySample(rej).summary()))
+    blocks.append(format_table(
+        ("series", "mean (ms)", "P90", "P99", "P99.9"), rows,
+        title="Fig. 13b: latency statistics "
+              "(paper: no-QoS P90 27 ms, with-QoS 30 ms, rejected ~3 ms)"))
+    return "\n\n".join(blocks)
+
+
+def _lat_row(summary: LatencySummary) -> tuple:
+    s = summary.as_milliseconds()
+    return (round(s["mean_ms"], 2), round(s["p90_ms"], 2),
+            round(s["p99_ms"], 2), round(s["p999_ms"], 2))

@@ -1,0 +1,84 @@
+"""Fig. 5 — Gateway load balancer vs DNS load balancer round-trip latency.
+
+Setup (paper §V-A): two c3.8xlarge request routers, two c3.8xlarge QoS
+servers; two single-thread clients each issuing 100 000 QoS requests at a
+modest ~1 000 rps aggregate; metrics: average, P90, P99, P99.9.
+
+Paper result: DNS ≈ 1140 µs average / 1410 µs P90; gateway ≈ 1650 µs
+average / 2370 µs P90 — the gateway's extra TCP connection costs ~500 µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ClusterTopology
+from repro.experiments.driver import build_cluster
+from repro.experiments.scale import Scale, current_scale
+from repro.metrics.histogram import LatencySummary
+from repro.metrics.report import format_table
+from repro.workload.keygen import KeyCycle
+from repro.workload.simclient import ClosedLoopClient
+
+__all__ = ["run", "report", "Fig5Result"]
+
+#: Paper values (microseconds) for the report's side-by-side column.
+PAPER_US = {
+    "dns": {"mean": 1140, "p90": 1410},
+    "gateway": {"mean": 1650, "p90": 2370},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5Result:
+    dns: LatencySummary
+    gateway: LatencySummary
+
+    @property
+    def gateway_penalty(self) -> float:
+        """Mean extra latency of the gateway LB (the paper's ~500 µs)."""
+        return self.gateway.mean - self.dns.mean
+
+
+def _measure(mode: str, scale: Scale, seed: int) -> LatencySummary:
+    topology = ClusterTopology(
+        n_routers=2, n_qos_servers=2,
+        router_instance="c3.8xlarge", qos_instance="c3.8xlarge",
+        load_balancer=mode)
+    cluster, keys = build_cluster(topology, n_rules=500, seed=seed)
+    clients = [
+        ClosedLoopClient(cluster, f"client-{i}", KeyCycle(keys, i * 61),
+                         mode=mode, n_requests=scale.fig5_requests // 2)
+        for i in range(2)
+    ]
+    # Single-thread clients at ~1 ms/request: bound the run generously.
+    horizon = 2.0e-3 * scale.fig5_requests
+    cluster.sim.run(until=horizon)
+    merged = [r.latency for c in clients for r in c.log.records]
+    from repro.metrics.histogram import LatencySample
+    return LatencySample(merged).summary()
+
+
+def run(scale: Scale | None = None, seed: int = 5) -> Fig5Result:
+    scale = scale or current_scale()
+    return Fig5Result(
+        dns=_measure("dns", scale, seed),
+        gateway=_measure("gateway", scale, seed + 1))
+
+
+def report(result: Fig5Result | None = None) -> str:
+    result = result or run()
+    rows = []
+    for mode, summary in (("DNS LB", result.dns), ("Gateway LB", result.gateway)):
+        s = summary.as_microseconds()
+        paper = PAPER_US["dns" if mode == "DNS LB" else "gateway"]
+        rows.append((mode, int(s["mean_us"]), int(s["p90_us"]),
+                     int(s["p99_us"]), int(s["p999_us"]),
+                     paper["mean"], paper["p90"]))
+    table = format_table(
+        ("LB type", "mean (us)", "P90", "P99", "P99.9",
+         "paper mean", "paper P90"),
+        rows, title="Fig. 5: Gateway vs DNS load balancer latency")
+    return (f"{table}\n"
+            f"gateway penalty: {result.gateway_penalty * 1e6:.0f} us "
+            f"(paper: ~500 us)")

@@ -1,0 +1,65 @@
+"""Fig. 6 — key pressure of the request-routing hash (paper §V-B).
+
+500 000 QoS keys of four kinds (UUID, timestamp, English vocabulary,
+sequential numbers) are routed across 20 QoS servers with
+``CRC32(key) mod 20``.  Uniform routing means each server holds 5 % of the
+keys; the paper measures min 4.933 %, max 5.065 %, standard deviation
+< 0.03 % across all four populations.
+
+This experiment is exact (pure computation) and reproduces the paper's
+numbers in distribution, not just shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.hashing import key_pressure
+from repro.experiments.scale import Scale, current_scale
+from repro.metrics.report import format_table
+from repro.workload.keygen import KEY_POPULATIONS
+
+__all__ = ["run", "report", "PressureRow", "N_SERVERS"]
+
+N_SERVERS = 20
+
+
+@dataclass(frozen=True, slots=True)
+class PressureRow:
+    population: str
+    n_keys: int
+    min_pct: float
+    max_pct: float
+    std_pct: float
+
+    @property
+    def ideal_pct(self) -> float:
+        return 100.0 / N_SERVERS
+
+
+def run(scale: Scale | None = None, seed: int = 6) -> list[PressureRow]:
+    scale = scale or current_scale()
+    rows = []
+    for label, factory in KEY_POPULATIONS.items():
+        keys = factory(scale.fig6_keys, seed)
+        pressure = key_pressure(keys, N_SERVERS)
+        mean = sum(pressure) / len(pressure)
+        std = math.sqrt(sum((p - mean) ** 2 for p in pressure) / len(pressure))
+        rows.append(PressureRow(
+            population=label, n_keys=len(keys),
+            min_pct=min(pressure) * 100.0,
+            max_pct=max(pressure) * 100.0,
+            std_pct=std * 100.0))
+    return rows
+
+
+def report(rows: list[PressureRow] | None = None) -> str:
+    rows = rows or run()
+    table = format_table(
+        ("Key population", "keys", "min %", "max %", "std %", "ideal %"),
+        [(r.population, r.n_keys, round(r.min_pct, 3), round(r.max_pct, 3),
+          round(r.std_pct, 3), r.ideal_pct) for r in rows],
+        title=f"Fig. 6: key pressure across {N_SERVERS} QoS servers "
+              "(paper: min 4.933%, max 5.065%, std < 0.03%)")
+    return table

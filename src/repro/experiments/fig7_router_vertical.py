@@ -1,0 +1,41 @@
+"""Fig. 7 — vertical scalability of the request router (paper §V-B).
+
+One router node swept over the c3 family against a fixed c3.8xlarge QoS
+server.  Paper shape: throughput grows with instance size; small routers
+(c3.large/xlarge) run out of CPU, from c3.2xlarge upward mild router CPU
+under-utilization appears and pressure shifts to the QoS server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import (
+    ScalingPoint,
+    scaling_report,
+    sweep,
+    vertical_points,
+)
+from repro.simnet.instances import C3_FAMILY
+
+__all__ = ["run", "report", "DEFAULT_VALIDATE"]
+
+#: Simulator-validated points in the quick profile (all under paper scale).
+DEFAULT_VALIDATE = ("c3.large", "c3.xlarge")
+
+
+def run(scale: Optional[Scale] = None,
+        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+    scale = scale or current_scale()
+    if validate is None:
+        validate = C3_FAMILY if scale.name == "paper" else DEFAULT_VALIDATE
+    return sweep(vertical_points("router", C3_FAMILY),
+                 validate=validate, scale=scale)
+
+
+def report(points: Optional[list[ScalingPoint]] = None) -> str:
+    points = points or run()
+    return scaling_report(
+        "Fig. 7: request router vertical scaling "
+        "(1 router node vs 1x c3.8xlarge QoS server)", points)

@@ -1,0 +1,55 @@
+"""Fig. 8 — horizontal scalability of the request router (paper §V-B).
+
+1–10 c3.xlarge router nodes against a fixed c3.8xlarge QoS server.  Paper
+shape: linear growth that stops once the router layer out-runs the QoS
+server ("the processing capacity stops growing when there are more than 8
+nodes"), router CPU per node falling once past the plateau while the QoS
+server's CPU climbs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import (
+    ScalingPoint,
+    horizontal_points,
+    scaling_report,
+    sweep,
+)
+
+__all__ = ["run", "report", "plateau_index", "COUNTS", "DEFAULT_VALIDATE"]
+
+COUNTS = tuple(range(1, 11))
+DEFAULT_VALIDATE = ("2x c3.xlarge",)
+
+
+def run(scale: Optional[Scale] = None,
+        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+    scale = scale or current_scale()
+    if validate is None:
+        validate = (tuple(f"{n}x c3.xlarge" for n in COUNTS)
+                    if scale.name == "paper" else DEFAULT_VALIDATE)
+    return sweep(horizontal_points("router", COUNTS),
+                 validate=validate, scale=scale)
+
+
+def plateau_index(points: list[ScalingPoint], tolerance: float = 0.05) -> int:
+    """First node count whose throughput gain over the previous point is
+    below ``tolerance`` (the paper's '>8 nodes' plateau)."""
+    for i in range(1, len(points)):
+        prev, cur = points[i - 1].model_throughput, points[i].model_throughput
+        if cur < prev * (1.0 + tolerance):
+            return i + 1        # node counts are 1-based
+    return len(points) + 1
+
+
+def report(points: Optional[list[ScalingPoint]] = None) -> str:
+    points = points or run()
+    table = scaling_report(
+        "Fig. 8: request router horizontal scaling "
+        "(N x c3.xlarge routers vs 1x c3.8xlarge QoS server)", points)
+    return (f"{table}\n"
+            f"throughput plateaus at {plateau_index(points)} routers "
+            f"(paper: >8)")

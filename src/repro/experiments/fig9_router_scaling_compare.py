@@ -1,0 +1,67 @@
+"""Fig. 9 — vertical vs horizontal scalability of the request router.
+
+Replots Figs. 7 and 8 against vCPU cores in the router layer.  Paper
+shape: "with the same amount of vCPU cores in the request router layer,
+Janus achieves approximately the same throughput, regardless of the
+scaling technique being used."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments import fig7_router_vertical, fig8_router_horizontal
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.scaling import ScalingPoint
+from repro.metrics.report import format_table
+
+__all__ = ["run", "report", "Fig9Result", "max_relative_gap"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Result:
+    vertical: list[ScalingPoint]
+    horizontal: list[ScalingPoint]
+
+
+def run(scale: Optional[Scale] = None) -> Fig9Result:
+    scale = scale or current_scale()
+    return Fig9Result(
+        vertical=fig7_router_vertical.run(scale, validate=()),
+        horizontal=fig8_router_horizontal.run(scale, validate=()))
+
+
+def max_relative_gap(result: Fig9Result) -> float:
+    """Largest |vertical - horizontal| / vertical at matching vCPU counts,
+    restricted to points where the router layer is the bottleneck (beyond
+    it both curves sit on the same QoS ceiling by construction)."""
+    by_cores_h = {p.swept_vcpus: p for p in result.horizontal}
+    gaps = []
+    for pv in result.vertical:
+        ph = by_cores_h.get(pv.swept_vcpus)
+        if ph is None or "router" not in (pv.bottleneck, ph.bottleneck):
+            continue
+        gaps.append(abs(pv.model_throughput - ph.model_throughput)
+                    / pv.model_throughput)
+    return max(gaps) if gaps else 0.0
+
+
+def report(result: Optional[Fig9Result] = None) -> str:
+    result = result or run()
+    by_cores_h = {p.swept_vcpus: p for p in result.horizontal}
+    rows = []
+    for pv in result.vertical:
+        ph = by_cores_h.get(pv.swept_vcpus)
+        rows.append((
+            pv.swept_vcpus, pv.label,
+            round(pv.model_throughput / 1e3, 1),
+            "-" if ph is None else ph.label,
+            "-" if ph is None else round(ph.model_throughput / 1e3, 1)))
+    table = format_table(
+        ("vCPU", "vertical config", "k-rps", "horizontal config", "k-rps"),
+        rows,
+        title="Fig. 9: router vertical vs horizontal scaling at equal vCPUs")
+    return (f"{table}\n"
+            f"max relative gap: {max_relative_gap(result) * 100:.1f}% "
+            f"(paper: 'approximately the same')")

@@ -1,0 +1,75 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments.runner              # everything, quick scale
+    python -m repro.experiments.runner fig5 fig13   # a subset
+    REPRO_SCALE=paper python -m repro.experiments.runner   # full scale
+
+Output is the plain-text analogue of each paper table/figure; paper anchor
+values are embedded in each report for eyeball comparison (EXPERIMENTS.md
+records one full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    fig5_loadbalancer,
+    fig6_keypressure,
+    fig7_router_vertical,
+    fig8_router_horizontal,
+    fig9_router_scaling_compare,
+    fig10_qos_vertical,
+    fig11_qos_horizontal,
+    fig12_qos_scaling_compare,
+    fig13_integration,
+    table1,
+)
+from repro.experiments.scale import current_scale
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": table1.report,
+    "fig5": fig5_loadbalancer.report,
+    "fig6": fig6_keypressure.report,
+    "fig7": fig7_router_vertical.report,
+    "fig8": fig8_router_horizontal.report,
+    "fig9": fig9_router_scaling_compare.report,
+    "fig10": fig10_qos_vertical.report,
+    "fig11": fig11_qos_horizontal.report,
+    "fig12": fig12_qos_scaling_compare.report,
+    "fig13": fig13_integration.report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Janus paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[], *EXPERIMENTS][1:] if False else None,
+                        help=f"subset to run (default: all of "
+                             f"{', '.join(EXPERIMENTS)})")
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+    scale = current_scale()
+    print(f"# Janus reproduction — scale profile: {scale.name}\n")
+    for name in selected:
+        t0 = time.time()
+        print(f"## {name}\n")
+        print(EXPERIMENTS[name]())
+        print(f"\n[{name} finished in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Experiment scale control.
+
+The paper's runs use 100 k-request clients, 100 M-rule tables and minutes
+of wall time on a 15-node fleet; a laptop-core CI run cannot.  Every
+experiment reads its sizes from a :class:`Scale`, selected by the
+``REPRO_SCALE`` environment variable:
+
+- ``quick``  — seconds; used by the default test/benchmark runs.
+- ``paper``  — the paper's nominal sizes where feasible (minutes of wall
+  time for the DES points; the analytic sweeps are always full scale).
+
+Scaling down changes statistical tightness, not shape: the same code paths
+run, with fewer samples.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "current_scale", "QUICK", "PAPER"]
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Knobs every experiment sizes itself from."""
+
+    name: str
+    #: Requests per client in the Fig. 5 latency test (paper: 100 000).
+    fig5_requests: int
+    #: Keys per population in the Fig. 6 pressure test (paper: 500 000).
+    fig6_keys: int
+    #: Measurement window for DES throughput points (seconds).
+    des_window: float
+    #: Warm-up before the window opens (seconds).
+    des_warmup: float
+    #: Fig. 13 trace duration (paper: ~100 s shown).
+    fig13_duration: float
+    #: Rules pre-loaded into the database for throughput runs (paper: 100 M).
+    throughput_rules: int
+
+
+QUICK = Scale(name="quick", fig5_requests=4_000, fig6_keys=60_000,
+              des_window=0.35, des_warmup=0.2, fig13_duration=45.0,
+              throughput_rules=2_000)
+
+PAPER = Scale(name="paper", fig5_requests=100_000, fig6_keys=500_000,
+              des_window=1.5, des_warmup=0.5, fig13_duration=100.0,
+              throughput_rules=100_000)
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick").strip().lower()
+    if name == "paper":
+        return PAPER
+    if name in ("quick", ""):
+        return QUICK
+    raise ValueError(f"REPRO_SCALE must be 'quick' or 'paper', got {name!r}")

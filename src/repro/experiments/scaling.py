@@ -1,0 +1,140 @@
+"""Shared machinery for the scalability figures (7–12).
+
+Each figure is a sweep over deployments: the analytic
+:class:`~repro.perfmodel.capacity.CapacityModel` generates every point at
+the paper's full scale, and the discrete-event simulator re-measures a
+subset of points (all of them under ``REPRO_SCALE=paper``) to validate the
+model.  Reports show model, simulator (where run) and the relevant paper
+anchor values side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import ClusterTopology
+from repro.experiments.driver import ThroughputPoint, measure_throughput
+from repro.experiments.scale import Scale, current_scale
+from repro.metrics.report import format_table
+from repro.perfmodel.capacity import CapacityModel
+from repro.simnet.instances import get_instance
+
+__all__ = ["ScalingPoint", "sweep", "scaling_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """One x-axis point of a scalability figure."""
+
+    label: str
+    topology: ClusterTopology
+    #: vCPU cores in the *swept* layer (the Fig. 9/12 x-axis).
+    swept_vcpus: int
+    model_throughput: float
+    model_router_cpu: float
+    model_qos_cpu: float
+    bottleneck: str
+    sim: Optional[ThroughputPoint] = None
+
+    @property
+    def throughput(self) -> float:
+        """Best available throughput estimate (simulator wins if present)."""
+        return self.sim.throughput if self.sim is not None else self.model_throughput
+
+    @property
+    def router_cpu(self) -> float:
+        return self.sim.router_cpu if self.sim is not None else self.model_router_cpu
+
+    @property
+    def qos_cpu(self) -> float:
+        return self.sim.qos_cpu if self.sim is not None else self.model_qos_cpu
+
+
+def sweep(
+    points: Sequence[tuple[str, ClusterTopology, int]],
+    *,
+    validate: Iterable[str] = (),
+    scale: Optional[Scale] = None,
+    seed: int = 7,
+) -> list[ScalingPoint]:
+    """Run one figure's sweep.
+
+    ``points`` is (label, topology, swept_vcpus) per x-value; ``validate``
+    names the labels to re-measure in the simulator.
+    """
+    scale = scale or current_scale()
+    model = CapacityModel()
+    validate_set = set(validate)
+    out: list[ScalingPoint] = []
+    for label, topology, vcpus in points:
+        est = model.estimate(topology)
+        sim_point = None
+        if label in validate_set:
+            sim_point = measure_throughput(
+                topology, window=scale.des_window, warmup=scale.des_warmup,
+                n_rules=scale.throughput_rules, seed=seed)
+        out.append(ScalingPoint(
+            label=label, topology=topology, swept_vcpus=vcpus,
+            model_throughput=est.capacity,
+            model_router_cpu=model.rr_cpu_utilization(
+                est.capacity, topology.n_routers, topology.router_instance),
+            model_qos_cpu=model.qos_cpu_utilization(
+                est.capacity, topology.n_qos_servers, topology.qos_instance),
+            bottleneck=est.bottleneck,
+            sim=sim_point))
+    return out
+
+
+def scaling_report(title: str, points: Sequence[ScalingPoint]) -> str:
+    rows = []
+    for p in points:
+        rows.append((
+            p.label, p.swept_vcpus,
+            round(p.model_throughput / 1e3, 1),
+            "-" if p.sim is None else round(p.sim.throughput / 1e3, 1),
+            f"{p.router_cpu * 100:.0f}%",
+            f"{p.qos_cpu * 100:.0f}%",
+            p.bottleneck))
+    return format_table(
+        ("config", "vCPU", "model k-rps", "sim k-rps",
+         "RR CPU", "QoS CPU", "bottleneck"),
+        rows, title=title)
+
+
+def vertical_points(layer: str, instances: Sequence[str]) -> list[tuple[str, ClusterTopology, int]]:
+    """Topology list for a vertical-scaling sweep of one layer."""
+    points = []
+    for inst in instances:
+        if layer == "router":
+            topo = ClusterTopology(n_routers=1, n_qos_servers=1,
+                                   router_instance=inst,
+                                   qos_instance="c3.8xlarge")
+        elif layer == "qos":
+            topo = ClusterTopology(n_routers=5, n_qos_servers=1,
+                                   router_instance="c3.8xlarge",
+                                   qos_instance=inst)
+        else:
+            raise ValueError(f"layer must be 'router' or 'qos', got {layer!r}")
+        points.append((inst, topo, get_instance(inst).vcpus))
+    return points
+
+
+def horizontal_points(layer: str, counts: Sequence[int],
+                      instance: str = "c3.xlarge") -> list[tuple[str, ClusterTopology, int]]:
+    """Topology list for a horizontal-scaling sweep of one layer."""
+    points = []
+    vcpus = get_instance(instance).vcpus
+    for n in counts:
+        if layer == "router":
+            topo = ClusterTopology(n_routers=n, n_qos_servers=1,
+                                   router_instance=instance,
+                                   qos_instance="c3.8xlarge")
+        elif layer == "qos":
+            topo = ClusterTopology(n_routers=5, n_qos_servers=n,
+                                   router_instance="c3.8xlarge",
+                                   qos_instance=instance)
+        else:
+            raise ValueError(f"layer must be 'router' or 'qos', got {layer!r}")
+        points.append((f"{n}x {instance}", topo, n * vcpus))
+    return points

@@ -1,0 +1,31 @@
+"""Table I — EC2 instance types used in the evaluation."""
+
+from __future__ import annotations
+
+from repro.metrics.report import format_table
+from repro.simnet.instances import INSTANCE_TYPES, TABLE_I_ORDER
+
+__all__ = ["run", "report"]
+
+
+def run() -> list[dict]:
+    """Return Table I rows (name, vCPU, memory, network, price)."""
+    rows = []
+    for name in TABLE_I_ORDER:
+        inst = INSTANCE_TYPES[name]
+        rows.append({
+            "instance": inst.name,
+            "vcpu_cores": inst.vcpus,
+            "memory_gb": inst.memory_gb,
+            "network_mbps": inst.network_mbps,
+            "price_usd_hr": inst.price_usd_hr,
+        })
+    return rows
+
+
+def report() -> str:
+    rows = run()
+    return format_table(
+        ("Instance", "vCPU", "Memory (GB)", "Network (Mbps)", "Price (USD/hr)"),
+        [tuple(r.values()) for r in rows],
+        title="Table I: EC2 instance types")

@@ -1,0 +1,25 @@
+"""Measurement toolkit: latency percentiles, rate series, report rendering."""
+
+from repro.metrics.histogram import (
+    LatencyHistogram,
+    LatencySample,
+    LatencySummary,
+    PAPER_PERCENTILES,
+)
+from repro.metrics.report import format_kv, format_series, format_table
+from repro.metrics.series import RateSeries, RequestLog, RequestRecord
+from repro.metrics.windows import SlidingWindowLatency
+
+__all__ = [
+    "LatencyHistogram",
+    "LatencySample",
+    "LatencySummary",
+    "PAPER_PERCENTILES",
+    "RateSeries",
+    "RequestLog",
+    "RequestRecord",
+    "SlidingWindowLatency",
+    "format_kv",
+    "format_series",
+    "format_table",
+]

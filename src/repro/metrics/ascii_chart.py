@@ -1,0 +1,97 @@
+"""ASCII chart rendering for figure reports.
+
+The paper's figures are bar and line charts; the experiment reports print
+tables plus these terminal renderings so a run of
+``python -m repro.experiments.runner`` visually resembles the evaluation
+section.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def _fmt_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value / 1000:.1f}k"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 50, title: str = "",
+              unit: str = "") -> str:
+    """Horizontal bar chart (the Figs. 7a/10a shape).
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=10))   # doctest: +SKIP
+    """
+    if len(labels) != len(values) or not labels:
+        raise ConfigurationError("labels and values must match and be non-empty")
+    if width < 5:
+        raise ConfigurationError("width must be >= 5")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{str(label).rjust(label_width)} | "
+                     f"{bar.ljust(width)} {_fmt_value(value)}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Sequence[tuple[float, float]], *,
+               width: int = 60, height: int = 12, title: str = "",
+               y_label: str = "", second: Optional[Sequence[tuple[float, float]]] = None,
+               markers: str = "*o") -> str:
+    """Scatter/line chart on a character grid (the Fig. 13a shape).
+
+    ``second`` overlays another series with the second marker character.
+    """
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small")
+    all_points = list(series) + list(second or [])
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(max(ys), 1e-12)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(points: Sequence[tuple[float, float]], marker: str) -> None:
+        for x, y in points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    plot(series, markers[0])
+    if second:
+        plot(second, markers[1] if len(markers) > 1 else "o")
+    lines = [title] if title else []
+    top_label = _fmt_value(y_hi)
+    pad = max(len(top_label), len(_fmt_value(y_lo)))
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else ("0" if i == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + f"  {_fmt_value(x_lo)}"
+                 + " " * max(1, width - len(_fmt_value(x_lo))
+                             - len(_fmt_value(x_hi)) - 1)
+                 + _fmt_value(x_hi))
+    if y_label:
+        lines.append(f"[y: {y_label}; markers: "
+                     f"{markers[0]}=first"
+                     + (f", {markers[1]}=second" if second else "") + "]")
+    return "\n".join(lines)

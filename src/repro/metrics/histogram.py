@@ -1,0 +1,187 @@
+"""Latency statistics: reservoir-free exact percentiles + HDR-style bins.
+
+The paper reports average, P90, P99 and P99.9 round-trip latencies (Figs. 5
+and 13b).  :class:`LatencySample` stores every observation exactly (fine
+for ≤ a few million samples); :class:`LatencyHistogram` is the bounded-
+memory alternative with HDR-style logarithmic bins for long benchmark runs.
+Both expose the same ``summary()`` surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["LatencySample", "LatencyHistogram", "LatencySummary",
+           "PAPER_PERCENTILES"]
+
+#: The percentiles the paper's figures report.
+PAPER_PERCENTILES = (50.0, 90.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """The metrics row a figure reports, in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+
+    def as_microseconds(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean * 1e6,
+            "p50_us": self.p50 * 1e6,
+            "p90_us": self.p90 * 1e6,
+            "p99_us": self.p99 * 1e6,
+            "p999_us": self.p999 * 1e6,
+            "max_us": self.maximum * 1e6,
+        }
+
+    def as_milliseconds(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p90_ms": self.p90 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "p999_ms": self.p999 * 1e3,
+            "max_ms": self.maximum * 1e3,
+        }
+
+
+_EMPTY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencySample:
+    """Exact latency collection (stores every observation)."""
+
+    def __init__(self, values: Optional[Iterable[float]] = None):
+        self._values: list[float] = list(values) if values is not None else []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {seconds}")
+        self._values.append(seconds)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._values
+
+    def percentile(self, pct: float) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.percentile(np.asarray(self._values), pct))
+
+    def summary(self) -> LatencySummary:
+        if not self._values:
+            return _EMPTY
+        arr = np.asarray(self._values)
+        p50, p90, p99, p999 = np.percentile(arr, PAPER_PERCENTILES)
+        return LatencySummary(
+            count=len(arr), mean=float(arr.mean()), p50=float(p50),
+            p90=float(p90), p99=float(p99), p999=float(p999),
+            maximum=float(arr.max()))
+
+
+class LatencyHistogram:
+    """Bounded-memory log-binned histogram (HDR style).
+
+    Bins are spaced geometrically between ``min_value`` and ``max_value``
+    with ``bins_per_decade`` bins per factor of 10, giving a worst-case
+    relative quantile error of roughly ``10**(1/bins_per_decade) - 1``
+    (default < 2.4 %).
+    """
+
+    def __init__(self, min_value: float = 1e-6, max_value: float = 100.0,
+                 bins_per_decade: int = 100):
+        if not (0 < min_value < max_value):
+            raise ConfigurationError("need 0 < min_value < max_value")
+        if bins_per_decade < 1:
+            raise ConfigurationError("bins_per_decade must be >= 1")
+        self.min_value = min_value
+        self.max_value = max_value
+        self._log_min = math.log10(min_value)
+        self._scale = bins_per_decade
+        n_bins = int(math.ceil(
+            (math.log10(max_value) - self._log_min) * bins_per_decade)) + 1
+        self._counts = np.zeros(n_bins + 2, dtype=np.int64)  # +under/overflow
+        self._sum = 0.0
+        self._max = 0.0
+        self._count = 0
+
+    def _bin_of(self, value: float) -> int:
+        if value < self.min_value:
+            return 0
+        if value > self.max_value:
+            return len(self._counts) - 1
+        return 1 + int((math.log10(value) - self._log_min) * self._scale)
+
+    def _bin_value(self, index: int) -> float:
+        if index <= 0:
+            return self.min_value
+        if index >= len(self._counts) - 1:
+            return self.max_value
+        # geometric midpoint of the bin
+        lo = 10 ** (self._log_min + (index - 1) / self._scale)
+        hi = 10 ** (self._log_min + index / self._scale)
+        return math.sqrt(lo * hi)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {seconds}")
+        self._counts[self._bin_of(seconds)] += 1
+        self._sum += seconds
+        self._count += 1
+        if seconds > self._max:
+            self._max = seconds
+
+    def __len__(self) -> int:
+        return self._count
+
+    def percentile(self, pct: float) -> float:
+        if self._count == 0:
+            return 0.0
+        target = math.ceil(self._count * pct / 100.0)
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, target))
+        return self._bin_value(index)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Merge another histogram with identical binning into this one."""
+        if (other.min_value != self.min_value
+                or other._scale != self._scale
+                or len(other._counts) != len(self._counts)):
+            raise ConfigurationError("histograms have incompatible binning")
+        self._counts += other._counts
+        self._sum += other._sum
+        self._count += other._count
+        self._max = max(self._max, other._max)
+
+    def summary(self) -> LatencySummary:
+        if self._count == 0:
+            return _EMPTY
+        return LatencySummary(
+            count=self._count,
+            mean=self._sum / self._count,
+            p50=self.percentile(50.0),
+            p90=self.percentile(90.0),
+            p99=self.percentile(99.0),
+            p999=self.percentile(99.9),
+            maximum=self._max)

@@ -1,0 +1,58 @@
+"""Plain-text table/series rendering for experiment output.
+
+Every benchmark prints the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Iterable[tuple[float, float]],
+                  x_label: str = "t", y_label: str = "value",
+                  title: str = "") -> str:
+    """Render an (x, y) series as a two-column table."""
+    return format_table((x_label, y_label), series, title=title)
+
+
+def format_kv(pairs: Mapping[str, Any], title: str = "") -> str:
+    """Render a key/value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {_fmt(v)}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Time-binned counters and request logs (paper Fig. 13a).
+
+Fig. 13a plots *accepted requests per second* and *rejected requests per
+second* against time.  :class:`RateSeries` bins events into fixed windows;
+:class:`RequestLog` additionally keeps per-request records (latency,
+verdict, default-reply flag) feeding both the rate series and the latency
+histograms of Fig. 13b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.histogram import LatencySample, LatencySummary
+
+__all__ = ["RateSeries", "RequestLog", "RequestRecord"]
+
+
+class RateSeries:
+    """Events-per-bin counter over fixed time windows."""
+
+    def __init__(self, bin_seconds: float = 1.0):
+        if bin_seconds <= 0:
+            raise ConfigurationError(f"bin_seconds must be > 0, got {bin_seconds}")
+        self.bin_seconds = bin_seconds
+        self._bins: dict[int, int] = {}
+
+    def record(self, t: float, count: int = 1) -> None:
+        self._bins[int(t // self.bin_seconds)] = (
+            self._bins.get(int(t // self.bin_seconds), 0) + count)
+
+    def rate_at(self, t: float) -> float:
+        """Events/second in the bin containing ``t``."""
+        return self._bins.get(int(t // self.bin_seconds), 0) / self.bin_seconds
+
+    def series(self, t_start: float = 0.0,
+               t_end: Optional[float] = None) -> list[tuple[float, float]]:
+        """``(bin_start_time, events_per_second)`` pairs, gaps filled with 0."""
+        if not self._bins:
+            return []
+        first = int(t_start // self.bin_seconds)
+        last = (max(self._bins) if t_end is None
+                else int(t_end // self.bin_seconds))
+        return [(i * self.bin_seconds,
+                 self._bins.get(i, 0) / self.bin_seconds)
+                for i in range(first, last + 1)]
+
+    @property
+    def total(self) -> int:
+        return sum(self._bins.values())
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """One completed request as a client observed it."""
+
+    finished_at: float
+    latency: float
+    allowed: bool
+    is_default_reply: bool = False
+
+
+class RequestLog:
+    """Per-request log with derived rate series and latency summaries."""
+
+    def __init__(self, bin_seconds: float = 1.0):
+        self.records: list[RequestRecord] = []
+        self.accepted = RateSeries(bin_seconds)
+        self.rejected = RateSeries(bin_seconds)
+
+    def record(self, finished_at: float, latency: float, allowed: bool,
+               is_default_reply: bool = False) -> None:
+        self.records.append(RequestRecord(finished_at, latency, allowed,
+                                          is_default_reply))
+        (self.accepted if allowed else self.rejected).record(finished_at)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- derived views ----------------------------------------------------
+
+    def latency_summary(self, *, allowed: Optional[bool] = None) -> LatencySummary:
+        """Latency stats, optionally restricted to accepted/rejected requests."""
+        sample = LatencySample(
+            r.latency for r in self.records
+            if allowed is None or r.allowed == allowed)
+        return sample.summary()
+
+    def latencies(self, *, allowed: Optional[bool] = None) -> list[float]:
+        return [r.latency for r in self.records
+                if allowed is None or r.allowed == allowed]
+
+    @property
+    def n_allowed(self) -> int:
+        return sum(1 for r in self.records if r.allowed)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.records) - self.n_allowed
+
+    @property
+    def n_default_replies(self) -> int:
+        return sum(1 for r in self.records if r.is_default_reply)
+
+    def throughput(self, t_start: float, t_end: float) -> float:
+        """Completed requests/second inside [t_start, t_end)."""
+        if t_end <= t_start:
+            raise ConfigurationError("t_end must exceed t_start")
+        n = sum(1 for r in self.records if t_start <= r.finished_at < t_end)
+        return n / (t_end - t_start)

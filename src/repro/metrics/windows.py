@@ -1,0 +1,66 @@
+"""Sliding-window latency observation (load-balancer metrics).
+
+The paper lists "the average latency observed on the load balancer" as an
+Auto Scaling metric (§V-A).  :class:`SlidingWindowLatency` keeps the last
+``window`` seconds of observations and serves mean/percentile queries over
+them — the ELB CloudWatch-metric stand-in used by the latency-based
+autoscaler policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+import numpy as np
+
+from repro.core.clock import MONOTONIC, Clock
+from repro.core.errors import ConfigurationError
+
+__all__ = ["SlidingWindowLatency"]
+
+
+class SlidingWindowLatency:
+    """Ring of (timestamp, latency) pairs with windowed statistics."""
+
+    def __init__(self, window: float = 10.0, *, max_samples: int = 100_000,
+                 clock: Clock = MONOTONIC):
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        if max_samples < 1:
+            raise ConfigurationError("max_samples must be >= 1")
+        self.window = window
+        self.max_samples = max_samples
+        self._clock = clock
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self.total_recorded = 0
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        now = self._clock()
+        self._samples.append((now, latency))
+        self.total_recorded += 1
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window
+        while self._samples and (self._samples[0][0] < horizon
+                                 or len(self._samples) > self.max_samples):
+            self._samples.popleft()
+
+    def _values(self) -> np.ndarray:
+        self._evict(self._clock())
+        return np.array([lat for _, lat in self._samples])
+
+    def count(self) -> int:
+        self._evict(self._clock())
+        return len(self._samples)
+
+    def mean(self) -> float:
+        values = self._values()
+        return float(values.mean()) if values.size else 0.0
+
+    def percentile(self, pct: float) -> float:
+        values = self._values()
+        return float(np.percentile(values, pct)) if values.size else 0.0

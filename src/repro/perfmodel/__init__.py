@@ -1,0 +1,35 @@
+"""Analytic performance model: calibration, queueing laws, capacity.
+
+The closed-form counterpart of the cluster simulator.  Both share
+:class:`~repro.perfmodel.calibration.Calibration`; the experiments use the
+model for full-scale sweeps and the simulator for validation points.
+"""
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.capacity import CapacityModel, LayerEstimate, SystemEstimate
+from repro.perfmodel.cost import CostModel, DeploymentCost
+from repro.perfmodel.mmc import (
+    erlang_c,
+    mm1_wait_time,
+    mmc_residence_time,
+    mmc_wait_time,
+)
+from repro.perfmodel.usl import USLFit, amdahl_speedup, fit_usl, usl_capacity
+
+__all__ = [
+    "Calibration",
+    "CapacityModel",
+    "CostModel",
+    "DEFAULT_CALIBRATION",
+    "DeploymentCost",
+    "LayerEstimate",
+    "SystemEstimate",
+    "USLFit",
+    "amdahl_speedup",
+    "erlang_c",
+    "fit_usl",
+    "mm1_wait_time",
+    "mmc_residence_time",
+    "mmc_wait_time",
+    "usl_capacity",
+]

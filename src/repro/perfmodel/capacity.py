@@ -1,0 +1,177 @@
+"""Analytic capacity/latency model of a Janus deployment.
+
+Closed-form counterpart of the discrete-event simulator, sharing the same
+:class:`~repro.perfmodel.calibration.Calibration` constants.  The
+scalability figures (7–12) are generated from this model at the paper's
+full scale, while the simulator cross-validates selected points; the test
+suite asserts the two agree.
+
+Capacity composition: a node's throughput is its usable CPU divided by the
+per-request CPU cost, clamped by any serialized sections (the QoS table
+lock, the UDP listener thread, the router's accept path); a layer is the
+sum of its nodes ("no communication between the QoS servers"); the system
+is the minimum across layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ClusterTopology
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.mmc import mm1_wait_time, mmc_wait_time
+from repro.simnet.instances import get_instance
+from repro.simnet.network import CLIENT_LINK, INTERNAL_LINK
+
+__all__ = ["CapacityModel", "LayerEstimate", "SystemEstimate"]
+
+
+@dataclass(frozen=True, slots=True)
+class LayerEstimate:
+    """Capacity and the binding constraint for one layer."""
+
+    nodes: int
+    node_capacity: float
+    layer_capacity: float
+    binding: str            # which constraint binds on a node
+
+
+@dataclass(frozen=True, slots=True)
+class SystemEstimate:
+    """End-to-end estimate for a deployment at a given offered load."""
+
+    capacity: float                 # sustainable requests/second
+    bottleneck: str                 # "router" or "qos"
+    router: LayerEstimate
+    qos: LayerEstimate
+    base_latency: float             # light-load round trip (mean, seconds)
+
+
+class CapacityModel:
+    """Closed-form throughput / utilization / latency predictions."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION):
+        self.calib = calibration
+
+    # -- node / layer capacities -------------------------------------------
+
+    def _usable_cores(self, instance_name: str) -> float:
+        inst = get_instance(instance_name)
+        usable = inst.vcpus - self.calib.node_background_cores
+        if usable <= 0:
+            raise ConfigurationError(
+                f"{instance_name}: background load exceeds the core count")
+        return usable
+
+    def qos_node_capacity(self, instance_name: str) -> tuple[float, str]:
+        """Sustainable decisions/second for one QoS server node."""
+        c = self.calib
+        cpu_cap = self._usable_cores(instance_name) / c.qos_cpu_per_request
+        lock_cap = 1.0 / c.qos_cpu_serial
+        listener_cap = 1.0 / c.qos_cpu_listener
+        cap = min(cpu_cap, lock_cap, listener_cap)
+        binding = {cpu_cap: "cpu", lock_cap: "table-lock",
+                   listener_cap: "listener"}[cap]
+        return cap, binding
+
+    def rr_node_capacity(self, instance_name: str) -> tuple[float, str]:
+        """Sustainable requests/second for one request-router node."""
+        c = self.calib
+        cpu_cap = self._usable_cores(instance_name) / c.rr_cpu_per_request
+        accept_cap = 1.0 / c.rr_accept_serial
+        cap = min(cpu_cap, accept_cap)
+        return cap, ("cpu" if cap == cpu_cap else "accept")
+
+    def qos_layer(self, n_nodes: int, instance_name: str) -> LayerEstimate:
+        cap, binding = self.qos_node_capacity(instance_name)
+        return LayerEstimate(n_nodes, cap, n_nodes * cap, binding)
+
+    def rr_layer(self, n_nodes: int, instance_name: str) -> LayerEstimate:
+        cap, binding = self.rr_node_capacity(instance_name)
+        return LayerEstimate(n_nodes, cap, n_nodes * cap, binding)
+
+    # -- system ------------------------------------------------------------
+
+    def estimate(self, topology: ClusterTopology) -> SystemEstimate:
+        router = self.rr_layer(topology.n_routers, topology.router_instance)
+        qos = self.qos_layer(topology.n_qos_servers, topology.qos_instance)
+        if router.layer_capacity <= qos.layer_capacity:
+            capacity, bottleneck = router.layer_capacity, "router"
+        else:
+            capacity, bottleneck = qos.layer_capacity, "qos"
+        return SystemEstimate(
+            capacity=capacity, bottleneck=bottleneck, router=router, qos=qos,
+            base_latency=self.base_latency(topology.load_balancer))
+
+    # -- utilization at an operating point -----------------------------------
+
+    def rr_cpu_utilization(self, throughput: float, n_nodes: int,
+                           instance_name: str) -> float:
+        """Predicted mean router-node CPU fraction (includes background)."""
+        inst = get_instance(instance_name)
+        busy = (throughput * self.calib.rr_cpu_per_request / n_nodes
+                + self.calib.node_background_cores)
+        return min(1.0, busy / inst.vcpus)
+
+    def qos_cpu_utilization(self, throughput: float, n_nodes: int,
+                            instance_name: str) -> float:
+        """Predicted mean QoS-node CPU fraction (includes background)."""
+        inst = get_instance(instance_name)
+        busy = (throughput * self.calib.qos_cpu_per_request / n_nodes
+                + self.calib.node_background_cores)
+        return min(1.0, busy / inst.vcpus)
+
+    # -- latency --------------------------------------------------------------
+
+    def udp_leg_latency(self, qos_load: float = 0.0,
+                        qos_instance: str = "c3.8xlarge",
+                        n_qos: int = 1) -> float:
+        """Mean router→QoS→router time at a given per-layer load."""
+        c = self.calib
+        per_node = qos_load / n_qos if n_qos else 0.0
+        inst = get_instance(qos_instance)
+        burst = c.qos_cpu_decode + c.qos_cpu_serial + c.qos_cpu_respond
+        # Worker-path queueing: the node's cores process bursts + async
+        # overhead; approximate with M/M/c on the aggregate CPU demand.
+        queue = mmc_wait_time(per_node, c.qos_cpu_per_request, inst.vcpus) \
+            if per_node > 0 else 0.0
+        lock_wait = mm1_wait_time(per_node, c.qos_cpu_serial) \
+            if per_node > 0 else 0.0
+        return (2 * INTERNAL_LINK.mean() + c.qos_cpu_listener + burst
+                + min(queue, 50e-3) + min(lock_wait, 50e-3))
+
+    def base_latency(self, load_balancer: str = "gateway") -> float:
+        """Light-load mean client round trip (the Fig. 5 quantity)."""
+        c = self.calib
+        client_hop = CLIENT_LINK.mean()
+        rr_time = c.rr_cpu_on_path + c.rr_accept_serial + self.udp_leg_latency()
+        if load_balancer == "dns":
+            # connect (2 hops) + request + response
+            return 4 * client_hop + rr_time
+        if load_balancer == "gateway":
+            internal_hop = INTERNAL_LINK.mean()
+            # client->LB connect+request, LB->RR connect+forward, response
+            # back through the appliance.
+            return (4 * client_hop + 2 * c.lb_proc_time
+                    + 4 * internal_hop + rr_time)
+        raise ConfigurationError(f"unknown load balancer {load_balancer!r}")
+
+    def gateway_penalty(self) -> float:
+        """Predicted Fig. 5 gap between gateway and DNS load balancing."""
+        return self.base_latency("gateway") - self.base_latency("dns")
+
+    # -- experiment sizing ------------------------------------------------------
+
+    def size_fleet(self, topology: ClusterTopology, *,
+                   headroom: float = 1.15) -> int:
+        """Closed-loop client count that saturates without collapse.
+
+        Little's law: concurrency = capacity x latency; ``headroom``
+        overshoots slightly so the bottleneck stays pinned.  This mirrors
+        benchmarking practice with ``ab -c`` (and the paper's tuned client
+        fleet): enough outstanding requests to reach max throughput, not so
+        many that queueing blows past the UDP retry budget.
+        """
+        est = self.estimate(topology)
+        return max(2, int(round(est.capacity * est.base_latency * headroom)))

@@ -1,0 +1,107 @@
+"""Cost-efficiency analysis over the Table I catalog (extension).
+
+The paper reports prices (Table I) but never folds them into the
+evaluation.  This module answers the operator questions its data enables:
+dollars per million admission decisions for each deployment shape, the
+cheapest configuration for a target rate, and the cost angle on the
+vertical-vs-horizontal trade of Figs. 9/12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import ClusterTopology
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.capacity import CapacityModel
+from repro.simnet.instances import C3_FAMILY, get_instance
+
+__all__ = ["DeploymentCost", "CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentCost:
+    """Price/performance of one deployment at capacity."""
+
+    topology: ClusterTopology
+    capacity_rps: float
+    usd_per_hour: float
+
+    @property
+    def usd_per_million_decisions(self) -> float:
+        """Dollars per 10^6 admissions at full utilization."""
+        decisions_per_hour = self.capacity_rps * 3600.0
+        return self.usd_per_hour / decisions_per_hour * 1e6
+
+    @property
+    def headroom(self) -> float:
+        return self.capacity_rps
+
+
+class CostModel:
+    """Price-aware wrapper around :class:`CapacityModel`."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION):
+        self.capacity = CapacityModel(calibration)
+
+    def hourly_cost(self, topology: ClusterTopology) -> float:
+        """USD/hour for the router + QoS layers (LB/DB are managed/fixed)."""
+        return (topology.n_routers
+                * get_instance(topology.router_instance).price_usd_hr
+                + topology.n_qos_servers
+                * get_instance(topology.qos_instance).price_usd_hr)
+
+    def evaluate(self, topology: ClusterTopology) -> DeploymentCost:
+        estimate = self.capacity.estimate(topology)
+        return DeploymentCost(
+            topology=topology,
+            capacity_rps=estimate.capacity,
+            usd_per_hour=self.hourly_cost(topology))
+
+    # ------------------------------------------------------------------ #
+
+    def qos_marginal_cost(self, instance: str) -> float:
+        """USD per million decisions of one QoS node at saturation.
+
+        Since c3 pricing is linear in vCPUs while capacity is slightly
+        super-linear (the per-node background tax amortizes), bigger
+        instances are mildly cheaper per decision — the cost expression of
+        Fig. 12's 'vertical slightly higher'.
+        """
+        node_capacity, _ = self.capacity.qos_node_capacity(instance)
+        price = get_instance(instance).price_usd_hr
+        return price / (node_capacity * 3600.0) * 1e6
+
+    def cheapest_for(self, target_rps: float, *,
+                     router_instance: str = "c3.xlarge",
+                     qos_instances: Sequence[str] = C3_FAMILY,
+                     max_nodes: int = 32) -> Optional[DeploymentCost]:
+        """Cheapest deployment meeting ``target_rps``, or None."""
+        if target_rps <= 0:
+            raise ConfigurationError(f"target_rps must be > 0, got {target_rps}")
+        rr_capacity, _ = self.capacity.rr_node_capacity(router_instance)
+        n_routers = max(2, int(target_rps / rr_capacity) + 1)
+        best: Optional[DeploymentCost] = None
+        for qos_instance in qos_instances:
+            node_capacity, _ = self.capacity.qos_node_capacity(qos_instance)
+            n_nodes = int(target_rps // node_capacity) + 1
+            if n_nodes > max_nodes:
+                continue
+            topology = ClusterTopology(
+                n_routers=n_routers, n_qos_servers=n_nodes,
+                router_instance=router_instance, qos_instance=qos_instance)
+            cost = self.evaluate(topology)
+            if cost.capacity_rps < target_rps:
+                continue
+            if best is None or cost.usd_per_hour < best.usd_per_hour:
+                best = cost
+        return best
+
+    def efficiency_table(self, instances: Sequence[str] = C3_FAMILY
+                         ) -> List[tuple[str, float, float]]:
+        """(instance, capacity rps, USD per million decisions) rows."""
+        return [(name, self.capacity.qos_node_capacity(name)[0],
+                 self.qos_marginal_cost(name))
+                for name in instances]

@@ -1,0 +1,62 @@
+"""M/M/c queueing approximations for latency under load.
+
+Used by the analytic model to predict queueing delay at a node as offered
+load approaches capacity (the knee in every latency-vs-load curve), and by
+tests as an independent check on the simulator's queue behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["erlang_c", "mmc_wait_time", "mmc_residence_time", "mm1_wait_time"]
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Erlang C: probability an arrival must queue in an M/M/c system.
+
+    ``offered_load`` is a = lambda/mu (in Erlangs); requires a < c.
+    """
+    if c < 1:
+        raise ConfigurationError(f"c must be >= 1, got {c}")
+    if offered_load < 0:
+        raise ConfigurationError(f"offered_load must be >= 0, got {offered_load}")
+    if offered_load >= c:
+        return 1.0
+    rho = offered_load / c
+    # Stable iterative computation of a^c/c! relative to the partial sum.
+    term = 1.0
+    partial = 1.0
+    for k in range(1, c):
+        term *= offered_load / k
+        partial += term
+    term *= offered_load / c
+    numerator = term / (1.0 - rho)
+    return numerator / (partial + numerator)
+
+
+def mmc_wait_time(arrival_rate: float, service_time: float, c: int) -> float:
+    """Mean queueing delay (excluding service) in an M/M/c system.
+
+    Returns ``inf`` when the system is unstable (rho >= 1).
+    """
+    if arrival_rate < 0 or service_time <= 0:
+        raise ConfigurationError("need arrival_rate >= 0 and service_time > 0")
+    offered = arrival_rate * service_time
+    if offered >= c:
+        return float("inf")
+    pw = erlang_c(c, offered)
+    return pw * service_time / (c * (1.0 - offered / c))
+
+
+def mmc_residence_time(arrival_rate: float, service_time: float, c: int) -> float:
+    """Mean time in system (queue + service)."""
+    wait = mmc_wait_time(arrival_rate, service_time, c)
+    return wait + service_time if math.isfinite(wait) else float("inf")
+
+
+def mm1_wait_time(arrival_rate: float, service_time: float) -> float:
+    """M/M/1 mean queueing delay — the lock critical-section model."""
+    return mmc_wait_time(arrival_rate, service_time, 1)

@@ -1,0 +1,91 @@
+"""Scalability laws: Amdahl and the Universal Scalability Law (USL).
+
+Used to (a) generate the analytic scaling curves behind Figs. 7–12 and
+(b) *fit* measured sweeps — the tests fit the simulator's output and check
+the contention coefficients stay small (near-linear scaling, the paper's
+headline claim).
+
+USL: ``C(N) = N / (1 + sigma*(N-1) + kappa*N*(N-1))`` where ``sigma`` is
+contention (serialization) and ``kappa`` coherency (crosstalk).  Janus's
+design argument is precisely that inter-node kappa is zero because nodes in
+a layer never communicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["amdahl_speedup", "usl_capacity", "USLFit", "fit_usl"]
+
+
+def amdahl_speedup(n: float, serial_fraction: float) -> float:
+    """Amdahl's law speedup for ``n`` processors."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not (0.0 <= serial_fraction <= 1.0):
+        raise ConfigurationError(f"serial_fraction must be in [0,1], got {serial_fraction}")
+    return n / (1.0 + serial_fraction * (n - 1.0))
+
+
+def usl_capacity(n: float, sigma: float, kappa: float, unit_rate: float = 1.0) -> float:
+    """USL relative capacity at concurrency/node-count ``n``."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return unit_rate * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0))
+
+
+@dataclass(frozen=True, slots=True)
+class USLFit:
+    """Result of fitting USL to a measured (n, throughput) sweep."""
+
+    unit_rate: float      # throughput of one node/core
+    sigma: float          # contention coefficient
+    kappa: float          # coherency coefficient
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return usl_capacity(n, self.sigma, self.kappa, self.unit_rate)
+
+    @property
+    def peak_n(self) -> float:
+        """Concurrency at which USL predicts peak throughput."""
+        if self.kappa <= 0:
+            return float("inf")
+        return float(np.sqrt((1.0 - self.sigma) / self.kappa))
+
+
+def fit_usl(ns: Sequence[float], throughputs: Sequence[float]) -> USLFit:
+    """Least-squares USL fit (linearized quadratic form).
+
+    With ``x = n`` and ``y = n/normalized_throughput``, USL becomes the
+    quadratic ``y = kappa*x^2 + (sigma - kappa)*x + (1 - sigma)``, fit with
+    a constrained linear least squares; coefficients are clamped to be
+    non-negative.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    tp = np.asarray(throughputs, dtype=float)
+    if ns_arr.shape != tp.shape or ns_arr.size < 3:
+        raise ConfigurationError("need >= 3 matching (n, throughput) points")
+    if np.any(ns_arr < 1) or np.any(tp <= 0):
+        raise ConfigurationError("n must be >= 1 and throughput > 0")
+    unit = tp[ns_arr == ns_arr.min()][0] / ns_arr.min()
+    rel = tp / unit                                  # relative capacity
+    y = ns_arr / rel
+    design = np.column_stack([ns_arr ** 2, ns_arr, np.ones_like(ns_arr)])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    a, b, c = coef
+    kappa = max(0.0, float(a))
+    sigma = max(0.0, float(b + kappa))
+    # Recompute unit rate so predictions match the data in scale.
+    pred_rel = np.array([usl_capacity(n, sigma, kappa) for n in ns_arr])
+    unit_rate = float(np.sum(tp * pred_rel) / np.sum(pred_rel ** 2))
+    pred = unit_rate * pred_rel
+    ss_res = float(np.sum((tp - pred) ** 2))
+    ss_tot = float(np.sum((tp - tp.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return USLFit(unit_rate=unit_rate, sigma=sigma, kappa=kappa, r_squared=r2)

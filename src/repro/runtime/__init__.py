@@ -1,0 +1,21 @@
+"""Real-socket Janus runtime: UDP QoS servers, HTTP routers, LB, client.
+
+The same :mod:`repro.core` admission logic as the simulator, over actual
+localhost sockets.  :class:`~repro.runtime.cluster.LocalCluster` boots a
+full deployment in one process.
+"""
+
+from repro.runtime.client import QoSCheckResult, QoSClient
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.http_router import RequestRouterDaemon
+from repro.runtime.loadbalancer import GatewayLoadBalancerDaemon
+from repro.runtime.udp_server import QoSServerDaemon
+
+__all__ = [
+    "GatewayLoadBalancerDaemon",
+    "LocalCluster",
+    "QoSCheckResult",
+    "QoSClient",
+    "QoSServerDaemon",
+    "RequestRouterDaemon",
+]

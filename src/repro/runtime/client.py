@@ -1,0 +1,116 @@
+"""QoS client for the real runtime (the paper's ``qos_client.php``).
+
+:class:`QoSClient` keeps one persistent HTTP connection per thread to the
+Janus endpoint (load balancer or a router directly) and exposes
+:meth:`check` — the boolean key-value exchange the paper integrates into
+applications with three lines of code::
+
+    client = QoSClient("http://127.0.0.1:8080")
+    if client.check(remote_addr):
+        serve()
+    else:
+        throttle_403()
+
+``fail_open`` controls what a *transport* failure (endpoint down) maps to;
+the QoS protocol's own default-reply mechanism is separate and handled by
+the router (§III-B).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+from urllib.parse import quote, urlparse
+
+from repro.core.errors import CommunicationError
+
+__all__ = ["QoSClient", "QoSCheckResult"]
+
+
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    """HTTPConnection with Nagle disabled (loopback latency)."""
+
+    def connect(self) -> None:
+        super().connect()
+        import socket as _socket
+        self.sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class QoSCheckResult:
+    """Full response of one QoS check."""
+
+    allowed: bool
+    is_default_reply: bool
+    attempts: int
+    latency: float
+
+
+class QoSClient:
+    """Thread-safe client for a Janus HTTP endpoint."""
+
+    def __init__(self, endpoint: str, *, timeout: float = 5.0,
+                 fail_open: bool = True):
+        parsed = urlparse(endpoint)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise CommunicationError(f"unsupported endpoint {endpoint!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.fail_open = fail_open
+        self._local = threading.local()
+        self.transport_errors = 0
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = _NoDelayHTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            self._local.conn = conn
+        return conn
+
+    def check_detailed(self, key: str, cost: float = 1.0) -> QoSCheckResult:
+        """One QoS request; returns the full result."""
+        path = f"/qos?key={quote(key, safe='')}&cost={cost}"
+        t0 = time.monotonic()
+        for fresh in (False, True):
+            conn = self._connection()
+            try:
+                if fresh:
+                    conn.close()
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = response.read()
+                if response.status != 200:
+                    raise CommunicationError(
+                        f"endpoint returned HTTP {response.status}")
+                payload = json.loads(body)
+                return QoSCheckResult(
+                    allowed=bool(payload["allow"]),
+                    is_default_reply=bool(payload.get("default", False)),
+                    attempts=int(payload.get("attempts", 1)),
+                    latency=time.monotonic() - t0)
+            except (OSError, http.client.HTTPException, json.JSONDecodeError,
+                    KeyError, ValueError):
+                # Stale keep-alive connection: retry once on a fresh one.
+                self._local.conn = None
+                if fresh:
+                    break
+        self.transport_errors += 1
+        return QoSCheckResult(
+            allowed=self.fail_open, is_default_reply=True, attempts=0,
+            latency=time.monotonic() - t0)
+
+    def check(self, key: str, cost: float = 1.0) -> bool:
+        """The paper's ``qos_check($key)``: TRUE admits, FALSE throttles."""
+        return self.check_detailed(key, cost).allowed
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None

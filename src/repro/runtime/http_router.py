@@ -1,0 +1,217 @@
+"""Real HTTP request router (paper §III-B, over actual sockets).
+
+A stateless threaded HTTP server.  ``GET /qos?key=<k>[&cost=<c>]`` selects
+the backend QoS server with ``CRC32(key) mod N`` and exchanges one UDP
+datagram with it under the configured timeout-and-retry policy, answering
+the client with a small JSON body:
+
+    {"allow": true, "default": false, "attempts": 1}
+
+``GET /healthz`` answers 200 (load-balancer health checks).
+
+Each handler thread keeps a private UDP socket (``threading.local``), so
+concurrent requests never interleave datagrams on one socket; a stale
+response from an earlier retry is discarded by request-id matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.config import RouterConfig
+from repro.core.errors import ProtocolError
+from repro.core.hashing import crc32_router
+from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator, decode
+
+__all__ = ["RequestRouterDaemon"]
+
+
+class RequestRouterDaemon:
+    """One request-router node bound to a local HTTP port."""
+
+    def __init__(
+        self,
+        qos_servers: Sequence[tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[RouterConfig] = None,
+        name: str = "router",
+    ):
+        if not qos_servers:
+            raise ValueError("router needs at least one QoS server address")
+        self.qos_servers = list(qos_servers)
+        self.config = config or RouterConfig(udp_timeout=0.05)
+        self.name = name
+        self._ids = RequestIdGenerator()
+        self._local = threading.local()
+        self.requests_handled = 0
+        self.default_replies = 0
+        self.retries = 0
+        self._stats_lock = threading.Lock()
+        router = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Loopback HTTP with Nagle + delayed ACK costs ~40 ms per
+            # request; admission control cannot afford that.
+            disable_nagle_algorithm = True
+
+            def log_message(self, fmt, *args):    # silence default stderr log
+                pass
+
+            def do_GET(self):                      # noqa: N802 (stdlib API)
+                parsed = urlparse(self.path)
+                if parsed.path == "/healthz":
+                    self._reply(200, {"status": "ok"})
+                    return
+                if parsed.path == "/stats":
+                    self._reply(200, router.stats())
+                    return
+                if parsed.path == "/metrics":
+                    payload = router.prometheus_metrics().encode()
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     "text/plain; version=0.0.4")
+                    self.send_header("Content-Length", str(len(payload)))
+                    self.end_headers()
+                    self.wfile.write(payload)
+                    return
+                if parsed.path != "/qos":
+                    self._reply(404, {"error": "not found"})
+                    return
+                params = parse_qs(parsed.query)
+                key = params.get("key", [""])[0]
+                if not key:
+                    self._reply(400, {"error": "missing key"})
+                    return
+                try:
+                    cost = float(params.get("cost", ["1.0"])[0])
+                except ValueError:
+                    self._reply(400, {"error": "bad cost"})
+                    return
+                import math
+                if not (math.isfinite(cost) and cost > 0):
+                    self._reply(400, {"error": "bad cost"})
+                    return
+                response, attempts = router.qos_exchange(key, cost)
+                self._reply(200, {
+                    "allow": response.allowed,
+                    "default": response.is_default_reply,
+                    "attempts": attempts,
+                })
+
+            def _reply(self, status: int, body: dict) -> None:
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.address: tuple[str, int] = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    def start(self) -> "RequestRouterDaemon":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name=self.name, daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "RequestRouterDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition (served on ``GET /metrics``)."""
+        stats = self.stats()
+        lines = []
+        for metric, key in (
+                ("janus_router_requests_total", "requests_handled"),
+                ("janus_router_default_replies_total", "default_replies"),
+                ("janus_router_udp_retries_total", "retries"),
+                ("janus_router_backends", "backends")):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f'{metric}{{router="{self.name}"}} {stats[key]}')
+        return "\n".join(lines) + "\n"
+
+    def stats(self) -> dict:
+        """Operational counters (served on ``GET /stats``)."""
+        with self._stats_lock:
+            return {
+                "name": self.name,
+                "requests_handled": self.requests_handled,
+                "default_replies": self.default_replies,
+                "retries": self.retries,
+                "backends": len(self.qos_servers),
+            }
+
+    def route(self, key: str) -> tuple[str, int]:
+        """The paper's routing function (Fig. 2)."""
+        return self.qos_servers[crc32_router(key, len(self.qos_servers))]
+
+    def _socket(self) -> socket.socket:
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._local.sock = sock
+        return sock
+
+    def qos_exchange(self, key: str, cost: float = 1.0) -> tuple[QoSResponse, int]:
+        """The §III-B UDP loop; returns (response, attempts)."""
+        request = QoSRequest(self._ids.next_id(), key, cost)
+        datagram = request.encode()
+        target = self.route(key)
+        sock = self._socket()
+        sock.settimeout(self.config.udp_timeout)
+        for attempt in range(1, self.config.max_retries + 1):
+            if attempt > 1:
+                with self._stats_lock:
+                    self.retries += 1
+            sock.sendto(datagram, target)
+            try:
+                while True:
+                    data, _ = sock.recvfrom(8192)
+                    try:
+                        message = decode(data)
+                    except ProtocolError:
+                        continue
+                    if (isinstance(message, QoSResponse)
+                            and message.request_id == request.request_id):
+                        with self._stats_lock:
+                            self.requests_handled += 1
+                        return message, attempt
+                    # Stale response from a previous request on this
+                    # thread's socket: keep waiting within the timeout.
+            except socket.timeout:
+                continue
+        with self._stats_lock:
+            self.requests_handled += 1
+            self.default_replies += 1
+        return QoSResponse(request.request_id, self.config.default_reply,
+                           is_default_reply=True), self.config.max_retries

@@ -1,0 +1,166 @@
+"""Real UDP QoS server (paper §III-C, over actual sockets).
+
+Faithful to the paper's Java structure: a UDP listener thread receives
+datagrams and pushes them into a FIFO; N worker threads poll the FIFO, make
+the admission decision through the shared
+:class:`~repro.core.admission.AdmissionController`, and send the response
+back via UDP without caring whether it arrives.  Housekeeping (interval
+refill) and maintenance (database sync + check-pointing) threads run at
+their configured intervals.
+
+Stray or malformed datagrams on the port are counted and dropped — a
+service exposed on UDP must tolerate garbage.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional
+
+from repro.core.admission import AdmissionController, RuleSource
+from repro.core.bucket import RefillMode
+from repro.core.dedup import DedupCache
+from repro.core.config import ServerConfig
+from repro.core.errors import ProtocolError
+from repro.core.protocol import QoSRequest, QoSResponse, decode
+
+__all__ = ["QoSServerDaemon"]
+
+_STOP = object()
+
+
+class QoSServerDaemon:
+    """One QoS server bound to a local UDP port."""
+
+    def __init__(
+        self,
+        rule_source: RuleSource,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServerConfig] = None,
+        name: str = "qos-server",
+    ):
+        self.config = config or ServerConfig(workers=4)
+        self.name = name
+        self.controller = AdmissionController(rule_source, self.config.admission)
+        self._dedup = (DedupCache(self.config.dedup_window)
+                       if self.config.dedup_window is not None else None)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.settimeout(0.2)      # lets the listener notice shutdown
+        self.address: tuple[str, int] = self._sock.getsockname()
+        self._fifo: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.malformed_packets = 0
+        self.responses_sent = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "QoSServerDaemon":
+        if self._started:
+            return self
+        self._started = True
+        self._threads.append(threading.Thread(
+            target=self._listener, name=f"{self.name}.listener", daemon=True))
+        for i in range(self.config.workers):
+            self._threads.append(threading.Thread(
+                target=self._worker, name=f"{self.name}.worker{i}", daemon=True))
+        if self.config.admission.refill_mode is RefillMode.INTERVAL:
+            self._threads.append(threading.Thread(
+                target=self._housekeeping, name=f"{self.name}.housekeeping",
+                daemon=True))
+        self._threads.append(threading.Thread(
+            target=self._maintenance, name=f"{self.name}.maintenance",
+            daemon=True))
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._stop.set()
+        for _ in range(self.config.workers):
+            self._fifo.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=2.0)
+        self._sock.close()
+        self._started = False
+
+    def __enter__(self) -> "QoSServerDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    def _listener(self) -> None:
+        """Receive datagrams and push them into the FIFO."""
+        while not self._stop.is_set():
+            try:
+                data, addr = self._sock.recvfrom(8192)
+            except socket.timeout:
+                continue
+            except OSError:
+                return      # socket closed during shutdown
+            self._fifo.put((data, addr))
+
+    def _worker(self) -> None:
+        """Poll the FIFO, decide, reply via UDP (fire and forget)."""
+        while True:
+            item = self._fifo.get()
+            if item is _STOP:
+                return
+            data, addr = item
+            try:
+                message = decode(data)
+            except ProtocolError:
+                self.malformed_packets += 1
+                continue
+            if not isinstance(message, QoSRequest):
+                self.malformed_packets += 1
+                continue
+            memoized = (self._dedup.lookup(addr, message.request_id)
+                        if self._dedup is not None else None)
+            if memoized is not None:
+                allowed = memoized
+            else:
+                allowed = self.controller.check(message.key, message.cost)
+                if self._dedup is not None:
+                    self._dedup.remember(addr, message.request_id, allowed)
+            response = QoSResponse(message.request_id, allowed)
+            try:
+                self._sock.sendto(response.encode(), addr)
+                self.responses_sent += 1
+            except OSError:
+                # "The worker thread does not care about whether the request
+                # router receives the response or not" (§III-C).
+                pass
+
+    def _housekeeping(self) -> None:
+        """Interval refill of every leaky bucket (§III-C)."""
+        interval = self.config.admission.refill_interval
+        while not self._stop.wait(interval):
+            self.controller.refill_all()
+
+    def _maintenance(self) -> None:
+        """Periodic database sync and credit check-pointing (§II-D)."""
+        sync_every = self.config.admission.sync_interval
+        checkpoint_every = self.config.admission.checkpoint_interval
+        step = min(sync_every, checkpoint_every, 0.5)
+        elapsed_sync = elapsed_checkpoint = 0.0
+        while not self._stop.wait(step):
+            elapsed_sync += step
+            elapsed_checkpoint += step
+            if elapsed_sync >= sync_every:
+                elapsed_sync = 0.0
+                self.controller.sync_rules()
+            if elapsed_checkpoint >= checkpoint_every:
+                elapsed_checkpoint = 0.0
+                self.controller.checkpoint()

@@ -1,0 +1,34 @@
+"""Simulated Janus layers: DNS, load balancer, request router, QoS server.
+
+These components run the *real* admission-control logic from
+:mod:`repro.core` on simulated time; only where CPU cycles and network
+waits happen is modelled.  :class:`~repro.server.cluster.SimJanusCluster`
+wires a full deployment (Fig. 1 of the paper).
+"""
+
+from repro.server.autoscaler import AutoScaler, ScalingEvent
+from repro.server.cluster import ENDPOINT, SimJanusCluster
+from repro.server.elastic import MigrationReport, resize_qos_layer
+from repro.server.dns import DnsService, FailoverRecord, Resolver
+from repro.server.ha import HAPair, launch_replacement
+from repro.server.loadbalancer import GatewayLoadBalancer
+from repro.server.qos_server import SimQoSServer, background_load
+from repro.server.router import SimRequestRouter
+
+__all__ = [
+    "AutoScaler",
+    "DnsService",
+    "ENDPOINT",
+    "FailoverRecord",
+    "GatewayLoadBalancer",
+    "HAPair",
+    "MigrationReport",
+    "Resolver",
+    "ScalingEvent",
+    "SimJanusCluster",
+    "SimQoSServer",
+    "SimRequestRouter",
+    "background_load",
+    "launch_replacement",
+    "resize_qos_layer",
+]

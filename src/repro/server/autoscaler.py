@@ -1,0 +1,158 @@
+"""Auto Scaling group for the request-router layer (paper §V-A).
+
+"The request router layer can be managed by an Auto Scaling group, where
+the capacity of the request router layer can be automatically adjusted
+based on a variety of metrics such as the average latency observed on the
+load balancer, the average CPU utilization on the request router nodes,
+etc."  This module implements that controller for the simulator:
+
+- a periodic evaluation loop samples the scaling signal over the last
+  period: mean router CPU, or (``metric="latency"``) the P90 round trip
+  observed at the load balancer;
+- above ``scale_out_threshold`` it launches a new router (registered with
+  the ELB and the DNS A record) after an instance boot delay;
+- below ``scale_in_threshold`` — and above ``min_nodes`` — it *retires*
+  the youngest router gracefully (it stops taking new connections, drains,
+  and detaches);
+- a cooldown suppresses flapping between actions.
+
+The QoS server layer is deliberately NOT autoscaled: its node count is the
+partition modulus, so resizing it needs the state migration implemented in
+:mod:`repro.server.elastic` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.simnet.engine import Simulation
+
+from repro.server.loadbalancer import GatewayLoadBalancer
+from repro.server.router import SimRequestRouter
+
+__all__ = ["AutoScaler", "ScalingEvent"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingEvent:
+    """One autoscaling action, for the activity log."""
+
+    time: float
+    action: str            # "scale_out" / "scale_in"
+    router: str
+    observed_cpu: float
+    fleet_size: int
+
+
+class AutoScaler:
+    """CPU-target autoscaling of the router layer behind a gateway LB."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        lb: GatewayLoadBalancer,
+        launch_router: Callable[[], SimRequestRouter],
+        *,
+        min_nodes: int = 1,
+        max_nodes: int = 10,
+        scale_out_threshold: float = 0.75,
+        scale_in_threshold: float = 0.30,
+        period: float = 2.0,
+        cooldown: float = 4.0,
+        boot_delay: float = 1.0,
+        dns_update: Optional[Callable[[List[str]], None]] = None,
+        metric: str = "cpu",
+    ):
+        if not (1 <= min_nodes <= max_nodes):
+            raise ConfigurationError("need 1 <= min_nodes <= max_nodes")
+        if metric not in ("cpu", "latency"):
+            raise ConfigurationError(
+                f"metric must be 'cpu' or 'latency', got {metric!r}")
+        if metric == "cpu" and not (0.0 < scale_in_threshold
+                                    < scale_out_threshold < 1.0):
+            raise ConfigurationError(
+                "need 0 < scale_in_threshold < scale_out_threshold < 1")
+        if metric == "latency" and not (0.0 < scale_in_threshold
+                                        < scale_out_threshold):
+            raise ConfigurationError(
+                "need 0 < scale_in_threshold < scale_out_threshold (seconds)")
+        if period <= 0 or cooldown < 0 or boot_delay < 0:
+            raise ConfigurationError("period/cooldown/boot_delay out of range")
+        self.sim = sim
+        self.lb = lb
+        self.launch_router = launch_router
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.metric = metric
+        self.scale_out_threshold = scale_out_threshold
+        self.scale_in_threshold = scale_in_threshold
+        self.period = period
+        self.cooldown = cooldown
+        self.boot_delay = boot_delay
+        self.dns_update = dns_update
+        self.events: List[ScalingEvent] = []
+        self.running = True
+        self._last_action_at = -float("inf")
+        self._proc = sim.spawn(self._loop(), "autoscaler")
+
+    # ------------------------------------------------------------------ #
+
+    def fleet(self) -> List[SimRequestRouter]:
+        """Routers currently serving (healthy LB backends)."""
+        return [r for r in self.lb.routers if r.running]
+
+    def mean_cpu(self) -> float:
+        fleet = self.fleet()
+        if not fleet:
+            return 0.0
+        return sum(r.cpu_utilization() for r in fleet) / len(fleet)
+
+    def observed(self) -> float:
+        """The scaling signal: mean fleet CPU, or the LB's P90 latency
+        ("the average latency observed on the load balancer", §V-A)."""
+        if self.metric == "cpu":
+            return self.mean_cpu()
+        return self.lb.latency.percentile(90.0)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _publish_dns(self) -> None:
+        if self.dns_update is not None:
+            self.dns_update([r.name for r in self.fleet()])
+
+    def _loop(self):
+        # Give each router a fresh measurement window per period.
+        for router in self.fleet():
+            router.begin_window()
+        while True:
+            yield self.period
+            if not self.running:
+                return
+            cpu = self.observed()
+            fleet = self.fleet()
+            for router in fleet:
+                router.begin_window()
+            if self.sim.now - self._last_action_at < self.cooldown:
+                continue
+            if cpu > self.scale_out_threshold and len(fleet) < self.max_nodes:
+                self._last_action_at = self.sim.now
+                # Instance boot: the new node joins after boot_delay.
+                yield self.boot_delay
+                router = self.launch_router()
+                self.lb.add_backend(router)
+                self._publish_dns()
+                self.events.append(ScalingEvent(
+                    self.sim.now, "scale_out", router.name, cpu,
+                    len(self.fleet())))
+            elif cpu < self.scale_in_threshold and len(fleet) > self.min_nodes:
+                self._last_action_at = self.sim.now
+                victim = fleet[-1]           # youngest first
+                victim.retire()
+                self.lb.remove_backend(victim.name)
+                self._publish_dns()
+                self.events.append(ScalingEvent(
+                    self.sim.now, "scale_in", victim.name, cpu,
+                    len(self.fleet())))

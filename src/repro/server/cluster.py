@@ -1,0 +1,198 @@
+"""Wire a complete Janus deployment inside the simulator (paper Fig. 1).
+
+:class:`SimJanusCluster` builds, from a :class:`~repro.core.config.JanusConfig`:
+
+- the Multi-AZ database (:class:`~repro.db.replication.ReplicatedDatabase`)
+  with the ``qos_rules`` table;
+- ``n_qos_servers`` QoS server nodes (optionally master/slave HA pairs),
+  each registered under a stable DNS failover name;
+- ``n_routers`` request-router nodes, all sharing the same ordered backend
+  list (the partition map);
+- a gateway load balancer (ELB model) and/or the DNS A record for the DNS
+  load-balancing mode;
+
+and exposes the measurement interface the experiments drive (throughput and
+CPU-utilization windows per layer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import JanusConfig
+from repro.db.replication import ReplicatedDatabase
+from repro.db.rulestore import RuleStore
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import DEFAULT_SEED, RngRegistry
+
+from repro.server.dns import DnsService, Resolver
+from repro.server.ha import HAPair
+from repro.server.loadbalancer import GatewayLoadBalancer
+from repro.server.qos_server import SimQoSServer
+from repro.server.router import SimRequestRouter
+
+__all__ = ["SimJanusCluster"]
+
+#: The public endpoint name clients resolve.
+ENDPOINT = "janus.example.com"
+
+
+class SimJanusCluster:
+    """A full simulated Janus deployment."""
+
+    def __init__(
+        self,
+        config: Optional[JanusConfig] = None,
+        *,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        seed: int = DEFAULT_SEED,
+        udp_loss: float = 1e-4,
+    ):
+        self.config = config or JanusConfig()
+        self.calib = calibration
+        self.rng = RngRegistry(seed)
+        self.sim = Simulation()
+        self.net = Network(self.sim, self.rng, udp_loss=udp_loss)
+        self.dns = DnsService(self.rng, default_ttl=self.config.dns_ttl)
+        self.db = ReplicatedDatabase()
+        self.rules = RuleStore(self.db)
+        topo = self.config.topology
+
+        # --- QoS server layer (each under a stable failover DNS name) ----
+        self.qos_servers: List[SimQoSServer] = []
+        self.ha_pairs: List[Optional[HAPair]] = []
+        self.qos_service_names: List[str] = []
+        for i in range(topo.n_qos_servers):
+            service_name = f"qos-{i}.janus.internal"
+            master = SimQoSServer(
+                self.sim, self.net, f"qos-{i}", topo.qos_instance, self.rules,
+                config=self.config.server, calibration=calibration, rng=self.rng)
+            self.qos_servers.append(master)
+            self.qos_service_names.append(service_name)
+            if topo.qos_ha:
+                slave = SimQoSServer(
+                    self.sim, self.net, f"qos-{i}-slave", topo.qos_instance,
+                    self.rules, config=self.config.server,
+                    calibration=calibration, rng=self.rng)
+                pair = HAPair(
+                    self.sim, self.net, self.dns, service_name, master, slave,
+                    replication_interval=self.config.server.ha_replication_interval)
+                self.ha_pairs.append(pair)
+            else:
+                self.dns.register_failover(service_name, master.name)
+                self.ha_pairs.append(None)
+
+        # --- request router layer ------------------------------------------
+        self.routers: List[SimRequestRouter] = []
+        for i in range(topo.n_routers):
+            resolver = Resolver(self.dns, self.sim.clock)
+            router = SimRequestRouter(
+                self.sim, self.net, f"rr-{i}", topo.router_instance,
+                self.qos_service_names,
+                config=self.config.router, calibration=calibration,
+                rng=self.rng, resolve=resolver.resolve_one)
+            self.routers.append(router)
+
+        # --- load balancer layer -------------------------------------------
+        self.gateway_lb = GatewayLoadBalancer(
+            "elb", self.routers, calibration=calibration, rng=self.rng,
+            clock=self.sim.clock)
+        self.dns.register(ENDPOINT, [r.name for r in self.routers])
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def endpoint(self) -> str:
+        return ENDPOINT
+
+    def new_resolver(self) -> Resolver:
+        """A fresh client-host stub resolver (own TTL cache)."""
+        return Resolver(self.dns, self.sim.clock)
+
+    def active_qos_server(self, index: int) -> SimQoSServer:
+        """The current master for partition ``index`` (follows failovers)."""
+        pair = self.ha_pairs[index]
+        if pair is not None:
+            return pair.master
+        return self.qos_servers[index]
+
+    def resize_qos(self, new_count: int):
+        """Elastically resize the QoS layer with state migration.
+
+        The extension of :mod:`repro.server.elastic`: launches/retires
+        servers, migrates bucket snapshots so credits survive, registers
+        DNS names, and flips every router's partition map.  HA pairs are
+        not supported by the resize path (plain servers only).
+        """
+        from repro.server.elastic import resize_qos_layer
+
+        if any(pair is not None for pair in self.ha_pairs):
+            from repro.core.errors import ConfigurationError
+            raise ConfigurationError("resize_qos does not support HA pairs")
+
+        def launch(index: int) -> SimQoSServer:
+            server = SimQoSServer(
+                self.sim, self.net, f"qos-{index}",
+                self.config.topology.qos_instance, self.rules,
+                config=self.config.server, calibration=self.calib,
+                rng=self.rng)
+            service_name = f"qos-{index}.janus.internal"
+            self.dns.register_failover(service_name, server.name)
+            return server
+
+        fleet, report = resize_qos_layer(
+            self.routers, self.qos_servers, new_count, launch,
+            service_names=lambda i: f"qos-{i}.janus.internal")
+        self.qos_servers = fleet
+        self.qos_service_names = [f"qos-{i}.janus.internal"
+                                  for i in range(new_count)]
+        self.ha_pairs = [None] * new_count
+        return report
+
+    def prewarm(self, keys=None) -> None:
+        """Skip first-request DB fetches (steady-state experiments)."""
+        for server in self.qos_servers:
+            server.mark_warm(keys)
+        for pair in self.ha_pairs:
+            if pair is not None and pair.slave is not None:
+                pair.slave.mark_warm(keys)
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+
+    def begin_window(self) -> None:
+        for router in self.routers:
+            router.begin_window()
+        for server in self.qos_servers:
+            server.begin_window()
+        self._window_start = self.sim.now
+
+    def window_seconds(self) -> float:
+        return self.sim.now - self._window_start
+
+    def router_throughput(self) -> float:
+        """Requests/second completed by the router layer in the window."""
+        elapsed = self.window_seconds()
+        if elapsed <= 0:
+            return 0.0
+        return sum(r.handled_in_window() for r in self.routers) / elapsed
+
+    def qos_throughput(self) -> float:
+        """Decisions/second made by the QoS layer in the window."""
+        elapsed = self.window_seconds()
+        if elapsed <= 0:
+            return 0.0
+        return sum(s.decisions_in_window() for s in self.qos_servers) / elapsed
+
+    def router_cpu(self) -> float:
+        """Mean router-node CPU utilization over the window (0..1)."""
+        return (sum(r.cpu_utilization() for r in self.routers)
+                / len(self.routers))
+
+    def qos_cpu(self) -> float:
+        """Mean QoS-node CPU utilization over the window (0..1)."""
+        return (sum(s.cpu_utilization() for s in self.qos_servers)
+                / len(self.qos_servers))

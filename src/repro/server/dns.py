@@ -1,0 +1,161 @@
+"""Route53-model DNS: round-robin A records, TTL, health-check failover.
+
+Two behaviours from the paper live here:
+
+- **DNS load balancing** (§II-A, Fig. 1b): a domain's A record lists every
+  request-router IP; each query returns the list *permuted*.  Client
+  operating systems cache the answer for the record's TTL, so "QoS requests
+  from the same client node always hit the same request router node within
+  the TTL cycle" — the skew effect §V-A analyses (reproduced by
+  :class:`Resolver` and measured in the ``ablation_dnslb_skew`` benchmark).
+
+- **Failover records** (§III-C/D): a master/slave pair is published under
+  one name that resolves to the healthy master only; failing the master
+  flips the record to the slave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.clock import Clock
+from repro.core.errors import ConfigurationError, RoutingError
+from repro.simnet.rng import RngRegistry
+
+__all__ = ["DnsService", "Resolver", "FailoverRecord"]
+
+
+@dataclass(slots=True)
+class FailoverRecord:
+    """A primary/secondary pair with Route53-style health-check failover."""
+
+    primary: str
+    secondary: Optional[str] = None
+    primary_healthy: bool = True
+
+    def active(self) -> str:
+        if self.primary_healthy:
+            return self.primary
+        if self.secondary is None:
+            raise RoutingError(f"no healthy target (primary {self.primary!r} down)")
+        return self.secondary
+
+
+class DnsService:
+    """The authoritative server: multi-value A records + failover records."""
+
+    def __init__(self, rng: RngRegistry, default_ttl: float = 30.0):
+        if default_ttl <= 0:
+            raise ConfigurationError(f"default_ttl must be > 0, got {default_ttl}")
+        self.default_ttl = default_ttl
+        self._rng = rng.stream("dns.permute")
+        self._a_records: Dict[str, List[str]] = {}
+        self._ttls: Dict[str, float] = {}
+        self._failover: Dict[str, FailoverRecord] = {}
+        self.queries = 0
+
+    # -- record management ---------------------------------------------------
+
+    def register(self, name: str, addresses: List[str],
+                 ttl: Optional[float] = None) -> None:
+        """Create/replace a round-robin A record."""
+        if not addresses:
+            raise ConfigurationError(f"A record {name!r} needs at least one address")
+        self._a_records[name] = list(addresses)
+        self._ttls[name] = self.default_ttl if ttl is None else ttl
+
+    def register_failover(self, name: str, primary: str,
+                          secondary: Optional[str] = None,
+                          ttl: Optional[float] = None) -> FailoverRecord:
+        """Create a health-checked failover record; returns its handle."""
+        record = FailoverRecord(primary=primary, secondary=secondary)
+        self._failover[name] = record
+        self._ttls[name] = self.default_ttl if ttl is None else ttl
+        return record
+
+    def set_addresses(self, name: str, addresses: List[str]) -> None:
+        """Update an A record in place (e.g. router autoscaling)."""
+        if name not in self._a_records:
+            raise RoutingError(f"unknown A record {name!r}")
+        if not addresses:
+            raise ConfigurationError("cannot set an empty address list")
+        self._a_records[name] = list(addresses)
+
+    def mark_unhealthy(self, name: str) -> Optional[str]:
+        """Health check failure on the primary: fail over (§III-C).
+
+        Returns the now-active address, or ``None`` when no secondary is
+        configured (subsequent queries for the name will fail until a
+        replacement is promoted).
+        """
+        record = self._failover.get(name)
+        if record is None:
+            raise RoutingError(f"no failover record for {name!r}")
+        record.primary_healthy = False
+        return record.secondary
+
+    def promote(self, name: str, new_primary: str,
+                new_secondary: Optional[str] = None) -> None:
+        """Install a new master/slave pair after recovery (§III-C)."""
+        record = self._failover.get(name)
+        if record is None:
+            raise RoutingError(f"no failover record for {name!r}")
+        record.primary = new_primary
+        record.secondary = new_secondary
+        record.primary_healthy = True
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, name: str) -> tuple[List[str], float]:
+        """Resolve ``name``; returns (addresses, ttl).
+
+        A-record answers are freshly permuted on every query ("with each
+        DNS response, the IP address sequence in the list is permuted").
+        """
+        self.queries += 1
+        if name in self._failover:
+            return [self._failover[name].active()], self._ttls[name]
+        addresses = self._a_records.get(name)
+        if addresses is None:
+            raise RoutingError(f"NXDOMAIN: {name!r}")
+        shuffled = list(addresses)
+        self._rng.shuffle(shuffled)
+        return shuffled, self._ttls[name]
+
+
+class Resolver:
+    """A client host's stub resolver with OS-level TTL caching.
+
+    "By default most operating systems cache DNS resolution results until
+    the time-to-live (TTL) property of the DNS record expires" (§V-A).
+    Each client node owns one resolver; within a TTL window every
+    resolution returns the *same first address*, producing the request-
+    router pinning the paper observes.
+    """
+
+    def __init__(self, dns: DnsService, clock: Clock):
+        self._dns = dns
+        self._clock = clock
+        self._cache: Dict[str, tuple[List[str], float]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def resolve(self, name: str) -> List[str]:
+        """Full (cached) address list for ``name``."""
+        now = self._clock()
+        cached = self._cache.get(name)
+        if cached is not None and cached[1] > now:
+            self.cache_hits += 1
+            return cached[0]
+        self.cache_misses += 1
+        addresses, ttl = self._dns.query(name)
+        self._cache[name] = (addresses, now + ttl)
+        return addresses
+
+    def resolve_one(self, name: str) -> str:
+        """First address — what a typical client connects to (§II-A)."""
+        return self.resolve(name)[0]
+
+    def flush(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,126 @@
+"""Elastic resizing of the QoS server layer (extension / future work).
+
+The paper fixes the QoS server count: "with a fixed number of QoS servers
+in the back end, QoS requests with the same QoS key are always routed to
+the same QoS server" (§II-B) — the modulus *is* the partition map, so a
+resize silently remaps ~(N-1)/N of the keyspace and every moved key forgets
+its credit (effectively a quota reset, or worse, a brief double quota).
+
+:func:`resize_qos_layer` implements the missing migration protocol:
+
+1. launch the new servers (on resize-up) next to the old fleet;
+2. compute, per key in every old server's local table, its new owner under
+   ``CRC32(key) mod N_new``;
+3. transfer bucket snapshots for the moved keys to their new owners
+   (credits travel with the keys, so quota state is preserved);
+4. atomically flip every request router's backend list to the new map;
+5. retire servers that fell out of the layer (resize-down).
+
+Between steps 3 and 4 a moved key can be decided once from its *old*
+bucket after the snapshot was taken — the same at-most-one-credit skew the
+paper's HA replication has.  Tests bound it.
+
+The ablation comparing this with a naive (migration-free) resize is
+``benchmarks/test_ablation_hashing.py`` plus
+``tests/server/test_elastic.py``'s quota-preservation checks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.admission import BucketSnapshot
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import crc32_router
+
+from repro.server.qos_server import SimQoSServer
+from repro.server.router import SimRequestRouter
+
+__all__ = ["resize_qos_layer", "MigrationReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationReport:
+    """What a resize moved."""
+
+    old_count: int
+    new_count: int
+    keys_total: int
+    keys_moved: int
+    servers_added: tuple[str, ...]
+    servers_retired: tuple[str, ...]
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.keys_moved / self.keys_total if self.keys_total else 0.0
+
+
+def resize_qos_layer(
+    routers: Sequence[SimRequestRouter],
+    old_servers: List[SimQoSServer],
+    new_count: int,
+    launch_server: Callable[[int], SimQoSServer],
+    *,
+    service_names: Callable[[int], str] = lambda i: f"qos-{i}",
+) -> tuple[List[SimQoSServer], MigrationReport]:
+    """Resize the QoS layer to ``new_count`` servers with state migration.
+
+    ``launch_server(index)`` provisions server ``index`` (indices
+    ``len(old_servers) .. new_count-1``); ``service_names(index)`` is the
+    stable name routers address partition ``index`` by.  Returns the new
+    fleet plus a :class:`MigrationReport`.
+    """
+    if new_count < 1:
+        raise ConfigurationError(f"new_count must be >= 1, got {new_count}")
+    if not routers:
+        raise ConfigurationError("need at least one router to flip")
+    old_count = len(old_servers)
+    if new_count == old_count:
+        report = MigrationReport(old_count, new_count,
+                                 sum(s.controller.table_size()
+                                     for s in old_servers), 0, (), ())
+        return list(old_servers), report
+
+    # 1. provision the grown part of the fleet.
+    added: list[str] = []
+    fleet: List[SimQoSServer] = list(old_servers)
+    for index in range(old_count, new_count):
+        server = launch_server(index)
+        fleet.append(server)
+        added.append(server.name)
+    fleet = fleet[:new_count]
+
+    # 2-3. move bucket snapshots to their new owners.
+    moves: Dict[int, list[BucketSnapshot]] = defaultdict(list)
+    keys_total = 0
+    keys_moved = 0
+    for old_index, server in enumerate(old_servers):
+        for snap in server.controller.snapshot():
+            keys_total += 1
+            new_index = crc32_router(snap.key, new_count)
+            if new_index != old_index or new_index >= new_count:
+                keys_moved += 1
+                moves[new_index].append(snap)
+    for new_index, snapshots in moves.items():
+        target = fleet[new_index]
+        target.controller.restore(snapshots)
+        target.mark_warm(s.key for s in snapshots)
+
+    # 4. flip every router's partition map (the ordered name list).
+    new_names = [service_names(i) for i in range(new_count)]
+    for router in routers:
+        router.qos_servers = list(new_names)
+
+    # 5. retire servers that fell out of the layer.
+    retired: list[str] = []
+    for server in old_servers[new_count:]:
+        server.fail()
+        retired.append(server.name)
+
+    report = MigrationReport(
+        old_count=old_count, new_count=new_count,
+        keys_total=keys_total, keys_moved=keys_moved,
+        servers_added=tuple(added), servers_retired=tuple(retired))
+    return fleet, report

@@ -1,0 +1,137 @@
+"""High availability for the QoS server layer (paper §III-C).
+
+"When high-availability is desired, an optional slave node can be
+configured for each QoS server.  The slave node continuously replicates the
+local QoS rule table from the master node at a configurable interval."  The
+pair is published under one DNS failover name; routers address QoS servers
+by that name, so a failover is invisible to the routing layer (hash results
+— and hence routing rules — never change, §II-D).
+
+Two recovery paths are modelled:
+
+- :meth:`HAPair.fail_master` — the slave (which holds an up-to-date table
+  replica) is promoted via the DNS health check: "minimum downtime".
+- :meth:`ReplacementPolicy` (no slave) — a fresh server is launched for the
+  failed one and re-warms lazily from the database, seeded with the last
+  check-pointed credits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.admission import RuleSource
+from repro.core.errors import ReplicationError
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+from repro.server.dns import DnsService
+from repro.server.qos_server import SimQoSServer
+
+__all__ = ["HAPair", "launch_replacement"]
+
+
+class HAPair:
+    """A master/slave QoS server pair behind one DNS failover name."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        dns: DnsService,
+        service_name: str,
+        master: SimQoSServer,
+        slave: SimQoSServer,
+        *,
+        replication_interval: float = 1.0,
+    ):
+        if replication_interval <= 0:
+            raise ReplicationError("replication_interval must be > 0")
+        self.sim = sim
+        self.net = net
+        self.dns = dns
+        self.service_name = service_name
+        self.master = master
+        self.slave: Optional[SimQoSServer] = slave
+        self.replication_interval = replication_interval
+        self.record = dns.register_failover(service_name, master.name, slave.name)
+        self.replications = 0
+        self.failovers = 0
+        self._repl_proc = sim.spawn(self._replication_loop(),
+                                    f"{service_name}.replication")
+
+    def _replication_loop(self):
+        """The slave's pull loop: copy the master's local QoS table."""
+        while True:
+            yield self.replication_interval
+            if self.slave is None or not self.master.running:
+                continue
+            # Snapshot transfer: latency proportional to table size.
+            snapshot = self.master.controller.snapshot()
+            transfer = self.net.one_way() + len(snapshot) * 100 * 8 / 1e9
+            yield self.sim.timeout(transfer)
+            if self.slave is not None:
+                self.slave.controller.restore(snapshot)
+                self.slave.mark_warm(s.key for s in snapshot)
+                self.replications += 1
+
+    # ------------------------------------------------------------------ #
+
+    def fail_master(self) -> SimQoSServer:
+        """Kill the master; the DNS health check promotes the slave.
+
+        Returns the new master.  The promoted node "already has an
+        up-to-date local QoS table, allowing the QoS server to continue
+        functioning with minimum interruption."
+        """
+        if self.slave is None:
+            raise ReplicationError(
+                f"{self.service_name}: master failed with no slave configured")
+        self.master.fail()
+        promoted = self.slave
+        self.slave = None
+        self.dns.mark_unhealthy(self.service_name)
+        self.failovers += 1
+        old, self.master = self.master, promoted
+        return promoted
+
+    def attach_new_slave(self, slave: SimQoSServer) -> None:
+        """Complete recovery: pair the promoted master with a fresh slave."""
+        if self.slave is not None:
+            raise ReplicationError(f"{self.service_name}: slave already attached")
+        self.slave = slave
+        self.dns.promote(self.service_name, self.master.name, slave.name)
+
+
+def launch_replacement(
+    sim: Simulation,
+    net: Network,
+    dns: DnsService,
+    service_name: str,
+    failed: SimQoSServer,
+    rule_source: RuleSource,
+    *,
+    instance: Optional[str] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    rng: Optional[RngRegistry] = None,
+) -> SimQoSServer:
+    """Replace a failed, non-HA QoS server (§II-D).
+
+    The replacement re-initializes its local QoS table lazily from the
+    database as requests arrive; check-pointed credits become the initial
+    credit values.  The DNS name flips to the new node, so "the hash
+    results — and hence the routing rules — remain the same" and the
+    failure stays local to this partition.
+    """
+    replacement = SimQoSServer(
+        sim, net, f"{failed.name}.r{id(failed) % 1000}",
+        instance or failed.node.instance.name,
+        rule_source,
+        config=failed.config,
+        calibration=calibration,
+        rng=rng,
+    )
+    dns.promote(service_name, replacement.name)
+    return replacement

@@ -1,0 +1,118 @@
+"""Load balancer layer: gateway (ELB) and DNS (Route53) models (§II-A, §V-A).
+
+The gateway load balancer is an appliance: it accepts the client's TCP
+connection, *opens another TCP connection* to a request router, forwards
+the request, relays the response and closes the backend connection — the
+extra connection is exactly what costs the ~500 µs Fig. 5 measures.  ELB is
+managed and horizontally scaled by AWS, so it is modelled as a
+non-saturating appliance with a per-pass processing time rather than as a
+finite node.
+
+Routing algorithms: round robin (used in the paper's evaluation) and least
+connections (§II-A mentions both).
+
+The DNS load balancer is not an object on the data path at all — it is the
+combination of :class:`~repro.server.dns.DnsService` A records and each
+client's TTL resolver cache; see :mod:`repro.server.dns`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.clock import MONOTONIC, Clock
+from repro.core.errors import ConfigurationError
+from repro.metrics.windows import SlidingWindowLatency
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.rng import RngRegistry
+
+from repro.server.router import SimRequestRouter
+
+__all__ = ["GatewayLoadBalancer"]
+
+
+class GatewayLoadBalancer:
+    """ELB model: backend choice + per-pass processing cost."""
+
+    ALGORITHMS = ("round_robin", "least_connections")
+
+    def __init__(
+        self,
+        name: str,
+        routers: Sequence[SimRequestRouter],
+        *,
+        algorithm: str = "round_robin",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rng: Optional[RngRegistry] = None,
+        clock: Clock = MONOTONIC,
+    ):
+        if not routers:
+            raise ConfigurationError("load balancer needs at least one router")
+        if algorithm not in self.ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {self.ALGORITHMS}, got {algorithm!r}")
+        self.name = name
+        self.algorithm = algorithm
+        self.calib = calibration
+        self._routers = list(routers)
+        self._rr_index = 0
+        self._outstanding: Dict[str, int] = {r.name: 0 for r in self._routers}
+        self._service_rng = (rng or RngRegistry()).stream(f"lb.{name}.service")
+        self.requests_routed = 0
+        #: Round-trip latency as the appliance observes it — the CloudWatch
+        #: metric the paper's Auto Scaling discussion names (§V-A).
+        self.latency = SlidingWindowLatency(window=10.0, clock=clock)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def routers(self) -> list[SimRequestRouter]:
+        return list(self._routers)
+
+    def _healthy(self) -> list[SimRequestRouter]:
+        """Backends currently passing the health check (§II-A)."""
+        healthy = [r for r in self._routers if getattr(r, "running", True)]
+        if not healthy:
+            raise ConfigurationError(f"{self.name}: no healthy backends")
+        return healthy
+
+    def pick(self) -> SimRequestRouter:
+        """Choose a healthy backend router for a new connection."""
+        self.requests_routed += 1
+        healthy = self._healthy()
+        if self.algorithm == "round_robin":
+            router = healthy[self._rr_index % len(healthy)]
+            self._rr_index += 1
+            return router
+        # least_connections: fewest outstanding, ties broken by list order.
+        return min(healthy, key=lambda r: self._outstanding[r.name])
+
+    # -- backend management (the Auto Scaling group's surface, §V-A) ------
+
+    def add_backend(self, router: SimRequestRouter) -> None:
+        if any(r.name == router.name for r in self._routers):
+            raise ConfigurationError(f"backend {router.name!r} already present")
+        self._routers.append(router)
+        self._outstanding.setdefault(router.name, 0)
+
+    def remove_backend(self, name: str) -> SimRequestRouter:
+        for i, router in enumerate(self._routers):
+            if router.name == name:
+                del self._routers[i]
+                return router
+        raise ConfigurationError(f"no backend named {name!r}")
+
+    def connection_opened(self, router: SimRequestRouter) -> None:
+        self._outstanding[router.name] += 1
+
+    def connection_closed(self, router: SimRequestRouter) -> None:
+        self._outstanding[router.name] -= 1
+
+    def proc_time(self) -> float:
+        """One forwarding pass through the appliance (request or response)."""
+        sigma = self.calib.service_sigma
+        return self.calib.lb_proc_time * self._service_rng.lognormvariate(
+            -sigma * sigma / 2.0, sigma)
+
+    def outstanding(self) -> Dict[str, int]:
+        return dict(self._outstanding)

@@ -1,0 +1,265 @@
+"""Simulated QoS server node (paper §II-C, §III-C).
+
+Mirrors the paper's Java implementation structure exactly:
+
+- a **UDP listener thread** receives datagrams and pushes them into a FIFO;
+- **N worker threads** (N = vCPUs) poll the FIFO, make the admission
+  decision against the local QoS table under its lock, and send the
+  response back via UDP ("the worker thread does not care about whether
+  the request router receives the response or not");
+- a **housekeeping thread** refills the leaky buckets at a fixed interval
+  (when the admission config selects INTERVAL refill);
+- **system-maintenance threads** periodically sync rules from the database
+  and check-point credits back to it;
+- an optional **high-availability thread** serves local-table snapshots to
+  a slave (driven from :mod:`repro.server.ha`).
+
+The admission decision itself is the *real*
+:class:`~repro.core.admission.AdmissionController` running on simulated
+time — the simulator adds only where CPU cycles and waiting happen, never a
+second copy of the decision logic.
+
+Faithful quirk: a router retry that crosses a delayed response causes the
+server to decide the same logical request twice, consuming an extra credit
+— the paper's protocol has the same property (the server is stateless with
+respect to request ids), and the UDP loss rate makes it negligible.  The
+``ServerConfig.dedup_window`` extension makes decisions idempotent per
+request id (see :mod:`repro.core.dedup`); it is off by default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+from repro.core.admission import AdmissionController, RuleSource
+from repro.core.dedup import DedupCache
+from repro.core.config import ServerConfig
+from repro.core.hashing import crc32_of
+from repro.core.protocol import QoSRequest, QoSResponse
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.engine import Resource, Simulation, Store
+from repro.simnet.network import Network
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngRegistry
+
+__all__ = ["SimQoSServer", "background_load"]
+
+
+def background_load(sim: Simulation, node: SimNode, cores_equiv: float,
+                    period: float = 500e-6) -> None:
+    """Occupy ``cores_equiv`` vCPU-equivalents with OS/JVM background work.
+
+    Spawns duty-cycled processes that hold a core for ``fraction * period``
+    out of every ``period``.  This is the per-node fixed tax that makes N
+    small nodes trail one big node of equal total vCPUs (Fig. 12).
+    """
+    if cores_equiv <= 0:
+        return
+    whole = int(cores_equiv)
+    fractions = [1.0] * whole
+    rest = cores_equiv - whole
+    if rest > 1e-9:
+        fractions.append(rest)
+
+    def duty_cycle(fraction: float):
+        while True:
+            yield from node.cpu(fraction * period)
+            idle = (1.0 - fraction) * period
+            if idle > 0:
+                yield idle
+
+    for i, fraction in enumerate(fractions):
+        sim.spawn(duty_cycle(fraction), f"{node.name}.bg{i}")
+
+
+class SimQoSServer:
+    """One QoS server node inside the cluster simulation."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        instance: str,
+        rule_source: RuleSource,
+        *,
+        config: Optional[ServerConfig] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rng: Optional[RngRegistry] = None,
+        warm: bool = False,
+    ):
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.node = SimNode(sim, name, instance)
+        base_config = config or ServerConfig(workers=self.node.vcpus)
+        self.config = base_config
+        self.calib = calibration
+        rng = rng or RngRegistry()
+        self._service_rng = rng.stream(f"qos.{name}.service")
+        self.controller = AdmissionController(
+            rule_source, base_config.admission, clock=sim.clock)
+        # The synchronized local-QoS-table lock (§III-C); sharded when the
+        # future-work optimization is enabled via AdmissionConfig.
+        shards = base_config.admission.lock_shards
+        self._locks = [Resource(sim, 1) for _ in range(shards)]
+        self._ingress: Store = Store(sim)
+        self._fifo: Store = Store(sim)
+        #: Keys whose rule has already been fetched from the database; a
+        #: first-seen key pays one DB round trip (§II-D lazy fetch).
+        #: ``warm=True`` marks the table pre-warmed (replacement servers
+        #: restored from a checkpoint, or experiments that pre-load keys).
+        self._keys_seen: Set[str] = set()
+        self._warm = warm
+        self._dedup = (DedupCache(base_config.dedup_window, clock=sim.clock)
+                       if base_config.dedup_window is not None else None)
+        self.running = True
+        self.responses_sent = 0
+        self.decisions = 0
+        self._decisions_window0 = 0
+        self._procs = [sim.spawn(self._listener(), f"{name}.listener")]
+        for w in range(base_config.workers):
+            self._procs.append(sim.spawn(self._worker(), f"{name}.worker{w}"))
+        if base_config.admission.refill_mode.name == "INTERVAL":
+            self._procs.append(sim.spawn(self._housekeeping(), f"{name}.housekeeping"))
+        self._procs.append(sim.spawn(self._maintenance(), f"{name}.maintenance"))
+        background_load(sim, self.node, calibration.node_background_cores)
+        net.attach(name, self._on_datagram, nic_mbps=self.node.instance.network_mbps)
+
+    # ------------------------------------------------------------------ #
+
+    def _jitter(self, mean: float) -> float:
+        """Service-time noise: lognormal with unit mean around ``mean``."""
+        sigma = self.calib.service_sigma
+        return mean * self._service_rng.lognormvariate(-sigma * sigma / 2.0, sigma)
+
+    def _on_datagram(self, src: str, payload) -> None:
+        if self.running and isinstance(payload, QoSRequest):
+            self._ingress.put((src, payload))
+
+    def _listener(self):
+        """The UDP listener thread: receive, pay CPU, push to the FIFO."""
+        while True:
+            item = yield self._ingress.get()
+            if item is None:
+                return
+            yield from self.node.cpu(self._jitter(self.calib.qos_cpu_listener))
+            self._fifo.put(item)
+
+    def _worker(self):
+        """One worker thread: poll FIFO, decide under the table lock, reply."""
+        calib = self.calib
+        while True:
+            item = yield self._fifo.get()
+            if item is None:
+                return
+            src, request = item
+            # On-path burst 1: datagram decode, key extraction.
+            yield from self.node.cpu(self._jitter(calib.qos_cpu_decode))
+            # Duplicate suppression (extension): a retry of a request we
+            # already decided returns the memoized verdict for free.
+            memoized = (self._dedup.lookup(src, request.request_id)
+                        if self._dedup is not None else None)
+            if memoized is not None:
+                allowed = memoized
+            else:
+                # First-seen key: fetch its rule from the database (one RTT
+                # + query).  The worker thread blocks off-CPU while waiting.
+                if not self._warm and request.key not in self._keys_seen:
+                    self._keys_seen.add(request.key)
+                    yield self.sim.timeout(
+                        self._jitter(calib.qos_rule_fetch_time))
+                lock = self._locks[crc32_of(request.key) % len(self._locks)]
+                yield lock.acquire()
+                try:
+                    # Critical section: synchronized map lookup + update.
+                    yield from self.node.cpu(self._jitter(calib.qos_cpu_serial))
+                    allowed = self.controller.check(request.key, request.cost)
+                finally:
+                    lock.release()
+                if self._dedup is not None:
+                    self._dedup.remember(src, request.request_id, allowed)
+                self.decisions += 1        # dedup hits are not decisions
+            # On-path burst 2: response encode + UDP send (fire and forget).
+            yield from self.node.cpu(self._jitter(calib.qos_cpu_respond))
+            if self.running:
+                self.net.udp_send(self.name, src,
+                                  QoSResponse(request.request_id, allowed),
+                                  size_bytes=64)
+                self.responses_sent += 1
+            # Async per-request CPU (kernel UDP stack, softirq, GC): real
+            # cycles that compete for cores but are off the response path.
+            self.sim.spawn(self.node.cpu(self._jitter(calib.qos_cpu_overhead)),
+                           f"{self.name}.ovh")
+
+    def _housekeeping(self):
+        """Refill every bucket at the configured interval (§III-C)."""
+        interval = self.config.admission.refill_interval
+        while True:
+            yield interval
+            if not self.running:
+                return
+            n = self.controller.refill_all()
+            # A refill pass walks the local table: charge proportional CPU.
+            if n:
+                yield from self.node.cpu(self._jitter(n * 0.2e-6))
+
+    def _maintenance(self):
+        """Periodic DB sync and credit check-pointing (§II-D)."""
+        sync_interval = self.config.admission.sync_interval
+        checkpoint_interval = self.config.admission.checkpoint_interval
+        step = min(sync_interval, checkpoint_interval)
+        next_sync = sync_interval
+        next_checkpoint = checkpoint_interval
+        while True:
+            yield step
+            if not self.running:
+                return
+            now = self.sim.now
+            if now + 1e-12 >= next_sync:
+                next_sync += sync_interval
+                n = self.controller.table_size()
+                # One DB round trip per local key, pipelined: model as a
+                # single latency plus per-key query time off the hot path.
+                yield self.sim.timeout(self.calib.qos_rule_fetch_time
+                                       + n * self.calib.db_query_time * 0.02)
+                self.controller.sync_rules()
+            if now + 1e-12 >= next_checkpoint:
+                next_checkpoint += checkpoint_interval
+                n = self.controller.table_size()
+                yield self.sim.timeout(self.calib.qos_rule_fetch_time
+                                       + n * self.calib.db_query_time * 0.02)
+                self.controller.checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # measurement & lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin_window(self) -> None:
+        self.node.begin_window()
+        self._decisions_window0 = self.decisions
+
+    def decisions_in_window(self) -> int:
+        return self.decisions - self._decisions_window0
+
+    def cpu_utilization(self) -> float:
+        return self.node.cpu_utilization()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._fifo) + len(self._ingress)
+
+    def mark_warm(self, keys=None) -> None:
+        """Skip the first-request DB fetch (pre-warmed table)."""
+        if keys is None:
+            self._warm = True
+        else:
+            self._keys_seen.update(keys)
+
+    def fail(self) -> None:
+        """Crash this node: stop serving and vanish from the network."""
+        self.running = False
+        self.net.detach(self.name)
+        for proc in self._procs:
+            proc.interrupt("node failure")

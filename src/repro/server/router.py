@@ -1,0 +1,188 @@
+"""Simulated request-router node (paper §II-B, §III-B).
+
+The request router is "a stateless web application" (PHP on Apache in the
+paper): it accepts a QoS request over HTTP, selects the backend QoS server
+with ``CRC32(key) mod N`` (Fig. 2), and exchanges one UDP datagram with it —
+with a 100-microsecond timeout and at most 5 attempts, returning a default
+reply if all fail.
+
+Concurrency model: Apache's prefork pool bounds concurrent in-flight
+requests per node (``rr_process_pool``); each request burns
+``rr_cpu_time`` of CPU split around the UDP wait, during which the PHP
+process is blocked off-CPU.  A short serialized accept section models the
+listener socket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.config import RouterConfig
+from repro.core.hashing import crc32_router
+from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simnet.engine import Resource, Simulation, first_of
+from repro.simnet.network import Network
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngRegistry
+
+from repro.server.qos_server import background_load
+
+__all__ = ["SimRequestRouter"]
+
+
+class SimRequestRouter:
+    """One request-router node inside the cluster simulation."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        instance: str,
+        qos_server_names: Sequence[str],
+        *,
+        config: Optional[RouterConfig] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rng: Optional[RngRegistry] = None,
+        resolve: Optional[Callable[[str], str]] = None,
+    ):
+        if not qos_server_names:
+            raise ValueError("router needs at least one QoS server")
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.node = SimNode(sim, name, instance)
+        self.config = config or RouterConfig()
+        self.calib = calibration
+        rng = rng or RngRegistry()
+        self._service_rng = rng.stream(f"rr.{name}.service")
+        #: Backend QoS servers, by stable (DNS) name.  The *order is the
+        #: partition map*: index = CRC32(key) mod N, identical on every
+        #: router node.
+        self.qos_servers = list(qos_server_names)
+        #: Maps a stable server name to its current network address; the
+        #: identity function unless HA failover is in play (§III-C).
+        self._resolve = resolve or (lambda server_name: server_name)
+        self._ids = RequestIdGenerator()
+        self._pending: Dict[int, object] = {}
+        self._pool = Resource(sim, self.config_pool_size())
+        self._accept_lock = Resource(sim, 1)
+        #: False once the node has failed or been retired: new requests are
+        #: refused (the LB health check stops routing here).
+        self.running = True
+        self.requests_handled = 0
+        self.default_replies = 0
+        self.retries = 0
+        self._handled_window0 = 0
+        background_load(sim, self.node, calibration.node_background_cores)
+        net.attach(name, self._on_datagram,
+                   nic_mbps=self.node.instance.network_mbps)
+
+    def config_pool_size(self) -> int:
+        return self.calib.rr_process_pool
+
+    # ------------------------------------------------------------------ #
+
+    def _jitter(self, mean: float) -> float:
+        sigma = self.calib.service_sigma
+        return mean * self._service_rng.lognormvariate(-sigma * sigma / 2.0, sigma)
+
+    def _on_datagram(self, src: str, payload) -> None:
+        if isinstance(payload, QoSResponse):
+            event = self._pending.pop(payload.request_id, None)
+            if event is not None and not event.triggered:   # type: ignore[attr-defined]
+                event.trigger(payload)                       # type: ignore[attr-defined]
+
+    def route(self, key: str) -> str:
+        """The paper's routing function over this router's backend list."""
+        return self.qos_servers[crc32_router(key, len(self.qos_servers))]
+
+    # ------------------------------------------------------------------ #
+
+    def handle(self, key: str, cost: float = 1.0):
+        """Process one QoS request end to end (generator; yields sim events).
+
+        Returns the :class:`~repro.core.protocol.QoSResponse` — either the
+        QoS server's verdict or the default reply after retry exhaustion —
+        or ``None`` when the node is down (connection refused); callers
+        re-pick through the load balancer.  Run it with
+        ``resp = yield from router.handle(key)`` inside a client process.
+        """
+        if not self.running:
+            if False:
+                yield  # pragma: no cover - keeps this a generator
+            return None
+        yield self._pool.acquire()
+        try:
+            # Serialized accept/dispatch on the listen socket.
+            yield self._accept_lock.acquire()
+            try:
+                yield from self.node.cpu(self._jitter(self.calib.rr_accept_serial))
+            finally:
+                self._accept_lock.release()
+            # PHP request handling up to the UDP exchange.
+            yield from self.node.cpu(self._jitter(self.calib.rr_cpu_on_path * 0.6))
+            response = yield from self._udp_exchange(key, cost)
+            # PHP response rendering after the UDP exchange.
+            yield from self.node.cpu(self._jitter(self.calib.rr_cpu_on_path * 0.4))
+            # Async per-request CPU (kernel TCP stack, Apache bookkeeping).
+            self.sim.spawn(self.node.cpu(self._jitter(self.calib.rr_cpu_overhead)),
+                           f"{self.name}.ovh")
+            self.requests_handled += 1
+            return response
+        finally:
+            self._pool.release()
+
+    def _udp_exchange(self, key: str, cost: float):
+        """The timeout-and-retry UDP loop of §III-B."""
+        request_id = self._ids.next_id()
+        request = QoSRequest(request_id, key, cost)
+        target = self.route(key)
+        result_event = self.sim.event()
+        self._pending[request_id] = result_event
+        try:
+            for attempt in range(self.config.max_retries):
+                if attempt > 0:
+                    self.retries += 1
+                address = self._resolve(target)
+                self.net.udp_send(self.name, address, request, size_bytes=128)
+                outcome, value = yield first_of(
+                    self.sim, result_event, self.config.udp_timeout)
+                if outcome == "ok":
+                    return value
+            self.default_replies += 1
+            return QoSResponse(request_id, self.config.default_reply,
+                               is_default_reply=True)
+        finally:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+
+    def begin_window(self) -> None:
+        self.node.begin_window()
+        self._handled_window0 = self.requests_handled
+
+    def handled_in_window(self) -> int:
+        return self.requests_handled - self._handled_window0
+
+    def cpu_utilization(self) -> float:
+        return self.node.cpu_utilization()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def retire(self) -> None:
+        """Graceful scale-in: stop accepting new requests; in-flight
+        requests complete (the node stays attached for their responses)."""
+        self.running = False
+
+    def fail(self) -> None:
+        """Crash: refuse new requests and drop off the network.  UDP
+        responses for in-flight requests are lost; their handlers fall
+        through to the default reply after the retry budget."""
+        self.running = False
+        self.net.detach(self.name)

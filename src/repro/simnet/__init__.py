@@ -1,0 +1,51 @@
+"""Discrete-event cluster simulator: the AWS testbed stand-in.
+
+Provides the event kernel (:class:`~repro.simnet.engine.Simulation` and its
+:class:`~repro.simnet.engine.Event` / :class:`~repro.simnet.engine.Store` /
+:class:`~repro.simnet.engine.Resource` primitives), a network model with
+lognormal latency and UDP loss (:class:`~repro.simnet.network.Network`),
+multi-core nodes with CPU accounting (:class:`~repro.simnet.node.SimNode`),
+the Table I instance catalog, and deterministic named RNG streams.
+"""
+
+from repro.simnet.engine import (
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    Simulation,
+    Store,
+    first_of,
+)
+from repro.simnet.instances import (
+    C3_FAMILY,
+    INSTANCE_TYPES,
+    TABLE_I_ORDER,
+    InstanceType,
+    get_instance,
+)
+from repro.simnet.network import CLIENT_LINK, INTERNAL_LINK, LatencyModel, Network
+from repro.simnet.node import SimNode
+from repro.simnet.rng import DEFAULT_SEED, RngRegistry
+
+__all__ = [
+    "CLIENT_LINK",
+    "INTERNAL_LINK",
+    "C3_FAMILY",
+    "DEFAULT_SEED",
+    "Event",
+    "INSTANCE_TYPES",
+    "InstanceType",
+    "Interrupt",
+    "LatencyModel",
+    "Network",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimNode",
+    "Simulation",
+    "Store",
+    "TABLE_I_ORDER",
+    "first_of",
+    "get_instance",
+]

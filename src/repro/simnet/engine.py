@@ -1,0 +1,428 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic DES engine in the style of SimPy, specialized for
+this reproduction: a binary-heap event queue, generator-based processes,
+and the three coordination primitives the cluster model needs —
+:class:`Event`, :class:`Store` (the QoS server's FIFO) and
+:class:`Resource` (vCPU cores, the local-table lock).
+
+Processes are plain generators.  They may yield:
+
+- a non-negative ``float``/``int`` — sleep for that many simulated seconds;
+- an :class:`Event` — suspend until the event triggers; the ``yield``
+  evaluates to the event's value;
+- another :class:`Process` — suspend until that process finishes.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotone sequence number breaks ties), so two runs with the same
+seeds produce identical traces.  This is the property the model
+cross-validation tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Simulation", "Event", "Process", "Store", "Resource", "Interrupt",
+           "first_of"]
+
+
+def first_of(sim: "Simulation", event: "Event", delay: float) -> "Event":
+    """An event racing ``event`` against a ``delay`` timeout.
+
+    Triggers with ``("ok", value)`` if ``event`` fires first, or
+    ``("timeout", None)`` otherwise.  The loser is left un-consumed (the
+    underlying event may still trigger later), which is exactly the
+    semantics a UDP retry loop needs.
+    """
+    out = Event(sim)
+
+    def on_ok(value: Any) -> None:
+        if not out._triggered:
+            out.trigger(("ok", value))
+
+    def on_timeout() -> None:
+        if not out._triggered:
+            out.trigger(("timeout", None))
+
+    event.add_callback(on_ok)
+    sim.call_in(delay, on_timeout)
+    return out
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event triggers at most once with an optional value; every process
+    waiting on it resumes (in wait order) with that value.  Processes that
+    yield an already-triggered event resume immediately.
+    """
+
+    __slots__ = ("sim", "_triggered", "value", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self._triggered = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._schedule_resume(proc, value)
+        self._waiters.clear()
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Call ``fn(value)`` when the event triggers (immediately if it
+        already has).  Used to build composite events such as
+        :func:`first_of`."""
+        if self._triggered:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.sim._schedule_resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """A running generator inside the simulation."""
+
+    __slots__ = ("sim", "name", "_gen", "_done", "_result", "_completion",
+                 "_waiting_on", "_sleep_handle")
+
+    def __init__(self, sim: "Simulation", gen: ProcessGen, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._done = False
+        self._result: Any = None
+        self._completion: Optional[Event] = None
+        self._waiting_on: Optional[Event] = None
+        self._sleep_handle: Optional[list] = None   # cancellable heap entry
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name!r} still running")
+        return self._result
+
+    def completion_event(self) -> Event:
+        """Event triggered (with the return value) when this process ends."""
+        if self._completion is None:
+            self._completion = Event(self.sim)
+            if self._done:
+                self._completion.trigger(self._result)
+        return self._completion
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        if self._sleep_handle is not None:
+            self._sleep_handle[3] = None          # cancel pending resume
+            self._sleep_handle = None
+        self.sim._schedule_throw(self, Interrupt(cause))
+
+    # -- internal stepping -------------------------------------------------
+
+    def _step(self, send_value: Any = None, throw_exc: Optional[BaseException] = None):
+        self._waiting_on = None
+        self._sleep_handle = None
+        try:
+            if throw_exc is not None:
+                yielded = self._gen.throw(throw_exc)
+            else:
+                yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: treat as exit.
+            self._finish(None)
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}")
+            self._sleep_handle = self.sim._schedule_entry(
+                self.sim.now + float(yielded), self, None)
+        elif isinstance(yielded, Event):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            ev = yielded.completion_event()
+            self._waiting_on = ev
+            ev._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}")
+
+    def _finish(self, result: Any) -> None:
+        self._done = True
+        self._result = result
+        if self._completion is not None and not self._completion.triggered:
+            self._completion.trigger(result)
+
+
+class Simulation:
+    """The event loop: simulated clock plus a heap of pending resumptions."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[list] = []      # [time, seq, proc_or_None, payload]
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def clock(self) -> float:
+        """The :data:`repro.core.clock.Clock` view of simulated time."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, entry: list) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def _schedule_entry(self, at: float, proc: Process, payload: Any) -> list:
+        entry = [at, self._seq, proc, ("resume", payload)]
+        self._seq += 1
+        self._push(entry)
+        return entry
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self._schedule_entry(self._now, proc, value)
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        entry = [self._now, self._seq, proc, ("throw", exc)]
+        self._seq += 1
+        self._push(entry)
+
+    def call_at(self, at: float, fn: Callable, *args: Any) -> None:
+        """Run a plain callback at simulated time ``at``."""
+        if at < self._now:
+            raise SimulationError(f"cannot schedule in the past ({at} < {self._now})")
+        entry = [at, self._seq, None, ("call", (fn, args))]
+        self._seq += 1
+        self._push(entry)
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        self.call_at(self._now + delay, fn, *args)
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Start a generator process; its first step runs at the current time."""
+        proc = Process(self, gen, name)
+        entry = [self._now, self._seq, proc, ("start", None)]
+        self._seq += 1
+        self._push(entry)
+        return proc
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers after ``delay`` seconds."""
+        ev = Event(self)
+        self.call_in(delay, lambda: None if ev.triggered else ev.trigger(value))
+        return ev
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> float:
+        """Drain the event heap, optionally stopping at time ``until``.
+
+        Returns the simulation time when the loop stopped.  ``max_events``
+        is a runaway guard for buggy models.
+        """
+        processed = 0
+        while self._heap:
+            at = self._heap[0][0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            entry = heapq.heappop(self._heap)
+            _, _, proc, payload = entry
+            if payload is None:        # cancelled sleep
+                continue
+            self._now = at
+            kind, arg = payload
+            self.events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if kind == "call":
+                fn, args = arg
+                fn(*args)
+            elif kind == "start":
+                proc._step()
+            elif kind == "resume":
+                if not proc._done:
+                    proc._step(send_value=arg)
+            elif kind == "throw":
+                if not proc._done:
+                    proc._step(throw_exc=arg)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown payload kind {kind!r}")
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+
+class Store:
+    """An unbounded FIFO with blocking ``get`` (the QoS server's packet FIFO)."""
+
+    __slots__ = ("sim", "_items", "_getters", "capacity", "dropped")
+
+    def __init__(self, sim: Simulation, capacity: Optional[int] = None):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.capacity = capacity
+        self.dropped = 0
+
+    def put(self, item: Any) -> bool:
+        """Add an item; returns False (drop) when a bounded store is full."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Event yielding the next item (immediate if one is buffered)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.trigger(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Resource:
+    """A counted resource with FIFO acquisition (cores, locks).
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            yield service_time
+        finally:
+            resource.release()
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters",
+                 "busy_time", "_last_change", "waits", "acquisitions")
+
+    def __init__(self, sim: Simulation, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.busy_time = 0.0              # integral of in_use over time
+        self._last_change = sim.now
+        self.waits = 0                    # acquisitions that had to queue
+        self.acquisitions = 0
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        self.acquisitions += 1
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            ev.trigger()
+        else:
+            self.waits += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without matching acquire")
+        while self._waiters:
+            event = self._waiters.popleft()
+            # A process interrupted while queued detaches from its acquire
+            # event; handing the slot to such an orphan would leak it.
+            if event._waiters or event._callbacks:
+                # Hand the slot to the next live waiter; in_use unchanged.
+                event.trigger()
+                return
+        self._account()
+        self._in_use -= 1
+
+    def busy_integral(self) -> float:
+        """Integral of in-use slots over time (for windowed utilization,
+        snapshot this at window start and subtract)."""
+        self._account()
+        return self.busy_time
+
+    def utilization(self) -> float:
+        """Mean busy fraction per capacity slot over the whole run."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time / (self.sim.now * self.capacity)

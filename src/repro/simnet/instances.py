@@ -1,0 +1,66 @@
+"""EC2 instance catalog — paper Table I plus the app-tier types of §V-D.
+
+Vertical-scaling experiments sweep the c3 family; the database is an
+r3.2xlarge; the photo app uses r3.large helpers.  ``network_mbps`` caps a
+node's aggregate traffic in the simulator, and ``price_usd_hr`` feeds the
+cost-efficiency extension analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["InstanceType", "INSTANCE_TYPES", "get_instance", "TABLE_I_ORDER"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceType:
+    """One row of Table I."""
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    network_mbps: int
+    price_usd_hr: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"{self.name}: vcpus must be >= 1")
+        if self.memory_gb <= 0 or self.network_mbps <= 0 or self.price_usd_hr <= 0:
+            raise ConfigurationError(f"{self.name}: resources must be positive")
+
+
+# Table I of the paper, verbatim, plus r3.large used by the photo app's
+# Memcached/MySQL helper nodes in §V-D (not in Table I; sized from the AWS
+# catalog of the period: 2 vCPU, 15.25 GB, moderate network).
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        InstanceType("c3.large", 2, 3.75, 250, 0.188),
+        InstanceType("c3.xlarge", 4, 7.5, 500, 0.376),
+        InstanceType("c3.2xlarge", 8, 15, 1000, 0.752),
+        InstanceType("c3.4xlarge", 16, 30, 2000, 1.504),
+        InstanceType("c3.8xlarge", 32, 60, 10000, 3.008),
+        InstanceType("r3.xlarge", 4, 30.5, 500, 0.455),
+        InstanceType("r3.2xlarge", 8, 61, 1000, 0.910),
+        InstanceType("r3.large", 2, 15.25, 250, 0.228),
+    )
+}
+
+#: The rows and order of Table I proper (excludes the r3.large extra).
+TABLE_I_ORDER = ("c3.large", "c3.xlarge", "c3.2xlarge", "c3.4xlarge",
+                 "c3.8xlarge", "r3.xlarge", "r3.2xlarge")
+
+#: The c3 family sweep used by the vertical-scaling figures (7 and 10).
+C3_FAMILY = ("c3.large", "c3.xlarge", "c3.2xlarge", "c3.4xlarge", "c3.8xlarge")
+
+
+def get_instance(name: str) -> InstanceType:
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCE_TYPES))
+        raise ConfigurationError(f"unknown instance type {name!r} (known: {known})") from None

@@ -1,0 +1,177 @@
+"""Network model: latency distributions, UDP loss, TCP connection cost.
+
+The evaluation runs in one AWS region (ap-southeast-2).  What matters for
+the paper's figures is:
+
+- the **internal** hop (router ↔ QoS server, LB ↔ router): tens of
+  microseconds one way with enhanced networking — small enough that the
+  paper's 100 µs UDP timeout usually passes on the first attempt
+  ("in the best case, the communication ... is completed at the first
+  attempt within 100 microseconds", §III-B);
+- the **client-facing** hop (client fleet ↔ load balancer / router):
+  hundreds of microseconds one way, which together with PHP processing
+  produces the ~1.1 ms round trips of Fig. 5;
+- the cost of the *extra TCP connection* a gateway load balancer inserts —
+  the ~500 µs penalty of Fig. 5;
+- UDP datagram loss that the router's timeout-and-retry loop compensates.
+
+Latency is sampled from a shifted lognormal: a hard floor (propagation +
+kernel) plus a lognormal body whose tail produces the P99/P99.9 spread.
+Hosts are assigned a *zone* (``"internal"`` or ``"client"``); a hop
+touching a client-zone host uses the client link model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.simnet.engine import Simulation
+from repro.simnet.rng import RngRegistry
+
+__all__ = ["LatencyModel", "Network", "INTERNAL_LINK", "CLIENT_LINK"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Shifted-lognormal one-way latency: ``floor + LogNormal(mu, sigma)``.
+
+    ``median_extra`` is the median of the lognormal body (so the one-way
+    median is ``floor + median_extra``).
+    """
+
+    floor: float
+    median_extra: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.floor < 0 or self.median_extra <= 0 or self.sigma <= 0:
+            raise ConfigurationError("latency parameters must be positive")
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median_extra)
+
+    def sample(self, rng) -> float:
+        return self.floor + rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.floor + math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+
+#: Same-placement internal hop: ~19 us median, ~20 us mean one way.
+INTERNAL_LINK = LatencyModel(floor=12e-6, median_extra=7e-6, sigma=0.55)
+#: Client-fleet to front-end hop: ~185 us median one way, heavier tail.
+CLIENT_LINK = LatencyModel(floor=130e-6, median_extra=42e-6, sigma=0.85)
+
+
+class Network:
+    """Message transport between named hosts inside one simulation.
+
+    UDP
+        :meth:`udp_send` delivers ``payload`` to the destination's handler
+        after a sampled latency, or silently drops it with probability
+        ``udp_loss``.
+    TCP
+        :meth:`tcp_connect_delay` samples the handshake cost (one RTT) and
+        :meth:`tcp_rtt` one request/response round trip.  TCP segments are
+        assumed never lost (retransmission hides loss at a latency cost
+        already inside the lognormal tail).
+
+    Hosts register a datagram handler with :meth:`attach`.  Pure clients
+    (no inbound datagrams) declare their zone with :meth:`register_zone`.
+    Per-packet NIC serialization is derived from the instance network cap.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rng: RngRegistry,
+        internal: LatencyModel = INTERNAL_LINK,
+        client: LatencyModel = CLIENT_LINK,
+        udp_loss: float = 1e-4,
+    ):
+        if not (0.0 <= udp_loss < 1.0):
+            raise ConfigurationError(f"udp_loss must be in [0, 1), got {udp_loss}")
+        self.sim = sim
+        self.internal_model = internal
+        self.client_model = client
+        self.udp_loss = udp_loss
+        self._latency_rng = rng.stream("net.latency")
+        self._loss_rng = rng.stream("net.loss")
+        self._handlers: dict[str, Callable[[str, Any], None]] = {}
+        self._nic_mbps: dict[str, int] = {}
+        self._zones: dict[str, str] = {}
+        self.udp_sent = 0
+        self.udp_dropped = 0
+
+    # ------------------------------------------------------------------ #
+
+    def attach(self, host: str, handler: Callable[[str, Any], None],
+               nic_mbps: int = 10_000, zone: str = "internal") -> None:
+        """Register ``host``; ``handler(src, payload)`` receives datagrams."""
+        if host in self._handlers:
+            raise SimulationError(f"host {host!r} already attached")
+        self._handlers[host] = handler
+        self._nic_mbps[host] = nic_mbps
+        self.register_zone(host, zone)
+
+    def register_zone(self, host: str, zone: str) -> None:
+        if zone not in ("internal", "client"):
+            raise ConfigurationError(f"zone must be 'internal' or 'client', got {zone!r}")
+        self._zones[host] = zone
+
+    def detach(self, host: str) -> None:
+        """Remove a host (failed node); in-flight packets to it are lost."""
+        self._handlers.pop(host, None)
+        self._nic_mbps.pop(host, None)
+
+    def is_attached(self, host: str) -> bool:
+        return host in self._handlers
+
+    # ------------------------------------------------------------------ #
+
+    def _model_for(self, src: Optional[str], dst: Optional[str]) -> LatencyModel:
+        if (self._zones.get(src or "", "internal") == "client"
+                or self._zones.get(dst or "", "internal") == "client"):
+            return self.client_model
+        return self.internal_model
+
+    def _serialization(self, host: Optional[str], size_bytes: int) -> float:
+        mbps = self._nic_mbps.get(host or "", 10_000)
+        return size_bytes * 8 / (mbps * 1e6)
+
+    def one_way(self, src: Optional[str] = None, dst: Optional[str] = None) -> float:
+        """Sample a one-way latency between two hosts (no loss, no NIC cost)."""
+        return self._model_for(src, dst).sample(self._latency_rng)
+
+    def udp_send(self, src: str, dst: str, payload: Any,
+                 size_bytes: int = 128) -> None:
+        """Send a datagram; it may be silently dropped (UDP semantics)."""
+        self.udp_sent += 1
+        if self._loss_rng.random() < self.udp_loss:
+            self.udp_dropped += 1
+            return
+        delay = (self.one_way(src, dst)
+                 + self._serialization(src, size_bytes)
+                 + self._serialization(dst, size_bytes))
+
+        def deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is not None:     # dst may have failed in flight
+                handler(src, payload)
+
+        self.sim.call_in(delay, deliver)
+
+    def tcp_connect_delay(self, src: Optional[str] = None,
+                          dst: Optional[str] = None) -> float:
+        """Cost of establishing a TCP connection (SYN/SYN-ACK: one RTT)."""
+        return self.one_way(src, dst) + self.one_way(src, dst)
+
+    def tcp_rtt(self, src: Optional[str] = None, dst: Optional[str] = None,
+                size_bytes: int = 512) -> float:
+        """One request/response exchange on an established connection."""
+        return (self.one_way(src, dst) + self.one_way(src, dst)
+                + 2 * size_bytes * 8 / 1e10)

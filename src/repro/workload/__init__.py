@@ -1,0 +1,33 @@
+"""Workload generation: key populations, arrival processes, load drivers."""
+
+from repro.workload.ab import AbResult, run_ab
+from repro.workload.arrival import NoisyConstantArrivals, PoissonArrivals
+from repro.workload.keygen import (
+    KEY_POPULATIONS,
+    KeyCycle,
+    ZipfKeyChooser,
+    english_keys,
+    rule_population,
+    sequential_keys,
+    timestamp_keys,
+    uuid_keys,
+)
+from repro.workload.simclient import ClosedLoopClient, OpenLoopDriver, qos_round_trip
+
+__all__ = [
+    "AbResult",
+    "ClosedLoopClient",
+    "KEY_POPULATIONS",
+    "KeyCycle",
+    "NoisyConstantArrivals",
+    "OpenLoopDriver",
+    "PoissonArrivals",
+    "ZipfKeyChooser",
+    "english_keys",
+    "qos_round_trip",
+    "rule_population",
+    "run_ab",
+    "sequential_keys",
+    "timestamp_keys",
+    "uuid_keys",
+]

@@ -1,0 +1,107 @@
+"""An ApacheBench-style load tool for the real-socket runtime (paper §V).
+
+The paper generates its load with "a modified version of the Apache HTTP
+server benchmarking tool" — concurrent closed-loop workers issuing QoS
+requests *with different QoS keys* and recording per-request round-trip
+latency.  :func:`run_ab` reproduces that against a
+:class:`~repro.runtime.cluster.LocalCluster` endpoint (or any Janus HTTP
+endpoint) and returns the same statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.histogram import LatencySample, LatencySummary
+from repro.runtime.client import QoSClient
+
+__all__ = ["AbResult", "run_ab"]
+
+
+@dataclass(frozen=True, slots=True)
+class AbResult:
+    """Aggregate result of one ``ab`` run."""
+
+    requests: int
+    duration: float
+    allowed: int
+    denied: int
+    default_replies: int
+    transport_errors: int
+    latency: LatencySummary
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+
+def run_ab(
+    endpoint: str,
+    keygen: Callable[[int, int], str],
+    *,
+    n_requests: int = 1_000,
+    concurrency: int = 4,
+    timeout: float = 5.0,
+    warmup_requests: int = 0,
+) -> AbResult:
+    """Drive ``endpoint`` with ``concurrency`` closed-loop workers.
+
+    ``keygen(worker_id, i)`` supplies the QoS key for worker ``worker_id``'s
+    ``i``-th request.  ``n_requests`` is the total across all workers.
+    """
+    if n_requests < 1 or concurrency < 1:
+        raise ConfigurationError("n_requests and concurrency must be >= 1")
+    per_worker = [n_requests // concurrency] * concurrency
+    for i in range(n_requests % concurrency):
+        per_worker[i] += 1
+
+    samples: list[list[float]] = [[] for _ in range(concurrency)]
+    allowed = [0] * concurrency
+    denied = [0] * concurrency
+    defaults = [0] * concurrency
+    errors = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(wid: int) -> None:
+        client = QoSClient(endpoint, timeout=timeout)
+        for i in range(warmup_requests // concurrency):
+            client.check(keygen(wid, -1 - i))
+        barrier.wait()
+        for i in range(per_worker[wid]):
+            result = client.check_detailed(keygen(wid, i))
+            samples[wid].append(result.latency)
+            if result.attempts == 0:
+                errors[wid] += 1
+            if result.is_default_reply:
+                defaults[wid] += 1
+            if result.allowed:
+                allowed[wid] += 1
+            else:
+                denied[wid] += 1
+        client.close()
+
+    threads = [threading.Thread(target=worker, args=(w,), daemon=True)
+               for w in range(concurrency)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.monotonic()
+    for t in threads:
+        t.join()
+    duration = time.monotonic() - t0
+
+    sample = LatencySample()
+    for chunk in samples:
+        sample.extend(chunk)
+    return AbResult(
+        requests=n_requests,
+        duration=duration,
+        allowed=sum(allowed),
+        denied=sum(denied),
+        default_replies=sum(defaults),
+        transport_errors=sum(errors),
+        latency=sample.summary())

@@ -1,0 +1,64 @@
+"""Open-loop arrival processes (paper §V-D).
+
+Fig. 13's client accesses the photo application "with an access rate of 130
+requests per second, with an intentionally added noises".
+:class:`NoisyConstantArrivals` reproduces that: a constant base rate with
+multiplicative noise per one-second epoch.  :class:`PoissonArrivals` is the
+standard memoryless alternative used by several tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["PoissonArrivals", "NoisyConstantArrivals"]
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival gaps at ``rate`` events/second."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed ^ 0x9015)
+
+    def gaps(self) -> Iterator[float]:
+        while True:
+            yield self._rng.expovariate(self.rate)
+
+
+class NoisyConstantArrivals:
+    """Near-constant arrivals whose rate wobbles per epoch.
+
+    Within each ``epoch`` the instantaneous rate is
+    ``base_rate * (1 + U(-noise, +noise))`` and gaps are evenly spaced with
+    small per-gap jitter — a load generator aiming at a target rate, not a
+    Poisson process.
+    """
+
+    def __init__(self, base_rate: float, noise: float = 0.1,
+                 epoch: float = 1.0, seed: int = 0):
+        if base_rate <= 0:
+            raise ConfigurationError(f"base_rate must be > 0, got {base_rate}")
+        if not (0.0 <= noise < 1.0):
+            raise ConfigurationError(f"noise must be in [0, 1), got {noise}")
+        if epoch <= 0:
+            raise ConfigurationError(f"epoch must be > 0, got {epoch}")
+        self.base_rate = base_rate
+        self.noise = noise
+        self.epoch = epoch
+        self._rng = random.Random(seed ^ 0x4015E)
+
+    def gaps(self) -> Iterator[float]:
+        while True:
+            rate = self.base_rate * (1.0 + self._rng.uniform(-self.noise, self.noise))
+            gap = 1.0 / rate
+            emitted = 0.0
+            while emitted < self.epoch:
+                jittered = gap * self._rng.uniform(0.9, 1.1)
+                emitted += jittered
+                yield jittered

@@ -1,0 +1,179 @@
+"""QoS-key populations (paper Fig. 6 and the evaluation workloads).
+
+Fig. 6 measures routing uniformity over four key populations:
+
+(a) randomly generated UUIDs in ``xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx``
+    format;
+(b) randomly generated date-time strings in ``YYYY-MM-DD-HH-MM-SS`` format;
+(c) unique words from the English vocabulary;
+(d) sequential numbers from 1500000001 to 1500500000.
+
+The throughput evaluations draw from a large keyspace ("100 M QoS keys in
+the database, each ... ranging from 1 request per second to 10 K requests
+per second"); :func:`rule_population` reproduces that distribution at a
+configurable scale.
+
+No word list ships with the OS reliably, so the English vocabulary is
+generated: pronounceable unique words built from syllables, which have the
+same property that matters here — variable-length human-language-like
+strings, not uniformly random bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List
+
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+
+__all__ = [
+    "uuid_keys",
+    "timestamp_keys",
+    "english_keys",
+    "sequential_keys",
+    "KEY_POPULATIONS",
+    "rule_population",
+    "KeyCycle",
+]
+
+_HEX = "0123456789abcdef"
+
+
+def uuid_keys(n: int, seed: int = 0) -> List[str]:
+    """Population (a): random UUID-formatted strings."""
+    rng = random.Random(seed ^ 0xA11CE)
+    out = []
+    for _ in range(n):
+        h = "".join(rng.choices(_HEX, k=32))
+        out.append(f"{h[:8]}-{h[8:12]}-{h[12:16]}-{h[16:20]}-{h[20:]}")
+    return out
+
+
+def timestamp_keys(n: int, seed: int = 0) -> List[str]:
+    """Population (b): random ``YYYY-MM-DD-HH-MM-SS`` strings."""
+    rng = random.Random(seed ^ 0x7135)
+    out = []
+    for _ in range(n):
+        out.append("%04d-%02d-%02d-%02d-%02d-%02d" % (
+            rng.randint(1990, 2030), rng.randint(1, 12), rng.randint(1, 28),
+            rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59)))
+    return out
+
+
+_ONSETS = ("b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h",
+           "j", "k", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sh",
+           "sk", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w", "z")
+_VOWELS = ("a", "ai", "e", "ea", "ee", "i", "o", "oa", "oo", "ou", "u")
+_CODAS = ("", "b", "ck", "d", "ft", "g", "l", "ld", "m", "mp", "n", "nd",
+          "ng", "nt", "p", "r", "rd", "rk", "rn", "s", "sh", "st", "t", "th")
+
+
+def english_keys(n: int, seed: int = 0) -> List[str]:
+    """Population (c): unique pronounceable English-like words.
+
+    Words are 1–3 syllables drawn deterministically; duplicates are skipped
+    so the population is unique, matching "unique words from the English
+    vocabulary".
+    """
+    rng = random.Random(seed ^ 0xE09)
+    seen: set[str] = set()
+    out: List[str] = []
+    syllables_cycle = itertools.cycle((1, 2, 2, 3))
+    while len(out) < n:
+        word = "".join(
+            rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS)
+            for _ in range(next(syllables_cycle)))
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return out
+
+
+def sequential_keys(n: int, start: int = 1_500_000_001) -> List[str]:
+    """Population (d): sequential numbers starting from 1500000001."""
+    return [str(start + i) for i in range(n)]
+
+
+#: Fig. 6's four populations, by label.
+KEY_POPULATIONS = {
+    "UUID": uuid_keys,
+    "TimeStamp": timestamp_keys,
+    "EnglishVocabulary": english_keys,
+    "SequentialNumbers": lambda n, seed=0: sequential_keys(n),
+}
+
+
+def rule_population(n: int, seed: int = 0,
+                    min_rate: float = 1.0, max_rate: float = 10_000.0,
+                    burst_seconds: float = 10.0) -> Iterator[QoSRule]:
+    """The evaluation's rule table: rates log-uniform in [1, 10k] rps.
+
+    "Each QoS key is associated with a different QoS rule ranging from 1
+    request per second to 10 K requests per second."  Bucket capacity is
+    ``rate * burst_seconds``, the 10x-burst headroom used in the paper's
+    §II-C example (rate 100, capacity 1000).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    rng = random.Random(seed ^ 0xBEEF)
+    log_lo, log_hi = (min_rate, max_rate)
+    for key in uuid_keys(n, seed):
+        rate = log_lo * (log_hi / log_lo) ** rng.random()
+        yield QoSRule(key=key, refill_rate=rate,
+                      capacity=max(1.0, rate * burst_seconds))
+
+
+class KeyCycle:
+    """Deterministic round-robin over a key list (client request streams)."""
+
+    def __init__(self, keys: List[str], start: int = 0):
+        if not keys:
+            raise ConfigurationError("KeyCycle needs at least one key")
+        self._keys = keys
+        self._i = start % len(keys)
+
+    def __call__(self) -> str:
+        key = self._keys[self._i]
+        self._i = (self._i + 1) % len(self._keys)
+        return key
+
+
+class ZipfKeyChooser:
+    """Popularity-skewed key selection: P(rank r) ∝ 1/r^exponent.
+
+    Real SaaS traffic is heavily skewed — a few tenants dominate.  Under
+    key partitioning a hot tenant cannot be spread across QoS servers
+    (every key lives on exactly one partition), which the ``hot key``
+    ablation benchmark quantifies.  ``exponent=0`` degenerates to uniform.
+    """
+
+    def __init__(self, keys: List[str], exponent: float = 1.0, seed: int = 0):
+        if not keys:
+            raise ConfigurationError("ZipfKeyChooser needs at least one key")
+        if exponent < 0:
+            raise ConfigurationError(f"exponent must be >= 0, got {exponent}")
+        self._keys = keys
+        self.exponent = exponent
+        self._rng = random.Random(seed ^ 0x21FF)
+        weights = [1.0 / (rank ** exponent) for rank in range(1, len(keys) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0      # guard against fp undershoot
+
+    def __call__(self) -> str:
+        import bisect
+        u = self._rng.random()
+        return self._keys[bisect.bisect_left(self._cumulative, u)]
+
+    def probability(self, rank: int) -> float:
+        """P(key at 0-based popularity rank)."""
+        if not (0 <= rank < len(self._keys)):
+            raise ConfigurationError(f"rank out of range: {rank}")
+        prev = self._cumulative[rank - 1] if rank > 0 else 0.0
+        return self._cumulative[rank] - prev

@@ -1,0 +1,193 @@
+"""Simulated QoS clients driving a :class:`~repro.server.SimJanusCluster`.
+
+Two driver shapes cover the paper's evaluations:
+
+- :class:`ClosedLoopClient` — the modified-``ab`` model (§V): a client
+  thread issues a request, waits for the response, records the round-trip
+  latency, and immediately issues the next.  Fleet throughput adapts to
+  system capacity, which is how the scalability figures load Janus.
+- :class:`OpenLoopDriver` — fixed-rate arrivals regardless of completion
+  (Fig. 13's 130 rps photo-app client); each arrival runs as its own
+  process.
+
+Both understand the two load-balancing modes of Fig. 1: ``"dns"`` resolves
+the Janus domain through the client host's TTL-caching resolver and
+connects directly to a request router; ``"gateway"`` connects to the ELB,
+which opens a second TCP connection to a router — the extra hop measured
+in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.series import RequestLog
+from repro.server.cluster import SimJanusCluster
+from repro.server.router import SimRequestRouter
+
+__all__ = ["ClosedLoopClient", "OpenLoopDriver", "qos_round_trip"]
+
+KeyGen = Callable[[], str]
+
+
+def qos_round_trip(cluster: SimJanusCluster, client_host: str, key: str,
+                   mode: str, resolver=None):
+    """One client-observed QoS request; returns the QoSResponse.
+
+    A generator to be driven with ``yield from`` inside a client process.
+    Models: TCP connect, HTTP request hop, (gateway: LB forwarding), the
+    router's full handling including the UDP leg, and the response hops.
+    """
+    sim, net = cluster.sim, cluster.net
+    if mode == "dns":
+        if resolver is None:
+            raise ConfigurationError("dns mode needs the client's resolver")
+        # A dead router looks like connection-refused: the client retries
+        # the next address from the cached DNS answer.
+        for address in resolver.resolve(cluster.endpoint):
+            router = _router_by_name(cluster, address)
+            yield sim.timeout(net.tcp_connect_delay(client_host, address))
+            if not router.running:
+                continue
+            yield sim.timeout(net.one_way(client_host, address))
+            response = yield from router.handle(key)
+            if response is None:        # raced with the node going down
+                continue
+            yield sim.timeout(net.one_way(address, client_host))
+            return response
+        raise ConfigurationError("no reachable request router via DNS")
+    if mode == "gateway":
+        lb = cluster.gateway_lb
+        # The ELB health check hides dead backends; a race with a fresh
+        # failure surfaces as one extra pick.
+        for _ in range(3):
+            router = lb.pick()
+            lb.connection_opened(router)
+            try:
+                # Client to ELB: connect + request hop + LB request pass.
+                yield sim.timeout(net.tcp_connect_delay(client_host, lb.name))
+                yield sim.timeout(net.one_way(client_host, lb.name))
+                t_lb = sim.now
+                yield sim.timeout(lb.proc_time())
+                # "The load balancer node ... establishes another connection
+                # to the request router" (§V-A) — the gateway's extra cost.
+                yield sim.timeout(net.tcp_connect_delay(lb.name, router.name))
+                yield sim.timeout(net.one_way(lb.name, router.name))
+                response = yield from router.handle(key)
+                if response is None:
+                    continue
+                # Response path back through the appliance.
+                yield sim.timeout(net.one_way(router.name, lb.name))
+                yield sim.timeout(lb.proc_time())
+                lb.latency.record(sim.now - t_lb)
+                yield sim.timeout(net.one_way(lb.name, client_host))
+                return response
+            finally:
+                lb.connection_closed(router)
+        raise ConfigurationError("no reachable request router via the LB")
+    raise ConfigurationError(f"mode must be 'dns' or 'gateway', got {mode!r}")
+
+
+def _router_by_name(cluster: SimJanusCluster, name: str) -> SimRequestRouter:
+    for router in cluster.routers:
+        if router.name == name:
+            return router
+    raise ConfigurationError(f"unknown router address {name!r}")
+
+
+class ClosedLoopClient:
+    """One ``ab`` worker thread: request, wait, record, repeat."""
+
+    def __init__(
+        self,
+        cluster: SimJanusCluster,
+        name: str,
+        keygen: KeyGen,
+        *,
+        mode: str = "gateway",
+        n_requests: Optional[int] = None,
+        log: Optional[RequestLog] = None,
+        think_time: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.name = name
+        self.keygen = keygen
+        self.mode = mode
+        self.n_requests = n_requests
+        self.log = log if log is not None else RequestLog()
+        self.think_time = think_time
+        self._resolver = cluster.new_resolver() if mode == "dns" else None
+        cluster.net.register_zone(name, "client")
+        self.process = cluster.sim.spawn(self._run(), name)
+
+    def _run(self):
+        sim = self.cluster.sim
+        issued = 0
+        while self.n_requests is None or issued < self.n_requests:
+            issued += 1
+            start = sim.now
+            response = yield from qos_round_trip(
+                self.cluster, self.name, self.keygen(), self.mode,
+                resolver=self._resolver)
+            self.log.record(sim.now, sim.now - start, response.allowed,
+                            response.is_default_reply)
+            if self.think_time > 0:
+                yield self.think_time
+
+    @property
+    def done(self) -> bool:
+        return self.process.done
+
+
+class OpenLoopDriver:
+    """Fixed-rate request generator: one process per arrival."""
+
+    def __init__(
+        self,
+        cluster: SimJanusCluster,
+        name: str,
+        keygen: KeyGen,
+        gaps: Iterator[float],
+        *,
+        mode: str = "gateway",
+        duration: float = 10.0,
+        log: Optional[RequestLog] = None,
+    ):
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.cluster = cluster
+        self.name = name
+        self.keygen = keygen
+        self.gaps = gaps
+        self.mode = mode
+        self.duration = duration
+        self.log = log if log is not None else RequestLog()
+        self.in_flight = 0
+        self._resolver = cluster.new_resolver() if mode == "dns" else None
+        cluster.net.register_zone(name, "client")
+        self.process = cluster.sim.spawn(self._run(), name)
+
+    def _run(self):
+        sim = self.cluster.sim
+        t_end = sim.now + self.duration
+        serial = 0
+        while sim.now < t_end:
+            yield next(self.gaps)
+            if sim.now >= t_end:
+                break
+            serial += 1
+            sim.spawn(self._one_request(), f"{self.name}.req{serial}")
+
+    def _one_request(self):
+        sim = self.cluster.sim
+        self.in_flight += 1
+        try:
+            start = sim.now
+            response = yield from qos_round_trip(
+                self.cluster, self.name, self.keygen(), self.mode,
+                resolver=self._resolver)
+            self.log.record(sim.now, sim.now - start, response.allowed,
+                            response.is_default_reply)
+        finally:
+            self.in_flight -= 1

@@ -1,0 +1,77 @@
+"""Tests for the Memcached substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached import Memcached
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_set_get(self):
+        cache = Memcached()
+        cache.set("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1
+
+    def test_miss(self):
+        cache = Memcached()
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_delete(self):
+        cache = Memcached()
+        cache.set("k", 1)
+        assert cache.delete("k")
+        assert not cache.delete("k")
+        assert cache.get("k") is None
+
+    def test_overwrite(self):
+        cache = Memcached()
+        cache.set("k", 1)
+        cache.set("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+
+    def test_flush_all(self):
+        cache = Memcached()
+        cache.set("a", 1)
+        cache.set("b", 2)
+        cache.flush_all()
+        assert len(cache) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Memcached(max_items=0)
+
+
+class TestTTL:
+    def test_expires(self):
+        clock = ManualClock()
+        cache = Memcached(clock=clock)
+        cache.set("k", 1, ttl=10.0)
+        clock.advance(9.9)
+        assert cache.get("k") == 1
+        clock.advance(0.2)
+        assert cache.get("k") is None
+
+    def test_no_ttl_never_expires(self):
+        clock = ManualClock()
+        cache = Memcached(clock=clock)
+        cache.set("k", 1)
+        clock.advance(1e9)
+        assert cache.get("k") == 1
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = Memcached(max_items=2)
+        cache.set("a", 1)
+        cache.set("b", 2)
+        cache.get("a")              # refresh a
+        cache.set("c", 3)           # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.evictions == 1

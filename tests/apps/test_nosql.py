@@ -1,0 +1,127 @@
+"""Tests for the NoSQL service use case (§IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.nosql import NoSqlService, ThrottledError
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigurationError
+from repro.core.keys import user_database_key
+from repro.core.rules import QoSRule
+
+
+@pytest.fixture
+def stack():
+    clock = ManualClock()
+    source = InMemoryRuleSource({
+        user_database_key("alice", "hot"):
+            QoSRule(user_database_key("alice", "hot"),
+                    refill_rate=0.0, capacity=100.0),
+        user_database_key("alice", "cold"):
+            QoSRule(user_database_key("alice", "cold"),
+                    refill_rate=0.0, capacity=4.0),
+    })
+    controller = AdmissionController(source, clock=clock)
+    service = NoSqlService(lambda key, cost: controller.check(key, cost))
+    return service, controller, clock
+
+
+class TestDataPlane:
+    def test_put_get_delete(self, stack):
+        service, _, _ = stack
+        service.put("alice", "hot", "k1", {"v": 1})
+        assert service.get("alice", "hot", "k1").value == {"v": 1}
+        assert service.delete("alice", "hot", "k1").value is True
+        assert service.get("alice", "hot", "k1").value is None
+
+    def test_databases_isolated(self, stack):
+        service, _, _ = stack
+        service.put("alice", "hot", "k", "hot-value")
+        assert service.get("alice", "cold", "k").value is None
+
+    def test_scan_limit(self, stack):
+        service, _, _ = stack
+        for i in range(30):
+            service.put("alice", "hot", f"k{i}", i)
+        result = service.scan("alice", "hot", limit=10)
+        assert len(result.value) == 10
+
+
+class TestQuotas:
+    def test_per_database_rates_differ(self, stack):
+        """The §IV claim: one user, two databases, two quotas."""
+        service, _, _ = stack
+        # cold: capacity 4; writes cost 2 -> exactly 2 writes fit.
+        service.put("alice", "cold", "a", 1)
+        service.put("alice", "cold", "b", 2)
+        with pytest.raises(ThrottledError):
+            service.put("alice", "cold", "c", 3)
+        # hot is unaffected.
+        for i in range(10):
+            service.put("alice", "hot", f"k{i}", i)
+
+    def test_writes_cost_more_than_reads(self, stack):
+        service, controller, _ = stack
+        service.put("alice", "hot", "k", 1)         # cost 2
+        service.get("alice", "hot", "k")            # cost 1
+        bucket = controller.bucket_for(user_database_key("alice", "hot"))
+        assert bucket.peek_credit() == pytest.approx(97.0)
+
+    def test_scan_cost_scales_with_limit(self, stack):
+        service, controller, _ = stack
+        service.scan("alice", "hot", limit=100)     # cost 10
+        bucket = controller.bucket_for(user_database_key("alice", "hot"))
+        assert bucket.peek_credit() == pytest.approx(90.0)
+
+    def test_throttled_error_carries_context(self, stack):
+        service, _, _ = stack
+        service.put("alice", "cold", "a", 1)
+        service.put("alice", "cold", "b", 2)
+        with pytest.raises(ThrottledError) as info:
+            service.put("alice", "cold", "c", 3)
+        assert info.value.user == "alice"
+        assert info.value.database == "cold"
+        assert service.throttled == 1
+
+    def test_unknown_user_denied_by_default(self, stack):
+        service, _, _ = stack
+        with pytest.raises(ThrottledError):
+            service.get("mallory", "hot", "k")
+
+    def test_quota_refills_over_time(self):
+        clock = ManualClock()
+        key = user_database_key("u", "db")
+        source = InMemoryRuleSource(
+            {key: QoSRule(key, refill_rate=2.0, capacity=2.0, credit=0.0)})
+        controller = AdmissionController(source, clock=clock)
+        service = NoSqlService(lambda k, c: controller.check(k, c))
+        with pytest.raises(ThrottledError):
+            service.get("u", "db", "k")
+        clock.advance(1.0)
+        assert service.get("u", "db", "k").value is None
+
+
+class TestValidation:
+    def test_invalid_write_cost(self):
+        with pytest.raises(ConfigurationError):
+            NoSqlService(lambda k, c: True, write_cost=0.0)
+
+
+class TestAgainstRealCluster:
+    def test_nosql_over_real_sockets(self):
+        """The full §IV integration over the real runtime."""
+        from repro.runtime import LocalCluster
+        key = user_database_key("alice", "photos")
+        with LocalCluster(n_routers=1, n_qos_servers=2) as cluster:
+            cluster.rules.put_rule(
+                QoSRule(key, refill_rate=0.0, capacity=10.0))
+            client = cluster.client()
+            service = NoSqlService(lambda k, c: client.check(k, c))
+            # capacity 10, writes cost 2: five writes, then throttled.
+            for i in range(5):
+                service.put("alice", "photos", f"k{i}", i)
+            with pytest.raises(ThrottledError):
+                service.put("alice", "photos", "k5", 5)
+            assert service.database_size("photos") == 5

@@ -1,0 +1,89 @@
+"""Tests for the generic QoS wrapper flow (Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.webapp import HTTP_FORBIDDEN, HTTP_OK, SimWebService
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.rules import QoSRule
+from repro.simnet.engine import Simulation
+from repro.simnet.rng import RngRegistry
+
+
+def build_service(sim, with_qos: bool, rule_capacity=3.0):
+    source = InMemoryRuleSource(
+        {"alice": QoSRule("alice", refill_rate=0.0, capacity=rule_capacity)})
+    controller = AdmissionController(source, clock=sim.clock)
+
+    def qos_check(key):
+        # An in-process check still costs one simulated round trip.
+        yield sim.timeout(1e-3)
+        return controller.check(key)
+
+    def execution():
+        yield sim.timeout(5e-3)
+
+    return SimWebService(
+        sim, "svc", "c3.xlarge", execution,
+        qos_check=qos_check if with_qos else None,
+        rng=RngRegistry(41))
+
+
+class TestWithoutQoS:
+    def test_everything_served(self, sim):
+        service = build_service(sim, with_qos=False)
+        results = []
+
+        def client():
+            for _ in range(10):
+                results.append((yield from service.handle("alice")))
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        assert all(r.status == HTTP_OK for r in results)
+        assert all(r.qos_latency == 0.0 for r in results)
+        assert service.served == 10
+
+
+class TestWithQoS:
+    def test_throttles_over_quota(self, sim):
+        service = build_service(sim, with_qos=True, rule_capacity=3.0)
+        results = []
+
+        def client():
+            for _ in range(10):
+                results.append((yield from service.handle("alice")))
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        assert sum(r.status == HTTP_OK for r in results) == 3
+        assert sum(r.status == HTTP_FORBIDDEN for r in results) == 7
+        assert service.throttled == 7
+
+    def test_qos_latency_recorded(self, sim):
+        service = build_service(sim, with_qos=True)
+        results = []
+
+        def client():
+            results.append((yield from service.handle("alice")))
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        assert results[0].qos_latency == pytest.approx(1e-3, rel=0.01)
+
+    def test_throttled_path_much_faster(self, sim):
+        service = build_service(sim, with_qos=True, rule_capacity=1.0)
+        stamps = []
+
+        def client():
+            t0 = sim.now
+            yield from service.handle("alice")       # served
+            t1 = sim.now
+            yield from service.handle("alice")       # throttled
+            stamps.append((t1 - t0, sim.now - t1))
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        served_time, throttled_time = stamps[0]
+        assert throttled_time < served_time / 3

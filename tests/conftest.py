@@ -1,0 +1,41 @@
+"""Shared fixtures for the Janus reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.rules import QoSRule
+from repro.core.admission import InMemoryRuleSource
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(seed=42)
+
+
+@pytest.fixture
+def net(sim, rng) -> Network:
+    return Network(sim, rng, udp_loss=0.0)
+
+
+@pytest.fixture
+def rule_source() -> InMemoryRuleSource:
+    return InMemoryRuleSource({
+        "alice": QoSRule("alice", refill_rate=100.0, capacity=1000.0),
+        "bob": QoSRule("bob", refill_rate=10.0, capacity=100.0),
+        "deny": QoSRule("deny", refill_rate=0.0, capacity=0.0),
+    })

@@ -1,0 +1,224 @@
+"""Tests for the admission controller (the QoS server core, §II-C/D)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.bucket import RefillMode
+from repro.core.clock import ManualClock
+from repro.core.config import AdmissionConfig
+from repro.core.rules import DENY_ALL, GUEST_ACCESS, DefaultRulePolicy, QoSRule
+
+
+def make_controller(rule_source, clock, **config_kwargs):
+    return AdmissionController(
+        rule_source, AdmissionConfig(**config_kwargs), clock=clock)
+
+
+class TestBasicDecisions:
+    def test_known_key_admitted(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        assert controller.check("alice")
+
+    def test_deny_rule_denies(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        assert not controller.check("deny")
+
+    def test_unknown_key_uses_default_deny(self, rule_source, clock):
+        controller = make_controller(rule_source, clock, default_rule=DENY_ALL)
+        assert not controller.check("stranger")
+        assert controller.stats.unknown_keys == 1
+
+    def test_unknown_key_guest_access(self, rule_source, clock):
+        controller = make_controller(rule_source, clock,
+                                     default_rule=GUEST_ACCESS)
+        # Guest bucket: capacity 100 admits a burst then denies.
+        results = [controller.check("stranger") for _ in range(150)]
+        assert sum(results) == 100
+        assert not results[-1]
+
+    def test_quota_enforced_over_time(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        # bob: refill 10, capacity 100.  Drain the burst...
+        assert sum(controller.check("bob") for _ in range(150)) == 100
+        # ...then exactly rate * dt more become available.
+        clock.advance(2.0)
+        assert sum(controller.check("bob") for _ in range(50)) == 20
+
+    def test_stats_counters(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        controller.check("alice")
+        controller.check("alice")
+        controller.check("deny")
+        stats = controller.stats
+        assert stats.decisions == 3
+        assert stats.admitted == 2
+        assert stats.denied == 1
+        assert stats.rule_misses == 2       # alice + deny first-seen
+        assert stats.rule_hits == 1
+
+    def test_weighted_cost(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        assert controller.check("bob", cost=100.0)
+        assert not controller.check("bob")
+
+
+class TestLazyFetchAndMemory:
+    def test_rules_fetched_lazily(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        assert controller.table_size() == 0
+        controller.check("alice")
+        assert controller.table_size() == 1
+        assert controller.local_keys() == ["alice"]
+
+    def test_new_rule_immediately_effective(self, clock):
+        """'New QoS keys/rules are immediately effective as soon as they
+        are added to the database' (§II-D)."""
+        source = InMemoryRuleSource()
+        controller = make_controller(source, clock, default_rule=DENY_ALL)
+        source.put_rule(QoSRule("late", refill_rate=10.0, capacity=10.0))
+        assert controller.check("late")
+
+    def test_unknown_keys_not_memorized_when_disabled(self, clock):
+        source = InMemoryRuleSource()
+        policy = DefaultRulePolicy(refill_rate=0.0, capacity=0.0,
+                                   memorize_unknown_keys=False)
+        controller = make_controller(source, clock, default_rule=policy)
+        for i in range(50):
+            controller.check(f"hostile-{i}")
+        assert controller.table_size() == 0
+
+    def test_checkpointed_credit_seeds_bucket(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0, credit=2.0)})
+        controller = make_controller(source, clock)
+        assert controller.check("k")
+        assert controller.check("k")
+        assert not controller.check("k")
+
+
+class TestSync:
+    def test_sync_applies_rate_change(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=1.0, capacity=10.0)})
+        controller = make_controller(source, clock)
+        controller.check("k")
+        source.put_rule(QoSRule("k", refill_rate=99.0, capacity=500.0))
+        assert controller.sync_rules() == 1
+        bucket = controller.bucket_for("k")
+        assert bucket.refill_rate == 99.0
+        assert bucket.capacity == 500.0
+
+    def test_sync_unchanged_rules_untouched(self, rule_source, clock):
+        controller = make_controller(rule_source, clock)
+        controller.check("alice")
+        assert controller.sync_rules() == 0
+
+    def test_deleted_rule_falls_back_to_default(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=50.0, capacity=50.0)})
+        controller = make_controller(source, clock, default_rule=DENY_ALL)
+        controller.check("k")
+        source.delete_rule("k")
+        controller.sync_rules()
+        bucket = controller.bucket_for("k")
+        assert bucket.capacity == 0.0 and bucket.refill_rate == 0.0
+        assert not controller.check("k")
+
+    def test_checkpoint_writes_credits(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=10.0)})
+        controller = make_controller(source, clock)
+        for _ in range(4):
+            controller.check("k")
+        assert controller.checkpoint() == 1
+        assert source.get_rule("k").credit == pytest.approx(6.0)
+
+    def test_refill_all_counts_buckets(self, rule_source, clock):
+        controller = make_controller(rule_source, clock,
+                                     refill_mode=RefillMode.INTERVAL)
+        controller.check("alice")
+        controller.check("bob")
+        assert controller.refill_all() == 2
+
+
+class TestIntervalMode:
+    def test_interval_rate_enforcement(self, clock):
+        """Housekeeping refill reproduces the paper's admission behaviour."""
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=10.0, capacity=100.0, credit=0.0)})
+        controller = make_controller(source, clock,
+                                     refill_mode=RefillMode.INTERVAL,
+                                     refill_interval=0.1)
+        admitted = 0
+        for _ in range(100):                # 10 seconds of housekeeping
+            clock.advance(0.1)
+            controller.refill_all()
+            for _ in range(5):              # offered 50/s >> rate 10/s
+                admitted += controller.check("k")
+        assert admitted == pytest.approx(100, abs=2)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_round_trip(self, rule_source, clock):
+        master = make_controller(rule_source, clock)
+        master.check("alice")
+        master.check("bob")
+        slave = make_controller(rule_source, clock)
+        assert slave.restore(master.snapshot()) == 2
+        assert slave.table_size() == 2
+        a = slave.bucket_for("alice")
+        assert a.capacity == 1000.0 and a.refill_rate == 100.0
+        assert a.peek_credit() == pytest.approx(999.0, abs=0.01)
+
+    def test_restore_updates_existing_buckets(self, rule_source, clock):
+        master = make_controller(rule_source, clock)
+        slave = make_controller(rule_source, clock)
+        master.check("alice")
+        slave.restore(master.snapshot())
+        for _ in range(10):
+            master.check("alice")
+        slave.restore(master.snapshot())
+        assert slave.bucket_for("alice").peek_credit() == pytest.approx(
+            master.bucket_for("alice").peek_credit(), abs=0.1)
+
+
+class TestSharding:
+    @pytest.mark.parametrize("shards", [1, 4, 16])
+    def test_decisions_identical_across_shard_counts(self, shards, clock):
+        source = InMemoryRuleSource(
+            {f"k{i}": QoSRule(f"k{i}", refill_rate=0.0, capacity=3.0)
+             for i in range(20)})
+        controller = make_controller(source, clock, lock_shards=shards)
+        results = [controller.check(f"k{i % 20}") for i in range(200)]
+        # Every key admits exactly its capacity regardless of sharding.
+        assert sum(results) == 20 * 3
+
+    def test_concurrent_checks_conserve_quota(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=1000.0)})
+        controller = make_controller(source, clock, lock_shards=8)
+        admitted: list[int] = []
+
+        def worker():
+            count = sum(controller.check("k") for _ in range(500))
+            admitted.append(count)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 1000
+
+    def test_local_keys_spread_across_shards(self, clock):
+        source = InMemoryRuleSource(
+            {f"k{i}": QoSRule(f"k{i}", 1.0, 1.0) for i in range(64)})
+        controller = make_controller(source, clock, lock_shards=8)
+        for i in range(64):
+            controller.check(f"k{i}")
+        assert sorted(controller.local_keys()) == sorted(f"k{i}" for i in range(64))
+        assert controller.table_size() == 64

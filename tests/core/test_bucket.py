@@ -1,0 +1,229 @@
+"""Unit and property tests for the leaky bucket (paper Eqs. 1-2)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import LeakyBucket, RefillMode
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_starts_full_by_default(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, clock=clock)
+        assert bucket.credit == 10.0
+
+    def test_initial_credit_respected(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=3.0, clock=clock)
+        assert bucket.credit == 3.0
+
+    def test_initial_credit_clamped_to_capacity(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=25.0, clock=clock)
+        assert bucket.credit == 10.0
+
+    def test_negative_initial_credit_clamped_to_zero(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=-5.0, clock=clock)
+        assert bucket.credit == 0.0
+
+    def test_zero_capacity_allowed(self, clock):
+        bucket = LeakyBucket(0.0, 0.0, clock=clock)
+        assert not bucket.try_consume()
+
+    @pytest.mark.parametrize("capacity,rate", [(-1.0, 1.0), (1.0, -1.0)])
+    def test_negative_parameters_rejected(self, capacity, rate):
+        with pytest.raises(ConfigurationError):
+            LeakyBucket(capacity, rate)
+
+    def test_repr_mentions_parameters(self, clock):
+        text = repr(LeakyBucket(5.0, 2.0, clock=clock))
+        assert "5.0" in text and "2.0" in text
+
+
+class TestConsume:
+    def test_consume_deducts_one(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, clock=clock)
+        assert bucket.try_consume()
+        assert bucket.credit == 9.0
+
+    def test_deny_when_empty(self, clock):
+        bucket = LeakyBucket(2.0, 0.0, clock=clock)
+        assert bucket.try_consume()
+        assert bucket.try_consume()
+        assert not bucket.try_consume()
+        assert bucket.credit == 0.0
+
+    def test_weighted_consume(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, clock=clock)
+        assert bucket.try_consume(7.5)
+        assert bucket.credit == pytest.approx(2.5)
+
+    def test_continuous_requires_full_cost(self, clock):
+        # With lazy refill, credit 0.5 must NOT admit a cost-1 request:
+        # the paper's strictly-positive rule only applies to interval mode.
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=0.0, clock=clock)
+        clock.advance(0.5)
+        assert not bucket.try_consume()
+
+    def test_interval_mode_admits_on_positive_credit(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=0.5,
+                             mode=RefillMode.INTERVAL, clock=clock)
+        assert bucket.try_consume()     # paper rule: credit > 0 admits
+        assert bucket.credit == 0.0     # floored at zero
+
+    def test_consume_rejects_non_positive_amount(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0.0)
+
+    def test_counters(self, clock):
+        bucket = LeakyBucket(1.0, 0.0, clock=clock)
+        bucket.try_consume()
+        bucket.try_consume()
+        assert bucket.consumed_total == 1
+        assert bucket.denied_total == 1
+
+
+class TestRefill:
+    def test_continuous_refill_accumulates(self, clock):
+        bucket = LeakyBucket(1000.0, 100.0, initial_credit=0.0, clock=clock)
+        clock.advance(3.0)
+        assert bucket.credit == pytest.approx(300.0)
+
+    def test_credit_capped_at_capacity(self, clock):
+        # Eq. 2: f(t) <= C even after a long idle period (the burst example
+        # of §II-C: rate 100, capacity 1000, >10 s idle -> full bucket).
+        bucket = LeakyBucket(1000.0, 100.0, initial_credit=0.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.credit == 1000.0
+
+    def test_interval_mode_needs_explicit_refill(self, clock):
+        bucket = LeakyBucket(100.0, 10.0, initial_credit=0.0,
+                             mode=RefillMode.INTERVAL, clock=clock)
+        clock.advance(5.0)
+        assert bucket.peek_credit() == 0.0
+        bucket.refill()
+        assert bucket.peek_credit() == pytest.approx(50.0)
+
+    def test_burst_then_steady_state(self, clock):
+        # The Fig. 13a dynamic: consume at 130/s against refill 100/s with
+        # capacity 1000 -> ~33 s of burst, then exactly the refill rate.
+        bucket = LeakyBucket(1000.0, 100.0, clock=clock)
+        admitted_first_30s = 0
+        admitted_40_to_70s = 0
+        for step in range(70 * 130):
+            clock.advance(1.0 / 130.0)
+            if bucket.try_consume():
+                t = step / 130.0
+                if t < 30.0:
+                    admitted_first_30s += 1
+                elif 40.0 <= t < 70.0:
+                    admitted_40_to_70s += 1
+        assert admitted_first_30s == 30 * 130           # burst: all admitted
+        assert admitted_40_to_70s == pytest.approx(3000, rel=0.02)
+
+    def test_zero_rate_never_refills(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, initial_credit=0.0, clock=clock)
+        clock.advance(1e6)
+        assert bucket.credit == 0.0
+
+
+class TestRuleUpdate:
+    def test_update_rule_changes_rates(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, clock=clock)
+        bucket.update_rule(capacity=20.0, refill_rate=5.0)
+        assert bucket.capacity == 20.0
+        assert bucket.refill_rate == 5.0
+
+    def test_shrinking_capacity_clamps_credit(self, clock):
+        bucket = LeakyBucket(100.0, 1.0, clock=clock)
+        bucket.update_rule(capacity=5.0, refill_rate=1.0)
+        assert bucket.credit <= 5.0
+
+    def test_update_rule_rejects_negative(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            bucket.update_rule(-1.0, 1.0)
+
+    def test_restore_credit_clamps(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, clock=clock)
+        bucket.restore_credit(99.0)
+        assert bucket.peek_credit() == 10.0
+        bucket.restore_credit(-3.0)
+        assert bucket.peek_credit() == 0.0
+
+
+class TestTimeToCredit:
+    def test_already_available(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, clock=clock)
+        assert bucket.time_to_credit(1.0) == 0.0
+
+    def test_linear_eta(self, clock):
+        bucket = LeakyBucket(10.0, 2.0, initial_credit=0.0, clock=clock)
+        assert bucket.time_to_credit(4.0) == pytest.approx(2.0)
+
+    def test_unreachable_target(self, clock):
+        assert LeakyBucket(10.0, 0.0, initial_credit=0.0,
+                           clock=clock).time_to_credit() == float("inf")
+        assert LeakyBucket(10.0, 1.0, clock=clock).time_to_credit(11.0) == float("inf")
+
+
+class TestInvariants:
+    @given(
+        capacity=st.floats(0.0, 1e6),
+        rate=st.floats(0.0, 1e4),
+        events=st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(0.1, 10.0)),
+            max_size=60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_credit_always_within_bounds(self, capacity, rate, events):
+        """0 <= f(t) <= C under any schedule of advances and consumes."""
+        clk = ManualClock()
+        bucket = LeakyBucket(capacity, rate, clock=clk)
+        for advance, amount in events:
+            clk.advance(advance)
+            bucket.try_consume(amount)
+            credit = bucket.credit
+            assert 0.0 <= credit <= capacity + 1e-9
+
+    @given(rate=st.floats(1.0, 1000.0), seconds=st.integers(10, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_longrun_admission_bounded_by_refill(self, rate, seconds):
+        """Admitted throughput from an empty bucket never exceeds the rate
+        (the quota-enforcement guarantee a provider sells)."""
+        clk = ManualClock()
+        bucket = LeakyBucket(rate * 5, rate, initial_credit=0.0, clock=clk)
+        dt = 1.0 / (4.0 * rate)      # offered at 4x the purchased rate
+        admitted = 0
+        steps = int(seconds / dt)
+        for _ in range(min(steps, 20000)):
+            clk.advance(dt)
+            if bucket.try_consume():
+                admitted += 1
+        elapsed = min(steps, 20000) * dt
+        assert admitted <= rate * elapsed * 1.01 + 1
+
+    def test_thread_safety_conserves_credit(self):
+        """Concurrent consumers never over-spend (no refill, fixed budget)."""
+        bucket = LeakyBucket(capacity=5000.0, refill_rate=0.0)
+        admitted = []
+
+        def worker():
+            count = 0
+            for _ in range(2000):
+                if bucket.try_consume():
+                    count += 1
+            admitted.append(count)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 5000
+        assert bucket.peek_credit() == 0.0

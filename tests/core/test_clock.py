@@ -1,0 +1,42 @@
+"""Tests for the clock abstraction."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.clock import MONOTONIC, ManualClock
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock()() == 0.0
+
+    def test_custom_start(self):
+        assert ManualClock(5.0)() == 5.0
+
+    def test_advance(self):
+        clk = ManualClock()
+        clk.advance(1.5)
+        clk.advance(0.5)
+        assert clk() == 2.0
+
+    def test_set(self):
+        clk = ManualClock()
+        clk.set(10.0)
+        assert clk() == 10.0
+
+    def test_no_time_travel(self):
+        clk = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clk.advance(-1.0)
+        with pytest.raises(ValueError):
+            clk.set(1.0)
+
+
+def test_monotonic_is_wall_clock():
+    assert MONOTONIC is time.monotonic
+    a = MONOTONIC()
+    b = MONOTONIC()
+    assert b >= a

@@ -1,0 +1,111 @@
+"""Tests for the duplicate-suppression cache (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.dedup import DedupCache
+from repro.core.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_miss_then_hit(self, clock):
+        cache = DedupCache(1.0, clock=clock)
+        assert cache.lookup("rr-0", 1) is None
+        cache.remember("rr-0", 1, True)
+        assert cache.lookup("rr-0", 1) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_verdict_preserved(self, clock):
+        cache = DedupCache(1.0, clock=clock)
+        cache.remember("rr-0", 1, False)
+        assert cache.lookup("rr-0", 1) is False
+
+    def test_source_scoped(self, clock):
+        """Request ids are per-router; the same id from another router is
+        a different logical request."""
+        cache = DedupCache(1.0, clock=clock)
+        cache.remember("rr-0", 7, True)
+        assert cache.lookup("rr-1", 7) is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DedupCache(0.0)
+        with pytest.raises(ConfigurationError):
+            DedupCache(1.0, max_entries=0)
+
+
+class TestExpiry:
+    def test_window_expires(self, clock):
+        cache = DedupCache(1.0, clock=clock)
+        cache.remember("rr-0", 1, True)
+        clock.advance(0.9)
+        assert cache.lookup("rr-0", 1) is True
+        clock.advance(0.2)
+        assert cache.lookup("rr-0", 1) is None
+
+    def test_expired_entries_evicted(self, clock):
+        cache = DedupCache(1.0, clock=clock)
+        for i in range(50):
+            cache.remember("rr-0", i, True)
+        clock.advance(2.0)
+        cache.remember("rr-0", 999, True)
+        assert len(cache) == 1
+        assert cache.evictions == 50
+
+    def test_max_entries_bounds_memory(self, clock):
+        cache = DedupCache(1000.0, max_entries=10, clock=clock)
+        for i in range(100):
+            cache.remember("rr-0", i, True)
+        assert len(cache) <= 11
+
+
+class TestEndToEndSim:
+    def test_dedup_prevents_duplicate_credit_consumption(self):
+        """A server with a too-slow response path plus an aggressive router
+        timeout consumes duplicate credits — unless dedup is on."""
+        from repro.core.admission import InMemoryRuleSource
+        from repro.core.config import RouterConfig, ServerConfig
+        from repro.core.rules import QoSRule
+        from repro.server.qos_server import SimQoSServer
+        from repro.server.router import SimRequestRouter
+        from repro.simnet.engine import Simulation
+        from repro.simnet.network import LatencyModel, Network
+        from repro.simnet.rng import RngRegistry
+
+        def run(dedup_window):
+            sim = Simulation()
+            rng = RngRegistry(5)
+            # Internal latency deliberately ABOVE the UDP timeout: every
+            # exchange times out at least once and a late response crosses
+            # a retry.
+            slow = LatencyModel(floor=250e-6, median_extra=30e-6, sigma=0.3)
+            net = Network(sim, rng, internal=slow, udp_loss=0.0)
+            source = InMemoryRuleSource(
+                {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+            server = SimQoSServer(
+                sim, net, "qos-0", "c3.xlarge", source,
+                config=ServerConfig(workers=4, dedup_window=dedup_window),
+                rng=rng, warm=True)
+            router = SimRequestRouter(
+                sim, net, "rr-0", "c3.xlarge", ["qos-0"],
+                config=RouterConfig(udp_timeout=400e-6, max_retries=5),
+                rng=rng)
+            done = []
+
+            def client():
+                for _ in range(30):
+                    response = yield from router.handle("k")
+                    done.append(response)
+
+            sim.spawn(client(), "c")
+            sim.run(until=2.0)
+            consumed = 100.0 - server.controller.bucket_for("k").peek_credit()
+            return consumed, len(done)
+
+        consumed_plain, n_plain = run(dedup_window=None)
+        consumed_dedup, n_dedup = run(dedup_window=5.0)
+        assert n_plain == n_dedup == 30
+        assert consumed_plain > 35          # duplicates burned extra credit
+        assert consumed_dedup == pytest.approx(30.0, abs=0.5)

@@ -1,0 +1,161 @@
+"""Tests for the routing hash algorithms (Fig. 2) and extensions."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RoutingError
+from repro.core.hashing import (
+    ConsistentHashRing,
+    ModuloRouter,
+    RendezvousRouter,
+    crc32_of,
+    crc32_router,
+    key_pressure,
+)
+from repro.workload.keygen import uuid_keys
+
+
+class TestCrc32Router:
+    def test_matches_zlib(self):
+        assert crc32_of("hello") == zlib.crc32(b"hello") & 0xFFFFFFFF
+
+    def test_deterministic(self):
+        assert crc32_router("some-key", 20) == crc32_router("some-key", 20)
+
+    @given(st.text(min_size=1), st.integers(1, 100))
+    def test_in_range(self, key, n):
+        assert 0 <= crc32_router(key, n) < n
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(RoutingError):
+            crc32_router("k", 0)
+
+    def test_same_key_same_server_regardless_of_router(self):
+        """The partition property of §II-B: every router node agrees."""
+        servers = [f"qos-{i}" for i in range(7)]
+        router_a = ModuloRouter(servers)
+        router_b = ModuloRouter(list(servers))
+        for key in uuid_keys(200):
+            assert router_a.route(key) == router_b.route(key)
+
+    def test_modulo_router_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            ModuloRouter([])
+
+
+class TestKeyPressure:
+    def test_sums_to_one(self):
+        pressure = key_pressure(uuid_keys(5000), 20)
+        assert sum(pressure) == pytest.approx(1.0)
+        assert len(pressure) == 20
+
+    def test_uniformity_near_ideal(self):
+        """The Fig. 6 claim at reduced scale: all servers near 5%."""
+        pressure = key_pressure(uuid_keys(50_000), 20)
+        assert min(pressure) > 0.04
+        assert max(pressure) < 0.06
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(RoutingError):
+            key_pressure([], 4)
+
+    def test_modulo_remap_fraction_is_large(self):
+        """Growing N remaps ~(N-1)/N of keys — the design's known cost."""
+        keys = uuid_keys(5000)
+        moved = sum(1 for k in keys
+                    if crc32_router(k, 20) != crc32_router(k, 21))
+        assert moved / len(keys) > 0.85
+
+
+class TestConsistentHashRing:
+    def test_routes_to_known_server(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for key in uuid_keys(100):
+            assert ring.route(key) in {"a", "b", "c"}
+
+    def test_remap_fraction_small_on_add(self):
+        servers = [f"s{i}" for i in range(20)]
+        ring = ConsistentHashRing(servers)
+        keys = uuid_keys(4000)
+        before = {k: ring.route(k) for k in keys}
+        ring.add_server("s20")
+        moved = sum(1 for k in keys if ring.route(k) != before[k])
+        # Ideal move fraction is 1/21 ~ 4.8%; allow slack for ring variance.
+        assert moved / len(keys) < 0.12
+
+    def test_removal_only_remaps_that_server(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        keys = uuid_keys(2000)
+        before = {k: ring.route(k) for k in keys}
+        ring.remove_server("c")
+        for k in keys:
+            if before[k] != "c":
+                assert ring.route(k) == before[k]
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(RoutingError):
+            ring.add_server("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(RoutingError):
+            ConsistentHashRing(["a"]).remove_server("z")
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(RoutingError):
+            ConsistentHashRing().route("k")
+
+    def test_balance_with_replicas(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(10)], replicas=200)
+        counts = {f"s{i}": 0 for i in range(10)}
+        for k in uuid_keys(20_000):
+            counts[ring.route(k)] += 1
+        assert max(counts.values()) / min(counts.values()) < 2.0
+
+
+class TestRendezvousRouter:
+    def test_routes_to_known_server(self):
+        router = RendezvousRouter(["a", "b", "c"])
+        assert router.route("key") in {"a", "b", "c"}
+
+    def test_removal_only_remaps_that_server(self):
+        router = RendezvousRouter([f"s{i}" for i in range(8)])
+        keys = uuid_keys(2000)
+        before = {k: router.route(k) for k in keys}
+        router.remove_server("s3")
+        for k in keys:
+            if before[k] != "s3":
+                assert router.route(k) == before[k]
+
+    def test_good_balance(self):
+        router = RendezvousRouter([f"s{i}" for i in range(10)])
+        counts: dict[str, int] = {}
+        for k in uuid_keys(10_000):
+            counts[router.route(k)] = counts.get(router.route(k), 0) + 1
+        assert max(counts.values()) / min(counts.values()) < 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            RendezvousRouter().route("k")
+
+    def test_duplicate_add_rejected(self):
+        router = RendezvousRouter(["a"])
+        with pytest.raises(RoutingError):
+            router.add_server("a")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 40))
+def test_all_routers_cover_all_servers(n):
+    """Every algorithm eventually uses every server (no dead partitions)."""
+    servers = [f"s{i}" for i in range(n)]
+    keys = uuid_keys(max(2000, n * 120))
+    for router in (ModuloRouter(servers), ConsistentHashRing(servers),
+                   RendezvousRouter(servers)):
+        used = {router.route(k) for k in keys}
+        assert used == set(servers)

@@ -1,0 +1,72 @@
+"""Tests for QoS key composition (§II, §IV use cases)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.keys import (
+    bulk_keys,
+    compose_key,
+    ip_key,
+    split_key,
+    user_agent_key,
+    user_database_key,
+    user_key,
+)
+
+
+class TestComposition:
+    def test_user_key(self):
+        assert user_key("alice") == "user:alice"
+
+    def test_user_database_key(self):
+        assert user_database_key("alice", "photos") == "nosql:alice:photos"
+
+    def test_ip_key(self):
+        assert ip_key("10.0.0.1") == "ip:10.0.0.1"
+
+    def test_user_agent_key_prefix(self):
+        assert user_agent_key("Googlebot/2.1").startswith("ua:")
+
+    def test_separator_in_component_is_escaped(self):
+        # Different tuples must never alias the same key string.
+        a = compose_key("nosql", "ali:ce", "db")
+        b = compose_key("nosql", "ali", "ce:db")
+        c = compose_key("nosql", "ali", "ce", "db")
+        assert len({a, b, c}) == 3
+
+    def test_empty_namespace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose_key("", "x")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose_key("ns", "")
+
+    def test_bulk_keys(self):
+        keys = bulk_keys("user", ["a", "b"])
+        assert keys == ["user:a", "user:b"]
+
+
+class TestRoundTrip:
+    @given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=5))
+    def test_split_inverts_compose(self, parts):
+        key = compose_key("ns", *parts)
+        assert split_key(key) == ["ns", *parts]
+
+    @given(st.lists(st.text(alphabet=":\\ab", min_size=1, max_size=8),
+                    min_size=1, max_size=4))
+    def test_adversarial_separators_round_trip(self, parts):
+        key = compose_key("n", *parts)
+        assert split_key(key) == ["n", *parts]
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=3),
+        st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=3),
+    )
+    def test_injective(self, parts_a, parts_b):
+        if parts_a != parts_b:
+            assert compose_key("ns", *parts_a) != compose_key("ns", *parts_b)

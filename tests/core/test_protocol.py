@@ -1,0 +1,162 @@
+"""Tests for the key-value wire protocol (§II, §III-B/C)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.protocol import (
+    MAX_KEY_BYTES,
+    QoSRequest,
+    QoSResponse,
+    RequestIdGenerator,
+    decode,
+)
+
+
+class TestRoundTrip:
+    def test_request_round_trip(self):
+        req = QoSRequest(request_id=7, key="user:alice", cost=2.5)
+        assert decode(req.encode()) == req
+
+    def test_response_round_trip(self):
+        for allowed in (True, False):
+            for default in (True, False):
+                resp = QoSResponse(9, allowed, default)
+                assert decode(resp.encode()) == resp
+
+    @given(st.integers(0, 2**64 - 1),
+           st.text(min_size=1, max_size=200),
+           st.floats(0.001, 1e6))
+    @settings(max_examples=200)
+    def test_request_round_trip_property(self, request_id, key, cost):
+        req = QoSRequest(request_id, key, cost)
+        decoded = decode(req.encode())
+        assert decoded.request_id == request_id
+        assert decoded.key == key
+        assert decoded.cost == pytest.approx(cost)
+
+    @given(st.integers(0, 2**64 - 1), st.booleans(), st.booleans())
+    def test_response_round_trip_property(self, request_id, allowed, default):
+        assert decode(QoSResponse(request_id, allowed, default).encode()) == \
+            QoSResponse(request_id, allowed, default)
+
+
+class TestValidation:
+    def test_empty_key_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            QoSRequest(1, "").encode()
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            QoSRequest(1, "x" * (MAX_KEY_BYTES + 1)).encode()
+
+    def test_request_id_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            QoSRequest(2**64, "k").encode()
+        with pytest.raises(ProtocolError):
+            QoSRequest(-1, "k").encode()
+
+    def test_unicode_key_round_trip(self):
+        req = QoSRequest(1, "user:日本語-ключ")
+        assert decode(req.encode()).key == "user:日本語-ключ"
+
+
+class TestMalformedInput:
+    """A UDP port receives arbitrary garbage; decode must never crash."""
+
+    def test_short_datagram(self):
+        with pytest.raises(ProtocolError):
+            decode(b"hi")
+
+    def test_bad_magic(self):
+        data = bytearray(QoSRequest(1, "k").encode())
+        data[0] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(QoSRequest(1, "k").encode())
+        data[2] = 99
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))
+
+    def test_unknown_type(self):
+        data = bytearray(QoSRequest(1, "k").encode())
+        data[3] = 42
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))
+
+    def test_truncated_request_body(self):
+        data = QoSRequest(1, "some-key").encode()
+        with pytest.raises(ProtocolError):
+            decode(data[:-3])
+
+    def test_inflated_key_length(self):
+        data = bytearray(QoSRequest(1, "abc").encode())
+        struct.pack_into("!H", data, 12, 2000)
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))
+
+    def test_invalid_utf8_key(self):
+        good = bytearray(QoSRequest(1, "ab").encode())
+        good[14:16] = b"\xff\xfe"
+        with pytest.raises(ProtocolError):
+            decode(bytes(good))
+
+    def test_bad_verdict_byte(self):
+        data = bytearray(QoSResponse(1, True).encode())
+        data[12] = 7
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, blob):
+        try:
+            decode(blob)
+        except ProtocolError:
+            pass        # the only acceptable failure mode
+
+
+class TestRequestIdGenerator:
+    def test_monotone(self):
+        gen = RequestIdGenerator()
+        ids = [gen.next_id() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+
+    def test_thread_safety_unique(self):
+        import threading
+        gen = RequestIdGenerator()
+        out: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next_id() for _ in range(1000)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 4000
+
+
+class TestCostValidation:
+    @pytest.mark.parametrize("cost", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_cost_rejected_on_encode(self, cost):
+        with pytest.raises(ProtocolError):
+            QoSRequest(1, "k", cost).encode()
+
+    def test_bad_cost_rejected_on_decode(self):
+        data = bytearray(QoSRequest(1, "k", 1.0).encode())
+        struct.pack_into("!d", data, len(data) - 8, float("nan"))
+        with pytest.raises(ProtocolError):
+            decode(bytes(data))

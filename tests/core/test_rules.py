@@ -1,0 +1,70 @@
+"""Tests for QoS rules and the default-rule policy (§II-C/D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rules import DENY_ALL, GUEST_ACCESS, DefaultRulePolicy, QoSRule
+
+
+class TestQoSRule:
+    def test_valid_rule(self):
+        rule = QoSRule("alice", refill_rate=100.0, capacity=1000.0)
+        assert rule.key == "alice"
+        assert rule.initial_credit() == 1000.0
+
+    def test_checkpointed_credit_used_as_initial(self):
+        rule = QoSRule("alice", refill_rate=100.0, capacity=1000.0, credit=42.0)
+        assert rule.initial_credit() == 42.0
+
+    def test_with_credit_returns_copy(self):
+        rule = QoSRule("alice", refill_rate=1.0, capacity=10.0)
+        other = rule.with_credit(5.0)
+        assert other.credit == 5.0
+        assert rule.credit is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"key": "", "refill_rate": 1.0, "capacity": 1.0},
+        {"key": "k", "refill_rate": -1.0, "capacity": 1.0},
+        {"key": "k", "refill_rate": 1.0, "capacity": -1.0},
+        {"key": "k", "refill_rate": 1.0, "capacity": 10.0, "credit": 11.0},
+        {"key": "k", "refill_rate": 1.0, "capacity": 10.0, "credit": -1.0},
+    ])
+    def test_invalid_rules_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QoSRule(**kwargs)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoSRule(12345, refill_rate=1.0, capacity=1.0)  # type: ignore[arg-type]
+
+    def test_denies_all_detection(self):
+        assert QoSRule("k", 0.0, 0.0).denies_all
+        assert not QoSRule("k", 0.0, 5.0).denies_all
+        assert not QoSRule("k", 5.0, 0.0).denies_all
+
+    def test_rules_are_frozen(self):
+        rule = QoSRule("k", 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            rule.capacity = 2.0  # type: ignore[misc]
+
+
+class TestDefaultRulePolicy:
+    def test_deny_all_constant(self):
+        rule = DENY_ALL.rule_for("stranger")
+        assert rule.denies_all
+        assert rule.key == "stranger"
+
+    def test_guest_access_constant(self):
+        # The Fig. 13 default: refill 10 rps, capacity 100.
+        rule = GUEST_ACCESS.rule_for("stranger")
+        assert rule.refill_rate == 10.0
+        assert rule.capacity == 100.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DefaultRulePolicy(refill_rate=-1.0)
+
+    def test_memorize_flag_default_true(self):
+        assert DENY_ALL.memorize_unknown_keys

@@ -1,0 +1,114 @@
+"""Tests for the traffic shaper (extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+from repro.core.shaping import TrafficShaper
+
+
+class TestBurst:
+    def test_initial_burst_is_capacity(self, clock):
+        shaper = TrafficShaper(10.0, 5.0, clock=clock)
+        delays = [shaper.reserve() for _ in range(8)]
+        assert delays[:5] == [0.0] * 5
+        assert delays[5] == pytest.approx(0.1)
+        assert delays[6] == pytest.approx(0.2)
+
+    def test_burst_replenishes_after_idle(self, clock):
+        shaper = TrafficShaper(10.0, 5.0, clock=clock)
+        for _ in range(8):
+            shaper.reserve()
+        clock.advance(100.0)
+        assert [shaper.reserve() for _ in range(5)] == [0.0] * 5
+
+    def test_counters(self, clock):
+        shaper = TrafficShaper(10.0, 2.0, clock=clock)
+        for _ in range(5):
+            shaper.reserve()
+        assert shaper.passed_immediately == 2
+        assert shaper.delayed == 3
+
+
+class TestPacing:
+    def test_longrun_rate_conforms(self, clock):
+        """Sleeping the returned delays paces exactly to the rate."""
+        shaper = TrafficShaper(rate=50.0, capacity=1.0, clock=clock)
+        for _ in range(200):
+            clock.advance(shaper.reserve())
+        # 200 unit-costs at 50/s from a 1-burst: ~(200-1)/50 seconds.
+        assert clock() == pytest.approx(199 / 50.0, rel=0.01)
+
+    def test_weighted_costs(self, clock):
+        shaper = TrafficShaper(rate=10.0, capacity=1.0, clock=clock)
+        shaper.reserve(1.0)
+        delay = shaper.reserve(5.0)     # 5 units at 10/s behind one unit
+        assert delay == pytest.approx(0.1)
+        delay2 = shaper.reserve(1.0)
+        assert delay2 == pytest.approx(0.1 + 0.5)
+
+    def test_would_delay_is_pure(self, clock):
+        shaper = TrafficShaper(10.0, 1.0, clock=clock)
+        shaper.reserve()
+        peek1 = shaper.would_delay()
+        peek2 = shaper.would_delay()
+        assert peek1 == peek2 == pytest.approx(0.1)
+
+    @given(rate=st.floats(1.0, 1000.0), capacity=st.floats(1.0, 50.0),
+           n=st.integers(10, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_rate_property(self, rate, capacity, n):
+        """Conformed traffic never exceeds rate * t + capacity."""
+        clock = ManualClock()
+        shaper = TrafficShaper(rate, capacity, clock=clock)
+        sent = 0
+        for _ in range(n):
+            clock.advance(shaper.reserve())
+            sent += 1
+            elapsed = clock()
+            assert sent <= rate * elapsed + capacity + 1e-6
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0, "capacity": 5.0},
+        {"rate": 10.0, "capacity": 0.5},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrafficShaper(**kwargs)
+
+    def test_invalid_cost(self, clock):
+        shaper = TrafficShaper(10.0, 5.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            shaper.reserve(0.0)
+        with pytest.raises(ConfigurationError):
+            shaper.would_delay(-1.0)
+
+    def test_from_rule(self, clock):
+        rule = QoSRule("k", refill_rate=20.0, capacity=40.0)
+        shaper = TrafficShaper.from_rule(rule, clock=clock)
+        assert shaper.rate == 20.0
+        assert shaper.capacity == 40.0
+
+    def test_from_zero_rate_rule_rejected(self, clock):
+        with pytest.raises(ConfigurationError):
+            TrafficShaper.from_rule(QoSRule("k", 0.0, 10.0), clock=clock)
+
+
+class TestShaperVsPolicer:
+    def test_shaped_client_never_denied(self, clock):
+        """Pre-pacing with the shaper makes the policer always admit —
+        the practical point of offering both primitives."""
+        from repro.core.bucket import LeakyBucket
+        rate, capacity = 25.0, 10.0
+        shaper = TrafficShaper(rate, capacity, clock=clock)
+        policer = LeakyBucket(capacity, rate, clock=clock)
+        for _ in range(300):
+            clock.advance(shaper.reserve())
+            assert policer.try_consume()

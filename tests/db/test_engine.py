@@ -1,0 +1,241 @@
+"""Tests for the SQL executor."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SQLError
+from repro.db.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    e = Engine()
+    e.execute("CREATE TABLE users (name TEXT PRIMARY KEY, age INTEGER, score REAL)")
+    e.execute("INSERT INTO users (name, age, score) VALUES ('alice', 30, 9.5)")
+    e.execute("INSERT INTO users (name, age, score) VALUES ('bob', 25, 7.0)")
+    e.execute("INSERT INTO users (name, age, score) VALUES ('carol', 35, NULL)")
+    return e
+
+
+class TestDDL:
+    def test_create_and_drop(self):
+        e = Engine()
+        e.execute("CREATE TABLE t (a TEXT)")
+        assert e.table_names() == ["t"]
+        e.execute("DROP TABLE t")
+        assert e.table_names() == []
+
+    def test_duplicate_create_rejected(self):
+        e = Engine()
+        e.execute("CREATE TABLE t (a TEXT)")
+        with pytest.raises(SQLError):
+            e.execute("CREATE TABLE t (a TEXT)")
+        e.execute("CREATE TABLE IF NOT EXISTS t (a TEXT)")   # tolerated
+
+    def test_drop_missing_rejected(self):
+        e = Engine()
+        with pytest.raises(SQLError):
+            e.execute("DROP TABLE nope")
+        e.execute("DROP TABLE IF EXISTS nope")               # tolerated
+
+
+class TestInsert:
+    def test_rowcount(self, engine):
+        result = engine.execute(
+            "INSERT INTO users (name, age) VALUES ('dave', 40)")
+        assert result.rowcount == 1
+
+    def test_duplicate_pk_rejected(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("INSERT INTO users (name) VALUES ('alice')")
+
+    def test_missing_columns_become_null(self, engine):
+        engine.execute("INSERT INTO users (name) VALUES ('erin')")
+        row = engine.execute(
+            "SELECT age, score FROM users WHERE name = 'erin'").first()
+        assert row == (None, None)
+
+    def test_unknown_column_rejected(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("INSERT INTO users (nope) VALUES (1)")
+
+    def test_type_checked(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("INSERT INTO users (name, age) VALUES ('x', 'old')")
+
+    def test_int_coerced_to_real(self, engine):
+        engine.execute("INSERT INTO users (name, score) VALUES ('frank', 5)")
+        value = engine.execute(
+            "SELECT score FROM users WHERE name = 'frank'").scalar()
+        assert value == 5.0 and isinstance(value, float)
+
+
+class TestSelect:
+    def test_star_columns(self, engine):
+        result = engine.execute("SELECT * FROM users WHERE name = 'alice'")
+        assert result.columns == ["name", "age", "score"]
+        assert result.first() == ("alice", 30, 9.5)
+
+    def test_where_comparisons(self, engine):
+        result = engine.execute("SELECT name FROM users WHERE age >= 30")
+        assert {r[0] for r in result} == {"alice", "carol"}
+
+    def test_parameters(self, engine):
+        result = engine.execute(
+            "SELECT name FROM users WHERE age < ? AND score > ?", (30, 5.0))
+        assert result.first() == ("bob",)
+
+    def test_param_count_mismatch(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("SELECT * FROM users WHERE age = ?", ())
+
+    def test_order_by_desc_limit(self, engine):
+        result = engine.execute(
+            "SELECT name FROM users ORDER BY age DESC LIMIT 2")
+        assert [r[0] for r in result] == ["carol", "alice"]
+
+    def test_order_by_nulls_first_ascending(self, engine):
+        result = engine.execute("SELECT name FROM users ORDER BY score")
+        assert [r[0] for r in result] == ["carol", "bob", "alice"]
+
+    def test_count(self, engine):
+        assert engine.execute("SELECT COUNT(*) FROM users").scalar() == 3
+
+    def test_count_with_where(self, engine):
+        assert engine.execute(
+            "SELECT COUNT(*) FROM users WHERE age > 26").scalar() == 2
+
+    def test_null_comparison_is_false(self, engine):
+        # SQL three-valued logic: NULL never compares true.
+        result = engine.execute("SELECT name FROM users WHERE score > 0")
+        assert {r[0] for r in result} == {"alice", "bob"}
+
+    def test_is_null(self, engine):
+        result = engine.execute("SELECT name FROM users WHERE score IS NULL")
+        assert result.first() == ("carol",)
+
+    def test_in_list(self, engine):
+        result = engine.execute(
+            "SELECT name FROM users WHERE name IN ('bob', 'carol', 'zed')")
+        assert {r[0] for r in result} == {"bob", "carol"}
+
+    def test_column_vs_column(self, engine):
+        engine.execute("CREATE TABLE pairs (a INTEGER, b INTEGER)")
+        engine.execute("INSERT INTO pairs (a, b) VALUES (1, 2)")
+        engine.execute("INSERT INTO pairs (a, b) VALUES (3, 3)")
+        result = engine.execute("SELECT a FROM pairs WHERE a = b")
+        assert result.first() == (3,)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("SELECT * FROM nope")
+
+    def test_unknown_select_column(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("SELECT nope FROM users")
+
+    def test_unknown_order_column(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("SELECT * FROM users ORDER BY nope")
+
+    def test_as_dicts(self, engine):
+        rows = engine.execute(
+            "SELECT name, age FROM users WHERE name = 'bob'").as_dicts()
+        assert rows == [{"name": "bob", "age": 25}]
+
+
+class TestUpdateDelete:
+    def test_update_by_pk(self, engine):
+        result = engine.execute(
+            "UPDATE users SET age = ? WHERE name = ?", (31, "alice"))
+        assert result.rowcount == 1
+        assert engine.execute(
+            "SELECT age FROM users WHERE name = 'alice'").scalar() == 31
+
+    def test_update_all(self, engine):
+        assert engine.execute("UPDATE users SET age = 1").rowcount == 3
+
+    def test_update_from_column(self, engine):
+        engine.execute("UPDATE users SET score = age WHERE name = 'bob'")
+        assert engine.execute(
+            "SELECT score FROM users WHERE name = 'bob'").scalar() == 25.0
+
+    def test_pk_change_reindexes(self, engine):
+        engine.execute("UPDATE users SET name = 'alice2' WHERE name = 'alice'")
+        assert engine.execute(
+            "SELECT COUNT(*) FROM users WHERE name = 'alice2'").scalar() == 1
+        assert engine.execute(
+            "SELECT COUNT(*) FROM users WHERE name = 'alice'").scalar() == 0
+
+    def test_pk_collision_on_update_rejected(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("UPDATE users SET name = 'bob' WHERE name = 'alice'")
+
+    def test_delete(self, engine):
+        assert engine.execute(
+            "DELETE FROM users WHERE name = 'bob'").rowcount == 1
+        assert engine.execute("SELECT COUNT(*) FROM users").scalar() == 2
+
+    def test_delete_then_reinsert_pk(self, engine):
+        engine.execute("DELETE FROM users WHERE name = 'bob'")
+        engine.execute("INSERT INTO users (name, age) VALUES ('bob', 99)")
+        assert engine.execute(
+            "SELECT age FROM users WHERE name = 'bob'").scalar() == 99
+
+
+class TestPkFastPath:
+    def test_pk_lookup_scans_one_row(self, engine):
+        before = engine.rows_scanned
+        engine.execute("SELECT * FROM users WHERE name = ?", ("alice",))
+        assert engine.rows_scanned - before == 1
+
+    def test_reversed_pk_comparison_also_fast(self, engine):
+        before = engine.rows_scanned
+        engine.execute("SELECT * FROM users WHERE 'alice' = name")
+        assert engine.rows_scanned - before == 1
+
+    def test_non_pk_filter_scans_all(self, engine):
+        before = engine.rows_scanned
+        engine.execute("SELECT * FROM users WHERE age = 30")
+        assert engine.rows_scanned - before == 3
+
+
+class TestConcurrency:
+    def test_parallel_updates_no_lost_rows(self):
+        e = Engine()
+        e.execute("CREATE TABLE counters (k TEXT PRIMARY KEY, n INTEGER)")
+        for i in range(8):
+            e.execute("INSERT INTO counters (k, n) VALUES (?, 0)", (f"c{i}",))
+
+        def worker(wid: int):
+            for i in range(200):
+                e.execute("UPDATE counters SET n = ? WHERE k = ?",
+                          (i, f"c{wid}"))
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        result = e.execute("SELECT n FROM counters ORDER BY k")
+        assert [r[0] for r in result] == [199] * 8
+
+
+class TestRoundTripProperty:
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=20), st.integers(-10**6, 10**6)),
+        min_size=1, max_size=30, unique_by=lambda t: t[0]))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_select_round_trip(self, rows):
+        e = Engine()
+        e.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+        for k, v in rows:
+            e.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+        for k, v in rows:
+            assert e.execute("SELECT v FROM t WHERE k = ?", (k,)).scalar() == v
+        assert e.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)

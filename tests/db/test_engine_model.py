@@ -1,0 +1,129 @@
+"""Model-based property test: the SQL engine vs a dict reference model.
+
+Hypothesis drives random CRUD command sequences against both the real
+:class:`~repro.db.engine.Engine` and a trivially-correct in-memory dict
+model, asserting they agree at every step — the classic stateful-testing
+pattern for storage engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SQLError
+from repro.db.engine import Engine
+
+KEYS = [f"k{i}" for i in range(8)]
+
+commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS),
+                  st.integers(-1000, 1000)),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS), st.none()),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.none()),
+        st.tuples(st.just("bump"), st.sampled_from(KEYS),
+                  st.integers(-50, 50)),
+        st.tuples(st.just("count"), st.none(), st.none()),
+    ),
+    max_size=60,
+)
+
+
+class DictModel:
+    """The obviously-correct reference."""
+
+    def __init__(self):
+        self.data: Dict[str, int] = {}
+
+    def put(self, key: str, value: int) -> None:
+        self.data[key] = value
+
+    def delete(self, key: str) -> bool:
+        return self.data.pop(key, None) is not None
+
+    def get(self, key: str) -> Optional[int]:
+        return self.data.get(key)
+
+    def bump(self, key: str, delta: int) -> None:
+        if key in self.data:
+            self.data[key] += delta
+
+    def count(self) -> int:
+        return len(self.data)
+
+
+class EngineAdapter:
+    """The system under test, driven through SQL."""
+
+    def __init__(self):
+        self.engine = Engine()
+        self.engine.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v INTEGER)")
+
+    def put(self, key: str, value: int) -> None:
+        updated = self.engine.execute(
+            "UPDATE kv SET v = ? WHERE k = ?", (value, key))
+        if updated.rowcount == 0:
+            self.engine.execute(
+                "INSERT INTO kv (k, v) VALUES (?, ?)", (key, value))
+
+    def delete(self, key: str) -> bool:
+        return self.engine.execute(
+            "DELETE FROM kv WHERE k = ?", (key,)).rowcount > 0
+
+    def get(self, key: str) -> Optional[int]:
+        return self.engine.execute(
+            "SELECT v FROM kv WHERE k = ?", (key,)).scalar()
+
+    def bump(self, key: str, delta: int) -> None:
+        self.engine.execute(
+            "UPDATE kv SET v = v WHERE k = ? AND v = v", (key,))
+        row = self.get(key)
+        if row is not None:
+            self.engine.execute(
+                "UPDATE kv SET v = ? WHERE k = ?", (row + delta, key))
+
+    def count(self) -> int:
+        return int(self.engine.execute("SELECT COUNT(*) FROM kv").scalar())
+
+
+@given(commands)
+@settings(max_examples=120, deadline=None)
+def test_engine_agrees_with_dict_model(script):
+    model = DictModel()
+    engine = EngineAdapter()
+    for op, key, arg in script:
+        if op == "put":
+            model.put(key, arg)
+            engine.put(key, arg)
+        elif op == "delete":
+            assert model.delete(key) == engine.delete(key)
+        elif op == "get":
+            assert model.get(key) == engine.get(key)
+        elif op == "bump":
+            model.bump(key, arg)
+            engine.bump(key, arg)
+        elif op == "count":
+            assert model.count() == engine.count()
+    # Full-state agreement at the end.
+    rows = dict(engine.engine.execute("SELECT k, v FROM kv").rows)
+    assert rows == model.data
+
+
+@given(st.lists(st.sampled_from(KEYS), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_duplicate_inserts_always_rejected(keys):
+    engine = Engine()
+    engine.execute("CREATE TABLE t (k TEXT PRIMARY KEY)")
+    seen = set()
+    for key in keys:
+        if key in seen:
+            with pytest.raises(SQLError):
+                engine.execute("INSERT INTO t (k) VALUES (?)", (key,))
+        else:
+            engine.execute("INSERT INTO t (k) VALUES (?)", (key,))
+            seen.add(key)
+    assert engine.execute("SELECT COUNT(*) FROM t").scalar() == len(seen)

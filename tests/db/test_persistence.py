@@ -1,0 +1,84 @@
+"""Tests for database snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import SQLError
+from repro.core.rules import QoSRule
+from repro.db.engine import Engine
+from repro.db.persistence import dump_engine, load_engine
+from repro.db.rulestore import RuleStore
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        engine = Engine("source")
+        engine.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v REAL, n INTEGER)")
+        engine.execute("INSERT INTO t (k, v, n) VALUES ('a', 1.5, 10)")
+        engine.execute("INSERT INTO t (k, v, n) VALUES ('b', NULL, -3)")
+        path = tmp_path / "snap.json"
+        assert dump_engine(engine, path) == 2
+        restored = load_engine(path)
+        rows = restored.execute("SELECT k, v, n FROM t ORDER BY k").rows
+        assert rows == [("a", 1.5, 10), ("b", None, -3)]
+
+    def test_pk_index_survives(self, tmp_path):
+        engine = Engine()
+        engine.execute("CREATE TABLE t (k TEXT PRIMARY KEY)")
+        engine.execute("INSERT INTO t (k) VALUES ('x')")
+        path = tmp_path / "snap.json"
+        dump_engine(engine, path)
+        restored = load_engine(path)
+        with pytest.raises(SQLError):
+            restored.execute("INSERT INTO t (k) VALUES ('x')")
+        before = restored.rows_scanned
+        restored.execute("SELECT * FROM t WHERE k = 'x'")
+        assert restored.rows_scanned - before == 1     # point lookup
+
+    def test_rulestore_round_trip(self, tmp_path):
+        store = RuleStore()
+        store.put_rule(QoSRule("alice", 100.0, 1000.0, credit=42.0))
+        store.put_rule(QoSRule("bob", 10.0, 100.0))
+        path = tmp_path / "rules.snap"
+        dump_engine(store.engine, path)
+        restored = RuleStore(load_engine(path), create=False)
+        assert restored.count() == 2
+        assert restored.get_rule("alice").credit == 42.0
+
+    def test_multiple_tables(self, tmp_path):
+        engine = Engine()
+        engine.execute("CREATE TABLE a (x INTEGER)")
+        engine.execute("CREATE TABLE b (y TEXT)")
+        engine.execute("INSERT INTO a (x) VALUES (1)")
+        path = tmp_path / "snap.json"
+        dump_engine(engine, path)
+        restored = load_engine(path)
+        assert restored.table_names() == ["a", "b"]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SQLError):
+            load_engine(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(SQLError):
+            load_engine(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"version": 99, "tables": {}}))
+        with pytest.raises(SQLError):
+            load_engine(path)
+
+    def test_malformed_table(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"version": 1, "tables": {"t": {"rows": []}}}))
+        with pytest.raises(SQLError):
+            load_engine(path)

@@ -1,0 +1,97 @@
+"""Tests for the qos_rules table API (§II-D, §III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import QoSRule
+from repro.db.engine import Engine
+from repro.db.rulestore import RuleStore
+
+
+@pytest.fixture
+def store() -> RuleStore:
+    s = RuleStore()
+    s.put_rule(QoSRule("alice", refill_rate=100.0, capacity=1000.0))
+    s.put_rule(QoSRule("bob", refill_rate=10.0, capacity=100.0))
+    return s
+
+
+class TestCrud:
+    def test_get_rule(self, store):
+        rule = store.get_rule("alice")
+        assert rule == QoSRule("alice", refill_rate=100.0, capacity=1000.0)
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get_rule("nobody") is None
+
+    def test_put_updates_in_place(self, store):
+        store.put_rule(QoSRule("alice", refill_rate=5.0, capacity=50.0))
+        assert store.get_rule("alice").refill_rate == 5.0
+        assert store.count() == 2
+
+    def test_delete(self, store):
+        assert store.delete_rule("bob")
+        assert not store.delete_rule("bob")
+        assert store.get_rule("bob") is None
+        assert store.count() == 1
+
+    def test_get_rules_batch(self, store):
+        rules = store.get_rules(["alice", "bob", "nobody"])
+        assert set(rules) == {"alice", "bob"}
+
+    def test_load_all_warmup_scan(self, store):
+        # "SELECT * FROM qos_rules" at startup (§III-D).
+        everything = store.load_all()
+        assert set(everything) == {"alice", "bob"}
+        assert everything["bob"].capacity == 100.0
+
+
+class TestCheckpoint:
+    def test_checkpoint_round_trip(self, store):
+        store.checkpoint({"alice": 123.0})
+        assert store.get_rule("alice").credit == 123.0
+
+    def test_checkpoint_unknown_key_ignored(self, store):
+        store.checkpoint({"nobody": 5.0})
+        assert store.get_rule("nobody") is None
+
+    def test_oversized_checkpoint_clamped_on_read(self, store):
+        # A stale checkpoint larger than a shrunk capacity must not
+        # violate the rule invariant when materialized.
+        store.checkpoint({"bob": 99.0})
+        store.engine.execute(
+            "UPDATE qos_rules SET capacity = 10.0 WHERE qos_key = 'bob'")
+        rule = store.get_rule("bob")
+        assert rule.credit == 10.0
+
+    def test_negative_checkpoint_clamped(self, store):
+        store.engine.execute(
+            "UPDATE qos_rules SET credit = -5.0 WHERE qos_key = 'bob'")
+        assert store.get_rule("bob").credit == 0.0
+
+
+class TestFootprint:
+    def test_approx_bytes_scales(self, store):
+        small = store.approx_bytes()
+        for i in range(100):
+            store.put_rule(QoSRule(f"user-{i:04d}", 1.0, 10.0))
+        assert store.approx_bytes() > small
+
+    def test_empty_engine_zero_bytes(self):
+        store = RuleStore(Engine(), create=False)
+        assert store.approx_bytes() == 0
+
+    def test_row_size_near_paper_estimate(self, store):
+        # The paper sizes a rule at ~100 bytes.
+        per_row = store.approx_bytes() / store.count()
+        assert 40 <= per_row <= 300
+
+
+class TestSharedEngine:
+    def test_two_stores_share_state(self):
+        engine = Engine()
+        a = RuleStore(engine)
+        b = RuleStore(engine)
+        a.put_rule(QoSRule("k", 1.0, 10.0))
+        assert b.get_rule("k") is not None

@@ -1,0 +1,193 @@
+"""Tests for the SQL tokenizer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SQLError
+from repro.db import sql
+from repro.db.sql import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Delete,
+    InList,
+    Insert,
+    IsNull,
+    Literal,
+    NotOp,
+    Parameter,
+    Select,
+    Update,
+    parse,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "PUNCT", "KEYWORD", "IDENT", "KEYWORD",
+                         "IDENT", "OP", "NUMBER", "EOF"]
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = 'it''s'")
+        strings = [t for t in tokens if t.kind == "STRING"]
+        assert strings[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .5 1e3 2.5E-2")
+        values = [t.value for t in tokens if t.kind == "NUMBER"]
+        assert values == [1, 2.5, 0.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from t")
+        assert tokens[0].value == "SELECT"
+
+    def test_alternative_not_equal(self):
+        tokens = tokenize("a <> b")
+        assert tokens[1].value == "!="
+
+    def test_bad_character(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParseCreate:
+    def test_create_table(self):
+        stmt, n = parse("CREATE TABLE t (k TEXT PRIMARY KEY, v REAL NOT NULL, n INTEGER)")
+        assert isinstance(stmt, CreateTable)
+        assert n == 0
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[0].not_null          # PK implies NOT NULL
+        assert stmt.columns[1].not_null
+        assert not stmt.columns[2].not_null
+
+    def test_if_not_exists(self):
+        stmt, _ = parse("CREATE TABLE IF NOT EXISTS t (a TEXT)")
+        assert stmt.if_not_exists
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(SQLError):
+            parse("CREATE TABLE t (a TEXT PRIMARY KEY, b TEXT PRIMARY KEY)")
+
+    def test_drop_table(self):
+        stmt, _ = parse("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+
+class TestParseInsert:
+    def test_insert_with_params(self):
+        stmt, n = parse("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert isinstance(stmt, Insert)
+        assert n == 2
+        assert stmt.values == (Parameter(0), Parameter(1))
+
+    def test_insert_literals(self):
+        stmt, _ = parse("INSERT INTO t (a, b, c) VALUES ('x', 2.5, NULL)")
+        assert stmt.values == (Literal("x"), Literal(2.5), Literal(None))
+
+    def test_count_mismatch(self):
+        with pytest.raises(SQLError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+
+class TestParseSelect:
+    def test_select_star(self):
+        stmt, _ = parse("SELECT * FROM qos_rules")
+        assert isinstance(stmt, Select)
+        assert stmt.columns is None
+
+    def test_select_columns_where(self):
+        stmt, n = parse("SELECT a, b FROM t WHERE a = ? AND b > 3")
+        assert stmt.columns == ("a", "b")
+        assert isinstance(stmt.where, BooleanOp)
+        assert n == 1
+
+    def test_order_limit(self):
+        stmt, _ = parse("SELECT * FROM t ORDER BY ts DESC LIMIT 20")
+        assert stmt.order_by == "ts"
+        assert stmt.descending
+        assert stmt.limit == 20
+
+    def test_count_star(self):
+        stmt, _ = parse("SELECT COUNT(*) FROM t")
+        assert stmt.count
+
+    def test_in_list(self):
+        stmt, n = parse("SELECT * FROM t WHERE a IN (1, 2, ?)")
+        assert isinstance(stmt.where, InList)
+        assert n == 1
+
+    def test_not_in(self):
+        stmt, _ = parse("SELECT * FROM t WHERE a NOT IN ('x')")
+        assert stmt.where.negated
+
+    def test_is_null(self):
+        stmt, _ = parse("SELECT * FROM t WHERE credit IS NULL")
+        assert isinstance(stmt.where, IsNull)
+        stmt, _ = parse("SELECT * FROM t WHERE credit IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_parentheses_and_not(self):
+        stmt, _ = parse("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)")
+        assert isinstance(stmt.where, NotOp)
+        assert isinstance(stmt.where.operand, BooleanOp)
+
+    def test_precedence_and_binds_tighter(self):
+        stmt, _ = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BooleanOp)
+        assert stmt.where.op == "OR"
+        assert isinstance(stmt.where.right, BooleanOp)
+        assert stmt.where.right.op == "AND"
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t LIMIT x")
+
+
+class TestParseUpdateDelete:
+    def test_update(self):
+        stmt, n = parse("UPDATE t SET a = ?, b = 2 WHERE k = ?")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0] == ("a", Parameter(0))
+        assert n == 2
+
+    def test_delete(self):
+        stmt, _ = parse("DELETE FROM t WHERE k = 'x'")
+        assert isinstance(stmt, Delete)
+
+    def test_delete_no_where(self):
+        stmt, _ = parse("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELEKT * FROM t",
+        "SELECT * FORM t",
+        "SELECT * FROM t WHERE",
+        "INSERT INTO t VALUES (1)",
+        "UPDATE t SET a 1",
+        "SELECT * FROM t; SELECT * FROM u",
+        "CREATE TABLE t ()",
+        "SELECT * FROM t WHERE a ==",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SQLError):
+            parse(bad)
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT * FROM t;")
+
+
+class TestIterOperands:
+    def test_walks_whole_tree(self):
+        stmt, _ = parse(
+            "SELECT * FROM t WHERE (a = 1 AND b IN (2, 3)) OR NOT c IS NULL")
+        operands = list(sql.iter_operands(stmt.where))
+        columns = {op.name for op in operands if isinstance(op, ColumnRef)}
+        assert columns == {"a", "b", "c"}

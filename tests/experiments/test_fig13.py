@@ -1,0 +1,74 @@
+"""Shape tests for Fig. 13 (application integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13_integration
+from repro.experiments.scale import Scale
+
+TINY = Scale(name="quick", fig5_requests=1_000, fig6_keys=10_000,
+             des_window=0.25, des_warmup=0.15, fig13_duration=45.0,
+             throughput_rules=500)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig13_integration.run(TINY)
+
+
+class TestFig13a:
+    def test_custom_rule_burst_then_steady(self, result):
+        """Refill 100/cap 1000 at 130 rps: full rate early, then the
+        bucket drains (~33 s) and accepted settles at the refill rate."""
+        trace = result.custom
+        early_accept = trace.log.accepted.rate_at(5.0)
+        assert early_accept == pytest.approx(130.0, rel=0.15)
+        assert trace.log.rejected.rate_at(5.0) == 0.0
+        accepted, rejected = trace.steady_state_rates(tail=8.0)
+        assert accepted == pytest.approx(100.0, rel=0.1)
+        assert rejected == pytest.approx(30.0, rel=0.5)
+
+    def test_default_rule_drains_in_seconds(self, result):
+        """Refill 10/cap 100: 'depleted in a couple of seconds'."""
+        trace = result.default
+        assert trace.log.rejected.rate_at(3.0) > 80.0
+        accepted, rejected = trace.steady_state_rates(tail=8.0)
+        assert accepted == pytest.approx(10.0, abs=2.0)
+        assert rejected == pytest.approx(120.0, rel=0.25)
+
+    def test_no_qos_never_rejects(self, result):
+        assert result.no_qos.log.n_rejected == 0
+        accepted, _ = result.no_qos.steady_state_rates(tail=8.0)
+        assert accepted == pytest.approx(130.0, rel=0.15)
+
+
+class TestFig13b:
+    def test_qos_overhead_small_on_accepted(self, result):
+        """Paper: P90 27 ms -> 30 ms; QoS adds little to served pages."""
+        base = result.no_qos.accepted_summary()
+        with_qos = result.custom.accepted_summary()
+        assert with_qos.p90 > base.p90                    # some overhead...
+        assert with_qos.p90 - base.p90 < 5e-3             # ...but small
+
+    def test_absolute_p90_scale(self, result):
+        base = result.no_qos.accepted_summary()
+        assert 0.020 < base.p90 < 0.035                   # paper: 27 ms
+        with_qos = result.custom.accepted_summary()
+        assert 0.022 < with_qos.p90 < 0.038               # paper: 30 ms
+
+    def test_rejections_throttled_within_3ms(self, result):
+        """'The rejected requests are throttled in 3 milliseconds.'"""
+        rejected = result.default.rejected_summary()
+        assert rejected.count > 0
+        assert rejected.p90 < 3.5e-3
+
+    def test_rejection_much_faster_than_service(self, result):
+        rejected = result.default.rejected_summary()
+        accepted = result.default.accepted_summary()
+        assert rejected.p90 < accepted.p90 / 5
+
+    def test_report_renders(self, result):
+        text = fig13_integration.report(result)
+        assert "Fig. 13a" in text and "Fig. 13b" in text
+        assert "steady state" in text

@@ -1,0 +1,72 @@
+"""Cross-validation: the analytic model vs the discrete-event simulator.
+
+The scalability figures are generated from the closed-form model; these
+tests re-measure representative deployments in the simulator and require
+agreement, so neither implementation can drift silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology
+from repro.experiments.driver import measure_throughput
+from repro.perfmodel.capacity import CapacityModel
+
+MODEL = CapacityModel()
+
+CASES = [
+    # (label, topology, tolerance)
+    ("router-bound small",
+     ClusterTopology(n_routers=1, n_qos_servers=1,
+                     router_instance="c3.large", qos_instance="c3.8xlarge"),
+     0.15),
+    ("qos-bound small",
+     ClusterTopology(n_routers=5, n_qos_servers=1,
+                     router_instance="c3.8xlarge", qos_instance="c3.large"),
+     0.15),
+    ("qos 2x xlarge",
+     ClusterTopology(n_routers=5, n_qos_servers=2,
+                     router_instance="c3.8xlarge", qos_instance="c3.xlarge"),
+     0.15),
+    ("balanced medium",
+     ClusterTopology(n_routers=2, n_qos_servers=2,
+                     router_instance="c3.xlarge", qos_instance="c3.xlarge"),
+     0.2),
+]
+
+
+@pytest.mark.parametrize("label,topology,tolerance",
+                         CASES, ids=[c[0] for c in CASES])
+def test_model_matches_simulator(label, topology, tolerance):
+    predicted = MODEL.estimate(topology).capacity
+    point = measure_throughput(topology, window=0.3, warmup=0.2, seed=17)
+    assert point.throughput == pytest.approx(predicted, rel=tolerance)
+    # The measurement must be clean: no default replies, negligible retries.
+    assert point.default_replies == 0
+    assert point.retries < point.throughput * 0.3 * 0.01 + 5
+
+
+def test_cpu_utilization_prediction_matches():
+    topology = ClusterTopology(n_routers=5, n_qos_servers=1,
+                               router_instance="c3.8xlarge",
+                               qos_instance="c3.xlarge")
+    point = measure_throughput(topology, window=0.3, warmup=0.2, seed=18)
+    predicted_rr = MODEL.rr_cpu_utilization(point.throughput, 5, "c3.8xlarge")
+    predicted_qos = MODEL.qos_cpu_utilization(point.throughput, 1, "c3.xlarge")
+    assert point.router_cpu == pytest.approx(predicted_rr, abs=0.08)
+    assert point.qos_cpu == pytest.approx(predicted_qos, abs=0.08)
+
+
+def test_latency_prediction_matches_light_load_sim():
+    """Fig. 5's DES latency agrees with the closed-form base latency."""
+    from repro.experiments import fig5_loadbalancer
+    from repro.experiments.scale import Scale
+    tiny = Scale(name="quick", fig5_requests=1_500, fig6_keys=1_000,
+                 des_window=0.2, des_warmup=0.1, fig13_duration=10.0,
+                 throughput_rules=100)
+    result = fig5_loadbalancer.run(tiny)
+    assert result.dns.mean == pytest.approx(
+        MODEL.base_latency("dns"), rel=0.15)
+    assert result.gateway.mean == pytest.approx(
+        MODEL.base_latency("gateway"), rel=0.15)

@@ -1,0 +1,34 @@
+"""Tests for the experiments runner CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerMain:
+    def test_single_fast_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "[table1 finished" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "## table1" in out and "## fig6" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13"}
+
+    def test_scale_profile_announced(self, capsys):
+        main(["table1"])
+        assert "scale profile: quick" in capsys.readouterr().out

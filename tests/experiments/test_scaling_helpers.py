@@ -1,0 +1,88 @@
+"""Tests for the shared scalability-sweep machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import PAPER, QUICK, Scale, current_scale
+from repro.experiments.scaling import (
+    horizontal_points,
+    scaling_report,
+    sweep,
+    vertical_points,
+)
+
+
+class TestPointBuilders:
+    def test_vertical_router_points(self):
+        points = vertical_points("router", ("c3.large", "c3.xlarge"))
+        assert [label for label, _, _ in points] == ["c3.large", "c3.xlarge"]
+        for label, topo, vcpus in points:
+            assert topo.n_routers == 1
+            assert topo.router_instance == label
+            assert topo.qos_instance == "c3.8xlarge"   # the Fig. 7 fixture
+        assert points[0][2] == 2 and points[1][2] == 4
+
+    def test_vertical_qos_points(self):
+        points = vertical_points("qos", ("c3.large",))
+        _, topo, _ = points[0]
+        assert topo.n_routers == 5                      # the Fig. 10 fixture
+        assert topo.router_instance == "c3.8xlarge"
+        assert topo.qos_instance == "c3.large"
+
+    def test_horizontal_points_scale_vcpus(self):
+        points = horizontal_points("qos", (1, 3), instance="c3.xlarge")
+        assert points[0][2] == 4 and points[1][2] == 12
+        assert points[1][1].n_qos_servers == 3
+
+    @pytest.mark.parametrize("builder", [vertical_points, horizontal_points])
+    def test_unknown_layer_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder("database", ("c3.large",) if builder is vertical_points
+                    else (1,))
+
+
+class TestSweep:
+    def test_model_only_sweep(self):
+        points = sweep(vertical_points("router", ("c3.large", "c3.xlarge")),
+                       validate=())
+        assert all(p.sim is None for p in points)
+        assert points[0].model_throughput < points[1].model_throughput
+        # Properties fall back to the model when no sim point exists.
+        assert points[0].throughput == points[0].model_throughput
+
+    def test_validated_point_prefers_sim(self):
+        tiny = Scale(name="quick", fig5_requests=100, fig6_keys=100,
+                     des_window=0.2, des_warmup=0.1, fig13_duration=5.0,
+                     throughput_rules=200)
+        points = sweep(vertical_points("router", ("c3.large",)),
+                       validate=("c3.large",), scale=tiny)
+        assert points[0].sim is not None
+        assert points[0].throughput == points[0].sim.throughput
+
+    def test_report_includes_every_point(self):
+        points = sweep(horizontal_points("router", (1, 2, 3)), validate=())
+        text = scaling_report("My sweep", points)
+        assert text.startswith("My sweep")
+        for p in points:
+            assert p.label in text
+
+
+class TestScaleProfiles:
+    def test_quick_smaller_than_paper(self):
+        assert QUICK.fig5_requests < PAPER.fig5_requests
+        assert QUICK.fig6_keys < PAPER.fig6_keys
+        assert PAPER.fig6_keys == 500_000       # the paper's exact size
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale() is PAPER
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert current_scale() is QUICK
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale() is QUICK
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ludicrous")
+        with pytest.raises(ValueError):
+            current_scale()

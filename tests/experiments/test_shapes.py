@@ -1,0 +1,187 @@
+"""Shape tests: every figure's qualitative claims at reduced scale.
+
+These assert the *paper's findings* — who wins, where crossovers fall —
+not absolute numbers (see EXPERIMENTS.md for the anchor comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig5_loadbalancer,
+    fig6_keypressure,
+    fig7_router_vertical,
+    fig8_router_horizontal,
+    fig9_router_scaling_compare,
+    fig10_qos_vertical,
+    fig11_qos_horizontal,
+    fig12_qos_scaling_compare,
+    table1,
+)
+from repro.experiments.scale import Scale
+
+#: A tiny profile so the whole module runs in seconds.
+TINY = Scale(name="quick", fig5_requests=1_200, fig6_keys=20_000,
+             des_window=0.25, des_warmup=0.15, fig13_duration=30.0,
+             throughput_rules=500)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1.run()
+        assert len(rows) == 7
+        assert rows[0]["instance"] == "c3.large"
+        assert "Table I" in table1.report()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_loadbalancer.run(TINY)
+
+    def test_dns_beats_gateway_everywhere(self, result):
+        assert result.dns.mean < result.gateway.mean
+        assert result.dns.p90 < result.gateway.p90
+        assert result.dns.p99 < result.gateway.p99
+
+    def test_gateway_penalty_about_half_millisecond(self, result):
+        assert 300e-6 < result.gateway_penalty < 800e-6
+
+    def test_absolute_scale_matches_paper(self, result):
+        assert 0.8e-3 < result.dns.mean < 1.5e-3       # paper 1140 us
+        assert 1.2e-3 < result.gateway.mean < 2.2e-3   # paper 1650 us
+
+    def test_report_renders(self, result):
+        text = fig5_loadbalancer.report(result)
+        assert "DNS LB" in text and "Gateway LB" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig6_keypressure.run(TINY)
+
+    def test_all_four_populations(self, rows):
+        assert {r.population for r in rows} == {
+            "UUID", "TimeStamp", "EnglishVocabulary", "SequentialNumbers"}
+
+    def test_uniform_pressure(self, rows):
+        """Paper: min 4.933%, max 5.065%, std < 0.03% at 500 k keys.
+        At 20 k keys the sampling noise is ~5x larger."""
+        for row in rows:
+            assert row.min_pct > 4.4
+            assert row.max_pct < 5.6
+            assert row.std_pct < 0.25
+
+    def test_report_renders(self, rows):
+        assert "key pressure" in fig6_keypressure.report(rows)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig7_router_vertical.run(TINY, validate=("c3.large",))
+
+    def test_throughput_monotone_in_instance_size(self, points):
+        tps = [p.model_throughput for p in points]
+        assert tps == sorted(tps)
+
+    def test_small_routers_cpu_bound(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["c3.large"].model_router_cpu > 0.95
+        assert by_label["c3.xlarge"].model_router_cpu > 0.95
+
+    def test_pressure_shifts_to_qos_on_big_router(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["c3.8xlarge"].bottleneck == "qos"
+        assert by_label["c3.8xlarge"].model_qos_cpu > 0.9
+
+    def test_sim_agrees_with_model(self, points):
+        p = next(p for p in points if p.sim is not None)
+        assert p.sim.throughput == pytest.approx(p.model_throughput, rel=0.2)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig8_router_horizontal.run(TINY, validate=())
+
+    def test_linear_until_plateau(self, points):
+        tps = [p.model_throughput for p in points]
+        # First five points: within 2% of proportional scaling.
+        for i in range(1, 5):
+            assert tps[i] == pytest.approx(tps[0] * (i + 1), rel=0.02)
+
+    def test_plateau_in_paper_range(self, points):
+        plateau = fig8_router_horizontal.plateau_index(points)
+        assert 8 <= plateau <= 10       # paper: ">8 nodes"
+
+    def test_plateau_caused_by_qos_server(self, points):
+        assert points[-1].bottleneck == "qos"
+
+    def test_max_close_to_fig7_max(self, points):
+        """§V-B: Fig. 7a max ~ Fig. 8a max (the shared QoS ceiling)."""
+        fig7_points = fig7_router_vertical.run(TINY, validate=())
+        assert points[-1].model_throughput == pytest.approx(
+            fig7_points[-1].model_throughput, rel=0.1)
+
+
+class TestFig9:
+    def test_vertical_approx_horizontal(self):
+        result = fig9_router_scaling_compare.run(TINY)
+        gap = fig9_router_scaling_compare.max_relative_gap(result)
+        assert gap < 0.10          # "approximately the same throughput"
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig10_qos_vertical.run(TINY, validate=("c3.large",))
+
+    def test_monotone_growth(self, points):
+        tps = [p.model_throughput for p in points]
+        assert tps == sorted(tps)
+
+    def test_routers_overprovisioned(self, points):
+        assert all(p.model_router_cpu < 0.5 for p in points)
+
+    def test_qos_is_bottleneck_throughout(self, points):
+        assert all(p.bottleneck == "qos" for p in points)
+
+    def test_sim_agrees_with_model(self, points):
+        p = next(p for p in points if p.sim is not None)
+        assert p.sim.throughput == pytest.approx(p.model_throughput, rel=0.2)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig11_qos_horizontal.run(TINY, validate=())
+
+    def test_linear_scaling(self, points):
+        assert fig11_qos_horizontal.linearity_r2(points) > 0.999
+
+    def test_headline_100k_at_10_nodes(self, points):
+        assert points[-1].model_throughput > 100_000
+        assert points[-1].swept_vcpus == 40
+
+    def test_router_cpu_climbs_with_qos_nodes(self, points):
+        assert points[-1].model_router_cpu > points[0].model_router_cpu
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_qos_scaling_compare.run(TINY)
+
+    def test_vertical_slightly_higher_at_equal_cores(self, result):
+        for vcpus, ratio in result.vertical_advantage():
+            if vcpus == 4:
+                # One c3.xlarge either way: identical deployments.
+                assert ratio == pytest.approx(1.0)
+            elif vcpus > 4:
+                assert 1.0 < ratio < 1.2
+
+    def test_horizontal_exceeds_biggest_instance(self, result):
+        assert result.horizontal_peak > result.vertical_peak

@@ -1,0 +1,95 @@
+"""The remaining §IV use cases, end to end.
+
+§IV derives several scenarios from the photo-sharing example: IP-keyed
+anonymous browsing, User-Agent-keyed crawler shaping, and the NoSQL
+per-database case (covered in tests/apps/test_nosql.py).  These tests run
+the first two against a simulated deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    AdmissionConfig,
+    ClusterTopology,
+    JanusConfig,
+    ServerConfig,
+)
+from repro.core.keys import ip_key, user_agent_key
+from repro.core.rules import GUEST_ACCESS, QoSRule
+from repro.server.cluster import SimJanusCluster
+from repro.workload.simclient import ClosedLoopClient
+
+
+def build_cluster():
+    config = JanusConfig(
+        topology=ClusterTopology(n_routers=2, n_qos_servers=2),
+        server=ServerConfig(workers=4,
+                            admission=AdmissionConfig(default_rule=GUEST_ACCESS)))
+    return SimJanusCluster(config, seed=121)
+
+
+class TestAnonymousBrowsing:
+    def test_ip_keys_allow_reasonable_browsing_and_stop_surges(self):
+        """'Using IP address as the QoS key allows reasonable anonymous
+        browsing, at the same time mitigating the threats from malicious
+        or unintentional surge requests.'"""
+        cluster = build_cluster()
+        cluster.prewarm()
+        # A human browser: a handful of pages, spread out.
+        human = ClosedLoopClient(cluster, "human",
+                                 lambda: ip_key("198.51.100.7"),
+                                 n_requests=30, think_time=0.2)
+        # A surge source hammering as fast as it can.
+        surge = ClosedLoopClient(cluster, "surge",
+                                 lambda: ip_key("203.0.113.66"),
+                                 n_requests=500)
+        cluster.sim.run(until=10.0)
+        assert human.log.n_allowed == 30                 # all human pages OK
+        # The surge got its guest burst (100) plus a trickle, no more.
+        assert 95 <= surge.log.n_allowed <= 200
+        assert surge.log.n_rejected >= 300
+
+    def test_surge_does_not_affect_other_ips(self):
+        cluster = build_cluster()
+        cluster.prewarm()
+        surge = ClosedLoopClient(cluster, "surge",
+                                 lambda: ip_key("203.0.113.66"),
+                                 n_requests=400)
+        bystander = ClosedLoopClient(cluster, "bystander",
+                                     lambda: ip_key("198.51.100.9"),
+                                     n_requests=50, think_time=0.05)
+        cluster.sim.run(until=10.0)
+        assert bystander.log.n_allowed == 50
+
+
+class TestCrawlerShaping:
+    def test_user_agent_rules_shape_crawlers(self):
+        """'QoS rules can be setup with the User-Agent string ... allowing
+        access from search engines with a reasonable access rate.'"""
+        cluster = build_cluster()
+        # The provider grants a known crawler 20 rps with a small burst;
+        # unknown agents fall to the guest rule.
+        cluster.rules.put_rule(QoSRule(
+            user_agent_key("Googlebot/2.1"), refill_rate=20.0,
+            capacity=20.0))
+        cluster.prewarm()
+        googlebot = ClosedLoopClient(
+            cluster, "googlebot", lambda: user_agent_key("Googlebot/2.1"))
+        scraper = ClosedLoopClient(
+            cluster, "scraper", lambda: user_agent_key("BadBot/0.1"))
+        cluster.sim.run(until=12.0)
+        # The sanctioned crawler converges to its purchased 20 rps.
+        late_ok = sum(1 for r in googlebot.log.records
+                      if r.allowed and 6.0 <= r.finished_at < 11.0) / 5.0
+        assert late_ok == pytest.approx(20.0, rel=0.15)
+        # The unknown scraper is pinned to the 10 rps guest trickle.
+        late_scraper = sum(1 for r in scraper.log.records
+                           if r.allowed and 6.0 <= r.finished_at < 11.0) / 5.0
+        assert late_scraper == pytest.approx(10.0, rel=0.2)
+
+    def test_agent_and_ip_keys_do_not_collide(self):
+        """Namespacing: a UA string equal to an IP string is a different
+        key (the injectivity of repro.core.keys)."""
+        assert user_agent_key("10.0.0.1") != ip_key("10.0.0.1")

@@ -1,0 +1,75 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.ascii_chart import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b", "c"], [10.0, 20.0, 40.0], width=40)
+        lines = text.splitlines()
+        counts = [line.count("#") for line in lines]
+        assert counts == [10, 20, 40]
+
+    def test_labels_aligned(self):
+        text = bar_chart(["short", "a-much-longer-label"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_and_units(self):
+        text = bar_chart(["x"], [12345.0], title="T:", unit=" rps")
+        assert text.startswith("T:")
+        assert "12.3k rps" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in text
+
+    @pytest.mark.parametrize("kwargs", [
+        {"labels": [], "values": []},
+        {"labels": ["a"], "values": [1.0, 2.0]},
+        {"labels": ["a"], "values": [1.0], "width": 2},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            bar_chart(**kwargs)
+
+
+class TestLineChart:
+    def test_marks_follow_values(self):
+        series = [(0.0, 0.0), (5.0, 50.0), (10.0, 100.0)]
+        text = line_chart(series, width=20, height=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        # The max point sits on the top row, the min near the bottom.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+
+    def test_two_series_markers(self):
+        a = [(0.0, 1.0), (1.0, 1.0)]
+        b = [(0.0, 2.0), (1.0, 2.0)]
+        text = line_chart(a, second=b, markers="*o")
+        assert "*" in text and "o" in text
+
+    def test_axis_labels(self):
+        text = line_chart([(2.0, 130.0), (40.0, 100.0)], y_label="rps")
+        assert "130" in text
+        assert "40" in text.splitlines()[-2]
+        assert "rps" in text
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([])
+        with pytest.raises(ConfigurationError):
+            line_chart([(0.0, 1.0)], width=2)
+
+    def test_fig13_shape_renders(self):
+        """The burst-then-steady trace renders without error."""
+        accepted = [(float(t), 130.0 if t < 25 else 100.0) for t in range(45)]
+        rejected = [(float(t), 0.0 if t < 25 else 30.0) for t in range(45)]
+        text = line_chart(accepted, second=rejected, title="fig13a")
+        assert text.startswith("fig13a")
+        assert text.count("\n") > 10

@@ -1,0 +1,102 @@
+"""Tests for latency statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.histogram import LatencyHistogram, LatencySample
+
+
+class TestLatencySample:
+    def test_empty_summary(self):
+        summary = LatencySample().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_known_percentiles(self):
+        sample = LatencySample([i / 1000.0 for i in range(1, 1001)])
+        summary = sample.summary()
+        assert summary.count == 1000
+        assert summary.p50 == pytest.approx(0.5, rel=0.01)
+        assert summary.p90 == pytest.approx(0.9, rel=0.01)
+        assert summary.p99 == pytest.approx(0.99, rel=0.01)
+        assert summary.maximum == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencySample().record(-1.0)
+
+    def test_unit_conversions(self):
+        summary = LatencySample([0.001, 0.002, 0.003]).summary()
+        assert summary.as_milliseconds()["mean_ms"] == pytest.approx(2.0)
+        assert summary.as_microseconds()["mean_us"] == pytest.approx(2000.0)
+
+    @given(st.lists(st.floats(1e-6, 10.0), min_size=1, max_size=500))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, values):
+        sample = LatencySample(values)
+        for pct in (50.0, 90.0, 99.0):
+            assert sample.percentile(pct) == pytest.approx(
+                float(np.percentile(np.asarray(values), pct)))
+
+
+class TestLatencyHistogram:
+    def test_quantile_error_bounded(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=-7.0, sigma=1.0, size=50_000)
+        hist = LatencyHistogram()
+        exact = LatencySample()
+        for v in values:
+            hist.record(float(v))
+            exact.record(float(v))
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            assert hist.percentile(pct) == pytest.approx(
+                exact.percentile(pct), rel=0.05)
+
+    def test_mean_and_count_exact(self):
+        hist = LatencyHistogram()
+        values = [0.001, 0.010, 0.100]
+        for v in values:
+            hist.record(v)
+        summary = hist.summary()
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(np.mean(values))
+        assert summary.maximum == 0.1
+
+    def test_out_of_range_values_clamped(self):
+        hist = LatencyHistogram(min_value=1e-3, max_value=1.0)
+        hist.record(1e-9)
+        hist.record(50.0)
+        assert len(hist) == 2
+        assert hist.percentile(99.0) == 1.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for i in range(1, 101):
+            a.record(i / 1000.0)
+        for i in range(101, 201):
+            b.record(i / 1000.0)
+        a.merge(b)
+        assert len(a) == 200
+        assert a.percentile(50.0) == pytest.approx(0.1, rel=0.05)
+
+    def test_merge_incompatible_rejected(self):
+        a = LatencyHistogram(bins_per_decade=100)
+        b = LatencyHistogram(bins_per_decade=50)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bins_per_decade=0)
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99.0) == 0.0
+        assert hist.summary().count == 0

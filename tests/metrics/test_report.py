@@ -1,0 +1,45 @@
+"""Tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.metrics.report import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(("name", "value"),
+                            [("a", 1.5), ("long-name", 12345.0)],
+                            title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "12,345" in text
+
+    def test_number_formats(self):
+        text = format_table(("x",), [(0.123456,), (42.0,), (0,)])
+        assert "0.123" in text
+        assert "42.0" in text
+
+    def test_rows_have_equal_width(self):
+        text = format_table(("a", "b"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestFormatSeries:
+    def test_series_renders_pairs(self):
+        text = format_series([(0.0, 1.0), (1.0, 2.0)], "t", "rps")
+        assert "t" in text and "rps" in text
+        assert text.count("\n") == 3
+
+
+class TestFormatKv:
+    def test_kv_alignment(self):
+        text = format_kv({"short": 1, "much-longer-key": 2.5}, title="Stats")
+        lines = text.splitlines()
+        assert lines[0] == "Stats"
+        assert all(" : " in line for line in lines[1:])
+
+    def test_empty(self):
+        assert format_kv({}) == ""

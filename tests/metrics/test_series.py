@@ -1,0 +1,76 @@
+"""Tests for rate series and request logs (Fig. 13a machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.series import RateSeries, RequestLog
+
+
+class TestRateSeries:
+    def test_binning(self):
+        series = RateSeries(bin_seconds=1.0)
+        for t in (0.1, 0.5, 0.9, 1.1, 2.5):
+            series.record(t)
+        assert series.rate_at(0.0) == 3.0
+        assert series.rate_at(1.5) == 1.0
+        assert series.rate_at(3.0) == 0.0
+        assert series.total == 5
+
+    def test_sub_second_bins(self):
+        series = RateSeries(bin_seconds=0.5)
+        series.record(0.6)
+        assert series.rate_at(0.7) == 2.0      # 1 event / 0.5 s bin
+
+    def test_series_fills_gaps(self):
+        series = RateSeries()
+        series.record(0.5)
+        series.record(3.5)
+        points = series.series(0.0, 3.0)
+        assert points == [(0.0, 1.0), (1.0, 0.0), (2.0, 0.0), (3.0, 1.0)]
+
+    def test_empty_series(self):
+        assert RateSeries().series() == []
+
+    def test_invalid_bin(self):
+        with pytest.raises(ConfigurationError):
+            RateSeries(bin_seconds=0.0)
+
+
+class TestRequestLog:
+    def make_log(self) -> RequestLog:
+        log = RequestLog()
+        log.record(0.5, 0.010, True)
+        log.record(1.5, 0.020, True)
+        log.record(1.6, 0.002, False)
+        log.record(2.5, 0.001, False, is_default_reply=True)
+        return log
+
+    def test_counters(self):
+        log = self.make_log()
+        assert len(log) == 4
+        assert log.n_allowed == 2
+        assert log.n_rejected == 2
+        assert log.n_default_replies == 1
+
+    def test_split_latency_summaries(self):
+        log = self.make_log()
+        assert log.latency_summary(allowed=True).mean == pytest.approx(0.015)
+        assert log.latency_summary(allowed=False).mean == pytest.approx(0.0015)
+        assert log.latency_summary().count == 4
+
+    def test_rate_series_split(self):
+        log = self.make_log()
+        assert log.accepted.rate_at(1.5) == 1.0
+        assert log.rejected.rate_at(1.6) == 1.0
+
+    def test_throughput_window(self):
+        log = self.make_log()
+        assert log.throughput(0.0, 2.0) == pytest.approx(1.5)
+        with pytest.raises(ConfigurationError):
+            log.throughput(2.0, 2.0)
+
+    def test_latencies_filter(self):
+        log = self.make_log()
+        assert log.latencies(allowed=False) == [0.002, 0.001]

@@ -1,0 +1,111 @@
+"""Tests for the analytic capacity model and its paper anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.capacity import CapacityModel
+
+
+@pytest.fixture
+def model() -> CapacityModel:
+    return CapacityModel()
+
+
+class TestNodeCapacities:
+    def test_qos_capacity_scales_with_cores(self, model):
+        small, _ = model.qos_node_capacity("c3.large")
+        big, _ = model.qos_node_capacity("c3.8xlarge")
+        # Bigger than linear in cores: the per-node tax amortizes.
+        assert big / small > 32 / 2
+
+    def test_binding_constraint_is_cpu(self, model):
+        _, binding = model.qos_node_capacity("c3.xlarge")
+        assert binding == "cpu"
+
+    def test_lock_binds_with_fat_critical_section(self):
+        calib = Calibration(qos_cpu_serial=200e-6)
+        model = CapacityModel(calib)
+        cap, binding = model.qos_node_capacity("c3.8xlarge")
+        assert binding == "table-lock"
+        assert cap == pytest.approx(5000.0)
+
+    def test_paper_anchor_xlarge(self, model):
+        """~10-12 k rps per c3.xlarge QoS node (Figs. 10-12)."""
+        cap, _ = model.qos_node_capacity("c3.xlarge")
+        assert 9_000 < cap < 13_000
+
+    def test_paper_anchor_router_xlarge(self, model):
+        cap, _ = model.rr_node_capacity("c3.xlarge")
+        assert 9_000 < cap < 13_000
+
+
+class TestSystemEstimates:
+    def test_headline_claim_100k(self, model):
+        """Abstract: >100 k rps with 10 QoS nodes of 4 vCPUs each."""
+        topo = ClusterTopology(n_routers=5, n_qos_servers=10,
+                               router_instance="c3.8xlarge",
+                               qos_instance="c3.xlarge")
+        estimate = model.estimate(topo)
+        assert estimate.capacity > 100_000
+        assert estimate.bottleneck == "qos"
+
+    def test_bottleneck_flips_with_router_count(self, model):
+        base = dict(router_instance="c3.xlarge", qos_instance="c3.8xlarge")
+        small = model.estimate(ClusterTopology(n_routers=2, n_qos_servers=1, **base))
+        large = model.estimate(ClusterTopology(n_routers=10, n_qos_servers=1, **base))
+        assert small.bottleneck == "router"
+        assert large.bottleneck == "qos"
+
+    def test_fig12_vertical_slightly_beats_horizontal(self, model):
+        vertical, _ = model.qos_node_capacity("c3.8xlarge")
+        horizontal = 8 * model.qos_node_capacity("c3.xlarge")[0]
+        assert 1.0 < vertical / horizontal < 1.15
+
+    def test_utilization_predictions_bounded(self, model):
+        topo = ClusterTopology(n_routers=5, n_qos_servers=2,
+                               router_instance="c3.8xlarge",
+                               qos_instance="c3.xlarge")
+        est = model.estimate(topo)
+        qos_util = model.qos_cpu_utilization(est.capacity, 2, "c3.xlarge")
+        rr_util = model.rr_cpu_utilization(est.capacity, 5, "c3.8xlarge")
+        assert qos_util == pytest.approx(1.0, abs=0.05)   # bottleneck pegged
+        assert rr_util < 0.3                               # overprovisioned
+
+
+class TestLatency:
+    def test_fig5_anchors(self, model):
+        dns = model.base_latency("dns")
+        gateway = model.base_latency("gateway")
+        assert 0.9e-3 < dns < 1.4e-3            # paper: 1140 us
+        assert 1.3e-3 < gateway < 2.0e-3        # paper: 1650 us
+        assert 350e-6 < model.gateway_penalty() < 650e-6   # paper: ~500 us
+
+    def test_udp_leg_under_timeout_when_light(self, model):
+        """§III-B: the UDP exchange usually completes within 100 us."""
+        assert model.udp_leg_latency() < 120e-6
+
+    def test_udp_leg_grows_with_load(self, model):
+        light = model.udp_leg_latency(qos_load=1000.0)
+        heavy = model.udp_leg_latency(
+            qos_load=0.95 * model.qos_node_capacity("c3.8xlarge")[0])
+        assert heavy > light
+
+    def test_unknown_lb_rejected(self, model):
+        from repro.core.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            model.base_latency("anycast")
+
+
+class TestFleetSizing:
+    def test_fleet_scales_with_capacity(self, model):
+        small = model.size_fleet(ClusterTopology(n_routers=1, n_qos_servers=1,
+                                                 router_instance="c3.xlarge",
+                                                 qos_instance="c3.large"))
+        large = model.size_fleet(ClusterTopology(n_routers=5, n_qos_servers=8,
+                                                 router_instance="c3.8xlarge",
+                                                 qos_instance="c3.xlarge"))
+        assert large > 5 * small
+        assert small >= 2

@@ -1,0 +1,77 @@
+"""Tests for the cost-efficiency model (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.cost import CostModel
+from repro.simnet.instances import C3_FAMILY, get_instance
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel()
+
+
+class TestHourlyCost:
+    def test_sums_both_layers(self, model):
+        topo = ClusterTopology(n_routers=2, n_qos_servers=3,
+                               router_instance="c3.xlarge",
+                               qos_instance="c3.large")
+        expected = 2 * 0.376 + 3 * 0.188
+        assert model.hourly_cost(topo) == pytest.approx(expected)
+
+
+class TestEfficiency:
+    def test_bigger_instances_slightly_cheaper_per_decision(self, model):
+        """The cost expression of Fig. 12: the per-node tax amortizes."""
+        rows = model.efficiency_table()
+        costs = [cost for _, _, cost in rows]
+        assert costs == sorted(costs, reverse=True)
+        # ...but only slightly: within ~20% end to end.
+        assert costs[0] / costs[-1] < 1.25
+
+    def test_usd_per_million_in_plausible_range(self, model):
+        for name, _, usd_per_m in model.efficiency_table():
+            assert 0.001 < usd_per_m < 0.1
+
+
+class TestCheapestFor:
+    def test_meets_target(self, model):
+        best = model.cheapest_for(100_000)
+        assert best is not None
+        assert best.capacity_rps >= 100_000
+        assert best.usd_per_hour < 20.0
+
+    def test_small_target_small_bill(self, model):
+        small = model.cheapest_for(1_000)
+        large = model.cheapest_for(100_000)
+        assert small.usd_per_hour < large.usd_per_hour
+
+    def test_impossible_target_returns_none(self, model):
+        assert model.cheapest_for(1e9, max_nodes=4) is None
+
+    def test_invalid_target(self, model):
+        with pytest.raises(ConfigurationError):
+            model.cheapest_for(0.0)
+
+    def test_prefers_efficient_big_instances_when_exact_fit(self, model):
+        """For a target matching one c3.8xlarge, the single big node beats
+        eight smalls (Fig. 12 economics)."""
+        capacity = model.capacity.qos_node_capacity("c3.8xlarge")[0]
+        best = model.cheapest_for(capacity * 0.99)
+        qos_bill_big = get_instance("c3.8xlarge").price_usd_hr
+        qos_bill = (best.topology.n_qos_servers
+                    * get_instance(best.topology.qos_instance).price_usd_hr)
+        assert qos_bill <= qos_bill_big * 1.001
+
+
+class TestDeploymentCost:
+    def test_usd_per_million_formula(self, model):
+        cost = model.evaluate(ClusterTopology(
+            n_routers=2, n_qos_servers=1,
+            router_instance="c3.8xlarge", qos_instance="c3.large"))
+        manual = cost.usd_per_hour / (cost.capacity_rps * 3600) * 1e6
+        assert cost.usd_per_million_decisions == pytest.approx(manual)

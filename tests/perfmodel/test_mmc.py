@@ -1,0 +1,86 @@
+"""Tests for the M/M/c queueing approximations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.mmc import (
+    erlang_c,
+    mm1_wait_time,
+    mmc_residence_time,
+    mmc_wait_time,
+)
+
+
+class TestErlangC:
+    def test_zero_load_never_queues(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_saturation_always_queues(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 5.0) == 1.0
+
+    def test_single_server_equals_rho(self):
+        # For M/M/1 the queueing probability is exactly rho.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_known_value(self):
+        # Classic table value: c=2, a=1 (rho=0.5) -> P(wait)=1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_more_servers_less_queueing(self):
+        assert erlang_c(8, 4.0) < erlang_c(5, 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            erlang_c(2, -1.0)
+
+
+class TestWaitTimes:
+    def test_mm1_closed_form(self):
+        # W_q = rho/(1-rho) * s: rho=0.5, s=1 -> 1.0
+        assert mm1_wait_time(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_unstable_is_infinite(self):
+        assert mmc_wait_time(10.0, 1.0, 4) == float("inf")
+        assert mmc_residence_time(10.0, 1.0, 4) == float("inf")
+
+    def test_residence_is_wait_plus_service(self):
+        wait = mmc_wait_time(2.0, 1.0, 4)
+        assert mmc_residence_time(2.0, 1.0, 4) == pytest.approx(wait + 1.0)
+
+    def test_wait_explodes_near_saturation(self):
+        light = mmc_wait_time(1.0, 1.0, 4)
+        heavy = mmc_wait_time(3.9, 1.0, 4)
+        assert heavy > 50 * light
+
+    def test_matches_simulation(self, sim):
+        """Cross-check against the DES Resource under Poisson load."""
+        import random
+        from repro.simnet.engine import Resource
+        rng = random.Random(99)
+        res = Resource(sim, capacity=2)
+        service, rate = 0.01, 150.0      # offered 1.5 erlangs on 2 servers
+        waits = []
+
+        def job():
+            t0 = sim.now
+            yield res.acquire()
+            waits.append(sim.now - t0)
+            yield rng.expovariate(1.0 / service)
+            res.release()
+
+        def arrivals():
+            for i in range(6000):
+                yield rng.expovariate(rate)
+                sim.spawn(job(), f"j{i}")
+
+        sim.spawn(arrivals(), "arr")
+        sim.run()
+        simulated = sum(waits) / len(waits)
+        predicted = mmc_wait_time(rate, service, 2)
+        assert simulated == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,74 @@
+"""Tests for the scalability laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.usl import amdahl_speedup, fit_usl, usl_capacity
+
+
+class TestAmdahl:
+    def test_no_serial_is_linear(self):
+        assert amdahl_speedup(16, 0.0) == 16.0
+
+    def test_fully_serial_is_one(self):
+        assert amdahl_speedup(16, 1.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # 10% serial, 8 processors: 8 / (1 + 0.1*7) = 4.706
+        assert amdahl_speedup(8, 0.1) == pytest.approx(4.70588, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(2, 1.5)
+
+
+class TestUSL:
+    def test_reduces_to_amdahl_when_kappa_zero(self):
+        for n in (1, 2, 8, 32):
+            assert usl_capacity(n, 0.05, 0.0) == pytest.approx(
+                amdahl_speedup(n, 0.05))
+
+    def test_coherency_causes_retrograde(self):
+        values = [usl_capacity(n, 0.01, 0.01) for n in range(1, 50)]
+        assert max(values) > values[-1]     # throughput peaks then falls
+
+    def test_linear_when_clean(self):
+        assert usl_capacity(10, 0.0, 0.0) == 10.0
+
+
+class TestFit:
+    def test_recovers_known_coefficients(self):
+        sigma, kappa, unit = 0.05, 0.002, 1000.0
+        ns = list(range(1, 12))
+        tps = [usl_capacity(n, sigma, kappa, unit) for n in ns]
+        fit = fit_usl(ns, tps)
+        assert fit.sigma == pytest.approx(sigma, abs=0.01)
+        assert fit.kappa == pytest.approx(kappa, abs=0.002)
+        assert fit.r_squared > 0.999
+
+    def test_linear_data_fits_zero_contention(self):
+        ns = [1, 2, 4, 8, 10]
+        tps = [1000.0 * n for n in ns]
+        fit = fit_usl(ns, tps)
+        assert fit.sigma < 0.01
+        assert fit.kappa < 1e-4
+        assert fit.peak_n == float("inf") or fit.peak_n > 100
+
+    def test_predict_matches_data_scale(self):
+        ns = [1, 2, 4, 8]
+        tps = [900.0, 1750.0, 3300.0, 6000.0]
+        fit = fit_usl(ns, tps)
+        for n, tp in zip(ns, tps):
+            assert fit.predict(n) == pytest.approx(tp, rel=0.1)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_usl([1, 2], [1.0, 2.0])
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_usl([1, 2, 3], [1.0, -2.0, 3.0])

@@ -1,0 +1,163 @@
+"""Tests for the real UDP QoS server daemon."""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.bucket import RefillMode
+from repro.core.config import AdmissionConfig, ServerConfig
+from repro.core.protocol import QoSRequest, QoSResponse, decode
+from repro.core.rules import QoSRule
+from repro.runtime.udp_server import QoSServerDaemon
+
+
+@pytest.fixture
+def server():
+    source = InMemoryRuleSource({
+        "alice": QoSRule("alice", refill_rate=1000.0, capacity=10_000.0),
+        "empty": QoSRule("empty", refill_rate=0.0, capacity=0.0),
+    })
+    daemon = QoSServerDaemon(source, config=ServerConfig(workers=2))
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+def exchange(address, request: QoSRequest, timeout=2.0) -> QoSResponse:
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+        sock.settimeout(timeout)
+        sock.sendto(request.encode(), address)
+        data, _ = sock.recvfrom(8192)
+    message = decode(data)
+    assert isinstance(message, QoSResponse)
+    return message
+
+
+class TestDecisions:
+    def test_admit(self, server):
+        response = exchange(server.address, QoSRequest(1, "alice"))
+        assert response.request_id == 1
+        assert response.allowed
+
+    def test_deny(self, server):
+        response = exchange(server.address, QoSRequest(2, "empty"))
+        assert not response.allowed
+
+    def test_unknown_key_denied_by_default(self, server):
+        response = exchange(server.address, QoSRequest(3, "stranger"))
+        assert not response.allowed
+
+    def test_many_sequential(self, server):
+        for i in range(100):
+            assert exchange(server.address, QoSRequest(i, "alice")).allowed
+        assert server.controller.stats.admitted >= 100
+
+
+class TestRobustness:
+    def test_garbage_counted_and_ignored(self, server):
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.sendto(b"not a qos packet", server.address)
+            sock.sendto(b"", server.address)
+        deadline = time.monotonic() + 2.0
+        while server.malformed_packets < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.malformed_packets >= 1
+        # The server still answers real requests afterwards.
+        assert exchange(server.address, QoSRequest(9, "alice")).allowed
+
+    def test_response_packet_to_server_is_malformed_input(self, server):
+        # A QoSResponse arriving at a server is counted as noise.
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.sendto(QoSResponse(1, True).encode(), server.address)
+        deadline = time.monotonic() + 2.0
+        while server.malformed_packets < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.malformed_packets >= 1
+
+    def test_stop_is_idempotent(self, server):
+        server.stop()
+        server.stop()
+
+    def test_context_manager(self):
+        source = InMemoryRuleSource({"k": QoSRule("k", 1.0, 1.0)})
+        with QoSServerDaemon(source) as daemon:
+            assert exchange(daemon.address, QoSRequest(1, "k")).allowed
+
+
+class TestMaintenanceThreads:
+    def test_interval_refill_runs(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=1000.0, capacity=50.0, credit=0.0)})
+        config = ServerConfig(workers=1, admission=AdmissionConfig(
+            refill_mode=RefillMode.INTERVAL, refill_interval=0.05))
+        with QoSServerDaemon(source, config=config) as daemon:
+            assert not exchange(daemon.address, QoSRequest(1, "k")).allowed
+            time.sleep(0.3)     # several housekeeping cycles
+            assert exchange(daemon.address, QoSRequest(2, "k")).allowed
+
+    def test_checkpoint_thread_writes_credits(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        config = ServerConfig(workers=1, admission=AdmissionConfig(
+            sync_interval=60.0, checkpoint_interval=0.2))
+        with QoSServerDaemon(source, config=config) as daemon:
+            for i in range(10):
+                exchange(daemon.address, QoSRequest(i, "k"))
+            deadline = time.monotonic() + 3.0
+            while time.monotonic() < deadline:
+                rule = source.get_rule("k")
+                if rule.credit is not None and rule.credit <= 90.5:
+                    break
+                time.sleep(0.05)
+        assert source.get_rule("k").credit == pytest.approx(90.0, abs=1.0)
+
+    def test_sync_thread_applies_rule_update(self):
+        source = InMemoryRuleSource({"k": QoSRule("k", 0.0, 0.0)})
+        config = ServerConfig(workers=1, admission=AdmissionConfig(
+            sync_interval=0.2, checkpoint_interval=60.0))
+        with QoSServerDaemon(source, config=config) as daemon:
+            assert not exchange(daemon.address, QoSRequest(1, "k")).allowed
+            source.put_rule(QoSRule("k", refill_rate=1000.0, capacity=1000.0))
+            deadline = time.monotonic() + 3.0
+            admitted = False
+            while time.monotonic() < deadline and not admitted:
+                time.sleep(0.1)
+                admitted = exchange(daemon.address,
+                                    QoSRequest(2, "k")).allowed
+            assert admitted
+
+
+class TestDedupExtension:
+    def test_duplicate_request_id_consumes_one_credit(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        config = ServerConfig(workers=2, dedup_window=5.0)
+        with QoSServerDaemon(source, config=config) as daemon:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+                sock.settimeout(2.0)
+                request = QoSRequest(777, "k").encode()
+                verdicts = []
+                for _ in range(5):          # the same datagram, five times
+                    sock.sendto(request, daemon.address)
+                    data, _ = sock.recvfrom(8192)
+                    verdicts.append(decode(data).allowed)
+            assert verdicts == [True] * 5
+            bucket = daemon.controller.bucket_for("k")
+            assert bucket.peek_credit() == pytest.approx(99.0)
+
+    def test_without_dedup_duplicates_consume(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        with QoSServerDaemon(source, config=ServerConfig(workers=2)) as daemon:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+                sock.settimeout(2.0)
+                request = QoSRequest(888, "k").encode()
+                for _ in range(5):
+                    sock.sendto(request, daemon.address)
+                    sock.recvfrom(8192)
+            bucket = daemon.controller.bucket_for("k")
+            assert bucket.peek_credit() == pytest.approx(95.0)

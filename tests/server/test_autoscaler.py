@@ -1,0 +1,162 @@
+"""Tests for the router-layer Auto Scaling group (§V-A extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology, JanusConfig, RouterConfig
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+from repro.server.autoscaler import AutoScaler
+from repro.server.cluster import SimJanusCluster
+from repro.server.router import SimRequestRouter
+from repro.workload.keygen import KeyCycle, uuid_keys
+from repro.workload.simclient import ClosedLoopClient
+
+
+def build(n_routers=1, router_instance="c3.large"):
+    """A cluster whose tiny router layer saturates quickly."""
+    config = JanusConfig(
+        topology=ClusterTopology(n_routers=n_routers, n_qos_servers=1,
+                                 router_instance=router_instance,
+                                 qos_instance="c3.8xlarge"),
+        router=RouterConfig(udp_timeout=10e-3))
+    cluster = SimJanusCluster(config, seed=81)
+    keys = uuid_keys(300, seed=81)
+    for k in keys:
+        cluster.rules.put_rule(QoSRule(k, refill_rate=1e9, capacity=1e9))
+    cluster.prewarm()
+    serial = {"n": n_routers}
+
+    def launch_router() -> SimRequestRouter:
+        from repro.server.dns import Resolver
+        name = f"rr-{serial['n']}"
+        serial["n"] += 1
+        resolver = Resolver(cluster.dns, cluster.sim.clock)
+        return SimRequestRouter(
+            cluster.sim, cluster.net, name,
+            cluster.config.topology.router_instance,
+            cluster.qos_service_names, config=cluster.config.router,
+            calibration=cluster.calib, rng=cluster.rng,
+            resolve=resolver.resolve_one)
+
+    return cluster, keys, launch_router
+
+
+class TestScaleOut:
+    def test_saturation_triggers_scale_out(self):
+        cluster, keys, launch = build(n_routers=1)
+        scaler = AutoScaler(
+            cluster.sim, cluster.gateway_lb, launch,
+            min_nodes=1, max_nodes=4, period=0.5, cooldown=0.5,
+            boot_delay=0.2,
+            dns_update=lambda addrs: cluster.dns.set_addresses(
+                cluster.endpoint, addrs))
+        # 40 closed-loop clients saturate one c3.large router.
+        for i in range(40):
+            ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i * 7),
+                             mode="gateway")
+        cluster.sim.run(until=8.0)
+        assert any(e.action == "scale_out" for e in scaler.events)
+        assert len(scaler.fleet()) >= 2
+        # The new routers carry real traffic.
+        added = [r for r in scaler.fleet() if r.name != "rr-0"]
+        assert all(r.requests_handled > 0 for r in added)
+
+    def test_dns_record_follows_fleet(self):
+        cluster, keys, launch = build(n_routers=1)
+        AutoScaler(
+            cluster.sim, cluster.gateway_lb, launch,
+            min_nodes=1, max_nodes=3, period=0.5, cooldown=0.5,
+            boot_delay=0.1,
+            dns_update=lambda addrs: cluster.dns.set_addresses(
+                cluster.endpoint, addrs))
+        for i in range(40):
+            ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i * 7),
+                             mode="gateway")
+        cluster.sim.run(until=8.0)
+        addresses, _ = cluster.dns.query(cluster.endpoint)
+        assert len(addresses) == len(cluster.gateway_lb.routers)
+
+    def test_max_nodes_respected(self):
+        cluster, keys, launch = build(n_routers=1)
+        scaler = AutoScaler(cluster.sim, cluster.gateway_lb, launch,
+                            min_nodes=1, max_nodes=2, period=0.4,
+                            cooldown=0.4, boot_delay=0.1)
+        for i in range(60):
+            ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i * 7),
+                             mode="gateway")
+        cluster.sim.run(until=8.0)
+        assert len(scaler.fleet()) <= 2
+
+
+class TestScaleIn:
+    def test_idle_fleet_shrinks_to_min(self):
+        cluster, keys, launch = build(n_routers=3, router_instance="c3.xlarge")
+        scaler = AutoScaler(cluster.sim, cluster.gateway_lb, launch,
+                            min_nodes=1, max_nodes=5, period=0.5,
+                            cooldown=0.5, boot_delay=0.1)
+        # One lonely client: the layer is massively over-provisioned.
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), mode="gateway",
+                         think_time=0.01)
+        cluster.sim.run(until=10.0)
+        assert any(e.action == "scale_in" for e in scaler.events)
+        assert len(scaler.fleet()) == 1
+
+    def test_retired_router_drains_gracefully(self):
+        cluster, keys, launch = build(n_routers=2, router_instance="c3.xlarge")
+        AutoScaler(cluster.sim, cluster.gateway_lb, launch,
+                   min_nodes=1, max_nodes=5, period=0.5, cooldown=0.5)
+        client = ClosedLoopClient(cluster, "c0", KeyCycle(keys),
+                                  mode="gateway", think_time=0.01)
+        cluster.sim.run(until=10.0)
+        # Every client request completed with a genuine verdict despite the
+        # scale-in (graceful retirement, no dropped connections).
+        assert all(not r.is_default_reply for r in client.log.records)
+        assert len(client.log) > 100
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_nodes": 0},
+        {"min_nodes": 5, "max_nodes": 2},
+        {"scale_out_threshold": 0.2, "scale_in_threshold": 0.5},
+        {"period": 0.0},
+    ])
+    def test_invalid_configs(self, kwargs):
+        cluster, keys, launch = build()
+        defaults = dict(min_nodes=1, max_nodes=4)
+        defaults.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            AutoScaler(cluster.sim, cluster.gateway_lb, launch, **defaults)
+
+
+class TestLatencyPolicy:
+    def test_latency_target_scales_out(self):
+        """The paper's other named metric: 'the average latency observed on
+        the load balancer'.  A saturated router inflates LB-observed P90;
+        the scaler reacts."""
+        cluster, keys, launch = build(n_routers=1)
+        scaler = AutoScaler(
+            cluster.sim, cluster.gateway_lb, launch,
+            min_nodes=1, max_nodes=4, period=0.5, cooldown=0.5,
+            boot_delay=0.2, metric="latency",
+            scale_out_threshold=3e-3, scale_in_threshold=1e-3)
+        for i in range(40):
+            ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i * 7),
+                             mode="gateway")
+        cluster.sim.run(until=8.0)
+        assert any(e.action == "scale_out" for e in scaler.events)
+        assert len(scaler.fleet()) >= 2
+        # With more routers, the observed P90 falls back under the target.
+        assert cluster.gateway_lb.latency.percentile(90.0) < 3e-3
+
+    def test_invalid_latency_thresholds(self):
+        cluster, keys, launch = build()
+        with pytest.raises(ConfigurationError):
+            AutoScaler(cluster.sim, cluster.gateway_lb, launch,
+                       metric="latency", scale_out_threshold=1e-3,
+                       scale_in_threshold=2e-3)
+        with pytest.raises(ConfigurationError):
+            AutoScaler(cluster.sim, cluster.gateway_lb, launch,
+                       metric="wishful-thinking")

@@ -1,0 +1,125 @@
+"""Tests for the Route53-model DNS and resolver cache (§II-A, §V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigurationError, RoutingError
+from repro.server.dns import DnsService, Resolver
+from repro.simnet.rng import RngRegistry
+
+
+@pytest.fixture
+def dns(rng) -> DnsService:
+    return DnsService(rng, default_ttl=30.0)
+
+
+class TestARecords:
+    def test_query_returns_all_addresses(self, dns):
+        dns.register("janus.example", ["a", "b", "c"])
+        addresses, ttl = dns.query("janus.example")
+        assert sorted(addresses) == ["a", "b", "c"]
+        assert ttl == 30.0
+
+    def test_permutation_varies(self, dns):
+        """'With each DNS response, the IP address sequence ... is
+        permuted' — over many queries every address leads sometimes."""
+        dns.register("janus.example", [f"rr-{i}" for i in range(4)])
+        firsts = {dns.query("janus.example")[0][0] for _ in range(200)}
+        assert len(firsts) == 4
+
+    def test_nxdomain(self, dns):
+        with pytest.raises(RoutingError):
+            dns.query("nope.example")
+
+    def test_set_addresses_updates(self, dns):
+        dns.register("janus.example", ["a"])
+        dns.set_addresses("janus.example", ["x", "y"])
+        assert sorted(dns.query("janus.example")[0]) == ["x", "y"]
+
+    def test_set_addresses_unknown_name(self, dns):
+        with pytest.raises(RoutingError):
+            dns.set_addresses("nope", ["x"])
+
+    def test_empty_record_rejected(self, dns):
+        with pytest.raises(ConfigurationError):
+            dns.register("janus.example", [])
+
+    def test_custom_ttl(self, dns):
+        dns.register("fast.example", ["a"], ttl=1.0)
+        assert dns.query("fast.example")[1] == 1.0
+
+    def test_invalid_default_ttl(self, rng):
+        with pytest.raises(ConfigurationError):
+            DnsService(rng, default_ttl=0.0)
+
+
+class TestFailoverRecords:
+    def test_resolves_to_primary_when_healthy(self, dns):
+        dns.register_failover("qos-0.janus", "master", "slave")
+        assert dns.query("qos-0.janus")[0] == ["master"]
+
+    def test_failover_flips_to_secondary(self, dns):
+        dns.register_failover("qos-0.janus", "master", "slave")
+        active = dns.mark_unhealthy("qos-0.janus")
+        assert active == "slave"
+        assert dns.query("qos-0.janus")[0] == ["slave"]
+
+    def test_failover_without_secondary_raises(self, dns):
+        dns.register_failover("qos-0.janus", "master")
+        dns.mark_unhealthy("qos-0.janus")
+        with pytest.raises(RoutingError):
+            dns.query("qos-0.janus")
+
+    def test_promote_installs_new_pair(self, dns):
+        dns.register_failover("qos-0.janus", "m1", "s1")
+        dns.mark_unhealthy("qos-0.janus")
+        dns.promote("qos-0.janus", "s1", "s2")
+        assert dns.query("qos-0.janus")[0] == ["s1"]
+
+    def test_mark_unhealthy_unknown_name(self, dns):
+        with pytest.raises(RoutingError):
+            dns.mark_unhealthy("nope")
+
+
+class TestResolverCache:
+    def test_caches_within_ttl(self, dns):
+        """'QoS requests from the same client node always hit the same
+        request router node within the TTL cycle' (§V-A)."""
+        dns.register("janus.example", ["a", "b", "c", "d"])
+        clock = ManualClock()
+        resolver = Resolver(dns, clock)
+        first = resolver.resolve_one("janus.example")
+        for _ in range(50):
+            clock.advance(0.5)
+            assert resolver.resolve_one("janus.example") == first
+        assert resolver.cache_misses == 1
+        assert resolver.cache_hits == 50
+
+    def test_expires_after_ttl(self, dns):
+        dns.register("janus.example", ["a", "b", "c", "d"], ttl=30.0)
+        clock = ManualClock()
+        resolver = Resolver(dns, clock)
+        resolver.resolve_one("janus.example")
+        clock.advance(30.1)
+        resolver.resolve_one("janus.example")
+        assert resolver.cache_misses == 2
+
+    def test_flush_clears_cache(self, dns):
+        dns.register("janus.example", ["a"])
+        resolver = Resolver(dns, ManualClock())
+        resolver.resolve_one("janus.example")
+        resolver.flush()
+        resolver.resolve_one("janus.example")
+        assert resolver.cache_misses == 2
+
+    def test_failover_visible_after_ttl(self, dns):
+        dns.register_failover("qos-0.janus", "master", "slave", ttl=5.0)
+        clock = ManualClock()
+        resolver = Resolver(dns, clock)
+        assert resolver.resolve_one("qos-0.janus") == "master"
+        dns.mark_unhealthy("qos-0.janus")
+        assert resolver.resolve_one("qos-0.janus") == "master"  # cached
+        clock.advance(5.1)
+        assert resolver.resolve_one("qos-0.janus") == "slave"

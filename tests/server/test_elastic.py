@@ -1,0 +1,120 @@
+"""Tests for elastic QoS-layer resizing with state migration (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology, JanusConfig
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import crc32_router
+from repro.core.rules import QoSRule
+from repro.server.cluster import SimJanusCluster
+from repro.workload.keygen import KeyCycle, uuid_keys
+from repro.workload.simclient import ClosedLoopClient
+
+
+def build(n_qos=2):
+    cluster = SimJanusCluster(JanusConfig(topology=ClusterTopology(
+        n_routers=2, n_qos_servers=n_qos)), seed=91)
+    keys = uuid_keys(80, seed=91)
+    for k in keys:
+        cluster.rules.put_rule(QoSRule(k, refill_rate=0.0, capacity=50.0))
+    cluster.prewarm()
+    return cluster, keys
+
+
+class TestResizeUp:
+    def test_keys_land_on_new_owners(self):
+        cluster, keys = build(n_qos=2)
+        client = ClosedLoopClient(cluster, "c0", KeyCycle(keys),
+                                  n_requests=80)
+        cluster.sim.run(until=3.0)
+        report = cluster.resize_qos(3)
+        assert report.old_count == 2 and report.new_count == 3
+        assert len(cluster.qos_servers) == 3
+        # Drive every key once more; decisions must land per the new map.
+        client2 = ClosedLoopClient(cluster, "c1", KeyCycle(keys),
+                                   n_requests=80)
+        before = [s.decisions for s in cluster.qos_servers]
+        cluster.sim.run(until=6.0)
+        after = [s.decisions for s in cluster.qos_servers]
+        landed = [a - b for a, b in zip(after, before)]
+        expected = [sum(1 for k in keys if crc32_router(k, 3) == i)
+                    for i in range(3)]
+        # Allow a couple of duplicate decisions from retries crossing
+        # delayed responses (the paper's protocol quirk).
+        for got, want in zip(landed, expected):
+            assert abs(got - want) <= 2
+
+    def test_credits_migrate_with_keys(self):
+        """A key's remaining quota survives the resize (the whole point)."""
+        cluster, keys = build(n_qos=2)
+        # Consume 30 of 50 credits on one specific key.
+        victim = keys[0]
+        client = ClosedLoopClient(cluster, "c0", lambda: victim,
+                                  n_requests=30)
+        cluster.sim.run(until=3.0)
+        assert client.log.n_allowed == pytest.approx(30, abs=2)
+        cluster.resize_qos(5)
+        # The key now lives on its new owner with ~20 credits left.
+        client2 = ClosedLoopClient(cluster, "c1", lambda: victim,
+                                   n_requests=40)
+        cluster.sim.run(until=6.0)
+        assert client2.log.n_allowed == pytest.approx(20, abs=3)
+
+    def test_moved_fraction_matches_modulo_math(self):
+        cluster, keys = build(n_qos=2)
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), n_requests=80)
+        cluster.sim.run(until=3.0)
+        report = cluster.resize_qos(3)
+        expected = sum(1 for k in keys
+                       if crc32_router(k, 2) != crc32_router(k, 3))
+        assert report.keys_moved == expected
+        assert report.keys_total == len(keys)
+        assert 0.3 < report.moved_fraction < 0.9     # ~2/3 for 2->3
+
+
+class TestResizeDown:
+    def test_shrink_retires_servers_and_preserves_quota(self):
+        cluster, keys = build(n_qos=3)
+        victim = keys[5]
+        client = ClosedLoopClient(cluster, "c0", lambda: victim,
+                                  n_requests=25)
+        cluster.sim.run(until=3.0)
+        report = cluster.resize_qos(1)
+        assert report.servers_retired
+        assert len(cluster.qos_servers) == 1
+        client2 = ClosedLoopClient(cluster, "c1", lambda: victim,
+                                   n_requests=40)
+        cluster.sim.run(until=6.0)
+        # 50 - 25 = 25 left (small retry-duplication slack).
+        assert client2.log.n_allowed == pytest.approx(25, abs=3)
+
+
+class TestEdgeCases:
+    def test_noop_resize(self):
+        cluster, keys = build(n_qos=2)
+        report = cluster.resize_qos(2)
+        assert report.keys_moved == 0
+        assert len(cluster.qos_servers) == 2
+
+    def test_invalid_count(self):
+        cluster, keys = build(n_qos=2)
+        with pytest.raises(ConfigurationError):
+            cluster.resize_qos(0)
+
+    def test_ha_pairs_not_supported(self):
+        cluster = SimJanusCluster(JanusConfig(topology=ClusterTopology(
+            n_routers=1, n_qos_servers=1, qos_ha=True)))
+        with pytest.raises(ConfigurationError):
+            cluster.resize_qos(2)
+
+    def test_traffic_flows_during_and_after_resize(self):
+        cluster, keys = build(n_qos=2)
+        client = ClosedLoopClient(cluster, "c0", KeyCycle(keys))
+        cluster.sim.run(until=1.0)
+        cluster.resize_qos(4)
+        cluster.sim.run(until=3.0)
+        late = [r for r in client.log.records if r.finished_at > 1.2]
+        assert late
+        assert all(not r.is_default_reply for r in late)

@@ -1,0 +1,131 @@
+"""Tests for QoS-server high availability (§III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.errors import ReplicationError
+from repro.core.protocol import QoSRequest
+from repro.core.rules import QoSRule
+from repro.server.dns import DnsService, Resolver
+from repro.server.ha import HAPair, launch_replacement
+from repro.server.qos_server import SimQoSServer
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+def build_pair(replication_interval=0.2, seed=21):
+    sim = Simulation()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng, udp_loss=0.0)
+    dns = DnsService(rng, default_ttl=1.0)
+    source = InMemoryRuleSource(
+        {"k": QoSRule("k", refill_rate=0.0, capacity=1000.0)})
+    master = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                          rng=rng, warm=True)
+    slave = SimQoSServer(sim, net, "qos-0-slave", "c3.xlarge", source,
+                         rng=rng, warm=True)
+    pair = HAPair(sim, net, dns, "qos-0.janus", master, slave,
+                  replication_interval=replication_interval)
+    return sim, net, dns, source, pair
+
+
+class TestReplication:
+    def test_slave_receives_table(self):
+        sim, net, dns, source, pair = build_pair()
+        net.attach("rr-x", lambda s, p: None)
+        for i in range(10):
+            net.udp_send("rr-x", "qos-0", QoSRequest(i, "k"))
+        sim.run(until=1.0)
+        assert pair.replications >= 3
+        slave_bucket = pair.slave.controller.bucket_for("k")
+        assert slave_bucket is not None
+        assert slave_bucket.peek_credit() == pytest.approx(990.0, abs=1.0)
+
+    def test_invalid_interval(self):
+        sim, net, dns, source, pair = build_pair()
+        with pytest.raises(ReplicationError):
+            HAPair(sim, net, dns, "x", pair.master, pair.slave,
+                   replication_interval=0.0)
+
+
+class TestFailover:
+    def test_promoted_slave_keeps_state(self):
+        """'The new master node already has an up-to-date version of the
+        local QoS table' — credits survive the failover."""
+        sim, net, dns, source, pair = build_pair()
+        net.attach("rr-x", lambda s, p: None)
+        for i in range(10):
+            net.udp_send("rr-x", "qos-0", QoSRequest(i, "k"))
+        sim.run(until=1.0)
+        promoted = pair.fail_master()
+        assert promoted.name == "qos-0-slave"
+        assert dns.query("qos-0.janus")[0] == ["qos-0-slave"]
+        bucket = promoted.controller.bucket_for("k")
+        assert bucket.peek_credit() == pytest.approx(990.0, abs=1.0)
+
+    def test_traffic_flows_to_new_master_via_resolver(self):
+        sim, net, dns, source, pair = build_pair()
+        resolver = Resolver(dns, sim.clock)
+        net.attach("rr-x", lambda s, p: None)
+        net.udp_send("rr-x", resolver.resolve_one("qos-0.janus"),
+                     QoSRequest(1, "k"))
+        sim.run(until=0.5)
+        pair.fail_master()
+        sim.run(until=2.0)      # let the resolver's TTL lapse
+        target = resolver.resolve_one("qos-0.janus")
+        assert target == "qos-0-slave"
+        net.udp_send("rr-x", target, QoSRequest(2, "k"))
+        sim.run(until=2.5)
+        assert pair.master.decisions == 1
+
+    def test_failover_without_slave_raises(self):
+        sim, net, dns, source, pair = build_pair()
+        pair.fail_master()
+        with pytest.raises(ReplicationError):
+            pair.fail_master()
+
+    def test_attach_new_slave_restores_ha(self):
+        sim, net, dns, source, pair = build_pair()
+        pair.fail_master()
+        new_slave = SimQoSServer(sim, net, "qos-0-slave2", "c3.xlarge",
+                                 source, warm=True)
+        pair.attach_new_slave(new_slave)
+        assert pair.slave is new_slave
+        assert dns.query("qos-0.janus")[0] == ["qos-0-slave"]
+
+    def test_attach_when_slave_present_rejected(self):
+        sim, net, dns, source, pair = build_pair()
+        with pytest.raises(ReplicationError):
+            pair.attach_new_slave(pair.slave)
+
+
+class TestReplacement:
+    def test_replacement_rewarns_from_checkpoints(self):
+        """The non-HA path (§II-D): a replacement server seeds its buckets
+        from the last check-pointed credits."""
+        sim = Simulation()
+        rng = RngRegistry(22)
+        net = Network(sim, rng, udp_loss=0.0)
+        dns = DnsService(rng, default_ttl=1.0)
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        failed = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                              rng=rng, warm=True)
+        dns.register_failover("qos-0.janus", failed.name)
+        net.attach("rr-x", lambda s, p: None)
+        for i in range(40):
+            net.udp_send("rr-x", "qos-0", QoSRequest(i, "k"))
+        sim.run(until=0.5)
+        failed.controller.checkpoint()
+        failed.fail()
+        replacement = launch_replacement(
+            sim, net, dns, "qos-0.janus", failed, source, rng=rng)
+        assert dns.query("qos-0.janus")[0] == [replacement.name]
+        net.udp_send("rr-x", replacement.name, QoSRequest(99, "k"))
+        sim.run(until=1.5)
+        bucket = replacement.controller.bucket_for("k")
+        # 100 - 40 consumed - 1 new consume = 59.
+        assert bucket.peek_credit() == pytest.approx(59.0, abs=0.5)

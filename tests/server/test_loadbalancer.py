@@ -1,0 +1,71 @@
+"""Tests for the gateway load balancer model (§II-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+from repro.server.loadbalancer import GatewayLoadBalancer
+from repro.server.qos_server import SimQoSServer
+from repro.server.router import SimRequestRouter
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+@pytest.fixture
+def routers():
+    sim = Simulation()
+    rng = RngRegistry(31)
+    net = Network(sim, rng, udp_loss=0.0)
+    source = InMemoryRuleSource({"k": QoSRule("k", 1e6, 1e6)})
+    server = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                          rng=rng, warm=True)
+    return [SimRequestRouter(sim, net, f"rr-{i}", "c3.xlarge",
+                             [server.name], rng=rng)
+            for i in range(3)]
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self, routers):
+        lb = GatewayLoadBalancer("elb", routers)
+        picks = [lb.pick().name for _ in range(9)]
+        assert picks == ["rr-0", "rr-1", "rr-2"] * 3
+        assert lb.requests_routed == 9
+
+
+class TestLeastConnections:
+    def test_prefers_idle_backend(self, routers):
+        lb = GatewayLoadBalancer("elb", routers,
+                                 algorithm="least_connections")
+        lb.connection_opened(routers[0])
+        lb.connection_opened(routers[0])
+        lb.connection_opened(routers[1])
+        assert lb.pick().name == "rr-2"
+
+    def test_outstanding_tracking(self, routers):
+        lb = GatewayLoadBalancer("elb", routers,
+                                 algorithm="least_connections")
+        lb.connection_opened(routers[2])
+        assert lb.outstanding()["rr-2"] == 1
+        lb.connection_closed(routers[2])
+        assert lb.outstanding()["rr-2"] == 0
+
+
+class TestValidation:
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewayLoadBalancer("elb", [])
+
+    def test_unknown_algorithm_rejected(self, routers):
+        with pytest.raises(ConfigurationError):
+            GatewayLoadBalancer("elb", routers, algorithm="random-walk")
+
+    def test_proc_time_near_calibration(self, routers):
+        from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+        lb = GatewayLoadBalancer("elb", routers)
+        samples = [lb.proc_time() for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(DEFAULT_CALIBRATION.lb_proc_time, rel=0.05)

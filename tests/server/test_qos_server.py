@@ -1,0 +1,154 @@
+"""Tests for the simulated QoS server node (§III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import AdmissionConfig, ServerConfig
+from repro.core.protocol import QoSRequest, QoSResponse
+from repro.core.rules import GUEST_ACCESS, QoSRule
+from repro.server.qos_server import SimQoSServer, background_load
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngRegistry
+
+
+@pytest.fixture
+def env():
+    sim = Simulation()
+    rng = RngRegistry(3)
+    net = Network(sim, rng, udp_loss=0.0)
+    source = InMemoryRuleSource({
+        "alice": QoSRule("alice", refill_rate=1e6, capacity=1e6),
+        "empty": QoSRule("empty", refill_rate=0.0, capacity=0.0),
+    })
+    server = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source, rng=rng)
+    responses: list[QoSResponse] = []
+    net.attach("rr-x", lambda src, p: responses.append(p))
+    return sim, net, server, responses
+
+
+class TestDecisions:
+    def test_admit_known_key(self, env):
+        sim, net, server, responses = env
+        net.udp_send("rr-x", "qos-0", QoSRequest(1, "alice"))
+        sim.run(until=0.05)
+        assert len(responses) == 1
+        assert responses[0].request_id == 1
+        assert responses[0].allowed
+
+    def test_deny_empty_rule(self, env):
+        sim, net, server, responses = env
+        net.udp_send("rr-x", "qos-0", QoSRequest(2, "empty"))
+        sim.run(until=0.05)
+        assert not responses[0].allowed
+
+    def test_unknown_key_default_rule(self, env):
+        sim, net, server, responses = env
+        net.udp_send("rr-x", "qos-0", QoSRequest(3, "stranger"))
+        sim.run(until=0.05)
+        assert not responses[0].allowed     # DENY_ALL default
+
+    def test_first_seen_key_pays_db_fetch(self, env):
+        sim, net, server, responses = env
+        net.udp_send("rr-x", "qos-0", QoSRequest(1, "alice"))
+        sim.run(until=0.05)
+        first_latency = responses[0]
+        t_first = sim.now
+        net.udp_send("rr-x", "qos-0", QoSRequest(2, "alice"))
+        sim.run(until=0.1)
+        # Can't compare timestamps directly post-hoc; assert via counters:
+        assert server.controller.stats.rule_misses == 1
+        assert server.controller.stats.rule_hits == 1
+
+    def test_prewarm_skips_db_fetch(self):
+        sim = Simulation()
+        rng = RngRegistry(4)
+        net = Network(sim, rng, udp_loss=0.0)
+        source = InMemoryRuleSource({"k": QoSRule("k", 1e6, 1e6)})
+        server = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                              rng=rng, warm=True)
+        stamps = []
+        net.attach("rr-x", lambda src, p: stamps.append(sim.now))
+        net.udp_send("rr-x", "qos-0", QoSRequest(1, "k"))
+        sim.run(until=0.05)
+        # Warm turnaround ~ 2 hops + bursts: well under the rule-fetch time.
+        assert stamps[0] < 400e-6
+
+    def test_throughput_counter_window(self, env):
+        sim, net, server, responses = env
+
+        def feeder():
+            for i in range(100):
+                net.udp_send("rr-x", "qos-0", QoSRequest(i, "alice"))
+                yield 0.001
+
+        sim.spawn(feeder(), "feed")
+        sim.run(until=0.05)
+        server.begin_window()
+        mid = server.decisions
+        sim.run(until=0.2)
+        assert server.decisions_in_window() == server.decisions - mid
+
+
+class TestFailure:
+    def test_failed_server_stops_responding(self, env):
+        sim, net, server, responses = env
+        net.udp_send("rr-x", "qos-0", QoSRequest(1, "alice"))
+        sim.run(until=0.05)
+        server.fail()
+        net.udp_send("rr-x", "qos-0", QoSRequest(2, "alice"))
+        sim.run(until=0.1)
+        assert len(responses) == 1      # only the pre-failure response
+        assert not net.is_attached("qos-0")
+
+
+class TestMaintenance:
+    def test_sync_picks_up_rule_change(self):
+        sim = Simulation()
+        rng = RngRegistry(5)
+        net = Network(sim, rng, udp_loss=0.0)
+        source = InMemoryRuleSource({"k": QoSRule("k", 5.0, 50.0)})
+        config = ServerConfig(workers=2, admission=AdmissionConfig(
+            sync_interval=0.5, checkpoint_interval=10.0))
+        server = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                              config=config, rng=rng)
+        net.attach("rr-x", lambda src, p: None)
+        net.udp_send("rr-x", "qos-0", QoSRequest(1, "k"))
+        sim.run(until=0.2)
+        source.put_rule(QoSRule("k", refill_rate=77.0, capacity=700.0))
+        sim.run(until=1.2)       # past one sync interval
+        bucket = server.controller.bucket_for("k")
+        assert bucket.refill_rate == 77.0
+
+    def test_checkpoint_reaches_source(self):
+        sim = Simulation()
+        rng = RngRegistry(6)
+        net = Network(sim, rng, udp_loss=0.0)
+        source = InMemoryRuleSource({"k": QoSRule("k", 0.0, 100.0)})
+        config = ServerConfig(workers=2, admission=AdmissionConfig(
+            sync_interval=50.0, checkpoint_interval=0.5))
+        SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                     config=config, rng=rng)
+        net.attach("rr-x", lambda src, p: None)
+        for i in range(5):
+            net.udp_send("rr-x", "qos-0", QoSRequest(i, "k"))
+        sim.run(until=1.5)
+        assert source.get_rule("k").credit == pytest.approx(95.0, abs=0.5)
+
+
+class TestBackgroundLoad:
+    def test_consumes_requested_fraction(self, sim):
+        node = SimNode(sim, "n", "c3.xlarge")
+        node.begin_window()
+        background_load(sim, node, cores_equiv=1.5)
+        sim.run(until=0.5)
+        assert node.cpu_utilization() == pytest.approx(1.5 / 4, rel=0.05)
+
+    def test_zero_is_noop(self, sim):
+        node = SimNode(sim, "n", "c3.xlarge")
+        background_load(sim, node, cores_equiv=0.0)
+        sim.run(until=0.1)
+        assert node.cpu_utilization() == 0.0

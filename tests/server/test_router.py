@@ -1,0 +1,175 @@
+"""Tests for the simulated request router (§II-B, §III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import RouterConfig
+from repro.core.hashing import crc32_router
+from repro.core.rules import QoSRule
+from repro.server.qos_server import SimQoSServer
+from repro.server.router import SimRequestRouter
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+from repro.workload.keygen import uuid_keys
+
+
+def build(n_servers=2, udp_loss=0.0, router_config=None, seed=11):
+    sim = Simulation()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng, udp_loss=udp_loss)
+    source = InMemoryRuleSource(
+        {k: QoSRule(k, 1e6, 1e6) for k in uuid_keys(50, seed)})
+    servers = [SimQoSServer(sim, net, f"qos-{i}", "c3.xlarge", source,
+                            rng=rng, warm=True)
+               for i in range(n_servers)]
+    router = SimRequestRouter(
+        sim, net, "rr-0", "c3.xlarge", [s.name for s in servers],
+        config=router_config, rng=rng)
+    return sim, net, router, servers, list(source._rules)
+
+
+class TestRouting:
+    def test_route_matches_crc32(self):
+        _, _, router, servers, keys = build(n_servers=3)
+        for key in keys:
+            expected = f"qos-{crc32_router(key, 3)}"
+            assert router.route(key) == expected
+
+    def test_end_to_end_decision(self):
+        sim, net, router, servers, keys = build()
+        results = []
+
+        def client():
+            response = yield from router.handle(keys[0])
+            results.append(response)
+
+        sim.spawn(client(), "c")
+        sim.run(until=0.1)
+        assert len(results) == 1
+        assert results[0].allowed
+        assert not results[0].is_default_reply
+        assert router.requests_handled == 1
+
+    def test_decisions_land_on_hashed_server(self):
+        sim, net, router, servers, keys = build(n_servers=2)
+
+        def client():
+            for key in keys[:20]:
+                yield from router.handle(key)
+
+        sim.spawn(client(), "c")
+        sim.run(until=0.5)
+        expected = [sum(1 for k in keys[:20] if crc32_router(k, 2) == i)
+                    for i in range(2)]
+        assert [s.decisions for s in servers] == expected
+
+    def test_empty_backends_rejected(self, sim, net, rng):
+        with pytest.raises(ValueError):
+            SimRequestRouter(sim, net, "rr", "c3.xlarge", [], rng=rng)
+
+
+class TestRetry:
+    def test_retries_on_loss_eventually_succeed(self):
+        # 40% datagram loss: per attempt both directions must survive
+        # (P ~ 0.36), so most requests retry yet ~90% succeed within 5.
+        sim, net, router, servers, keys = build(
+            udp_loss=0.4,
+            router_config=RouterConfig(udp_timeout=2e-3, max_retries=5))
+        results = []
+
+        def client():
+            for key in keys[:30]:
+                response = yield from router.handle(key)
+                results.append(response)
+
+        sim.spawn(client(), "c")
+        sim.run(until=2.0)
+        assert len(results) == 30
+        assert router.retries > 5
+        genuine = [r for r in results if not r.is_default_reply]
+        assert len(genuine) > 20
+        assert all(r.allowed for r in genuine)
+
+    def test_default_reply_when_server_gone(self):
+        sim, net, router, servers, keys = build(
+            router_config=RouterConfig(udp_timeout=1e-3, max_retries=3,
+                                       default_reply=True))
+        for s in servers:
+            s.fail()
+        results = []
+
+        def client():
+            response = yield from router.handle(keys[0])
+            results.append(response)
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        assert results[0].is_default_reply
+        assert results[0].allowed          # fail-open policy
+        assert router.default_replies == 1
+
+    def test_default_reply_fail_closed(self):
+        sim, net, router, servers, keys = build(
+            router_config=RouterConfig(udp_timeout=1e-3, max_retries=2,
+                                       default_reply=False))
+        for s in servers:
+            s.fail()
+        results = []
+
+        def client():
+            results.append((yield from router.handle(keys[0])))
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        assert not results[0].allowed
+
+    def test_worst_case_wait_bounded(self):
+        config = RouterConfig(udp_timeout=1e-3, max_retries=4)
+        sim, net, router, servers, keys = build(router_config=config)
+        for s in servers:
+            s.fail()
+        stamps = []
+
+        def client():
+            t0 = sim.now
+            yield from router.handle(keys[0])
+            stamps.append(sim.now - t0)
+
+        sim.spawn(client(), "c")
+        sim.run(until=1.0)
+        # UDP wait <= retries x timeout, plus the router's CPU bursts.
+        assert stamps[0] < config.worst_case_wait + 2e-3
+
+
+class TestResolveIndirection:
+    def test_resolver_redirects_after_failover(self):
+        """Routers address servers by stable name; swapping the resolution
+        target must reroute traffic without touching the hash map."""
+        sim = Simulation()
+        rng = RngRegistry(12)
+        net = Network(sim, rng, udp_loss=0.0)
+        source = InMemoryRuleSource({"k": QoSRule("k", 1e6, 1e6)})
+        primary = SimQoSServer(sim, net, "primary", "c3.xlarge", source,
+                               rng=rng, warm=True)
+        standby = SimQoSServer(sim, net, "standby", "c3.xlarge", source,
+                               rng=rng, warm=True)
+        target = {"addr": "primary"}
+        router = SimRequestRouter(
+            sim, net, "rr-0", "c3.xlarge", ["service-name"],
+            rng=rng, resolve=lambda name: target["addr"])
+        done = []
+
+        def client():
+            yield from router.handle("k")
+            target["addr"] = "standby"
+            yield from router.handle("k")
+            done.append(True)
+
+        sim.spawn(client(), "c")
+        sim.run(until=0.5)
+        assert done
+        assert primary.decisions == 1
+        assert standby.decisions == 1

@@ -1,0 +1,72 @@
+"""Tests for router-node failure and the LB health check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterTopology, JanusConfig
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+from repro.server.cluster import SimJanusCluster
+from repro.workload.keygen import KeyCycle, uuid_keys
+from repro.workload.simclient import ClosedLoopClient
+
+
+def build(n_routers=3):
+    cluster = SimJanusCluster(JanusConfig(topology=ClusterTopology(
+        n_routers=n_routers, n_qos_servers=2)), seed=95)
+    keys = uuid_keys(50, seed=95)
+    for k in keys:
+        cluster.rules.put_rule(QoSRule(k, refill_rate=1e9, capacity=1e9))
+    cluster.prewarm()
+    return cluster, keys
+
+
+class TestLbHealthCheck:
+    def test_pick_skips_failed_router(self):
+        cluster, keys = build(n_routers=3)
+        cluster.routers[1].fail()
+        picks = {cluster.gateway_lb.pick().name for _ in range(20)}
+        assert picks == {"rr-0", "rr-2"}
+
+    def test_all_routers_down_raises(self):
+        cluster, keys = build(n_routers=2)
+        for r in cluster.routers:
+            r.fail()
+        with pytest.raises(ConfigurationError):
+            cluster.gateway_lb.pick()
+
+    def test_traffic_continues_after_router_crash(self):
+        cluster, keys = build(n_routers=3)
+        client = ClosedLoopClient(cluster, "c0", KeyCycle(keys),
+                                  mode="gateway")
+        cluster.sim.run(until=1.0)
+        cluster.routers[0].fail()
+        cluster.sim.run(until=3.0)
+        late = [r for r in client.log.records if r.finished_at > 1.1]
+        assert len(late) > 100
+        assert all(not r.is_default_reply for r in late)
+        # The survivors carried the load.
+        assert cluster.routers[1].requests_handled > 0
+        assert cluster.routers[2].requests_handled > 0
+
+    def test_retire_vs_fail(self):
+        cluster, keys = build(n_routers=2)
+        cluster.routers[0].retire()
+        assert not cluster.routers[0].running
+        # Retired node remains attached (drains in-flight responses)...
+        assert cluster.net.is_attached("rr-0")
+        cluster.routers[1].fail()
+        # ...a failed node does not.
+        assert not cluster.net.is_attached("rr-1")
+
+    def test_dns_mode_client_retries_next_address(self):
+        cluster, keys = build(n_routers=3)
+        cluster.routers[0].fail()
+        cluster.routers[1].fail()
+        client = ClosedLoopClient(cluster, "c0", KeyCycle(keys),
+                                  mode="dns", n_requests=20)
+        cluster.sim.run(until=3.0)
+        assert client.done
+        assert len(client.log) == 20
+        assert cluster.routers[2].requests_handled == 20

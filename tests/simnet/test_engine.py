@@ -1,0 +1,472 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simnet.engine import (
+    Event,
+    Interrupt,
+    Resource,
+    Simulation,
+    Store,
+    first_of,
+)
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self, sim):
+        order = []
+        sim.call_at(2.0, order.append, "b")
+        sim.call_at(1.0, order.append, "a")
+        sim.call_at(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_broken_by_schedule_order(self, sim):
+        order = []
+        for i in range(10):
+            sim.call_at(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_call_in_relative(self, sim):
+        stamps = []
+        sim.call_in(0.5, lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == [0.5]
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_run_until_stops_clock(self, sim):
+        sim.call_at(10.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_run_until_advances_clock_when_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            while True:
+                yield 0.001
+        sim.spawn(forever(), "loop")
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_sleeps(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 1.5
+            trace.append(sim.now)
+            yield 0.5
+            trace.append(sim.now)
+
+        sim.spawn(proc(), "p")
+        sim.run()
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_process_result(self, sim):
+        def proc():
+            yield 1.0
+            return 42
+        p = sim.spawn(proc(), "p")
+        sim.run()
+        assert p.done and p.result == 42
+
+    def test_result_before_done_raises(self, sim):
+        def proc():
+            yield 1.0
+        p = sim.spawn(proc(), "p")
+        with pytest.raises(SimulationError):
+            _ = p.result
+
+    def test_wait_on_event(self, sim):
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        sim.spawn(waiter(), "w")
+        sim.call_at(2.0, ev.trigger, "hello")
+        sim.run()
+        assert got == [(2.0, "hello")]
+
+    def test_wait_on_triggered_event_resumes_immediately(self, sim):
+        ev = sim.event()
+        ev.trigger("x")
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        sim.spawn(waiter(), "w")
+        sim.run()
+        assert got == ["x"]
+
+    def test_wait_on_process(self, sim):
+        def child():
+            yield 2.0
+            return "done"
+
+        def parent():
+            result = yield sim.spawn(child(), "c")
+            return (sim.now, result)
+
+        p = sim.spawn(parent(), "p")
+        sim.run()
+        assert p.result == (2.0, "done")
+
+    def test_negative_delay_rejected(self, sim):
+        def proc():
+            yield -1.0
+        sim.spawn(proc(), "p")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yield_rejected(self, sim):
+        def proc():
+            yield "nonsense"
+        sim.spawn(proc(), "p")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_during_sleep(self, sim):
+        caught = []
+
+        def sleeper():
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                caught.append((sim.now, exc.cause))
+
+        p = sim.spawn(sleeper(), "s")
+        sim.call_at(1.0, p.interrupt, "wake up")
+        sim.run()
+        assert caught == [(1.0, "wake up")]
+        assert sim.now == 1.0       # the 100 s sleep entry was cancelled
+
+    def test_unhandled_interrupt_finishes_process(self, sim):
+        def sleeper():
+            yield 100.0
+        p = sim.spawn(sleeper(), "s")
+        sim.call_at(1.0, p.interrupt)
+        sim.run()
+        assert p.done
+
+    def test_interrupt_runs_finally_blocks(self, sim):
+        cleaned = []
+
+        def guarded():
+            try:
+                yield 100.0
+            finally:
+                cleaned.append(sim.now)
+
+        p = sim.spawn(guarded(), "g")
+        sim.call_at(1.0, p.interrupt)
+        sim.run()
+        assert cleaned == [1.0]
+
+    def test_timeout_event(self, sim):
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.5, "v")
+            got.append((sim.now, value))
+
+        sim.spawn(proc(), "p")
+        sim.run()
+        assert got == [(1.5, "v")]
+
+
+class TestEvent:
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_callbacks_fire_on_trigger(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(seen.append)
+        ev.trigger(5)
+        assert seen == [5]
+
+    def test_callback_on_already_triggered(self, sim):
+        ev = sim.event()
+        ev.trigger(1)
+        seen = []
+        ev.add_callback(seen.append)
+        assert seen == [1]
+
+    def test_multiple_waiters_all_resume(self, sim):
+        ev = sim.event()
+        got = []
+
+        def waiter(i):
+            value = yield ev
+            got.append((i, value))
+
+        for i in range(3):
+            sim.spawn(waiter(i), f"w{i}")
+        sim.call_at(1.0, ev.trigger, "x")
+        sim.run()
+        assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+class TestFirstOf:
+    def test_event_wins(self, sim):
+        ev = sim.event()
+        sim.call_at(1.0, ev.trigger, "fast")
+        results = []
+
+        def proc():
+            results.append((yield first_of(sim, ev, 5.0)))
+
+        sim.spawn(proc(), "p")
+        sim.run()
+        assert results == [("ok", "fast")]
+        assert sim.now == 5.0       # the losing timeout still fires (no-op)
+
+    def test_timeout_wins(self, sim):
+        ev = sim.event()
+        results = []
+
+        def proc():
+            results.append((yield first_of(sim, ev, 0.5)))
+
+        sim.spawn(proc(), "p")
+        sim.run()
+        assert results == [("timeout", None)]
+
+    def test_late_event_not_lost(self, sim):
+        """A response arriving after the timeout still triggers the
+        underlying event — the retry loop depends on this."""
+        ev = sim.event()
+        results = []
+
+        def proc():
+            results.append((yield first_of(sim, ev, 0.5)))
+            results.append((yield first_of(sim, ev, 0.5)))
+
+        sim.spawn(proc(), "p")
+        sim.call_at(0.7, ev.trigger, "late")
+        sim.run()
+        assert results == [("timeout", None), ("ok", "late")]
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.spawn(consumer(), "c")
+        for i in range(3):
+            store.put(i)
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_blocking_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.spawn(consumer(), "c")
+        sim.call_at(2.0, store.put, "item")
+        sim.run()
+        assert got == [(2.0, "item")]
+
+    def test_bounded_store_drops(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.put(1)
+        assert store.put(2)
+        assert not store.put(3)
+        assert store.dropped == 1
+        assert len(store) == 2
+
+    def test_waiting_getter_bypasses_capacity(self, sim):
+        store = Store(sim, capacity=1)
+
+        def consumer():
+            yield store.get()
+
+        sim.spawn(consumer(), "c")
+        sim.run()
+        assert store.put("direct")
+        assert store.dropped == 0
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(i):
+            yield res.acquire()
+            active.append(i)
+            peak.append(len(active))
+            yield 1.0
+            active.remove(i)
+            res.release()
+
+        for i in range(5):
+            sim.spawn(worker(i), f"w{i}")
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == pytest.approx(3.0)     # 5 jobs / 2 slots x 1 s
+
+    def test_fifo_handoff(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i):
+            yield res.acquire()
+            order.append(i)
+            yield 0.1
+            res.release()
+
+        for i in range(4):
+            sim.spawn(worker(i), f"w{i}")
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_acquire_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_utilization_accounting(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        sim.spawn(worker(), "w")
+        sim.run()
+        # 1 busy slot-second over 1 s x 2 slots = 50%.
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_waits_counted(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        sim.spawn(worker(), "a")
+        sim.spawn(worker(), "b")
+        sim.run()
+        assert res.waits == 1
+        assert res.acquisitions == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            sim = Simulation()
+            trace = []
+            store = Store(sim)
+
+            def producer():
+                for i in range(50):
+                    store.put(i)
+                    yield 0.01
+
+            def consumer(cid):
+                while True:
+                    item = yield store.get()
+                    trace.append((round(sim.now, 6), cid, item))
+                    yield 0.003
+
+            sim.spawn(producer(), "prod")
+            for c in range(3):
+                sim.spawn(consumer(c), f"c{c}")
+            sim.run(until=1.0)
+            return trace
+
+        assert build_and_run() == build_and_run()
+
+
+class TestInterruptResourceSafety:
+    def test_interrupt_while_queued_does_not_leak_slot(self, sim):
+        """Regression: a process interrupted while waiting for a Resource
+        must not swallow the slot when a later release would have handed
+        it over (the orphaned-waiter leak)."""
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        def queued():
+            yield res.acquire()      # interrupted while waiting here
+            res.release()            # pragma: no cover - never reached
+
+        def survivor():
+            yield res.acquire()
+            yield 0.5
+            res.release()
+
+        sim.spawn(holder(), "holder")
+        victim = sim.spawn(queued(), "victim")
+        sim.spawn(survivor(), "survivor")
+        sim.call_at(0.5, victim.interrupt, "cancelled")
+        sim.run()
+        # holder: 1.0s; survivor gets the slot at 1.0 despite the orphan.
+        assert sim.now == pytest.approx(1.5)
+        assert res.in_use == 0
+        assert res.queued == 0
+
+    def test_interrupt_after_handoff_releases_via_finally(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        def worker():
+            yield res.acquire()
+            try:
+                yield 10.0
+            finally:
+                res.release()
+
+        sim.spawn(holder(), "holder")
+        w = sim.spawn(worker(), "worker")
+        sim.call_at(2.0, w.interrupt)       # interrupted while holding
+        sim.run()
+        assert res.in_use == 0

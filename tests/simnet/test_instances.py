@@ -1,0 +1,57 @@
+"""Tests for the Table I instance catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simnet.instances import (
+    C3_FAMILY,
+    INSTANCE_TYPES,
+    TABLE_I_ORDER,
+    InstanceType,
+    get_instance,
+)
+
+
+class TestTableI:
+    def test_exact_paper_rows(self):
+        expected = {
+            "c3.large": (2, 3.75, 250, 0.188),
+            "c3.xlarge": (4, 7.5, 500, 0.376),
+            "c3.2xlarge": (8, 15, 1000, 0.752),
+            "c3.4xlarge": (16, 30, 2000, 1.504),
+            "c3.8xlarge": (32, 60, 10000, 3.008),
+            "r3.xlarge": (4, 30.5, 500, 0.455),
+            "r3.2xlarge": (8, 61, 1000, 0.910),
+        }
+        for name, (vcpus, mem, net, price) in expected.items():
+            inst = get_instance(name)
+            assert (inst.vcpus, inst.memory_gb, inst.network_mbps,
+                    inst.price_usd_hr) == (vcpus, mem, net, price)
+
+    def test_order_matches_paper(self):
+        assert TABLE_I_ORDER[0] == "c3.large"
+        assert TABLE_I_ORDER[-1] == "r3.2xlarge"
+        assert all(name in INSTANCE_TYPES for name in TABLE_I_ORDER)
+
+    def test_c3_family_doubles_cores(self):
+        cores = [get_instance(n).vcpus for n in C3_FAMILY]
+        assert cores == [2, 4, 8, 16, 32]
+
+    def test_c3_price_proportional_to_cores(self):
+        base = get_instance("c3.large")
+        for name in C3_FAMILY:
+            inst = get_instance(name)
+            assert inst.price_usd_hr / base.price_usd_hr == pytest.approx(
+                inst.vcpus / base.vcpus)
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_instance("m5.mega")
+
+    def test_invalid_instance_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", 0, 1.0, 100, 0.1)
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", 2, -1.0, 100, 0.1)

@@ -1,0 +1,111 @@
+"""Tests for the network model."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.simnet.engine import Simulation
+from repro.simnet.network import CLIENT_LINK, INTERNAL_LINK, LatencyModel, Network
+from repro.simnet.rng import RngRegistry
+
+
+class TestLatencyModel:
+    def test_floor_respected(self):
+        model = LatencyModel(floor=100e-6, median_extra=50e-6, sigma=0.5)
+        import random
+        rng = random.Random(1)
+        for _ in range(1000):
+            assert model.sample(rng) >= 100e-6
+
+    def test_mean_formula_matches_samples(self):
+        import random
+        model = CLIENT_LINK
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(40_000)]
+        assert statistics.mean(samples) == pytest.approx(model.mean(), rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(floor=-1e-6, median_extra=1e-6, sigma=0.5)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(floor=0.0, median_extra=0.0, sigma=0.5)
+
+    def test_internal_faster_than_client(self):
+        assert INTERNAL_LINK.mean() < CLIENT_LINK.mean() / 3
+
+
+class TestNetwork:
+    def test_udp_delivery(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.0)
+        got = []
+        net.attach("a", lambda src, p: None)
+        net.attach("b", lambda src, p: got.append((sim.now, src, p)))
+        net.udp_send("a", "b", "payload")
+        sim.run()
+        assert len(got) == 1
+        assert got[0][1] == "a" and got[0][2] == "payload"
+        assert got[0][0] > 0.0
+
+    def test_udp_loss_rate(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.3)
+        got = []
+        net.attach("a", lambda src, p: None)
+        net.attach("b", lambda src, p: got.append(p))
+        for i in range(4000):
+            net.udp_send("a", "b", i)
+        sim.run()
+        assert net.udp_dropped == pytest.approx(1200, rel=0.15)
+        assert len(got) == 4000 - net.udp_dropped
+
+    def test_detached_host_loses_in_flight(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.0)
+        got = []
+        net.attach("a", lambda src, p: None)
+        net.attach("b", lambda src, p: got.append(p))
+        net.udp_send("a", "b", "x")
+        net.detach("b")
+        sim.run()
+        assert got == []
+        assert not net.is_attached("b")
+
+    def test_duplicate_attach_rejected(self, sim, rng):
+        net = Network(sim, rng)
+        net.attach("a", lambda s, p: None)
+        with pytest.raises(SimulationError):
+            net.attach("a", lambda s, p: None)
+
+    def test_zone_selects_latency_class(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.0)
+        net.register_zone("client-host", "client")
+        internal = [net.one_way("x", "y") for _ in range(2000)]
+        client = [net.one_way("client-host", "y") for _ in range(2000)]
+        assert statistics.mean(client) > 4 * statistics.mean(internal)
+
+    def test_invalid_zone_rejected(self, sim, rng):
+        net = Network(sim, rng)
+        with pytest.raises(ConfigurationError):
+            net.register_zone("h", "dmz")
+
+    def test_invalid_loss_rejected(self, sim, rng):
+        with pytest.raises(ConfigurationError):
+            Network(sim, rng, udp_loss=1.5)
+
+    def test_tcp_connect_is_one_rtt(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.0)
+        connects = [net.tcp_connect_delay("x", "y") for _ in range(2000)]
+        one_ways = [net.one_way("x", "y") for _ in range(2000)]
+        assert statistics.mean(connects) == pytest.approx(
+            2 * statistics.mean(one_ways), rel=0.1)
+
+    def test_nic_serialization_adds_delay(self, sim, rng):
+        net = Network(sim, rng, udp_loss=0.0)
+        stamps = {}
+        net.attach("slow", lambda s, p: stamps.__setitem__("slow", sim.now),
+                   nic_mbps=1)     # 1 Mbps: 1 KB takes ~8 ms
+        net.attach("src", lambda s, p: None, nic_mbps=10_000)
+        net.udp_send("src", "slow", "x", size_bytes=1000)
+        sim.run()
+        assert stamps["slow"] > 8e-3

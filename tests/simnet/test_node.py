@@ -1,0 +1,96 @@
+"""Tests for the multi-core node model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simnet.node import SimNode
+
+
+class TestCpu:
+    def test_single_core_serializes(self, sim):
+        node = SimNode(sim, "n", "c3.large")   # 2 cores
+        done = []
+
+        def job(i):
+            yield from node.cpu(1.0)
+            done.append((i, sim.now))
+
+        for i in range(4):
+            sim.spawn(job(i), f"j{i}")
+        sim.run()
+        # 4 x 1 s of work on 2 cores = 2 s wall.
+        assert sim.now == pytest.approx(2.0)
+        assert node.jobs_completed == 4
+
+    def test_zero_cpu_allowed(self, sim):
+        node = SimNode(sim, "n", "c3.large")
+
+        def job():
+            yield from node.cpu(0.0)
+        sim.spawn(job(), "j")
+        sim.run()
+        assert node.jobs_completed == 1
+
+    def test_negative_cpu_rejected(self, sim):
+        node = SimNode(sim, "n", "c3.large")
+
+        def job():
+            yield from node.cpu(-1.0)
+        sim.spawn(job(), "j")
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_instance_lookup_by_name(self, sim):
+        node = SimNode(sim, "n", "c3.8xlarge")
+        assert node.vcpus == 32
+
+    def test_blocked_time_frees_cores(self, sim):
+        """A process waiting (not computing) must not occupy a core —
+        the mechanism behind lock-induced CPU under-utilization."""
+        node = SimNode(sim, "n", "c3.large")
+
+        def blocker():
+            yield from node.cpu(0.1)
+            yield 10.0                  # blocked off-CPU
+            yield from node.cpu(0.1)
+
+        def worker():
+            for _ in range(5):
+                yield from node.cpu(0.2)
+
+        sim.spawn(blocker(), "b")
+        sim.spawn(worker(), "w")
+        sim.run()
+        # Worker finishes long before the blocker wakes: cores were free.
+        assert sim.now == pytest.approx(10.2)
+
+
+class TestUtilization:
+    def test_full_window_utilization(self, sim):
+        node = SimNode(sim, "n", "c3.large")
+        node.begin_window()
+
+        def job():
+            yield from node.cpu(2.0)
+        sim.spawn(job(), "j")
+        sim.run()
+        # One of two cores busy the whole time: 50%.
+        assert node.cpu_utilization() == pytest.approx(0.5)
+
+    def test_windowing_excludes_earlier_work(self, sim):
+        node = SimNode(sim, "n", "c3.large")
+
+        def early():
+            yield from node.cpu(1.0)
+        sim.spawn(early(), "e")
+        sim.run()
+        node.begin_window()
+        sim.run(until=2.0)
+        assert node.cpu_utilization() == pytest.approx(0.0)
+
+    def test_empty_window_zero(self, sim):
+        node = SimNode(sim, "n", "c3.large")
+        node.begin_window()
+        assert node.cpu_utilization() == 0.0

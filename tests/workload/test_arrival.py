@@ -1,0 +1,62 @@
+"""Tests for the arrival processes."""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workload.arrival import NoisyConstantArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        gaps = list(itertools.islice(PoissonArrivals(100.0, seed=1).gaps(), 20_000))
+        assert 1.0 / statistics.mean(gaps) == pytest.approx(100.0, rel=0.05)
+
+    def test_memoryless_cv_near_one(self):
+        gaps = list(itertools.islice(PoissonArrivals(50.0, seed=2).gaps(), 20_000))
+        cv = statistics.stdev(gaps) / statistics.mean(gaps)
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0)
+
+
+class TestNoisyConstant:
+    def test_mean_rate_near_base(self):
+        gen = NoisyConstantArrivals(130.0, noise=0.1, seed=3)
+        gaps = list(itertools.islice(gen.gaps(), 20_000))
+        assert 1.0 / statistics.mean(gaps) == pytest.approx(130.0, rel=0.05)
+
+    def test_much_smoother_than_poisson(self):
+        gaps = list(itertools.islice(
+            NoisyConstantArrivals(100.0, noise=0.1, seed=4).gaps(), 20_000))
+        cv = statistics.stdev(gaps) / statistics.mean(gaps)
+        assert cv < 0.3       # a load generator, not a Poisson process
+
+    def test_epoch_rate_wobbles(self):
+        """Per-epoch realized rates spread around the base (the 'noise')."""
+        gen = NoisyConstantArrivals(100.0, noise=0.2, epoch=1.0, seed=5)
+        gaps = gen.gaps()
+        epoch_rates = []
+        for _ in range(50):
+            total, count = 0.0, 0
+            while total < 1.0:
+                total += next(gaps)
+                count += 1
+            epoch_rates.append(count / total)
+        assert max(epoch_rates) > 105.0
+        assert min(epoch_rates) < 95.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_rate": 0.0},
+        {"base_rate": 10.0, "noise": 1.0},
+        {"base_rate": 10.0, "epoch": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NoisyConstantArrivals(**kwargs)

@@ -1,0 +1,131 @@
+"""Tests for the key populations (Fig. 6) and rule generation."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workload.keygen import (
+    KEY_POPULATIONS,
+    KeyCycle,
+    english_keys,
+    rule_population,
+    sequential_keys,
+    timestamp_keys,
+    uuid_keys,
+)
+
+UUID_RE = re.compile(
+    r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$")
+TS_RE = re.compile(r"^\d{4}-\d{2}-\d{2}-\d{2}-\d{2}-\d{2}$")
+
+
+class TestPopulations:
+    def test_uuid_format(self):
+        keys = uuid_keys(200, seed=1)
+        assert all(UUID_RE.match(k) for k in keys)
+        assert len(set(keys)) == 200
+
+    def test_timestamp_format(self):
+        keys = timestamp_keys(200, seed=1)
+        assert all(TS_RE.match(k) for k in keys)
+
+    def test_english_unique_and_alpha(self):
+        keys = english_keys(500, seed=1)
+        assert len(set(keys)) == 500
+        assert all(k.isalpha() for k in keys)
+
+    def test_sequential_exact_paper_range(self):
+        # "sequential numbers starting from 1500000001 to 1500500000"
+        keys = sequential_keys(5)
+        assert keys == ["1500000001", "1500000002", "1500000003",
+                        "1500000004", "1500000005"]
+
+    def test_deterministic_by_seed(self):
+        assert uuid_keys(50, seed=9) == uuid_keys(50, seed=9)
+        assert uuid_keys(50, seed=9) != uuid_keys(50, seed=10)
+
+    def test_registry_has_four_populations(self):
+        assert set(KEY_POPULATIONS) == {
+            "UUID", "TimeStamp", "EnglishVocabulary", "SequentialNumbers"}
+        for factory in KEY_POPULATIONS.values():
+            assert len(factory(10, 0)) == 10
+
+
+class TestRulePopulation:
+    def test_rates_within_paper_range(self):
+        rules = list(rule_population(500, seed=2))
+        rates = [r.refill_rate for r in rules]
+        assert min(rates) >= 1.0
+        assert max(rates) <= 10_000.0
+        # Log-uniform: both decades below 100 and above 1000 populated.
+        assert any(r < 100 for r in rates)
+        assert any(r > 1000 for r in rates)
+
+    def test_capacity_is_burst_headroom(self):
+        for rule in rule_population(50, seed=3, burst_seconds=10.0):
+            assert rule.capacity == pytest.approx(
+                max(1.0, rule.refill_rate * 10.0))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(rule_population(-1))
+
+
+class TestKeyCycle:
+    def test_round_robin(self):
+        cycle = KeyCycle(["a", "b", "c"])
+        assert [cycle() for _ in range(7)] == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_start_offset(self):
+        cycle = KeyCycle(["a", "b", "c"], start=2)
+        assert cycle() == "c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyCycle([])
+
+
+class TestZipfKeyChooser:
+    def test_skew_orders_by_rank(self):
+        from collections import Counter
+        from repro.workload.keygen import ZipfKeyChooser
+        keys = [f"k{i}" for i in range(50)]
+        chooser = ZipfKeyChooser(keys, exponent=1.0, seed=3)
+        counts = Counter(chooser() for _ in range(30_000))
+        assert counts["k0"] > counts["k9"] > counts["k49"]
+
+    def test_probability_sums_to_one(self):
+        from repro.workload.keygen import ZipfKeyChooser
+        chooser = ZipfKeyChooser([f"k{i}" for i in range(20)], exponent=1.2)
+        total = sum(chooser.probability(r) for r in range(20))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_probability_matches_empirical(self):
+        from collections import Counter
+        from repro.workload.keygen import ZipfKeyChooser
+        keys = [f"k{i}" for i in range(30)]
+        chooser = ZipfKeyChooser(keys, exponent=1.0, seed=4)
+        counts = Counter(chooser() for _ in range(50_000))
+        assert counts["k0"] / 50_000 == pytest.approx(
+            chooser.probability(0), rel=0.1)
+
+    def test_zero_exponent_is_uniform(self):
+        from collections import Counter
+        from repro.workload.keygen import ZipfKeyChooser
+        keys = [f"k{i}" for i in range(10)]
+        chooser = ZipfKeyChooser(keys, exponent=0.0, seed=5)
+        counts = Counter(chooser() for _ in range(20_000))
+        assert max(counts.values()) / min(counts.values()) < 1.25
+
+    def test_validation(self):
+        from repro.workload.keygen import ZipfKeyChooser
+        with pytest.raises(ConfigurationError):
+            ZipfKeyChooser([])
+        with pytest.raises(ConfigurationError):
+            ZipfKeyChooser(["k"], exponent=-1.0)
+        chooser = ZipfKeyChooser(["k"], exponent=1.0)
+        with pytest.raises(ConfigurationError):
+            chooser.probability(5)

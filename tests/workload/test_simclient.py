@@ -1,0 +1,89 @@
+"""Tests for the simulated client drivers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.config import ClusterTopology, JanusConfig
+from repro.core.errors import ConfigurationError
+from repro.core.rules import QoSRule
+from repro.server.cluster import SimJanusCluster
+from repro.workload.arrival import PoissonArrivals
+from repro.workload.keygen import KeyCycle, uuid_keys
+from repro.workload.simclient import ClosedLoopClient, OpenLoopDriver
+
+
+@pytest.fixture
+def cluster():
+    c = SimJanusCluster(JanusConfig(topology=ClusterTopology(
+        n_routers=2, n_qos_servers=2)))
+    keys = uuid_keys(40)
+    for k in keys:
+        c.rules.put_rule(QoSRule(k, refill_rate=1e6, capacity=1e6))
+    c.prewarm()
+    return c, keys
+
+
+class TestClosedLoop:
+    def test_completes_requested_count(self, cluster):
+        c, keys = cluster
+        client = ClosedLoopClient(c, "c0", KeyCycle(keys), mode="gateway",
+                                  n_requests=25)
+        c.sim.run(until=2.0)
+        assert client.done
+        assert len(client.log) == 25
+
+    def test_think_time_slows_rate(self, cluster):
+        c, keys = cluster
+        fast = ClosedLoopClient(c, "fast", KeyCycle(keys), n_requests=20)
+        slow = ClosedLoopClient(c, "slow", KeyCycle(keys), n_requests=20,
+                                think_time=0.05)
+        c.sim.run(until=2.0)
+        assert fast.done and slow.done
+        fast_span = max(r.finished_at for r in fast.log.records)
+        slow_span = max(r.finished_at for r in slow.log.records)
+        assert slow_span > 5 * fast_span
+
+    def test_dns_mode_pins_router_within_ttl(self, cluster):
+        """The §V-A skew: one client, one router within a TTL window."""
+        c, keys = cluster
+        ClosedLoopClient(c, "c0", KeyCycle(keys), mode="dns", n_requests=60)
+        c.sim.run(until=2.0)      # well inside the 30 s TTL
+        handled = [r.requests_handled for r in c.routers]
+        assert sorted(handled) == [0, 60]
+
+    def test_gateway_mode_spreads_routers(self, cluster):
+        c, keys = cluster
+        ClosedLoopClient(c, "c0", KeyCycle(keys), mode="gateway",
+                         n_requests=60)
+        c.sim.run(until=2.0)
+        handled = [r.requests_handled for r in c.routers]
+        assert handled == [30, 30]
+
+
+class TestOpenLoop:
+    def test_rate_honored(self, cluster):
+        c, keys = cluster
+        driver = OpenLoopDriver(
+            c, "d0", KeyCycle(keys),
+            PoissonArrivals(200.0, seed=1).gaps(),
+            mode="gateway", duration=2.0)
+        c.sim.run(until=3.0)
+        assert len(driver.log) == pytest.approx(400, rel=0.2)
+        assert driver.in_flight == 0
+
+    def test_invalid_duration(self, cluster):
+        c, keys = cluster
+        with pytest.raises(ConfigurationError):
+            OpenLoopDriver(c, "d0", KeyCycle(keys),
+                           iter([0.1]), duration=0.0)
+
+    def test_dns_mode_requires_no_explicit_resolver(self, cluster):
+        c, keys = cluster
+        driver = OpenLoopDriver(
+            c, "d0", KeyCycle(keys), itertools.repeat(0.01),
+            mode="dns", duration=0.3)
+        c.sim.run(until=1.0)
+        assert len(driver.log) > 10
