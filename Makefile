@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-paper examples clean
+.PHONY: install test bench bench-hotpath experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Admission hot-path regression matrix; writes BENCH_hotpath.json at the
+# repo root (fused vs seed decision path, lock_shards x workers).
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_hotpath_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

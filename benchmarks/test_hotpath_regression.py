@@ -1,0 +1,106 @@
+"""Regression gate for the fused admission hot path (paper §V-C).
+
+Sweeps decisions/second over ``lock_shards ∈ {1, 8, 64}`` × worker counts
+``{1, 4, 8}`` for both the current fused single-lock-per-decision path and
+the seed's three-lock path (kept runnable in
+:class:`repro.metrics.hotpath.SeedPathController`), writes the matrix to
+``BENCH_hotpath.json`` at the repository root for the performance
+trajectory, and asserts the fused path's speedup.  Decision *semantics*
+must not differ between the two paths — only the throughput may.
+
+Run directly with ``make bench-hotpath`` (no pytest-benchmark needed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.clock import ManualClock
+from repro.core.config import AdmissionConfig
+from repro.core.rules import QoSRule
+from repro.metrics.hotpath import (
+    SeedPathController,
+    run_hotpath_matrix,
+    write_report,
+)
+from repro.metrics.report import format_table
+from repro.workload.keygen import uuid_keys
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LOCK_SHARDS = (1, 8, 64)
+WORKERS = (1, 4, 8)
+
+#: The ISSUE-1 acceptance bar: fused ≥ 1.5× seed at lock_shards=8 and 8
+#: worker threads, measured on the same machine in the same run.
+TARGET_SPEEDUP = 1.5
+TARGET_CONFIG = (8, 8)
+
+
+@pytest.fixture(scope="module")
+def hotpath_report():
+    report = run_hotpath_matrix(LOCK_SHARDS, WORKERS,
+                                checks_per_worker=15_000)
+    write_report(REPO_ROOT / "BENCH_hotpath.json", report)
+    return report
+
+
+def test_hotpath_matrix_written(hotpath_report, report_sink):
+    rows = []
+    for shards in LOCK_SHARDS:
+        for workers in WORKERS:
+            seed = hotpath_report.point("seed", shards, workers)
+            fused = hotpath_report.point("fused", shards, workers)
+            rows.append((shards, workers,
+                         round(seed.decisions_per_sec),
+                         round(fused.decisions_per_sec),
+                         f"{hotpath_report.speedup(shards, workers):.2f}x"))
+    report_sink(format_table(
+        ("lock shards", "workers", "seed checks/s", "fused checks/s",
+         "speedup"),
+        rows,
+        title="Hot path: seed (3 locks/decision) vs fused (1 lock/decision)"))
+    assert (REPO_ROOT / "BENCH_hotpath.json").exists()
+    assert all(p.decisions_per_sec > 1_000 for p in hotpath_report.points)
+
+
+def test_fused_path_beats_seed_path(hotpath_report):
+    """The headline number: ≥ 1.5× at lock_shards=8, 8 workers."""
+    speedup = hotpath_report.speedup(*TARGET_CONFIG)
+    assert speedup is not None
+    assert speedup >= TARGET_SPEEDUP, (
+        f"fused path only {speedup:.2f}x the seed path at "
+        f"lock_shards={TARGET_CONFIG[0]}, workers={TARGET_CONFIG[1]} "
+        f"(target {TARGET_SPEEDUP}x)")
+
+
+@pytest.mark.parametrize("lock_shards", [1, 8])
+def test_fused_and_seed_semantics_identical(lock_shards):
+    """Same fixed workload → byte-identical verdict sequences.
+
+    The fused path may only be faster, never decide differently; this is
+    the recorded-semantics guarantee the ablation suite relies on.
+    """
+    keys = uuid_keys(32, seed=4242)
+    rules = {k: QoSRule(k, refill_rate=5.0, capacity=3.0) for k in keys}
+
+    def drive(cls):
+        clock = ManualClock()
+        controller = cls(InMemoryRuleSource(dict(rules)),
+                         AdmissionConfig(lock_shards=lock_shards),
+                         clock=clock)
+        verdicts = []
+        for i in range(2_000):
+            clock.advance(0.01)
+            verdicts.append(controller.check(keys[i % len(keys)]))
+        return verdicts, controller.stats
+
+    fused_verdicts, fused_stats = drive(AdmissionController)
+    seed_verdicts, seed_stats = drive(SeedPathController)
+    assert fused_verdicts == seed_verdicts
+    assert fused_stats.admitted == seed_stats.admitted
+    assert fused_stats.denied == seed_stats.denied
+    assert fused_stats.rule_hits == seed_stats.rule_hits
+    assert fused_stats.rule_misses == seed_stats.rule_misses

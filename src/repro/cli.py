@@ -187,6 +187,39 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner_main(args.names)
 
 
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    from repro.metrics.hotpath import run_hotpath_matrix, write_report
+
+    if args.checks < 1:
+        print("error: --checks must be >= 1", file=sys.stderr)
+        return 2
+    if any(s < 1 for s in args.shards) or any(w < 1 for w in args.workers):
+        print("error: --shards and --workers values must be >= 1",
+              file=sys.stderr)
+        return 2
+    report = run_hotpath_matrix(
+        lock_shards=tuple(args.shards),
+        workers=tuple(args.workers),
+        checks_per_worker=args.checks)
+    header = f"{'shards':>7} {'workers':>8} {'seed/s':>12} " \
+             f"{'fused/s':>12} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for shards in args.shards:
+        for workers in args.workers:
+            seed = report.point("seed", shards, workers)
+            fused = report.point("fused", shards, workers)
+            ratio = report.speedup(shards, workers)
+            ratio_s = f"{ratio:.2f}x" if ratio is not None else "n/a"
+            print(f"{shards:>7} {workers:>8} "
+                  f"{seed.decisions_per_sec:>12.0f} "
+                  f"{fused.decisions_per_sec:>12.0f} "
+                  f"{ratio_s:>8}")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="regenerate the paper's evaluation")
     experiments.add_argument("names", nargs="*")
     experiments.set_defaults(func=_cmd_experiments)
+
+    bench = sub.add_parser(
+        "bench-hotpath",
+        help="measure admission decisions/s, fused vs seed lock path")
+    bench.add_argument("--out", default="BENCH_hotpath.json")
+    bench.add_argument("--shards", type=int, nargs="+", default=[1, 8, 64],
+                       help="lock_shards values to sweep")
+    bench.add_argument("--workers", type=int, nargs="+", default=[1, 4, 8],
+                       help="thread counts to sweep")
+    bench.add_argument("--checks", type=int, default=10_000,
+                       help="admission checks per worker thread")
+    bench.set_defaults(func=_cmd_bench_hotpath)
     return parser
 
 

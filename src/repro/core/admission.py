@@ -23,6 +23,21 @@ optimization as future work.  We reproduce both designs: with
 single table lock, matching the paper; with ``lock_shards=K`` the keyspace
 is partitioned over K locks, implementing the future-work optimization.
 The ``ablation_locking`` benchmark quantifies the difference.
+
+The decision itself is *fused*: :meth:`AdmissionController.check` performs
+the table lookup, the lazy rule materialization on a miss, the bucket
+consume (via :meth:`~repro.core.bucket.LeakyBucket.try_consume_unlocked`)
+and the statistics update under exactly **one** lock — the key's shard
+lock.  The earlier design nested three acquisitions per decision (shard
+lock → bucket lock → global stats lock); the global stats lock in
+particular was taken by every worker on every decision.  Statistics now
+live in per-shard counter stripes merged lazily by the :attr:`stats`
+property, and every maintenance pass (refill, sync, checkpoint, snapshot,
+restore) walks the table shard-at-a-time using the buckets' unlocked API
+so the hot path is never stalled for longer than one shard.
+``benchmarks/test_hotpath_regression.py`` tracks the speedup and
+``tests/core/test_lock_discipline.py`` pins the one-lock-per-decision
+invariant.
 """
 
 from __future__ import annotations
@@ -34,7 +49,6 @@ from typing import Dict, Iterable, Mapping, Optional, Protocol
 from repro.core.bucket import LeakyBucket, RefillMode
 from repro.core.clock import MONOTONIC, Clock
 from repro.core.config import AdmissionConfig
-from repro.core.hashing import crc32_of
 from repro.core.rules import QoSRule
 
 __all__ = [
@@ -105,7 +119,12 @@ class InMemoryRuleSource:
 
 @dataclass(slots=True)
 class AdmissionStats:
-    """Counters exported by one admission controller."""
+    """Counters exported by one admission controller.
+
+    This is a merged, point-in-time view assembled by
+    :attr:`AdmissionController.stats` from the per-shard counter stripes;
+    mutating it does not feed back into the controller.
+    """
 
     admitted: int = 0
     denied: int = 0
@@ -118,6 +137,30 @@ class AdmissionStats:
     @property
     def decisions(self) -> int:
         return self.admitted + self.denied
+
+
+class _StatsStripe:
+    """One block of decision counters.
+
+    In the default layout (one stripe per lock shard) the counters are
+    updated while the owning shard's lock is already held, so the hot path
+    pays zero extra acquisitions.  When ``stats_stripes`` is configured
+    below ``lock_shards``, stripes are shared across shards and guarded by
+    their own (low-contention) lock instead.
+
+    ``rule_hits`` is not stored: a hit is any decision that is not a miss,
+    so it is derived as ``admitted + denied - rule_misses`` at merge time,
+    which spares the hit path one counter increment per decision.
+    """
+
+    __slots__ = ("admitted", "denied", "rule_misses", "unknown_keys", "lock")
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.denied = 0
+        self.rule_misses = 0
+        self.unknown_keys = 0
+        self.lock = threading.Lock()
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,59 +186,123 @@ class AdmissionController:
         self.config = config or AdmissionConfig()
         self._source = rule_source
         self._clock = clock
+        n_shards = self.config.lock_shards
+        self._n_shards = n_shards
         self._shards: list[Dict[str, LeakyBucket]] = [
-            {} for _ in range(self.config.lock_shards)]
-        self._locks = [threading.Lock() for _ in range(self.config.lock_shards)]
-        self.stats = AdmissionStats()
-        self._stats_lock = threading.Lock()
+            {} for _ in range(n_shards)]
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+        # Decision counters: one stripe per shard by default, updated under
+        # the shard lock the decision already holds.  An explicit
+        # ``stats_stripes`` below ``lock_shards`` shares stripes across
+        # shards; those updates then run under the stripe's own lock,
+        # *after* the shard lock is released (never nested).
+        stripes = self.config.stats_stripes or n_shards
+        self._stripe_exclusive = stripes >= n_shards
+        self._stripes = [_StatsStripe()
+                         for _ in range(n_shards if self._stripe_exclusive
+                                        else stripes)]
+        self._n_stripes = len(self._stripes)
+        # One tuple per shard so the hot path resolves lock, table and
+        # stripe with a single attribute lookup and list index.
+        self._shard_state = [
+            (self._locks[i], self._shards[i],
+             self._stripes[i % self._n_stripes])
+            for i in range(n_shards)]
+        # Cold-path maintenance counters (one maintenance thread at a time
+        # in practice; the lock covers concurrent admin callers).
+        self._control_lock = threading.Lock()
+        self._syncs = 0
+        self._checkpoints = 0
 
     # ------------------------------------------------------------------ #
     # hot path
     # ------------------------------------------------------------------ #
 
     def _shard_of(self, key: str) -> int:
-        if self.config.lock_shards == 1:
+        # Builtin str hashing, not CRC32: the hash is cached on the string
+        # object after the first call, where CRC32 must re-encode the key
+        # on every decision.  CRC32 remains the cross-node routing hash
+        # (paper Fig. 2); shard choice is process-local.
+        if self._n_shards == 1:
             return 0
-        return crc32_of(key) % self.config.lock_shards
+        return hash(key) % self._n_shards
 
     def check(self, key: str, cost: float = 1.0) -> bool:
         """Decide admission for one request with QoS key ``key``.
 
         Returns ``True`` to admit, ``False`` to deny.  The whole decision —
-        table lookup, lazy rule fetch on miss, bucket consume — executes
-        under the key's shard lock, reproducing the paper's synchronized-map
-        behaviour when ``lock_shards == 1``.
+        table lookup, lazy rule fetch on miss, bucket consume, statistics —
+        executes under exactly one lock: the key's shard lock (which
+        reproduces the paper's synchronized-map behaviour when
+        ``lock_shards == 1``).
         """
-        shard = self._shard_of(key)
-        with self._locks[shard]:
-            bucket = self._shards[shard].get(key)
+        if not self._stripe_exclusive:
+            return self._check_striped(key, cost)
+        n = self._n_shards
+        lock, table, stripe = self._shard_state[
+            hash(key) % n if n > 1 else 0]
+        with lock:
+            bucket = table.get(key)
             if bucket is None:
-                bucket = self._create_bucket_locked(shard, key)
+                bucket, unknown = self._create_bucket_locked(table, key)
+                stripe.rule_misses += 1
+                if unknown:
+                    stripe.unknown_keys += 1
+            if bucket.try_consume_unlocked(cost):
+                stripe.admitted += 1
+                return True
+            stripe.denied += 1
+            return False
+
+    def _check_striped(self, key: str, cost: float) -> bool:
+        """Decision variant for ``stats_stripes < lock_shards``.
+
+        The stripe is shared across shards, so its counters are updated
+        under the stripe's own lock *after* the shard lock is released —
+        two flat acquisitions per decision, never nested.
+        """
+        n = self._n_shards
+        lock, table, stripe = self._shard_state[hash(key) % n if n > 1 else 0]
+        hit = True
+        unknown = False
+        with lock:
+            bucket = table.get(key)
+            if bucket is None:
                 hit = False
-            else:
-                hit = True
-            allowed = bucket.try_consume(cost)
-        with self._stats_lock:
-            if hit:
-                self.stats.rule_hits += 1
-            else:
-                self.stats.rule_misses += 1
+                bucket, unknown = self._create_bucket_locked(table, key)
+            allowed = bucket.try_consume_unlocked(cost)
+        with stripe.lock:
+            if not hit:
+                stripe.rule_misses += 1
+                if unknown:
+                    stripe.unknown_keys += 1
             if allowed:
-                self.stats.admitted += 1
+                stripe.admitted += 1
             else:
-                self.stats.denied += 1
+                stripe.denied += 1
         return allowed
 
-    def _create_bucket_locked(self, shard: int, key: str) -> LeakyBucket:
+    def _create_bucket_locked(self, table: Dict[str, LeakyBucket],
+                              key: str) -> "tuple[LeakyBucket, bool]":
+        """Materialize a bucket for ``key`` under its shard lock.
+
+        Returns ``(bucket, unknown)`` where ``unknown`` flags a key without
+        a database row.  Acquires no controller or bucket lock: the caller
+        folds the unknown-key counter into its striped stats update, so the
+        miss path no longer nests the old global stats lock inside the
+        shard lock.
+        """
         rule = self._source.get_rule(key)
         if rule is None:
             # Guest/unknown traffic: apply the default rule (§II-D).
             rule = self.config.default_rule.rule_for(key)
-            with self._stats_lock:
-                self.stats.unknown_keys += 1
             if not self.config.default_rule.memorize_unknown_keys:
-                return LeakyBucket(rule.capacity, rule.refill_rate,
-                                   mode=self.config.refill_mode, clock=self._clock)
+                return LeakyBucket(
+                    rule.capacity, rule.refill_rate,
+                    mode=self.config.refill_mode, clock=self._clock), True
+            unknown = True
+        else:
+            unknown = False
         bucket = LeakyBucket(
             rule.capacity,
             rule.refill_rate,
@@ -203,8 +310,34 @@ class AdmissionController:
             mode=self.config.refill_mode,
             clock=self._clock,
         )
-        self._shards[shard][key] = bucket
-        return bucket
+        table[key] = bucket
+        return bucket, unknown
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> AdmissionStats:
+        """Merged view of the per-shard counter stripes.
+
+        Lazily assembled on access; individual int reads are atomic under
+        the GIL, so the merge never blocks the hot path.  Counters from
+        different stripes may be skewed by in-flight decisions, exactly as
+        a locked read taken a moment earlier or later would be.
+        """
+        merged = AdmissionStats(syncs=self._syncs,
+                                checkpoints=self._checkpoints)
+        for stripe in self._stripes:
+            merged.admitted += stripe.admitted
+            merged.denied += stripe.denied
+            merged.rule_misses += stripe.rule_misses
+            merged.unknown_keys += stripe.unknown_keys
+        # Hits are derived (see _StatsStripe); clamp against the transient
+        # skew of reading admitted/denied before a concurrent miss lands.
+        merged.rule_hits = max(
+            0, merged.admitted + merged.denied - merged.rule_misses)
+        return merged
 
     # ------------------------------------------------------------------ #
     # housekeeping (driven by threads in the runtime, events in the sim)
@@ -214,15 +347,18 @@ class AdmissionController:
         """Housekeeping refill pass over every bucket (INTERVAL mode).
 
         Returns the number of buckets refilled.  Harmless (a no-op advance)
-        in CONTINUOUS mode.
+        in CONTINUOUS mode.  The pass is shard-at-a-time: each shard lock
+        is held only long enough to advance that shard's buckets with one
+        shared clock reading, so workers on the other shards are never
+        stalled.
         """
         count = 0
         for shard, lock in zip(self._shards, self._locks):
             with lock:
-                buckets = list(shard.values())
-            for bucket in buckets:
-                bucket.refill()
-                count += 1
+                now = self._clock()
+                for bucket in shard.values():
+                    bucket.advance_unlocked(now)
+                count += len(shard)
         return count
 
     def sync_rules(self) -> int:
@@ -248,14 +384,15 @@ class AdmissionController:
                     default = self.config.default_rule
                     if (bucket.capacity, bucket.refill_rate) != (default.capacity,
                                                                  default.refill_rate):
-                        bucket.update_rule(default.capacity, default.refill_rate)
+                        bucket.update_rule_unlocked(default.capacity,
+                                                    default.refill_rate)
                         updated += 1
                 elif (bucket.capacity, bucket.refill_rate) != (rule.capacity,
                                                                rule.refill_rate):
-                    bucket.update_rule(rule.capacity, rule.refill_rate)
+                    bucket.update_rule_unlocked(rule.capacity, rule.refill_rate)
                     updated += 1
-        with self._stats_lock:
-            self.stats.syncs += 1
+        with self._control_lock:
+            self._syncs += 1
         return updated
 
     def checkpoint(self) -> int:
@@ -266,11 +403,12 @@ class AdmissionController:
         credits: Dict[str, float] = {}
         for shard, lock in zip(self._shards, self._locks):
             with lock:
+                now = self._clock()
                 for key, bucket in shard.items():
-                    credits[key] = bucket.credit
-        self._source.checkpoint(credits)
-        with self._stats_lock:
-            self.stats.checkpoints += 1
+                    credits[key] = bucket.credit_unlocked(now)
+        self._source.checkpoint(credits)      # DB round trip: no lock held
+        with self._control_lock:
+            self._checkpoints += 1
         return len(credits)
 
     # ------------------------------------------------------------------ #
@@ -303,11 +441,12 @@ class AdmissionController:
         snaps: list[BucketSnapshot] = []
         for shard, lock in zip(self._shards, self._locks):
             with lock:
-                items = list(shard.items())
-            for key, bucket in items:
-                snaps.append(BucketSnapshot(
-                    key=key, capacity=bucket.capacity,
-                    refill_rate=bucket.refill_rate, credit=bucket.credit))
+                now = self._clock()
+                for key, bucket in shard.items():
+                    snaps.append(BucketSnapshot(
+                        key=key, capacity=bucket.capacity,
+                        refill_rate=bucket.refill_rate,
+                        credit=bucket.credit_unlocked(now)))
         return snaps
 
     def restore(self, snapshots: Iterable[BucketSnapshot]) -> int:
@@ -324,7 +463,7 @@ class AdmissionController:
                         mode=self.config.refill_mode, clock=self._clock)
                     self._shards[shard][snap.key] = bucket
                 else:
-                    bucket.update_rule(snap.capacity, snap.refill_rate)
-                    bucket.restore_credit(snap.credit)
+                    bucket.update_rule_unlocked(snap.capacity, snap.refill_rate)
+                    bucket.restore_credit_unlocked(snap.credit)
             count += 1
         return count

@@ -25,6 +25,19 @@ Two refill modes are provided:
 
 The class is thread-safe: the real runtime's worker threads consume from the
 same bucket map concurrently.
+
+Two API layers are exposed:
+
+- the *locked* methods (:meth:`try_consume`, :meth:`refill`, …) take the
+  bucket's own lock and are safe for standalone use;
+- the *unlocked* fast-path methods (:meth:`try_consume_unlocked`,
+  :meth:`advance_unlocked`, …) assume the caller already serializes access
+  with an external lock.  The admission controller holds its shard lock for
+  the whole decision and uses these to avoid a nested shard-lock →
+  bucket-lock acquisition on every request (the paper's §V-C bottleneck).
+  The lifetime counters (``consumed_total``/``denied_total``) are plain
+  attributes guarded by whichever lock protects the consume, so the fused
+  path pays no extra synchronization for them.
 """
 
 from __future__ import annotations
@@ -75,7 +88,8 @@ class LeakyBucket:
     """
 
     __slots__ = ("capacity", "refill_rate", "mode", "_credit", "_last_refill",
-                 "_clock", "_lock", "_consumed_total", "_denied_total")
+                 "_clock", "_lock", "_consumed_total", "_denied_total",
+                 "_continuous")
 
     def __init__(
         self,
@@ -93,6 +107,7 @@ class LeakyBucket:
         self.capacity = float(capacity)
         self.refill_rate = float(refill_rate)
         self.mode = mode
+        self._continuous = mode is RefillMode.CONTINUOUS
         self._clock = clock
         credit = capacity if initial_credit is None else float(initial_credit)
         self._credit = min(max(credit, 0.0), self.capacity)
@@ -123,20 +138,46 @@ class LeakyBucket:
         rate; the ``ablation_refill`` benchmark compares their burst
         behaviour.
         """
+        with self._lock:
+            return self.try_consume_unlocked(amount)
+
+    def try_consume_unlocked(self, amount: float = 1.0,
+                             now: Optional[float] = None) -> bool:
+        """:meth:`try_consume` without taking the bucket lock.
+
+        The caller must already hold a lock that serializes every access to
+        this bucket (the admission controller's shard lock).  ``now`` lets a
+        batch caller reuse one clock reading across many buckets.
+
+        The body is written flat — the refill advance inlined, clamps done
+        with comparisons instead of ``min``/``max`` calls — because this
+        runs once per admission decision inside the shard critical section.
+        """
         if amount <= 0:
             raise ValueError(f"amount must be > 0, got {amount}")
-        with self._lock:
-            if self.mode is RefillMode.CONTINUOUS:
-                self._advance_locked(self._clock())
-                admit = self._credit >= amount * (1.0 - 1e-12)
-            else:
-                admit = self._credit > _CREDIT_EPSILON
-            if admit:
-                self._credit = max(0.0, self._credit - amount)
-                self._consumed_total += 1
-                return True
-            self._denied_total += 1
-            return False
+        credit = self._credit
+        if self._continuous:
+            if now is None:
+                now = self._clock()
+            dt = now - self._last_refill
+            if dt > 0.0:
+                self._last_refill = now
+                rate = self.refill_rate
+                if rate > 0.0 and credit < self.capacity:
+                    credit += rate * dt
+                    if credit > self.capacity:
+                        credit = self.capacity
+            admit = credit >= amount * (1.0 - 1e-12)
+        else:
+            admit = credit > _CREDIT_EPSILON
+        if admit:
+            credit -= amount
+            self._credit = credit if credit > 0.0 else 0.0
+            self._consumed_total += 1
+            return True
+        self._credit = credit
+        self._denied_total += 1
+        return False
 
     # ------------------------------------------------------------------ #
     # maintenance
@@ -149,10 +190,16 @@ class LeakyBucket:
         in :attr:`RefillMode.CONTINUOUS` it simply forces the lazy update.
         """
         with self._lock:
-            self._advance_locked(self._clock() if now is None else now)
+            self.advance_unlocked(self._clock() if now is None else now)
             return self._credit
 
-    def _advance_locked(self, now: float) -> None:
+    def advance_unlocked(self, now: float) -> None:
+        """Bring credit forward to ``now``; caller holds the external lock.
+
+        This is the refill primitive shared by every entry point; the
+        admission controller calls it shard-at-a-time during housekeeping
+        so one clock reading refills a whole shard.
+        """
         dt = now - self._last_refill
         if dt <= 0.0:
             return
@@ -166,19 +213,27 @@ class LeakyBucket:
         Credit is clamped into the new ``[0, capacity]`` range so a shrunk
         plan takes effect immediately.
         """
+        with self._lock:
+            self.update_rule_unlocked(capacity, refill_rate)
+
+    def update_rule_unlocked(self, capacity: float, refill_rate: float) -> None:
+        """:meth:`update_rule` under an external lock (controller sync pass)."""
         if capacity < 0 or refill_rate < 0:
             raise ConfigurationError("capacity and refill_rate must be >= 0")
-        with self._lock:
-            self._advance_locked(self._clock())
-            self.capacity = float(capacity)
-            self.refill_rate = float(refill_rate)
-            self._credit = min(self._credit, self.capacity)
+        self.advance_unlocked(self._clock())
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._credit = min(self._credit, self.capacity)
 
     def restore_credit(self, credit: float) -> None:
         """Overwrite credit from a database checkpoint (replacement server)."""
         with self._lock:
-            self._credit = min(max(float(credit), 0.0), self.capacity)
-            self._last_refill = self._clock()
+            self.restore_credit_unlocked(credit)
+
+    def restore_credit_unlocked(self, credit: float) -> None:
+        """:meth:`restore_credit` under an external lock (controller restore)."""
+        self._credit = min(max(float(credit), 0.0), self.capacity)
+        self._last_refill = self._clock()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -188,9 +243,13 @@ class LeakyBucket:
     def credit(self) -> float:
         """Current credit (advanced to now in continuous mode)."""
         with self._lock:
-            if self.mode is RefillMode.CONTINUOUS:
-                self._advance_locked(self._clock())
-            return self._credit
+            return self.credit_unlocked()
+
+    def credit_unlocked(self, now: Optional[float] = None) -> float:
+        """:attr:`credit` under an external lock (controller checkpoint)."""
+        if self.mode is RefillMode.CONTINUOUS:
+            self.advance_unlocked(self._clock() if now is None else now)
+        return self._credit
 
     def peek_credit(self) -> float:
         """Credit as of the last update, without advancing time."""
@@ -216,7 +275,7 @@ class LeakyBucket:
         """
         with self._lock:
             if self.mode is RefillMode.CONTINUOUS:
-                self._advance_locked(self._clock())
+                self.advance_unlocked(self._clock())
             if self._credit >= target:
                 return 0.0
             if self.refill_rate <= 0.0 or target > self.capacity:

@@ -1,0 +1,259 @@
+"""Hot-path micro-harness: admission decisions/second under contention.
+
+The paper attributes the QoS server's CPU under-utilization on large
+instances to "the implementation of the locking mechanism" (§V-C) and
+names its optimization as future work.  This module measures that work:
+it drives the real :class:`~repro.core.admission.AdmissionController`
+with real worker threads over a warmed key table and reports raw
+decisions/second, for both
+
+- the **fused** path (the current implementation: lookup + consume +
+  statistics under exactly one shard lock), and
+- the **seed** path (:class:`SeedPathController`, kept runnable here:
+  shard lock → nested bucket lock → global stats lock, three
+  acquisitions per decision, as the repository originally shipped),
+
+so the speedup is always computed on the same machine in the same run.
+``benchmarks/test_hotpath_regression.py`` turns the matrix into a
+regression gate and writes ``BENCH_hotpath.json`` for the performance
+trajectory; ``make bench-hotpath`` and ``janus bench-hotpath`` run it
+from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionStats,
+    InMemoryRuleSource,
+)
+from repro.core.config import AdmissionConfig
+from repro.core.rules import QoSRule
+from repro.workload.keygen import uuid_keys
+
+__all__ = [
+    "HotpathPoint",
+    "HotpathReport",
+    "SeedPathController",
+    "measure_decisions_per_sec",
+    "run_hotpath_matrix",
+    "write_report",
+]
+
+#: Hot buckets that never deny: the measurement isolates synchronization
+#: cost, not credit arithmetic.
+_HOT_RULE_RATE = 1e9
+_HOT_RULE_CAPACITY = 1e12
+
+
+class SeedPathController(AdmissionController):
+    """The seed's three-lock decision path, kept runnable for comparison.
+
+    Reproduces the pre-fusion hot path exactly: the table lookup under the
+    shard lock, the bucket's *own* lock nested inside it for the consume,
+    and a global stats lock acquired by every worker on every decision.
+    Only :meth:`check` differs from the parent; maintenance passes and
+    decision semantics are identical, which the regression test asserts.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._seed_stats = AdmissionStats()
+        self._seed_stats_lock = threading.Lock()
+
+    def check(self, key: str, cost: float = 1.0) -> bool:
+        shard = self._shard_of(key)
+        table = self._shards[shard]
+        with self._locks[shard]:
+            bucket = table.get(key)
+            if bucket is None:
+                hit = False
+                bucket, unknown = self._create_bucket_locked(table, key)
+            else:
+                hit = True
+                unknown = False
+            allowed = bucket.try_consume(cost)      # nested bucket lock
+        with self._seed_stats_lock:                 # global stats lock
+            stats = self._seed_stats
+            if hit:
+                stats.rule_hits += 1
+            else:
+                stats.rule_misses += 1
+                if unknown:
+                    stats.unknown_keys += 1
+            if allowed:
+                stats.admitted += 1
+            else:
+                stats.denied += 1
+        return allowed
+
+    @property
+    def stats(self) -> AdmissionStats:
+        return self._seed_stats
+
+
+@dataclass(frozen=True, slots=True)
+class HotpathPoint:
+    """One measured configuration of the admission hot path."""
+
+    path: str                   # "fused" or "seed"
+    lock_shards: int
+    workers: int
+    decisions: int
+    elapsed_s: float
+    decisions_per_sec: float
+
+
+@dataclass(slots=True)
+class HotpathReport:
+    """A full sweep plus the per-configuration fused/seed speedups."""
+
+    points: list[HotpathPoint] = field(default_factory=list)
+    machine: dict = field(default_factory=dict)
+
+    def point(self, path: str, lock_shards: int,
+              workers: int) -> Optional[HotpathPoint]:
+        for p in self.points:
+            if (p.path, p.lock_shards, p.workers) == (path, lock_shards,
+                                                      workers):
+                return p
+        return None
+
+    def speedup(self, lock_shards: int, workers: int) -> Optional[float]:
+        """Fused throughput over seed throughput for one configuration."""
+        fused = self.point("fused", lock_shards, workers)
+        seed = self.point("seed", lock_shards, workers)
+        if fused is None or seed is None or seed.decisions_per_sec <= 0:
+            return None
+        return fused.decisions_per_sec / seed.decisions_per_sec
+
+    def as_dict(self) -> dict:
+        speedups = {}
+        for p in self.points:
+            if p.path != "fused":
+                continue
+            ratio = self.speedup(p.lock_shards, p.workers)
+            if ratio is not None:
+                speedups[f"shards{p.lock_shards}_workers{p.workers}"] = round(
+                    ratio, 3)
+        return {
+            "machine": self.machine,
+            "points": [asdict(p) for p in self.points],
+            "speedup_fused_over_seed": speedups,
+        }
+
+
+def _machine_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+
+
+def measure_decisions_per_sec(
+    *,
+    lock_shards: int,
+    workers: int,
+    fused: bool = True,
+    n_keys: int = 256,
+    checks_per_worker: int = 10_000,
+    seed: int = 88,
+) -> HotpathPoint:
+    """Throughput of ``workers`` threads hammering a warmed controller.
+
+    Every key has an effectively infinite rule so the run measures the
+    synchronization cost of the decision, not deny-path differences.  The
+    timed region covers only the contended checks (the table is warmed
+    first, so the hit path is what is measured).
+    """
+    keys = uuid_keys(n_keys, seed=seed)
+    source = InMemoryRuleSource(
+        {k: QoSRule(k, refill_rate=_HOT_RULE_RATE,
+                    capacity=_HOT_RULE_CAPACITY) for k in keys})
+    cls = AdmissionController if fused else SeedPathController
+    controller = cls(source, AdmissionConfig(lock_shards=lock_shards))
+    for k in keys:                      # materialize outside the timed region
+        controller.check(k)
+
+    start = threading.Barrier(workers + 1)
+    done = threading.Barrier(workers + 1)
+
+    def run(wid: int) -> None:
+        local = keys[wid::workers] or keys
+        n = len(local)
+        check = controller.check
+        start.wait()
+        i = 0
+        for _ in range(checks_per_worker):
+            check(local[i])
+            i += 1
+            if i == n:
+                i = 0
+        done.wait()
+
+    threads = [threading.Thread(target=run, args=(w,), daemon=True)
+               for w in range(workers)]
+    for t in threads:
+        t.start()
+    start.wait()
+    t0 = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - t0
+    for t in threads:
+        t.join()
+    decisions = workers * checks_per_worker
+    return HotpathPoint(
+        path="fused" if fused else "seed",
+        lock_shards=lock_shards,
+        workers=workers,
+        decisions=decisions,
+        elapsed_s=elapsed,
+        decisions_per_sec=decisions / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+def run_hotpath_matrix(
+    lock_shards: Sequence[int] = (1, 8, 64),
+    workers: Sequence[int] = (1, 4, 8),
+    *,
+    paths: Iterable[str] = ("seed", "fused"),
+    checks_per_worker: int = 10_000,
+    n_keys: int = 256,
+    seed: int = 88,
+) -> HotpathReport:
+    """Sweep the full (path × lock_shards × workers) grid.
+
+    Seed and fused runs for the same configuration execute back-to-back so
+    their ratio is as same-machine/same-moment as the process can make it.
+    """
+    report = HotpathReport(machine=_machine_info())
+    for shards in lock_shards:
+        for n_workers in workers:
+            for path in paths:
+                report.points.append(measure_decisions_per_sec(
+                    lock_shards=shards,
+                    workers=n_workers,
+                    fused=(path == "fused"),
+                    n_keys=n_keys,
+                    checks_per_worker=checks_per_worker,
+                    seed=seed,
+                ))
+    return report
+
+
+def write_report(path, report: HotpathReport) -> None:
+    """Serialize a report as JSON (the ``BENCH_hotpath.json`` artifact)."""
+    with open(path, "w") as fh:
+        json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

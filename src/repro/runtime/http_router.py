@@ -31,6 +31,22 @@ from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator, dec
 __all__ = ["RequestRouterDaemon"]
 
 
+class _HandlerCounters:
+    """Per-handler-thread counter block (no lock on the request path).
+
+    Each HTTP handler thread owns one block and increments it without any
+    synchronization; :meth:`RequestRouterDaemon.stats` merges the blocks
+    lazily.  Blocks outlive their threads so totals never go backwards.
+    """
+
+    __slots__ = ("requests_handled", "default_replies", "retries")
+
+    def __init__(self) -> None:
+        self.requests_handled = 0
+        self.default_replies = 0
+        self.retries = 0
+
+
 class RequestRouterDaemon:
     """One request-router node bound to a local HTTP port."""
 
@@ -50,10 +66,8 @@ class RequestRouterDaemon:
         self.name = name
         self._ids = RequestIdGenerator()
         self._local = threading.local()
-        self.requests_handled = 0
-        self.default_replies = 0
-        self.retries = 0
-        self._stats_lock = threading.Lock()
+        self._counter_blocks: list[_HandlerCounters] = []
+        self._blocks_lock = threading.Lock()    # registration only, not per request
         router = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -160,16 +174,37 @@ class RequestRouterDaemon:
             lines.append(f'{metric}{{router="{self.name}"}} {stats[key]}')
         return "\n".join(lines) + "\n"
 
+    def _counters(self) -> _HandlerCounters:
+        """This thread's counter block (registered once per thread)."""
+        block = getattr(self._local, "counters", None)
+        if block is None:
+            block = _HandlerCounters()
+            with self._blocks_lock:
+                self._counter_blocks.append(block)
+            self._local.counters = block
+        return block
+
+    @property
+    def requests_handled(self) -> int:
+        return sum(b.requests_handled for b in self._counter_blocks)
+
+    @property
+    def default_replies(self) -> int:
+        return sum(b.default_replies for b in self._counter_blocks)
+
+    @property
+    def retries(self) -> int:
+        return sum(b.retries for b in self._counter_blocks)
+
     def stats(self) -> dict:
         """Operational counters (served on ``GET /stats``)."""
-        with self._stats_lock:
-            return {
-                "name": self.name,
-                "requests_handled": self.requests_handled,
-                "default_replies": self.default_replies,
-                "retries": self.retries,
-                "backends": len(self.qos_servers),
-            }
+        return {
+            "name": self.name,
+            "requests_handled": self.requests_handled,
+            "default_replies": self.default_replies,
+            "retries": self.retries,
+            "backends": len(self.qos_servers),
+        }
 
     def route(self, key: str) -> tuple[str, int]:
         """The paper's routing function (Fig. 2)."""
@@ -189,10 +224,10 @@ class RequestRouterDaemon:
         target = self.route(key)
         sock = self._socket()
         sock.settimeout(self.config.udp_timeout)
+        counters = self._counters()
         for attempt in range(1, self.config.max_retries + 1):
             if attempt > 1:
-                with self._stats_lock:
-                    self.retries += 1
+                counters.retries += 1
             sock.sendto(datagram, target)
             try:
                 while True:
@@ -203,15 +238,13 @@ class RequestRouterDaemon:
                         continue
                     if (isinstance(message, QoSResponse)
                             and message.request_id == request.request_id):
-                        with self._stats_lock:
-                            self.requests_handled += 1
+                        counters.requests_handled += 1
                         return message, attempt
                     # Stale response from a previous request on this
                     # thread's socket: keep waiting within the timeout.
             except socket.timeout:
                 continue
-        with self._stats_lock:
-            self.requests_handled += 1
-            self.default_replies += 1
+        counters.requests_handled += 1
+        counters.default_replies += 1
         return QoSResponse(request.request_id, self.config.default_reply,
                            is_default_reply=True), self.config.max_retries

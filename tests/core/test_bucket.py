@@ -171,6 +171,112 @@ class TestTimeToCredit:
                            clock=clock).time_to_credit() == float("inf")
         assert LeakyBucket(10.0, 1.0, clock=clock).time_to_credit(11.0) == float("inf")
 
+    def test_zero_rate_with_credit_already_present(self, clock):
+        # rate 0 is only unreachable when the credit still has to grow.
+        bucket = LeakyBucket(10.0, 0.0, initial_credit=5.0, clock=clock)
+        assert bucket.time_to_credit(5.0) == 0.0
+        assert bucket.time_to_credit(5.1) == float("inf")
+
+    def test_target_exactly_capacity_is_reachable(self, clock):
+        bucket = LeakyBucket(10.0, 2.0, initial_credit=0.0, clock=clock)
+        assert bucket.time_to_credit(10.0) == pytest.approx(5.0)
+
+    def test_zero_capacity_bucket_unreachable(self, clock):
+        bucket = LeakyBucket(0.0, 5.0, clock=clock)
+        assert bucket.time_to_credit(1.0) == float("inf")
+        assert bucket.time_to_credit(0.0) == 0.0    # trivially satisfied
+
+    def test_interval_mode_does_not_lazily_advance(self, clock):
+        # INTERVAL credit only moves on refill(); the ETA must be computed
+        # from the stored credit, not from a phantom lazy accrual.
+        bucket = LeakyBucket(100.0, 10.0, initial_credit=0.0,
+                             mode=RefillMode.INTERVAL, clock=clock)
+        clock.advance(3.0)                  # no housekeeping ran
+        assert bucket.time_to_credit(10.0) == pytest.approx(1.0)
+        assert bucket.peek_credit() == 0.0  # the ETA query didn't refill
+        bucket.refill()
+        assert bucket.time_to_credit(10.0) == 0.0
+
+    def test_continuous_mode_advances_before_answering(self, clock):
+        bucket = LeakyBucket(100.0, 10.0, initial_credit=0.0, clock=clock)
+        clock.advance(3.0)
+        # 30 credits accrued lazily; only 1 more second to reach 40.
+        assert bucket.time_to_credit(40.0) == pytest.approx(1.0)
+
+
+class TestRuleUpdateMidBurst:
+    """A plan that shrinks while the tenant is mid-burst (§II-D sync)."""
+
+    def test_shrunk_plan_clamps_immediately(self, clock):
+        bucket = LeakyBucket(1000.0, 100.0, clock=clock)
+        for _ in range(200):                # burst: 800 credits left
+            assert bucket.try_consume()
+        bucket.update_rule(capacity=50.0, refill_rate=10.0)
+        assert bucket.peek_credit() == 50.0
+        # The remaining burst is bounded by the *new* capacity.
+        assert sum(bucket.try_consume() for _ in range(100)) == 50
+
+    def test_accrual_up_to_update_uses_old_rate(self, clock):
+        bucket = LeakyBucket(1000.0, 100.0, initial_credit=0.0, clock=clock)
+        clock.advance(2.0)                  # +200 at the old rate
+        bucket.update_rule(capacity=1000.0, refill_rate=1.0)
+        assert bucket.peek_credit() == pytest.approx(200.0)
+        clock.advance(10.0)                 # +10 at the new rate
+        assert bucket.credit == pytest.approx(210.0)
+
+    def test_grow_then_shrink_keeps_credit_in_range(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, clock=clock)
+        bucket.update_rule(capacity=100.0, refill_rate=0.0)
+        assert bucket.peek_credit() == 10.0  # growing never invents credit
+        bucket.update_rule(capacity=4.0, refill_rate=0.0)
+        assert bucket.peek_credit() == 4.0
+
+    def test_shrink_to_zero_denies_everything(self, clock):
+        bucket = LeakyBucket(100.0, 10.0, clock=clock)
+        bucket.update_rule(capacity=0.0, refill_rate=0.0)
+        assert not bucket.try_consume()
+        assert bucket.peek_credit() == 0.0
+
+
+class TestUnlockedFastPath:
+    """The fused hot-path API must behave exactly like the locked one."""
+
+    def test_try_consume_unlocked_matches_locked(self, clock):
+        locked = LeakyBucket(5.0, 1.0, initial_credit=2.0, clock=clock)
+        unlocked = LeakyBucket(5.0, 1.0, initial_credit=2.0, clock=clock)
+        for _ in range(8):
+            clock.advance(0.4)
+            assert locked.try_consume() == unlocked.try_consume_unlocked()
+        assert locked.peek_credit() == pytest.approx(unlocked.peek_credit())
+        assert locked.consumed_total == unlocked.consumed_total
+        assert locked.denied_total == unlocked.denied_total
+
+    def test_unlocked_interval_rule(self, clock):
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=0.5,
+                             mode=RefillMode.INTERVAL, clock=clock)
+        assert bucket.try_consume_unlocked()    # paper rule: > 0 admits
+        assert bucket.peek_credit() == 0.0
+        assert not bucket.try_consume_unlocked()
+
+    def test_unlocked_rejects_non_positive_amount(self, clock):
+        bucket = LeakyBucket(10.0, 0.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.try_consume_unlocked(0.0)
+
+    def test_shared_now_reading(self, clock):
+        # A batch caller may reuse one clock reading across buckets.
+        bucket = LeakyBucket(10.0, 1.0, initial_credit=0.0, clock=clock)
+        clock.advance(5.0)
+        assert bucket.try_consume_unlocked(1.0, now=clock())
+        assert bucket.peek_credit() == pytest.approx(4.0)
+
+    def test_advance_unlocked_is_refill_primitive(self, clock):
+        bucket = LeakyBucket(100.0, 10.0, initial_credit=0.0,
+                             mode=RefillMode.INTERVAL, clock=clock)
+        clock.advance(2.0)
+        bucket.advance_unlocked(clock())
+        assert bucket.peek_credit() == pytest.approx(20.0)
+
 
 class TestInvariants:
     @given(

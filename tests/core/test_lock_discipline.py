@@ -1,0 +1,212 @@
+"""Lock-acquisition discipline of the fused admission hot path.
+
+The ISSUE-1 acceptance criterion: :meth:`AdmissionController.check`
+acquires exactly **one** lock per decision on the hit path, and the miss
+path no longer nests any lock acquisition inside the shard lock (the seed
+nested the bucket lock and a global stats lock there).  These tests
+instrument every lock the controller and its buckets can touch and count
+real acquisitions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.clock import ManualClock
+from repro.core.config import AdmissionConfig
+from repro.core.rules import QoSRule
+
+# Captured before any monkeypatching so instrumented locks can build on
+# the real primitive.
+_REAL_LOCK = threading.Lock
+
+
+class CountingLock:
+    """A ``threading.Lock`` lookalike that records acquire/release events."""
+
+    def __init__(self, events: list, label: str):
+        self._inner = _REAL_LOCK()
+        self._events = events
+        self._label = label
+
+    def acquire(self, *args, **kwargs):
+        self._events.append(("acquire", self._label))
+        return self._inner.acquire(*args, **kwargs)
+
+    def release(self):
+        self._events.append(("release", self._label))
+        self._inner.release()
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class UnlockedRuleSource:
+    """A rule source with no lock of its own, so every counted acquisition
+    in these tests belongs to the controller or a bucket."""
+
+    def __init__(self, rules):
+        self._rules = dict(rules)
+
+    def get_rule(self, key):
+        return self._rules.get(key)
+
+    def get_rules(self, keys):
+        return {k: self._rules[k] for k in keys if k in self._rules}
+
+    def checkpoint(self, credits):
+        pass
+
+
+def instrument(controller: AdmissionController, events: list) -> None:
+    """Wrap every lock the controller owns (and its buckets' locks)."""
+    controller._locks = [CountingLock(events, f"shard{i}")
+                         for i in range(len(controller._locks))]
+    for stripe in controller._stripes:
+        stripe.lock = CountingLock(events, "stripe")
+    controller._control_lock = CountingLock(events, "control")
+    n_stripes = len(controller._stripes)
+    controller._shard_state = [
+        (controller._locks[i], controller._shards[i],
+         controller._stripes[i % n_stripes])
+        for i in range(len(controller._shards))]
+    for table in controller._shards:
+        for bucket in table.values():
+            bucket._lock = CountingLock(events, "bucket")
+
+
+def acquires(events: list) -> list:
+    return [label for op, label in events if op == "acquire"]
+
+
+def max_nesting(events: list) -> int:
+    depth = peak = 0
+    for op, _ in events:
+        depth += 1 if op == "acquire" else -1
+        peak = max(peak, depth)
+    return peak
+
+
+def make_controller(**config_kwargs) -> AdmissionController:
+    source = UnlockedRuleSource(
+        {f"k{i}": QoSRule(f"k{i}", refill_rate=100.0, capacity=100.0)
+         for i in range(16)})
+    return AdmissionController(source, AdmissionConfig(**config_kwargs),
+                               clock=ManualClock())
+
+
+class TestFusedHitPath:
+    @pytest.mark.parametrize("lock_shards", [1, 8])
+    def test_exactly_one_lock_per_decision(self, lock_shards):
+        controller = make_controller(lock_shards=lock_shards)
+        for i in range(16):
+            controller.check(f"k{i}")       # warm: all keys materialized
+        events: list = []
+        instrument(controller, events)
+        for i in range(16):
+            assert controller.check(f"k{i}")
+        labels = acquires(events)
+        assert len(labels) == 16, (
+            f"expected 1 lock acquisition per decision, saw {labels}")
+        assert all(label.startswith("shard") for label in labels)
+        assert max_nesting(events) == 1
+
+    def test_weighted_cost_also_single_lock(self):
+        controller = make_controller(lock_shards=4)
+        controller.check("k0")
+        events: list = []
+        instrument(controller, events)
+        controller.check("k0", cost=7.5)
+        assert len(acquires(events)) == 1
+
+
+class TestMissPath:
+    def test_miss_path_no_nested_acquisition(self, monkeypatch):
+        """The lazy-materialization path holds only the shard lock.
+
+        ``threading.Lock`` is patched globally so even the freshly created
+        bucket's internal lock would be counted if the fused path touched
+        it; the old code acquired both the bucket lock and a global stats
+        lock while holding the shard lock.
+        """
+        controller = make_controller(lock_shards=4)
+        events: list = []
+        instrument(controller, events)
+        monkeypatch.setattr(threading, "Lock",
+                            lambda: CountingLock(events, "fresh"))
+        assert controller.check("k7")       # first sighting: miss path
+        labels = acquires(events)
+        assert labels == ["shard" + labels[0][5:]], (
+            f"miss path acquired {labels}, expected only its shard lock")
+        assert max_nesting(events) == 1
+
+    def test_unknown_key_miss_path_single_lock(self, monkeypatch):
+        controller = make_controller(lock_shards=4)
+        events: list = []
+        instrument(controller, events)
+        monkeypatch.setattr(threading, "Lock",
+                            lambda: CountingLock(events, "fresh"))
+        controller.check("never-seen")      # default-rule fallback
+        assert len(acquires(events)) == 1
+        assert max_nesting(events) == 1
+
+
+class TestSharedStripes:
+    def test_striped_mode_two_flat_acquisitions(self):
+        """``stats_stripes < lock_shards``: shard lock then stripe lock,
+        strictly sequential, never nested."""
+        controller = make_controller(lock_shards=8, stats_stripes=2)
+        for i in range(16):
+            controller.check(f"k{i}")
+        events: list = []
+        instrument(controller, events)
+        controller.check("k3")
+        labels = acquires(events)
+        assert len(labels) == 2
+        assert labels[0].startswith("shard")
+        assert labels[1] == "stripe"
+        assert max_nesting(events) == 1     # released before the next
+
+    def test_striped_mode_counters_still_exact(self):
+        controller = make_controller(lock_shards=8, stats_stripes=2)
+        for i in range(16):
+            controller.check(f"k{i}")
+            controller.check(f"k{i}")
+        stats = controller.stats
+        assert stats.decisions == 32
+        assert stats.rule_misses == 16
+        assert stats.rule_hits == 16
+
+
+class TestSeedPathContrast:
+    def test_seed_path_acquired_three_locks(self):
+        """The comparison baseline really does pay 3 acquisitions —
+        documents what the fusion removed."""
+        from repro.metrics.hotpath import SeedPathController
+
+        source = UnlockedRuleSource(
+            {"k": QoSRule("k", refill_rate=100.0, capacity=100.0)})
+        controller = SeedPathController(
+            source, AdmissionConfig(lock_shards=4), clock=ManualClock())
+        controller.check("k")
+        events: list = []
+        instrument(controller, events)
+        controller._seed_stats_lock = CountingLock(events, "stats")
+        controller.check("k")
+        labels = acquires(events)
+        assert len(labels) == 3
+        assert labels[0].startswith("shard")
+        assert labels[1] == "bucket"        # nested inside the shard lock
+        assert labels[2] == "stats"
+        assert max_nesting(events) == 2

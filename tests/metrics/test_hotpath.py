@@ -1,0 +1,78 @@
+"""Tests for the hot-path micro-harness (repro.metrics.hotpath)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.hotpath import (
+    HotpathPoint,
+    HotpathReport,
+    measure_decisions_per_sec,
+    run_hotpath_matrix,
+    write_report,
+)
+
+
+def small_matrix() -> HotpathReport:
+    return run_hotpath_matrix(
+        lock_shards=(1, 2), workers=(1, 2),
+        checks_per_worker=200, n_keys=16)
+
+
+class TestMeasure:
+    def test_single_point_shape(self):
+        point = measure_decisions_per_sec(
+            lock_shards=4, workers=2, checks_per_worker=500, n_keys=16)
+        assert point.path == "fused"
+        assert point.lock_shards == 4
+        assert point.workers == 2
+        assert point.decisions == 1_000
+        assert point.elapsed_s > 0
+        assert point.decisions_per_sec == pytest.approx(
+            point.decisions / point.elapsed_s)
+
+    def test_seed_path_point(self):
+        point = measure_decisions_per_sec(
+            lock_shards=1, workers=1, fused=False,
+            checks_per_worker=200, n_keys=8)
+        assert point.path == "seed"
+        assert point.decisions_per_sec > 0
+
+
+class TestReport:
+    def test_matrix_covers_full_grid(self):
+        report = small_matrix()
+        assert len(report.points) == 2 * 2 * 2    # paths × shards × workers
+        for shards in (1, 2):
+            for workers in (1, 2):
+                assert report.point("seed", shards, workers) is not None
+                assert report.point("fused", shards, workers) is not None
+        assert report.point("fused", 99, 1) is None
+
+    def test_speedup_is_fused_over_seed(self):
+        report = HotpathReport(points=[
+            HotpathPoint("seed", 8, 8, 100, 1.0, 100.0),
+            HotpathPoint("fused", 8, 8, 100, 0.5, 200.0),
+        ])
+        assert report.speedup(8, 8) == pytest.approx(2.0)
+        assert report.speedup(1, 1) is None
+
+    def test_as_dict_includes_speedups(self):
+        report = small_matrix()
+        d = report.as_dict()
+        assert set(d) == {"machine", "points", "speedup_fused_over_seed"}
+        assert "shards1_workers1" in d["speedup_fused_over_seed"]
+        assert d["machine"]["cpu_count"] >= 1
+        assert len(d["points"]) == len(report.points)
+
+
+class TestWriteReport:
+    def test_round_trips_as_json(self, tmp_path):
+        report = small_matrix()
+        out = tmp_path / "bench.json"
+        write_report(out, report)
+        loaded = json.loads(out.read_text())
+        assert loaded == report.as_dict()
+        assert loaded["points"][0]["decisions_per_sec"] > 0

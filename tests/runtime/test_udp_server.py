@@ -131,6 +131,68 @@ class TestMaintenanceThreads:
             assert admitted
 
 
+class TestBatchedIO:
+    """The batched listener must answer every datagram of a burst."""
+
+    def _burst(self, daemon, n: int, key: str = "k") -> list:
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            for i in range(n):          # one burst, no interleaved reads
+                sock.sendto(QoSRequest(i, key).encode(), daemon.address)
+            replies = []
+            for _ in range(n):
+                data, _ = sock.recvfrom(8192)
+                replies.append(decode(data))
+        return replies
+
+    def test_burst_fully_answered(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        config = ServerConfig(workers=2, batch_size=16)
+        with QoSServerDaemon(source, config=config) as daemon:
+            replies = self._burst(daemon, 50)
+            assert {r.request_id for r in replies} == set(range(50))
+            assert all(r.allowed for r in replies)
+            assert daemon.controller.bucket_for("k").peek_credit() == \
+                pytest.approx(50.0)
+
+    def test_batch_size_one_is_paper_faithful(self):
+        # batch_size=1 disables draining entirely: packet-at-a-time, the
+        # paper's original receive loop.
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        config = ServerConfig(workers=1, batch_size=1)
+        with QoSServerDaemon(source, config=config) as daemon:
+            replies = self._burst(daemon, 20)
+            assert {r.request_id for r in replies} == set(range(20))
+
+    def test_mixed_burst_counts_malformed_and_answers_rest(self):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=0.0, capacity=100.0)})
+        config = ServerConfig(workers=2, batch_size=8)
+        with QoSServerDaemon(source, config=config) as daemon:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+                sock.settimeout(2.0)
+                for i in range(10):
+                    sock.sendto(QoSRequest(i, "k").encode(), daemon.address)
+                    sock.sendto(b"garbage in the same burst", daemon.address)
+                got = set()
+                for _ in range(10):
+                    data, _ = sock.recvfrom(8192)
+                    got.add(decode(data).request_id)
+            assert got == set(range(10))
+            deadline = time.monotonic() + 2.0
+            while daemon.malformed_packets < 10 and \
+                    time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert daemon.malformed_packets == 10
+
+    def test_batch_size_validated(self):
+        from repro.core.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ServerConfig(batch_size=0)
+
+
 class TestDedupExtension:
     def test_duplicate_request_id_consumes_one_credit(self):
         source = InMemoryRuleSource(
