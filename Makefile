@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-hotpath experiments experiments-paper examples clean
+.PHONY: install test bench bench-hotpath bench-simkernel experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,12 @@ bench:
 # repo root (fused vs seed decision path, lock_shards x workers).
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_hotpath_regression.py -q -s -p no:cacheprovider
+
+# DES kernel + parallel sweep regression gate; writes BENCH_simkernel.json
+# at the repo root (optimized vs seed kernel events/s, serial vs --jobs 4
+# sweep wall-clock).
+bench-simkernel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_simkernel_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

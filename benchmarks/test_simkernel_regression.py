@@ -1,0 +1,94 @@
+"""Regression gate for the DES kernel and the parallel sweep (PR 2).
+
+Two measurements, written together to ``BENCH_simkernel.json`` at the
+repository root for the performance trajectory:
+
+- **kernel events/second** — the optimized :class:`repro.simnet.engine`
+  kernel versus the seed kernel (kept runnable in
+  :mod:`repro.metrics.simkernel`) on the timeout-heavy microbench;
+  gate: ≥ 2× seed.
+- **sweep wall-clock** — the fixed quick-scale fig8-style grid, serial
+  versus ``jobs=4`` through :mod:`repro.experiments.parallel`; gate:
+  ≥ 2× serial.  This half needs real cores: on hosts exposing fewer
+  than 4 CPUs the measurement is still taken and recorded, but the
+  assertion is skipped (a process pool cannot beat the clock on one
+  core).
+
+Run directly with ``make bench-simkernel`` (no pytest-benchmark needed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.metrics.simkernel import (
+    run_kernel_bench,
+    run_sweep_bench,
+    write_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The ISSUE-2 acceptance bars.
+TARGET_KERNEL_SPEEDUP = 2.0
+TARGET_SWEEP_SPEEDUP = 2.0
+SWEEP_JOBS = 4
+#: Cores needed for the sweep wall-clock assertion to be meaningful.
+MIN_CPUS_FOR_SWEEP_GATE = 4
+
+
+@pytest.fixture(scope="module")
+def simkernel_report():
+    report = run_kernel_bench()
+    report = run_sweep_bench(report, jobs=SWEEP_JOBS)
+    write_report(REPO_ROOT / "BENCH_simkernel.json", report)
+    return report
+
+
+def test_simkernel_report_written(simkernel_report, report_sink):
+    r = simkernel_report
+    report_sink(
+        "Simulation kernel: seed vs optimized\n"
+        f"  seed:  {r.seed.events_per_sec:>12,.0f} events/s "
+        f"({r.seed.events} events)\n"
+        f"  fast:  {r.fast.events_per_sec:>12,.0f} events/s "
+        f"({r.fast.events} events)\n"
+        f"  kernel speedup: {r.kernel_speedup:.2f}x "
+        f"(target {TARGET_KERNEL_SPEEDUP}x)\n"
+        f"  quick sweep: serial {r.sweep_serial_s:.2f}s, "
+        f"--jobs {r.sweep_jobs} {r.sweep_parallel_s:.2f}s "
+        f"-> {r.sweep_speedup:.2f}x on {r.cpus} visible CPU(s)")
+    assert (REPO_ROOT / "BENCH_simkernel.json").exists()
+    assert r.seed.events_per_sec > 10_000
+    assert r.fast.events_per_sec > 10_000
+    # Both kernels ran the same microbench to completion.
+    assert r.fast.events == r.seed.events
+
+
+def test_kernel_speedup_gate(simkernel_report):
+    """The headline number: optimized kernel ≥ 2× seed events/second."""
+    speedup = simkernel_report.kernel_speedup
+    assert speedup >= TARGET_KERNEL_SPEEDUP, (
+        f"optimized kernel only {speedup:.2f}x the seed kernel "
+        f"(target {TARGET_KERNEL_SPEEDUP}x)")
+
+
+def test_parallel_sweep_gate(simkernel_report):
+    """``--jobs 4`` ≥ 2× serial wall-clock on the fixed quick sweep.
+
+    ``run_sweep_bench`` already asserted the parallel results equal the
+    serial ones; this gate is about the wall-clock, so it needs the
+    cores to exist.
+    """
+    r = simkernel_report
+    assert r.sweep_serial_s is not None and r.sweep_parallel_s is not None
+    if r.cpus < MIN_CPUS_FOR_SWEEP_GATE:
+        pytest.skip(
+            f"host exposes {r.cpus} CPU(s) < {MIN_CPUS_FOR_SWEEP_GATE}; "
+            f"sweep wall-clock recorded ({r.sweep_speedup:.2f}x) but the "
+            f"{TARGET_SWEEP_SPEEDUP}x gate needs real cores")
+    assert r.sweep_speedup >= TARGET_SWEEP_SPEEDUP, (
+        f"--jobs {r.sweep_jobs} sweep only {r.sweep_speedup:.2f}x serial "
+        f"on {r.cpus} CPUs (target {TARGET_SWEEP_SPEEDUP}x)")

@@ -184,7 +184,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
-    return runner_main(args.names)
+    argv = list(args.names)
+    if args.jobs is not None:
+        argv = ["--jobs", str(args.jobs), *argv]
+    return runner_main(argv)
+
+
+def _cmd_bench_simkernel(args: argparse.Namespace) -> int:
+    from repro.metrics.simkernel import (
+        run_kernel_bench,
+        run_sweep_bench,
+        write_report,
+    )
+
+    if args.hops < 1 or args.processes < 1 or args.repeats < 1:
+        print("error: --hops, --processes and --repeats must be >= 1",
+              file=sys.stderr)
+        return 2
+    report = run_kernel_bench(n_processes=args.processes, hops=args.hops,
+                              repeats=args.repeats)
+    print(f"kernel events/sec: seed {report.seed.events_per_sec:,.0f}  "
+          f"fast {report.fast.events_per_sec:,.0f}  "
+          f"speedup {report.kernel_speedup:.2f}x")
+    if not args.no_sweep:
+        report = run_sweep_bench(report, jobs=args.jobs)
+        print(f"quick sweep wall-clock: serial {report.sweep_serial_s:.2f}s  "
+              f"--jobs {report.sweep_jobs} {report.sweep_parallel_s:.2f}s  "
+              f"speedup {report.sweep_speedup:.2f}x "
+              f"({report.cpus} CPUs visible)")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
@@ -277,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's evaluation")
     experiments.add_argument("names", nargs="*")
+    experiments.add_argument("--jobs", "-j", type=int, default=None,
+                             metavar="N",
+                             help="worker processes for the simulator "
+                                  "sweeps (default: serial)")
     experiments.set_defaults(func=_cmd_experiments)
 
     bench = sub.add_parser(
@@ -290,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--checks", type=int, default=10_000,
                        help="admission checks per worker thread")
     bench.set_defaults(func=_cmd_bench_hotpath)
+
+    bench_sim = sub.add_parser(
+        "bench-simkernel",
+        help="measure DES events/s (fast vs seed kernel) and the "
+             "parallel-sweep wall-clock")
+    bench_sim.add_argument("--out", default="BENCH_simkernel.json")
+    bench_sim.add_argument("--processes", type=int, default=64,
+                           help="microbench fleet size")
+    bench_sim.add_argument("--hops", type=int, default=300,
+                           help="request hops per microbench process")
+    bench_sim.add_argument("--repeats", type=int, default=5,
+                           help="interleaved rounds per kernel (best-of)")
+    bench_sim.add_argument("--jobs", type=int, default=4,
+                           help="worker processes for the sweep half")
+    bench_sim.add_argument("--no-sweep", action="store_true",
+                           help="skip the sweep half (kernel bench only)")
+    bench_sim.set_defaults(func=_cmd_bench_simkernel)
     return parser
 
 

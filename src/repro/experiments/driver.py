@@ -29,8 +29,8 @@ from repro.server.cluster import SimJanusCluster
 from repro.workload.keygen import KeyCycle, uuid_keys
 from repro.workload.simclient import ClosedLoopClient
 
-__all__ = ["ThroughputPoint", "measure_throughput", "build_cluster",
-           "HEAVY_LOAD_ROUTER"]
+__all__ = ["ThroughputPoint", "measure_throughput",
+           "measure_throughput_many", "build_cluster", "HEAVY_LOAD_ROUTER"]
 
 #: Router config for saturation runs (see module docstring).
 HEAVY_LOAD_ROUTER = RouterConfig(udp_timeout=10e-3, max_retries=5)
@@ -123,3 +123,29 @@ def measure_throughput(
         default_replies=sum(r.default_replies for r in cluster.routers),
         retries=sum(r.retries for r in cluster.routers),
     )
+
+
+def _throughput_task(spec: tuple) -> ThroughputPoint:
+    """Worker entry point for one sweep point (top level: picklable)."""
+    _label, topology, kwargs = spec
+    return measure_throughput(topology, **kwargs)
+
+
+def measure_throughput_many(
+    specs: list[tuple],
+    *,
+    jobs: Optional[int] = None,
+) -> list[ThroughputPoint]:
+    """Measure many deployments, optionally fanned across processes.
+
+    ``specs`` is a list of ``(label, topology, kwargs)`` tuples, where
+    ``kwargs`` are keyword arguments for :func:`measure_throughput`.
+    Results come back in spec order; each point simulates from its own
+    seed, so ``jobs`` does not change any measured value (only
+    wall-clock).  ``jobs=None`` defers to the runner's ``--jobs`` /
+    ``REPRO_JOBS`` default.
+    """
+    from repro.experiments.parallel import run_tasks
+
+    return run_tasks(_throughput_task, specs, jobs=jobs,
+                     labels=[spec[0] for spec in specs])

@@ -25,12 +25,13 @@ DEFAULT_VALIDATE = ("c3.large", "c3.xlarge")
 
 
 def run(scale: Optional[Scale] = None,
-        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+        validate: Optional[tuple[str, ...]] = None,
+        jobs: Optional[int] = None) -> list[ScalingPoint]:
     scale = scale or current_scale()
     if validate is None:
         validate = C3_FAMILY if scale.name == "paper" else DEFAULT_VALIDATE
     return sweep(vertical_points("qos", C3_FAMILY),
-                 validate=validate, scale=scale)
+                 validate=validate, scale=scale, jobs=jobs)
 
 
 def report(points: Optional[list[ScalingPoint]] = None) -> str:

@@ -28,13 +28,14 @@ DEFAULT_VALIDATE = ("2x c3.xlarge",)
 
 
 def run(scale: Optional[Scale] = None,
-        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+        validate: Optional[tuple[str, ...]] = None,
+        jobs: Optional[int] = None) -> list[ScalingPoint]:
     scale = scale or current_scale()
     if validate is None:
         validate = (tuple(f"{n}x c3.xlarge" for n in COUNTS)
                     if scale.name == "paper" else DEFAULT_VALIDATE)
     return sweep(horizontal_points("qos", COUNTS),
-                 validate=validate, scale=scale)
+                 validate=validate, scale=scale, jobs=jobs)
 
 
 def linearity_r2(points: list[ScalingPoint]) -> float:

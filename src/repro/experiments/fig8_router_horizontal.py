@@ -26,13 +26,14 @@ DEFAULT_VALIDATE = ("2x c3.xlarge",)
 
 
 def run(scale: Optional[Scale] = None,
-        validate: Optional[tuple[str, ...]] = None) -> list[ScalingPoint]:
+        validate: Optional[tuple[str, ...]] = None,
+        jobs: Optional[int] = None) -> list[ScalingPoint]:
     scale = scale or current_scale()
     if validate is None:
         validate = (tuple(f"{n}x c3.xlarge" for n in COUNTS)
                     if scale.name == "paper" else DEFAULT_VALIDATE)
     return sweep(horizontal_points("router", COUNTS),
-                 validate=validate, scale=scale)
+                 validate=validate, scale=scale, jobs=jobs)
 
 
 def plateau_index(points: list[ScalingPoint], tolerance: float = 0.05) -> int:

@@ -1,0 +1,134 @@
+"""Parallel experiment sweep executor.
+
+The figure sweeps (figs 7–12) re-measure independent (topology x seed)
+points in the DES — an embarrassingly parallel grid that the seed
+pipeline walked strictly serially.  :func:`run_tasks` fans such a grid
+across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
+the results **deterministically ordered**: every task is keyed by its
+input index and the merged output list matches what the serial loop
+would have produced, element for element.  Each worker process runs its
+own simulation from its own seed, so parallel results are bit-identical
+to serial ones (``tests/experiments/test_parallel_sweep.py`` locks this
+down against the fig8/fig11 report text).
+
+``jobs`` resolution, lowest to highest precedence: the built-in default
+of 1 (serial, the seed behavior), the ``REPRO_JOBS`` environment
+variable, :func:`set_default_jobs` (the runner's ``--jobs`` flag), and
+an explicit ``jobs=`` argument at the call site.
+
+Task functions must be picklable (defined at module top level) because
+workers are separate processes.  A task that raises — or a worker that
+dies outright (``BrokenProcessPool``) — surfaces as a :class:`SweepError`
+naming the failed point; the pool is torn down, never left hanging.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.core.errors import JanusError
+
+__all__ = ["SweepError", "run_tasks", "set_default_jobs", "current_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Process-wide default set by ``--jobs`` (None = fall back to REPRO_JOBS).
+_default_jobs: Optional[int] = None
+
+
+class SweepError(JanusError):
+    """A sweep point failed (worker exception or worker death)."""
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default parallelism (the runner's ``--jobs``).
+
+    ``None`` restores the built-in resolution (``REPRO_JOBS`` env var,
+    else serial).
+    """
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def current_jobs() -> int:
+    """The effective default parallelism for sweeps that don't pass one."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise SweepError(f"REPRO_JOBS must be an integer, got {env!r}")
+        if jobs < 1:
+            raise SweepError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return 1
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    jobs: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list[R]:
+    """``[fn(item) for item in items]``, fanned across worker processes.
+
+    Results come back in input order regardless of completion order.
+    ``jobs=None`` resolves via :func:`current_jobs`; ``jobs<=1`` runs the
+    plain serial loop in this process (no pool, no pickling).  ``labels``
+    (defaulting to ``str(item)``) name points in error messages.
+    """
+    jobs = current_jobs() if jobs is None else jobs
+    if labels is not None and len(labels) != len(items):
+        raise SweepError(
+            f"labels/items length mismatch: {len(labels)} != {len(items)}")
+
+    def label_of(i: int) -> str:
+        return labels[i] if labels is not None else str(items[i])
+
+    if jobs <= 1 or len(items) <= 1:
+        out = []
+        for i, item in enumerate(items):
+            try:
+                out.append(fn(item))
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep point {label_of(i)!r} "
+                    f"(task {i + 1}/{len(items)}) failed: {exc}") from exc
+        return out
+
+    results: dict[int, R] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        # FIRST_EXCEPTION so a failed point aborts the sweep promptly
+        # instead of burning the remaining grid.
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        for fut in not_done:
+            fut.cancel()
+        for fut in sorted(done, key=futures.__getitem__):
+            i = futures[fut]
+            try:
+                results[i] = fut.result()
+            except BrokenProcessPool as exc:
+                raise SweepError(
+                    f"sweep point {label_of(i)!r} (task {i + 1}/"
+                    f"{len(items)}) killed its worker process "
+                    f"(out of memory or hard crash?)") from exc
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep point {label_of(i)!r} "
+                    f"(task {i + 1}/{len(items)}) failed: {exc}") from exc
+    missing = [i for i in range(len(items)) if i not in results]
+    if missing:  # pragma: no cover - only reachable via cancelled futures
+        raise SweepError(
+            f"sweep aborted before point(s) "
+            f"{', '.join(label_of(i) for i in missing)} completed")
+    return [results[i] for i in range(len(items))]

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.runner              # everything, quick scale
     python -m repro.experiments.runner fig5 fig13   # a subset
     REPRO_SCALE=paper python -m repro.experiments.runner   # full scale
+    python -m repro.experiments.runner --jobs 4     # parallel DES sweeps
 
 Output is the plain-text analogue of each paper table/figure; paper anchor
 values are embedded in each report for eyeball comparison (EXPERIMENTS.md
@@ -30,6 +31,7 @@ from repro.experiments import (
     fig13_integration,
     table1,
 )
+from repro.experiments.parallel import set_default_jobs
 from repro.experiments.scale import current_scale
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -51,24 +53,38 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the Janus paper's tables and figures.")
-    parser.add_argument("experiments", nargs="*",
-                        choices=[[], *EXPERIMENTS][1:] if False else None,
+    # No argparse ``choices`` here: its stock error dumps the full tuple
+    # per bad value; the manual check below names all unknown names in
+    # one friendly message instead.
+    parser.add_argument("experiments", nargs="*", metavar="experiment",
                         help=f"subset to run (default: all of "
                              f"{', '.join(EXPERIMENTS)})")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for the simulator sweeps "
+                             "(default: REPRO_JOBS or 1 = serial; results "
+                             "are identical at any value)")
     args = parser.parse_args(argv)
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
                      f"choose from {', '.join(EXPERIMENTS)}")
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        set_default_jobs(args.jobs)
     scale = current_scale()
     print(f"# Janus reproduction — scale profile: {scale.name}\n")
-    for name in selected:
-        t0 = time.time()
-        print(f"## {name}\n")
-        print(EXPERIMENTS[name]())
-        print(f"\n[{name} finished in {time.time() - t0:.1f}s]\n")
-    return 0
+    try:
+        for name in selected:
+            t0 = time.time()
+            print(f"## {name}\n")
+            print(EXPERIMENTS[name]())
+            print(f"\n[{name} finished in {time.time() - t0:.1f}s]\n")
+        return 0
+    finally:
+        if args.jobs is not None:
+            set_default_jobs(None)      # keep main() re-entrant
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.core.config import ClusterTopology
-from repro.experiments.driver import ThroughputPoint, measure_throughput
+from repro.experiments.driver import ThroughputPoint, measure_throughput_many
 from repro.experiments.scale import Scale, current_scale
 from repro.metrics.report import format_table
 from repro.perfmodel.capacity import CapacityModel
@@ -57,23 +57,31 @@ def sweep(
     validate: Iterable[str] = (),
     scale: Optional[Scale] = None,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> list[ScalingPoint]:
     """Run one figure's sweep.
 
     ``points`` is (label, topology, swept_vcpus) per x-value; ``validate``
-    names the labels to re-measure in the simulator.
+    names the labels to re-measure in the simulator.  The simulator
+    points are independent (each builds its own cluster from the same
+    seed) and are fanned across ``jobs`` worker processes — ``None``
+    defers to the runner's ``--jobs`` / ``REPRO_JOBS`` default, 1 is the
+    seed's serial loop; results are identical either way.
     """
     scale = scale or current_scale()
     model = CapacityModel()
     validate_set = set(validate)
+    sim_kwargs = dict(window=scale.des_window, warmup=scale.des_warmup,
+                      n_rules=scale.throughput_rules, seed=seed)
+    specs = [(label, topology, sim_kwargs)
+             for label, topology, _ in points if label in validate_set]
+    sim_by_label = dict(zip(
+        (spec[0] for spec in specs),
+        measure_throughput_many(specs, jobs=jobs)))
     out: list[ScalingPoint] = []
     for label, topology, vcpus in points:
         est = model.estimate(topology)
-        sim_point = None
-        if label in validate_set:
-            sim_point = measure_throughput(
-                topology, window=scale.des_window, warmup=scale.des_warmup,
-                n_rules=scale.throughput_rules, seed=seed)
+        sim_point = sim_by_label.get(label)
         out.append(ScalingPoint(
             label=label, topology=topology, swept_vcpus=vcpus,
             model_throughput=est.capacity,

@@ -1,0 +1,119 @@
+"""Tests for the parallel sweep executor and its figure wiring.
+
+The contract under test: ``--jobs N`` changes wall-clock only — the
+fig8/fig11 report text is byte-identical at any parallelism — and a
+worker failure (exception or outright crash) surfaces as a clean
+:class:`SweepError` naming the failed point, never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import fig8_router_horizontal as fig8
+from repro.experiments import fig11_qos_horizontal as fig11
+from repro.experiments.parallel import (
+    SweepError,
+    current_jobs,
+    run_tasks,
+    set_default_jobs,
+)
+from repro.experiments.scale import Scale
+
+#: A sub-quick scale so the two-point DES validation stays test-sized.
+TINY = Scale(name="tiny", fig5_requests=500, fig6_keys=5_000,
+             des_window=0.12, des_warmup=0.08, fig13_duration=5.0,
+             throughput_rules=200)
+VALIDATE = ("1x c3.xlarge", "2x c3.xlarge")
+
+
+# ---- top-level task functions (must be picklable for the pool) ---------- #
+
+def _square(x: int) -> int:
+    return x * x
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+def _crash_on_two(x: int) -> int:
+    if x == 2:
+        os._exit(17)        # hard worker death, no exception machinery
+    return x
+
+
+class TestRunTasks:
+    def test_serial_matches_map(self):
+        assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(12))
+        assert run_tasks(_square, items, jobs=4) == [x * x for x in items]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_task_exception_names_the_point(self, jobs):
+        with pytest.raises(SweepError, match=r"point 'p3'.*boom on 3"):
+            run_tasks(_fail_on_three, [1, 2, 3, 4], jobs=jobs,
+                      labels=["p1", "p2", "p3", "p4"])
+
+    def test_worker_crash_is_a_clean_error_not_a_hang(self):
+        """A worker dying mid-task (OOM kill, segfault) must abort the
+        sweep with an error naming a point, not wedge the pool."""
+        with pytest.raises(SweepError,
+                           match=r"sweep point .*worker process"):
+            run_tasks(_crash_on_two, [1, 2, 3, 4], jobs=2)
+
+    def test_labels_length_checked(self):
+        with pytest.raises(SweepError, match="length mismatch"):
+            run_tasks(_square, [1, 2], jobs=1, labels=["only-one"])
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert current_jobs() == 1
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert current_jobs() == 3
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        set_default_jobs(5)
+        try:
+            assert current_jobs() == 5
+        finally:
+            set_default_jobs(None)
+        assert current_jobs() == 3
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(SweepError, match="REPRO_JOBS"):
+            current_jobs()
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(SweepError, match="jobs must be >= 1"):
+            set_default_jobs(0)
+
+
+class TestFigureReportsParallel:
+    """`--jobs 1` vs `--jobs 4`: identical report text (ISSUE 2)."""
+
+    def test_fig8_report_identical_serial_vs_parallel(self):
+        serial = fig8.report(fig8.run(scale=TINY, validate=VALIDATE,
+                                      jobs=1))
+        parallel = fig8.report(fig8.run(scale=TINY, validate=VALIDATE,
+                                        jobs=4))
+        assert parallel == serial
+        assert "sim k-rps" in serial
+
+    def test_fig11_report_identical_serial_vs_parallel(self):
+        serial = fig11.report(fig11.run(scale=TINY, validate=VALIDATE,
+                                        jobs=1))
+        parallel = fig11.report(fig11.run(scale=TINY, validate=VALIDATE,
+                                          jobs=4))
+        assert parallel == serial
+        assert "linearity" in serial

@@ -32,3 +32,14 @@ class TestRunnerMain:
     def test_scale_profile_announced(self, capsys):
         main(["table1"])
         assert "scale profile: quick" in capsys.readouterr().out
+
+    def test_jobs_flag_accepted(self, capsys):
+        from repro.experiments.parallel import current_jobs
+        assert main(["--jobs", "2", "table1"]) == 0
+        assert "## table1" in capsys.readouterr().out
+        assert current_jobs() == 1      # default restored after the run
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "table1"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err

@@ -243,7 +243,9 @@ class TestFirstOf:
         sim.spawn(proc(), "p")
         sim.run()
         assert results == [("ok", "fast")]
-        assert sim.now == 5.0       # the losing timeout still fires (no-op)
+        # The losing timeout is detached when the race resolves: its heap
+        # entry is tombstoned, so the clock never advances to t=5.
+        assert sim.now == 1.0
 
     def test_timeout_wins(self, sim):
         ev = sim.event()
@@ -255,6 +257,33 @@ class TestFirstOf:
         sim.spawn(proc(), "p")
         sim.run()
         assert results == [("timeout", None)]
+
+    def test_timeout_win_detaches_loser_callback(self, sim):
+        """Regression: the losing ``on_ok`` callback must not accumulate
+        on a long-lived event (one dead closure per retry in the seed)."""
+        ev = sim.event()
+
+        def proc():
+            for _ in range(50):
+                yield first_of(sim, ev, 0.01)
+
+        sim.spawn(proc(), "p")
+        sim.run()
+        assert not ev._callbacks       # every losing callback was removed
+
+    def test_event_win_reclaims_timeout_entry(self, sim):
+        """Regression: the losing timeout's heap entry is cancelled and
+        reclaimed instead of draining through the heap for 30 s."""
+        ev = sim.event()
+
+        def proc():
+            yield first_of(sim, ev, 30.0)
+
+        sim.spawn(proc(), "p")
+        sim.call_at(0.001, ev.trigger, "fast")
+        sim.run()
+        assert sim.now == 0.001
+        assert not any(e[2] != 0 for e in sim._heap)   # no live leftovers
 
     def test_late_event_not_lost(self, sim):
         """A response arriving after the timeout still triggers the

@@ -1,0 +1,186 @@
+"""Golden-trace equivalence: optimized kernel vs the seed kernel.
+
+The PR-2 kernel (pooled entries, float fast path, immediate queue, O(1)
+cancellation) must replay the *exact* ``(time, seq, process)`` event
+sequence of the seed kernel on the same workload — every scheduling path
+consumes identical sequence numbers, and the immediate-queue/heap merge
+preserves the seed's processing order.  ``first_of`` is deliberately
+absent from the workload: its loser-detach fix (ISSUE 2 satellite)
+legitimately removes dead events the seed kernel processed as no-ops.
+
+Also locks down tombstone compaction: mass cancellation must shrink the
+heap instead of pinning it until the dead entries drain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.simkernel import (
+    SeedResource,
+    SeedSimulation,
+    SeedStore,
+)
+from repro.simnet.engine import Resource, Simulation, Store
+
+
+def _mixed_workload(sim, store_cls, resource_cls):
+    """The golden workload: every kernel feature except ``first_of``.
+
+    Timeout waits (valued and bare), plain-float sleeps, Store put/get
+    through both the buffered and the blocked path, Resource contention
+    with FIFO handoff, interrupts landing on sleeps and on queued
+    acquires, and deliberate same-timestamp ties.
+    """
+    store = store_cls(sim)
+    cores = resource_cls(sim, capacity=2)
+    log = []
+
+    def producer(pid):
+        for i in range(30):
+            store.put((pid, i))
+            # Tie: both producers sleep the same duration from t=0.
+            yield 0.01
+        log.append(("prod-done", pid, sim.now))
+
+    def consumer(cid):
+        for _ in range(20):
+            item = yield store.get()
+            yield sim.timeout(0.003, item)
+            log.append(("consumed", cid, item, sim.now))
+
+    def worker(wid):
+        for _ in range(12):
+            yield cores.acquire()
+            try:
+                yield 0.004 + wid * 1e-4
+            finally:
+                cores.release()
+            yield sim.timeout(0.002)
+        log.append(("worker-done", wid, sim.now))
+
+    def sleeper(sid):
+        try:
+            yield 10.0
+        except Exception as exc:        # Interrupt (kernel-specific class)
+            log.append(("interrupted", sid, sim.now, str(exc.cause)))
+            yield sim.timeout(0.001)
+
+    def victim_waiter():
+        # Interrupted while queued on the resource (orphaned-waiter path).
+        try:
+            yield cores.acquire()
+        except Exception:
+            log.append(("acquire-interrupted", sim.now))
+            return
+        cores.release()                  # pragma: no cover - never reached
+
+    for pid in range(2):
+        sim.spawn(producer(pid), f"prod{pid}")
+    for cid in range(3):
+        sim.spawn(consumer(cid), f"cons{cid}")
+    for wid in range(4):
+        sim.spawn(worker(wid), f"w{wid}")
+    sleepers = [sim.spawn(sleeper(sid), f"sleep{sid}") for sid in range(3)]
+    victim = sim.spawn(victim_waiter(), "victim")
+    # Same-timestamp interrupts, scheduled identically on both kernels.
+    sim.call_at(0.02, sleepers[0].interrupt, "wake0")
+    sim.call_at(0.02, sleepers[1].interrupt, "wake1")
+    sim.call_at(0.05, sleepers[2].interrupt, "wake2")
+    sim.call_at(0.001, victim.interrupt, "dequeue")
+    return store, cores, log
+
+
+def _run_traced(sim_cls, store_cls, resource_cls):
+    sim = sim_cls()
+    sim.trace = []
+    store, cores, log = _mixed_workload(sim, store_cls, resource_cls)
+    sim.run()
+    return sim, store, cores, log
+
+
+class TestGoldenTrace:
+    def test_optimized_kernel_replays_seed_trace(self):
+        seed_sim, seed_store, seed_cores, seed_log = _run_traced(
+            SeedSimulation, SeedStore, SeedResource)
+        fast_sim, fast_store, fast_cores, fast_log = _run_traced(
+            Simulation, Store, Resource)
+
+        assert len(seed_sim.trace) > 400      # the workload is non-trivial
+        assert fast_sim.trace == seed_sim.trace
+        assert fast_sim.now == seed_sim.now
+        assert fast_sim.events_processed == seed_sim.events_processed
+
+    def test_model_observables_identical(self):
+        _, seed_store, seed_cores, seed_log = _run_traced(
+            SeedSimulation, SeedStore, SeedResource)
+        _, fast_store, fast_cores, fast_log = _run_traced(
+            Simulation, Store, Resource)
+
+        assert fast_log == seed_log
+        assert len(fast_store) == len(seed_store)
+        assert fast_store.dropped == seed_store.dropped
+        assert fast_cores.acquisitions == seed_cores.acquisitions
+        assert fast_cores.waits == seed_cores.waits
+        assert fast_cores.busy_time == pytest.approx(seed_cores.busy_time)
+
+    def test_trace_is_deterministic_across_runs(self):
+        a = _run_traced(Simulation, Store, Resource)[0]
+        b = _run_traced(Simulation, Store, Resource)[0]
+        assert a.trace == b.trace
+
+
+class TestTombstoneCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        sim = Simulation()
+
+        def sleeper():
+            yield 1_000.0
+
+        procs = [sim.spawn(sleeper(), f"s{i}") for i in range(4_000)]
+        sim.run(until=0.0)               # everyone is now asleep
+        assert len(sim._heap) == 4_000
+        for p in procs:
+            p.interrupt("cancelled")
+        # Compaction keeps tombstones below the configured ratio of live
+        # entries instead of letting 4 000 dead sleeps pin the heap (the
+        # interrupt throws are pending, cancelled sleeps mostly reclaimed).
+        live = sum(1 for e in sim._heap if e[2] != 0)
+        assert len(sim._heap) - live <= max(
+            sim.tombstone_min,
+            sim.tombstone_ratio * (live + len(sim._imm))) + 1
+        assert len(sim._heap) < 1_000
+        sim.run()
+        assert all(p.done for p in procs)
+        assert sim._tombstones == 0
+
+    def test_compaction_ratio_configurable(self):
+        sim = Simulation(tombstone_ratio=0.1, tombstone_min=8)
+
+        def sleeper():
+            yield 50.0
+
+        procs = [sim.spawn(sleeper(), f"s{i}") for i in range(200)]
+        sim.run(until=0.0)
+        for p in procs[:150]:
+            p.interrupt()
+        live = sum(1 for e in sim._heap if e[2] != 0)
+        tombstones = len(sim._heap) - live
+        assert tombstones <= max(8, 0.1 * live) + 1
+        sim.run()
+
+    def test_cancelled_entries_return_to_pool(self):
+        sim = Simulation()
+
+        def sleeper():
+            yield 100.0
+
+        procs = [sim.spawn(sleeper(), f"s{i}") for i in range(500)]
+        sim.run(until=0.0)
+        for p in procs:
+            p.interrupt()
+        sim.run()
+        # Pool holds the reclaimed entries for reuse; a second identical
+        # wave of sleeps should allocate (almost) nothing new.
+        pooled = len(sim._pool)
+        assert pooled >= 500
