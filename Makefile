@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-hotpath bench-simkernel experiments experiments-paper examples clean
+.PHONY: install test bench bench-hotpath bench-simkernel bench-wirepath experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ bench-hotpath:
 # sweep wall-clock).
 bench-simkernel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_simkernel_regression.py -q -s -p no:cacheprovider
+
+# Wire-path regression gate: seed per-thread blocking sockets vs the
+# multiplexed protocol-v2 channel, real loopback sockets; writes
+# BENCH_wirepath.json at the repo root.  WIREPATH_CHECKS scales duration.
+bench-wirepath:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_wirepath_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

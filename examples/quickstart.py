@@ -45,7 +45,15 @@ def main() -> None:
         refilled = [client.check(user_key("alice")) for _ in range(10)]
         print(f"after 100 ms refill:     {sum(refilled)} of 10 admitted")
 
-        # 4. Everything above ran through LB -> router -> UDP -> leaky
+        # 4. A request that needs several decisions at once (one per
+        #    dependency, say) can batch them: one HTTP round trip, and
+        #    keys on the same partition share a single UDP frame.
+        time.sleep(0.1)                       # let alice's credit refill
+        verdicts = client.check_many(
+            [user_key("alice"), user_key("mallory"), user_key("alice")])
+        print(f"batched [alice, mallory, alice]: {verdicts}")
+
+        # 5. Everything above ran through LB -> router -> UDP -> leaky
         #    bucket; round trips stay near a millisecond.
         detail = client.check_detailed(user_key("alice"))
         print(f"\nlast decision: allowed={detail.allowed} "

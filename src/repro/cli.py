@@ -250,6 +250,44 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_wirepath(args: argparse.Namespace) -> int:
+    from repro.metrics.wirepath import run_wirepath_matrix, write_report
+
+    if args.checks < 1 or args.batch < 1 or args.keys_per_call < 1 \
+            or args.repeats < 1:
+        print("error: --checks, --batch, --keys-per-call and --repeats "
+              "must be >= 1", file=sys.stderr)
+        return 2
+    if any(c < 1 for c in args.clients):
+        print("error: --clients values must be >= 1", file=sys.stderr)
+        return 2
+    report = run_wirepath_matrix(
+        client_counts=tuple(args.clients),
+        checks_per_client=args.checks,
+        batch_size=args.batch,
+        keys_per_call=args.keys_per_call,
+        repeats=args.repeats)
+    header = f"{'mode':>8} {'surface':>8} {'clients':>8} {'batch':>6} " \
+             f"{'keys/call':>10} {'checks/s':>12} {'p50 ms':>8} {'p99 ms':>8}"
+    print(header)
+    print("-" * len(header))
+    for p in report.points:
+        print(f"{p.mode:>8} {p.surface:>8} {p.clients:>8} "
+              f"{p.batch_size:>6} {p.keys_per_call:>10} "
+              f"{p.checks_per_sec:>12,.0f} {p.p50_ms:>8.3f} "
+              f"{p.p99_ms:>8.3f}")
+    for clients in sorted({p.clients for p in report.points}):
+        ratio = report.speedup(clients)
+        if ratio is not None:
+            print(f"speedup @{clients} clients: {ratio:.2f}x")
+    overhead = report.idle_p99_overhead()
+    if overhead is not None:
+        print(f"idle p99 overhead: {overhead * 100.0:+.1f}%")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +379,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sim.add_argument("--no-sweep", action="store_true",
                            help="skip the sweep half (kernel bench only)")
     bench_sim.set_defaults(func=_cmd_bench_simkernel)
+
+    bench_wire = sub.add_parser(
+        "bench-wirepath",
+        help="seed thread-sockets vs multiplexed channel wire benchmark")
+    bench_wire.add_argument("--out", default="BENCH_wirepath.json")
+    bench_wire.add_argument("--clients", type=int, nargs="+", default=[1, 8],
+                            help="closed-loop client thread counts")
+    bench_wire.add_argument("--checks", type=int, default=2_000,
+                            help="admission checks per client thread")
+    bench_wire.add_argument("--batch", type=int, default=64,
+                            help="channel frame coalescing limit")
+    bench_wire.add_argument("--keys-per-call", type=int, default=64,
+                            help="keys per batched exchange call")
+    bench_wire.add_argument("--repeats", type=int, default=2,
+                            help="runs per point (best kept)")
+    bench_wire.set_defaults(func=_cmd_bench_wirepath)
     return parser
 
 

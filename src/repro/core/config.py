@@ -79,12 +79,48 @@ class RouterConfig:
     #: Verdict returned to the client when all retries fail.  Fail-open
     #: (True) preserves availability; fail-closed (False) preserves quota.
     default_reply: bool = True
+    #: Router↔server wire path.  ``"channel"`` multiplexes every handler
+    #: thread over one shared non-blocking UDP channel per backend
+    #: (protocol-v2 batch frames, selectors event thread, timer-wheel
+    #: retries); ``"thread"`` reproduces the seed per-thread blocking
+    #: socket with one datagram per admission check (kept selectable for
+    #: A/B measurement — see ``repro.metrics.wirepath``).
+    wire_mode: str = "channel"
+    #: Maximum requests the channel coalesces into one v2 frame per send.
+    #: 1 disables batching (every request is its own frame/datagram);
+    #: larger values amortize syscall and wakeup cost under load without
+    #: adding latency when idle (a lone pending request is sent
+    #: immediately, never held back to fill a batch).
+    batch_size: int = 64
+    #: Datagram version the channel emits: 2 (batch frames) or 1
+    #: (single-message datagrams, for v1-only QoS servers).  Servers
+    #: answer in the version the request arrived with, so either value
+    #: interoperates with a v2 server.
+    wire_protocol: int = 2
+    #: Timer-wheel granularity (seconds) for channel-mode timeouts and
+    #: retries.  An expiry fires within one tick after its deadline, so
+    #: the effective retry timeout is ``udp_timeout`` rounded up to the
+    #: next tick; ticks far below ``udp_timeout`` buy precision at the
+    #: cost of more event-loop wakeups.
+    timer_tick: float = 0.005
 
     def __post_init__(self) -> None:
         if self.udp_timeout <= 0:
             raise ConfigurationError(f"udp_timeout must be > 0, got {self.udp_timeout}")
         if self.max_retries < 1:
             raise ConfigurationError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.wire_mode not in ("channel", "thread"):
+            raise ConfigurationError(
+                f"wire_mode must be 'channel' or 'thread', got {self.wire_mode!r}")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.wire_protocol not in (1, 2):
+            raise ConfigurationError(
+                f"wire_protocol must be 1 or 2, got {self.wire_protocol}")
+        if self.timer_tick <= 0:
+            raise ConfigurationError(
+                f"timer_tick must be > 0, got {self.timer_tick}")
 
     @property
     def worst_case_wait(self) -> float:
@@ -104,6 +140,11 @@ class ServerConfig:
     #: syscall overhead under load without adding latency when idle (the
     #: first receive still blocks, only already-queued packets are drained).
     batch_size: int = 32
+    #: Blocking-receive timeout on the listener socket (seconds).  Bounds
+    #: how long shutdown can lag behind ``stop()``: the listener only
+    #: notices the stop flag between receives.  Lower values shut down
+    #: faster at the cost of more idle wakeups.
+    recv_timeout: float = 0.2
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: Replication pull period for an optional HA slave (§III-C).
     ha_replication_interval: float = 1.0
@@ -119,6 +160,9 @@ class ServerConfig:
         if self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}")
+        if self.recv_timeout <= 0:
+            raise ConfigurationError(
+                f"recv_timeout must be > 0, got {self.recv_timeout}")
         if self.ha_replication_interval <= 0:
             raise ConfigurationError("ha_replication_interval must be > 0")
         if self.dedup_window is not None and self.dedup_window <= 0:

@@ -6,7 +6,7 @@ TRUE admits and FALSE denies.  This module defines the two message types and
 a compact binary codec used on the router↔server UDP path, plus the HTTP
 query-string form used on the client→router path.
 
-Datagram layout (network byte order)::
+Version-1 datagram layout (network byte order), one message per datagram::
 
     offset  size  field
     0       2     magic 0x4A51 ("JQ")
@@ -22,6 +22,33 @@ Datagram layout (network byte order)::
     13      1     flags (bit0: default-reply, i.e. produced after retry
                   exhaustion rather than by a QoS server)
 
+Version-2 **batch frames** carry up to :data:`MAX_FRAME_MESSAGES` messages
+of one type in a single datagram, so a multiplexed router channel can
+amortize the per-datagram syscall and wakeup cost (the router tier's
+throughput ceiling)::
+
+    offset  size  field
+    0       2     magic 0x4A51 ("JQ")
+    2       1     version (2)
+    3       1     type (1=request frame, 2=response frame)
+    4       2     count C (u16, 1 <= C <= MAX_FRAME_MESSAGES)
+    6       ...   C length-prefixed entries, packed back to back:
+                  request entry:  8  request id (u64)
+                                  2  key length L (u16)
+                                  L  key, UTF-8
+                                  8  cost (f64)
+                  response entry: 8  request id (u64)
+                                  1  verdict (0=deny, 1=admit)
+                                  1  flags (bit0 = default-reply)
+
+A frame must consume its datagram exactly: a declared count that disagrees
+with the payload is a protocol error.  Decoding is zero-copy — entries are
+unpacked straight out of a ``memoryview`` of the datagram with
+``unpack_from``; no per-entry byte-slicing copies are made.  Receivers
+dispatch on the version byte (:func:`decode_any`), so v1 single-message
+datagrams and v2 frames coexist on one port: a server answers each request
+in the version it arrived with.
+
 The request id lets a router discard a stale response that arrives after it
 has already retried: the paper's routers resend "the same request ... until
 a response is received" (§III-C), so responses must be idempotently
@@ -35,14 +62,21 @@ import math
 import struct
 import threading
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.errors import ProtocolError
 
 __all__ = ["QoSRequest", "QoSResponse", "RequestIdGenerator",
-           "MAX_KEY_BYTES", "MAGIC", "VERSION"]
+           "LockedRequestIdGenerator", "decode", "decode_any",
+           "encode_request_frame", "encode_request_frame_parts",
+           "encode_response_frame", "decode_frame",
+           "MAX_KEY_BYTES", "MAX_FRAME_MESSAGES", "MAX_DATAGRAM_BYTES",
+           "FRAME_HEADER_BYTES", "FRAME_REQ_ENTRY_OVERHEAD",
+           "MAGIC", "VERSION", "VERSION2"]
 
 MAGIC = 0x4A51
 VERSION = 1
+VERSION2 = 2
 _TYPE_REQUEST = 1
 _TYPE_RESPONSE = 2
 
@@ -51,9 +85,26 @@ _REQ_KEY_LEN = struct.Struct("!H")
 _REQ_COST = struct.Struct("!d")
 _RESP_BODY = struct.Struct("!BB")
 
+_FRAME_HEADER = struct.Struct("!HBBH")    # magic, version, type, count
+_ENTRY_REQ_HEAD = struct.Struct("!QH")    # request id, key length
+_ENTRY_RESP = struct.Struct("!QBB")       # request id, verdict, flags
+
 #: Maximum encoded key size; u16 length prefix, and a QoS key should always
 #: fit one UDP datagram with room to spare.
 MAX_KEY_BYTES = 4096
+
+#: Maximum messages per v2 batch frame (u16 count field, but bounded far
+#: below it so a worst-case frame of maximum-length keys stays well under
+#: the UDP payload limit for typical keys).
+MAX_FRAME_MESSAGES = 256
+
+#: Largest UDP payload this codec will emit (IPv4 65535 - 20 IP - 8 UDP).
+MAX_DATAGRAM_BYTES = 65507
+
+#: v2 frame header size and fixed per-request-entry overhead (entry head
+#: plus cost), for senders budgeting a frame against the datagram limit.
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+FRAME_REQ_ENTRY_OVERHEAD = _ENTRY_REQ_HEAD.size + _REQ_COST.size
 
 FLAG_DEFAULT_REPLY = 0x01
 
@@ -66,7 +117,7 @@ class QoSRequest:
     key: str
     cost: float = 1.0
 
-    def encode(self) -> bytes:
+    def _validated_key_bytes(self) -> bytes:
         key_bytes = self.key.encode("utf-8")
         if not key_bytes:
             raise ProtocolError("QoS key must be non-empty")
@@ -76,12 +127,26 @@ class QoSRequest:
             raise ProtocolError(f"request_id out of u64 range: {self.request_id}")
         if not (math.isfinite(self.cost) and self.cost > 0):
             raise ProtocolError(f"cost must be finite and > 0, got {self.cost}")
-        return b"".join((
-            _HEADER.pack(MAGIC, VERSION, _TYPE_REQUEST, self.request_id),
-            _REQ_KEY_LEN.pack(len(key_bytes)),
-            key_bytes,
-            _REQ_COST.pack(self.cost),
-        ))
+        return key_bytes
+
+    def encode(self) -> bytes:
+        key_bytes = self._validated_key_bytes()
+        key_len = len(key_bytes)
+        buf = bytearray(_HEADER.size + _REQ_KEY_LEN.size + key_len
+                        + _REQ_COST.size)
+        _HEADER.pack_into(buf, 0, MAGIC, VERSION, _TYPE_REQUEST,
+                          self.request_id)
+        _REQ_KEY_LEN.pack_into(buf, _HEADER.size, key_len)
+        offset = _HEADER.size + _REQ_KEY_LEN.size
+        buf[offset:offset + key_len] = key_bytes
+        _REQ_COST.pack_into(buf, offset + key_len, self.cost)
+        return bytes(buf)
+
+    @property
+    def frame_entry_size(self) -> int:
+        """Encoded size of this request as one v2 frame entry."""
+        return (_ENTRY_REQ_HEAD.size + len(self.key.encode("utf-8"))
+                + _REQ_COST.size)
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,12 +211,178 @@ def decode(datagram: bytes) -> "QoSRequest | QoSResponse":
     raise ProtocolError(f"unknown message type {mtype}")
 
 
+# --------------------------------------------------------------------- #
+# version-2 batch frames
+# --------------------------------------------------------------------- #
+
+def encode_request_frame(requests: Sequence[QoSRequest]) -> bytes:
+    """Encode up to :data:`MAX_FRAME_MESSAGES` requests as one v2 frame.
+
+    Packs into a single preallocated buffer with ``pack_into`` — one
+    allocation for the whole datagram, no per-message fragments.
+    """
+    return encode_request_frame_parts(
+        [(r.request_id, r._validated_key_bytes(), r.cost) for r in requests])
+
+
+def encode_request_frame_parts(
+    parts: Sequence[tuple[int, bytes, float]],
+) -> bytes:
+    """Encode pre-validated ``(request_id, key_bytes, cost)`` triples.
+
+    The hot-path form of :func:`encode_request_frame`: callers that
+    already hold the encoded key bytes (the channel caches them per
+    in-flight exchange) skip re-encoding every key on every send and
+    retry.
+    """
+    count = len(parts)
+    if not (1 <= count <= MAX_FRAME_MESSAGES):
+        raise ProtocolError(
+            f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
+    size = _FRAME_HEADER.size + sum(
+        _ENTRY_REQ_HEAD.size + len(kb) + _REQ_COST.size for _, kb, _ in parts)
+    if size > MAX_DATAGRAM_BYTES:
+        raise ProtocolError(f"frame of {count} requests is {size} bytes, "
+                            f"over the {MAX_DATAGRAM_BYTES}-byte datagram limit")
+    buf = bytearray(size)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, _TYPE_REQUEST, count)
+    offset = _FRAME_HEADER.size
+    for request_id, key_bytes, cost in parts:
+        key_len = len(key_bytes)
+        _ENTRY_REQ_HEAD.pack_into(buf, offset, request_id, key_len)
+        offset += _ENTRY_REQ_HEAD.size
+        buf[offset:offset + key_len] = key_bytes
+        offset += key_len
+        _REQ_COST.pack_into(buf, offset, cost)
+        offset += _REQ_COST.size
+    return bytes(buf)
+
+
+def encode_response_frame(responses: Sequence[QoSResponse]) -> bytes:
+    """Encode up to :data:`MAX_FRAME_MESSAGES` responses as one v2 frame."""
+    count = len(responses)
+    if not (1 <= count <= MAX_FRAME_MESSAGES):
+        raise ProtocolError(
+            f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
+    buf = bytearray(_FRAME_HEADER.size + count * _ENTRY_RESP.size)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, _TYPE_RESPONSE, count)
+    offset = _FRAME_HEADER.size
+    for response in responses:
+        if not (0 <= response.request_id < 2**64):
+            raise ProtocolError(
+                f"request_id out of u64 range: {response.request_id}")
+        flags = FLAG_DEFAULT_REPLY if response.is_default_reply else 0
+        _ENTRY_RESP.pack_into(buf, offset, response.request_id,
+                              1 if response.allowed else 0, flags)
+        offset += _ENTRY_RESP.size
+    return bytes(buf)
+
+
+def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
+    """Decode a v2 batch frame into its message list.
+
+    Zero-copy: entries are unpacked from a ``memoryview`` with
+    ``unpack_from``; the only per-entry allocation is the decoded key
+    string itself.  Raises :class:`ProtocolError` on any malformation,
+    including a declared count that disagrees with the payload length.
+    """
+    view = memoryview(datagram)
+    total = len(view)
+    if total < _FRAME_HEADER.size:
+        raise ProtocolError(f"frame too short ({total} bytes)")
+    magic, version, mtype, count = _FRAME_HEADER.unpack_from(view)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04X}")
+    if version != VERSION2:
+        raise ProtocolError(f"not a v2 frame (version {version})")
+    if not (1 <= count <= MAX_FRAME_MESSAGES):
+        raise ProtocolError(f"frame count {count} out of range "
+                            f"1..{MAX_FRAME_MESSAGES}")
+    offset = _FRAME_HEADER.size
+    if mtype == _TYPE_REQUEST:
+        requests: list[QoSRequest] = []
+        for _ in range(count):
+            if offset + _ENTRY_REQ_HEAD.size > total:
+                raise ProtocolError("request frame truncated in entry header")
+            request_id, key_len = _ENTRY_REQ_HEAD.unpack_from(view, offset)
+            offset += _ENTRY_REQ_HEAD.size
+            if not (0 < key_len <= MAX_KEY_BYTES):
+                raise ProtocolError(f"bad key length {key_len}")
+            if offset + key_len + _REQ_COST.size > total:
+                raise ProtocolError("request frame truncated in entry body")
+            try:
+                key = str(view[offset:offset + key_len], "utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"key is not valid UTF-8: {exc}") from exc
+            offset += key_len
+            (cost,) = _REQ_COST.unpack_from(view, offset)
+            offset += _REQ_COST.size
+            if not (math.isfinite(cost) and cost > 0):
+                raise ProtocolError(f"cost must be finite and > 0, got {cost}")
+            requests.append(QoSRequest(request_id, key, cost))
+        if offset != total:
+            raise ProtocolError(
+                f"frame count {count} disagrees with payload: "
+                f"{total - offset} trailing bytes")
+        return requests
+    if mtype == _TYPE_RESPONSE:
+        if total != _FRAME_HEADER.size + count * _ENTRY_RESP.size:
+            raise ProtocolError(
+                f"response frame length {total} disagrees with count {count}")
+        responses: list[QoSResponse] = []
+        for _ in range(count):
+            request_id, verdict, flags = _ENTRY_RESP.unpack_from(view, offset)
+            offset += _ENTRY_RESP.size
+            if verdict not in (0, 1):
+                raise ProtocolError(f"bad verdict byte {verdict}")
+            responses.append(QoSResponse(
+                request_id, bool(verdict),
+                is_default_reply=bool(flags & FLAG_DEFAULT_REPLY)))
+        return responses
+    raise ProtocolError(f"unknown frame type {mtype}")
+
+
+def decode_any(datagram: bytes) -> "tuple[int, list]":
+    """Decode a datagram of either protocol version.
+
+    Returns ``(version, messages)`` — a one-element list for a v1
+    datagram, the full message list for a v2 frame.  The version lets a
+    server mirror the sender: v1 requests get v1 responses, v2 frames get
+    one v2 response frame.
+    """
+    if len(datagram) < 4:
+        raise ProtocolError(f"datagram too short ({len(datagram)} bytes)")
+    version = datagram[2]
+    if version == VERSION:
+        return VERSION, [decode(datagram)]
+    if version == VERSION2:
+        return VERSION2, decode_frame(datagram)
+    raise ProtocolError(f"unsupported protocol version {version}")
+
+
 class RequestIdGenerator:
     """Thread-safe monotonically increasing request ids.
 
     Each router node owns one generator; ids are node-local because a
     response only ever returns to the socket that sent the request.
+
+    ``next(itertools.count())`` is a single C-level call that never
+    releases the GIL mid-increment on CPython, so no lock is needed on
+    the id hot path.  On runtimes without that atomicity guarantee use
+    :class:`LockedRequestIdGenerator` instead.
     """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        return next(self._counter) % 2**64
+
+
+class LockedRequestIdGenerator:
+    __slots__ = ("_counter", "_lock")
 
     def __init__(self, start: int = 1):
         self._counter = itertools.count(start)

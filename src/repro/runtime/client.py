@@ -14,6 +14,10 @@ applications with three lines of code::
 ``fail_open`` controls what a *transport* failure (endpoint down) maps to;
 the QoS protocol's own default-reply mechanism is separate and handled by
 the router (§III-B).
+
+:meth:`QoSClient.check_many` amortizes the HTTP hop: N keys travel in one
+``POST /qos/batch`` exchange and the router fans them out over its
+multiplexed UDP channels in a single pass.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 from urllib.parse import quote, urlparse
 
 from repro.core.errors import CommunicationError
@@ -108,6 +112,63 @@ class QoSClient:
     def check(self, key: str, cost: float = 1.0) -> bool:
         """The paper's ``qos_check($key)``: TRUE admits, FALSE throttles."""
         return self.check_detailed(key, cost).allowed
+
+    def check_many_detailed(self, keys: Sequence[str],
+                            cost: float = 1.0) -> list[QoSCheckResult]:
+        """Many QoS checks in one ``POST /qos/batch`` round trip.
+
+        The router resolves the whole batch concurrently (items sharing a
+        backend share one wire frame), so N checks cost one HTTP exchange
+        instead of N.  Results come back in key order.  Against a router
+        that predates the batch endpoint (HTTP 404/405) this falls back
+        to per-key :meth:`check_detailed` calls.
+        """
+        if not keys:
+            return []
+        body = json.dumps(
+            {"items": [{"key": key, "cost": cost} for key in keys]}
+        ).encode()
+        t0 = time.monotonic()
+        for fresh in (False, True):
+            conn = self._connection()
+            try:
+                if fresh:
+                    conn.close()
+                conn.request("POST", "/qos/batch", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload_bytes = response.read()
+                if response.status in (404, 405):   # pre-batch router
+                    return [self.check_detailed(key, cost) for key in keys]
+                if response.status != 200:
+                    raise CommunicationError(
+                        f"endpoint returned HTTP {response.status}")
+                results = json.loads(payload_bytes)["results"]
+                if len(results) != len(keys):
+                    raise CommunicationError(
+                        f"batch answered {len(results)} of {len(keys)} items")
+                latency = time.monotonic() - t0
+                return [QoSCheckResult(
+                            allowed=bool(entry["allow"]),
+                            is_default_reply=bool(entry.get("default", False)),
+                            attempts=int(entry.get("attempts", 1)),
+                            latency=latency)
+                        for entry in results]
+            except (OSError, http.client.HTTPException, json.JSONDecodeError,
+                    KeyError, TypeError, ValueError):
+                self._local.conn = None
+                if fresh:
+                    break
+        self.transport_errors += 1
+        latency = time.monotonic() - t0
+        return [QoSCheckResult(allowed=self.fail_open, is_default_reply=True,
+                               attempts=0, latency=latency)
+                for _ in keys]
+
+    def check_many(self, keys: Sequence[str], cost: float = 1.0) -> list[bool]:
+        """Batch form of :meth:`check`: one verdict per key, in order."""
+        return [result.allowed
+                for result in self.check_many_detailed(keys, cost)]
 
     def close(self) -> None:
         conn = getattr(self._local, "conn", None)

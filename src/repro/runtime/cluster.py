@@ -112,6 +112,10 @@ class LocalCluster:
         """One-off convenience check (creates a throwaway client)."""
         return self.client().check(key, cost)
 
+    def qos_check_many(self, keys, cost: float = 1.0) -> list[bool]:
+        """One-off convenience batch check (one ``POST /qos/batch``)."""
+        return self.client().check_many(keys, cost)
+
     def total_decisions(self) -> int:
         return sum(s.controller.stats.decisions for s in self.qos_servers)
 

@@ -1,22 +1,36 @@
 """Real HTTP request router (paper §III-B, over actual sockets).
 
 A stateless threaded HTTP server.  ``GET /qos?key=<k>[&cost=<c>]`` selects
-the backend QoS server with ``CRC32(key) mod N`` and exchanges one UDP
-datagram with it under the configured timeout-and-retry policy, answering
+the backend QoS server with ``CRC32(key) mod N`` and exchanges UDP
+messages with it under the configured timeout-and-retry policy, answering
 the client with a small JSON body:
 
     {"allow": true, "default": false, "attempts": 1}
 
+``POST /qos/batch`` accepts ``{"items": [{"key": ..., "cost": ...}, ...]}``
+(or the ``{"keys": [...]}`` shorthand), resolves every item concurrently —
+items routed to the same backend share one protocol-v2 frame — and answers
+``{"results": [...]}`` in item order, so applications can amortize the
+HTTP hop across many QoS keys.
+
 ``GET /healthz`` answers 200 (load-balancer health checks).
 
-Each handler thread keeps a private UDP socket (``threading.local``), so
-concurrent requests never interleave datagrams on one socket; a stale
-response from an earlier retry is discarded by request-id matching.
+The wire path behind both endpoints is selected by
+``RouterConfig.wire_mode``:
+
+- ``"channel"`` (default) — one shared non-blocking UDP channel per
+  backend, driven by a selectors event thread that batches concurrent
+  requests into protocol-v2 frames and runs retries off a timer wheel
+  (:mod:`repro.runtime.udp_channel`);
+- ``"thread"`` — the seed path: each handler thread keeps a private
+  blocking UDP socket (``threading.local``) and exchanges one datagram
+  per check, with stale responses discarded by request-id matching.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -27,8 +41,12 @@ from repro.core.config import RouterConfig
 from repro.core.errors import ProtocolError
 from repro.core.hashing import crc32_router
 from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator, decode
+from repro.runtime.udp_channel import ChannelSet
 
 __all__ = ["RequestRouterDaemon"]
+
+#: Upper bound on items per ``POST /qos/batch`` request.
+MAX_BATCH_ITEMS = 1024
 
 
 class _HandlerCounters:
@@ -62,12 +80,18 @@ class RequestRouterDaemon:
         if not qos_servers:
             raise ValueError("router needs at least one QoS server address")
         self.qos_servers = list(qos_servers)
+        # With one backend the CRC32 partition is constant; skip hashing.
+        self._sole_backend = (tuple(self.qos_servers[0])
+                              if len(self.qos_servers) == 1 else None)
         self.config = config or RouterConfig(udp_timeout=0.05)
         self.name = name
         self._ids = RequestIdGenerator()
         self._local = threading.local()
         self._counter_blocks: list[_HandlerCounters] = []
         self._blocks_lock = threading.Lock()    # registration only, not per request
+        self._channels: Optional[ChannelSet] = None
+        if self.config.wire_mode == "channel":
+            self._channels = ChannelSet(self.qos_servers, self.config)
         router = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -109,7 +133,6 @@ class RequestRouterDaemon:
                 except ValueError:
                     self._reply(400, {"error": "bad cost"})
                     return
-                import math
                 if not (math.isfinite(cost) and cost > 0):
                     self._reply(400, {"error": "bad cost"})
                     return
@@ -119,6 +142,56 @@ class RequestRouterDaemon:
                     "default": response.is_default_reply,
                     "attempts": attempts,
                 })
+
+            def do_POST(self):                     # noqa: N802 (stdlib API)
+                if urlparse(self.path).path != "/qos/batch":
+                    self._reply(404, {"error": "not found"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    payload = json.loads(self.rfile.read(length))
+                except (ValueError, json.JSONDecodeError):
+                    self._reply(400, {"error": "bad JSON body"})
+                    return
+                items = self._batch_items(payload)
+                if items is None:
+                    self._reply(400, {"error": "bad batch: need items "
+                                      f"(1..{MAX_BATCH_ITEMS}) with "
+                                      "non-empty keys and finite costs > 0"})
+                    return
+                results = [
+                    {"allow": response.allowed,
+                     "default": response.is_default_reply,
+                     "attempts": attempts}
+                    for response, attempts in router.qos_exchange_many(items)
+                ]
+                self._reply(200, {"results": results})
+
+            @staticmethod
+            def _batch_items(payload) -> "Optional[list[tuple[str, float]]]":
+                """Validate a batch body into ``[(key, cost), ...]``."""
+                if not isinstance(payload, dict):
+                    return None
+                raw = payload.get("items")
+                if raw is None and isinstance(payload.get("keys"), list):
+                    raw = [{"key": k} for k in payload["keys"]]
+                if not isinstance(raw, list) or \
+                        not (1 <= len(raw) <= MAX_BATCH_ITEMS):
+                    return None
+                items: list[tuple[str, float]] = []
+                for entry in raw:
+                    if not isinstance(entry, dict):
+                        return None
+                    key = entry.get("key")
+                    try:
+                        cost = float(entry.get("cost", 1.0))
+                    except (TypeError, ValueError):
+                        return None
+                    if (not isinstance(key, str) or not key
+                            or not math.isfinite(cost) or cost <= 0):
+                        return None
+                    items.append((key, cost))
+                return items
 
             def _reply(self, status: int, body: dict) -> None:
                 payload = json.dumps(body).encode()
@@ -141,6 +214,8 @@ class RequestRouterDaemon:
 
     def start(self) -> "RequestRouterDaemon":
         if self._thread is None:
+            if self._channels is not None:
+                self._channels.start()
             self._thread = threading.Thread(
                 target=self._server.serve_forever, name=self.name, daemon=True)
             self._thread.start()
@@ -152,6 +227,8 @@ class RequestRouterDaemon:
             self._server.server_close()
             self._thread.join(timeout=2.0)
             self._thread = None
+            if self._channels is not None:
+                self._channels.stop()
 
     def __enter__(self) -> "RequestRouterDaemon":
         return self.start()
@@ -194,21 +271,67 @@ class RequestRouterDaemon:
 
     @property
     def retries(self) -> int:
-        return sum(b.retries for b in self._counter_blocks)
+        # Channel-mode retries happen on the event thread, not in any
+        # handler block.
+        channel_retries = (self._channels.stats.retries
+                           if self._channels is not None else 0)
+        return sum(b.retries for b in self._counter_blocks) + channel_retries
 
     def stats(self) -> dict:
         """Operational counters (served on ``GET /stats``)."""
-        return {
+        stats = {
             "name": self.name,
             "requests_handled": self.requests_handled,
             "default_replies": self.default_replies,
             "retries": self.retries,
             "backends": len(self.qos_servers),
+            "wire_mode": self.config.wire_mode,
         }
+        if self._channels is not None:
+            stats["channel"] = self._channels.stats.as_dict()
+        return stats
 
     def route(self, key: str) -> tuple[str, int]:
         """The paper's routing function (Fig. 2)."""
+        if self._sole_backend is not None:
+            return self._sole_backend
         return self.qos_servers[crc32_router(key, len(self.qos_servers))]
+
+    def qos_exchange(self, key: str, cost: float = 1.0) -> tuple[QoSResponse, int]:
+        """One admission check over the configured wire path."""
+        if self._channels is not None:
+            response, attempts = self._channels.exchange(
+                self.route(key), key, cost)
+            counters = self._counters()
+            counters.requests_handled += 1
+            if response.is_default_reply:
+                counters.default_replies += 1
+            return response, attempts
+        return self._qos_exchange_blocking(key, cost)
+
+    def qos_exchange_many(
+        self, items: Sequence[tuple[str, float]],
+    ) -> list[tuple[QoSResponse, int]]:
+        """Resolve many checks at once (the ``POST /qos/batch`` core).
+
+        In channel mode all items are submitted in one pass, so items
+        hashing to the same backend share a single v2 frame; in thread
+        mode they degrade to sequential single exchanges.
+        """
+        if self._channels is not None:
+            checks = [(self.route(key), key, cost) for key, cost in items]
+            results = self._channels.exchange_many(checks)
+            counters = self._counters()
+            counters.requests_handled += len(results)
+            counters.default_replies += sum(
+                1 for response, _ in results if response.is_default_reply)
+            return results
+        return [self._qos_exchange_blocking(key, cost)
+                for key, cost in items]
+
+    # ------------------------------------------------------------------ #
+    # seed wire path ("thread" mode): per-thread blocking sockets
+    # ------------------------------------------------------------------ #
 
     def _socket(self) -> socket.socket:
         sock = getattr(self._local, "sock", None)
@@ -217,7 +340,8 @@ class RequestRouterDaemon:
             self._local.sock = sock
         return sock
 
-    def qos_exchange(self, key: str, cost: float = 1.0) -> tuple[QoSResponse, int]:
+    def _qos_exchange_blocking(self, key: str,
+                               cost: float = 1.0) -> tuple[QoSResponse, int]:
         """The §III-B UDP loop; returns (response, attempts)."""
         request = QoSRequest(self._ids.next_id(), key, cost)
         datagram = request.encode()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Sequence
@@ -73,6 +74,37 @@ class GatewayLoadBalancerDaemon:
                             url, timeout=lb.backend_timeout) as upstream:
                         body = upstream.read()
                         status = upstream.status
+                except Exception:
+                    lb.backend_errors += 1
+                    body = json.dumps({"error": "bad gateway"}).encode()
+                    status = 502
+                finally:
+                    lb._release(index)
+                self._reply(status, body)
+
+            def do_POST(self):                     # noqa: N802 (stdlib API)
+                # Forward batch QoS checks (and any future POST surface)
+                # with the same extra-connection structure as GET.
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                except ValueError:
+                    length = 0
+                payload = self.rfile.read(length)
+                index = lb._pick()
+                request = urllib.request.Request(
+                    lb.backends[index] + self.path, data=payload,
+                    headers={"Content-Type":
+                             self.headers.get("Content-Type",
+                                              "application/json")},
+                    method="POST")
+                try:
+                    with urllib.request.urlopen(
+                            request, timeout=lb.backend_timeout) as upstream:
+                        body = upstream.read()
+                        status = upstream.status
+                except urllib.error.HTTPError as exc:
+                    body = exc.read()
+                    status = exc.code
                 except Exception:
                     lb.backend_errors += 1
                     body = json.dumps({"error": "bad gateway"}).encode()

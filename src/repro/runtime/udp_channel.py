@@ -1,0 +1,688 @@
+"""Multiplexed router↔QoS-server UDP channels (the wire path, rebuilt).
+
+The seed wire path is literal §III-B: every HTTP handler thread owns a
+private blocking UDP socket and spends one ``sendto`` + one ``recvfrom``
+(plus a timeout arm and a thread wakeup) per admission check, so router
+throughput is capped by per-datagram syscall cost rather than by admission
+work.  This module replaces it:
+
+- each backend gets **one shared non-blocking UDP socket** per router;
+- submitting threads append to the channel's send queue and flush it
+  inline — whatever is pending rides one protocol-v2 batch frame (up to
+  ``RouterConfig.batch_size`` messages), so concurrent submitters
+  coalesce naturally, classic group commit, with **no added latency when
+  idle** (a lone request is sent immediately by its own thread);
+- of the threads blocked on a channel, one holds the channel's
+  **recv-leader token**: it drains response frames straight off the
+  socket and matches responses to waiters by request id, so the common
+  case costs *zero* cross-thread handoffs — the same thread sends,
+  receives, and returns.  Followers sleep on per-request events; a
+  departing leader passes the token to one of them (a baton wake);
+- a single ``selectors``-based **event thread** owns the hashed
+  **timer wheel** and with it every timeout, retry, and default reply —
+  no per-call ``settimeout``, no blocked thread per in-flight datagram.
+  Send paths arm timers through a lock-free deque the event thread
+  drains each pass, so the hot path never touches the wheel itself.
+
+``RouterConfig.wire_protocol = 1`` keeps the channel multiplexed but
+emits seed-compatible single-message v1 datagrams for v1-only servers;
+responses of either version are accepted at all times.
+"""
+
+from __future__ import annotations
+
+import select as _select
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.core.config import RouterConfig
+from repro.core.errors import ProtocolError
+from repro.core.protocol import (
+    QoSRequest,
+    QoSResponse,
+    RequestIdGenerator,
+    decode_any,
+    encode_request_frame_parts,
+    FRAME_HEADER_BYTES,
+    FRAME_REQ_ENTRY_OVERHEAD,
+    MAX_DATAGRAM_BYTES,
+)
+
+__all__ = ["ChannelSet", "ChannelStats", "TimerWheel"]
+
+_RECV_BUFFER = 65535
+#: Event-loop sleep when no timers are armed (shutdown responsiveness and
+#: worst-case lateness of a timer armed while the loop was asleep).
+_IDLE_SELECT_TIMEOUT = 0.05
+#: How long a recv leader sits in one ``select`` before re-checking
+#: whether the event thread resolved its exchange (timeout path only;
+#: data wakes the leader immediately).
+_LEADER_SLICE = 0.02
+#: How long a follower sleeps before re-trying for the leader token.
+#: Normal completions and baton handoffs wake it instantly; the slice
+#: only bounds recovery from rare lost-baton races.
+_FOLLOWER_SLICE = 0.05
+#: Keep batched frames comfortably under the datagram ceiling even with
+#: adversarially long keys.
+_FRAME_BYTE_BUDGET = MAX_DATAGRAM_BYTES - 512
+
+
+class ChannelStats:
+    """Wire-path counters.  Each backend channel keeps its own instance,
+    mutated only under that channel's lock; :attr:`ChannelSet.stats`
+    aggregates them on read."""
+
+    __slots__ = ("frames_sent", "frames_received", "messages_sent",
+                 "responses_matched", "retries", "default_replies",
+                 "malformed_datagrams", "send_errors")
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.messages_sent = 0
+        self.responses_matched = 0
+        self.retries = 0
+        self.default_replies = 0
+        self.malformed_datagrams = 0
+        self.send_errors = 0
+
+    def add(self, other: "ChannelStats") -> "ChannelStats":
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class TimerWheel:
+    """Hashed timer wheel: O(1) schedule, expiry checked once per tick.
+
+    Entries are ``(deadline, item)`` pairs hashed into ``slots`` buckets
+    by deadline tick; :meth:`advance` sweeps only the buckets whose tick
+    has passed since the previous call.  Cancellation is lazy — callers
+    mark their item done and expired items are filtered on collection —
+    which keeps the wheel free of per-entry bookkeeping.
+    """
+
+    __slots__ = ("tick", "_n", "_buckets", "_cursor", "_live", "_is_dead")
+
+    def __init__(self, tick: float, slots: int = 512, is_dead=None):
+        if tick <= 0:
+            raise ValueError(f"tick must be > 0, got {tick}")
+        self.tick = tick
+        self._n = slots
+        self._buckets: list[list] = [[] for _ in range(slots)]
+        self._cursor: Optional[int] = None
+        self._live = 0
+        # Optional predicate over scheduled items: entries it reports
+        # dead are pruned by ``peek`` instead of counting toward the
+        # next-wake deadline, so lazily-cancelled timers never wake the
+        # owning thread early.
+        self._is_dead = is_dead
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(self, deadline: float, item) -> None:
+        # Bucket by the first tick *after* the deadline: the sweep visits
+        # tick t once now >= t*tick, so an entry in tick
+        # floor(deadline/tick) would be examined just before its deadline,
+        # survive the <= check, and then wait a full wheel revolution.
+        self._buckets[(int(deadline / self.tick) + 1) % self._n].append(
+            (deadline, item))
+        self._live += 1
+
+    def peek(self) -> Optional[float]:
+        """Earliest deadline still on the wheel, or ``None`` when empty.
+
+        Scans forward from the sweep cursor to the first bucket with a
+        live entry and returns that bucket's minimum live deadline —
+        exact as long as every entry lives within one revolution of
+        ``now`` (:class:`ChannelSet` sizes the wheel to guarantee that).
+        An entry scheduled further out can wrap into an earlier bucket
+        and make this an overestimate, so callers deriving a sleep from
+        it should still cap it defensively.  Entries the ``is_dead``
+        predicate rejects are pruned on the way — without this, a
+        steady stream of already-answered frames would keep presenting
+        imminent dead deadlines and force a wake every tick.
+        """
+        if not self._live:
+            return None
+        start = (self._cursor if self._cursor is not None
+                 else int(time.monotonic() / self.tick) - 1)
+        is_dead = self._is_dead
+        for offset in range(1, self._n + 1):
+            index = (start + offset) % self._n
+            bucket = self._buckets[index]
+            if not bucket:
+                continue
+            if is_dead is not None:
+                keep = [pair for pair in bucket if not is_dead(pair[1])]
+                if len(keep) != len(bucket):
+                    self._live -= len(bucket) - len(keep)
+                    self._buckets[index] = keep
+                bucket = keep
+                if not bucket:
+                    continue
+            return min(pair[0] for pair in bucket)
+        return None
+
+    def advance(self, now: float) -> list:
+        """Collect every item whose deadline is at or before ``now``."""
+        current = int(now / self.tick)
+        if self._cursor is None:
+            self._cursor = current - 1
+        if current <= self._cursor:
+            return []
+        first = max(self._cursor + 1, current - self._n + 1)
+        expired: list = []
+        for tick_index in range(first, current + 1):
+            bucket = self._buckets[tick_index % self._n]
+            if not bucket:
+                continue
+            keep = [pair for pair in bucket if pair[0] > now]
+            if len(keep) != len(bucket):
+                expired.extend(item for deadline, item in bucket
+                               if deadline <= now)
+                self._buckets[tick_index % self._n] = keep
+        self._cursor = current
+        self._live -= len(expired)
+        return expired
+
+
+class _CallGroup:
+    """Completion signal shared by every exchange of one submit call.
+
+    The common case never allocates an ``Event`` at all: the submitting
+    thread usually holds the recv-leader token and observes ``done``
+    flags directly.  Only a thread that must actually block as a
+    follower creates the event — and only that one thread ever waits on
+    it, so lazy creation is race-free as long as it re-checks ``done``
+    after publishing the event (dispatchers set ``done`` first, then set
+    the event if one is visible).
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event: Optional[threading.Event] = None
+
+    def notify(self) -> None:
+        event = self.event
+        if event is not None:
+            event.set()
+
+
+class _Exchange:
+    """One in-flight admission check: request plus its blocked waiter."""
+
+    __slots__ = ("request", "key_bytes", "size", "group", "response",
+                 "attempts", "done", "baton")
+
+    def __init__(self, request: QoSRequest, group: _CallGroup):
+        self.request = request
+        self.key_bytes = request._validated_key_bytes()
+        self.size = FRAME_REQ_ENTRY_OVERHEAD + len(self.key_bytes)
+        self.group = group
+        self.response: Optional[QoSResponse] = None
+        self.attempts = 0
+        self.done = False
+        self.baton = False
+
+
+class _BackendChannel:
+    """One shared socket plus send/in-flight state for one backend."""
+
+    __slots__ = ("address", "sock", "lock", "recv_token", "pending",
+                 "inflight", "stats")
+
+    def __init__(self, address: tuple[str, int]):
+        self.address = address
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setblocking(False)
+        # Connected UDP: cheaper send/recv and the kernel drops datagrams
+        # from other sources before they reach us.
+        self.sock.connect(address)
+        # ``lock`` guards pending/inflight/stats; ``recv_token`` elects
+        # the one thread currently allowed to recv on the socket.
+        self.lock = threading.Lock()
+        self.recv_token = threading.Lock()
+        self.pending: deque[_Exchange] = deque()
+        self.inflight: dict[int, _Exchange] = {}
+        self.stats = ChannelStats()
+
+
+def _timer_entry_dead(item) -> bool:
+    """True when a wheel entry no longer needs to fire.
+
+    ``item`` is ``(channel, batch)``: re-flush markers (``batch is
+    None``) always stay live; a frame's entry is dead once every
+    exchange in it has resolved.  ``done`` flips ``False → True``
+    exactly once, so the lock-free read can only misreport *live* —
+    which merely costs an extra wake, never a missed timeout.
+    """
+    batch = item[1]
+    return batch is not None and all(e.done for e in batch)
+
+
+class ChannelSet:
+    """All of one router's backend channels plus their event thread."""
+
+    def __init__(self, backends: Sequence[tuple[str, int]],
+                 config: Optional[RouterConfig] = None):
+        if not backends:
+            raise ValueError("channel set needs at least one backend")
+        self.config = config or RouterConfig(udp_timeout=0.05)
+        self._ids = RequestIdGenerator()
+        self._channels = {tuple(addr): _BackendChannel(tuple(addr))
+                          for addr in backends}
+        # The wheel belongs to the event thread.  Send paths arm timers
+        # by appending to this deque (append/popleft are atomic, so no
+        # lock rides the hot path); the event thread drains it each pass.
+        # Slots cover at least two udp_timeouts so no deadline ever wraps
+        # past one revolution — which makes ``TimerWheel.peek`` an exact
+        # earliest-deadline and lets the event thread sleep until then.
+        slots = max(512, int(2 * self.config.udp_timeout
+                             / self.config.timer_tick) + 2)
+        self._wheel = TimerWheel(self.config.timer_tick, slots=slots,
+                                 is_dead=_timer_entry_dead)
+        self._timer_inbox: deque[
+            tuple[float, _BackendChannel, Optional[list]]] = deque()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # A waiter only gives up after the event thread has necessarily
+        # resolved its exchange (worst-case retries + wheel slack); the
+        # synthesized default reply below it is a belt-and-braces fallback
+        # against an event-thread crash, not a normal code path.
+        self._wait_budget = (self.config.worst_case_wait
+                             + (self.config.max_retries + 2)
+                             * max(self.config.timer_tick,
+                                   _IDLE_SELECT_TIMEOUT) + 1.0)
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Aggregate of every backend channel's counters."""
+        total = ChannelStats()
+        for channel in self._channels.values():
+            total.add(channel.stats)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ChannelSet":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="udp-channel", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._wake()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._selector.close()
+        for channel in self._channels.values():
+            channel.sock.close()
+        self._wake_r.close()
+        self._wake_w.close()
+
+    # ------------------------------------------------------------------ #
+    # submission API (any thread)
+    # ------------------------------------------------------------------ #
+
+    def exchange(self, backend: tuple[str, int], key: str,
+                 cost: float = 1.0) -> tuple[QoSResponse, int]:
+        """One admission check; blocks until response or default reply.
+
+        Fast path of :meth:`exchange_many` for a single check — skips
+        the per-backend grouping so the lone-request latency (the idle
+        ``batch_size=1`` configuration) stays as close to the seed
+        blocking path as the multiplexed design allows.
+        """
+        if self._stop.is_set():
+            return self._dead_result()
+        channel = self._channels[tuple(backend)]
+        exchange = _Exchange(QoSRequest(self._ids.next_id(), key, cost),
+                             _CallGroup())
+        with channel.lock:
+            channel.pending.append(exchange)
+            self._flush_locked(channel)
+        return self._await(channel, exchange,
+                           time.monotonic() + self._wait_budget)
+
+    def exchange_many(
+        self, checks: Sequence[tuple[tuple[str, int], str, float]],
+    ) -> list[tuple[QoSResponse, int]]:
+        """Submit many checks at once and wait for all of them.
+
+        All checks sharing a backend enter that channel's send queue in
+        one pass and ride the same v2 frame — this is what
+        ``POST /qos/batch`` amortizes.
+        """
+        if self._stop.is_set():
+            return [self._dead_result() for _ in checks]
+        group = _CallGroup()
+        next_id = self._ids.next_id
+        exchanges: list[tuple[_BackendChannel, _Exchange]] = []
+        per_channel: dict[_BackendChannel, list[_Exchange]] = {}
+        for backend, key, cost in checks:
+            channel = self._channels[tuple(backend)]
+            exchange = _Exchange(QoSRequest(next_id(), key, cost), group)
+            exchanges.append((channel, exchange))
+            per_channel.setdefault(channel, []).append(exchange)
+        for channel, batch in per_channel.items():
+            with channel.lock:
+                channel.pending.extend(batch)
+                self._flush_locked(channel)
+        deadline = time.monotonic() + self._wait_budget
+        return [self._await(channel, exchange, deadline)
+                for channel, exchange in exchanges]
+
+    def _dead_result(self) -> tuple[QoSResponse, int]:
+        response = QoSResponse(self._ids.next_id(),
+                               self.config.default_reply,
+                               is_default_reply=True)
+        return response, self.config.max_retries
+
+    # ------------------------------------------------------------------ #
+    # waiting: recv leader + followers (any thread)
+    # ------------------------------------------------------------------ #
+
+    def _await(self, channel: _BackendChannel, exchange: _Exchange,
+               deadline: float) -> tuple[QoSResponse, int]:
+        group = exchange.group
+        while True:
+            if exchange.done:
+                return exchange.response, exchange.attempts
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self._give_up(channel, exchange)
+            if channel.recv_token.acquire(blocking=False):
+                try:
+                    self._lead(channel, exchange, deadline)
+                finally:
+                    channel.recv_token.release()
+                    self._pass_baton(channel)
+                continue
+            # Follower: publish the (lazily created) completion event,
+            # then re-check everything that may have raced the publish —
+            # a completion, a baton pass, or the token freeing up — and
+            # only then block.  Dispatchers set flags before notifying,
+            # so a wake can never be lost.
+            event = group.event
+            if event is None:
+                event = group.event = threading.Event()
+            event.clear()
+            if exchange.done:
+                return exchange.response, exchange.attempts
+            if exchange.baton or not channel.recv_token.locked():
+                exchange.baton = False
+                continue
+            event.wait(min(_FOLLOWER_SLICE, remaining))
+            exchange.baton = False
+            # Woken either because something in our group completed
+            # (checked at loop top) or to inherit the leader token
+            # (tried at loop top).
+
+    def _lead(self, channel: _BackendChannel, exchange: _Exchange,
+              deadline: float) -> None:
+        """Drain response frames until our own exchange resolves.
+
+        The leader dispatches *every* response it reads — its own plus
+        any follower's — so under load one thread turns each incoming
+        frame into a batch of event wakes.  Timeouts stay with the event
+        thread; the slice below only bounds how late we notice that it
+        resolved our exchange for us (dead-backend path).
+        """
+        sock = channel.sock
+        while not exchange.done:
+            wait = min(_LEADER_SLICE, deadline - time.monotonic())
+            if wait <= 0:
+                return
+            try:
+                ready, _, _ = _select.select([sock], [], [], wait)
+            except (OSError, ValueError):
+                return      # socket closed mid-shutdown
+            if ready:
+                self._drain(channel)
+
+    def _drain(self, channel: _BackendChannel) -> None:
+        """Read every queued datagram, then dispatch under one lock."""
+        datagrams: list[bytes] = []
+        sock = channel.sock
+        while True:
+            try:
+                datagrams.append(sock.recv(_RECV_BUFFER))
+            except BlockingIOError:
+                break
+            except ConnectionRefusedError:
+                continue    # queued ICMP from a dead backend; keep reading
+            except OSError:
+                break
+        if not datagrams:
+            return
+        with channel.lock:
+            stats = channel.stats
+            inflight = channel.inflight
+            for datagram in datagrams:
+                try:
+                    _, messages = decode_any(datagram)
+                except ProtocolError:
+                    stats.malformed_datagrams += 1
+                    continue
+                stats.frames_received += 1
+                for message in messages:
+                    if not isinstance(message, QoSResponse):
+                        stats.malformed_datagrams += 1
+                        continue
+                    exchange = inflight.pop(message.request_id, None)
+                    if exchange is None or exchange.done:
+                        continue    # stale response from a beaten retry
+                    exchange.response = message
+                    exchange.done = True
+                    stats.responses_matched += 1
+                    exchange.group.notify()
+
+    def _pass_baton(self, channel: _BackendChannel) -> None:
+        """Wake one unresolved waiter so the channel keeps a recv leader."""
+        with channel.lock:
+            for exchange in channel.inflight.values():
+                if not exchange.done and not exchange.baton:
+                    exchange.baton = True
+                    exchange.group.notify()
+                    return
+
+    def _give_up(self, channel: _BackendChannel,
+                 exchange: _Exchange) -> tuple[QoSResponse, int]:
+        with channel.lock:
+            if not exchange.done:
+                channel.inflight.pop(exchange.request.request_id, None)
+                exchange.response = QoSResponse(
+                    exchange.request.request_id, self.config.default_reply,
+                    is_default_reply=True)
+                exchange.attempts = max(exchange.attempts,
+                                        self.config.max_retries)
+                exchange.done = True
+                channel.stats.default_replies += 1
+        return exchange.response, exchange.attempts
+
+    # ------------------------------------------------------------------ #
+    # sending (caller must hold channel.lock)
+    # ------------------------------------------------------------------ #
+
+    def _flush_locked(self, channel: _BackendChannel) -> None:
+        """Send everything pending for one backend, batching per frame."""
+        pending = channel.pending
+        stats = channel.stats
+        inflight = channel.inflight
+        v2 = self.config.wire_protocol == 2
+        max_batch = self.config.batch_size if v2 else 1
+        while pending:
+            batch: list[_Exchange] = []
+            size = FRAME_HEADER_BYTES
+            while pending and len(batch) < max_batch:
+                exchange = pending[0]
+                if exchange.done:
+                    pending.popleft()
+                    continue
+                if batch and size + exchange.size > _FRAME_BYTE_BUDGET:
+                    break
+                pending.popleft()
+                batch.append(exchange)
+                size += exchange.size
+            if not batch:
+                return
+            if v2:
+                payload = encode_request_frame_parts(
+                    [(e.request.request_id, e.key_bytes, e.request.cost)
+                     for e in batch])
+            else:
+                payload = batch[0].request.encode()
+            try:
+                channel.sock.send(payload)
+            except BlockingIOError:
+                # Socket buffer full: requeue and let a timer re-flush.
+                # This marker's deadline is sooner than anything already
+                # armed, so kick the event thread out of its sleep.
+                self._timer_inbox.append(
+                    (time.monotonic() + self.config.timer_tick,
+                     channel, None))
+                pending.extendleft(reversed(batch))
+                self._wake()
+                return
+            except OSError:
+                # Backend unreachable (e.g. ECONNREFUSED on a connected
+                # UDP socket).  The attempt still counts: the timer wheel
+                # will retry and eventually issue the default reply,
+                # exactly like a lost datagram on the seed path.
+                stats.send_errors += 1
+            stats.frames_sent += 1
+            stats.messages_sent += len(batch)
+            for exchange in batch:
+                exchange.attempts += 1
+                if exchange.attempts > 1:
+                    stats.retries += 1
+                inflight[exchange.request.request_id] = exchange
+            # One wheel entry per frame, not per request: every exchange
+            # in the frame shares the send instant, hence the deadline.
+            self._timer_inbox.append(
+                (time.monotonic() + self.config.udp_timeout, channel, batch))
+
+    # ------------------------------------------------------------------ #
+    # event loop (single thread): timers, retries, default replies
+    # ------------------------------------------------------------------ #
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass        # a wakeup is already pending, or we are shutting down
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._selector.select(self._select_timeout()):
+                self._drain_wakeups()
+            self._arm_timers()
+            self._expire(time.monotonic())
+        self._fail_all_pending()
+
+    def _select_timeout(self) -> float:
+        """Sleep until the earliest armed deadline, not every tick.
+
+        Under steady traffic the wheel always holds one live entry per
+        in-flight frame, but those deadlines sit a full ``udp_timeout``
+        out — waking every ``timer_tick`` to look at them would steal
+        the GIL from the request path hundreds of times per second for
+        nothing, and on an idle service those stolen slices land
+        straight in the request-latency tail.  Urgent work never waits
+        on this sleep: senders kick the wakeup pipe when they arm a
+        sooner-than-armed deadline, and ``stop()`` does the same.  The
+        sleep is floored at ``timer_tick`` (never busy-spin on an
+        imminent deadline) and capped at 1 s as a belt-and-braces bound
+        should a deadline ever wrap past one wheel revolution.
+        """
+        deadline = self._wheel.peek()
+        if self._timer_inbox:
+            try:
+                head = self._timer_inbox[0][0]
+            except IndexError:      # raced a concurrent append/pop
+                head = None
+            if head is not None and (deadline is None or head < deadline):
+                deadline = head
+        if deadline is None:
+            return _IDLE_SELECT_TIMEOUT
+        return min(1.0, max(self.config.timer_tick,
+                            deadline - time.monotonic()))
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _arm_timers(self) -> None:
+        inbox = self._timer_inbox
+        schedule = self._wheel.schedule
+        while inbox:
+            deadline, channel, exchange = inbox.popleft()
+            schedule(deadline, (channel, exchange))
+
+    def _expire(self, now: float) -> None:
+        for channel, batch in self._wheel.advance(now):
+            with channel.lock:
+                if batch is None:               # deferred re-flush marker
+                    self._flush_locked(channel)
+                    continue
+                retry = False
+                for exchange in batch:
+                    if exchange.done:
+                        channel.inflight.pop(
+                            exchange.request.request_id, None)
+                    elif exchange.attempts >= self.config.max_retries:
+                        channel.inflight.pop(
+                            exchange.request.request_id, None)
+                        self._complete_default(channel, exchange)
+                    else:
+                        channel.pending.append(exchange)
+                        retry = True
+                if retry:
+                    self._flush_locked(channel)
+
+    def _complete_default(self, channel: _BackendChannel,
+                          exchange: _Exchange) -> None:
+        """Caller must hold ``channel.lock``."""
+        exchange.response = QoSResponse(
+            exchange.request.request_id, self.config.default_reply,
+            is_default_reply=True)
+        exchange.done = True
+        channel.stats.default_replies += 1
+        exchange.group.notify()
+
+    def _fail_all_pending(self) -> None:
+        """Unblock every waiter on shutdown with a default reply."""
+        for channel in self._channels.values():
+            with channel.lock:
+                leftovers = list(channel.pending)
+                leftovers.extend(channel.inflight.values())
+                channel.pending.clear()
+                channel.inflight.clear()
+                for exchange in leftovers:
+                    if not exchange.done:
+                        exchange.attempts = max(exchange.attempts,
+                                                self.config.max_retries)
+                        self._complete_default(channel, exchange)

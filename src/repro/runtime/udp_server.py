@@ -17,6 +17,14 @@ idle.  A worker decides the entire batch first and only then writes the
 responses out in one combining pass, which keeps the admission hot path
 free of syscalls between decisions.
 
+Both wire protocol versions are served on the same port, dispatched on
+the version byte: v1 single-message datagrams (the seed path) and
+protocol-v2 batch frames carrying up to ``MAX_FRAME_MESSAGES`` requests
+(sent by multiplexed router channels).  Responses mirror the request's
+version — every v2 request frame is answered with exactly one v2
+response frame, so the frame-level amortization survives the return
+path; v1 requests get v1 responses, keeping seed routers interoperable.
+
 Stray or malformed datagrams on the port are counted and dropped — a
 service exposed on UDP must tolerate garbage.
 """
@@ -34,14 +42,20 @@ from repro.core.bucket import RefillMode
 from repro.core.dedup import DedupCache
 from repro.core.config import ServerConfig
 from repro.core.errors import ProtocolError
-from repro.core.protocol import QoSRequest, QoSResponse, decode
+from repro.core.protocol import (
+    QoSRequest,
+    QoSResponse,
+    VERSION2,
+    decode_any,
+    encode_response_frame,
+)
 
 __all__ = ["QoSServerDaemon"]
 
 _STOP = object()
 
-#: Blocking-receive timeout; lets the listener notice shutdown.
-_RECV_TIMEOUT = 0.2
+#: Receive buffer size; must fit a maximal v2 frame.
+_RECV_BUFFER = 65535
 
 
 class QoSServerDaemon:
@@ -63,7 +77,7 @@ class QoSServerDaemon:
                        if self.config.dedup_window is not None else None)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
-        self._sock.settimeout(_RECV_TIMEOUT)
+        self._sock.settimeout(self.config.recv_timeout)
         self.address: tuple[str, int] = self._sock.getsockname()
         self._fifo: "queue.SimpleQueue" = queue.SimpleQueue()
         self._stop = threading.Event()
@@ -123,7 +137,7 @@ class QoSServerDaemon:
         max_batch = self.config.batch_size
         while not self._stop.is_set():
             try:
-                first = sock.recvfrom(8192)
+                first = sock.recvfrom(_RECV_BUFFER)
             except socket.timeout:
                 continue
             except OSError:
@@ -145,16 +159,19 @@ class QoSServerDaemon:
         try:
             while (len(batch) < max_batch
                    and select.select([sock], [], [], 0)[0]):
-                batch.append(sock.recvfrom(8192))
+                batch.append(sock.recvfrom(_RECV_BUFFER))
         except OSError:
             pass            # socket closed; deliver what we have
 
     def _worker(self) -> None:
         """Poll the FIFO, decide a whole batch, then reply via UDP.
 
-        Responses are write-combined: every decision in the batch is made
-        before the first ``sendto``, so the admission hot path never
-        alternates with socket syscalls.  Delivery stays fire-and-forget.
+        Responses are write-combined: every decision in the whole FIFO
+        item — across all of its datagrams and every request inside each
+        v2 frame — is made before the first ``sendto``, so the admission
+        hot path never alternates with socket syscalls.  Each v2 request
+        frame earns exactly one v2 response frame; v1 requests are
+        answered with v1 datagrams.  Delivery stays fire-and-forget.
         """
         check = self.controller.check
         dedup = self._dedup
@@ -163,34 +180,42 @@ class QoSServerDaemon:
             item = self._fifo.get()
             if item is _STOP:
                 return
-            out: list[tuple[bytes, tuple]] = []
+            out: list[tuple[bytes, tuple, int]] = []
             malformed = 0
             for data, addr in item:
                 try:
-                    message = decode(data)
+                    version, messages = decode_any(data)
                 except ProtocolError:
                     malformed += 1
                     continue
-                if not isinstance(message, QoSRequest):
-                    malformed += 1
+                responses: list[QoSResponse] = []
+                for message in messages:
+                    if not isinstance(message, QoSRequest):
+                        malformed += 1
+                        continue
+                    memoized = (dedup.lookup(addr, message.request_id)
+                                if dedup is not None else None)
+                    if memoized is not None:
+                        allowed = memoized
+                    else:
+                        allowed = check(message.key, message.cost)
+                        if dedup is not None:
+                            dedup.remember(addr, message.request_id, allowed)
+                    responses.append(QoSResponse(message.request_id, allowed))
+                if not responses:
                     continue
-                memoized = (dedup.lookup(addr, message.request_id)
-                            if dedup is not None else None)
-                if memoized is not None:
-                    allowed = memoized
+                if version == VERSION2:
+                    out.append((encode_response_frame(responses), addr,
+                                len(responses)))
                 else:
-                    allowed = check(message.key, message.cost)
-                    if dedup is not None:
-                        dedup.remember(addr, message.request_id, allowed)
-                out.append((QoSResponse(message.request_id, allowed).encode(),
-                            addr))
+                    out.append((responses[0].encode(), addr, 1))
             if malformed:
                 self.malformed_packets += malformed
             sent = 0
-            for payload, addr in out:
+            for payload, addr, n_responses in out:
                 try:
                     sock.sendto(payload, addr)
-                    sent += 1
+                    sent += n_responses
                 except OSError:
                     # "The worker thread does not care about whether the
                     # request router receives the response or not" (§III-C).

@@ -40,9 +40,20 @@ class TestRouterConfig:
         # Worst case of §III-B: 5 retries x 100 us = 500 us.
         assert config.worst_case_wait == pytest.approx(500e-6)
 
+    def test_wire_defaults(self):
+        config = RouterConfig()
+        assert config.wire_mode == "channel"
+        assert config.batch_size == 64
+        assert config.wire_protocol == 2
+        assert config.timer_tick == pytest.approx(0.005)
+
     @pytest.mark.parametrize("kwargs", [
         {"udp_timeout": 0.0},
         {"max_retries": 0},
+        {"wire_mode": "carrier-pigeon"},
+        {"batch_size": 0},
+        {"wire_protocol": 3},
+        {"timer_tick": 0.0},
     ])
     def test_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -56,6 +67,10 @@ class TestServerConfig:
     def test_invalid_workers(self):
         with pytest.raises(ConfigurationError):
             ServerConfig(workers=0)
+
+    def test_invalid_recv_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(recv_timeout=0.0)
 
     def test_invalid_replication_interval(self):
         with pytest.raises(ConfigurationError):

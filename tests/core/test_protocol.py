@@ -10,11 +10,20 @@ from hypothesis import strategies as st
 
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
+    MAX_FRAME_MESSAGES,
     MAX_KEY_BYTES,
+    VERSION,
+    VERSION2,
+    LockedRequestIdGenerator,
     QoSRequest,
     QoSResponse,
     RequestIdGenerator,
     decode,
+    decode_any,
+    decode_frame,
+    encode_request_frame,
+    encode_request_frame_parts,
+    encode_response_frame,
 )
 
 
@@ -160,3 +169,152 @@ class TestCostValidation:
         struct.pack_into("!d", data, len(data) - 8, float("nan"))
         with pytest.raises(ProtocolError):
             decode(bytes(data))
+
+
+class TestV2Frames:
+    """Protocol-v2 batch frames (§III-B wire path, PR 3)."""
+
+    def _requests(self, n):
+        return [QoSRequest(i + 1, f"tenant:{i}", 0.5 + i) for i in range(n)]
+
+    def test_request_frame_round_trip(self):
+        requests = self._requests(5)
+        frame = encode_request_frame(requests)
+        assert decode_frame(frame) == requests
+
+    def test_response_frame_round_trip(self):
+        responses = [QoSResponse(i + 1, i % 2 == 0, is_default_reply=(i == 3))
+                     for i in range(6)]
+        assert decode_frame(encode_response_frame(responses)) == responses
+
+    def test_single_message_frame(self):
+        requests = self._requests(1)
+        assert decode_frame(encode_request_frame(requests)) == requests
+
+    def test_decode_any_dispatches_on_version_byte(self):
+        req = QoSRequest(9, "k", 2.0)
+        version, messages = decode_any(req.encode())
+        assert (version, messages) == (VERSION, [req])
+        requests = self._requests(3)
+        version, messages = decode_any(encode_request_frame(requests))
+        assert (version, messages) == (VERSION2, requests)
+
+    def test_parts_form_matches_request_form(self):
+        requests = self._requests(4)
+        parts = [(r.request_id, r.key.encode(), r.cost) for r in requests]
+        assert encode_request_frame_parts(parts) == \
+            encode_request_frame(requests)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request_frame([])
+        with pytest.raises(ProtocolError):
+            encode_response_frame([])
+
+    def test_overfull_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request_frame(self._requests(MAX_FRAME_MESSAGES + 1))
+
+    def test_oversized_frame_rejected(self):
+        big = [QoSRequest(i, "x" * MAX_KEY_BYTES) for i in range(20)]
+        with pytest.raises(ProtocolError):
+            encode_request_frame(big)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_frame_round_trip_property(self, n):
+        requests = self._requests(n)
+        assert decode_frame(encode_request_frame(requests)) == requests
+
+
+class TestV2FrameMalformedInput:
+    """Truncated, inflated, and garbage v2 frames must only ever raise."""
+
+    def test_truncated_header(self):
+        frame = encode_request_frame([QoSRequest(1, "k")])
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:4])
+
+    def test_truncated_entry(self):
+        frame = encode_request_frame([QoSRequest(1, "key-one"),
+                                      QoSRequest(2, "key-two")])
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-5])
+
+    def test_count_disagrees_with_payload(self):
+        # Declared count says 3, payload carries 2: must raise, not
+        # return a short list.
+        frame = bytearray(encode_request_frame(
+            [QoSRequest(1, "a"), QoSRequest(2, "b")]))
+        struct.pack_into("!H", frame, 4, 3)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_count_smaller_than_payload(self):
+        frame = bytearray(encode_request_frame(
+            [QoSRequest(1, "a"), QoSRequest(2, "b")]))
+        struct.pack_into("!H", frame, 4, 1)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_zero_count_rejected(self):
+        frame = bytearray(encode_request_frame([QoSRequest(1, "a")]))
+        struct.pack_into("!H", frame, 4, 0)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_inflated_key_length(self):
+        frame = bytearray(encode_request_frame([QoSRequest(1, "ab")]))
+        struct.pack_into("!H", frame, 6 + 8, 60_000)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_bad_verdict_in_response_frame(self):
+        frame = bytearray(encode_response_frame([QoSResponse(1, True)]))
+        frame[6 + 8] = 9
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_v1_datagram_rejected_by_decode_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(QoSRequest(1, "k").encode())
+
+    def test_unsupported_version_rejected_by_decode_any(self):
+        frame = bytearray(encode_request_frame([QoSRequest(1, "k")]))
+        frame[2] = 7
+        with pytest.raises(ProtocolError):
+            decode_any(bytes(frame))
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, blob):
+        for decoder in (decode_frame, decode_any):
+            try:
+                decoder(blob)
+            except ProtocolError:
+                pass    # the only acceptable failure mode
+
+    @given(st.binary(max_size=100), st.integers(0, 99))
+    @settings(max_examples=200)
+    def test_flipped_frame_bytes_never_crash(self, junk, cut):
+        # Mutate a valid frame: truncate, extend, or both.
+        frame = encode_request_frame(
+            [QoSRequest(5, "tenant:a", 1.0), QoSRequest(6, "tenant:b", 2.0)])
+        mutated = frame[:cut % len(frame)] + junk
+        try:
+            decode_any(mutated)
+        except ProtocolError:
+            pass
+
+
+class TestLockedRequestIdGenerator:
+    def test_monotone_and_unique(self):
+        gen = LockedRequestIdGenerator()
+        ids = [gen.next_id() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+
+    def test_interchangeable_with_lock_free(self):
+        a, b = RequestIdGenerator(start=5), LockedRequestIdGenerator(start=5)
+        assert [a.next_id() for _ in range(10)] == \
+            [b.next_id() for _ in range(10)]

@@ -140,3 +140,129 @@ class TestPrometheusMetrics:
             line.split()[-1] for line in body.splitlines()
             if line.startswith("janus_router_requests_total")))
         assert value >= 1
+
+
+def post_json(url: str, body) -> tuple[int, dict]:
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+        method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestBatchEndpoint:
+    def test_batch_verdicts_in_order(self, stack):
+        router, _, _ = stack
+        status, payload = post_json(f"{router.url}/qos/batch", {
+            "items": [{"key": "alice"}, {"key": "empty"},
+                      {"key": "alice", "cost": 2.5}]})
+        assert status == 200
+        results = payload["results"]
+        assert [r["allow"] for r in results] == [True, False, True]
+        assert all(not r["default"] for r in results)
+
+    def test_keys_shorthand_body(self, stack):
+        router, _, _ = stack
+        status, payload = post_json(f"{router.url}/qos/batch",
+                                    {"keys": ["alice", "empty"]})
+        assert status == 200
+        assert [r["allow"] for r in payload["results"]] == [True, False]
+
+    def test_bad_json_is_400(self, stack):
+        router, _, _ = stack
+        status, _ = post_json(f"{router.url}/qos/batch", b"{not json")
+        assert status == 400
+
+    @pytest.mark.parametrize("body", [
+        {},                                       # no items
+        {"items": []},                            # empty
+        {"items": [{"key": ""}]},                 # empty key
+        {"items": [{"key": "a", "cost": -1}]},    # bad cost
+        {"items": [{"key": "a", "cost": "x"}]},   # non-numeric cost
+        {"items": "alice"},                       # wrong type
+        [1, 2, 3],                                # not an object
+    ])
+    def test_invalid_batch_bodies_are_400(self, stack, body):
+        router, _, _ = stack
+        status, _ = post_json(f"{router.url}/qos/batch", body)
+        assert status == 400
+
+    def test_post_to_other_path_is_404(self, stack):
+        router, _, _ = stack
+        status, _ = post_json(f"{router.url}/qos", {"items": [{"key": "a"}]})
+        assert status == 404
+
+
+class TestWireModes:
+    def _stack(self, wire_mode, n_servers=2):
+        source = InMemoryRuleSource({
+            "alice": QoSRule("alice", refill_rate=1000.0, capacity=10_000.0),
+            "empty": QoSRule("empty", refill_rate=0.0, capacity=0.0),
+        })
+        servers = [QoSServerDaemon(source, name=f"qos-{i}").start()
+                   for i in range(n_servers)]
+        router = RequestRouterDaemon(
+            [s.address for s in servers],
+            config=RouterConfig(udp_timeout=0.5, max_retries=3,
+                                wire_mode=wire_mode)).start()
+        return router, servers
+
+    def _teardown(self, router, servers):
+        router.stop()
+        for s in servers:
+            s.stop()
+
+    @pytest.mark.parametrize("wire_mode", ["thread", "channel"])
+    def test_get_and_batch_work_in_both_modes(self, wire_mode):
+        router, servers = self._stack(wire_mode)
+        try:
+            status, payload = get_json(f"{router.url}/qos?key=alice")
+            assert status == 200 and payload["allow"]
+            status, payload = post_json(f"{router.url}/qos/batch", {
+                "items": [{"key": "alice"}, {"key": "empty"}]})
+            assert status == 200
+            assert [r["allow"] for r in payload["results"]] == [True, False]
+        finally:
+            self._teardown(router, servers)
+
+    def test_stats_expose_wire_mode_and_channel_counters(self):
+        router, servers = self._stack("channel")
+        try:
+            get_json(f"{router.url}/qos?key=alice")
+            stats = router.stats()
+            assert stats["wire_mode"] == "channel"
+            assert stats["channel"]["messages_sent"] >= 1
+            assert stats["channel"]["responses_matched"] >= 1
+        finally:
+            self._teardown(router, servers)
+
+    def test_thread_mode_has_no_channel_stats(self):
+        router, servers = self._stack("thread")
+        try:
+            get_json(f"{router.url}/qos?key=alice")
+            stats = router.stats()
+            assert stats["wire_mode"] == "thread"
+            assert "channel" not in stats
+        finally:
+            self._teardown(router, servers)
+
+    def test_batch_spans_partitions(self):
+        # Keys routed to different backends still come back in order
+        # from one POST (the channel set fans out per backend).
+        router, servers = self._stack("channel", n_servers=3)
+        try:
+            source_keys = [f"tenant:{i}" for i in range(30)]
+            status, payload = post_json(f"{router.url}/qos/batch", {
+                "items": [{"key": k} for k in source_keys]})
+            assert status == 200
+            # Unknown keys are denied (not defaults): every backend
+            # actually answered.
+            results = payload["results"]
+            assert len(results) == 30
+            assert all(not r["allow"] and not r["default"] for r in results)
+        finally:
+            self._teardown(router, servers)

@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro.core.config import RouterConfig
 from repro.core.rules import QoSRule
 from repro.runtime.client import QoSClient
 from repro.runtime.cluster import LocalCluster
@@ -111,3 +112,90 @@ class TestClientResilience:
         from repro.core.errors import CommunicationError
         with pytest.raises(CommunicationError):
             QoSClient("ftp://example.com")
+
+
+class TestBatchAndInterop:
+    """The batch client surface and v1<->v2 wire interop (PR 3)."""
+
+    def test_check_many_through_lb(self, cluster):
+        verdicts = cluster.qos_check_many(["vip", "stranger", "vip"])
+        assert verdicts == [True, False, True]
+
+    def test_check_many_detailed_results_in_key_order(self, cluster):
+        results = cluster.client().check_many_detailed(
+            ["vip", "stranger", "vip", "stranger"])
+        assert [r.allowed for r in results] == [True, False, True, False]
+        assert all(not r.is_default_reply for r in results)
+
+    def test_check_many_empty(self, cluster):
+        assert cluster.client().check_many([]) == []
+
+    def test_check_many_falls_back_without_batch_endpoint(self):
+        # Against a pre-batch router (405 on POST /qos/batch) the client
+        # degrades to per-key GETs instead of failing the whole batch.
+        import http.server
+        import json as _json
+        import threading as _threading
+
+        class PreBatchRouter(http.server.BaseHTTPRequestHandler):
+            def _send(self, status, body):
+                payload = _json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):
+                allow = "key=vip" in self.path
+                self._send(200, {"allow": allow, "default": False,
+                                 "attempts": 1})
+
+            def do_POST(self):
+                self._send(405, {"error": "method not allowed"})
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                                PreBatchRouter)
+        _threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        try:
+            host, port = httpd.server_address
+            client = QoSClient(f"http://{host}:{port}")
+            assert client.check_many(["vip", "stranger", "vip"]) == \
+                [True, False, True]
+            assert client.transport_errors == 0
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_v1_thread_router_interoperates_with_v2_server(self):
+        # "v1 client against a v2 server": the seed thread-socket router
+        # speaks one v1 datagram per check to servers that also accept
+        # v2 frames on the same port.
+        with LocalCluster(
+                n_routers=1, n_qos_servers=2,
+                router_config=RouterConfig(udp_timeout=0.5, max_retries=3,
+                                           wire_mode="thread")) as c:
+            c.rules.put_rule(QoSRule("vip", refill_rate=1e4, capacity=1e5))
+            assert c.qos_check("vip")
+            assert c.qos_check_many(["vip", "stranger"]) == [True, False]
+
+    def test_v1_frames_from_channel_interoperate(self):
+        # "and vice versa": a multiplexed channel constrained to emit
+        # v1 datagrams (wire_protocol=1) against the same servers.
+        with LocalCluster(
+                n_routers=1, n_qos_servers=2,
+                router_config=RouterConfig(udp_timeout=0.5, max_retries=3,
+                                           wire_mode="channel",
+                                           wire_protocol=1)) as c:
+            c.rules.put_rule(QoSRule("vip", refill_rate=1e4, capacity=1e5))
+            assert c.qos_check_many(["vip", "stranger", "vip"]) == \
+                [True, False, True]
+
+    def test_stats_carry_channel_counters(self, cluster):
+        cluster.qos_check_many(["vip", "vip", "stranger"])
+        stats = cluster.stats()
+        assert all(r["wire_mode"] == "channel" for r in stats["routers"])
+        assert sum(r["channel"]["messages_sent"]
+                   for r in stats["routers"]) >= 3

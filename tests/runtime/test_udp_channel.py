@@ -1,0 +1,256 @@
+"""Tests for the multiplexed UDP channel (router side of the v2 wire path).
+
+Covers the :class:`~repro.runtime.udp_channel.TimerWheel` in isolation
+(including the full-revolution scheduling regression and live-deadline
+``peek``), then drives :class:`~repro.runtime.udp_channel.ChannelSet`
+against a real :class:`~repro.runtime.udp_server.QoSServerDaemon` on
+loopback: single exchanges, batched frames, concurrency, protocol-v1
+fallback, dead-backend retry/default-reply semantics, and shutdown.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import RouterConfig, ServerConfig
+from repro.core.rules import QoSRule
+from repro.runtime.udp_channel import ChannelSet, TimerWheel
+from repro.runtime.udp_server import QoSServerDaemon
+
+
+class TestTimerWheel:
+    def test_schedule_and_expire(self):
+        wheel = TimerWheel(tick=0.01)
+        wheel.schedule(100.0, "a")
+        wheel.schedule(100.005, "b")
+        wheel.schedule(100.5, "later")
+        assert len(wheel) == 3
+        assert wheel.advance(99.99) == []
+        expired = wheel.advance(100.02)
+        assert sorted(expired) == ["a", "b"]
+        assert wheel.advance(100.6) == ["later"]
+        assert len(wheel) == 0
+
+    def test_deadline_on_tick_boundary_not_delayed_a_revolution(self):
+        # Regression: an entry bucketed at floor(deadline/tick) used to be
+        # examined one sweep *before* its deadline, survive, and then wait
+        # a full wheel revolution.
+        tick, slots = 0.01, 64
+        wheel = TimerWheel(tick=tick, slots=slots)
+        deadline = 200.0           # exactly on a tick boundary
+        wheel.schedule(deadline, "edge")
+        now = deadline - tick / 2
+        assert wheel.advance(now) == []
+        # It must fire within a couple of ticks, not a revolution later.
+        assert wheel.advance(deadline + 2 * tick) == ["edge"]
+
+    def test_advance_is_incremental(self):
+        wheel = TimerWheel(tick=0.01)
+        wheel.schedule(50.0, "x")
+        assert wheel.advance(49.0) == []
+        assert wheel.advance(49.5) == []
+        assert wheel.advance(50.01) == ["x"]
+
+    def test_peek_returns_earliest(self):
+        wheel = TimerWheel(tick=0.01)
+        assert wheel.peek() is None
+        wheel.schedule(300.5, "late")
+        wheel.schedule(300.05, "early")
+        wheel.advance(300.0)       # position the cursor
+        assert wheel.peek() == pytest.approx(300.05)
+
+    def test_peek_prunes_dead_entries(self):
+        dead = {"corpse"}
+        wheel = TimerWheel(tick=0.01, is_dead=lambda item: item in dead)
+        wheel.advance(400.0)
+        wheel.schedule(400.05, "corpse")
+        wheel.schedule(400.5, "alive")
+        assert wheel.peek() == pytest.approx(400.5)
+        assert len(wheel) == 1     # the dead entry was pruned outright
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0.0)
+
+
+@pytest.fixture
+def rules():
+    return InMemoryRuleSource({
+        "alice": QoSRule("alice", refill_rate=1e6, capacity=1e9),
+        "empty": QoSRule("empty", refill_rate=0.0, capacity=0.0),
+    })
+
+
+@pytest.fixture
+def server(rules):
+    with QoSServerDaemon(rules, config=ServerConfig(workers=2)) as daemon:
+        yield daemon
+
+
+def make_channels(server, **overrides) -> ChannelSet:
+    defaults = dict(udp_timeout=0.5, max_retries=2, wire_mode="channel")
+    defaults.update(overrides)
+    return ChannelSet([server.address],
+                      config=RouterConfig(**defaults)).start()
+
+
+class TestExchange:
+    def test_single_exchange(self, server):
+        channels = make_channels(server)
+        try:
+            response, attempts = channels.exchange(server.address, "alice")
+            assert response.allowed
+            assert not response.is_default_reply
+            assert attempts == 1
+        finally:
+            channels.stop()
+
+    def test_deny_travels_back(self, server):
+        channels = make_channels(server)
+        try:
+            response, _ = channels.exchange(server.address, "empty")
+            assert not response.allowed
+            assert not response.is_default_reply
+        finally:
+            channels.stop()
+
+    def test_exchange_many_one_call(self, server):
+        channels = make_channels(server, batch_size=64)
+        try:
+            checks = [(server.address, "alice", 1.0) for _ in range(40)]
+            checks[7] = (server.address, "empty", 1.0)
+            results = channels.exchange_many(checks)
+            assert len(results) == 40
+            for i, (response, attempts) in enumerate(results):
+                assert response.allowed == (i != 7)
+                assert attempts == 1
+            stats = channels.stats
+            assert stats.messages_sent == 40
+            # Batching really happened: far fewer frames than messages.
+            assert stats.frames_sent < 40
+        finally:
+            channels.stop()
+
+    def test_exchange_many_empty(self, server):
+        channels = make_channels(server)
+        try:
+            assert channels.exchange_many([]) == []
+        finally:
+            channels.stop()
+
+    def test_concurrent_submitters(self, server):
+        channels = make_channels(server, batch_size=32)
+        errors: list = []
+        try:
+            def worker():
+                try:
+                    for _ in range(50):
+                        response, _ = channels.exchange(
+                            server.address, "alice")
+                        assert response.allowed
+                except Exception as exc:          # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert channels.stats.responses_matched == 400
+        finally:
+            channels.stop()
+
+    def test_v1_wire_protocol_mode(self, server):
+        # wire_protocol=1: the channel multiplexes but sends one v1
+        # datagram per request — interop with pre-v2 servers.
+        channels = make_channels(server, wire_protocol=1, batch_size=64)
+        try:
+            results = channels.exchange_many(
+                [(server.address, "alice", 1.0) for _ in range(10)])
+            assert all(r.allowed for r, _ in results)
+            stats = channels.stats
+            assert stats.frames_sent == stats.messages_sent == 10
+        finally:
+            channels.stop()
+
+    def test_needs_a_backend(self):
+        with pytest.raises(ValueError):
+            ChannelSet([], config=RouterConfig(udp_timeout=0.1))
+
+
+class TestFailureSemantics:
+    def _dead_address(self):
+        # Bind-then-close guarantees a port with no listener.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()
+        probe.close()
+        return address
+
+    def test_dead_backend_default_reply_after_retries(self):
+        address = self._dead_address()
+        config = RouterConfig(udp_timeout=0.05, max_retries=2,
+                              default_reply=True, wire_mode="channel")
+        channels = ChannelSet([address], config=config).start()
+        try:
+            t0 = time.monotonic()
+            response, attempts = channels.exchange(address, "alice")
+            elapsed = time.monotonic() - t0
+            assert response.is_default_reply
+            assert response.allowed          # fail-open default
+            # Seed parity: max_retries counts total send attempts, and
+            # the default reply arrives after roughly
+            # max_retries * udp_timeout — not instantly, and not after
+            # the whole wait budget.
+            assert attempts == config.max_retries
+            assert elapsed < 2.0
+            assert channels.stats.retries == config.max_retries - 1
+            assert channels.stats.default_replies == 1
+        finally:
+            channels.stop()
+
+    def test_default_reply_fail_closed(self):
+        address = self._dead_address()
+        config = RouterConfig(udp_timeout=0.05, max_retries=1,
+                              default_reply=False, wire_mode="channel")
+        channels = ChannelSet([address], config=config).start()
+        try:
+            response, _ = channels.exchange(address, "alice")
+            assert response.is_default_reply
+            assert not response.allowed
+        finally:
+            channels.stop()
+
+    def test_stop_unblocks_and_later_calls_get_defaults(self, server):
+        channels = make_channels(server)
+        channels.stop()
+        response, _ = channels.exchange(server.address, "alice")
+        assert response.is_default_reply
+
+    def test_stop_is_idempotent(self, server):
+        channels = make_channels(server)
+        channels.stop()
+        channels.stop()
+
+
+class TestStats:
+    def test_counters_coherent(self, server):
+        channels = make_channels(server, batch_size=16)
+        try:
+            channels.exchange_many(
+                [(server.address, "alice", 1.0) for _ in range(32)])
+            stats = channels.stats
+            assert stats.messages_sent == 32
+            assert stats.responses_matched == 32
+            assert stats.frames_received >= 1
+            assert stats.malformed_datagrams == 0
+            d = stats.as_dict()
+            assert d["messages_sent"] == 32
+        finally:
+            channels.stop()

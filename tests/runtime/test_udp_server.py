@@ -10,7 +10,15 @@ import pytest
 from repro.core.admission import InMemoryRuleSource
 from repro.core.bucket import RefillMode
 from repro.core.config import AdmissionConfig, ServerConfig
-from repro.core.protocol import QoSRequest, QoSResponse, decode
+from repro.core.protocol import (
+    VERSION,
+    VERSION2,
+    QoSRequest,
+    QoSResponse,
+    decode,
+    decode_any,
+    encode_request_frame,
+)
 from repro.core.rules import QoSRule
 from repro.runtime.udp_server import QoSServerDaemon
 
@@ -223,3 +231,99 @@ class TestDedupExtension:
                     sock.recvfrom(8192)
             bucket = daemon.controller.bucket_for("k")
             assert bucket.peek_credit() == pytest.approx(95.0)
+
+
+class TestV2WirePath:
+    """Protocol-v2 batch frames against a live server (PR 3)."""
+
+    def test_request_frame_answered_with_one_response_frame(self, server):
+        requests = [QoSRequest(100 + i, "alice") for i in range(10)]
+        requests[4] = QoSRequest(104, "empty")
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            sock.sendto(encode_request_frame(requests), server.address)
+            data, _ = sock.recvfrom(65535)
+        version, responses = decode_any(data)
+        assert version == VERSION2
+        assert len(responses) == 10
+        by_id = {r.request_id: r for r in responses}
+        assert set(by_id) == {r.request_id for r in requests}
+        for request in requests:
+            assert by_id[request.request_id].allowed == \
+                (request.key == "alice")
+
+    def test_version_mirroring(self, server):
+        # v1 datagram in -> v1 datagram out; v2 frame in -> v2 frame out.
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            sock.sendto(QoSRequest(1, "alice").encode(), server.address)
+            data, _ = sock.recvfrom(65535)
+            assert decode_any(data)[0] == VERSION
+            sock.sendto(encode_request_frame([QoSRequest(2, "alice")]),
+                        server.address)
+            data, _ = sock.recvfrom(65535)
+            assert decode_any(data)[0] == VERSION2
+
+    def test_malformed_v2_frames_counted_and_server_keeps_serving(
+            self, server):
+        import struct as _struct
+        good = encode_request_frame([QoSRequest(7, "alice"),
+                                     QoSRequest(8, "alice")])
+        lying_count = bytearray(good)
+        _struct.pack_into("!H", lying_count, 4, 9)   # count != payload
+        bad_frames = [
+            good[:9],                                # truncated mid-entry
+            bytes(lying_count),
+            good + b"trailing-garbage",
+            b"\x4a\x51\x02\x00\xff\xff" + b"\x00" * 40,  # absurd count
+            b"\x00\x00\x02\x00" + good[4:],          # bad magic, v2 byte
+        ]
+        before = server.malformed_packets
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            for frame in bad_frames:
+                sock.sendto(frame, server.address)
+            deadline = time.monotonic() + 2.0
+            while (server.malformed_packets - before < len(bad_frames)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert server.malformed_packets - before == len(bad_frames)
+            # The port still serves correct traffic afterwards.
+            sock.sendto(encode_request_frame([QoSRequest(11, "alice")]),
+                        server.address)
+            data, _ = sock.recvfrom(65535)
+        version, (response,) = decode_any(data)
+        assert version == VERSION2
+        assert response.request_id == 11 and response.allowed
+
+    def test_mixed_version_burst_all_answered(self, server):
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            sock.sendto(QoSRequest(21, "alice").encode(), server.address)
+            sock.sendto(encode_request_frame(
+                [QoSRequest(22, "alice"), QoSRequest(23, "empty")]),
+                server.address)
+            got: dict[int, bool] = {}
+            while len(got) < 3:
+                data, _ = sock.recvfrom(65535)
+                for response in decode_any(data)[1]:
+                    got[response.request_id] = response.allowed
+        assert got == {21: True, 22: True, 23: False}
+
+
+class TestRecvTimeout:
+    def test_recv_timeout_is_configurable(self):
+        source = InMemoryRuleSource({})
+        config = ServerConfig(workers=1, recv_timeout=0.05)
+        with QoSServerDaemon(source, config=config) as daemon:
+            t0 = time.monotonic()
+            daemon.stop()
+            # Shutdown lag is bounded by the configured receive timeout
+            # (plus thread-join slack), not by a hardwired constant.
+            assert time.monotonic() - t0 < 2.0
+
+    def test_recv_timeout_validated(self):
+        with pytest.raises(Exception):
+            ServerConfig(recv_timeout=0.0)
+        with pytest.raises(Exception):
+            ServerConfig(recv_timeout=-1.0)
