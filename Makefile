@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-hotpath bench-simkernel bench-wirepath experiments experiments-paper examples clean
+.PHONY: install test bench bench-hotpath bench-simkernel bench-wirepath bench-obs experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,12 @@ bench-simkernel:
 # BENCH_wirepath.json at the repo root.  WIREPATH_CHECKS scales duration.
 bench-wirepath:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_wirepath_regression.py -q -s -p no:cacheprovider
+
+# Observability-overhead regression gate: channel wire path traced at the
+# default head-sampling rate vs untraced (throughput + idle p99); writes
+# BENCH_obs.json at the repo root.  OBS_CHECKS scales duration.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_obs_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

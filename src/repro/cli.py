@@ -10,6 +10,9 @@ A small operational surface over the real-socket runtime:
   running deployment (exit code 0 admit / 1 deny);
 - ``janus loadtest --endpoint URL -n 2000 -c 8`` — ab-style load test;
 - ``janus stats --endpoint URL`` — dump a router's ``/stats``;
+- ``janus obs top|dump|trace`` — the observability plane: a metrics
+  snapshot from ``/metrics``, the flight-recorder ring from ``/flight``,
+  and one trace's span tree from ``/trace/<id>``;
 - ``janus experiments ...`` — alias for the reproduction runner.
 
 Installed as the ``janus-experiments`` (runner) and usable via
@@ -23,6 +26,7 @@ import json
 import signal
 import sys
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 from typing import Iterable, Optional
@@ -107,10 +111,19 @@ def _cmd_rules(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.config import RouterConfig
     from repro.runtime.cluster import LocalCluster
 
+    router_config = None
+    if args.trace_rate is not None:
+        if not 0.0 <= args.trace_rate <= 1.0:
+            print("error: --trace-rate must be in [0, 1]", file=sys.stderr)
+            return 2
+        router_config = RouterConfig(udp_timeout=0.05, max_retries=5,
+                                     trace_sample_rate=args.trace_rate)
     cluster = LocalCluster(n_routers=args.routers,
-                           n_qos_servers=args.qos_servers)
+                           n_qos_servers=args.qos_servers,
+                           router_config=router_config)
     for rule in load_rules_file(Path(args.rules)):
         cluster.rules.put_rule(rule)
     cluster.start()
@@ -179,6 +192,68 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     with urllib.request.urlopen(f"{args.endpoint}/stats", timeout=5.0) as r:
         print(json.dumps(json.loads(r.read()), indent=2))
+    return 0
+
+
+def _fetch(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.read()
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    endpoint = args.endpoint.rstrip("/")
+    if args.obs_action == "top":
+        health = json.loads(_fetch(f"{endpoint}/healthz"))
+        # A load balancer's /healthz is terser than a router's; print
+        # only the fields the endpoint actually reported.
+        fields = [("status", "status"), ("wire_mode", "wire_mode"),
+                  ("backends", "backends"),
+                  ("requests", "requests_handled")]
+        summary = " ".join(f"{label}={health[key]}"
+                           for label, key in fields if key in health)
+        print(f"{health.get('name', '?')}: {summary}")
+        channel = health.get("channel")
+        if channel:
+            print("channel:    "
+                  + " ".join(f"{k}={v}" for k, v in channel.items()))
+        samples = []
+        for line in _fetch(f"{endpoint}/metrics").decode().splitlines():
+            if line and not line.startswith("#"):
+                name_part, _, value = line.rpartition(" ")
+                # Histogram bucket series dominate line count but not
+                # insight; `top` keeps totals and drops the buckets.
+                if "_bucket{" not in name_part and "_bucket " not in name_part:
+                    samples.append((name_part, value))
+        width = max((len(name) for name, _ in samples), default=0)
+        for name, value in sorted(samples):
+            print(f"{name:<{width}}  {value}")
+        return 0
+    if args.obs_action == "dump":
+        flight = json.loads(_fetch(f"{endpoint}/flight"))
+        entries = flight.get("entries", [])
+        print(f"# flight recorder: {len(entries)} of "
+              f"{flight.get('recorded', 0)} recorded", file=sys.stderr)
+        for entry in entries:
+            print(json.dumps(entry, sort_keys=True))
+        return 0
+    # trace
+    try:
+        body = _fetch(f"{endpoint}/trace/{args.trace_id}")
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            print(f"unknown trace {args.trace_id}", file=sys.stderr)
+            return 1
+        raise
+    trace = json.loads(body)
+    spans = trace.get("spans", [])
+    print(f"trace {trace.get('trace_id')}: {len(spans)} spans")
+    base_ns = min((s["start_ns"] for s in spans), default=0)
+    for span in spans:
+        offset_us = (span["start_ns"] - base_ns) / 1e3
+        attrs = " ".join(f"{k}={v}" for k, v in span.get("attrs", {}).items())
+        print(f"  +{offset_us:>10.1f}us {span['layer']:<12} "
+              f"{span['name']:<18} {span['duration_us']:>10.1f}us"
+              + (f"  {attrs}" if attrs else ""))
     return 0
 
 
@@ -288,6 +363,44 @@ def _cmd_bench_wirepath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_obs(args: argparse.Namespace) -> int:
+    from repro.metrics.wirepath import (DEFAULT_SAMPLE_RATE, run_obs_ab,
+                                        write_report)
+
+    if args.checks < 1 or args.clients < 1 or args.repeats < 1:
+        print("error: --checks, --clients and --repeats must be >= 1",
+              file=sys.stderr)
+        return 2
+    trace_rate = (DEFAULT_SAMPLE_RATE if args.trace_rate is None
+                  else args.trace_rate)
+    if not 0.0 < trace_rate <= 1.0:
+        print("error: --trace-rate must be in (0, 1]", file=sys.stderr)
+        return 2
+    report = run_obs_ab(
+        trace_rate=trace_rate,
+        clients=args.clients,
+        checks_per_client=args.checks,
+        repeats=args.repeats)
+    header = f"{'arm':>10} {'surface':>8} {'rate':>8} " \
+             f"{'checks/s':>12} {'p50 ms':>8} {'p99 ms':>8}"
+    print(header)
+    print("-" * len(header))
+    for p in report.points:
+        arm = "traced" if p.trace_rate > 0 else "untraced"
+        print(f"{arm:>10} {p.surface:>8} {p.trace_rate:>8.4f} "
+              f"{p.checks_per_sec:>12,.0f} {p.p50_ms:>8.3f} "
+              f"{p.p99_ms:>8.3f}")
+    throughput = report.throughput_overhead()
+    if throughput is not None:
+        print(f"throughput overhead: {throughput * 100.0:+.1f}%")
+    idle = report.idle_p99_overhead()
+    if idle is not None:
+        print(f"idle p99 overhead: {idle * 100.0:+.1f}%")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rules", required=True)
     serve.add_argument("--routers", type=int, default=2)
     serve.add_argument("--qos-servers", type=int, default=2)
+    serve.add_argument("--trace-rate", type=float, default=None,
+                       help="router head-sampling rate for requests that "
+                            "arrive untraced (0..1; default off)")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help=argparse.SUPPRESS)       # test hook
     serve.set_defaults(func=_cmd_serve)
@@ -341,6 +457,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--endpoint", required=True,
                        help="a router URL (not the LB)")
     stats.set_defaults(func=_cmd_stats)
+
+    obs = sub.add_parser("obs", help="observability plane queries")
+    obs_sub = obs.add_subparsers(dest="obs_action", required=True)
+    obs_top = obs_sub.add_parser(
+        "top", help="health + non-bucket metric samples from /metrics")
+    obs_top.add_argument("--endpoint", required=True,
+                         help="a router URL (not the LB)")
+    obs_dump = obs_sub.add_parser(
+        "dump", help="flight-recorder ring from /flight, as JSON lines")
+    obs_dump.add_argument("--endpoint", required=True,
+                          help="a router URL (not the LB)")
+    obs_trace = obs_sub.add_parser(
+        "trace", help="span tree of one trace from /trace/<id>")
+    obs_trace.add_argument("trace_id", help="16-hex trace id")
+    obs_trace.add_argument("--endpoint", required=True,
+                           help="a router URL (not the LB)")
+    obs.set_defaults(func=_cmd_obs)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's evaluation")
@@ -395,6 +528,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_wire.add_argument("--repeats", type=int, default=2,
                             help="runs per point (best kept)")
     bench_wire.set_defaults(func=_cmd_bench_wirepath)
+
+    bench_obs = sub.add_parser(
+        "bench-obs",
+        help="traced vs untraced observability-overhead A/B benchmark")
+    bench_obs.add_argument("--out", default="BENCH_obs.json")
+    bench_obs.add_argument("--trace-rate", type=float,
+                           default=None,
+                           help="head-sampling rate of the traced arm "
+                                "(default: 1/64)")
+    bench_obs.add_argument("--clients", type=int, default=4,
+                           help="closed-loop client threads (wire surface)")
+    bench_obs.add_argument("--checks", type=int, default=2_000,
+                           help="admission checks per client thread")
+    bench_obs.add_argument("--repeats", type=int, default=2,
+                           help="runs per arm (best kept)")
+    bench_obs.set_defaults(func=_cmd_bench_obs)
     return parser
 
 
@@ -406,6 +555,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     except JanusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited; the Unix-polite
+        # response is silence, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Protocol
+from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol
 
 from repro.core.bucket import LeakyBucket, RefillMode
 from repro.core.clock import MONOTONIC, Clock
@@ -338,6 +338,36 @@ class AdmissionController:
         merged.rule_hits = max(
             0, merged.admitted + merged.denied - merged.rule_misses)
         return merged
+
+    def stats_snapshot(self) -> dict:
+        """The merged stats as a plain dict (metrics-export shape)."""
+        s = self.stats
+        return {
+            "admitted": s.admitted,
+            "denied": s.denied,
+            "rule_hits": s.rule_hits,
+            "rule_misses": s.rule_misses,
+            "unknown_keys": s.unknown_keys,
+            "syncs": s.syncs,
+            "checkpoints": s.checkpoints,
+        }
+
+    def stripe_snapshots(self) -> "list[Callable[[], dict]]":
+        """One live dict-snapshot callable per stats stripe.
+
+        Lets an exporter surface the *distribution* of decisions across
+        stripes (how even the shard hashing is, whether one stripe is
+        hot) without adding any bookkeeping to the decision path: the
+        callables read the stripe counters lazily at scrape time.
+        """
+        def make(stripe: _StatsStripe) -> "Callable[[], dict]":
+            return lambda: {
+                "admitted": stripe.admitted,
+                "denied": stripe.denied,
+                "rule_misses": stripe.rule_misses,
+                "unknown_keys": stripe.unknown_keys,
+            }
+        return [make(stripe) for stripe in self._stripes]
 
     # ------------------------------------------------------------------ #
     # housekeeping (driven by threads in the runtime, events in the sim)

@@ -103,6 +103,14 @@ class RouterConfig:
     #: next tick; ticks far below ``udp_timeout`` buy precision at the
     #: cost of more event-loop wakeups.
     timer_tick: float = 0.005
+    #: Head-based trace sampling rate for requests that arrive *without*
+    #: a trace id: 0 disables router-initiated tracing (requests already
+    #: traced by the client are always honoured), 1 traces everything,
+    #: and fractional rates trace deterministically 1-in-N (see
+    #: :class:`repro.obs.tracing.HeadSampler`).  The tracing-overhead
+    #: benchmark (``BENCH_obs.json``) gates the default-rate cost at
+    #: ≤ 5% throughput and idle-p99.
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.udp_timeout <= 0:
@@ -121,6 +129,10 @@ class RouterConfig:
         if self.timer_tick <= 0:
             raise ConfigurationError(
                 f"timer_tick must be > 0, got {self.timer_tick}")
+        if not (0.0 <= self.trace_sample_rate <= 1.0):
+            raise ConfigurationError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate}")
 
     @property
     def worst_case_wait(self) -> float:

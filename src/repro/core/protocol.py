@@ -30,9 +30,14 @@ throughput ceiling)::
     offset  size  field
     0       2     magic 0x4A51 ("JQ")
     2       1     version (2)
-    3       1     type (1=request frame, 2=response frame)
+    3       1     type byte: low 7 bits 1=request frame, 2=response frame;
+                  high bit 0x80 = TRACED flag (reserved by the
+                  observability plane — see below)
     4       2     count C (u16, 1 <= C <= MAX_FRAME_MESSAGES)
-    6       ...   C length-prefixed entries, packed back to back:
+    [6      8     trace id (u64, non-zero) — present iff the TRACED flag
+                  is set; identifies the distributed trace this frame's
+                  requests belong to]
+    6|14    ...   C length-prefixed entries, packed back to back:
                   request entry:  8  request id (u64)
                                   2  key length L (u16)
                                   L  key, UTF-8
@@ -48,6 +53,16 @@ unpacked straight out of a ``memoryview`` of the datagram with
 dispatch on the version byte (:func:`decode_any`), so v1 single-message
 datagrams and v2 frames coexist on one port: a server answers each request
 in the version it arrived with.
+
+The TRACED flag bit (0x80 of the type byte) lets a sampled request carry
+its 64-bit trace id across the router→server hop at a cost of 8 bytes per
+*frame* — only frames carrying a sampled request set it, so v1 peers and
+untraced-v2 frames are byte-identical to the pre-tracing protocol.  A
+receiver that understands the flag answers a traced request frame with a
+traced response frame (same trace id); the id is otherwise opaque.  A
+router speaking v1 to a legacy server simply drops the flag (v1 datagrams
+have no room for it), which degrades the trace to client/router spans
+without affecting the exchange.
 
 The request id lets a router discard a stale response that arrives after it
 has already retried: the paper's routers resend "the same request ... until
@@ -68,10 +83,12 @@ from repro.core.errors import ProtocolError
 
 __all__ = ["QoSRequest", "QoSResponse", "RequestIdGenerator",
            "LockedRequestIdGenerator", "decode", "decode_any",
-           "encode_request_frame", "encode_request_frame_parts",
-           "encode_response_frame", "decode_frame",
+           "decode_any_traced", "encode_request_frame",
+           "encode_request_frame_parts", "encode_response_frame",
+           "decode_frame", "decode_frame_traced",
            "MAX_KEY_BYTES", "MAX_FRAME_MESSAGES", "MAX_DATAGRAM_BYTES",
            "FRAME_HEADER_BYTES", "FRAME_REQ_ENTRY_OVERHEAD",
+           "FLAG_FRAME_TRACED", "TRACE_ID_BYTES",
            "MAGIC", "VERSION", "VERSION2"]
 
 MAGIC = 0x4A51
@@ -107,6 +124,15 @@ FRAME_HEADER_BYTES = _FRAME_HEADER.size
 FRAME_REQ_ENTRY_OVERHEAD = _ENTRY_REQ_HEAD.size + _REQ_COST.size
 
 FLAG_DEFAULT_REPLY = 0x01
+
+#: High bit of the v2 frame type byte: the frame header is followed by a
+#: non-zero u64 trace id (see the module docstring).  The low 7 bits stay
+#: the frame type, so untraced frames are byte-identical to pre-tracing
+#: encodings.
+FLAG_FRAME_TRACED = 0x80
+_TYPE_MASK = 0x7F
+_TRACE_ID = struct.Struct("!Q")
+TRACE_ID_BYTES = _TRACE_ID.size
 
 
 @dataclass(frozen=True, slots=True)
@@ -215,18 +241,22 @@ def decode(datagram: bytes) -> "QoSRequest | QoSResponse":
 # version-2 batch frames
 # --------------------------------------------------------------------- #
 
-def encode_request_frame(requests: Sequence[QoSRequest]) -> bytes:
+def encode_request_frame(requests: Sequence[QoSRequest],
+                         trace_id: int = 0) -> bytes:
     """Encode up to :data:`MAX_FRAME_MESSAGES` requests as one v2 frame.
 
     Packs into a single preallocated buffer with ``pack_into`` — one
-    allocation for the whole datagram, no per-message fragments.
+    allocation for the whole datagram, no per-message fragments.  A
+    non-zero ``trace_id`` sets the TRACED flag and prepends the id.
     """
     return encode_request_frame_parts(
-        [(r.request_id, r._validated_key_bytes(), r.cost) for r in requests])
+        [(r.request_id, r._validated_key_bytes(), r.cost) for r in requests],
+        trace_id=trace_id)
 
 
 def encode_request_frame_parts(
     parts: Sequence[tuple[int, bytes, float]],
+    trace_id: int = 0,
 ) -> bytes:
     """Encode pre-validated ``(request_id, key_bytes, cost)`` triples.
 
@@ -239,14 +269,22 @@ def encode_request_frame_parts(
     if not (1 <= count <= MAX_FRAME_MESSAGES):
         raise ProtocolError(
             f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
-    size = _FRAME_HEADER.size + sum(
-        _ENTRY_REQ_HEAD.size + len(kb) + _REQ_COST.size for _, kb, _ in parts)
+    if not (0 <= trace_id < 2**64):
+        raise ProtocolError(f"trace_id out of u64 range: {trace_id}")
+    traced = trace_id != 0
+    size = (_FRAME_HEADER.size + (TRACE_ID_BYTES if traced else 0)
+            + sum(_ENTRY_REQ_HEAD.size + len(kb) + _REQ_COST.size
+                  for _, kb, _ in parts))
     if size > MAX_DATAGRAM_BYTES:
         raise ProtocolError(f"frame of {count} requests is {size} bytes, "
                             f"over the {MAX_DATAGRAM_BYTES}-byte datagram limit")
     buf = bytearray(size)
-    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, _TYPE_REQUEST, count)
+    mtype = _TYPE_REQUEST | (FLAG_FRAME_TRACED if traced else 0)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, mtype, count)
     offset = _FRAME_HEADER.size
+    if traced:
+        _TRACE_ID.pack_into(buf, offset, trace_id)
+        offset += TRACE_ID_BYTES
     for request_id, key_bytes, cost in parts:
         key_len = len(key_bytes)
         _ENTRY_REQ_HEAD.pack_into(buf, offset, request_id, key_len)
@@ -258,15 +296,29 @@ def encode_request_frame_parts(
     return bytes(buf)
 
 
-def encode_response_frame(responses: Sequence[QoSResponse]) -> bytes:
-    """Encode up to :data:`MAX_FRAME_MESSAGES` responses as one v2 frame."""
+def encode_response_frame(responses: Sequence[QoSResponse],
+                          trace_id: int = 0) -> bytes:
+    """Encode up to :data:`MAX_FRAME_MESSAGES` responses as one v2 frame.
+
+    A non-zero ``trace_id`` echoes the request frame's trace id back
+    (servers mirror the TRACED flag so the propagation is observable on
+    both directions of the wire).
+    """
     count = len(responses)
     if not (1 <= count <= MAX_FRAME_MESSAGES):
         raise ProtocolError(
             f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
-    buf = bytearray(_FRAME_HEADER.size + count * _ENTRY_RESP.size)
-    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, _TYPE_RESPONSE, count)
+    if not (0 <= trace_id < 2**64):
+        raise ProtocolError(f"trace_id out of u64 range: {trace_id}")
+    traced = trace_id != 0
+    buf = bytearray(_FRAME_HEADER.size + (TRACE_ID_BYTES if traced else 0)
+                    + count * _ENTRY_RESP.size)
+    mtype = _TYPE_RESPONSE | (FLAG_FRAME_TRACED if traced else 0)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, mtype, count)
     offset = _FRAME_HEADER.size
+    if traced:
+        _TRACE_ID.pack_into(buf, offset, trace_id)
+        offset += TRACE_ID_BYTES
     for response in responses:
         if not (0 <= response.request_id < 2**64):
             raise ProtocolError(
@@ -279,12 +331,21 @@ def encode_response_frame(responses: Sequence[QoSResponse]) -> bytes:
 
 
 def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
-    """Decode a v2 batch frame into its message list.
+    """Decode a v2 batch frame into its message list (trace id dropped)."""
+    return decode_frame_traced(datagram)[1]
 
-    Zero-copy: entries are unpacked from a ``memoryview`` with
-    ``unpack_from``; the only per-entry allocation is the decoded key
-    string itself.  Raises :class:`ProtocolError` on any malformation,
-    including a declared count that disagrees with the payload length.
+
+def decode_frame_traced(
+    datagram: bytes,
+) -> "tuple[int, list[QoSRequest] | list[QoSResponse]]":
+    """Decode a v2 batch frame into ``(trace_id, messages)``.
+
+    ``trace_id`` is 0 for untraced frames.  Zero-copy: entries are
+    unpacked from a ``memoryview`` with ``unpack_from``; the only
+    per-entry allocation is the decoded key string itself.  Raises
+    :class:`ProtocolError` on any malformation, including a declared
+    count that disagrees with the payload length and a TRACED flag with
+    a missing or zero trace id.
     """
     view = memoryview(datagram)
     total = len(view)
@@ -298,7 +359,17 @@ def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
     if not (1 <= count <= MAX_FRAME_MESSAGES):
         raise ProtocolError(f"frame count {count} out of range "
                             f"1..{MAX_FRAME_MESSAGES}")
+    traced = bool(mtype & FLAG_FRAME_TRACED)
+    mtype &= _TYPE_MASK
     offset = _FRAME_HEADER.size
+    trace_id = 0
+    if traced:
+        if total < offset + TRACE_ID_BYTES:
+            raise ProtocolError("traced frame truncated before trace id")
+        (trace_id,) = _TRACE_ID.unpack_from(view, offset)
+        if trace_id == 0:
+            raise ProtocolError("traced frame carries a zero trace id")
+        offset += TRACE_ID_BYTES
     if mtype == _TYPE_REQUEST:
         requests: list[QoSRequest] = []
         for _ in range(count):
@@ -324,9 +395,9 @@ def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
             raise ProtocolError(
                 f"frame count {count} disagrees with payload: "
                 f"{total - offset} trailing bytes")
-        return requests
+        return trace_id, requests
     if mtype == _TYPE_RESPONSE:
-        if total != _FRAME_HEADER.size + count * _ENTRY_RESP.size:
+        if total != offset + count * _ENTRY_RESP.size:
             raise ProtocolError(
                 f"response frame length {total} disagrees with count {count}")
         responses: list[QoSResponse] = []
@@ -338,7 +409,7 @@ def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
             responses.append(QoSResponse(
                 request_id, bool(verdict),
                 is_default_reply=bool(flags & FLAG_DEFAULT_REPLY)))
-        return responses
+        return trace_id, responses
     raise ProtocolError(f"unknown frame type {mtype}")
 
 
@@ -350,13 +421,26 @@ def decode_any(datagram: bytes) -> "tuple[int, list]":
     server mirror the sender: v1 requests get v1 responses, v2 frames get
     one v2 response frame.
     """
+    version, _, messages = decode_any_traced(datagram)
+    return version, messages
+
+
+def decode_any_traced(datagram: bytes) -> "tuple[int, int, list]":
+    """Decode a datagram of either version into
+    ``(version, trace_id, messages)``.
+
+    ``trace_id`` is 0 for v1 datagrams (the v1 layout has no room for
+    it) and for untraced v2 frames.  Receivers that propagate traces use
+    this form; :func:`decode_any` keeps the pre-tracing surface.
+    """
     if len(datagram) < 4:
         raise ProtocolError(f"datagram too short ({len(datagram)} bytes)")
     version = datagram[2]
     if version == VERSION:
-        return VERSION, [decode(datagram)]
+        return VERSION, 0, [decode(datagram)]
     if version == VERSION2:
-        return VERSION2, decode_frame(datagram)
+        trace_id, messages = decode_frame_traced(datagram)
+        return VERSION2, trace_id, messages
     raise ProtocolError(f"unsupported protocol version {version}")
 
 

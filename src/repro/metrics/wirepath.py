@@ -31,6 +31,13 @@ so ambient noise lands on both modes equally
 ``benchmarks/test_wirepath_regression.py`` turns this into a regression
 gate and writes ``BENCH_wirepath.json``; ``make bench-wirepath`` and
 ``janus bench-wirepath`` run it from the command line.
+
+The same harness measures the observability plane's cost:
+:func:`run_obs_ab` A/Bs the channel wire path traced (head sampling at
+``trace_rate``, default 1-in-64) against untraced on both the
+throughput and idle-latency surfaces, which
+``benchmarks/test_obs_regression.py`` gates at ≤ 5% and writes to
+``BENCH_obs.json`` (``make bench-obs`` / ``janus bench-obs``).
 """
 
 from __future__ import annotations
@@ -47,16 +54,19 @@ from typing import Optional, Sequence
 from repro.core.admission import InMemoryRuleSource
 from repro.core.config import RouterConfig, ServerConfig
 from repro.core.rules import QoSRule
+from repro.obs.tracing import DEFAULT_SAMPLE_RATE
 from repro.runtime.client import QoSClient
 from repro.runtime.http_router import RequestRouterDaemon
 from repro.runtime.udp_server import QoSServerDaemon
 from repro.workload.keygen import uuid_keys
 
 __all__ = [
+    "ObsABReport",
     "WirepathPoint",
     "WirepathReport",
     "measure_idle_latency_pair",
     "measure_wirepath",
+    "run_obs_ab",
     "run_wirepath_matrix",
     "write_report",
 ]
@@ -88,6 +98,8 @@ class WirepathPoint:
     p99_ms: float
     default_replies: int
     retries: int
+    #: Router head-sampling rate active during the run (0 = untraced).
+    trace_rate: float = 0.0
 
 
 @dataclass(slots=True)
@@ -202,6 +214,7 @@ def measure_wirepath(
     seed: int = 88,
     warmup_per_client: int = 50,
     switch_interval: Optional[float] = 0.0005,
+    trace_sample_rate: float = 0.0,
 ) -> WirepathPoint:
     """Throughput and latency of ``clients`` closed-loop threads.
 
@@ -241,7 +254,8 @@ def measure_wirepath(
                                  batch_size=server_batch)
     router_config = RouterConfig(
         udp_timeout=_BENCH_UDP_TIMEOUT, max_retries=3,
-        wire_mode=mode, batch_size=batch_size)
+        wire_mode=mode, batch_size=batch_size,
+        trace_sample_rate=trace_sample_rate)
     with QoSServerDaemon(source, config=server_config,
                          name="wirepath-qos") as server:
         with RequestRouterDaemon([server.address], config=router_config,
@@ -347,6 +361,7 @@ def measure_wirepath(
         p99_ms=percentile(0.99),
         default_replies=sum(defaults),
         retries=retries,
+        trace_rate=trace_sample_rate,
     )
 
 
@@ -360,25 +375,35 @@ def measure_idle_latency_pair(
     seed: int = 88,
     warmup_per_client: int = 300,
     switch_interval: Optional[float] = 0.0005,
+    arms: Optional[Sequence[tuple[str, RouterConfig]]] = None,
 ) -> list[WirepathPoint]:
-    """Interleaved seed-vs-channel idle ``GET /qos`` latency (1 client).
+    """Interleaved idle ``GET /qos`` latency across router *arms*.
 
-    Boots ONE QoS server and BOTH routers (``wire_mode="thread"`` and
-    ``wire_mode="channel"`` with ``batch_size=1``), then alternates
-    blocks of ``block`` sequential requests between them until each mode
-    has ``checks_per_client`` samples.  Both modes thus see the same
-    ambient host noise, which at sub-millisecond p99s otherwise dwarfs
-    the difference being measured.  Returns the two ``surface="http"``
-    points; ``elapsed_s`` is the per-mode sum of request latencies.
+    Boots ONE QoS server and one router per arm, then alternates blocks
+    of ``block`` sequential requests between the arms until each has
+    ``checks_per_client`` samples.  All arms thus see the same ambient
+    host noise, which at sub-millisecond p99s otherwise dwarfs the
+    difference being measured.  The default arms are the seed-vs-channel
+    wire-mode pair (``wire_mode="thread"`` and ``wire_mode="channel"``
+    with ``batch_size=1``); :func:`run_obs_ab` passes a traced-vs-
+    untraced pair instead.  Returns one ``surface="http"`` point per
+    arm, labelled by the arm name; ``elapsed_s`` is the per-arm sum of
+    request latencies.
     """
     keys = uuid_keys(n_keys, seed=seed)
     source = InMemoryRuleSource(
         {k: QoSRule(k, refill_rate=_HOT_RULE_RATE,
                     capacity=_HOT_RULE_CAPACITY) for k in keys})
-    modes = ("thread", "channel")
-    latencies: dict[str, list[float]] = {m: [] for m in modes}
-    defaults = {m: 0 for m in modes}
-    retries = {m: 0 for m in modes}
+    if arms is None:
+        arms = [(m, RouterConfig(udp_timeout=_BENCH_UDP_TIMEOUT,
+                                 max_retries=3, wire_mode=m, batch_size=1))
+                for m in ("thread", "channel")]
+    labels = [label for label, _ in arms]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"arm labels must be unique, got {labels}")
+    latencies: dict[str, list[float]] = {m: [] for m in labels}
+    defaults = {m: 0 for m in labels}
+    retries = {m: 0 for m in labels}
     with QoSServerDaemon(source,
                          config=ServerConfig(workers=server_workers,
                                              batch_size=server_batch),
@@ -386,56 +411,56 @@ def measure_idle_latency_pair(
         routers: dict[str, RequestRouterDaemon] = {}
         clients: dict[str, QoSClient] = {}
         try:
-            for mode in modes:
-                routers[mode] = RequestRouterDaemon(
-                    [server.address],
-                    config=RouterConfig(udp_timeout=_BENCH_UDP_TIMEOUT,
-                                        max_retries=3, wire_mode=mode,
-                                        batch_size=1),
-                    name=f"wirepath-router-{mode}").start()
-                clients[mode] = QoSClient(routers[mode].url)
+            for label, router_config in arms:
+                routers[label] = RequestRouterDaemon(
+                    [server.address], config=router_config,
+                    name=f"wirepath-router-{label}").start()
+                clients[label] = QoSClient(routers[label].url)
             previous_interval = sys.getswitchinterval()
             if switch_interval is not None:
                 sys.setswitchinterval(switch_interval)
             try:
-                for mode in modes:
-                    check = clients[mode].check
+                for label in labels:
+                    check = clients[label].check
                     for i in range(warmup_per_client):
                         check(keys[i % n_keys])
                 blocks = -(-checks_per_client // block)  # ceil div
                 for b in range(blocks):
-                    for mode in modes:
-                        check_detailed = clients[mode].check_detailed
-                        record = latencies[mode].append
+                    for label in labels:
+                        check_detailed = clients[label].check_detailed
+                        record = latencies[label].append
                         for i in range(block):
                             key = keys[(b * block + i) % n_keys]
                             t0 = time.perf_counter()
                             result = check_detailed(key)
                             record(time.perf_counter() - t0)
                             if result.is_default_reply:
-                                defaults[mode] += 1
+                                defaults[label] += 1
             finally:
                 sys.setswitchinterval(previous_interval)
-            for mode in modes:
-                retries[mode] = routers[mode].retries
+            for label in labels:
+                retries[label] = routers[label].retries
         finally:
             for router in routers.values():
                 router.stop()
 
     points = []
-    for mode in modes:
-        flat = sorted(latencies[mode])
+    for label, router_config in arms:
+        flat = sorted(latencies[label])
         elapsed = sum(flat)
 
         def percentile(q: float) -> float:
             return flat[min(len(flat) - 1, int(q * (len(flat) - 1)))] * 1e3
 
         points.append(WirepathPoint(
-            mode=mode, surface="http", clients=1, batch_size=1,
+            mode=label, surface="http", clients=1,
+            batch_size=(router_config.batch_size
+                        if router_config.wire_mode == "channel" else 1),
             keys_per_call=1, checks=len(flat), elapsed_s=elapsed,
             checks_per_sec=len(flat) / elapsed if elapsed > 0 else 0.0,
             p50_ms=percentile(0.50), p99_ms=percentile(0.99),
-            default_replies=defaults[mode], retries=retries[mode]))
+            default_replies=defaults[label], retries=retries[label],
+            trace_rate=router_config.trace_sample_rate))
     return points
 
 
@@ -495,8 +520,133 @@ def run_wirepath_matrix(
     return report
 
 
-def write_report(path, report: WirepathReport) -> None:
-    """Serialize a report as JSON (the ``BENCH_wirepath.json`` artifact)."""
+@dataclass(slots=True)
+class ObsABReport:
+    """Traced-vs-untraced A/B of the channel wire path.
+
+    Quantifies what the observability plane costs when it is *on*:
+    head sampling at ``trace_rate`` plus the always-on striped counters
+    and histograms, versus the same wire path with sampling off.  Two
+    surfaces, mirroring :class:`WirepathReport`: closed-loop throughput
+    (``surface="wire"``) and interleaved idle ``GET /qos`` latency
+    (``surface="http"``).  Within each surface the untraced point is the
+    one with ``trace_rate == 0``.
+    """
+
+    trace_rate: float
+    points: list[WirepathPoint] = field(default_factory=list)
+    machine: dict = field(default_factory=dict)
+
+    def _pair(self, surface: str):
+        untraced = traced = None
+        for p in self.points:
+            if p.surface != surface:
+                continue
+            if p.trace_rate == 0.0:
+                untraced = p
+            else:
+                traced = p
+        return untraced, traced
+
+    def throughput_overhead(self) -> Optional[float]:
+        """Fractional throughput lost to tracing on the wire surface.
+
+        0.03 means the traced run moved 3% fewer checks/s than the
+        untraced run; negative values mean the traced run was faster
+        (i.e. the difference is inside host noise).
+        """
+        untraced, traced = self._pair("wire")
+        if untraced is None or traced is None or untraced.checks_per_sec <= 0:
+            return None
+        return 1.0 - traced.checks_per_sec / untraced.checks_per_sec
+
+    def idle_p99_overhead(self) -> Optional[float]:
+        """Fractional p99 idle-request-latency overhead of tracing."""
+        untraced, traced = self._pair("http")
+        if untraced is None or traced is None or untraced.p99_ms <= 0:
+            return None
+        return traced.p99_ms / untraced.p99_ms - 1.0
+
+    def as_dict(self) -> dict:
+        throughput = self.throughput_overhead()
+        idle = self.idle_p99_overhead()
+        return {
+            "machine": self.machine,
+            "trace_rate": self.trace_rate,
+            "points": [asdict(p) for p in self.points],
+            "throughput_overhead_pct": (round(throughput * 100.0, 2)
+                                        if throughput is not None else None),
+            "idle_p99_overhead_pct": (round(idle * 100.0, 2)
+                                      if idle is not None else None),
+        }
+
+
+def run_obs_ab(
+    *,
+    trace_rate: float = DEFAULT_SAMPLE_RATE,
+    clients: int = 4,
+    checks_per_client: int = 2_000,
+    batch_size: int = 64,
+    keys_per_call: int = 64,
+    include_idle_latency: bool = True,
+    repeats: int = 2,
+    n_keys: int = 256,
+    seed: int = 88,
+    switch_interval: Optional[float] = 0.0005,
+) -> ObsABReport:
+    """A/B the channel wire path with head sampling on vs off.
+
+    The throughput arm runs :func:`measure_wirepath` on the channel mode
+    at ``trace_sample_rate`` 0 and ``trace_rate`` (best of ``repeats``
+    each, same outlier policy as :func:`run_wirepath_matrix`).  The idle
+    arm reuses the interleaved :func:`measure_idle_latency_pair` harness
+    with a traced-vs-untraced router pair (both ``wire_mode="channel"``,
+    ``batch_size=1``) so ambient noise lands on both arms equally,
+    keeping the lowest-summed-p99 run of ``repeats``.
+    ``benchmarks/test_obs_regression.py`` gates both overheads at ≤ 5%
+    and writes the report to ``BENCH_obs.json``.
+    """
+    if not 0.0 < trace_rate <= 1.0:
+        raise ValueError(f"trace_rate must be in (0, 1], got {trace_rate}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    report = ObsABReport(trace_rate=trace_rate,
+                         machine=_machine_info(switch_interval))
+    for rate in (0.0, trace_rate):
+        best = max(
+            (measure_wirepath(
+                mode="channel", clients=clients,
+                checks_per_client=checks_per_client,
+                batch_size=batch_size, keys_per_call=keys_per_call,
+                n_keys=n_keys, seed=seed, switch_interval=switch_interval,
+                trace_sample_rate=rate)
+             for _ in range(repeats)),
+            key=lambda p: p.checks_per_sec)
+        report.points.append(best)
+    if include_idle_latency:
+        def _arm(label: str, rate: float) -> tuple[str, RouterConfig]:
+            return (label, RouterConfig(
+                udp_timeout=_BENCH_UDP_TIMEOUT, max_retries=3,
+                wire_mode="channel", batch_size=1,
+                trace_sample_rate=rate))
+        arms = [_arm("untraced", 0.0), _arm("traced", trace_rate)]
+        best_pair = min(
+            (measure_idle_latency_pair(
+                checks_per_client=max(checks_per_client, 1),
+                n_keys=n_keys, seed=seed, switch_interval=switch_interval,
+                arms=arms)
+             for _ in range(repeats)),
+            key=lambda pair: sum(p.p99_ms for p in pair))
+        report.points.extend(best_pair)
+    return report
+
+
+def write_report(path, report) -> None:
+    """Serialize a report as JSON (the ``BENCH_*.json`` artifacts).
+
+    Accepts anything with an ``as_dict()`` —
+    :class:`WirepathReport` and :class:`ObsABReport`.
+    """
     with open(path, "w") as fh:
         json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,56 @@
+"""``repro.obs`` — the always-on observability plane.
+
+Four pieces, designed to cost near-nothing on the unobserved path:
+
+- **metrics** (:mod:`repro.obs.metrics`) — thread-striped counters,
+  callback gauges, power-of-two histograms, and the
+  :class:`MetricsRegistry` that renders them all as one Prometheus text
+  exposition (served on each router's ``GET /metrics``);
+- **tracing** (:mod:`repro.obs.tracing`) — 64-bit trace ids propagated
+  client → router → UDP channel → QoS server (protocol-v2 trace flag),
+  head-sampled so the default 1-in-64 rate adds ≤ 5% overhead
+  (``BENCH_obs.json`` gates this), collected in a process-wide
+  :class:`TraceBuffer` served on ``GET /trace/<id>``;
+- **flight recorder** (:mod:`repro.obs.recorder`) — a ring of the last K
+  completed spans and notable events (default replies, drops), dumpable
+  via ``GET /flight``, ``janus obs dump``, or SIGUSR1;
+- **export** — the registry renderer plus the ``janus obs top|dump|trace``
+  CLI.
+
+See the "Observability" section of ``docs/OPERATIONS.md`` for the knobs
+and scrape workflow, and ``docs/PROTOCOL.md`` for the wire-level trace
+flag.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    register_snapshot_gauges,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    global_flight_recorder,
+    install_dump_signal,
+)
+from repro.obs.tracing import (
+    DEFAULT_SAMPLE_RATE,
+    HeadSampler,
+    Span,
+    TraceBuffer,
+    Tracer,
+    default_tracer,
+    format_trace_id,
+    global_trace_buffer,
+    parse_trace_id,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "register_snapshot_gauges",
+    "FlightRecorder", "global_flight_recorder", "install_dump_signal",
+    "DEFAULT_SAMPLE_RATE", "HeadSampler", "Span", "TraceBuffer", "Tracer",
+    "default_tracer", "format_trace_id", "global_trace_buffer",
+    "parse_trace_id",
+]

@@ -1,0 +1,403 @@
+"""Metrics core: striped counters, power-of-two histograms, one registry.
+
+The observability plane's recording primitives are designed for the same
+hot paths PR 1–3 optimized, so they must never add a lock acquisition to
+a request:
+
+- :class:`Counter` — thread-striped: each recording thread owns a private
+  cell (registered once, under a lock, on the thread's first increment)
+  and bumps it with a plain ``+=``; readers sum the cells lazily.  This
+  generalizes the router's old ad-hoc ``_HandlerCounters`` blocks.
+- :class:`Gauge` — a last-write-wins float, or a callback evaluated at
+  scrape time (the right shape for queue depths and table sizes, which
+  are cheaper to *read* on demand than to track on every mutation).
+- :class:`Histogram` — fixed power-of-two buckets over non-negative
+  integer values (HdrHistogram's coarsest configuration): the record
+  path is ``value.bit_length()`` into a per-thread list of 65 ints, no
+  lock, no allocation, no floating point.  Latencies are recorded in
+  integer nanoseconds and exported in seconds via ``scale``.
+- :class:`MetricsRegistry` — owns every instrument of one process (or
+  daemon), dedupes metric families by name, and renders the whole set in
+  the Prometheus text exposition format (``text/plain; version=0.0.4``)
+  with correct ``# HELP``/``# TYPE`` lines and label escaping.
+
+Counters and gauges may wrap a ``fn`` callback instead of accumulating,
+which is how pre-existing counter blocks (channel stats, admission
+stripes) are exported without being rewritten or double-counted.
+
+All instruments are also constructible bare (no registry) for hot-path
+blocks that are exported through a callback elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "register_snapshot_gauges", "escape_label_value", "escape_help"]
+
+#: Histogram buckets: bucket ``i`` counts values whose ``bit_length()`` is
+#: ``i``, i.e. bucket 0 holds exactly 0 and bucket i>=1 holds
+#: ``[2**(i-1), 2**i - 1]``; one extra overflow bucket tops the range.
+_N_BUCKETS = 64
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_suffix(labels: "tuple[tuple[str, str], ...]",
+                  extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(str(v))}"'
+                     for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Cell:
+    """One thread's private counter cell."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
+class Counter:
+    """Monotonic counter with a lock-free, thread-striped record path.
+
+    ``inc`` touches only the calling thread's private cell (plain ``+=``
+    on an int slot, safe because no other thread ever writes that cell);
+    the cell list is guarded by a lock taken once per thread, at
+    registration.  A ``fn`` counter instead proxies a callable at read
+    time and rejects ``inc`` — used to export counters that already
+    exist elsewhere.
+    """
+
+    __slots__ = ("name", "labels", "_fn", "_local", "_cells", "_cells_lock")
+
+    def __init__(self, name: str = "", *,
+                 fn: Optional[Callable[[], float]] = None,
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        self.name = name
+        self.labels = labels
+        self._fn = fn
+        self._local = threading.local()
+        self._cells: list[_Cell] = []
+        self._cells_lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"counter {self.name!r} is callback-backed; cannot inc()")
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = _Cell()
+            with self._cells_lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        cell.n += n
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return sum(cell.n for cell in self._cells)
+
+    def render(self, family_name: str) -> Iterable[str]:
+        yield f"{family_name}{_label_suffix(self.labels)} {_num(self.value)}"
+
+
+class Gauge:
+    """A point-in-time value: set directly or computed by ``fn`` at read.
+
+    ``set``/``inc_by`` are last-write-wins without a lock — gauges are
+    either single-writer or scrape-time callbacks here, and a torn read
+    of a float under the GIL is not possible.
+    """
+
+    __slots__ = ("name", "labels", "_fn", "_value")
+
+    def __init__(self, name: str = "", *,
+                 fn: Optional[Callable[[], float]] = None,
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        self.name = name
+        self.labels = labels
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is callback-backed; cannot set()")
+        self._value = value
+
+    def inc_by(self, delta: float) -> None:
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is callback-backed; cannot inc_by()")
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def render(self, family_name: str) -> Iterable[str]:
+        yield f"{family_name}{_label_suffix(self.labels)} {_num(self.value)}"
+
+
+class _HistCell:
+    """One thread's private histogram stripe."""
+
+    __slots__ = ("counts", "n", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_N_BUCKETS + 1)
+        self.n = 0
+        self.total = 0
+
+
+class Histogram:
+    """Fixed power-of-two bucket histogram with a lock-free record path.
+
+    Values must be non-negative numbers; they are truncated to int and
+    bucketed by ``bit_length()`` — bucket upper bounds are ``2**i - 1``
+    in recorded units.  ``scale`` converts recorded units to the exported
+    unit (e.g. ``1e-9`` for nanoseconds recorded, seconds exported).
+    The whole record path is: one ``try/except``-free attribute load, an
+    int truncation, a ``bit_length`` and two list-slot increments in the
+    calling thread's private stripe.
+    """
+
+    __slots__ = ("name", "labels", "scale", "_local", "_cells",
+                 "_cells_lock")
+
+    def __init__(self, name: str = "", *, scale: float = 1.0,
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+        self.name = name
+        self.labels = labels
+        self.scale = scale
+        self._local = threading.local()
+        self._cells: list[_HistCell] = []
+        self._cells_lock = threading.Lock()
+
+    def _cell(self) -> _HistCell:
+        try:
+            return self._local.cell
+        except AttributeError:
+            cell = _HistCell()
+            with self._cells_lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+            return cell
+
+    def record(self, value) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        cell = self._cell()
+        index = v.bit_length()
+        if index > _N_BUCKETS:
+            index = _N_BUCKETS
+        cell.counts[index] += 1
+        cell.n += 1
+        cell.total += v
+
+    def snapshot(self) -> "tuple[list[int], int, int]":
+        """Merged ``(bucket_counts, count, sum)`` across every stripe."""
+        counts = [0] * (_N_BUCKETS + 1)
+        n = 0
+        total = 0
+        for cell in self._cells:
+            n += cell.n
+            total += cell.total
+            cell_counts = cell.counts
+            for i in range(_N_BUCKETS + 1):
+                counts[i] += cell_counts[i]
+        return counts, n, total
+
+    @property
+    def count(self) -> int:
+        return sum(cell.n for cell in self._cells)
+
+    @property
+    def sum(self) -> float:
+        return sum(cell.total for cell in self._cells) * self.scale
+
+    def percentile(self, pct: float) -> float:
+        """Bucket-resolution quantile estimate, in exported units."""
+        counts, n, _ = self.snapshot()
+        if n == 0:
+            return 0.0
+        target = max(1, int(n * pct / 100.0 + 0.5))
+        cumulative = 0
+        for i, c in enumerate(counts):
+            cumulative += c
+            if cumulative >= target:
+                if i == 0:
+                    return 0.0
+                # geometric midpoint of [2**(i-1), 2**i)
+                return (2.0 ** (i - 0.5)) * self.scale
+        return (2.0 ** _N_BUCKETS) * self.scale
+
+    def render(self, family_name: str) -> Iterable[str]:
+        counts, n, total = self.snapshot()
+        cumulative = 0
+        emitted = 0
+        for i, c in enumerate(counts):
+            cumulative += c
+            if c == 0 and 0 < i < _N_BUCKETS:
+                continue        # keep the exposition compact: first bucket,
+                                # non-empty buckets, and +Inf always appear
+            bound = 0.0 if i == 0 else (2.0 ** i - 1.0) * self.scale
+            yield (f"{family_name}_bucket"
+                   f"{_label_suffix(self.labels, (('le', _num(bound)),))}"
+                   f" {cumulative}")
+            emitted += 1
+        yield (f"{family_name}_bucket"
+               f"{_label_suffix(self.labels, (('le', '+Inf'),))} {n}")
+        yield (f"{family_name}_sum{_label_suffix(self.labels)}"
+               f" {_num(total * self.scale)}")
+        yield f"{family_name}_count{_label_suffix(self.labels)} {n}"
+
+
+def _num(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+_PROM_TYPES = {"counter": "counter", "gauge": "gauge",
+               "histogram": "histogram"}
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: dict = {}
+
+
+class MetricsRegistry:
+    """One process's (or daemon's) metric families, renderable as text.
+
+    ``counter``/``gauge``/``histogram`` create-or-fetch an instrument for
+    one label set; requesting an existing ``(name, labels)`` pair returns
+    the same instrument, and re-using a family name with a different kind
+    raises.  ``render()`` produces the Prometheus text exposition —
+    families sorted by name, one ``# HELP``/``# TYPE`` pair each,
+    terminated by a newline.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+
+    def _instrument(self, kind: str, cls, name: str, help_text: str,
+                    labels: dict, **kwargs):
+        if not name or not name[0].isalpha():
+            raise ConfigurationError(f"bad metric name {name!r}")
+        label_items = tuple(sorted((str(k), str(v))
+                                   for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {family.kind}")
+            child = family.children.get(label_items)
+            if child is None:
+                child = cls(name, labels=label_items, **kwargs)
+                family.children[label_items] = child
+            return child
+
+    def counter(self, name: str, help_text: str = "", *,
+                fn: Optional[Callable[[], float]] = None,
+                **labels) -> Counter:
+        return self._instrument("counter", Counter, name, help_text,
+                                labels, fn=fn)
+
+    def gauge(self, name: str, help_text: str = "", *,
+              fn: Optional[Callable[[], float]] = None,
+              **labels) -> Gauge:
+        return self._instrument("gauge", Gauge, name, help_text,
+                                labels, fn=fn)
+
+    def histogram(self, name: str, help_text: str = "", *,
+                  scale: float = 1.0, **labels) -> Histogram:
+        return self._instrument("histogram", Histogram, name, help_text,
+                                labels, scale=scale)
+
+    # ------------------------------------------------------------------ #
+
+    def families(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._families)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition, newline-terminated."""
+        lines: list[str] = []
+        with self._lock:
+            families = [self._families[name]
+                        for name in sorted(self._families)]
+            snapshot = [(f, list(f.children.values())) for f in families]
+        for family, children in snapshot:
+            if family.help:
+                lines.append(f"# HELP {family.name} "
+                             f"{escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {_PROM_TYPES[family.kind]}")
+            for child in children:
+                lines.extend(child.render(family.name))
+        return "\n".join(lines) + "\n"
+
+
+def register_snapshot_gauges(registry: MetricsRegistry, prefix: str,
+                             snapshot_fn: Callable[[], dict],
+                             help_text: str = "", **labels) -> None:
+    """Export every key of a ``snapshot_fn()`` dict as a callback gauge.
+
+    The snapshot is taken once to learn the key set; each key becomes
+    ``<prefix>_<key>`` reading the live snapshot at scrape time.  The
+    shape every "expose my internals cheaply" integration needs (the
+    simnet engine, channel queue depths) without writing one closure per
+    field by hand.
+    """
+    keys = list(snapshot_fn())
+
+    def reader(field: str) -> Callable[[], float]:
+        return lambda: float(snapshot_fn().get(field, 0.0))
+
+    for key in keys:
+        registry.gauge(f"{prefix}_{key}", help_text, fn=reader(key),
+                       **labels)

@@ -1,0 +1,118 @@
+"""Flight recorder: a ring of the last K completed spans + notable events.
+
+The Pellegrini reproducibility report's lesson is that measurement
+machinery must be *always on and cheap*, because the interesting request
+is never the one you instrumented after the fact.  The flight recorder is
+the always-on half of tracing: a per-process ring buffer
+(``deque(maxlen=K)`` — appends are atomic under the GIL, so the record
+path takes no lock) holding
+
+- every **completed span** the process recorded (sampled requests), and
+- **notable events** any layer chooses to drop in regardless of
+  sampling: default replies, dropped/malformed datagrams, slow requests.
+
+``dump()`` snapshots the ring as JSON-ready dicts, newest last; the
+router serves it on ``GET /flight`` and ``janus obs dump`` prints it.
+:func:`install_dump_signal` arms SIGUSR1 so a wedged process can be asked
+for its recent history from the outside (``kill -USR1 <pid>``).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["FlightRecorder", "global_flight_recorder",
+           "install_dump_signal"]
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans and notable events."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0               # total ever recorded (ring wraps)
+
+    def record_span(self, span) -> None:
+        """Ring a completed span (called by the tracer on finish)."""
+        self._ring.append(("span", time.time(), span))
+        self.recorded += 1
+
+    def note(self, kind: str, **fields) -> None:
+        """Ring a notable non-span event (default reply, drop, ...)."""
+        self._ring.append(("note", time.time(), (kind, fields)))
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self) -> "list[dict]":
+        """Snapshot the ring as JSON-ready dicts, oldest first."""
+        entries = []
+        for entry_type, wall_time, payload in list(self._ring):
+            if entry_type == "span":
+                row = {"type": "span", "time": wall_time}
+                row.update(payload.as_dict())
+            else:
+                kind, fields = payload
+                row = {"type": "note", "time": wall_time, "kind": kind}
+                row.update(fields)
+            entries.append(row)
+        return entries
+
+    def dump_text(self) -> str:
+        """The dump as JSON lines (what SIGUSR1 writes)."""
+        return "\n".join(json.dumps(row, sort_keys=True)
+                         for row in self.dump())
+
+
+_GLOBAL_RECORDER = FlightRecorder(1024)
+
+
+def global_flight_recorder() -> FlightRecorder:
+    """The process-wide recorder the default tracer feeds."""
+    return _GLOBAL_RECORDER
+
+
+def install_dump_signal(recorder: Optional[FlightRecorder] = None,
+                        signum: Optional[int] = None,
+                        stream=None) -> bool:
+    """Arm a signal (default SIGUSR1) to dump the flight recorder.
+
+    Returns ``True`` when the handler was installed; ``False`` on
+    platforms without SIGUSR1 or when not called from the main thread
+    (signal handlers can only be installed there).
+    """
+    if recorder is None:
+        recorder = global_flight_recorder()
+    if signum is None:
+        signum = getattr(signal, "SIGUSR1", None)
+        if signum is None:
+            return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def handler(_signum, _frame) -> None:
+        out = stream if stream is not None else sys.stderr
+        print(f"--- flight recorder dump ({len(recorder)} of "
+              f"{recorder.recorded} recorded) ---", file=out)
+        text = recorder.dump_text()
+        if text:
+            print(text, file=out)
+        out.flush()
+
+    try:
+        signal.signal(signum, handler)
+    except (ValueError, OSError):
+        return False
+    return True

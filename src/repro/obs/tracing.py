@@ -1,0 +1,238 @@
+"""Distributed tracing: trace ids, spans, head-based sampling, the store.
+
+A *trace* is the set of spans recorded for one sampled request as it
+crosses layers: client → router HTTP handler → router exchange → UDP
+channel round trip → QoS-server decision.  The design keeps the unsampled
+path at a single integer comparison per layer:
+
+- the **head** of the path (the client, or the router for requests that
+  arrive untraced) decides once, via :class:`HeadSampler`, whether a
+  request is traced; a traced request carries a non-zero 64-bit trace id
+  downstream (HTTP query param / JSON field on the client→router hop,
+  the protocol-v2 frame trace flag on the router→server hop);
+- every layer then only asks ``if trace_id:`` — untraced requests never
+  allocate a span, never read a clock, never touch a lock;
+- completed spans land in a process-wide :class:`TraceBuffer` (bounded,
+  oldest-trace eviction), which is what ``GET /trace/<id>`` serves.  In
+  a LocalCluster every daemon shares the process, so one buffer holds
+  the full multi-layer trace; in a multi-process deployment each process
+  buffers its own spans and a scraper joins them by trace id.
+
+Sampling is deterministic: :class:`HeadSampler` admits the ``n``-th
+request iff ``floor(n*rate)`` increments, so ``rate=0.5`` traces exactly
+every second request and two runs sample identically — which is what the
+tracing-overhead A/B benchmark and the determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from math import floor
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Span", "TraceBuffer", "HeadSampler", "Tracer",
+           "default_tracer", "global_trace_buffer", "DEFAULT_SAMPLE_RATE",
+           "format_trace_id", "parse_trace_id"]
+
+#: The documented default head-sampling rate: 1 request in 64.  Cheap
+#: enough to leave on (the overhead gate in ``BENCH_obs.json`` holds it
+#: under 5%), frequent enough that a loaded service produces a steady
+#: stream of traces.
+DEFAULT_SAMPLE_RATE = 1.0 / 64.0
+
+_U64 = 2**64
+
+
+def format_trace_id(trace_id: int) -> str:
+    """Canonical wire/text form: 16 lowercase hex digits."""
+    return f"{trace_id & (_U64 - 1):016x}"
+
+
+def parse_trace_id(text: str) -> int:
+    """Parse a hex trace id; returns 0 for anything malformed or zero."""
+    try:
+        value = int(text, 16)
+    except (TypeError, ValueError):
+        return 0
+    if not (0 < value < _U64):
+        return 0
+    return value
+
+
+class Span:
+    """One timed operation inside a trace (monotonic-clock based)."""
+
+    __slots__ = ("trace_id", "name", "layer", "start_ns", "duration_ns",
+                 "attrs")
+
+    def __init__(self, trace_id: int, name: str, layer: str,
+                 start_ns: int, attrs: Optional[dict] = None):
+        self.trace_id = trace_id
+        self.name = name
+        self.layer = layer
+        self.start_ns = start_ns
+        self.duration_ns = -1           # -1 = still open
+        self.attrs = attrs
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / 1e3 if self.duration_ns >= 0 else -1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": format_trace_id(self.trace_id),
+            "name": self.name,
+            "layer": self.layer,
+            "start_ns": self.start_ns,
+            "duration_us": round(self.duration_us, 3),
+            "attrs": dict(self.attrs) if self.attrs else {},
+        }
+
+    def __repr__(self) -> str:        # debugging aid only
+        return (f"Span({format_trace_id(self.trace_id)}, {self.name!r}, "
+                f"layer={self.layer!r}, {self.duration_us:.1f}us)")
+
+
+class TraceBuffer:
+    """Bounded store of recent traces: ``trace_id -> [Span, ...]``.
+
+    Only sampled requests ever reach it, so a plain lock is fine; at the
+    default 1-in-64 rate the lock is touched a few hundred times per
+    second at full router throughput.  When a *new* trace id arrives with
+    the buffer full, the oldest trace is evicted whole.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._traces: dict[int, list[Span]] = {}
+        self._order: deque[int] = deque()
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        if not span.trace_id:
+            return
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                while len(self._order) >= self.capacity:
+                    self._traces.pop(self._order.popleft(), None)
+                spans = self._traces[span.trace_id] = []
+                self._order.append(span.trace_id)
+            spans.append(span)
+
+    def get(self, trace_id: int) -> "list[Span]":
+        """Spans of one trace, ordered by start time (empty if unknown)."""
+        with self._lock:
+            spans = list(self._traces.get(trace_id, ()))
+        spans.sort(key=lambda s: s.start_ns)
+        return spans
+
+    def ids(self) -> "list[int]":
+        """Known trace ids, oldest first."""
+        with self._lock:
+            return list(self._order)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class HeadSampler:
+    """Deterministic head-based sampler: 1-in-N by accumulated rate.
+
+    The ``n``-th call samples iff ``floor(n*rate) > floor((n-1)*rate)``,
+    which spreads sampled requests evenly (rate 0.5 → every 2nd request,
+    rate 0.01 → every 100th) and makes the decision sequence a pure
+    function of the call count.  The counter is ``itertools.count`` —
+    atomic on CPython — so the unsampled hot path stays lock-free.
+    """
+
+    __slots__ = ("rate", "_count")
+
+    def __init__(self, rate: float):
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigurationError(
+                f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._count = itertools.count(1)
+
+    def sample(self) -> bool:
+        rate = self.rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        n = next(self._count)
+        return floor(n * rate) > floor((n - 1) * rate)
+
+
+class Tracer:
+    """Creates trace ids and records spans into a buffer (+ recorder).
+
+    One tracer per process is the normal deployment (see
+    :func:`default_tracer`); components that own a sampling *decision*
+    pair it with their own :class:`HeadSampler` so rates stay a
+    per-component config knob while all spans land in one place.
+    """
+
+    def __init__(self, buffer: Optional[TraceBuffer] = None,
+                 recorder=None):
+        self.buffer = buffer if buffer is not None else global_trace_buffer()
+        self.recorder = recorder
+        # Per-process id space: high bits from the pid and a coarse boot
+        # timestamp so ids from different processes (or restarts) sharing
+        # one scrape pipeline almost never collide.
+        salt = ((os.getpid() & 0xFFFF) << 16) ^ (time.time_ns() & 0xFFFF_FFFF)
+        self._ids = itertools.count(1)
+        self._salt = (salt & 0xFFFF_FFFF) << 32
+
+    def new_trace_id(self) -> int:
+        return (self._salt | (next(self._ids) & 0xFFFF_FFFF)) or 1
+
+    def start(self, trace_id: int, name: str, layer: str = "",
+              attrs: Optional[dict] = None) -> Span:
+        return Span(trace_id, name, layer, time.perf_counter_ns(), attrs)
+
+    def finish(self, span: Span, **attrs) -> Span:
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        if attrs:
+            if span.attrs is None:
+                span.attrs = attrs
+            else:
+                span.attrs.update(attrs)
+        self.buffer.add(span)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_span(span)
+        return span
+
+
+_default_tracer: Optional[Tracer] = None
+_default_lock = threading.Lock()
+_GLOBAL_BUFFER = TraceBuffer(512)
+
+
+def global_trace_buffer() -> TraceBuffer:
+    """The process-wide trace store ``GET /trace/<id>`` reads."""
+    return _GLOBAL_BUFFER
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer (lazily wired to the flight recorder)."""
+    global _default_tracer
+    if _default_tracer is None:
+        with _default_lock:
+            if _default_tracer is None:
+                from repro.obs.recorder import global_flight_recorder
+                _default_tracer = Tracer(
+                    buffer=_GLOBAL_BUFFER,
+                    recorder=global_flight_recorder())
+    return _default_tracer

@@ -18,6 +18,13 @@ the router (§III-B).
 :meth:`QoSClient.check_many` amortizes the HTTP hop: N keys travel in one
 ``POST /qos/batch`` exchange and the router fans them out over its
 multiplexed UDP channels in a single pass.
+
+Tracing: construct with ``trace_sample_rate > 0`` and the client becomes
+the head of the trace — sampled checks mint a trace id, record a
+``client.check`` span, and send the id with the request (``&trace=`` /
+``"trace_id"``), which the router propagates down to the QoS server.
+The id comes back in :attr:`QoSCheckResult.trace_id`; feed it to
+``GET /trace/<id>`` (or ``janus obs trace``) for the full span tree.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Optional, Sequence
 from urllib.parse import quote, urlparse
 
 from repro.core.errors import CommunicationError
+from repro.obs.tracing import HeadSampler, default_tracer, format_trace_id
 
 __all__ = ["QoSClient", "QoSCheckResult"]
 
@@ -52,13 +60,16 @@ class QoSCheckResult:
     is_default_reply: bool
     attempts: int
     latency: float
+    #: Trace id of this check (0 when untraced): nonzero when this client
+    #: sampled the check or the router reported having traced it.
+    trace_id: int = 0
 
 
 class QoSClient:
     """Thread-safe client for a Janus HTTP endpoint."""
 
     def __init__(self, endpoint: str, *, timeout: float = 5.0,
-                 fail_open: bool = True):
+                 fail_open: bool = True, trace_sample_rate: float = 0.0):
         parsed = urlparse(endpoint)
         if parsed.scheme != "http" or not parsed.hostname:
             raise CommunicationError(f"unsupported endpoint {endpoint!r}")
@@ -68,6 +79,12 @@ class QoSClient:
         self.fail_open = fail_open
         self._local = threading.local()
         self.transport_errors = 0
+        self._sampler = HeadSampler(trace_sample_rate)
+        self._tracer = default_tracer()
+
+    def _sample_trace(self) -> int:
+        return (self._tracer.new_trace_id() if self._sampler.sample()
+                else 0)
 
     def _connection(self) -> http.client.HTTPConnection:
         conn = getattr(self._local, "conn", None)
@@ -79,7 +96,14 @@ class QoSClient:
 
     def check_detailed(self, key: str, cost: float = 1.0) -> QoSCheckResult:
         """One QoS request; returns the full result."""
+        trace_id = self._sample_trace()
         path = f"/qos?key={quote(key, safe='')}&cost={cost}"
+        if trace_id:
+            path += f"&trace={format_trace_id(trace_id)}"
+            span = self._tracer.start(trace_id, "client.check", "client",
+                                      {"key": key})
+        else:
+            span = None
         t0 = time.monotonic()
         for fresh in (False, True):
             conn = self._connection()
@@ -93,11 +117,15 @@ class QoSClient:
                     raise CommunicationError(
                         f"endpoint returned HTTP {response.status}")
                 payload = json.loads(body)
-                return QoSCheckResult(
+                result = QoSCheckResult(
                     allowed=bool(payload["allow"]),
                     is_default_reply=bool(payload.get("default", False)),
                     attempts=int(payload.get("attempts", 1)),
-                    latency=time.monotonic() - t0)
+                    latency=time.monotonic() - t0,
+                    trace_id=trace_id)
+                if span is not None:
+                    self._tracer.finish(span, allow=result.allowed)
+                return result
             except (OSError, http.client.HTTPException, json.JSONDecodeError,
                     KeyError, ValueError):
                 # Stale keep-alive connection: retry once on a fresh one.
@@ -105,9 +133,11 @@ class QoSClient:
                 if fresh:
                     break
         self.transport_errors += 1
+        if span is not None:
+            self._tracer.finish(span, transport_error=True)
         return QoSCheckResult(
             allowed=self.fail_open, is_default_reply=True, attempts=0,
-            latency=time.monotonic() - t0)
+            latency=time.monotonic() - t0, trace_id=trace_id)
 
     def check(self, key: str, cost: float = 1.0) -> bool:
         """The paper's ``qos_check($key)``: TRUE admits, FALSE throttles."""
@@ -125,9 +155,16 @@ class QoSClient:
         """
         if not keys:
             return []
-        body = json.dumps(
-            {"items": [{"key": key, "cost": cost} for key in keys]}
-        ).encode()
+        trace_id = self._sample_trace()
+        payload: dict = {"items": [{"key": key, "cost": cost}
+                                   for key in keys]}
+        if trace_id:
+            payload["trace_id"] = format_trace_id(trace_id)
+            span = self._tracer.start(trace_id, "client.check", "client",
+                                      {"n": len(keys)})
+        else:
+            span = None
+        body = json.dumps(payload).encode()
         t0 = time.monotonic()
         for fresh in (False, True):
             conn = self._connection()
@@ -139,6 +176,8 @@ class QoSClient:
                 response = conn.getresponse()
                 payload_bytes = response.read()
                 if response.status in (404, 405):   # pre-batch router
+                    if span is not None:
+                        self._tracer.finish(span, fallback=True)
                     return [self.check_detailed(key, cost) for key in keys]
                 if response.status != 200:
                     raise CommunicationError(
@@ -148,11 +187,14 @@ class QoSClient:
                     raise CommunicationError(
                         f"batch answered {len(results)} of {len(keys)} items")
                 latency = time.monotonic() - t0
+                if span is not None:
+                    self._tracer.finish(span)
                 return [QoSCheckResult(
                             allowed=bool(entry["allow"]),
                             is_default_reply=bool(entry.get("default", False)),
                             attempts=int(entry.get("attempts", 1)),
-                            latency=latency)
+                            latency=latency,
+                            trace_id=trace_id)
                         for entry in results]
             except (OSError, http.client.HTTPException, json.JSONDecodeError,
                     KeyError, TypeError, ValueError):
@@ -160,9 +202,12 @@ class QoSClient:
                 if fresh:
                     break
         self.transport_errors += 1
+        if span is not None:
+            self._tracer.finish(span, transport_error=True)
         latency = time.monotonic() - t0
         return [QoSCheckResult(allowed=self.fail_open, is_default_reply=True,
-                               attempts=0, latency=latency)
+                               attempts=0, latency=latency,
+                               trace_id=trace_id)
                 for _ in keys]
 
     def check_many(self, keys: Sequence[str], cost: float = 1.0) -> list[bool]:

@@ -119,6 +119,29 @@ class LocalCluster:
     def total_decisions(self) -> int:
         return sum(s.controller.stats.decisions for s in self.qos_servers)
 
+    def trace_spans(self, trace_id: int) -> "list[dict]":
+        """Spans of one trace, from the process-wide buffer.
+
+        All of a LocalCluster's daemons share the process, so this is
+        the same data any router's ``GET /trace/<id>`` serves.
+        """
+        from repro.obs.tracing import global_trace_buffer
+        return [span.as_dict()
+                for span in global_trace_buffer().get(trace_id)]
+
+    def prometheus_metrics(self) -> str:
+        """Every daemon's registry, concatenated (debugging aid).
+
+        Each router and QoS server renders its own registry; label sets
+        disambiguate the daemons but ``# TYPE`` headers repeat across
+        sections, so scrape one router's ``GET /metrics`` (strictly
+        conformant) rather than this concatenation.
+        """
+        parts = [router.prometheus_metrics() for router in self.routers]
+        parts.extend(server.metrics.render()
+                     for server in self.qos_servers)
+        return "".join(parts)
+
     def stats(self) -> dict:
         """Aggregated operational view of the whole deployment."""
         qos = []

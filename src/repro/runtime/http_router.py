@@ -13,7 +13,25 @@ items routed to the same backend share one protocol-v2 frame — and answers
 ``{"results": [...]}`` in item order, so applications can amortize the
 HTTP hop across many QoS keys.
 
-``GET /healthz`` answers 200 (load-balancer health checks).
+``GET /healthz`` answers 200 (load-balancer health checks) with a
+liveness summary: wire mode, backend count, and the channel's queue
+depths when channel mode is active.
+
+Observability endpoints (see ``docs/OPERATIONS.md``):
+
+- ``GET /metrics`` — the router's :class:`~repro.obs.metrics.MetricsRegistry`
+  rendered as the Prometheus text exposition (request counters, the
+  request-latency histogram, every channel instrument);
+- ``GET /trace/<id>`` — the spans of one sampled trace from the
+  process-wide trace buffer (all layers of a LocalCluster share it);
+- ``GET /trace`` — recently buffered trace ids;
+- ``GET /flight`` — the process flight recorder's ring.
+
+Tracing: a client may pass ``&trace=<16-hex>`` on ``GET /qos`` (or
+``"trace_id"`` in the batch body) to trace that request end to end;
+requests arriving untraced are head-sampled at
+``RouterConfig.trace_sample_rate``.  Either way the response body gains
+a ``"trace"`` field carrying the id to query.
 
 The wire path behind both endpoints is selected by
 ``RouterConfig.wire_mode``:
@@ -33,6 +51,7 @@ import json
 import math
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Sequence
 from urllib.parse import parse_qs, urlparse
@@ -41,28 +60,21 @@ from repro.core.config import RouterConfig
 from repro.core.errors import ProtocolError
 from repro.core.hashing import crc32_router
 from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator, decode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import global_flight_recorder
+from repro.obs.tracing import (
+    HeadSampler,
+    default_tracer,
+    format_trace_id,
+    global_trace_buffer,
+    parse_trace_id,
+)
 from repro.runtime.udp_channel import ChannelSet
 
 __all__ = ["RequestRouterDaemon"]
 
 #: Upper bound on items per ``POST /qos/batch`` request.
 MAX_BATCH_ITEMS = 1024
-
-
-class _HandlerCounters:
-    """Per-handler-thread counter block (no lock on the request path).
-
-    Each HTTP handler thread owns one block and increments it without any
-    synchronization; :meth:`RequestRouterDaemon.stats` merges the blocks
-    lazily.  Blocks outlive their threads so totals never go backwards.
-    """
-
-    __slots__ = ("requests_handled", "default_replies", "retries")
-
-    def __init__(self) -> None:
-        self.requests_handled = 0
-        self.default_replies = 0
-        self.retries = 0
 
 
 class RequestRouterDaemon:
@@ -87,11 +99,48 @@ class RequestRouterDaemon:
         self.name = name
         self._ids = RequestIdGenerator()
         self._local = threading.local()
-        self._counter_blocks: list[_HandlerCounters] = []
-        self._blocks_lock = threading.Lock()    # registration only, not per request
+        # The observability plane: one registry per router daemon (tests
+        # spin several routers per process, so a process-global registry
+        # would cross-contaminate), one process-wide tracer/buffer (a
+        # LocalCluster's layers share the process, so one buffer holds
+        # the full multi-layer trace).
+        self.metrics = MetricsRegistry()
+        self._tracer = default_tracer()
+        self._sampler = HeadSampler(self.config.trace_sample_rate)
+        labels = {"router": name}
+        self._m_requests = self.metrics.counter(
+            "janus_router_requests_total", "Admission checks handled",
+            **labels)
+        self._m_defaults = self.metrics.counter(
+            "janus_router_default_replies_total",
+            "Checks answered by the default reply", **labels)
+        # Thread-mode retries are incremented by handler threads; channel
+        # retries live in the channel stats, so the exported family is a
+        # callback over the merged property.
+        self._m_thread_retries = self.metrics.counter(
+            "janus_router_thread_retries_total",
+            "Seed-path (thread-mode) datagram re-sends", **labels)
+        self.metrics.counter(
+            "janus_router_udp_retries_total",
+            "Datagram re-sends across both wire modes",
+            fn=lambda: self.retries, **labels)
+        self.metrics.gauge(
+            "janus_router_backends", "Configured QoS-server backends",
+            fn=lambda: len(self.qos_servers), **labels)
+        self.metrics.counter(
+            "janus_router_traces_started_total",
+            "Requests traced (client-initiated or head-sampled)",
+            fn=lambda: self._traces_started, **labels)
+        self._traces_started = 0        # GIL-atomic increments suffice
+        self._m_latency = self.metrics.histogram(
+            "janus_router_request_seconds",
+            "Admission-check latency through the router (wire exchange)",
+            scale=1e-9, **labels)
         self._channels: Optional[ChannelSet] = None
         if self.config.wire_mode == "channel":
-            self._channels = ChannelSet(self.qos_servers, self.config)
+            self._channels = ChannelSet(self.qos_servers, self.config,
+                                        registry=self.metrics,
+                                        tracer=self._tracer, labels=labels)
         router = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -106,7 +155,7 @@ class RequestRouterDaemon:
             def do_GET(self):                      # noqa: N802 (stdlib API)
                 parsed = urlparse(self.path)
                 if parsed.path == "/healthz":
-                    self._reply(200, {"status": "ok"})
+                    self._reply(200, router.health())
                     return
                 if parsed.path == "/stats":
                     self._reply(200, router.stats())
@@ -119,6 +168,28 @@ class RequestRouterDaemon:
                     self.send_header("Content-Length", str(len(payload)))
                     self.end_headers()
                     self.wfile.write(payload)
+                    return
+                if parsed.path == "/flight":
+                    recorder = global_flight_recorder()
+                    self._reply(200, {"recorded": recorder.recorded,
+                                      "entries": recorder.dump()})
+                    return
+                if parsed.path == "/trace" or parsed.path == "/trace/":
+                    buffer = global_trace_buffer()
+                    self._reply(200, {"traces": [format_trace_id(tid)
+                                                 for tid in buffer.ids()]})
+                    return
+                if parsed.path.startswith("/trace/"):
+                    trace_id = parse_trace_id(parsed.path[len("/trace/"):])
+                    spans = (global_trace_buffer().get(trace_id)
+                             if trace_id else [])
+                    if not spans:
+                        self._reply(404, {"error": "unknown trace"})
+                        return
+                    self._reply(200, {
+                        "trace_id": format_trace_id(trace_id),
+                        "spans": [span.as_dict() for span in spans],
+                    })
                     return
                 if parsed.path != "/qos":
                     self._reply(404, {"error": "not found"})
@@ -136,12 +207,17 @@ class RequestRouterDaemon:
                 if not (math.isfinite(cost) and cost > 0):
                     self._reply(400, {"error": "bad cost"})
                     return
-                response, attempts = router.qos_exchange(key, cost)
-                self._reply(200, {
+                trace_id = parse_trace_id(params.get("trace", [""])[0])
+                response, attempts, trace_id = router.qos_exchange_traced(
+                    key, cost, trace_id, http_span=True)
+                body = {
                     "allow": response.allowed,
                     "default": response.is_default_reply,
                     "attempts": attempts,
-                })
+                }
+                if trace_id:
+                    body["trace"] = format_trace_id(trace_id)
+                self._reply(200, body)
 
             def do_POST(self):                     # noqa: N802 (stdlib API)
                 if urlparse(self.path).path != "/qos/batch":
@@ -159,13 +235,22 @@ class RequestRouterDaemon:
                                       f"(1..{MAX_BATCH_ITEMS}) with "
                                       "non-empty keys and finite costs > 0"})
                     return
+                trace_id = 0
+                raw_trace = payload.get("trace_id")
+                if isinstance(raw_trace, str):
+                    trace_id = parse_trace_id(raw_trace)
+                exchanged, trace_id = router.qos_exchange_many_traced(
+                    items, trace_id, http_span=True)
                 results = [
                     {"allow": response.allowed,
                      "default": response.is_default_reply,
                      "attempts": attempts}
-                    for response, attempts in router.qos_exchange_many(items)
+                    for response, attempts in exchanged
                 ]
-                self._reply(200, {"results": results})
+                body = {"results": results}
+                if trace_id:
+                    body["trace"] = format_trace_id(trace_id)
+                self._reply(200, body)
 
             @staticmethod
             def _batch_items(payload) -> "Optional[list[tuple[str, float]]]":
@@ -239,43 +324,51 @@ class RequestRouterDaemon:
     # ------------------------------------------------------------------ #
 
     def prometheus_metrics(self) -> str:
-        """Prometheus text exposition (served on ``GET /metrics``)."""
-        stats = self.stats()
-        lines = []
-        for metric, key in (
-                ("janus_router_requests_total", "requests_handled"),
-                ("janus_router_default_replies_total", "default_replies"),
-                ("janus_router_udp_retries_total", "retries"),
-                ("janus_router_backends", "backends")):
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f'{metric}{{router="{self.name}"}} {stats[key]}')
-        return "\n".join(lines) + "\n"
+        """Prometheus text exposition (served on ``GET /metrics``).
 
-    def _counters(self) -> _HandlerCounters:
-        """This thread's counter block (registered once per thread)."""
-        block = getattr(self._local, "counters", None)
-        if block is None:
-            block = _HandlerCounters()
-            with self._blocks_lock:
-                self._counter_blocks.append(block)
-            self._local.counters = block
-        return block
+        Rendered from the router's :class:`MetricsRegistry` — correct
+        ``# HELP``/``# TYPE`` lines, escaped labels, histogram bucket
+        series — covering the request counters, the request-latency
+        histogram, and (in channel mode) every channel instrument.
+        """
+        return self.metrics.render()
+
+    def health(self) -> dict:
+        """Liveness summary (served on ``GET /healthz``)."""
+        body = {
+            "status": "ok",
+            "name": self.name,
+            "wire_mode": self.config.wire_mode,
+            "backends": len(self.qos_servers),
+            "requests_handled": self.requests_handled,
+        }
+        if self._channels is not None:
+            stats = self._channels.stats
+            body["channel"] = {
+                "pending": sum(len(c.pending)
+                               for c in self._channels._channels.values()),
+                "inflight": sum(len(c.inflight)
+                                for c in self._channels._channels.values()),
+                "default_replies": stats.default_replies,
+                "send_errors": stats.send_errors,
+            }
+        return body
 
     @property
     def requests_handled(self) -> int:
-        return sum(b.requests_handled for b in self._counter_blocks)
+        return int(self._m_requests.value)
 
     @property
     def default_replies(self) -> int:
-        return sum(b.default_replies for b in self._counter_blocks)
+        return int(self._m_defaults.value)
 
     @property
     def retries(self) -> int:
         # Channel-mode retries happen on the event thread, not in any
-        # handler block.
+        # handler thread's counter.
         channel_retries = (self._channels.stats.retries
                            if self._channels is not None else 0)
-        return sum(b.retries for b in self._counter_blocks) + channel_retries
+        return int(self._m_thread_retries.value) + channel_retries
 
     def stats(self) -> dict:
         """Operational counters (served on ``GET /stats``)."""
@@ -286,6 +379,7 @@ class RequestRouterDaemon:
             "retries": self.retries,
             "backends": len(self.qos_servers),
             "wire_mode": self.config.wire_mode,
+            "traces_started": self._traces_started,
         }
         if self._channels is not None:
             stats["channel"] = self._channels.stats.as_dict()
@@ -297,20 +391,56 @@ class RequestRouterDaemon:
             return self._sole_backend
         return self.qos_servers[crc32_router(key, len(self.qos_servers))]
 
-    def qos_exchange(self, key: str, cost: float = 1.0) -> tuple[QoSResponse, int]:
+    def _resolve_trace_id(self, trace_id: int) -> int:
+        """Honour a client-supplied id; head-sample untraced arrivals."""
+        if not trace_id and self._sampler.sample():
+            trace_id = self._tracer.new_trace_id()
+            self._traces_started += 1
+        return trace_id
+
+    def qos_exchange(self, key: str, cost: float = 1.0,
+                     trace_id: int = 0) -> tuple[QoSResponse, int]:
         """One admission check over the configured wire path."""
+        response, attempts, _ = self.qos_exchange_traced(key, cost, trace_id)
+        return response, attempts
+
+    def qos_exchange_traced(
+        self, key: str, cost: float = 1.0, trace_id: int = 0,
+        http_span: bool = False,
+    ) -> tuple[QoSResponse, int, int]:
+        """:meth:`qos_exchange` plus tracing; returns the trace id used.
+
+        ``trace_id=0`` lets the router's own head sampler decide;
+        ``http_span=True`` (the HTTP handler) adds the ``router.http``
+        span enclosing the ``router.exchange`` one.
+        """
+        trace_id = self._resolve_trace_id(trace_id)
+        tracer = self._tracer
+        outer = (tracer.start(trace_id, "router.http", "router",
+                              {"router": self.name, "endpoint": "/qos"})
+                 if trace_id and http_span else None)
+        span = (tracer.start(trace_id, "router.exchange", "router",
+                             {"key": key}) if trace_id else None)
+        start_ns = time.perf_counter_ns()
         if self._channels is not None:
             response, attempts = self._channels.exchange(
-                self.route(key), key, cost)
-            counters = self._counters()
-            counters.requests_handled += 1
-            if response.is_default_reply:
-                counters.default_replies += 1
-            return response, attempts
-        return self._qos_exchange_blocking(key, cost)
+                self.route(key), key, cost, trace_id)
+        else:
+            response, attempts = self._qos_exchange_blocking(key, cost)
+        self._m_latency.record(time.perf_counter_ns() - start_ns)
+        self._m_requests.inc()
+        if response.is_default_reply:
+            self._m_defaults.inc()
+        if span is not None:
+            tracer.finish(span, allow=response.allowed, attempts=attempts,
+                          default=response.is_default_reply)
+        if outer is not None:
+            tracer.finish(outer)
+        return response, attempts, trace_id
 
     def qos_exchange_many(
         self, items: Sequence[tuple[str, float]],
+        trace_id: int = 0,
     ) -> list[tuple[QoSResponse, int]]:
         """Resolve many checks at once (the ``POST /qos/batch`` core).
 
@@ -318,16 +448,39 @@ class RequestRouterDaemon:
         hashing to the same backend share a single v2 frame; in thread
         mode they degrade to sequential single exchanges.
         """
+        results, _ = self.qos_exchange_many_traced(items, trace_id)
+        return results
+
+    def qos_exchange_many_traced(
+        self, items: Sequence[tuple[str, float]], trace_id: int = 0,
+        http_span: bool = False,
+    ) -> tuple[list[tuple[QoSResponse, int]], int]:
+        """:meth:`qos_exchange_many` plus tracing (one trace per batch)."""
+        trace_id = self._resolve_trace_id(trace_id)
+        tracer = self._tracer
+        outer = (tracer.start(trace_id, "router.http", "router",
+                              {"router": self.name, "endpoint": "/qos/batch"})
+                 if trace_id and http_span else None)
+        span = (tracer.start(trace_id, "router.exchange", "router",
+                             {"n": len(items)}) if trace_id else None)
+        start_ns = time.perf_counter_ns()
         if self._channels is not None:
             checks = [(self.route(key), key, cost) for key, cost in items]
-            results = self._channels.exchange_many(checks)
-            counters = self._counters()
-            counters.requests_handled += len(results)
-            counters.default_replies += sum(
-                1 for response, _ in results if response.is_default_reply)
-            return results
-        return [self._qos_exchange_blocking(key, cost)
-                for key, cost in items]
+            results = self._channels.exchange_many(checks, trace_id)
+        else:
+            results = [self._qos_exchange_blocking(key, cost)
+                       for key, cost in items]
+        self._m_latency.record(time.perf_counter_ns() - start_ns)
+        self._m_requests.inc(len(results))
+        defaults = sum(1 for response, _ in results
+                       if response.is_default_reply)
+        if defaults:
+            self._m_defaults.inc(defaults)
+        if span is not None:
+            tracer.finish(span, defaults=defaults)
+        if outer is not None:
+            tracer.finish(outer)
+        return results, trace_id
 
     # ------------------------------------------------------------------ #
     # seed wire path ("thread" mode): per-thread blocking sockets
@@ -348,10 +501,10 @@ class RequestRouterDaemon:
         target = self.route(key)
         sock = self._socket()
         sock.settimeout(self.config.udp_timeout)
-        counters = self._counters()
+        retries = self._m_thread_retries
         for attempt in range(1, self.config.max_retries + 1):
             if attempt > 1:
-                counters.retries += 1
+                retries.inc()
             sock.sendto(datagram, target)
             try:
                 while True:
@@ -362,13 +515,10 @@ class RequestRouterDaemon:
                         continue
                     if (isinstance(message, QoSResponse)
                             and message.request_id == request.request_id):
-                        counters.requests_handled += 1
                         return message, attempt
                     # Stale response from a previous request on this
                     # thread's socket: keep waiting within the timeout.
             except socket.timeout:
                 continue
-        counters.requests_handled += 1
-        counters.default_replies += 1
         return QoSResponse(request.request_id, self.config.default_reply,
                            is_default_reply=True), self.config.max_retries

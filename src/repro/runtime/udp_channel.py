@@ -50,7 +50,10 @@ from repro.core.protocol import (
     FRAME_HEADER_BYTES,
     FRAME_REQ_ENTRY_OVERHEAD,
     MAX_DATAGRAM_BYTES,
+    TRACE_ID_BYTES,
 )
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import default_tracer
 
 __all__ = ["ChannelSet", "ChannelStats", "TimerWheel"]
 
@@ -222,9 +225,10 @@ class _Exchange:
     """One in-flight admission check: request plus its blocked waiter."""
 
     __slots__ = ("request", "key_bytes", "size", "group", "response",
-                 "attempts", "done", "baton")
+                 "attempts", "done", "baton", "trace_id")
 
-    def __init__(self, request: QoSRequest, group: _CallGroup):
+    def __init__(self, request: QoSRequest, group: _CallGroup,
+                 trace_id: int = 0):
         self.request = request
         self.key_bytes = request._validated_key_bytes()
         self.size = FRAME_REQ_ENTRY_OVERHEAD + len(self.key_bytes)
@@ -233,6 +237,7 @@ class _Exchange:
         self.attempts = 0
         self.done = False
         self.baton = False
+        self.trace_id = trace_id
 
 
 class _BackendChannel:
@@ -274,11 +279,58 @@ class ChannelSet:
     """All of one router's backend channels plus their event thread."""
 
     def __init__(self, backends: Sequence[tuple[str, int]],
-                 config: Optional[RouterConfig] = None):
+                 config: Optional[RouterConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None, labels: Optional[dict] = None):
         if not backends:
             raise ValueError("channel set needs at least one backend")
         self.config = config or RouterConfig(udp_timeout=0.05)
         self._ids = RequestIdGenerator()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        labels = labels or {}
+        #: Event-thread selector wakeups (idle ticks + timer expiries) —
+        #: plain int, single-writer (the event thread).
+        self.timer_wakeups = 0
+        # Always-on instruments: bare (unregistered) instances when no
+        # registry is supplied, so the hot path never branches on "is
+        # observability enabled".
+        self._batch_fill = (registry.histogram(
+            "janus_channel_batch_fill",
+            "Messages coalesced per sent v2 frame", **labels)
+            if registry is not None else Histogram("janus_channel_batch_fill"))
+        self._rtt = (registry.histogram(
+            "janus_channel_exchange_seconds",
+            "Channel exchange round-trip latency (submit to resolve)",
+            scale=1e-9, **labels)
+            if registry is not None
+            else Histogram("janus_channel_exchange_seconds", scale=1e-9))
+        if registry is not None:
+            stats_help = {
+                "frames_sent": "Datagrams sent to backends",
+                "frames_received": "Response datagrams decoded",
+                "messages_sent": "Admission requests put on the wire",
+                "responses_matched": "Responses matched to a waiter",
+                "retries": "Request re-sends after a timer expiry",
+                "default_replies": "Exchanges resolved by default reply",
+                "malformed_datagrams": "Datagrams dropped as malformed",
+                "send_errors": "Socket send failures",
+            }
+            for field, help_text in stats_help.items():
+                registry.counter(
+                    f"janus_channel_{field}_total", help_text,
+                    fn=(lambda f=field: getattr(self.stats, f)), **labels)
+            registry.gauge(
+                "janus_channel_pending", "Queued-but-unsent exchanges",
+                fn=lambda: sum(len(c.pending)
+                               for c in self._channels.values()), **labels)
+            registry.gauge(
+                "janus_channel_inflight", "Exchanges awaiting a response",
+                fn=lambda: sum(len(c.inflight)
+                               for c in self._channels.values()), **labels)
+            registry.counter(
+                "janus_channel_timer_wakeups_total",
+                "Event-thread wakeups (timer wheel + idle ticks)",
+                fn=lambda: self.timer_wakeups, **labels)
         self._channels = {tuple(addr): _BackendChannel(tuple(addr))
                           for addr in backends}
         # The wheel belongs to the event thread.  Send paths arm timers
@@ -345,7 +397,8 @@ class ChannelSet:
     # ------------------------------------------------------------------ #
 
     def exchange(self, backend: tuple[str, int], key: str,
-                 cost: float = 1.0) -> tuple[QoSResponse, int]:
+                 cost: float = 1.0,
+                 trace_id: int = 0) -> tuple[QoSResponse, int]:
         """One admission check; blocks until response or default reply.
 
         Fast path of :meth:`exchange_many` for a single check — skips
@@ -356,32 +409,48 @@ class ChannelSet:
         if self._stop.is_set():
             return self._dead_result()
         channel = self._channels[tuple(backend)]
+        span = (self._tracer.start(trace_id, "channel.exchange",
+                                   "udp_channel",
+                                   {"backend": f"{backend[0]}:{backend[1]}"})
+                if trace_id else None)
         exchange = _Exchange(QoSRequest(self._ids.next_id(), key, cost),
-                             _CallGroup())
+                             _CallGroup(), trace_id)
         with channel.lock:
             channel.pending.append(exchange)
             self._flush_locked(channel)
-        return self._await(channel, exchange,
-                           time.monotonic() + self._wait_budget)
+        result = self._await(channel, exchange,
+                             time.monotonic() + self._wait_budget)
+        if span is not None:
+            self._tracer.finish(span, attempts=result[1],
+                                default=result[0].is_default_reply)
+            self._rtt.record(span.duration_ns)
+        return result
 
     def exchange_many(
         self, checks: Sequence[tuple[tuple[str, int], str, float]],
+        trace_id: int = 0,
     ) -> list[tuple[QoSResponse, int]]:
         """Submit many checks at once and wait for all of them.
 
         All checks sharing a backend enter that channel's send queue in
         one pass and ride the same v2 frame — this is what
-        ``POST /qos/batch`` amortizes.
+        ``POST /qos/batch`` amortizes.  A nonzero ``trace_id`` applies
+        to the whole call (one batch, one trace) and yields one
+        ``channel.exchange`` span covering every constituent check.
         """
         if self._stop.is_set():
             return [self._dead_result() for _ in checks]
+        span = (self._tracer.start(trace_id, "channel.exchange",
+                                   "udp_channel", {"n": len(checks)})
+                if trace_id else None)
         group = _CallGroup()
         next_id = self._ids.next_id
         exchanges: list[tuple[_BackendChannel, _Exchange]] = []
         per_channel: dict[_BackendChannel, list[_Exchange]] = {}
         for backend, key, cost in checks:
             channel = self._channels[tuple(backend)]
-            exchange = _Exchange(QoSRequest(next_id(), key, cost), group)
+            exchange = _Exchange(QoSRequest(next_id(), key, cost), group,
+                                 trace_id)
             exchanges.append((channel, exchange))
             per_channel.setdefault(channel, []).append(exchange)
         for channel, batch in per_channel.items():
@@ -389,8 +458,14 @@ class ChannelSet:
                 channel.pending.extend(batch)
                 self._flush_locked(channel)
         deadline = time.monotonic() + self._wait_budget
-        return [self._await(channel, exchange, deadline)
-                for channel, exchange in exchanges]
+        results = [self._await(channel, exchange, deadline)
+                   for channel, exchange in exchanges]
+        if span is not None:
+            self._tracer.finish(
+                span,
+                defaults=sum(1 for r, _ in results if r.is_default_reply))
+            self._rtt.record(span.duration_ns)
+        return results
 
     def _dead_result(self) -> tuple[QoSResponse, int]:
         response = QoSResponse(self._ids.next_id(),
@@ -525,7 +600,14 @@ class ChannelSet:
     # ------------------------------------------------------------------ #
 
     def _flush_locked(self, channel: _BackendChannel) -> None:
-        """Send everything pending for one backend, batching per frame."""
+        """Send everything pending for one backend, batching per frame.
+
+        A frame carries at most one distinct nonzero trace id (the wire
+        format has a single trace-id slot per frame): an exchange traced
+        under a *different* id ends the current batch and starts the
+        next frame.  Untraced exchanges ride along in either case — the
+        trace id annotates the frame, not the entries.
+        """
         pending = channel.pending
         stats = channel.stats
         inflight = channel.inflight
@@ -534,6 +616,7 @@ class ChannelSet:
         while pending:
             batch: list[_Exchange] = []
             size = FRAME_HEADER_BYTES
+            frame_tid = 0
             while pending and len(batch) < max_batch:
                 exchange = pending[0]
                 if exchange.done:
@@ -541,16 +624,27 @@ class ChannelSet:
                     continue
                 if batch and size + exchange.size > _FRAME_BYTE_BUDGET:
                     break
+                tid = exchange.trace_id
+                if tid and frame_tid and tid != frame_tid:
+                    break           # second distinct trace id: next frame
                 pending.popleft()
                 batch.append(exchange)
                 size += exchange.size
+                if tid and not frame_tid:
+                    frame_tid = tid
+                    size += TRACE_ID_BYTES
             if not batch:
                 return
             if v2:
                 payload = encode_request_frame_parts(
                     [(e.request.request_id, e.key_bytes, e.request.cost)
-                     for e in batch])
+                     for e in batch],
+                    trace_id=frame_tid)
+                self._batch_fill.record(len(batch))
             else:
+                # v1 datagrams have no trace-id slot: the flag is
+                # dropped cleanly and the trace degrades to the
+                # client/router spans (documented v2→v1 interop).
                 payload = batch[0].request.encode()
             try:
                 channel.sock.send(payload)
@@ -596,6 +690,7 @@ class ChannelSet:
         while not self._stop.is_set():
             if self._selector.select(self._select_timeout()):
                 self._drain_wakeups()
+            self.timer_wakeups += 1
             self._arm_timers()
             self._expire(time.monotonic())
         self._fail_all_pending()
@@ -671,6 +766,17 @@ class ChannelSet:
             is_default_reply=True)
         exchange.done = True
         channel.stats.default_replies += 1
+        recorder = self._tracer.recorder
+        if recorder is not None:
+            # Default replies are exactly the requests worth a forensic
+            # look, so they ring the flight recorder regardless of
+            # sampling.
+            recorder.note("default_reply",
+                          backend=f"{channel.address[0]}:"
+                                  f"{channel.address[1]}",
+                          key=exchange.request.key,
+                          attempts=exchange.attempts,
+                          trace_id=exchange.trace_id)
         exchange.group.notify()
 
     def _fail_all_pending(self) -> None:

@@ -46,9 +46,11 @@ from repro.core.protocol import (
     QoSRequest,
     QoSResponse,
     VERSION2,
-    decode_any,
+    decode_any_traced,
     encode_response_frame,
 )
+from repro.obs.metrics import MetricsRegistry, register_snapshot_gauges
+from repro.obs.tracing import default_tracer
 
 __all__ = ["QoSServerDaemon"]
 
@@ -80,11 +82,37 @@ class QoSServerDaemon:
         self._sock.settimeout(self.config.recv_timeout)
         self.address: tuple[str, int] = self._sock.getsockname()
         self._fifo: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._fifo_depth = 0            # GIL-atomic += / -= suffices
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self.malformed_packets = 0
         self.responses_sent = 0
         self._started = False
+        self._tracer = default_tracer()
+        labels = {"server": name}
+        self.metrics = MetricsRegistry()
+        self.metrics.counter(
+            "janus_server_responses_sent_total",
+            "Responses put on the wire", fn=lambda: self.responses_sent,
+            **labels)
+        self.metrics.counter(
+            "janus_server_malformed_packets_total",
+            "Datagrams or messages dropped as malformed",
+            fn=lambda: self.malformed_packets, **labels)
+        self.metrics.gauge(
+            "janus_server_fifo_depth", "Datagram batches queued for workers",
+            fn=lambda: self._fifo_depth, **labels)
+        self._recv_batch = self.metrics.histogram(
+            "janus_server_recv_batch",
+            "Datagrams drained per listener wakeup", **labels)
+        register_snapshot_gauges(
+            self.metrics, "janus_server_admission",
+            self.controller.stats_snapshot, **labels)
+        for index, snapshot_fn in enumerate(
+                self.controller.stripe_snapshots()):
+            register_snapshot_gauges(
+                self.metrics, "janus_server_admission_stripe", snapshot_fn,
+                stripe=str(index), **labels)
 
     # ------------------------------------------------------------------ #
 
@@ -145,6 +173,8 @@ class QoSServerDaemon:
             batch = [first]
             if max_batch > 1:
                 self._drain_queued(sock, batch, max_batch)
+            self._recv_batch.record(len(batch))
+            self._fifo_depth += 1
             self._fifo.put(batch)
 
     @staticmethod
@@ -176,19 +206,27 @@ class QoSServerDaemon:
         check = self.controller.check
         dedup = self._dedup
         sock = self._sock
+        tracer = self._tracer
         while True:
             item = self._fifo.get()
             if item is _STOP:
                 return
+            self._fifo_depth -= 1
             out: list[tuple[bytes, tuple, int]] = []
             malformed = 0
             for data, addr in item:
                 try:
-                    version, messages = decode_any(data)
+                    version, trace_id, messages = decode_any_traced(data)
                 except ProtocolError:
                     malformed += 1
                     continue
+                # A traced frame earns a server-side decision span; the
+                # untraced path pays one integer comparison.
+                span = (tracer.start(trace_id, "server.decide", "qos_server",
+                                     {"server": self.name})
+                        if trace_id else None)
                 responses: list[QoSResponse] = []
+                admitted = 0
                 for message in messages:
                     if not isinstance(message, QoSRequest):
                         malformed += 1
@@ -201,12 +239,19 @@ class QoSServerDaemon:
                         allowed = check(message.key, message.cost)
                         if dedup is not None:
                             dedup.remember(addr, message.request_id, allowed)
+                    if allowed:
+                        admitted += 1
                     responses.append(QoSResponse(message.request_id, allowed))
+                if span is not None:
+                    tracer.finish(span, n=len(responses), admitted=admitted)
                 if not responses:
                     continue
                 if version == VERSION2:
-                    out.append((encode_response_frame(responses), addr,
-                                len(responses)))
+                    # Echo the trace id so the router can attribute the
+                    # response frame if it ever needs to.
+                    out.append((encode_response_frame(responses,
+                                                      trace_id=trace_id),
+                                addr, len(responses)))
                 else:
                     out.append((responses[0].encode(), addr, 1))
             if malformed:

@@ -10,8 +10,10 @@ from hypothesis import strategies as st
 
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
+    FLAG_FRAME_TRACED,
     MAX_FRAME_MESSAGES,
     MAX_KEY_BYTES,
+    TRACE_ID_BYTES,
     VERSION,
     VERSION2,
     LockedRequestIdGenerator,
@@ -20,7 +22,9 @@ from repro.core.protocol import (
     RequestIdGenerator,
     decode,
     decode_any,
+    decode_any_traced,
     decode_frame,
+    decode_frame_traced,
     encode_request_frame,
     encode_request_frame_parts,
     encode_response_frame,
@@ -225,6 +229,102 @@ class TestV2Frames:
     def test_frame_round_trip_property(self, n):
         requests = self._requests(n)
         assert decode_frame(encode_request_frame(requests)) == requests
+
+
+class TestTracedFrames:
+    """The TRACED flag bit and the optional 8-byte trace id (PR 4)."""
+
+    TRACE_ID = 0x1234_5678_9ABC_DEF0
+
+    def _requests(self, n):
+        return [QoSRequest(i + 1, f"tenant:{i}", 0.5 + i) for i in range(n)]
+
+    def test_traced_request_frame_round_trip(self):
+        requests = self._requests(4)
+        frame = encode_request_frame(requests, trace_id=self.TRACE_ID)
+        trace_id, messages = decode_frame_traced(frame)
+        assert trace_id == self.TRACE_ID
+        assert messages == requests
+
+    def test_traced_response_frame_round_trip(self):
+        responses = [QoSResponse(i + 1, i % 2 == 0) for i in range(3)]
+        frame = encode_response_frame(responses, trace_id=self.TRACE_ID)
+        trace_id, messages = decode_frame_traced(frame)
+        assert trace_id == self.TRACE_ID
+        assert messages == responses
+
+    def test_untraced_frame_byte_identical_to_pre_tracing_encoding(self):
+        # trace_id=0 must not change the wire image at all: v2 peers
+        # that predate tracing keep interoperating byte for byte.
+        requests = self._requests(3)
+        assert encode_request_frame(requests, trace_id=0) == \
+            encode_request_frame(requests)
+        frame = encode_request_frame(requests)
+        assert not frame[3] & FLAG_FRAME_TRACED
+        assert decode_frame_traced(frame) == (0, requests)
+
+    def test_traced_frame_is_exactly_eight_bytes_longer(self):
+        requests = self._requests(2)
+        untraced = encode_request_frame(requests)
+        traced = encode_request_frame(requests, trace_id=self.TRACE_ID)
+        assert len(traced) == len(untraced) + TRACE_ID_BYTES
+        assert traced[3] & FLAG_FRAME_TRACED
+
+    def test_decode_frame_drops_the_trace_id(self):
+        # The pre-tracing decode surface still works on traced frames.
+        requests = self._requests(2)
+        frame = encode_request_frame(requests, trace_id=self.TRACE_ID)
+        assert decode_frame(frame) == requests
+
+    def test_decode_any_traced_v1_has_no_trace_id(self):
+        req = QoSRequest(9, "k", 2.0)
+        assert decode_any_traced(req.encode()) == (VERSION, 0, [req])
+
+    def test_decode_any_traced_v2(self):
+        requests = self._requests(3)
+        frame = encode_request_frame(requests, trace_id=self.TRACE_ID)
+        assert decode_any_traced(frame) == \
+            (VERSION2, self.TRACE_ID, requests)
+
+    def test_trace_id_out_of_u64_range_rejected(self):
+        for bad in (-1, 2**64):
+            with pytest.raises(ProtocolError):
+                encode_request_frame(self._requests(1), trace_id=bad)
+            with pytest.raises(ProtocolError):
+                encode_response_frame([QoSResponse(1, True)], trace_id=bad)
+
+    def test_truncated_trace_id_rejected(self):
+        frame = encode_request_frame(self._requests(1),
+                                     trace_id=self.TRACE_ID)
+        header_end = 6
+        for cut in range(header_end, header_end + TRACE_ID_BYTES):
+            with pytest.raises(ProtocolError):
+                decode_frame_traced(frame[:cut])
+
+    def test_flag_set_with_zero_id_rejected(self):
+        # A frame claiming TRACED must carry a nonzero id: zero would be
+        # indistinguishable from "untraced" downstream.
+        frame = bytearray(encode_request_frame(self._requests(1),
+                                               trace_id=self.TRACE_ID))
+        frame[6:6 + TRACE_ID_BYTES] = b"\x00" * TRACE_ID_BYTES
+        with pytest.raises(ProtocolError):
+            decode_frame_traced(bytes(frame))
+
+    @given(st.integers(1, 2**64 - 1), st.integers(1, 16))
+    @settings(max_examples=50)
+    def test_traced_round_trip_property(self, trace_id, n):
+        requests = self._requests(n)
+        frame = encode_request_frame(requests, trace_id=trace_id)
+        assert decode_frame_traced(frame) == (trace_id, requests)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash_traced_decoders(self, blob):
+        for decoder in (decode_frame_traced, decode_any_traced):
+            try:
+                decoder(blob)
+            except ProtocolError:
+                pass    # the only acceptable failure mode
 
 
 class TestV2FrameMalformedInput:

@@ -1,0 +1,266 @@
+"""Tests for the metrics core: striping, registry, exposition format."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    register_snapshot_gauges,
+)
+
+
+class TestCounter:
+    def test_basic_increment(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_striped_across_threads(self):
+        # Each thread writes its own cell; the sum must be exact.
+        c = Counter("x")
+        per_thread = 10_000
+        n_threads = 8
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == per_thread * n_threads
+
+    def test_fn_counter_rejects_inc(self):
+        c = Counter("x", fn=lambda: 42)
+        assert c.value == 42
+        with pytest.raises(ConfigurationError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_and_inc_by(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.inc_by(1.5)
+        assert g.value == 5.0
+
+    def test_fn_gauge_rejects_set(self):
+        g = Gauge("x", fn=lambda: 7)
+        assert g.value == 7
+        with pytest.raises(ConfigurationError):
+            g.set(1)
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        h = Histogram("x")
+        for v in (0, 1, 2, 3, 1000):
+            h.record(v)
+        assert h.count == 5
+        assert h.sum == 1006
+
+    def test_scale_applies_to_exported_units(self):
+        h = Histogram("x", scale=1e-9)
+        h.record(2_000_000_000)         # 2 s in ns
+        assert h.sum == pytest.approx(2.0)
+        # p50 of a single sample lands in its bucket's geometric midpoint,
+        # which for power-of-two buckets is within 2x of the true value.
+        assert 1.0 <= h.percentile(50) <= 4.0
+
+    def test_negative_values_clamped_to_zero(self):
+        h = Histogram("x")
+        h.record(-5)
+        assert h.count == 1
+        assert h.sum == 0
+
+    def test_striped_across_threads(self):
+        h = Histogram("x")
+        per_thread = 5_000
+        n_threads = 4
+
+        def worker():
+            for i in range(per_thread):
+                h.record(i)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == per_thread * n_threads
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", scale=0.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("x").percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_same_name_and_labels_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("janus_x_total", "help", router="r0")
+        b = reg.counter("janus_x_total", "help", router="r0")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_different_labels_are_distinct_children(self):
+        reg = MetricsRegistry()
+        a = reg.counter("janus_x_total", shard="0")
+        b = reg.counter("janus_x_total", shard="1")
+        assert a is not b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("janus_x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("janus_x_total")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("")
+        with pytest.raises(ConfigurationError):
+            reg.counter("0bad")
+
+    def test_snapshot_gauges(self):
+        reg = MetricsRegistry()
+        state = {"depth": 3, "size": 9}
+        register_snapshot_gauges(reg, "janus_q", lambda: state, node="n1")
+        state["depth"] = 7
+        text = reg.render()
+        assert 'janus_q_depth{node="n1"} 7' in text
+        assert 'janus_q_size{node="n1"} 9' in text
+
+    def test_simnet_engine_exports_through_snapshot_gauges(self):
+        # The DES kernel exposes its counters as a snapshot dict, which
+        # plugs straight into the registry like any other layer.
+        from repro.simnet.engine import Simulation
+
+        sim = Simulation()
+
+        def ticker():
+            yield 1.0
+            yield 2.0
+
+        sim.spawn(ticker())
+        sim.run()
+        reg = MetricsRegistry()
+        register_snapshot_gauges(reg, "janus_sim", sim.metrics_snapshot,
+                                 sim="s0")
+        text = reg.render()
+        assert 'janus_sim_events_processed{sim="s0"}' in text
+        assert 'janus_sim_heap_depth{sim="s0"}' in text
+        assert 'janus_sim_sim_time{sim="s0"} 3' in text
+
+
+#: One exposition sample line: name, optional labels, and a value.
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})?'
+    r' (\+Inf|-Inf|NaN|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$')
+
+
+def assert_prometheus_conformant(text: str) -> None:
+    """Structural checks of the text exposition format (0.0.4)."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    seen_types: dict[str, str] = {}
+    current_family = None
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name not in seen_types, f"duplicate # TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram", "summary",
+                            "untyped")
+            seen_types[name] = kind
+            current_family = name
+            continue
+        if line.startswith("# HELP "):
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line!r}"
+        assert _SAMPLE_RE.match(line), f"malformed sample line {line!r}"
+        metric = line.split("{", 1)[0].split(" ", 1)[0]
+        assert current_family is not None and \
+            metric.startswith(current_family), (
+                f"sample {metric!r} outside its # TYPE block "
+                f"({current_family!r})")
+
+
+class TestExpositionFormat:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("janus_req_total", "requests", router="r0").inc(3)
+        reg.gauge("janus_depth", "queue depth", router="r0").set(2)
+        h = reg.histogram("janus_lat_seconds", "latency", scale=1e-9,
+                          router="r0")
+        for v in (100, 1_000, 1_000_000):
+            h.record(v)
+        return reg
+
+    def test_render_is_conformant(self):
+        assert_prometheus_conformant(self._registry().render())
+
+    def test_type_lines_match_instrument_kinds(self):
+        text = self._registry().render()
+        assert "# TYPE janus_req_total counter" in text
+        assert "# TYPE janus_depth gauge" in text
+        assert "# TYPE janus_lat_seconds histogram" in text
+
+    def test_histogram_buckets_are_cumulative_and_capped(self):
+        text = self._registry().render()
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith("janus_lat_seconds_bucket"):
+                buckets.append(int(line.rsplit(" ", 1)[1]))
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+        assert buckets[-1] == 3, "+Inf bucket must equal the sample count"
+        assert 'le="+Inf"' in text
+        assert "janus_lat_seconds_count" in text
+        assert "janus_lat_seconds_sum" in text
+
+    def test_label_escaping_round_trip(self):
+        reg = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        reg.counter("janus_x_total", key=nasty).inc()
+        text = reg.render()
+        assert 'key="a\\"b\\\\c\\nd"' in text
+        assert_prometheus_conformant(text)
+
+    def test_families_sorted_by_name(self):
+        text = self._registry().render()
+        families = [line.split(" ")[2] for line in text.splitlines()
+                    if line.startswith("# TYPE ")]
+        assert families == sorted(families)
+
+    def test_integer_values_render_without_decimal_point(self):
+        reg = MetricsRegistry()
+        reg.counter("janus_x_total").inc(5)
+        assert "janus_x_total 5\n" in reg.render()
+
+
+class TestEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escape_help(self):
+        assert escape_help("a\nb\\c") == "a\\nb\\\\c"

@@ -1,0 +1,193 @@
+"""Tests for trace ids, sampling determinism, the buffer, the recorder."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.recorder import FlightRecorder, install_dump_signal
+from repro.obs.tracing import (
+    HeadSampler,
+    Span,
+    TraceBuffer,
+    Tracer,
+    format_trace_id,
+    parse_trace_id,
+)
+
+
+class TestTraceIds:
+    def test_format_parse_round_trip(self):
+        for value in (1, 0xDEADBEEF, 2**64 - 1):
+            assert parse_trace_id(format_trace_id(value)) == value
+
+    def test_format_is_16_hex_digits(self):
+        assert format_trace_id(1) == "0" * 15 + "1"
+        assert len(format_trace_id(2**64 - 1)) == 16
+
+    @pytest.mark.parametrize("bad", ["", "zz", "0", "-1", None, "1 2",
+                                     "1" * 17 + "0"])
+    def test_malformed_parses_to_zero(self, bad):
+        assert parse_trace_id(bad) == 0
+
+    def test_tracer_ids_unique_and_nonzero(self):
+        tracer = Tracer(buffer=TraceBuffer())
+        ids = [tracer.new_trace_id() for _ in range(1000)]
+        assert 0 not in ids
+        assert len(set(ids)) == len(ids)
+
+
+class TestHeadSampler:
+    def test_rate_zero_never_samples(self):
+        s = HeadSampler(0.0)
+        assert not any(s.sample() for _ in range(1000))
+
+    def test_rate_one_always_samples(self):
+        s = HeadSampler(1.0)
+        assert all(s.sample() for _ in range(1000))
+
+    def test_rate_half_samples_every_second_request(self):
+        s = HeadSampler(0.5)
+        decisions = [s.sample() for _ in range(10)]
+        assert decisions == [False, True] * 5
+
+    def test_deterministic_across_instances(self):
+        a, b = HeadSampler(0.3), HeadSampler(0.3)
+        assert [a.sample() for _ in range(500)] == \
+            [b.sample() for _ in range(500)]
+
+    @pytest.mark.parametrize("rate,n,expected", [
+        (0.5, 1000, 500), (0.25, 1000, 250), (1 / 64, 6400, 100)])
+    def test_long_run_frequency_is_exact(self, rate, n, expected):
+        s = HeadSampler(rate)
+        assert sum(s.sample() for _ in range(n)) == expected
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            HeadSampler(rate)
+
+
+class TestTraceBuffer:
+    def _span(self, trace_id, start_ns=0):
+        span = Span(trace_id, "n", "layer", start_ns)
+        span.duration_ns = 10
+        return span
+
+    def test_get_orders_by_start_time(self):
+        buf = TraceBuffer()
+        buf.add(self._span(7, start_ns=300))
+        buf.add(self._span(7, start_ns=100))
+        buf.add(self._span(7, start_ns=200))
+        assert [s.start_ns for s in buf.get(7)] == [100, 200, 300]
+
+    def test_unknown_trace_is_empty(self):
+        assert TraceBuffer().get(123) == []
+
+    def test_zero_trace_id_ignored(self):
+        buf = TraceBuffer()
+        buf.add(self._span(0))
+        assert len(buf) == 0
+
+    def test_evicts_oldest_trace_whole(self):
+        buf = TraceBuffer(capacity=2)
+        buf.add(self._span(1))
+        buf.add(self._span(1))          # two spans, one trace
+        buf.add(self._span(2))
+        buf.add(self._span(3))          # evicts trace 1 entirely
+        assert buf.get(1) == []
+        assert len(buf.get(2)) == 1
+        assert len(buf.get(3)) == 1
+        assert buf.ids() == [2, 3]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            TraceBuffer(capacity=0)
+
+
+class TestTracer:
+    def test_finish_sets_duration_and_stores(self):
+        buf = TraceBuffer()
+        tracer = Tracer(buffer=buf)
+        span = tracer.start(9, "op", "router", {"key": "k"})
+        assert span.duration_ns == -1
+        tracer.finish(span, allow=True)
+        assert span.duration_ns >= 0
+        stored = buf.get(9)
+        assert len(stored) == 1
+        assert stored[0].attrs == {"key": "k", "allow": True}
+
+    def test_finish_feeds_recorder(self):
+        recorder = FlightRecorder(capacity=4)
+        tracer = Tracer(buffer=TraceBuffer(), recorder=recorder)
+        tracer.finish(tracer.start(9, "op", "router"))
+        assert recorder.recorded == 1
+        assert recorder.dump()[0]["name"] == "op"
+
+    def test_span_as_dict_shape(self):
+        tracer = Tracer(buffer=TraceBuffer())
+        span = tracer.finish(tracer.start(9, "op", "router", {"n": 2}))
+        d = span.as_dict()
+        assert d["trace_id"] == format_trace_id(9)
+        assert d["name"] == "op"
+        assert d["layer"] == "router"
+        assert d["duration_us"] >= 0
+        assert d["attrs"] == {"n": 2}
+
+
+class TestFlightRecorder:
+    def _span(self, trace_id=5):
+        span = Span(trace_id, "op", "router", 0)
+        span.duration_ns = 1000
+        return span
+
+    def test_ring_wraparound_keeps_newest(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(7):
+            rec.note("evt", seq=i)
+        assert len(rec) == 3
+        assert rec.recorded == 7            # total survives the wrap
+        assert [row["seq"] for row in rec.dump()] == [4, 5, 6]
+
+    def test_mixed_spans_and_notes(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record_span(self._span())
+        rec.note("default_reply", backend="b", key="k")
+        rows = rec.dump()
+        assert rows[0]["type"] == "span" and rows[0]["name"] == "op"
+        assert rows[1]["type"] == "note" and rows[1]["kind"] == "default_reply"
+        assert rows[1]["key"] == "k"
+
+    def test_dump_text_is_json_lines(self):
+        rec = FlightRecorder(capacity=4)
+        rec.note("evt", n=1)
+        rec.record_span(self._span())
+        lines = rec.dump_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0)
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGUSR1"),
+                        reason="platform lacks SIGUSR1")
+    def test_sigusr1_dumps_to_stream(self):
+        rec = FlightRecorder(capacity=4)
+        rec.note("evt", n=1)
+        out = io.StringIO()
+        previous = signal.getsignal(signal.SIGUSR1)
+        try:
+            assert install_dump_signal(rec, stream=out)
+            os.kill(os.getpid(), signal.SIGUSR1)
+            text = out.getvalue()
+            assert "flight recorder dump (1 of 1 recorded)" in text
+            assert '"kind": "evt"' in text
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
