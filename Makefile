@@ -2,13 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-hotpath bench-simkernel bench-wirepath bench-obs experiments experiments-paper examples clean
+.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis.  `janus lint` (repro.analysis) is self-hosted and always
+# gates; ruff and mypy gate when installed (CI installs them) and are
+# skipped with a notice when the local environment lacks them.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipped (pip install ruff)"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "lint: mypy not installed, skipped (pip install mypy)"; \
+	fi
+
+# Default pre-merge check: static analysis, then the tier-1 suite.
+verify: lint
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

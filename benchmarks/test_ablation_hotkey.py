@@ -10,7 +10,6 @@ realized throughput.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.config import ClusterTopology, JanusConfig, RouterConfig
 from repro.core.rules import QoSRule

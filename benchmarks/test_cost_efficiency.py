@@ -7,7 +7,6 @@ representative targets (including the paper's 100 k rps headline point).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics.report import format_table
 from repro.perfmodel.cost import CostModel

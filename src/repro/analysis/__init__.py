@@ -1,0 +1,60 @@
+"""repro.analysis — janus-lint static checks + runtime lock-order detector.
+
+The static side (``janus lint``, ``make lint``, the CI ``lint`` job) is a
+registry of AST checkers over the repository's own concurrency and
+protocol contracts; the runtime side is an opt-in instrumented-lock graph
+that detects acquisition-order cycles and held-duration outliers under
+tests.  See ``docs/ANALYSIS.md`` for the rule catalog and pragma syntax.
+"""
+
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    LintResult,
+    ModuleSource,
+    lint_paths,
+)
+from repro.analysis.lockorder import (
+    InstrumentedLock,
+    LockOrderGraph,
+    current_graph,
+    install_graph,
+    uninstall_graph,
+)
+from repro.analysis.locking import (
+    BlockingUnderLockChecker,
+    LockDisciplineChecker,
+)
+from repro.analysis.protocol import ProtocolInvariantsChecker
+from repro.analysis.timing import MonotonicTimeChecker
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "lint_paths",
+    "all_checkers",
+    "BlockingUnderLockChecker",
+    "DeterminismChecker",
+    "LockDisciplineChecker",
+    "MonotonicTimeChecker",
+    "ProtocolInvariantsChecker",
+    "InstrumentedLock",
+    "LockOrderGraph",
+    "current_graph",
+    "install_graph",
+    "uninstall_graph",
+]
+
+
+def all_checkers() -> "list[Checker]":
+    """Fresh instances of every registered checker, in catalog order."""
+    return [
+        LockDisciplineChecker(),
+        BlockingUnderLockChecker(),
+        MonotonicTimeChecker(),
+        ProtocolInvariantsChecker(),
+        DeterminismChecker(),
+    ]

@@ -1,0 +1,121 @@
+"""Implementation of the ``janus lint`` subcommand.
+
+Kept out of :mod:`repro.cli` so the top-level CLI module stays a thin
+dispatcher and the lint surface is importable (and testable) on its own:
+
+- ``janus lint [paths...]`` — run the checker registry, print one line
+  per finding, exit 1 when anything is flagged;
+- ``--json`` — machine-readable output (schema in
+  :meth:`repro.analysis.framework.LintResult.as_dict`);
+- ``--rules a,b`` — restrict to a subset of rules;
+- ``--list-rules`` — print the catalog and exit;
+- ``--runtime-report [FILE]`` — instead of static analysis, read a
+  lock-order report written by :meth:`LockOrderGraph.save` (the test
+  fixture writes one when ``JANUS_LOCK_REPORT`` is set) and summarize
+  cycles and held-duration outliers; exits 1 when a cycle is present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.analysis import all_checkers
+from repro.analysis.framework import lint_paths
+
+__all__ = ["add_lint_arguments", "run_lint_command",
+           "DEFAULT_RUNTIME_REPORT"]
+
+DEFAULT_RUNTIME_REPORT = ".janus-lock-report.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON document")
+    parser.add_argument("--rules", default=None, metavar="RULE[,RULE...]",
+                        help="run only these rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--runtime-report", nargs="?", default=None,
+                        const=DEFAULT_RUNTIME_REPORT, metavar="FILE",
+                        help="summarize a lock-order runtime report "
+                             f"(default file: {DEFAULT_RUNTIME_REPORT}) "
+                             "instead of running static analysis")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule:<22} {checker.description}")
+        return 0
+    if args.runtime_report is not None:
+        return _runtime_report(args.runtime_report, as_json=args.as_json)
+    rules = ([part.strip() for part in args.rules.split(",") if part.strip()]
+             if args.rules else None)
+    try:
+        result = lint_paths(args.paths, all_checkers(), rules=rules)
+    except ValueError as exc:            # unknown rule name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        print(f"janus lint: {len(result.findings)} finding(s) in "
+              f"{result.files_scanned} file(s) "
+              f"[{', '.join(result.rules)}]",
+              file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _runtime_report(path: str, as_json: bool = False) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no runtime report at {path} — run the tests with "
+              f"JANUS_LOCK_REPORT={path} (lock_order_graph fixture) first",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not a valid report: {exc}", file=sys.stderr)
+        return 2
+    cycles = report.get("cycles", [])
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if cycles else 0
+    locks = report.get("locks", {})
+    print(f"lock-order report: {len(locks)} lock(s), "
+          f"{len(report.get('edges', []))} acquisition edge(s)")
+    for name, stat in locks.items():
+        print(f"  {name:<28} acquisitions={stat.get('acquisitions', 0):<8} "
+              f"held max={stat.get('held_max_s', 0.0) * 1e3:.3f}ms "
+              f"median={stat.get('held_median_s', 0.0) * 1e3:.3f}ms")
+    for outlier in report.get("outliers", []):
+        print(f"  OUTLIER {outlier['lock']}: held up to "
+              f"{outlier['held_max_s'] * 1e3:.3f}ms vs median "
+              f"{outlier['held_median_s'] * 1e3:.3f}ms — something slow "
+              f"runs under this lock")
+    if cycles:
+        for cycle in cycles:
+            print(f"  CYCLE: locks {' <-> '.join(cycle)} are acquired in "
+                  f"conflicting orders (potential deadlock)")
+        return 1
+    print("  no acquisition-order cycles detected")
+    return 0
+
+
+def _main(argv: Optional[list] = None) -> int:      # python -m repro.analysis.cli
+    parser = argparse.ArgumentParser(
+        prog="janus lint", description="janus-lint static analysis")
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

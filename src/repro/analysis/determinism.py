@@ -1,0 +1,132 @@
+"""determinism checker: simulations and experiments must replay exactly.
+
+The DES engine, the workload generators and every experiment script
+promise bit-identical reruns — the golden-trace tests and the parallel
+sweep executor (results "identical at any --jobs value") both depend on
+it.  Three classes of construct silently break that promise:
+
+- **unseeded randomness** — calls through the global :mod:`random`
+  module (``random.random()``, ``random.shuffle(...)``) share one
+  process-wide, time-seeded stream.  Every RNG must be an explicitly
+  seeded ``random.Random(seed)`` instance (see
+  :class:`repro.simnet.rng.RngRegistry`).
+- **wall clocks** — ``time.time()`` / ``datetime.now()`` make output
+  depend on when the run happened, not what it computed.
+- **set iteration** — ``for x in {…}`` / ``for x in set(…)`` orders
+  elements by hash, and string hashes are randomized per process
+  (PYTHONHASHSEED), so two runs visit elements in different orders.
+  Iterate a sorted() view or a list instead.  (Dict iteration is fine:
+  insertion order is a language guarantee.)
+
+Scoped to ``simnet/``, ``workload/`` and ``experiments/`` — the packages
+whose outputs are compared across runs and across machines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, Finding, ModuleSource
+from repro.analysis.timing import _from_imports, _module_aliases
+
+__all__ = ["DeterminismChecker"]
+
+#: random-module attributes that are fine: seeded generator constructors
+#: and introspection helpers that touch no stream state.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom", "getstate",
+                             "setstate", "seed"})
+
+_WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+class DeterminismChecker(Checker):
+    """No unseeded RNG, wall clocks, or set-order iteration in sim code."""
+
+    rule = "determinism"
+    description = ("forbid unseeded random.*, wall clocks and set "
+                   "iteration in simnet/, workload/ and experiments/")
+    scope = ("simnet", "workload", "experiments")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        random_aliases = _module_aliases(tree, "random")
+        random_funcs = {local for local, orig
+                        in _from_imports(tree, "random").items()
+                        if orig not in _RANDOM_ALLOWED}
+        time_aliases = _module_aliases(tree, "time")
+        datetime_aliases = _module_aliases(tree, "datetime")
+        datetime_classes = {local for local, orig
+                            in _from_imports(tree, "datetime").items()
+                            if orig in ("datetime", "date")}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                finding = self._check_call(
+                    module, node, random_aliases, random_funcs,
+                    time_aliases, datetime_aliases, datetime_classes)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    yield module.finding(
+                        self.rule, node.iter,
+                        "iterating a set: order depends on hash "
+                        "randomization — iterate sorted(...) instead")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    if self._is_set_expr(comp.iter):
+                        yield module.finding(
+                            self.rule, comp.iter,
+                            "comprehension over a set: order depends on "
+                            "hash randomization — iterate sorted(...) "
+                            "instead")
+
+    # ------------------------------------------------------------------ #
+
+    def _check_call(self, module, node, random_aliases, random_funcs,
+                    time_aliases, datetime_aliases, datetime_classes):
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            receiver, attr = func.value.id, func.attr
+            if receiver in random_aliases and attr not in _RANDOM_ALLOWED:
+                return module.finding(
+                    self.rule, node,
+                    f"unseeded global RNG call random.{attr}() — use an "
+                    f"explicitly seeded random.Random(seed) instance")
+            if receiver in time_aliases and attr == "time":
+                return module.finding(
+                    self.rule, node,
+                    "wall clock time.time() in deterministic code — use "
+                    "the simulation clock or time.monotonic()")
+            if receiver in (datetime_aliases | datetime_classes) \
+                    and attr in _WALLCLOCK_DATETIME:
+                return module.finding(
+                    self.rule, node,
+                    f"wall clock {receiver}.{attr}() in deterministic "
+                    f"code — pass timestamps in explicitly")
+        elif isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Attribute) \
+                and isinstance(func.value.value, ast.Name) \
+                and func.value.value.id in datetime_aliases \
+                and func.value.attr in ("datetime", "date") \
+                and func.attr in _WALLCLOCK_DATETIME:
+            return module.finding(
+                self.rule, node,
+                f"wall clock datetime.{func.value.attr}.{func.attr}() in "
+                f"deterministic code — pass timestamps in explicitly")
+        elif isinstance(func, ast.Name) and func.id in random_funcs:
+            return module.finding(
+                self.rule, node,
+                f"unseeded global RNG call {func.id}() (from random "
+                f"import) — use a seeded random.Random(seed) instance")
+        return None
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("set", "frozenset"))

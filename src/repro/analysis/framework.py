@@ -1,0 +1,214 @@
+"""janus-lint: the AST-walker framework behind ``janus lint``.
+
+PRs 1–4 made the hot path lock-light and multiplexed by *convention*:
+``*_unlocked`` bucket APIs that are only safe under the owning shard lock,
+group-commit flushes that run with the channel lock held, byte-exact
+protocol-v2 framing arithmetic, monotonic-only timing in benchmarks.  This
+package turns those conventions into enforced contracts: each rule is a
+:class:`Checker` that walks a parsed module and yields :class:`Finding`
+objects, and the suite is gated in CI (``make lint``).
+
+The framework is deliberately small:
+
+- :class:`ModuleSource` — one parsed file plus its pragma table.  A line
+  containing ``# janus-lint: disable=<rule>[,<rule>...]`` suppresses those
+  rules' findings on that line (or, when the pragma is a comment-only
+  line, on the next line); ``disable=all`` suppresses everything.  A
+  ``# janus-lint: disable-file=<rule>`` anywhere suppresses the rule for
+  the whole file.  Pragmas are expected to carry a justification comment —
+  the lint gate reviews them like any other code.
+- :class:`Checker` — a rule with a name, a one-line description, an
+  optional directory ``scope`` (e.g. the no-blocking-under-lock rule only
+  applies to the hot-path packages) and a ``check`` generator.
+- :func:`lint_paths` — walk files/directories, run every (selected)
+  checker, and return a :class:`LintResult` whose findings are sorted and
+  pragma-filtered.  Unparseable files produce a ``syntax-error`` finding
+  rather than crashing the run: the linter must survive anything the
+  repository can contain.
+
+Output shapes (human one-line-per-finding and the JSON document described
+by :meth:`LintResult.as_dict`) live here too so the CLI and the tests
+share one definition.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Schema version of the ``--json`` output document.
+JSON_SCHEMA_VERSION = 1
+
+_PRAGMA = re.compile(r"#\s*janus-lint:\s*disable=([A-Za-z0-9_*,\- ]+)")
+_PRAGMA_FILE = re.compile(r"#\s*janus-lint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+class ModuleSource:
+    """A parsed source file plus its ``janus-lint`` pragma table."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self._line_disables: dict[int, set[str]] = {}
+        self._file_disables: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA_FILE.search(line)
+            if match:
+                self._file_disables.update(self._parse_rules(match.group(1)))
+                continue
+            match = _PRAGMA.search(line)
+            if match:
+                rules = self._parse_rules(match.group(1))
+                self._line_disables.setdefault(lineno, set()).update(rules)
+                # A comment-only pragma line governs the statement below
+                # it — the natural spot when the flagged line is full.
+                if line.lstrip().startswith("#"):
+                    self._line_disables.setdefault(
+                        lineno + 1, set()).update(rules)
+
+    @staticmethod
+    def _parse_rules(spec: str) -> set[str]:
+        return {part.strip() for part in spec.split(",") if part.strip()}
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_disables or "all" in self._file_disables:
+            return True
+        disables = self._line_disables.get(line)
+        return bool(disables) and (rule in disables or "all" in disables)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule=rule, path=self.path,
+                       line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule` (the pragma name), :attr:`description`
+    (one line, shown by ``janus lint --list-rules``) and optionally
+    :attr:`scope` — directory names the rule is restricted to (a module
+    is in scope when any of its path components matches).  ``check``
+    yields findings; pragma filtering happens in :func:`lint_paths`, so
+    checkers never need to consult the pragma table themselves.
+    """
+
+    rule: str = ""
+    description: str = ""
+    scope: Optional[tuple[str, ...]] = None
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if not self.scope:
+            return True
+        parts = Path(module.path).parts
+        return any(name in parts for name in self.scope)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<checker {self.rule}>"
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    files_scanned: int
+    rules: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" not in child.parts:
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str],
+    checkers: Sequence[Checker],
+    rules: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Run ``checkers`` (optionally restricted to ``rules``) over ``paths``."""
+    selected = list(checkers)
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - {c.rule for c in selected}
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(c.rule for c in selected))}")
+        selected = [c for c in selected if c.rule in wanted]
+    findings: list[Finding] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        text = path.read_text(encoding="utf-8")
+        try:
+            module = ModuleSource(str(path), text)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="syntax-error", path=str(path),
+                line=exc.lineno or 0, col=(exc.offset or 0),
+                message=f"file does not parse: {exc.msg}"))
+            continue
+        for checker in selected:
+            if not checker.applies_to(module):
+                continue
+            for finding in checker.check(module):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings=findings, files_scanned=files,
+                      rules=[c.rule for c in selected])

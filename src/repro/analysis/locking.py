@@ -1,0 +1,173 @@
+"""Concurrency-discipline checkers: lock-discipline and blocking-under-lock.
+
+Both rules reason about the same lexical notion of "a lock is held here":
+
+- the statement sits inside a ``with <lock>:`` block, where the context
+  expression *looks like* a lock (its source mentions ``lock`` or
+  ``mutex`` — ``self._lock``, ``channel.lock``, ``self._locks[shard]``,
+  ``stripe.lock`` all match); or
+- the enclosing function's name ends in ``_unlocked`` or ``_locked`` —
+  the repository's documented convention for "the caller already holds
+  the serializing lock" (see :mod:`repro.core.bucket`).
+
+Both contexts reset at function/class boundaries: a nested ``def`` inside
+a ``with lock:`` block runs *later*, when the lock is long released, so
+lexical containment must not leak across it.
+
+**lock-discipline** — any call to a ``*_unlocked``/``*_locked`` method
+must occur in one of the two contexts above.  These methods mutate state
+that is only consistent under the owning lock; a bare call is a data race
+even if it happens to pass today's tests.
+
+**blocking-under-lock** — inside either context, in the hot-path packages
+(``core/``, ``runtime/``, ``obs/``), forbid operations that can block or
+stall for unbounded time while the lock is held: socket send/recv calls,
+``time.sleep``, file I/O (``open``) and logging/printing.  One admission
+decision holding a shard lock across a syscall stalls every worker hashed
+to that shard — exactly the §V-C bottleneck PR 1 removed.  Deliberate
+exceptions (the channel's group-commit flush sends on a *non-blocking*
+socket under the channel lock) carry a pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Checker, Finding, ModuleSource
+
+__all__ = ["BlockingUnderLockChecker", "LockDisciplineChecker"]
+
+_LOCKISH = re.compile(r"lock|mutex", re.IGNORECASE)
+
+#: Method names that can only be called with the owning lock already held.
+_GUARDED_SUFFIXES = ("_unlocked", "_locked")
+
+#: Socket-ish methods that block (or busy the lock holder in a syscall).
+_BLOCKING_METHODS = frozenset({
+    "send", "sendall", "sendto", "sendmsg",
+    "recv", "recvfrom", "recv_into", "recvfrom_into", "recvmsg",
+    "accept", "connect", "makefile",
+})
+
+#: Logging call names (``logging.info(...)``, ``logger.warning(...)``, …).
+_LOG_RECEIVERS = frozenset({"logging", "logger", "log"})
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log",
+})
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Heuristic: does this ``with`` context expression name a lock?"""
+    try:
+        source = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return False
+    return bool(_LOCKISH.search(source))
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _with_holds_lock(node: ast.With) -> bool:
+    return any(_is_lockish(item.context_expr) for item in node.items)
+
+
+class LockDisciplineChecker(Checker):
+    """Calls to ``*_unlocked``/``*_locked`` methods need a held lock."""
+
+    rule = "lock-discipline"
+    description = ("*_unlocked/*_locked calls must be lexically inside a "
+                   "'with <lock>:' block or another *_unlocked/_locked "
+                   "method")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        self._walk(module.tree, False, False, module, findings)
+        yield from findings
+
+    def _walk(self, node: ast.AST, under_lock: bool, exempt: bool,
+              module: ModuleSource, out: list[Finding]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            exempt = node.name.endswith(_GUARDED_SUFFIXES)
+            under_lock = False
+        elif isinstance(node, (ast.Lambda, ast.ClassDef)):
+            exempt = False
+            under_lock = False
+        elif isinstance(node, ast.With) and _with_holds_lock(node):
+            under_lock = True
+        elif isinstance(node, ast.Call) and not (under_lock or exempt):
+            name = _callee_name(node)
+            if name is not None and name.endswith(_GUARDED_SUFFIXES):
+                out.append(module.finding(
+                    self.rule, node,
+                    f"call to {name}() outside any 'with <lock>:' block or "
+                    f"*_unlocked/_locked method — the callee requires its "
+                    f"owning lock to be held"))
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, under_lock, exempt, module, out)
+
+
+class BlockingUnderLockChecker(Checker):
+    """No blocking syscalls / logging while a lock is held (hot path)."""
+
+    rule = "blocking-under-lock"
+    description = ("forbid socket send/recv, time.sleep, open() and "
+                   "logging inside lock-holding code in core/, runtime/ "
+                   "and obs/")
+    scope = ("core", "runtime", "obs")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        self._walk(module.tree, False, module, findings)
+        yield from findings
+
+    def _walk(self, node: ast.AST, under_lock: bool,
+              module: ModuleSource, out: list[Finding]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            under_lock = node.name.endswith(_GUARDED_SUFFIXES)
+        elif isinstance(node, (ast.Lambda, ast.ClassDef)):
+            under_lock = False
+        elif isinstance(node, ast.With) and _with_holds_lock(node):
+            under_lock = True
+        elif under_lock and isinstance(node, ast.Call):
+            blocked = self._blocking_reason(node)
+            if blocked is not None:
+                out.append(module.finding(
+                    self.rule, node,
+                    f"{blocked} while a lock is held — move it outside "
+                    f"the critical section"))
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, under_lock, module, out)
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "file I/O (open())"
+            if func.id == "print":
+                return "print()"
+            if func.id == "sleep":
+                return "sleep()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "time" \
+                and func.attr == "sleep":
+            return "time.sleep()"
+        if func.attr in _BLOCKING_METHODS:
+            return f"socket .{func.attr}()"
+        if func.attr in _LOG_METHODS and isinstance(receiver, ast.Name) \
+                and receiver.id in _LOG_RECEIVERS:
+            return f"logging call {receiver.id}.{func.attr}()"
+        return None

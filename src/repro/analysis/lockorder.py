@@ -1,0 +1,291 @@
+"""Opt-in runtime lock-order race detector.
+
+Static lexical rules (:mod:`repro.analysis.locking`) catch calls that
+*lack* a lock; they cannot see two locks acquired in opposite orders on
+two different code paths — the classic latent deadlock that only fires
+under production interleavings.  This module records what actually
+happened at runtime:
+
+- :class:`InstrumentedLock` wraps a ``threading.Lock`` (or any object
+  with the same acquire/release surface) and reports acquisitions and
+  releases to a :class:`LockOrderGraph`;
+- the graph keeps, per thread, the stack of currently held locks.  Each
+  acquisition adds a *happens-while-holding* edge ``held → acquired``;
+  a cycle in that edge set (A taken under B somewhere, B taken under A
+  somewhere else) is a potential deadlock even if the run never hung;
+- held durations are sampled per lock so outliers — a lock held across
+  something slow — surface in the same report.
+
+Everything is **opt-in and allocation-free when unused**: production
+code keeps constructing plain ``threading.Lock`` objects, nothing is
+patched at import time, and an :class:`InstrumentedLock` built while no
+graph is installed degrades to a thin pass-through.  Tests enable the
+detector with the ``lock_order_graph`` fixture (``tests/conftest.py``),
+which installs a process-wide graph for the duration of one test and
+optionally persists the report for ``janus lint --runtime-report``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Iterator, Optional
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderGraph",
+    "current_graph",
+    "install_graph",
+    "uninstall_graph",
+]
+
+#: Held-duration samples kept per lock (oldest dropped beyond this).
+_MAX_SAMPLES = 4096
+
+_current: Optional["LockOrderGraph"] = None
+_current_mu = threading.Lock()
+
+
+def current_graph() -> Optional["LockOrderGraph"]:
+    """The process-wide graph installed by :func:`install_graph`, if any."""
+    return _current
+
+
+def install_graph(graph: Optional["LockOrderGraph"] = None) -> "LockOrderGraph":
+    """Install (and return) a process-wide graph.  Idempotent-friendly:
+    installing replaces any previous graph."""
+    global _current
+    with _current_mu:
+        _current = graph if graph is not None else LockOrderGraph()
+        return _current
+
+
+def uninstall_graph() -> None:
+    global _current
+    with _current_mu:
+        _current = None
+
+
+class LockOrderGraph:
+    """Acquisition-order edges plus held-duration samples.
+
+    Thread-safe; the recording paths take one internal lock per
+    acquire/release, which is acceptable for the tests and debug runs
+    the detector is designed for (it is never enabled in production).
+    """
+
+    def __init__(self, max_samples: int = _MAX_SAMPLES):
+        self._mu = threading.Lock()
+        self._max_samples = max_samples
+        self._edges: dict[tuple[str, str], int] = {}
+        self._acquisitions: dict[str, int] = {}
+        self._held: dict[str, list[float]] = {}
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # recording (called by InstrumentedLock)
+    # ------------------------------------------------------------------ #
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def note_acquired(self, name: str) -> None:
+        stack = self._stack()
+        with self._mu:
+            self._acquisitions[name] = self._acquisitions.get(name, 0) + 1
+            for held_name, _ in stack:
+                if held_name != name:
+                    edge = (held_name, name)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append((name, time.perf_counter()))
+
+    def note_released(self, name: str, released_at: float) -> None:
+        stack = self._stack()
+        # Locks may be released out of LIFO order; match the most recent
+        # acquisition of this name.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == name:
+                _, acquired_at = stack.pop(index)
+                duration = released_at - acquired_at
+                with self._mu:
+                    samples = self._held.setdefault(name, [])
+                    samples.append(duration)
+                    if len(samples) > self._max_samples:
+                        del samples[:len(samples) - self._max_samples]
+                return
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._mu:
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Lock-name groups whose acquisition edges form a cycle.
+
+        Strongly connected components of the edge graph with more than
+        one member (or a self-edge) — each is a potential deadlock:
+        somewhere A was taken while holding B *and* B while holding A.
+        Components are returned sorted for deterministic reports.
+        """
+        with self._mu:
+            adjacency: dict[str, list[str]] = {}
+            for (src, dst), _ in self._edges.items():
+                adjacency.setdefault(src, []).append(dst)
+                adjacency.setdefault(dst, [])
+        return sorted(_sccs_with_cycles(adjacency))
+
+    def held_stats(self) -> dict[str, dict]:
+        with self._mu:
+            held = {name: list(samples)
+                    for name, samples in self._held.items()}
+            acquisitions = dict(self._acquisitions)
+        stats = {}
+        for name, samples in sorted(held.items()):
+            ordered = sorted(samples)
+            stats[name] = {
+                "acquisitions": acquisitions.get(name, len(samples)),
+                "samples": len(samples),
+                "held_max_s": max(samples) if samples else 0.0,
+                "held_median_s": (ordered[len(ordered) // 2]
+                                  if ordered else 0.0),
+            }
+        return stats
+
+    def outliers(self, factor: float = 8.0,
+                 min_samples: int = 4) -> list[dict]:
+        """Locks whose worst hold time dwarfs their median.
+
+        A lock held ``factor``× longer than its median hold (with at
+        least ``min_samples`` observations) is doing something under
+        the lock that most acquisitions do not — usually I/O that
+        belongs outside the critical section.
+        """
+        flagged = []
+        for name, stat in self.held_stats().items():
+            if stat["samples"] < min_samples:
+                continue
+            median = stat["held_median_s"]
+            threshold = max(median * factor, 1e-6)
+            if stat["held_max_s"] > threshold:
+                flagged.append({"lock": name, **stat})
+        return flagged
+
+    def report(self) -> dict:
+        return {
+            "version": 1,
+            "locks": self.held_stats(),
+            "edges": [{"from": src, "to": dst, "count": count}
+                      for (src, dst), count in sorted(self.edges().items())],
+            "cycles": self.cycles(),
+            "outliers": self.outliers(),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _sccs_with_cycles(adjacency: dict[str, list[str]]) -> Iterator[list[str]]:
+    """Tarjan SCCs (iterative) that actually contain a cycle."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    self_edges = {src for src, dsts in adjacency.items() if src in dsts}
+    results: list[list[str]] = []
+
+    for root in sorted(adjacency):
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work[-1]
+            if edge_index == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbours = adjacency[node]
+            while edge_index < len(neighbours):
+                neighbour = neighbours[edge_index]
+                edge_index += 1
+                if neighbour not in index_of:
+                    work[-1] = (node, edge_index)
+                    work.append((neighbour, 0))
+                    advanced = True
+                    break
+                if neighbour in on_stack:
+                    low[node] = min(low[node], index_of[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or component[0] in self_edges:
+                    results.append(sorted(component))
+    return iter(results)
+
+
+class InstrumentedLock:
+    """A named lock that reports to the installed :class:`LockOrderGraph`.
+
+    Mirrors the ``threading.Lock`` surface (``acquire`` / ``release`` /
+    context manager / ``locked``) so it can stand in anywhere a plain
+    lock is injected.  The graph is resolved once at construction: with
+    no graph installed the wrapper is a two-attribute pass-through and
+    records nothing.
+    """
+
+    __slots__ = ("name", "_lock", "_graph")
+
+    def __init__(self, name: str,
+                 graph: Optional[LockOrderGraph] = None,
+                 lock=None):
+        self.name = name
+        self._lock = lock if lock is not None else threading.Lock()
+        self._graph = graph if graph is not None else current_graph()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired and self._graph is not None:
+            self._graph.note_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        released_at = time.perf_counter()
+        self._lock.release()
+        if self._graph is not None:
+            self._graph.note_released(self.name, released_at)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (f"InstrumentedLock({self.name!r}, "
+                f"instrumented={self._graph is not None})")

@@ -1,0 +1,214 @@
+"""protocol-invariants checker: struct layouts must match their math.
+
+The protocol-v2 wire format (:mod:`repro.core.protocol`) lives and dies
+on byte-exact arithmetic: every ``pack_into`` advances its offset by the
+size of the struct it just packed, and the module's declared header-size
+constants (``FRAME_HEADER_BYTES``, ``TRACE_ID_BYTES``) must equal the
+``struct`` formats they describe.  A one-byte slip silently corrupts
+every frame on the wire — the kind of bug a fuzz test finds only after
+it ships.  This rule cross-checks the declarations statically:
+
+1. every module-level ``NAME = struct.Struct("<fmt>")`` format string
+   must compile (``struct.error`` is a lint finding, not a runtime one);
+2. ``NAME.pack(...)`` / ``NAME.pack_into(buf, off, ...)`` calls must pass
+   exactly as many values as the format has fields;
+3. an offset advanced immediately after a ``pack_into`` —
+   ``S.pack_into(buf, offset, ...)`` followed by ``offset += <size>`` —
+   must advance by ``S``'s own size, where ``<size>`` is another
+   struct's ``.size``, a module-level alias of one (``TRACE_ID_BYTES =
+   _TRACE_ID.size``), or an integer literal;
+4. a module-level integer-literal constant whose name is a struct's
+   name plus ``_BYTES`` (``FRAME_HEADER_BYTES`` ↔ ``_FRAME_HEADER``)
+   must equal that struct's computed size.
+
+The checks are conservative: offsets that are arbitrary expressions, or
+sizes the checker cannot resolve, are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct as _struct
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Checker, Finding, ModuleSource
+
+__all__ = ["ProtocolInvariantsChecker"]
+
+
+def _struct_field_count(compiled: _struct.Struct) -> int:
+    return len(compiled.unpack(b"\0" * compiled.size))
+
+
+class _ModuleStructs:
+    """Module-level ``struct.Struct`` definitions and size aliases."""
+
+    def __init__(self, module: ModuleSource):
+        self.defs: dict[str, _struct.Struct] = {}
+        self.int_consts: dict[str, tuple[int, ast.Assign]] = {}
+        self.size_aliases: dict[str, str] = {}     # alias -> struct name
+        self.bad_formats: list[tuple[ast.AST, str]] = []
+        struct_names = {"struct"}
+        ctor_names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "struct":
+                        struct_names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "struct":
+                for alias in node.names:
+                    if alias.name == "Struct":
+                        ctor_names.add(alias.asname or alias.name)
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call) \
+                    and self._is_struct_ctor(value.func, struct_names,
+                                             ctor_names) \
+                    and len(value.args) == 1 \
+                    and isinstance(value.args[0], ast.Constant) \
+                    and isinstance(value.args[0].value, str):
+                fmt = value.args[0].value
+                try:
+                    self.defs[target.id] = _struct.Struct(fmt)
+                except _struct.error as exc:
+                    self.bad_formats.append(
+                        (value, f"invalid struct format {fmt!r}: {exc}"))
+            elif isinstance(value, ast.Attribute) and value.attr == "size" \
+                    and isinstance(value.value, ast.Name) \
+                    and value.value.id in self.defs:
+                self.size_aliases[target.id] = value.value.id
+            elif isinstance(value, ast.Constant) \
+                    and isinstance(value.value, int) \
+                    and not isinstance(value.value, bool):
+                self.int_consts[target.id] = (value.value, stmt)
+
+    @staticmethod
+    def _is_struct_ctor(func: ast.expr, struct_names: set[str],
+                        ctor_names: set[str]) -> bool:
+        if isinstance(func, ast.Attribute) and func.attr == "Struct" \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in struct_names:
+            return True
+        return isinstance(func, ast.Name) and func.id in ctor_names
+
+    def resolve_size(self, expr: ast.expr) -> Optional[int]:
+        """Byte size of ``T.size`` / size-alias / int-literal expressions."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            return expr.value
+        if isinstance(expr, ast.Attribute) and expr.attr == "size" \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id in self.defs:
+            return self.defs[expr.value.id].size
+        if isinstance(expr, ast.Name) and expr.id in self.size_aliases:
+            return self.defs[self.size_aliases[expr.id]].size
+        return None
+
+
+class ProtocolInvariantsChecker(Checker):
+    """struct formats, pack arity, offset advancement, size constants."""
+
+    rule = "protocol-invariants"
+    description = ("struct format strings, pack/pack_into arity, "
+                   "offset += .size advancement and *_BYTES constants "
+                   "must agree")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        table = _ModuleStructs(module)
+        for node, message in table.bad_formats:
+            yield module.finding(self.rule, node, message)
+        if not table.defs:
+            return
+        yield from self._check_byte_constants(module, table)
+        yield from self._check_arity(module, table)
+        yield from self._check_offset_advance(module, table)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_byte_constants(self, module: ModuleSource,
+                              table: _ModuleStructs) -> Iterator[Finding]:
+        normalized = {name.lstrip("_").upper(): name for name in table.defs}
+        for const_name, (value, stmt) in table.int_consts.items():
+            if not const_name.upper().endswith("_BYTES"):
+                continue
+            base = const_name.upper()[:-len("_BYTES")]
+            struct_name = normalized.get(base)
+            if struct_name is None:
+                continue
+            actual = table.defs[struct_name].size
+            if value != actual:
+                yield module.finding(
+                    self.rule, stmt,
+                    f"{const_name} = {value} but {struct_name} "
+                    f"({table.defs[struct_name].format!r}) is "
+                    f"{actual} bytes")
+
+    def _check_arity(self, module: ModuleSource,
+                     table: _ModuleStructs) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in table.defs
+                    and func.attr in ("pack", "pack_into")):
+                continue
+            if any(isinstance(arg, ast.Starred) for arg in node.args):
+                continue        # *args: arity unknowable statically
+            compiled = table.defs[func.value.id]
+            expected = _struct_field_count(compiled)
+            got = len(node.args) - (2 if func.attr == "pack_into" else 0)
+            if got != expected:
+                yield module.finding(
+                    self.rule, node,
+                    f"{func.value.id}.{func.attr}() packs {got} values but "
+                    f"format {compiled.format!r} has {expected} fields")
+
+    def _check_offset_advance(self, module: ModuleSource,
+                              table: _ModuleStructs) -> Iterator[Finding]:
+        for parent in ast.walk(module.tree):
+            for field in ("body", "orelse", "finalbody"):
+                stmts = getattr(parent, field, None)
+                if not isinstance(stmts, list):
+                    continue
+                for first, second in zip(stmts, stmts[1:]):
+                    finding = self._offset_pair(module, table, first, second)
+                    if finding is not None:
+                        yield finding
+
+    def _offset_pair(self, module: ModuleSource, table: _ModuleStructs,
+                     first: ast.stmt, second: ast.stmt) -> Optional[Finding]:
+        if not (isinstance(first, ast.Expr)
+                and isinstance(first.value, ast.Call)):
+            return None
+        call = first.value
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "pack_into"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in table.defs):
+            return None
+        if len(call.args) < 2 or not isinstance(call.args[1], ast.Name):
+            return None
+        offset_name = call.args[1].id
+        if not (isinstance(second, ast.AugAssign)
+                and isinstance(second.op, ast.Add)
+                and isinstance(second.target, ast.Name)
+                and second.target.id == offset_name):
+            return None
+        advance = table.resolve_size(second.value)
+        if advance is None:
+            return None
+        packed = table.defs[func.value.id]
+        if advance != packed.size:
+            return module.finding(
+                self.rule, second,
+                f"offset advanced by {advance} bytes after "
+                f"{func.value.id}.pack_into() packed {packed.size} "
+                f"(format {packed.format!r})")
+        return None

@@ -1,0 +1,86 @@
+"""monotonic-time checker: wall clocks must not measure durations.
+
+``time.time()`` jumps when NTP slews or steps the clock, so any duration
+computed from it can be negative, zero, or wildly wrong — the classic
+irreproducible-benchmark bug (the Processor-Sharing reproducibility report
+in PAPERS.md traces several reported anomalies to exactly this).  Every
+elapsed-time measurement in the repository must use ``time.monotonic()``
+or ``time.perf_counter()`` (or the :mod:`repro.core.clock` abstraction,
+which wraps them).
+
+The rule flags **every** call to ``time.time()`` (including import
+aliases and ``from time import time``).  Legitimate wall-clock *stamps* —
+the ``unix_time`` field a benchmark report records so a human can tell
+when the run happened — are allowlisted with an inline pragma plus a
+justification::
+
+    "unix_time": time.time(),   # janus-lint: disable=monotonic-time — report stamp, not a duration
+
+so that every wall-clock read in the tree is either a duration bug or a
+reviewed, documented stamp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, Finding, ModuleSource
+
+__all__ = ["MonotonicTimeChecker"]
+
+
+def _module_aliases(tree: ast.Module, module_name: str) -> set[str]:
+    """Names the module ``module_name`` is bound to (``import x as y``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module_name: str) -> dict[str, str]:
+    """``{local_name: original_name}`` for ``from module_name import ...``."""
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name \
+                and node.level == 0:
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return names
+
+
+class MonotonicTimeChecker(Checker):
+    """Flag ``time.time()`` everywhere; stamps get a pragma."""
+
+    rule = "monotonic-time"
+    description = ("forbid time.time() — durations need time.monotonic()/"
+                   "perf_counter(); wall-clock stamps take a pragma")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        time_aliases = _module_aliases(module.tree, "time")
+        # ``from time import time [as t]`` — only the ``time`` symbol.
+        bare_names = {local for local, original
+                      in _from_imports(module.tree, "time").items()
+                      if original == "time"}
+        if not time_aliases and not bare_names:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            hit = False
+            if isinstance(func, ast.Attribute) and func.attr == "time" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in time_aliases:
+                hit = True
+            elif isinstance(func, ast.Name) and func.id in bare_names:
+                hit = True
+            if hit:
+                yield module.finding(
+                    self.rule, node,
+                    "time.time() is a wall clock — use time.monotonic() or "
+                    "time.perf_counter() for durations (pragma a deliberate "
+                    "wall-clock stamp)")

@@ -15,8 +15,8 @@ Works against any QoS check callable, so it runs both over the simulator
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
 
 from repro.core.errors import ConfigurationError, JanusError
 from repro.core.keys import user_database_key

@@ -34,7 +34,7 @@ from repro.simnet.rng import RngRegistry
 from repro.workload.simclient import qos_round_trip
 
 from repro.apps.memcached import Memcached
-from repro.apps.webapp import HTTP_FORBIDDEN, HTTP_OK, ServiceResult
+from repro.apps.webapp import HTTP_FORBIDDEN, HTTP_OK
 
 __all__ = ["PhotoShareApp", "PageView"]
 

@@ -13,6 +13,9 @@ A small operational surface over the real-socket runtime:
 - ``janus obs top|dump|trace`` — the observability plane: a metrics
   snapshot from ``/metrics``, the flight-recorder ring from ``/flight``,
   and one trace's span tree from ``/trace/<id>``;
+- ``janus lint [paths]`` — the janus-lint static-analysis suite
+  (concurrency and protocol contracts, ``docs/ANALYSIS.md``), plus
+  ``--runtime-report`` for the lock-order race detector's output;
 - ``janus experiments ...`` — alias for the reproduction runner.
 
 Installed as the ``janus-experiments`` (runner) and usable via
@@ -257,6 +260,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
     argv = list(args.names)
@@ -474,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
     obs_trace.add_argument("--endpoint", required=True,
                            help="a router URL (not the LB)")
     obs.set_defaults(func=_cmd_obs)
+
+    lint = sub.add_parser(
+        "lint", help="janus-lint static analysis (see docs/ANALYSIS.md)")
+    from repro.analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's evaluation")

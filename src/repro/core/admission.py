@@ -43,10 +43,10 @@ invariant.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol
 
-from repro.core.bucket import LeakyBucket, RefillMode
+from repro.core.bucket import LeakyBucket
 from repro.core.clock import MONOTONIC, Clock
 from repro.core.config import AdmissionConfig
 from repro.core.rules import QoSRule

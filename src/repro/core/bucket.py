@@ -38,6 +38,18 @@ Two API layers are exposed:
   The lifetime counters (``consumed_total``/``denied_total``) are plain
   attributes guarded by whichever lock protects the consume, so the fused
   path pays no extra synchronization for them.
+
+Lock-discipline contract (machine-checked)
+------------------------------------------
+
+The ``_unlocked`` suffix is a load-bearing naming convention, enforced by
+``janus lint``'s ``lock-discipline`` rule: any call to a ``*_unlocked``
+method must appear lexically inside a ``with <lock>:`` block or inside
+another ``*_unlocked``/``*_locked`` method (whose caller, transitively,
+holds the lock).  When adding a fast-path method here, keep the suffix; when
+calling one from new code, take the owning lock first or inherit the
+suffix so the obligation stays visible to both readers and the linter.
+See ``docs/ANALYSIS.md`` for the rule catalog and pragma escape hatch.
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ small capacity and a small refill rate to grant limited access" (§II-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.errors import ConfigurationError

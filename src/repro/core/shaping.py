@@ -16,7 +16,6 @@ periods.  This is the classic token-bucket shaper (GCRA-equivalent).
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 from repro.core.clock import MONOTONIC, Clock
 from repro.core.errors import ConfigurationError

@@ -23,8 +23,8 @@ Types are ``TEXT``, ``INTEGER`` and ``REAL``.  The executor lives in
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Union
 
 from repro.core.errors import SQLError
 

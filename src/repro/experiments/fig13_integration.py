@@ -34,7 +34,7 @@ from repro.core.keys import ip_key
 from repro.core.rules import GUEST_ACCESS, QoSRule
 from repro.experiments.scale import Scale, current_scale
 from repro.metrics.histogram import LatencySummary
-from repro.metrics.report import format_series, format_table
+from repro.metrics.report import format_table
 from repro.metrics.series import RequestLog
 from repro.server.cluster import SimJanusCluster
 from repro.workload.arrival import NoisyConstantArrivals

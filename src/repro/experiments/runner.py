@@ -77,10 +77,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"# Janus reproduction — scale profile: {scale.name}\n")
     try:
         for name in selected:
-            t0 = time.time()
+            t0 = time.perf_counter()
             print(f"## {name}\n")
             print(EXPERIMENTS[name]())
-            print(f"\n[{name} finished in {time.time() - t0:.1f}s]\n")
+            print(f"\n[{name} finished in {time.perf_counter() - t0:.1f}s]\n")
         return 0
     finally:
         if args.jobs is not None:

@@ -157,7 +157,8 @@ def _machine_info() -> dict:
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
-        "unix_time": time.time(),
+        # Report stamp ("when did this bench run"), not a duration input.
+        "unix_time": time.time(),  # janus-lint: disable=monotonic-time
     }
 
 

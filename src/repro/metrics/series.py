@@ -10,7 +10,7 @@ histograms of Fig. 13b.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.core.errors import ConfigurationError
 from repro.metrics.histogram import LatencySample, LatencySummary

@@ -10,7 +10,7 @@ autoscaler policy.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Tuple
+from typing import Deque, Tuple
 
 import numpy as np
 

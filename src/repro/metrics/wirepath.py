@@ -191,7 +191,8 @@ def _machine_info(switch_interval: Optional[float] = None) -> dict:
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
-        "unix_time": time.time(),
+        # Report stamp ("when did this bench run"), not a duration input.
+        "unix_time": time.time(),  # janus-lint: disable=monotonic-time
     }
     if switch_interval is not None:
         info["gil_switch_interval_s"] = switch_interval

@@ -45,12 +45,16 @@ class FlightRecorder:
 
     def record_span(self, span) -> None:
         """Ring a completed span (called by the tracer on finish)."""
-        self._ring.append(("span", time.time(), span))
+        # Wall-clock *stamp* so a human can line dump entries up with
+        # external logs; never used in duration arithmetic (spans carry
+        # their own monotonic durations).
+        self._ring.append(("span", time.time(), span))  # janus-lint: disable=monotonic-time
         self.recorded += 1
 
     def note(self, kind: str, **fields) -> None:
         """Ring a notable non-span event (default reply, drop, ...)."""
-        self._ring.append(("note", time.time(), (kind, fields)))
+        # Wall-clock stamp, as in record_span above.
+        self._ring.append(("note", time.time(), (kind, fields)))  # janus-lint: disable=monotonic-time
         self.recorded += 1
 
     def __len__(self) -> int:

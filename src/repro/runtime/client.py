@@ -34,7 +34,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 from urllib.parse import quote, urlparse
 
 from repro.core.errors import CommunicationError

@@ -647,7 +647,12 @@ class ChannelSet:
                 # client/router spans (documented v2→v1 interop).
                 payload = batch[0].request.encode()
             try:
-                channel.sock.send(payload)
+                # Group-commit by design: the send happens under the
+                # channel lock so concurrent submitters coalesce into one
+                # frame, and the socket is *non-blocking* — a full buffer
+                # raises BlockingIOError and defers to a timer re-flush
+                # instead of stalling the lock holders.
+                channel.sock.send(payload)  # janus-lint: disable=blocking-under-lock
             except BlockingIOError:
                 # Socket buffer full: requeue and let a timer re-flush.
                 # This marker's deadline is sooner than anything already

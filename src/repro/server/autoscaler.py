@@ -23,7 +23,7 @@ partition modulus, so resizing it needs the state migration implemented in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.errors import ConfigurationError

@@ -16,7 +16,7 @@ Two behaviours from the paper live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.clock import Clock

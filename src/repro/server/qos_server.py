@@ -29,7 +29,6 @@ request id (see :mod:`repro.core.dedup`); it is off by default.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Set
 
 from repro.core.admission import AdmissionController, RuleSource

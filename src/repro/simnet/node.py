@@ -16,7 +16,7 @@ graphs.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.core.errors import ConfigurationError
 from repro.simnet.engine import Resource, Simulation

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.errors import ConfigurationError
 from repro.metrics.histogram import LatencySample, LatencySummary

@@ -1,0 +1,35 @@
+"""Fixtures for the janus-lint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_checkers
+from repro.analysis.framework import LintResult, lint_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint an inline snippet and return the :class:`LintResult`.
+
+    ``subdir`` controls which scope the snippet appears to live in —
+    scoped rules (blocking-under-lock, determinism) only apply when a
+    path component matches their package list, so writing the snippet
+    under ``tmp_path/core/`` puts it in the hot-path scope.
+    """
+
+    def run(code: str, *, rules=None, subdir: str = "core",
+            name: str = "snippet.py") -> LintResult:
+        target = tmp_path / subdir if subdir else tmp_path
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / name
+        path.write_text(textwrap.dedent(code))
+        return lint_paths([str(path)], all_checkers(), rules=rules)
+
+    return run
+
+
+def rules_of(result: LintResult) -> list:
+    return [finding.rule for finding in result.findings]

@@ -1,0 +1,84 @@
+"""blocking-under-lock: no blocking syscalls inside hot-path criticals."""
+
+from __future__ import annotations
+
+RULE = ["blocking-under-lock"]
+
+
+def test_socket_send_under_lock_flagged(lint):
+    result = lint("""
+    def flush(self, payload):
+        with self._lock:
+            self.sock.sendto(payload, self.addr)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["blocking-under-lock"]
+    assert "sendto" in result.findings[0].message
+
+
+def test_sleep_and_open_and_logging_under_lock_flagged(lint):
+    result = lint("""
+    import time
+    import logging
+
+    def bad(self, path):
+        with self._lock:
+            time.sleep(0.1)
+            logging.info("holding the lock")
+            with open(path) as handle:
+                return handle.read()
+    """, rules=RULE)
+    assert len(result.findings) == 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "time.sleep" in messages
+    assert "logging" in messages
+    assert "open()" in messages
+
+
+def test_recv_in_locked_suffix_method_flagged(lint):
+    # ``*_locked`` methods run with the caller's lock held — same rule.
+    result = lint("""
+    def _drain_locked(self):
+        return self.sock.recv(65535)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["blocking-under-lock"]
+
+
+def test_send_outside_lock_passes(lint):
+    result = lint("""
+    def fine(self, payload):
+        with self._lock:
+            batch = list(self.pending)
+        self.sock.sendto(payload, self.addr)
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_scope_excludes_non_hotpath_packages(lint):
+    code = """
+    def flush(self, payload):
+        with self._lock:
+            self.sock.sendto(payload, self.addr)
+    """
+    assert lint(code, rules=RULE, subdir="experiments").ok
+    assert not lint(code, rules=RULE, subdir="runtime").ok
+    assert not lint(code, rules=RULE, subdir="obs").ok
+
+
+def test_nested_def_under_lock_not_flagged(lint):
+    result = lint("""
+    def arm(self):
+        with self._lock:
+            def later():
+                self.sock.sendto(b"x", self.addr)
+            return later
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_pragma_with_justification(lint):
+    result = lint("""
+    def _flush_locked(self, payload):
+        # Non-blocking socket: a full buffer raises instead of stalling.
+        self.sock.send(payload)  # janus-lint: disable=blocking-under-lock
+    """, rules=RULE)
+    assert result.ok

@@ -1,0 +1,89 @@
+"""determinism: seeded RNGs only, no wall clocks, no set iteration."""
+
+from __future__ import annotations
+
+RULE = ["determinism"]
+SCOPE = "simnet"
+
+
+def test_unseeded_global_random_flagged(lint):
+    result = lint("""
+    import random
+
+    def jitter():
+        return random.random() * 0.1
+    """, rules=RULE, subdir=SCOPE)
+    assert [f.rule for f in result.findings] == ["determinism"]
+    assert "random.random()" in result.findings[0].message
+
+
+def test_seeded_random_instance_passes(lint):
+    result = lint("""
+    import random
+
+    def make_stream(seed):
+        rng = random.Random(seed ^ 0x9015)
+        return rng.random()
+    """, rules=RULE, subdir=SCOPE)
+    assert result.ok
+
+
+def test_aliased_module_tracked(lint):
+    result = lint("""
+    import random as _random
+
+    def draw():
+        return _random.randint(0, 10)
+    """, rules=RULE, subdir="experiments")
+    assert [f.rule for f in result.findings] == ["determinism"]
+
+
+def test_from_import_of_random_function_flagged(lint):
+    result = lint("""
+    from random import shuffle
+
+    def mix(items):
+        shuffle(items)
+    """, rules=RULE, subdir="workload")
+    assert [f.rule for f in result.findings] == ["determinism"]
+
+
+def test_wall_clocks_flagged(lint):
+    result = lint("""
+    import time
+    from datetime import datetime
+
+    def stamp():
+        return time.time(), datetime.now()
+    """, rules=RULE, subdir=SCOPE)
+    assert [f.rule for f in result.findings] == ["determinism"] * 2
+
+
+def test_set_iteration_flagged(lint):
+    result = lint("""
+    def visit(nodes):
+        for node in set(nodes):
+            node.fire()
+        return [n.name for n in {n for n in nodes}]
+    """, rules=RULE, subdir=SCOPE)
+    assert [f.rule for f in result.findings] == ["determinism"] * 2
+    assert "sorted" in result.findings[0].message
+
+
+def test_sorted_set_iteration_passes(lint):
+    result = lint("""
+    def visit(nodes):
+        for node in sorted(set(nodes)):
+            node.fire()
+    """, rules=RULE, subdir=SCOPE)
+    assert result.ok
+
+
+def test_out_of_scope_module_ignored(lint):
+    result = lint("""
+    import random
+
+    def jitter():
+        return random.random()
+    """, rules=RULE, subdir="runtime")
+    assert result.ok

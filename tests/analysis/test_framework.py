@@ -1,0 +1,141 @@
+"""Framework behaviour: pragmas, JSON schema, rule selection, robustness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import all_checkers
+from repro.analysis.cli import _main as lint_main
+from repro.analysis.framework import JSON_SCHEMA_VERSION, lint_paths
+
+VIOLATION = """
+import time
+
+def elapsed(t0):
+    return time.time() - t0
+"""
+
+
+def test_finding_reported_with_location(lint):
+    result = lint(VIOLATION)
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.rule == "monotonic-time"
+    assert finding.line == 5
+    assert finding.path.endswith("snippet.py")
+    assert "time.time()" in finding.message
+    assert f"{finding.path}:{finding.line}" in finding.format()
+
+
+def test_same_line_pragma_suppresses(lint):
+    result = lint("""
+    import time
+
+    def stamp():
+        return time.time()  # janus-lint: disable=monotonic-time
+    """)
+    assert result.ok
+
+
+def test_comment_line_pragma_governs_next_line(lint):
+    result = lint("""
+    import time
+
+    def stamp():
+        # janus-lint: disable=monotonic-time
+        return time.time()
+    """)
+    assert result.ok
+
+
+def test_pragma_for_other_rule_does_not_suppress(lint):
+    result = lint("""
+    import time
+
+    def elapsed(t0):
+        return time.time() - t0  # janus-lint: disable=lock-discipline
+    """)
+    assert [f.rule for f in result.findings] == ["monotonic-time"]
+
+
+def test_disable_all_pragma(lint):
+    result = lint("""
+    import time
+
+    def elapsed(t0):
+        return time.time() - t0  # janus-lint: disable=all
+    """)
+    assert result.ok
+
+
+def test_file_level_pragma(lint):
+    result = lint("""
+    # janus-lint: disable-file=monotonic-time
+    import time
+
+    def elapsed(t0):
+        return time.time() - t0
+
+    def elapsed2(t0):
+        return time.time() - t0
+    """)
+    assert result.ok
+
+
+def test_rule_selection_restricts_checkers(lint):
+    result = lint(VIOLATION, rules=["lock-discipline"])
+    assert result.ok
+    assert result.rules == ["lock-discipline"]
+
+
+def test_unknown_rule_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([], all_checkers(), rules=["no-such-rule"])
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    result = lint_paths([str(bad)], all_checkers())
+    assert [f.rule for f in result.findings] == ["syntax-error"]
+
+
+def test_directory_walk_skips_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("import time\n")
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    result = lint_paths([str(tmp_path)], all_checkers())
+    assert result.files_scanned == 1 and result.ok
+
+
+def test_json_output_schema(lint):
+    result = lint(VIOLATION)
+    doc = result.as_dict()
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["files_scanned"] == 1
+    assert set(doc["rules"]) == {c.rule for c in all_checkers()}
+    (finding,) = doc["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    json.dumps(doc)     # round-trippable
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\ndef f(t0):\n    return time.time() - t0\n")
+    capsys.readouterr()
+    assert lint_main([str(dirty), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"][0]["rule"] == "monotonic-time"
+    assert lint_main(["--list-rules"]) == 0
+
+
+def test_every_checker_has_rule_and_description():
+    checkers = all_checkers()
+    assert len({c.rule for c in checkers}) == len(checkers) == 5
+    for checker in checkers:
+        assert checker.rule and checker.description

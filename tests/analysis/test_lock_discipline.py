@@ -1,0 +1,83 @@
+"""lock-discipline: *_unlocked/*_locked calls need a held lock."""
+
+from __future__ import annotations
+
+RULE = ["lock-discipline"]
+
+
+def test_bare_unlocked_call_flagged(lint):
+    result = lint("""
+    def leak(bucket):
+        return bucket.try_consume_unlocked(1.0)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+    assert "try_consume_unlocked" in result.findings[0].message
+
+
+def test_call_under_with_lock_passes(lint):
+    result = lint("""
+    def fused(self, bucket):
+        with self._lock:
+            return bucket.try_consume_unlocked(1.0)
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_subscripted_shard_lock_passes(lint):
+    result = lint("""
+    def shard_pass(self, shard, bucket):
+        with self._locks[shard]:
+            bucket.advance_unlocked(0.0)
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_call_inside_unlocked_method_passes(lint):
+    result = lint("""
+    class Bucket:
+        def update_rule_unlocked(self, capacity, rate):
+            self.advance_unlocked(0.0)
+
+        def _create_bucket_locked(self, table, key):
+            return table.credit_unlocked(key)
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_non_lock_with_block_does_not_count(lint):
+    result = lint("""
+    def sneaky(bucket, path):
+        with open(path) as handle:
+            return bucket.try_consume_unlocked(1.0)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+
+
+def test_nested_def_does_not_inherit_lock_context(lint):
+    # The inner function runs later, when the with-block's lock is long
+    # released — lexical containment must not leak across the def.
+    result = lint("""
+    def outer(self, bucket):
+        with self._lock:
+            def callback():
+                return bucket.try_consume_unlocked(1.0)
+            return callback
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+
+
+def test_plain_name_call_checked_too(lint):
+    result = lint("""
+    def helper(advance_unlocked):
+        advance_unlocked(1.0)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+
+
+def test_pragma_disables(lint):
+    result = lint("""
+    def single_threaded_setup(bucket):
+        # Startup path: no other thread exists yet.
+        bucket.restore_credit_unlocked(5.0)  # janus-lint: disable=lock-discipline
+    """, rules=RULE)
+    assert result.ok

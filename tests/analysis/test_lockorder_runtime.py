@@ -1,0 +1,136 @@
+"""Runtime lock-order detector: cycles, outliers, opt-in overhead."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.analysis import (
+    InstrumentedLock,
+    LockOrderGraph,
+    current_graph,
+    install_graph,
+    uninstall_graph,
+)
+from repro.analysis.cli import _main as lint_main
+
+
+def test_inverted_acquisition_order_reports_cycle(lock_order_graph):
+    """The deliberately seeded A→B / B→A inversion must be flagged."""
+    lock_a = InstrumentedLock("shard-a")
+    lock_b = InstrumentedLock("shard-b")
+    started = threading.Event()
+    release_first = threading.Event()
+
+    def path_one():
+        with lock_a:
+            with lock_b:
+                started.set()
+        release_first.set()
+
+    def path_two():
+        release_first.wait(2.0)     # strictly after path_one: no real hang
+        with lock_b:
+            with lock_a:
+                pass
+
+    t1 = threading.Thread(target=path_one)
+    t2 = threading.Thread(target=path_two)
+    t1.start()
+    t2.start()
+    t1.join(2.0)
+    t2.join(2.0)
+    assert started.is_set()
+    assert lock_order_graph.cycles() == [["shard-a", "shard-b"]]
+    edges = lock_order_graph.edges()
+    assert edges[("shard-a", "shard-b")] == 1
+    assert edges[("shard-b", "shard-a")] == 1
+
+
+def test_consistent_order_reports_no_cycle(lock_order_graph):
+    lock_a = InstrumentedLock("a")
+    lock_b = InstrumentedLock("b")
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert lock_order_graph.cycles() == []
+    assert lock_order_graph.edges() == {("a", "b"): 3}
+
+
+def test_held_duration_outlier_detected(lock_order_graph):
+    lock = InstrumentedLock("slow-lock")
+    for _ in range(10):
+        with lock:
+            pass
+    with lock:
+        time.sleep(0.05)        # one hold dwarfing the median
+    outliers = lock_order_graph.outliers()
+    assert [o["lock"] for o in outliers] == ["slow-lock"]
+    assert outliers[0]["held_max_s"] >= 0.05
+    stats = lock_order_graph.held_stats()["slow-lock"]
+    assert stats["acquisitions"] == 11 and stats["samples"] == 11
+
+
+def test_out_of_order_release_handled(lock_order_graph):
+    lock_a = InstrumentedLock("x")
+    lock_b = InstrumentedLock("y")
+    lock_a.acquire()
+    lock_b.acquire()
+    lock_a.release()            # released before the later acquisition
+    lock_b.release()
+    stats = lock_order_graph.held_stats()
+    assert stats["x"]["samples"] == 1 and stats["y"]["samples"] == 1
+
+
+def test_not_enabled_means_no_recording_and_no_patching():
+    """Opt-in only: no graph installed → nothing recorded, and the
+    detector never monkey-patches ``threading.Lock``."""
+    import _thread
+
+    assert current_graph() is None
+    assert threading.Lock is _thread.allocate_lock   # untouched by import
+    lock = InstrumentedLock("unused")
+    with lock:
+        pass                        # records nowhere, raises nothing
+    assert lock._graph is None
+
+
+def test_install_uninstall_roundtrip():
+    graph = install_graph()
+    try:
+        assert current_graph() is graph
+        assert isinstance(graph, LockOrderGraph)
+        lock = InstrumentedLock("g")
+        with lock:
+            pass
+        assert graph.held_stats()["g"]["acquisitions"] == 1
+    finally:
+        uninstall_graph()
+    assert current_graph() is None
+
+
+def test_runtime_report_cli(lock_order_graph, tmp_path, capsys):
+    lock_a = InstrumentedLock("r-a")
+    lock_b = InstrumentedLock("r-b")
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass
+    report_path = tmp_path / "lock-report.json"
+    lock_order_graph.save(str(report_path))
+    assert lint_main(["--runtime-report", str(report_path)]) == 1
+    output = capsys.readouterr().out
+    assert "CYCLE" in output and "r-a" in output and "r-b" in output
+    # A cycle-free report exits 0.
+    clean = LockOrderGraph()
+    clean_lock = InstrumentedLock("only", graph=clean)
+    with clean_lock:
+        pass
+    clean_path = tmp_path / "clean-report.json"
+    clean.save(str(clean_path))
+    assert lint_main(["--runtime-report", str(clean_path)]) == 0
+    # A missing report is a usage error, not a crash.
+    assert lint_main(["--runtime-report", str(tmp_path / "nope.json")]) == 2

@@ -1,0 +1,71 @@
+"""monotonic-time: time.time() is flagged everywhere, pragma for stamps."""
+
+from __future__ import annotations
+
+RULE = ["monotonic-time"]
+
+
+def test_duration_arithmetic_flagged(lint):
+    result = lint("""
+    import time
+
+    def measure(work):
+        t0 = time.time()
+        work()
+        return time.time() - t0
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["monotonic-time"] * 2
+
+
+def test_monotonic_and_perf_counter_pass(lint):
+    result = lint("""
+    import time
+
+    def measure(work):
+        t0 = time.perf_counter()
+        work()
+        return time.monotonic() - t0
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_module_alias_tracked(lint):
+    result = lint("""
+    import time as _time
+
+    def now():
+        return _time.time()
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["monotonic-time"]
+
+
+def test_from_import_tracked(lint):
+    result = lint("""
+    from time import time as wall
+
+    def now():
+        return wall()
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["monotonic-time"]
+
+
+def test_unrelated_time_attribute_not_flagged(lint):
+    # ``obj.time()`` on a non-module receiver is someone else's method.
+    result = lint("""
+    def read(sample):
+        return sample.time()
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_wall_clock_stamp_with_pragma_passes(lint):
+    result = lint("""
+    import time
+
+    def machine_info():
+        return {
+            # Report stamp, not a duration input.
+            "unix_time": time.time(),  # janus-lint: disable=monotonic-time
+        }
+    """, rules=RULE)
+    assert result.ok

@@ -1,0 +1,135 @@
+"""protocol-invariants: struct formats, arity, offsets and constants."""
+
+from __future__ import annotations
+
+RULE = ["protocol-invariants"]
+
+
+def test_invalid_format_string_flagged(lint):
+    result = lint("""
+    import struct
+
+    _HEADER = struct.Struct("!HZQ")
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+    assert "invalid struct format" in result.findings[0].message
+
+
+def test_pack_into_arity_mismatch_flagged(lint):
+    result = lint("""
+    import struct
+
+    _HEADER = struct.Struct("!HBBQ")
+
+    def encode(buf, request_id):
+        _HEADER.pack_into(buf, 0, 0x4A51, 1, request_id)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+    assert "3 values" in result.findings[0].message
+    assert "4 fields" in result.findings[0].message
+
+
+def test_pack_arity_mismatch_flagged(lint):
+    result = lint("""
+    import struct
+
+    _RESP = struct.Struct("!BB")
+
+    def encode(verdict):
+        return _RESP.pack(verdict, 0, 1)
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+
+
+def test_correct_arity_passes(lint):
+    result = lint("""
+    import struct
+
+    _HEADER = struct.Struct("!HBBQ")
+
+    def encode(buf, request_id):
+        _HEADER.pack_into(buf, 0, 0x4A51, 1, 2, request_id)
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_offset_advanced_by_wrong_struct_flagged(lint):
+    result = lint("""
+    import struct
+
+    _HEAD = struct.Struct("!QH")
+    _COST = struct.Struct("!d")
+
+    def encode(buf, offset, request_id, key_len):
+        _HEAD.pack_into(buf, offset, request_id, key_len)
+        offset += _COST.size
+        return offset
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+    assert "advanced by 8" in result.findings[0].message
+
+
+def test_offset_advanced_via_alias_passes(lint):
+    result = lint("""
+    import struct
+
+    _TRACE_ID = struct.Struct("!Q")
+    TRACE_ID_BYTES = _TRACE_ID.size
+
+    def encode(buf, offset, trace_id):
+        _TRACE_ID.pack_into(buf, offset, trace_id)
+        offset += TRACE_ID_BYTES
+        return offset
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_wrong_literal_offset_advance_flagged(lint):
+    result = lint("""
+    import struct
+
+    _ENTRY = struct.Struct("!QBB")
+
+    def encode(buf, offset, rid):
+        _ENTRY.pack_into(buf, offset, rid, 1, 0)
+        offset += 8
+        return offset
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+
+
+def test_header_bytes_constant_mismatch_flagged(lint):
+    result = lint("""
+    import struct
+
+    _FRAME_HEADER = struct.Struct("!HBBH")
+    FRAME_HEADER_BYTES = 8
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["protocol-invariants"]
+    assert "FRAME_HEADER_BYTES = 8" in result.findings[0].message
+    assert "6 bytes" in result.findings[0].message
+
+
+def test_header_bytes_constant_match_passes(lint):
+    result = lint("""
+    import struct
+
+    _FRAME_HEADER = struct.Struct("!HBBH")
+    FRAME_HEADER_BYTES = 6
+    TRACE_ID = struct.Struct("!Q")
+    TRACE_ID_BYTES = TRACE_ID.size
+    MAX_KEY_BYTES = 4096
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_real_protocol_module_is_clean(lint):
+    from pathlib import Path
+
+    from repro.analysis import all_checkers
+    from repro.analysis.framework import lint_paths
+
+    protocol = (Path(__file__).resolve().parents[2]
+                / "src" / "repro" / "core" / "protocol.py")
+    result = lint_paths([str(protocol)], all_checkers(), rules=RULE)
+    assert result.ok

@@ -1,0 +1,29 @@
+"""Self-hosting gate: the repo's own ``src/`` tree must lint clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import all_checkers
+from repro.analysis.framework import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_lints_clean():
+    result = lint_paths([str(REPO_ROOT / "src")], all_checkers())
+    assert result.findings == [], "\n".join(
+        f.format() for f in result.findings
+    )
+    assert result.files_scanned > 50
+
+
+def test_every_rule_was_active():
+    result = lint_paths([str(REPO_ROOT / "src")], all_checkers())
+    assert set(result.rules) == {
+        "lock-discipline",
+        "blocking-under-lock",
+        "monotonic-time",
+        "protocol-invariants",
+        "determinism",
+    }

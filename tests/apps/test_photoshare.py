@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.photoshare import PhotoShareApp
 from repro.core.config import (

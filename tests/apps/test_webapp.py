@@ -7,7 +7,6 @@ import pytest
 from repro.apps.webapp import HTTP_FORBIDDEN, HTTP_OK, SimWebService
 from repro.core.admission import AdmissionController, InMemoryRuleSource
 from repro.core.rules import QoSRule
-from repro.simnet.engine import Simulation
 from repro.simnet.rng import RngRegistry
 
 

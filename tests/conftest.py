@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.clock import ManualClock
@@ -39,3 +41,26 @@ def rule_source() -> InMemoryRuleSource:
         "bob": QoSRule("bob", refill_rate=10.0, capacity=100.0),
         "deny": QoSRule("deny", refill_rate=0.0, capacity=0.0),
     })
+
+
+@pytest.fixture
+def lock_order_graph():
+    """Enable the opt-in runtime lock-order detector for one test.
+
+    Installs a process-wide :class:`repro.analysis.LockOrderGraph` so any
+    :class:`repro.analysis.InstrumentedLock` constructed inside the test
+    records acquisition-order edges and held durations.  When the
+    ``JANUS_LOCK_REPORT`` environment variable names a file, the graph's
+    report is persisted there on teardown for
+    ``janus lint --runtime-report``.
+    """
+    from repro.analysis import install_graph, uninstall_graph
+
+    graph = install_graph()
+    try:
+        yield graph
+    finally:
+        uninstall_graph()
+        report_path = os.environ.get("JANUS_LOCK_REPORT")
+        if report_path:
+            graph.save(report_path)

@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.admission import AdmissionController, InMemoryRuleSource
 from repro.core.bucket import RefillMode
-from repro.core.clock import ManualClock
 from repro.core.config import AdmissionConfig
 from repro.core.rules import DENY_ALL, GUEST_ACCESS, DefaultRulePolicy, QoSRule
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.clock import ManualClock
 from repro.core.dedup import DedupCache
 from repro.core.errors import ConfigurationError
 

@@ -14,7 +14,7 @@ import threading
 
 import pytest
 
-from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.admission import AdmissionController
 from repro.core.clock import ManualClock
 from repro.core.config import AdmissionConfig
 from repro.core.rules import QoSRule

@@ -9,7 +9,6 @@ from repro.db import sql
 from repro.db.sql import (
     BooleanOp,
     ColumnRef,
-    Comparison,
     CreateTable,
     Delete,
     InList,

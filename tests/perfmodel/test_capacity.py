@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import ClusterTopology
-from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.calibration import Calibration
 from repro.perfmodel.capacity import CapacityModel
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import ClusterTopology
 from repro.core.errors import ConfigurationError
 from repro.perfmodel.cost import CostModel
-from repro.simnet.instances import C3_FAMILY, get_instance
+from repro.simnet.instances import get_instance
 
 
 @pytest.fixture

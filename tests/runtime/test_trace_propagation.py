@@ -11,7 +11,6 @@ import json
 import urllib.error
 import urllib.request
 
-import pytest
 
 from repro.core.admission import InMemoryRuleSource
 from repro.core.config import RouterConfig

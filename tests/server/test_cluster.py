@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import ClusterTopology, JanusConfig, ServerConfig
+from repro.core.config import ClusterTopology, JanusConfig
 from repro.core.rules import QoSRule
 from repro.server.cluster import SimJanusCluster
 from repro.workload.keygen import KeyCycle, uuid_keys

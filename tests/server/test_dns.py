@@ -7,7 +7,6 @@ import pytest
 from repro.core.clock import ManualClock
 from repro.core.errors import ConfigurationError, RoutingError
 from repro.server.dns import DnsService, Resolver
-from repro.simnet.rng import RngRegistry
 
 
 @pytest.fixture

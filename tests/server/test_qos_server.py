@@ -7,7 +7,7 @@ import pytest
 from repro.core.admission import InMemoryRuleSource
 from repro.core.config import AdmissionConfig, ServerConfig
 from repro.core.protocol import QoSRequest, QoSResponse
-from repro.core.rules import GUEST_ACCESS, QoSRule
+from repro.core.rules import QoSRule
 from repro.server.qos_server import SimQoSServer, background_load
 from repro.simnet.engine import Simulation
 from repro.simnet.network import Network

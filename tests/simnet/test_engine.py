@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.errors import SimulationError
 from repro.simnet.engine import (
-    Event,
     Interrupt,
     Resource,
     Simulation,

@@ -7,9 +7,7 @@ import statistics
 import pytest
 
 from repro.core.errors import ConfigurationError, SimulationError
-from repro.simnet.engine import Simulation
 from repro.simnet.network import CLIENT_LINK, INTERNAL_LINK, LatencyModel, Network
-from repro.simnet.rng import RngRegistry
 
 
 class TestLatencyModel:
