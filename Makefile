@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs experiments experiments-paper examples clean
+.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -55,6 +55,13 @@ bench-wirepath:
 # BENCH_obs.json at the repo root.  OBS_CHECKS scales duration.
 bench-obs:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_obs_regression.py -q -s -p no:cacheprovider
+
+# Multi-process plane regression gate: aggregate decisions/s at 2 worker
+# processes vs the single-process baseline, port-map fan-in; writes
+# BENCH_multicore.json at the repo root.  The 1.5x gate skips (but still
+# records) on single-CPU hosts.  MULTICORE_CHECKS scales duration.
+bench-multicore:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_multicore_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

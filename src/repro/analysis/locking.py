@@ -122,8 +122,8 @@ class BlockingUnderLockChecker(Checker):
     rule = "blocking-under-lock"
     description = ("forbid socket send/recv, time.sleep, open() and "
                    "logging inside lock-holding code in core/, runtime/ "
-                   "and obs/")
-    scope = ("core", "runtime", "obs")
+                   "(including runtime/procplane/) and obs/")
+    scope = ("core", "runtime", "obs", "procplane")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []

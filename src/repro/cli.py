@@ -114,7 +114,7 @@ def _cmd_rules(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.core.config import RouterConfig
+    from repro.core.config import RouterConfig, ServerConfig
     from repro.runtime.cluster import LocalCluster
 
     router_config = None
@@ -124,15 +124,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         router_config = RouterConfig(udp_timeout=0.05, max_retries=5,
                                      trace_sample_rate=args.trace_rate)
+    server_config = None
+    if args.qos_processes != 1:
+        if args.qos_processes < 1:
+            print("error: --qos-processes must be >= 1", file=sys.stderr)
+            return 2
+        server_config = ServerConfig(workers=4,
+                                     processes=args.qos_processes)
     cluster = LocalCluster(n_routers=args.routers,
                            n_qos_servers=args.qos_servers,
-                           router_config=router_config)
+                           router_config=router_config,
+                           server_config=server_config)
     for rule in load_rules_file(Path(args.rules)):
         cluster.rules.put_rule(rule)
     cluster.start()
+    per_node = (f" x {args.qos_processes} worker processes"
+                if args.qos_processes > 1 else "")
     print(f"Janus serving at {cluster.endpoint} "
-          f"({args.routers} routers, {args.qos_servers} QoS servers, "
-          f"{cluster.rules.count()} rules)")
+          f"({args.routers} routers, {args.qos_servers} QoS servers"
+          f"{per_node}, {cluster.rules.count()} rules)")
     stop = {"flag": False}
 
     def handler(signum, frame):
@@ -372,6 +382,42 @@ def _cmd_bench_wirepath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_multicore(args: argparse.Namespace) -> int:
+    from repro.metrics.multicore import run_multicore_bench, write_report
+
+    if args.checks < 1 or args.clients < 1 or args.repeats < 1 \
+            or args.keys_per_call < 1:
+        print("error: --checks, --clients, --keys-per-call and --repeats "
+              "must be >= 1", file=sys.stderr)
+        return 2
+    if any(w < 1 for w in args.workers):
+        print("error: --workers values must be >= 1", file=sys.stderr)
+        return 2
+    report = run_multicore_bench(
+        worker_counts=tuple(args.workers),
+        fanin=args.fanin,
+        clients=args.clients,
+        checks_per_client=args.checks,
+        keys_per_call=args.keys_per_call,
+        repeats=args.repeats)
+    header = f"{'workers':>8} {'fanin':>10} {'clients':>8} " \
+             f"{'keys/call':>10} {'checks/s':>12} {'defaults':>9}"
+    print(header)
+    print("-" * len(header))
+    for p in report.points:
+        print(f"{p.n_workers:>8} {p.fanin:>10} {p.clients:>8} "
+              f"{p.keys_per_call:>10} {p.checks_per_sec:>12,.0f} "
+              f"{p.default_replies:>9}")
+    for p in report.points:
+        if p.n_workers > 1:
+            ratio = report.speedup(p.n_workers)
+            if ratio is not None:
+                print(f"speedup @{p.n_workers} workers: {ratio:.2f}x")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_bench_obs(args: argparse.Namespace) -> int:
     from repro.metrics.wirepath import (DEFAULT_SAMPLE_RATE, run_obs_ab,
                                         write_report)
@@ -437,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rules", required=True)
     serve.add_argument("--routers", type=int, default=2)
     serve.add_argument("--qos-servers", type=int, default=2)
+    serve.add_argument("--qos-processes", type=int, default=1,
+                       help="worker processes per QoS node (>1 boots the "
+                            "multi-process shard plane)")
     serve.add_argument("--trace-rate", type=float, default=None,
                        help="router head-sampling rate for requests that "
                             "arrive untraced (0..1; default off)")
@@ -543,6 +592,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_wire.add_argument("--repeats", type=int, default=2,
                             help="runs per point (best kept)")
     bench_wire.set_defaults(func=_cmd_bench_wirepath)
+
+    bench_mc = sub.add_parser(
+        "bench-multicore",
+        help="multi-process plane A/B: aggregate decisions/s vs "
+             "worker-process count")
+    bench_mc.add_argument("--out", default="BENCH_multicore.json")
+    bench_mc.add_argument("--workers", type=int, nargs="+", default=[1, 2],
+                          help="worker-process counts to sweep "
+                               "(1 = single-process baseline)")
+    bench_mc.add_argument("--fanin", choices=("portmap", "reuseport"),
+                          default="portmap",
+                          help="UDP fan-in mode for multi-worker points")
+    bench_mc.add_argument("--clients", type=int, default=4,
+                          help="closed-loop client threads")
+    bench_mc.add_argument("--checks", type=int, default=2_000,
+                          help="admission checks per client thread")
+    bench_mc.add_argument("--keys-per-call", type=int, default=32,
+                          help="keys per batched exchange call")
+    bench_mc.add_argument("--repeats", type=int, default=2,
+                          help="interleaved runs per point (best kept)")
+    bench_mc.set_defaults(func=_cmd_bench_multicore)
 
     bench_obs = sub.add_parser(
         "bench-obs",

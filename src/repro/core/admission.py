@@ -49,6 +49,8 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol
 from repro.core.bucket import LeakyBucket
 from repro.core.clock import MONOTONIC, Clock
 from repro.core.config import AdmissionConfig
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import crc32_of
 from repro.core.rules import QoSRule
 
 __all__ = [
@@ -182,10 +184,26 @@ class AdmissionController:
         config: Optional[AdmissionConfig] = None,
         *,
         clock: Clock = MONOTONIC,
+        shard_range: "Optional[tuple[int, int]]" = None,
     ):
         self.config = config or AdmissionConfig()
         self._source = rule_source
         self._clock = clock
+        # Cross-node ownership: ``shard_range=(index, count)`` declares
+        # this controller the owner of keys with
+        # ``crc32(key) % count == index`` (the paper's Fig. 2 partition
+        # function, applied intra-node by the multi-process plane).
+        # Ownership is advisory — ``check`` still decides any key it is
+        # handed (a restart window or a forwarded v1 datagram may land
+        # out-of-range traffic here) — but :meth:`owns` lets the wire
+        # layer route and count hops correctly.
+        if shard_range is not None:
+            index, count = shard_range
+            if count < 1 or not 0 <= index < count:
+                raise ConfigurationError(
+                    f"shard_range must satisfy 0 <= index < count, "
+                    f"got {shard_range}")
+        self.shard_range = shard_range
         n_shards = self.config.lock_shards
         self._n_shards = n_shards
         self._shards: list[Dict[str, LeakyBucket]] = [
@@ -217,6 +235,18 @@ class AdmissionController:
     # ------------------------------------------------------------------ #
     # hot path
     # ------------------------------------------------------------------ #
+
+    def owns(self, key: str) -> bool:
+        """Does this controller's shard range cover ``key``?
+
+        Always ``True`` without a ``shard_range``.  Uses CRC32 — the
+        cross-node routing hash — so a router hashing over the published
+        port map and a worker checking ownership always agree.
+        """
+        if self.shard_range is None:
+            return True
+        index, count = self.shard_range
+        return crc32_of(key) % count == index
 
     def _shard_of(self, key: str) -> int:
         # Builtin str hashing, not CRC32: the hash is cached on the string

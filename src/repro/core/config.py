@@ -16,6 +16,7 @@ from repro.core.rules import DefaultRulePolicy, DENY_ALL
 
 __all__ = [
     "AdmissionConfig",
+    "ProcPlaneConfig",
     "RouterConfig",
     "ServerConfig",
     "ClusterTopology",
@@ -84,7 +85,11 @@ class RouterConfig:
     #: (protocol-v2 batch frames, selectors event thread, timer-wheel
     #: retries); ``"thread"`` reproduces the seed per-thread blocking
     #: socket with one datagram per admission check (kept selectable for
-    #: A/B measurement — see ``repro.metrics.wirepath``).
+    #: A/B measurement — see ``repro.metrics.wirepath``); ``"auto"``
+    #: picks per request: the blocking thread path while concurrency and
+    #: batch size sit below ``auto_channel_threshold`` (where
+    #: BENCH_wirepath shows the channel's event-loop indirection costs
+    #: more than it amortizes), the channel otherwise.
     wire_mode: str = "channel"
     #: Maximum requests the channel coalesces into one v2 frame per send.
     #: 1 disables batching (every request is its own frame/datagram);
@@ -111,15 +116,26 @@ class RouterConfig:
     #: benchmark (``BENCH_obs.json``) gates the default-rate cost at
     #: ≤ 5% throughput and idle-p99.
     trace_sample_rate: float = 0.0
+    #: ``wire_mode="auto"`` decision point: a single check rides the
+    #: thread path while fewer than this many exchanges are in flight on
+    #: the router, and a batch rides the channel once it carries at
+    #: least this many items.  2 means "one lone sequential client stays
+    #: on the seed path; any real concurrency or batching multiplexes".
+    auto_channel_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.udp_timeout <= 0:
             raise ConfigurationError(f"udp_timeout must be > 0, got {self.udp_timeout}")
         if self.max_retries < 1:
             raise ConfigurationError(f"max_retries must be >= 1, got {self.max_retries}")
-        if self.wire_mode not in ("channel", "thread"):
+        if self.wire_mode not in ("channel", "thread", "auto"):
             raise ConfigurationError(
-                f"wire_mode must be 'channel' or 'thread', got {self.wire_mode!r}")
+                f"wire_mode must be 'channel', 'thread' or 'auto', "
+                f"got {self.wire_mode!r}")
+        if self.auto_channel_threshold < 1:
+            raise ConfigurationError(
+                f"auto_channel_threshold must be >= 1, "
+                f"got {self.auto_channel_threshold}")
         if self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}")
@@ -165,10 +181,22 @@ class ServerConfig:
     #: server, where a router retry crossing a delayed response consumes a
     #: duplicate credit.
     dedup_window: "float | None" = None
+    #: Shared-nothing worker *processes* per QoS node (the multi-core
+    #: plane; see :mod:`repro.runtime.procplane`).  1 reproduces the
+    #: paper's single-process node (worker *threads* only, GIL-bound in
+    #: this Python reproduction).  ``P > 1`` splits the node into P
+    #: processes, each owning the CRC32 shard range
+    #: ``crc32(key) % P == i`` with its own admission controller,
+    #: decode loop and metrics registry; the simulator models the same
+    #: topology as P disjoint controller/lock partitions.
+    processes: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.processes < 1:
+            raise ConfigurationError(
+                f"processes must be >= 1, got {self.processes}")
         if self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}")
@@ -179,6 +207,61 @@ class ServerConfig:
             raise ConfigurationError("ha_replication_interval must be > 0")
         if self.dedup_window is not None and self.dedup_window <= 0:
             raise ConfigurationError("dedup_window must be > 0 when set")
+
+
+@dataclass(frozen=True, slots=True)
+class ProcPlaneConfig:
+    """Supervisor knobs for a multi-process QoS node.
+
+    Governs :class:`repro.runtime.procplane.ProcPlaneNode`: how UDP
+    traffic fans in across the worker processes, and how the supervisor
+    supervises (heartbeats, crash restarts, graceful drain).
+    """
+
+    #: Fan-in mode.  ``"portmap"`` (default) gives every worker its own
+    #: private port and publishes the ordered per-shard port map to the
+    #: router, whose ``CRC32(key) mod N`` then lands each frame directly
+    #: on the owning process — zero cross-process hops on the hot path.
+    #: ``"reuseport"`` binds every worker to one shared port with
+    #: ``SO_REUSEPORT``; the kernel spreads frames, and a worker forwards
+    #: out-of-range keys to the owning sibling via a local envelope (one
+    #: extra hop for roughly ``(P-1)/P`` of traffic).
+    fanin: str = "portmap"
+    #: How often each worker writes a heartbeat up its control pipe.
+    heartbeat_interval: float = 0.2
+    #: Silence longer than this (with the process still notionally alive)
+    #: is treated as a hang and triggers a restart.
+    heartbeat_timeout: float = 3.0
+    #: How often each worker ships a bucket-table snapshot up the pipe —
+    #: the re-seed source when the supervisor restarts it after a crash.
+    snapshot_interval: float = 0.5
+    #: Pause before respawning a dead worker (crash-loop damping).
+    restart_backoff: float = 0.05
+    #: Restarts allowed per worker slot before the supervisor gives up
+    #: on it (the router's default replies then cover its shard range).
+    max_restarts: int = 16
+    #: How long the supervisor waits for a spawned worker to report ready.
+    spawn_timeout: float = 30.0
+    #: How long ``stop()`` waits for a worker to drain before terminating it.
+    drain_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.fanin not in ("portmap", "reuseport"):
+            raise ConfigurationError(
+                f"fanin must be 'portmap' or 'reuseport', got {self.fanin!r}")
+        for name in ("heartbeat_interval", "heartbeat_timeout",
+                     "snapshot_interval", "restart_backoff",
+                     "spawn_timeout", "drain_timeout"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(
+                    f"{name} must be > 0, got {getattr(self, name)}")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_interval})")
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
 
 
 @dataclass(frozen=True, slots=True)

@@ -37,7 +37,8 @@ from typing import Callable, Iterable, Optional
 from repro.core.errors import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "register_snapshot_gauges", "escape_label_value", "escape_help"]
+           "register_snapshot_gauges", "merge_renderings",
+           "escape_label_value", "escape_help"]
 
 #: Histogram buckets: bucket ``i`` counts values whose ``bit_length()`` is
 #: ``i``, i.e. bucket 0 holds exactly 0 and bucket i>=1 holds
@@ -380,6 +381,50 @@ class MetricsRegistry:
             for child in children:
                 lines.extend(child.render(family.name))
         return "\n".join(lines) + "\n"
+
+
+def merge_renderings(texts: Iterable[str]) -> str:
+    """Merge several Prometheus text expositions into one conformant one.
+
+    Naively concatenating per-process renderings repeats ``# HELP`` /
+    ``# TYPE`` headers per family, which strict scrapers reject.  This
+    regroups: every sample line is filed under the family its preceding
+    header block declared, headers are emitted once per family (first
+    writer wins), and families come out sorted by name — the same shape
+    one :class:`MetricsRegistry` would have rendered had all instruments
+    lived in one process.  Label sets must disambiguate the sources
+    (every daemon registers with a ``server``/``router`` label, so they
+    do); duplicate series are kept verbatim rather than summed.
+    """
+    families: dict[str, list] = {}      # name -> [help_line, type_line, samples]
+    for text in texts:
+        current: Optional[list] = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split(None, 3)[2]
+                family = families.setdefault(name, [None, None, []])
+                slot = 0 if line.startswith("# HELP ") else 1
+                if family[slot] is None:
+                    family[slot] = line
+                current = family
+            elif current is not None:
+                current[2].append(line)
+            else:
+                # Headerless sample (bare-instrument render): group by
+                # the sample's own name so it still merges by family.
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                families.setdefault(name, [None, None, []])[2].append(line)
+    lines: list[str] = []
+    for name in sorted(families):
+        help_line, type_line, samples = families[name]
+        if help_line is not None:
+            lines.append(help_line)
+        if type_line is not None:
+            lines.append(type_line)
+        lines.extend(samples)
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def register_snapshot_gauges(registry: MetricsRegistry, prefix: str,

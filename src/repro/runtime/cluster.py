@@ -1,11 +1,22 @@
 """LocalCluster: a complete real-socket Janus deployment on localhost.
 
-Boots, on ephemeral ports: ``n_qos_servers`` UDP QoS server daemons sharing
-one rule database, ``n_routers`` HTTP request routers (each knowing the
-full ordered backend list — the partition map), and a gateway load-balancer
-reverse proxy in front.  The result is the paper's Fig. 1a running in one
-process, suitable for integration tests, the quickstart example, and small
-real-socket benchmarks.
+Boots, on ephemeral ports: ``n_qos_servers`` QoS nodes sharing one rule
+database, ``n_routers`` HTTP request routers (each knowing the full
+ordered backend list — the partition map), and a gateway load-balancer
+reverse proxy in front.  The result is the paper's Fig. 1a running on
+one machine, suitable for integration tests, the quickstart example,
+and small real-socket benchmarks.
+
+Each QoS node is either a single in-process
+:class:`~repro.runtime.udp_server.QoSServerDaemon`
+(``ServerConfig.processes == 1``, the default) or a multi-process
+:class:`~repro.runtime.procplane.ProcPlaneNode` — a supervisor plus
+``processes`` shared-nothing shard worker processes.  In the
+multi-process case every worker's private port joins the routers'
+backend list in global shard order, so the routers' CRC32 partitioner
+sends each key directly to its owning worker *process* with zero
+cross-process hops; worker restarts that land on a new port are patched
+into every router via ``replace_backend``.
 
 The UDP timeout defaults to 50 ms rather than the paper's 100 µs: a
 GIL-scheduled Python worker cannot guarantee EC2-class turnarounds, and a
@@ -17,13 +28,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.config import RouterConfig, ServerConfig
+from repro.core.config import ProcPlaneConfig, RouterConfig, ServerConfig
 from repro.db.engine import Engine
 from repro.db.replication import ReplicatedDatabase
 from repro.db.rulestore import RuleStore
+from repro.obs.metrics import merge_renderings
 from repro.runtime.client import QoSClient
 from repro.runtime.http_router import RequestRouterDaemon
 from repro.runtime.loadbalancer import GatewayLoadBalancerDaemon
+from repro.runtime.procplane import ProcPlaneNode
 from repro.runtime.udp_server import QoSServerDaemon
 
 __all__ = ["LocalCluster"]
@@ -39,6 +52,7 @@ class LocalCluster:
         n_qos_servers: int = 2,
         router_config: Optional[RouterConfig] = None,
         server_config: Optional[ServerConfig] = None,
+        plane_config: Optional[ProcPlaneConfig] = None,
         lb_algorithm: str = "round_robin",
         db_ha: bool = True,
     ):
@@ -47,13 +61,19 @@ class LocalCluster:
         self._router_config = router_config or RouterConfig(
             udp_timeout=0.05, max_retries=5)
         self._server_config = server_config or ServerConfig(workers=4)
+        self._plane_config = plane_config or ProcPlaneConfig()
         self._n_routers = n_routers
         self._n_qos = n_qos_servers
         self._lb_algorithm = lb_algorithm
         self.qos_servers: list[QoSServerDaemon] = []
+        self.qos_nodes: list[ProcPlaneNode] = []
         self.routers: list[RequestRouterDaemon] = []
         self.load_balancer: Optional[GatewayLoadBalancerDaemon] = None
         self._running = False
+
+    @property
+    def processes(self) -> int:
+        return self._server_config.processes
 
     # ------------------------------------------------------------------ #
 
@@ -61,22 +81,75 @@ class LocalCluster:
         if self._running:
             return self
         self._running = True
-        self.qos_servers = [
-            QoSServerDaemon(self.rules, config=self._server_config,
-                            name=f"qos-{i}").start()
-            for i in range(self._n_qos)
-        ]
-        backend_addresses = [s.address for s in self.qos_servers]
+        if self.processes > 1:
+            backend_addresses = self._start_nodes()
+        else:
+            self.qos_servers = [
+                QoSServerDaemon(self.rules, config=self._server_config,
+                                name=f"qos-{i}").start()
+                for i in range(self._n_qos)
+            ]
+            backend_addresses = [s.address for s in self.qos_servers]
+        # With multi-process nodes, server.decide spans live in worker
+        # processes; routers collect them over the supervisor pipes so
+        # GET /trace/<id> stays whole-trace.
+        collect = self._node_trace_spans if self.qos_nodes else None
         self.routers = [
             RequestRouterDaemon(backend_addresses,
                                 config=self._router_config,
-                                name=f"router-{i}").start()
+                                name=f"router-{i}",
+                                extra_trace_spans=collect).start()
             for i in range(self._n_routers)
         ]
         self.load_balancer = GatewayLoadBalancerDaemon(
             [r.url for r in self.routers],
             algorithm=self._lb_algorithm).start()
         return self
+
+    def _start_nodes(self) -> "list[tuple[str, int]]":
+        """Boot multi-process nodes; returns the global backend list.
+
+        Worker processes cannot share the parent's in-process rule
+        database, so each node ships a snapshot of the rules at start
+        (rules added later go out via ``put_rules``).  Node ``i`` owns
+        global shards ``[i*P, (i+1)*P)`` of ``n_qos * P`` total, and its
+        workers' ports are appended in that order — the resulting
+        backend list *is* the global shard map the routers hash over.
+        """
+        rules = tuple(self.rules.load_all().values())
+        processes = self.processes
+        shard_total = self._n_qos * processes
+        self.qos_nodes = []
+        for i in range(self._n_qos):
+            node = ProcPlaneNode(
+                rules, config=self._server_config,
+                plane=self._plane_config, name=f"qos-{i}",
+                shard_base=i * processes, shard_total=shard_total,
+                on_remap=self._on_worker_remap)
+            node.start()
+            self.qos_nodes.append(node)
+        addresses: "list[tuple[str, int]]" = []
+        for node in self.qos_nodes:
+            addresses.extend(node.backend_addresses())
+        return addresses
+
+    def _node_trace_spans(self, trace_id: int) -> "list[dict]":
+        """Worker-process spans of one trace, via the supervisor pipes."""
+        spans: "list[dict]" = []
+        for node in self.qos_nodes:
+            spans.extend(node.trace_spans(trace_id))
+        return spans
+
+    def _on_worker_remap(self, shard_index: int, old_addr, new_addr) -> None:
+        """Patch a restarted worker's new port into every router."""
+        for router in self.routers:
+            router.replace_backend(old_addr, new_addr)
+
+    def put_rule(self, rule) -> None:
+        """Write a rule to the database and push it to worker nodes."""
+        self.rules.put_rule(rule)
+        for node in self.qos_nodes:
+            node.put_rules([rule])
 
     def stop(self) -> None:
         if not self._running:
@@ -88,6 +161,8 @@ class LocalCluster:
             router.stop()
         for server in self.qos_servers:
             server.stop()
+        for node in self.qos_nodes:
+            node.stop()
 
     def __enter__(self) -> "LocalCluster":
         return self.start()
@@ -117,30 +192,36 @@ class LocalCluster:
         return self.client().check_many(keys, cost)
 
     def total_decisions(self) -> int:
+        if self.qos_nodes:
+            return sum(node.total_decisions() for node in self.qos_nodes)
         return sum(s.controller.stats.decisions for s in self.qos_servers)
 
     def trace_spans(self, trace_id: int) -> "list[dict]":
-        """Spans of one trace, from the process-wide buffer.
+        """Spans of one trace, across every process of the deployment.
 
-        All of a LocalCluster's daemons share the process, so this is
-        the same data any router's ``GET /trace/<id>`` serves.
+        Router/client spans come from the process-wide buffer; with
+        multi-process nodes the server-side ``server.decide`` spans live
+        in the worker processes and are collected over the supervisor
+        pipes.
         """
         from repro.obs.tracing import global_trace_buffer
-        return [span.as_dict()
-                for span in global_trace_buffer().get(trace_id)]
+        spans = [span.as_dict()
+                 for span in global_trace_buffer().get(trace_id)]
+        spans.extend(self._node_trace_spans(trace_id))
+        return spans
 
     def prometheus_metrics(self) -> str:
-        """Every daemon's registry, concatenated (debugging aid).
+        """Every daemon's registry, merged into one exposition.
 
-        Each router and QoS server renders its own registry; label sets
-        disambiguate the daemons but ``# TYPE`` headers repeat across
-        sections, so scrape one router's ``GET /metrics`` (strictly
-        conformant) rather than this concatenation.
+        Families repeated across daemons (and, for multi-process nodes,
+        across worker processes) are merged under a single
+        ``# HELP``/``# TYPE`` header; label sets keep the series apart.
         """
         parts = [router.prometheus_metrics() for router in self.routers]
         parts.extend(server.metrics.render()
                      for server in self.qos_servers)
-        return "".join(parts)
+        parts.extend(node.metrics_text() for node in self.qos_nodes)
+        return merge_renderings(parts)
 
     def stats(self) -> dict:
         """Aggregated operational view of the whole deployment."""
@@ -158,10 +239,13 @@ class LocalCluster:
                 "local_table_keys": server.controller.table_size(),
                 "malformed_packets": server.malformed_packets,
             })
+        for node in self.qos_nodes:
+            qos.append(node.stats())
         routers = [r.stats() for r in self.routers]
         return {
             "endpoint": self.endpoint if self._running else None,
             "rules_in_database": self.rules.count(),
+            "processes": self.processes,
             "routers": routers,
             "qos_servers": qos,
         }

@@ -42,7 +42,13 @@ The wire path behind both endpoints is selected by
   (:mod:`repro.runtime.udp_channel`);
 - ``"thread"`` — the seed path: each handler thread keeps a private
   blocking UDP socket (``threading.local``) and exchanges one datagram
-  per check, with stale responses discarded by request-id matching.
+  per check, with stale responses discarded by request-id matching;
+- ``"auto"`` — per-call choice: the blocking path while the router is
+  nearly idle (a lone client pays less on a private socket than through
+  the shared event loop — the BENCH_wirepath 1-client case), the
+  channel path as soon as a batch or concurrent requests reach
+  ``RouterConfig.auto_channel_threshold`` and frame-sharing starts
+  paying for itself.
 """
 
 from __future__ import annotations
@@ -53,7 +59,7 @@ import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import RouterConfig
@@ -88,10 +94,15 @@ class RequestRouterDaemon:
         port: int = 0,
         config: Optional[RouterConfig] = None,
         name: str = "router",
+        extra_trace_spans: Optional[Callable[[int], "list[dict]"]] = None,
     ):
         if not qos_servers:
             raise ValueError("router needs at least one QoS server address")
         self.qos_servers = list(qos_servers)
+        # Multi-process nodes keep their server.decide spans in worker
+        # processes; the harness wires a collector here so GET /trace/<id>
+        # still returns the full multi-layer trace.
+        self._extra_trace_spans = extra_trace_spans
         # With one backend the CRC32 partition is constant; skip hashing.
         self._sole_backend = (tuple(self.qos_servers[0])
                               if len(self.qos_servers) == 1 else None)
@@ -136,8 +147,17 @@ class RequestRouterDaemon:
             "janus_router_request_seconds",
             "Admission-check latency through the router (wire exchange)",
             scale=1e-9, **labels)
+        self._m_auto_channel = self.metrics.counter(
+            "janus_router_auto_channel_total",
+            "Auto wire-mode calls routed over the channel path", **labels)
+        self._m_auto_thread = self.metrics.counter(
+            "janus_router_auto_thread_total",
+            "Auto wire-mode calls routed over the blocking path", **labels)
+        #: Requests currently inside an exchange — the load signal the
+        #: "auto" mode switches on.  GIL-atomic +=/-= suffices.
+        self._inflight = 0
         self._channels: Optional[ChannelSet] = None
-        if self.config.wire_mode == "channel":
+        if self.config.wire_mode in ("channel", "auto"):
             self._channels = ChannelSet(self.qos_servers, self.config,
                                         registry=self.metrics,
                                         tracer=self._tracer, labels=labels)
@@ -183,12 +203,15 @@ class RequestRouterDaemon:
                     trace_id = parse_trace_id(parsed.path[len("/trace/"):])
                     spans = (global_trace_buffer().get(trace_id)
                              if trace_id else [])
-                    if not spans:
+                    rendered = [span.as_dict() for span in spans]
+                    if trace_id and router._extra_trace_spans is not None:
+                        rendered.extend(router._extra_trace_spans(trace_id))
+                    if not rendered:
                         self._reply(404, {"error": "unknown trace"})
                         return
                     self._reply(200, {
                         "trace_id": format_trace_id(trace_id),
-                        "spans": [span.as_dict() for span in spans],
+                        "spans": rendered,
                     })
                     return
                 if parsed.path != "/qos":
@@ -391,6 +414,48 @@ class RequestRouterDaemon:
             return self._sole_backend
         return self.qos_servers[crc32_router(key, len(self.qos_servers))]
 
+    def replace_backend(self, old_addr: tuple[str, int],
+                        new_addr: tuple[str, int]) -> bool:
+        """Swap a backend address in place, preserving its shard slot.
+
+        Wired to :class:`~repro.runtime.procplane.ProcPlaneNode`'s
+        ``on_remap``: a restarted worker that lost its port keeps its
+        position in ``qos_servers``, so the CRC32 partition mapping —
+        and therefore every key's owning shard — is unchanged.
+        """
+        old_t, new_t = tuple(old_addr), tuple(new_addr)
+        changed = False
+        for index, addr in enumerate(self.qos_servers):
+            if tuple(addr) == old_t:
+                self.qos_servers[index] = new_t
+                changed = True
+        if self._sole_backend == old_t:
+            self._sole_backend = new_t
+        if changed and self._channels is not None:
+            self._channels.replace_backend(old_t, new_t)
+        return changed
+
+    def _use_channel(self, n_items: int) -> bool:
+        """Pick the wire path for one call.
+
+        ``"channel"`` and ``"thread"`` are unconditional.  ``"auto"``
+        takes the channel only when there is concurrency to amortize —
+        a batch of at least ``auto_channel_threshold`` items, or that
+        many requests currently in flight through this router — because
+        a lone request is faster on the seed blocking path than through
+        the shared event loop (the BENCH_wirepath 1-client regression).
+        """
+        if self._channels is None:
+            return False
+        if self.config.wire_mode == "channel":
+            return True
+        threshold = self.config.auto_channel_threshold
+        if n_items >= threshold or self._inflight >= threshold:
+            self._m_auto_channel.inc()
+            return True
+        self._m_auto_thread.inc()
+        return False
+
     def _resolve_trace_id(self, trace_id: int) -> int:
         """Honour a client-supplied id; head-sample untraced arrivals."""
         if not trace_id and self._sampler.sample():
@@ -422,11 +487,15 @@ class RequestRouterDaemon:
         span = (tracer.start(trace_id, "router.exchange", "router",
                              {"key": key}) if trace_id else None)
         start_ns = time.perf_counter_ns()
-        if self._channels is not None:
-            response, attempts = self._channels.exchange(
-                self.route(key), key, cost, trace_id)
-        else:
-            response, attempts = self._qos_exchange_blocking(key, cost)
+        self._inflight += 1
+        try:
+            if self._use_channel(1):
+                response, attempts = self._channels.exchange(
+                    self.route(key), key, cost, trace_id)
+            else:
+                response, attempts = self._qos_exchange_blocking(key, cost)
+        finally:
+            self._inflight -= 1
         self._m_latency.record(time.perf_counter_ns() - start_ns)
         self._m_requests.inc()
         if response.is_default_reply:
@@ -464,12 +533,17 @@ class RequestRouterDaemon:
         span = (tracer.start(trace_id, "router.exchange", "router",
                              {"n": len(items)}) if trace_id else None)
         start_ns = time.perf_counter_ns()
-        if self._channels is not None:
-            checks = [(self.route(key), key, cost) for key, cost in items]
-            results = self._channels.exchange_many(checks, trace_id)
-        else:
-            results = [self._qos_exchange_blocking(key, cost)
-                       for key, cost in items]
+        self._inflight += 1
+        try:
+            if self._use_channel(len(items)):
+                checks = [(self.route(key), key, cost)
+                          for key, cost in items]
+                results = self._channels.exchange_many(checks, trace_id)
+            else:
+                results = [self._qos_exchange_blocking(key, cost)
+                           for key, cost in items]
+        finally:
+            self._inflight -= 1
         self._m_latency.record(time.perf_counter_ns() - start_ns)
         self._m_requests.inc(len(results))
         defaults = sum(1 for response, _ in results

@@ -333,6 +333,9 @@ class ChannelSet:
                 fn=lambda: self.timer_wakeups, **labels)
         self._channels = {tuple(addr): _BackendChannel(tuple(addr))
                           for addr in backends}
+        # Channels retired by replace_backend; their sockets stay open
+        # until stop() because armed timer entries still reference them.
+        self._retired: list[_BackendChannel] = []
         # The wheel belongs to the event thread.  Send paths arm timers
         # by appending to this deque (append/popleft are atomic, so no
         # lock rides the hot path); the event thread drains it each pass.
@@ -389,8 +392,44 @@ class ChannelSet:
         self._selector.close()
         for channel in self._channels.values():
             channel.sock.close()
+        for channel in self._retired:
+            channel.sock.close()
         self._wake_r.close()
         self._wake_w.close()
+
+    # ------------------------------------------------------------------ #
+    # backend remapping (procplane worker restarts)
+    # ------------------------------------------------------------------ #
+
+    def add_backend(self, backend: tuple[str, int]) -> None:
+        """Open a channel to a new backend address (idempotent)."""
+        addr = tuple(backend)
+        if addr not in self._channels:
+            # Atomic dict swap: readers (stats, gauges, exchanges)
+            # iterate whichever dict they loaded, never a mutating one.
+            self._channels = {**self._channels, addr: _BackendChannel(addr)}
+
+    def replace_backend(self, old: tuple[str, int],
+                        new: tuple[str, int]) -> bool:
+        """Swap one backend address for another in place.
+
+        Used when a restarted shard worker could not rebind its old
+        port.  Exchanges still in flight toward the old address resolve
+        through their armed timers — retries land on a dead address and
+        become default replies, exactly like a lost backend — while new
+        submissions go straight to the replacement channel.
+        """
+        old_addr, new_addr = tuple(old), tuple(new)
+        if old_addr == new_addr:
+            return old_addr in self._channels
+        channels = dict(self._channels)
+        retired = channels.pop(old_addr, None)
+        if retired is not None:
+            self._retired.append(retired)
+        if new_addr not in channels:
+            channels[new_addr] = _BackendChannel(new_addr)
+        self._channels = channels
+        return retired is not None
 
     # ------------------------------------------------------------------ #
     # submission API (any thread)

@@ -63,6 +63,13 @@ _RECV_BUFFER = 65535
 class QoSServerDaemon:
     """One QoS server bound to a local UDP port."""
 
+    #: Subclass hook: a callable ``(data, addr) -> (data, addr)`` applied
+    #: to every received datagram before decoding.  ``None`` (the
+    #: default) keeps the single-process hot path branch-free beyond one
+    #: attribute load; the multi-process plane overrides it to strip the
+    #: sibling-forward envelope (see :mod:`repro.runtime.procplane`).
+    _unwrap = None
+
     def __init__(
         self,
         rule_source: RuleSource,
@@ -71,16 +78,28 @@ class QoSServerDaemon:
         port: int = 0,
         config: Optional[ServerConfig] = None,
         name: str = "qos-server",
+        reuse_port: bool = False,
+        shard_range: "Optional[tuple[int, int]]" = None,
     ):
         self.config = config or ServerConfig(workers=4)
         self.name = name
-        self.controller = AdmissionController(rule_source, self.config.admission)
+        self.controller = AdmissionController(rule_source, self.config.admission,
+                                              shard_range=shard_range)
         self._dedup = (DedupCache(self.config.dedup_window)
                        if self.config.dedup_window is not None else None)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         self._sock.bind((host, port))
         self._sock.settimeout(self.config.recv_timeout)
         self.address: tuple[str, int] = self._sock.getsockname()
+        #: Socket responses are written to.  Defaults to the receive
+        #: socket; the reuseport shard worker points it at the shared
+        #: fan-in socket so replies carry the source address the
+        #: router's *connected* channel socket expects.
+        self.reply_sock = self._sock
         self._fifo: "queue.SimpleQueue" = queue.SimpleQueue()
         self._fifo_depth = 0            # GIL-atomic += / -= suffices
         self._stop = threading.Event()
@@ -153,6 +172,17 @@ class QoSServerDaemon:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    def inject(self, data: bytes, addr: "tuple[str, int]") -> None:
+        """Queue a datagram as if the listener had received it.
+
+        Entry point for auxiliary receive paths (the ``SO_REUSEPORT``
+        fan-in thread, a sibling forward): the payload joins the same
+        FIFO, is decoded by the same workers, and is answered on the
+        daemon's socket toward ``addr``.
+        """
+        self._fifo_depth += 1
+        self._fifo.put([(data, addr)])
+
     # ------------------------------------------------------------------ #
 
     def _listener(self) -> None:
@@ -205,8 +235,9 @@ class QoSServerDaemon:
         """
         check = self.controller.check
         dedup = self._dedup
-        sock = self._sock
+        sock = self.reply_sock
         tracer = self._tracer
+        unwrap = self._unwrap
         while True:
             item = self._fifo.get()
             if item is _STOP:
@@ -215,6 +246,8 @@ class QoSServerDaemon:
             out: list[tuple[bytes, tuple, int]] = []
             malformed = 0
             for data, addr in item:
+                if unwrap is not None:
+                    data, addr = unwrap(data, addr)
                 try:
                     version, trace_id, messages = decode_any_traced(data)
                 except ProtocolError:

@@ -59,6 +59,14 @@ class SimJanusCluster:
         self.db = ReplicatedDatabase()
         self.rules = RuleStore(self.db)
         topo = self.config.topology
+        if topo.qos_ha and self.config.server.processes > 1:
+            # HA replication snapshots/restores one controller per node
+            # (see HAPair); it would silently drop every shard but the
+            # first of a multi-process node.
+            from repro.core.errors import ConfigurationError
+            raise ConfigurationError(
+                "qos_ha does not support ServerConfig.processes > 1;"
+                " run multi-process nodes without HA pairs")
 
         # --- QoS server layer (each under a stable failover DNS name) ----
         self.qos_servers: List[SimQoSServer] = []
@@ -68,7 +76,8 @@ class SimJanusCluster:
             service_name = f"qos-{i}.janus.internal"
             master = SimQoSServer(
                 self.sim, self.net, f"qos-{i}", topo.qos_instance, self.rules,
-                config=self.config.server, calibration=calibration, rng=self.rng)
+                config=self.config.server, calibration=calibration,
+                rng=self.rng, shard_index=i, shard_count=topo.n_qos_servers)
             self.qos_servers.append(master)
             self.qos_service_names.append(service_name)
             if topo.qos_ha:
@@ -137,7 +146,7 @@ class SimJanusCluster:
                 self.sim, self.net, f"qos-{index}",
                 self.config.topology.qos_instance, self.rules,
                 config=self.config.server, calibration=self.calib,
-                rng=self.rng)
+                rng=self.rng, shard_index=index, shard_count=new_count)
             service_name = f"qos-{index}.janus.internal"
             self.dns.register_failover(service_name, server.name)
             return server

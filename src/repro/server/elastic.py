@@ -79,8 +79,7 @@ def resize_qos_layer(
     old_count = len(old_servers)
     if new_count == old_count:
         report = MigrationReport(old_count, new_count,
-                                 sum(s.controller.table_size()
-                                     for s in old_servers), 0, (), ())
+                                 sum(s.table_size() for s in old_servers), 0, (), ())
         return list(old_servers), report
 
     # 1. provision the grown part of the fleet.
@@ -97,7 +96,7 @@ def resize_qos_layer(
     keys_total = 0
     keys_moved = 0
     for old_index, server in enumerate(old_servers):
-        for snap in server.controller.snapshot():
+        for snap in server.bucket_snapshots():
             keys_total += 1
             new_index = crc32_router(snap.key, new_count)
             if new_index != old_index or new_index >= new_count:
@@ -105,7 +104,7 @@ def resize_qos_layer(
                 moves[new_index].append(snap)
     for new_index, snapshots in moves.items():
         target = fleet[new_index]
-        target.controller.restore(snapshots)
+        target.restore_snapshots(snapshots)
         target.mark_warm(s.key for s in snapshots)
 
     # 4. flip every router's partition map (the ordered name list).

@@ -87,6 +87,8 @@ class SimQoSServer:
         calibration: Calibration = DEFAULT_CALIBRATION,
         rng: Optional[RngRegistry] = None,
         warm: bool = False,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ):
         self.sim = sim
         self.net = net
@@ -97,12 +99,40 @@ class SimQoSServer:
         self.calib = calibration
         rng = rng or RngRegistry()
         self._service_rng = rng.stream(f"qos.{name}.service")
-        self.controller = AdmissionController(
-            rule_source, base_config.admission, clock=sim.clock)
+        # ``processes > 1`` models the multi-process plane
+        # (:mod:`repro.runtime.procplane`): P shared-nothing controllers,
+        # one per worker process.  The routers partition keys across the
+        # ``shard_count`` nodes by ``crc32 % shard_count``, so a node at
+        # ``shard_index`` only ever sees hashes congruent to its index —
+        # a naive intra-node ``crc32 % P`` would starve every controller
+        # whose residue class the node hash already consumed.  Instead
+        # each controller owns the *interleaved global* shard
+        # ``shard_index + shard_count * p`` of ``shard_count * P``: the
+        # intra-node pick is ``(crc32 // shard_count) % P``, uniform over
+        # the keys this node receives and consistent with ``owns()``.
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            from repro.core.errors import ConfigurationError
+            raise ConfigurationError(
+                f"shard_index/shard_count must satisfy 0 <= index < count,"
+                f" got ({shard_index}, {shard_count})")
+        processes = base_config.processes
+        self._shard_count = shard_count
+        self.controllers = [
+            AdmissionController(
+                rule_source, base_config.admission, clock=sim.clock,
+                shard_range=(None if processes == 1
+                             else (shard_index + shard_count * p,
+                                   shard_count * processes)))
+            for p in range(processes)
+        ]
+        #: Back-compat alias: the first (or only) process's controller.
+        self.controller = self.controllers[0]
         # The synchronized local-QoS-table lock (§III-C); sharded when the
         # future-work optimization is enabled via AdmissionConfig.
         shards = base_config.admission.lock_shards
-        self._locks = [Resource(sim, 1) for _ in range(shards)]
+        self._lock_shards = shards
+        self._locks = [Resource(sim, 1)
+                       for _ in range(processes * shards)]
         self._ingress: Store = Store(sim)
         self._fifo: Store = Store(sim)
         #: Keys whose rule has already been fetched from the database; a
@@ -169,12 +199,18 @@ class SimQoSServer:
                     self._keys_seen.add(request.key)
                     yield self.sim.timeout(
                         self._jitter(calib.qos_rule_fetch_time))
-                lock = self._locks[crc32_of(request.key) % len(self._locks)]
+                key_hash = crc32_of(request.key)
+                proc = ((key_hash // self._shard_count)
+                        % len(self.controllers)
+                        if len(self.controllers) > 1 else 0)
+                lock = self._locks[proc * self._lock_shards
+                                   + key_hash % self._lock_shards]
                 yield lock.acquire()
                 try:
                     # Critical section: synchronized map lookup + update.
                     yield from self.node.cpu(self._jitter(calib.qos_cpu_serial))
-                    allowed = self.controller.check(request.key, request.cost)
+                    allowed = self.controllers[proc].check(
+                        request.key, request.cost)
                 finally:
                     lock.release()
                 if self._dedup is not None:
@@ -199,7 +235,7 @@ class SimQoSServer:
             yield interval
             if not self.running:
                 return
-            n = self.controller.refill_all()
+            n = sum(c.refill_all() for c in self.controllers)
             # A refill pass walks the local table: charge proportional CPU.
             if n:
                 yield from self.node.cpu(self._jitter(n * 0.2e-6))
@@ -218,22 +254,46 @@ class SimQoSServer:
             now = self.sim.now
             if now + 1e-12 >= next_sync:
                 next_sync += sync_interval
-                n = self.controller.table_size()
+                n = self.table_size()
                 # One DB round trip per local key, pipelined: model as a
                 # single latency plus per-key query time off the hot path.
                 yield self.sim.timeout(self.calib.qos_rule_fetch_time
                                        + n * self.calib.db_query_time * 0.02)
-                self.controller.sync_rules()
+                for controller in self.controllers:
+                    controller.sync_rules()
             if now + 1e-12 >= next_checkpoint:
                 next_checkpoint += checkpoint_interval
-                n = self.controller.table_size()
+                n = self.table_size()
                 yield self.sim.timeout(self.calib.qos_rule_fetch_time
                                        + n * self.calib.db_query_time * 0.02)
-                self.controller.checkpoint()
+                for controller in self.controllers:
+                    controller.checkpoint()
 
     # ------------------------------------------------------------------ #
     # measurement & lifecycle
     # ------------------------------------------------------------------ #
+
+    def table_size(self) -> int:
+        """Local QoS-table keys across every modeled worker process."""
+        return sum(c.table_size() for c in self.controllers)
+
+    def bucket_snapshots(self):
+        """Bucket state across every modeled worker process."""
+        snapshots = []
+        for controller in self.controllers:
+            snapshots.extend(controller.snapshot())
+        return snapshots
+
+    def restore_snapshots(self, snapshots) -> int:
+        """Route each snapshot to the process that owns its key."""
+        if len(self.controllers) == 1:
+            return self.controller.restore(snapshots)
+        per_proc = [[] for _ in self.controllers]
+        for snap in snapshots:
+            proc = (crc32_of(snap.key) // self._shard_count) % len(per_proc)
+            per_proc[proc].append(snap)
+        return sum(controller.restore(batch)
+                   for controller, batch in zip(self.controllers, per_proc))
 
     def begin_window(self) -> None:
         self.node.begin_window()

@@ -64,6 +64,17 @@ def test_scope_excludes_non_hotpath_packages(lint):
     assert not lint(code, rules=RULE, subdir="obs").ok
 
 
+def test_scope_covers_procplane(lint):
+    # The multi-process plane (supervisor + shard workers) is hot-path:
+    # a pipe send under the supervisor's RPC lock stalls every caller.
+    code = """
+    def flush(self, payload):
+        with self._rpc_lock:
+            self.conn.send(payload)
+    """
+    assert not lint(code, rules=RULE, subdir="procplane").ok
+
+
 def test_nested_def_under_lock_not_flagged(lint):
     result = lint("""
     def arm(self):

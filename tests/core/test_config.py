@@ -9,6 +9,7 @@ from repro.core.config import (
     AdmissionConfig,
     ClusterTopology,
     JanusConfig,
+    ProcPlaneConfig,
     RouterConfig,
     ServerConfig,
 )
@@ -47,6 +48,11 @@ class TestRouterConfig:
         assert config.wire_protocol == 2
         assert config.timer_tick == pytest.approx(0.005)
 
+    def test_auto_wire_mode(self):
+        config = RouterConfig(wire_mode="auto")
+        assert config.wire_mode == "auto"
+        assert config.auto_channel_threshold == 2
+
     @pytest.mark.parametrize("kwargs", [
         {"udp_timeout": 0.0},
         {"max_retries": 0},
@@ -54,6 +60,7 @@ class TestRouterConfig:
         {"batch_size": 0},
         {"wire_protocol": 3},
         {"timer_tick": 0.0},
+        {"auto_channel_threshold": 0},
     ])
     def test_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -72,9 +79,37 @@ class TestServerConfig:
         with pytest.raises(ConfigurationError):
             ServerConfig(recv_timeout=0.0)
 
+    def test_processes_default_single(self):
+        assert ServerConfig().processes == 1
+
+    def test_invalid_processes(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(processes=0)
+
     def test_invalid_replication_interval(self):
         with pytest.raises(ConfigurationError):
             ServerConfig(ha_replication_interval=0.0)
+
+
+class TestProcPlaneConfig:
+    def test_defaults(self):
+        config = ProcPlaneConfig()
+        assert config.fanin == "portmap"
+        assert config.heartbeat_timeout > config.heartbeat_interval
+
+    @pytest.mark.parametrize("kwargs", [
+        {"fanin": "multicast"},
+        {"heartbeat_interval": 0.0},
+        {"heartbeat_timeout": 0.0},
+        {"snapshot_interval": 0.0},
+        {"restart_backoff": -1.0},
+        {"max_restarts": -1},
+        {"spawn_timeout": 0.0},
+        {"drain_timeout": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ProcPlaneConfig(**kwargs)
 
 
 class TestClusterTopology:

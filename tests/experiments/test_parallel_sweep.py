@@ -45,21 +45,34 @@ def _crash_on_two(x: int) -> int:
     return x
 
 
+@pytest.fixture
+def force_multicpu(monkeypatch):
+    """Pin the executor's CPU view above 1 so ``jobs > 1`` really pools.
+
+    The single-CPU fallback would otherwise turn the pool tests into
+    serial runs on 1-CPU hosts — and the worker-crash test's
+    ``os._exit`` would then kill the pytest process itself.
+    """
+    import repro.experiments.parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+
+
 class TestRunTasks:
     def test_serial_matches_map(self):
         assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
 
-    def test_parallel_preserves_input_order(self):
+    def test_parallel_preserves_input_order(self, force_multicpu):
         items = list(range(12))
         assert run_tasks(_square, items, jobs=4) == [x * x for x in items]
 
     @pytest.mark.parametrize("jobs", [1, 4])
-    def test_task_exception_names_the_point(self, jobs):
+    def test_task_exception_names_the_point(self, jobs, force_multicpu):
         with pytest.raises(SweepError, match=r"point 'p3'.*boom on 3"):
             run_tasks(_fail_on_three, [1, 2, 3, 4], jobs=jobs,
                       labels=["p1", "p2", "p3", "p4"])
 
-    def test_worker_crash_is_a_clean_error_not_a_hang(self):
+    def test_worker_crash_is_a_clean_error_not_a_hang(self, force_multicpu):
         """A worker dying mid-task (OOM kill, segfault) must abort the
         sweep with an error naming a point, not wedge the pool."""
         with pytest.raises(SweepError,
@@ -69,6 +82,26 @@ class TestRunTasks:
     def test_labels_length_checked(self):
         with pytest.raises(SweepError, match="length mismatch"):
             run_tasks(_square, [1, 2], jobs=1, labels=["only-one"])
+
+    def test_single_cpu_falls_back_to_serial(self, monkeypatch, caplog):
+        """On a 1-CPU host a pool only adds spawn + pickling overhead on
+        top of time-sliced execution, so the sweep runs serially — with
+        a logged warning, never silently."""
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        with caplog.at_level("WARNING", logger=parallel_mod.__name__):
+            assert run_tasks(_square, [1, 2, 3], jobs=4) == [1, 4, 9]
+        assert any("falling back to serial" in record.message
+                   for record in caplog.records)
+
+    def test_multi_cpu_keeps_the_pool_quietly(self, monkeypatch, caplog):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        with caplog.at_level("WARNING", logger=parallel_mod.__name__):
+            assert run_tasks(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        assert not caplog.records
 
 
 class TestJobsResolution:

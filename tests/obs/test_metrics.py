@@ -264,3 +264,36 @@ class TestEscaping:
 
     def test_escape_help(self):
         assert escape_help("a\nb\\c") == "a\\nb\\\\c"
+
+
+class TestMergeRenderings:
+    """Merging per-process renderings into one conformant exposition."""
+
+    def _render(self, source: str, count: int) -> str:
+        reg = MetricsRegistry()
+        reg.counter("janus_req_total", "requests", server=source).inc(count)
+        reg.gauge("janus_depth", "queue depth", server=source).set(count)
+        return reg.render()
+
+    def test_headers_deduplicated_families_sorted(self):
+        from repro.obs.metrics import merge_renderings
+
+        merged = merge_renderings([self._render("w0", 3),
+                                   self._render("w1", 5)])
+        assert_prometheus_conformant(merged)
+        assert merged.count("# TYPE janus_req_total counter") == 1
+        assert merged.count("# HELP janus_req_total") == 1
+        # Both processes' label sets survive side by side.
+        assert 'janus_req_total{server="w0"} 3' in merged
+        assert 'janus_req_total{server="w1"} 5' in merged
+        families = [line.split()[2] for line in merged.splitlines()
+                    if line.startswith("# TYPE ")]
+        assert families == sorted(families)
+
+    def test_empty_and_single_inputs(self):
+        from repro.obs.metrics import merge_renderings
+
+        assert merge_renderings([]) == ""
+        one = self._render("w0", 1)
+        assert_prometheus_conformant(merge_renderings([one]))
+        assert merge_renderings([one, ""]) == merge_renderings([one])

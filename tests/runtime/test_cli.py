@@ -186,3 +186,28 @@ class TestBenchWirepathCommand:
         assert main(["bench-wirepath", "--checks", "0"]) == 2
         assert main(["bench-wirepath", "--clients", "0"]) == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestBenchMulticoreCommand:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        # A toy sweep: one single-process and one 2-process point, enough
+        # to exercise the supervisor end to end and the JSON artifact.
+        out_path = tmp_path / "BENCH_multicore.json"
+        code = main(["bench-multicore", "--out", str(out_path),
+                     "--workers", "1", "2", "--clients", "2",
+                     "--checks", "64", "--keys-per-call", "16",
+                     "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup @2 workers:" in out
+        assert f"wrote {out_path}" in out
+        report = json.loads(out_path.read_text())
+        workers = {p["n_workers"] for p in report["points"]}
+        assert workers == {1, 2}
+        assert all(p["default_replies"] == 0 for p in report["points"])
+        assert "workers2" in report["speedup_over_single_process"]
+
+    def test_rejects_bad_arguments(self, capsys):
+        assert main(["bench-multicore", "--checks", "0"]) == 2
+        assert main(["bench-multicore", "--workers", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err

@@ -250,6 +250,28 @@ class TestWireModes:
         finally:
             self._teardown(router, servers)
 
+    def test_auto_mode_picks_surface_by_batch_size(self):
+        # "auto": a lone GET rides the seed thread path (no frame
+        # overhead for a single key), a batch at or over the threshold
+        # rides the multiplexed channel; both counters tell the story.
+        router, servers = self._stack("auto")
+        try:
+            status, payload = get_json(f"{router.url}/qos?key=alice")
+            assert status == 200 and payload["allow"]
+            status, payload = post_json(f"{router.url}/qos/batch", {
+                "items": [{"key": "alice"}, {"key": "empty"}]})
+            assert status == 200
+            assert [r["allow"] for r in payload["results"]] == [True, False]
+            stats = router.stats()
+            assert stats["wire_mode"] == "auto"
+            # The channel exists (and is counted) in auto mode.
+            assert stats["channel"]["messages_sent"] >= 2
+            metrics = router.metrics.render()
+            assert "janus_router_auto_thread_total" in metrics
+            assert "janus_router_auto_channel_total" in metrics
+        finally:
+            self._teardown(router, servers)
+
     def test_batch_spans_partitions(self):
         # Keys routed to different backends still come back in order
         # from one POST (the channel set fans out per backend).

@@ -254,3 +254,47 @@ class TestStats:
             assert d["messages_sent"] == 32
         finally:
             channels.stop()
+
+
+class TestBackendMutation:
+    """add_backend/replace_backend: live partition-map surgery."""
+
+    def test_add_backend_joins_live_set(self, rules, server):
+        channels = make_channels(server)
+        try:
+            with QoSServerDaemon(rules,
+                                 config=ServerConfig(workers=2)) as extra:
+                channels.add_backend(extra.address)
+                response, _ = channels.exchange(extra.address, "alice", 1.0)
+                assert response.allowed
+                assert not response.is_default_reply
+        finally:
+            channels.stop()
+
+    def test_replace_backend_swaps_address(self, rules, server):
+        channels = make_channels(server)
+        try:
+            response, _ = channels.exchange(server.address, "alice", 1.0)
+            assert response.allowed
+            with QoSServerDaemon(rules,
+                                 config=ServerConfig(workers=2)) as successor:
+                assert channels.replace_backend(server.address,
+                                                successor.address)
+                # The old address is gone, the new one answers for real.
+                response, _ = channels.exchange(successor.address,
+                                                "alice", 1.0)
+                assert response.allowed
+                assert not response.is_default_reply
+        finally:
+            channels.stop()
+
+    def test_replace_unknown_backend_is_noop(self, server):
+        channels = make_channels(server)
+        try:
+            assert not channels.replace_backend(("127.0.0.1", 1),
+                                                ("127.0.0.1", 2))
+            # The original backend still works.
+            response, _ = channels.exchange(server.address, "alice", 1.0)
+            assert response.allowed
+        finally:
+            channels.stop()

@@ -110,3 +110,76 @@ class TestTrafficFlow:
         late = [r for r in client.log.records if r.finished_at > 1.5]
         genuine = [r for r in late if not r.is_default_reply]
         assert len(genuine) > 0.9 * len(late)
+
+
+class TestMultiProcessModel:
+    """``ServerConfig.processes > 1``: the DES model of the process plane."""
+
+    def _build(self, processes=2):
+        from repro.core.config import ServerConfig
+
+        config = JanusConfig(
+            topology=ClusterTopology(n_routers=1, n_qos_servers=2),
+            server=ServerConfig(workers=2, processes=processes))
+        cluster = SimJanusCluster(config)
+        keys = uuid_keys(60)
+        for k in keys:
+            cluster.rules.put_rule(QoSRule(k, refill_rate=1e6, capacity=1e6))
+        cluster.prewarm()
+        return cluster, keys
+
+    def test_traffic_flows_and_quota_holds(self):
+        cluster, keys = self._build()
+        clients = [ClosedLoopClient(cluster, f"c{i}", KeyCycle(keys, i),
+                                    mode="gateway", n_requests=40)
+                   for i in range(2)]
+        cluster.sim.run(until=5.0)
+        assert all(c.done for c in clients)
+        assert all(r.allowed for c in clients for r in c.log.records)
+
+    def test_decisions_spread_across_process_controllers(self):
+        from repro.core.hashing import crc32_of
+
+        cluster, keys = self._build(processes=4)
+        server = cluster.qos_servers[0]
+        assert len(server.controllers) == 4
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), mode="gateway",
+                         n_requests=200)
+        cluster.sim.run(until=5.0)
+        # Each key's bucket lives in exactly the controller its global
+        # interleaved shard selects (node i + 2*p of 8, so the intra-node
+        # pick is crc32 // 2 mod 4); across 60 uuid keys every shard is
+        # populated, and each controller owns() exactly its own keys.
+        for p, controller in enumerate(server.controllers):
+            assert controller.shard_range == (0 + 2 * p, 8)
+            for key in controller.local_keys():
+                assert (crc32_of(key) // 2) % 4 == p
+                assert controller.owns(key)
+        populated = sum(1 for c in server.controllers if c.table_size())
+        assert populated == 4
+        # The node view aggregates the shards.
+        assert server.table_size() == sum(
+            c.table_size() for c in server.controllers)
+
+    def test_snapshot_restore_routes_by_shard(self):
+        cluster, keys = self._build(processes=2)
+        server = cluster.qos_servers[0]
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), mode="gateway",
+                         n_requests=100)
+        cluster.sim.run(until=5.0)
+        snapshots = server.bucket_snapshots()
+        assert snapshots
+        fresh = cluster.qos_servers[1]
+        restored = fresh.restore_snapshots(snapshots)
+        assert restored == len(snapshots)
+
+    def test_ha_with_processes_rejected(self):
+        from repro.core.config import ServerConfig
+        from repro.core.errors import ConfigurationError
+
+        config = JanusConfig(
+            topology=ClusterTopology(n_routers=1, n_qos_servers=1,
+                                     qos_ha=True),
+            server=ServerConfig(workers=2, processes=2))
+        with pytest.raises(ConfigurationError, match="qos_ha"):
+            SimJanusCluster(config)
