@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore experiments experiments-paper examples clean
+.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore bench-lease experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -62,6 +62,14 @@ bench-obs:
 # records) on single-CPU hosts.  MULTICORE_CHECKS scales duration.
 bench-multicore:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_multicore_regression.py -q -s -p no:cacheprovider
+
+# Credit-lease regression gate: router-local admission from leased bucket
+# credit vs the channel wire path on a hot-key workload, plus the
+# over-admission bound check and the cold-key idle-latency pair; writes
+# BENCH_lease.json at the repo root.  The wall-clock gates skip (but
+# still record) on single-CPU hosts.  LEASE_CHECKS scales duration.
+bench-lease:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_lease_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

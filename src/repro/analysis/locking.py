@@ -122,8 +122,10 @@ class BlockingUnderLockChecker(Checker):
     rule = "blocking-under-lock"
     description = ("forbid socket send/recv, time.sleep, open() and "
                    "logging inside lock-holding code in core/, runtime/ "
-                   "(including runtime/procplane/) and obs/")
-    scope = ("core", "runtime", "obs", "procplane")
+                   "(including runtime/procplane/ and the credit-lease "
+                   "plane), obs/ and the lease bench harness")
+    scope = ("core", "runtime", "obs", "procplane", "lease.py",
+             "leasepath.py")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []

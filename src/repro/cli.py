@@ -118,12 +118,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.cluster import LocalCluster
 
     router_config = None
-    if args.trace_rate is not None:
-        if not 0.0 <= args.trace_rate <= 1.0:
+    if args.trace_rate is not None or args.lease:
+        if args.trace_rate is not None and not 0.0 <= args.trace_rate <= 1.0:
             print("error: --trace-rate must be in [0, 1]", file=sys.stderr)
             return 2
-        router_config = RouterConfig(udp_timeout=0.05, max_retries=5,
-                                     trace_sample_rate=args.trace_rate)
+        router_config = RouterConfig(
+            udp_timeout=0.05, max_retries=5,
+            trace_sample_rate=args.trace_rate or 0.0,
+            lease_enabled=args.lease)
     server_config = None
     if args.qos_processes != 1:
         if args.qos_processes < 1:
@@ -456,6 +458,42 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_lease(args: argparse.Namespace) -> int:
+    from repro.metrics.leasepath import run_lease_ab, write_report
+
+    if args.checks < 1 or args.clients < 1 or args.repeats < 1:
+        print("error: --checks, --clients and --repeats must be >= 1",
+              file=sys.stderr)
+        return 2
+    report = run_lease_ab(
+        clients=args.clients,
+        checks_per_client=args.checks,
+        repeats=args.repeats)
+    header = f"{'arm':>7} {'clients':>8} {'checks/s':>12} " \
+             f"{'p50 ms':>8} {'p99 ms':>8} {'local':>8} {'asks':>6}"
+    print(header)
+    print("-" * len(header))
+    for p in report.points:
+        print(f"{p.arm:>7} {p.clients:>8} {p.checks_per_sec:>12,.0f} "
+              f"{p.p50_ms:>8.3f} {p.p99_ms:>8.3f} "
+              f"{p.local_admits:>8} {p.lease_requests:>6}")
+    speedup = report.speedup()
+    if speedup is not None:
+        print(f"lease over wire: {speedup:.2f}x")
+    over = report.overadmission
+    if over:
+        print(f"over-admission: allowed={over['allowed_total']} "
+              f"bound={over['admitted_bound']} "
+              f"outstanding<= {over['outstanding_bound']} "
+              f"within={over['within_bound']}")
+    idle = report.idle_p99_overhead()
+    if idle is not None:
+        print(f"idle p99 overhead: {idle * 100.0:+.1f}%")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
@@ -489,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-rate", type=float, default=None,
                        help="router head-sampling rate for requests that "
                             "arrive untraced (0..1; default off)")
+    serve.add_argument("--lease", action="store_true",
+                       help="enable the credit-lease plane: routers admit "
+                            "hot keys locally from leased bucket credit")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help=argparse.SUPPRESS)       # test hook
     serve.set_defaults(func=_cmd_serve)
@@ -629,6 +670,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench_obs.add_argument("--repeats", type=int, default=2,
                            help="runs per arm (best kept)")
     bench_obs.set_defaults(func=_cmd_bench_obs)
+
+    bench_lease = sub.add_parser(
+        "bench-lease",
+        help="credit-lease local admission vs channel wire path A/B")
+    bench_lease.add_argument("--out", default="BENCH_lease.json")
+    bench_lease.add_argument("--clients", type=int, default=8,
+                             help="closed-loop client threads (hot-key "
+                                  "workload)")
+    bench_lease.add_argument("--checks", type=int, default=2_000,
+                             help="admission checks per client thread")
+    bench_lease.add_argument("--repeats", type=int, default=2,
+                             help="runs per arm (best kept)")
+    bench_lease.set_defaults(func=_cmd_bench_lease)
     return parser
 
 

@@ -42,6 +42,7 @@ invariant.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol
@@ -58,8 +59,13 @@ __all__ = [
     "AdmissionStats",
     "BucketSnapshot",
     "InMemoryRuleSource",
+    "LeaseSnapshot",
     "RuleSource",
 ]
+
+#: Credit amounts below this are "zero" for lease accounting (mirrors the
+#: bucket's own epsilon; see :mod:`repro.core.bucket`).
+_LEASE_EPSILON = 1e-9
 
 
 class RuleSource(Protocol):
@@ -135,6 +141,19 @@ class AdmissionStats:
     unknown_keys: int = 0       # misses that fell back to the default rule
     syncs: int = 0
     checkpoints: int = 0
+    # Credit-lease plane (see lease_grant/lease_return/lease_expire).
+    lease_grants: int = 0           # grants issued (credits > 0)
+    lease_refusals: int = 0         # requests answered with 0 credits
+    lease_granted_credits: float = 0.0
+    lease_returns: int = 0
+    lease_returned_credits: float = 0.0
+    lease_expired: int = 0          # leases that aged out unreturned
+    lease_revoked: int = 0          # leases killed by a rule push
+    leases_active: int = 0          # live ledger entries (point in time)
+    lease_outstanding_credits: float = 0.0  # sum of live grants
+    # Bucket-table memory bound (refill_all eviction).
+    evicted_idle: int = 0           # full-and-idle buckets dropped lazily
+    evicted_forced: int = 0         # idle buckets dropped by the size cap
 
     @property
     def decisions(self) -> int:
@@ -166,13 +185,51 @@ class _StatsStripe:
 
 
 @dataclass(frozen=True, slots=True)
+class LeaseSnapshot:
+    """One live credit lease, as carried inside a :class:`BucketSnapshot`.
+
+    ``ttl_remaining`` is relative (seconds left at snapshot time) so a
+    restore on a different monotonic clock re-arms the expiry correctly.
+    ``holder`` is the router address the grant was sent to — opaque to the
+    controller, used by the server to aim revocations.
+    """
+
+    lease_id: int
+    granted: float
+    ttl_remaining: float
+    holder: "tuple | None" = None
+
+
+class _LeaseRecord:
+    """Ledger entry for one outstanding credit lease (shard-lock guarded)."""
+
+    __slots__ = ("lease_id", "key", "granted", "expiry", "holder")
+
+    def __init__(self, lease_id: int, key: str, granted: float,
+                 expiry: float, holder: "tuple | None"):
+        self.lease_id = lease_id
+        self.key = key
+        self.granted = granted
+        self.expiry = expiry
+        self.holder = holder
+
+
+@dataclass(frozen=True, slots=True)
 class BucketSnapshot:
-    """Replication unit sent from an HA master to its slave (§III-C)."""
+    """Replication unit sent from an HA master to its slave (§III-C).
+
+    ``leases`` carries the key's live lease-ledger entries: the snapshot
+    credit is post-debit, so a restored node that forgot the ledger would
+    silently shrink the over-admission bound to zero while routers keep
+    spending their balances — restoring the ledger keeps the accounting
+    exact across a SIGKILL re-seed.
+    """
 
     key: str
     capacity: float
     refill_rate: float
     credit: float
+    leases: "tuple[LeaseSnapshot, ...]" = ()
 
 
 class AdmissionController:
@@ -231,6 +288,30 @@ class AdmissionController:
         self._control_lock = threading.Lock()
         self._syncs = 0
         self._checkpoints = 0
+        # Credit-lease ledger, sharded like the bucket table and guarded
+        # by the same shard locks (a key's grants always serialize with
+        # its admission decisions).  ``_lease_outstanding`` caches the
+        # per-key sum of live grants so the max_lease_fraction bound is
+        # O(1) at grant time.
+        self._lease_shards: "list[dict[int, _LeaseRecord]]" = [
+            {} for _ in range(n_shards)]
+        self._lease_outstanding: "list[dict[str, float]]" = [
+            {} for _ in range(n_shards)]
+        self._lease_ids = itertools.count(1)
+        # Cold-path lease/eviction counters (under _control_lock).
+        self._lease_grants = 0
+        self._lease_refusals = 0
+        self._lease_granted_credits = 0.0
+        self._lease_returns = 0
+        self._lease_returned_credits = 0.0
+        self._lease_expired = 0
+        self._lease_revoked = 0
+        self._evicted_idle = 0
+        self._evicted_forced = 0
+        #: Fired (outside any lock) with a list of ``(key, _LeaseRecord)``
+        #: pairs whenever a rule push invalidates live leases; the server
+        #: installs a sender that aims LEASE_REVOKE frames at the holders.
+        self.lease_revoke_hook: "Optional[Callable[[list], None]]" = None
 
     # ------------------------------------------------------------------ #
     # hot path
@@ -344,6 +425,147 @@ class AdmissionController:
         return bucket, unknown
 
     # ------------------------------------------------------------------ #
+    # credit leases
+    # ------------------------------------------------------------------ #
+
+    def lease_grant(self, key: str, want: float, ttl: float,
+                    holder: "tuple | None" = None) -> "tuple[int, float, float]":
+        """Grant up to ``want`` credits of ``key``'s bucket as a lease.
+
+        Returns ``(lease_id, granted, ttl)``; ``granted == 0`` (with
+        ``lease_id == 0``) is a refusal.  The bucket is debited *here*, at
+        grant time, under the key's shard lock — the same lock every
+        admission decision for the key takes — so the sum the system can
+        ever admit is exactly the credits the bucket issued, and the
+        worst-case *temporal* over-admission is bounded by the outstanding
+        grants, which :attr:`~repro.core.rules.QoSRule.max_lease_fraction`
+        (or the config default) caps per key.
+        """
+        if want <= 0 or ttl <= 0:
+            return (0, 0.0, 0.0)
+        ttl = min(ttl, self.config.max_lease_ttl)
+        rule = self._source.get_rule(key)
+        fraction = self.config.max_lease_fraction
+        if rule is not None and rule.max_lease_fraction is not None:
+            fraction = rule.max_lease_fraction
+        n = self._n_shards
+        index = hash(key) % n if n > 1 else 0
+        lock, table, _stripe = self._shard_state[index]
+        granted = 0.0
+        lease_id = 0
+        with lock:
+            bucket = table.get(key)
+            if bucket is None:
+                bucket, _unknown = self._create_bucket_locked(table, key)
+            outstanding = self._lease_outstanding[index]
+            headroom = fraction * bucket.capacity - outstanding.get(key, 0.0)
+            ask = want if want < headroom else headroom
+            if ask > _LEASE_EPSILON:
+                granted = bucket.lease_debit_unlocked(ask)
+            if granted > 0.0:
+                lease_id = next(self._lease_ids)
+                self._lease_shards[index][lease_id] = _LeaseRecord(
+                    lease_id, key, granted, self._clock() + ttl, holder)
+                outstanding[key] = outstanding.get(key, 0.0) + granted
+        with self._control_lock:
+            if granted > 0.0:
+                self._lease_grants += 1
+                self._lease_granted_credits += granted
+            else:
+                self._lease_refusals += 1
+        return (lease_id, granted, ttl if granted > 0.0 else 0.0)
+
+    def lease_return(self, key: str, lease_id: int, credits: float) -> float:
+        """Close lease ``lease_id``, re-crediting its unspent remainder.
+
+        Returns the credits actually accepted back.  The return is
+        validated against the ledger — an unknown or stale lease id, a
+        mismatched key, or a remainder above the recorded grant yields 0 /
+        a clamp, so a confused (or fuzzed) router can never mint credit.
+        A valid return with ``credits == 0`` just closes the ledger entry.
+        """
+        n = self._n_shards
+        index = hash(key) % n if n > 1 else 0
+        lock, table, _stripe = self._shard_state[index]
+        accepted = 0.0
+        closed = False
+        with lock:
+            record = self._lease_shards[index].get(lease_id)
+            if record is not None and record.key == key:
+                del self._lease_shards[index][lease_id]
+                self._drop_outstanding_locked(index, key, record.granted)
+                closed = True
+                if credits > 0.0:
+                    bucket = table.get(key)
+                    if bucket is not None:
+                        give = min(credits, record.granted)
+                        accepted = bucket.lease_return_unlocked(give)
+        if closed:
+            with self._control_lock:
+                self._lease_returns += 1
+                self._lease_returned_credits += accepted
+        return accepted
+
+    def _drop_outstanding_locked(self, index: int, key: str,
+                                 granted: float) -> None:
+        outstanding = self._lease_outstanding[index]
+        remaining = outstanding.get(key, 0.0) - granted
+        if remaining > _LEASE_EPSILON:
+            outstanding[key] = remaining
+        else:
+            outstanding.pop(key, None)
+
+    def lease_expire(self, now: Optional[float] = None) -> int:
+        """Drop ledger entries whose TTL has passed; return how many.
+
+        Expired credit is *not* re-credited: the router may have spent any
+        part of its balance, so forfeiting the remainder errs strictly on
+        the side of under-admission (bounded by one grant per key per
+        TTL).  Routers that want the remainder back return it proactively
+        before the TTL.  Runs shard-at-a-time from housekeeping.
+        """
+        expired = 0
+        for index in range(self._n_shards):
+            lock = self._locks[index]
+            with lock:
+                ledger = self._lease_shards[index]
+                if not ledger:
+                    continue
+                cutoff = self._clock() if now is None else now
+                dead = [r for r in ledger.values() if r.expiry <= cutoff]
+                for record in dead:
+                    del ledger[record.lease_id]
+                    self._drop_outstanding_locked(index, record.key,
+                                                  record.granted)
+                expired += len(dead)
+        if expired:
+            with self._control_lock:
+                self._lease_expired += expired
+        return expired
+
+    def lease_count(self) -> int:
+        """Live ledger entries across all shards (point-in-time)."""
+        return sum(len(s) for s in self._lease_shards)
+
+    def lease_outstanding_total(self) -> float:
+        """Sum of live granted credits — the current over-admission bound."""
+        total = 0.0
+        for index in range(self._n_shards):
+            with self._locks[index]:
+                total += sum(self._lease_outstanding[index].values())
+        return total
+
+    def _revoke_leases_for_key_locked(self, index: int,
+                                      key: str) -> "list[_LeaseRecord]":
+        """Kill ``key``'s live leases under its shard lock (rule push)."""
+        ledger = self._lease_shards[index]
+        doomed = [r for r in ledger.values() if r.key == key]
+        for record in doomed:
+            del ledger[record.lease_id]
+            self._drop_outstanding_locked(index, key, record.granted)
+        return doomed
+
+    # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
 
@@ -356,8 +578,20 @@ class AdmissionController:
         different stripes may be skewed by in-flight decisions, exactly as
         a locked read taken a moment earlier or later would be.
         """
-        merged = AdmissionStats(syncs=self._syncs,
-                                checkpoints=self._checkpoints)
+        merged = AdmissionStats(
+            syncs=self._syncs,
+            checkpoints=self._checkpoints,
+            lease_grants=self._lease_grants,
+            lease_refusals=self._lease_refusals,
+            lease_granted_credits=self._lease_granted_credits,
+            lease_returns=self._lease_returns,
+            lease_returned_credits=self._lease_returned_credits,
+            lease_expired=self._lease_expired,
+            lease_revoked=self._lease_revoked,
+            leases_active=self.lease_count(),
+            lease_outstanding_credits=self.lease_outstanding_total(),
+            evicted_idle=self._evicted_idle,
+            evicted_forced=self._evicted_forced)
         for stripe in self._stripes:
             merged.admitted += stripe.admitted
             merged.denied += stripe.denied
@@ -380,6 +614,17 @@ class AdmissionController:
             "unknown_keys": s.unknown_keys,
             "syncs": s.syncs,
             "checkpoints": s.checkpoints,
+            "lease_grants": s.lease_grants,
+            "lease_refusals": s.lease_refusals,
+            "lease_granted_credits": s.lease_granted_credits,
+            "lease_returns": s.lease_returns,
+            "lease_returned_credits": s.lease_returned_credits,
+            "lease_expired": s.lease_expired,
+            "lease_revoked": s.lease_revoked,
+            "leases_active": s.leases_active,
+            "lease_outstanding_credits": s.lease_outstanding_credits,
+            "evicted_idle": s.evicted_idle,
+            "evicted_forced": s.evicted_forced,
         }
 
     def stripe_snapshots(self) -> "list[Callable[[], dict]]":
@@ -411,14 +656,55 @@ class AdmissionController:
         is held only long enough to advance that shard's buckets with one
         shared clock reading, so workers on the other shards are never
         stalled.
+
+        The pass doubles as the bucket-table memory bound.  A bucket that
+        saw no decision since the previous sweep *and* sits at full credit
+        is dropped; when ``max_table_entries`` caps the table and it is
+        over the cap, idle-but-not-full buckets are evicted too.  Every
+        evicted bucket's credit is check-pointed to the rule source
+        first, so the next materialization resumes from it — eviction is
+        lossless even for rules carrying a stale check-pointed credit.
+        Keys with outstanding credit leases are never evicted.
         """
         count = 0
-        for shard, lock in zip(self._shards, self._locks):
+        cap = self.config.max_table_entries
+        force_budget = max(0, self.table_size() - cap) if cap else 0
+        evicted_idle = 0
+        evicted_forced = 0
+        evict_credits: Dict[str, float] = {}
+        for index, (shard, lock) in enumerate(zip(self._shards, self._locks)):
             with lock:
                 now = self._clock()
-                for bucket in shard.values():
+                leased = self._lease_outstanding[index]
+                doomed: "list[str] | None" = None
+                for key, bucket in shard.items():
                     bucket.advance_unlocked(now)
+                    activity = bucket.consumed_total + bucket.denied_total
+                    idle = bucket.activity_at_sweep == activity
+                    bucket.activity_at_sweep = activity
+                    if not idle or key in leased:
+                        continue
+                    credit = bucket.credit_unlocked(now)
+                    if credit >= bucket.capacity - _LEASE_EPSILON:
+                        evicted_idle += 1
+                    elif evicted_forced < force_budget:
+                        evicted_forced += 1
+                    else:
+                        continue
+                    evict_credits[key] = credit
+                    if doomed is None:
+                        doomed = []
+                    doomed.append(key)
                 count += len(shard)
+                if doomed:
+                    for key in doomed:
+                        del shard[key]
+        if evict_credits:
+            self._source.checkpoint(evict_credits)   # no lock held
+        if evicted_idle or evicted_forced:
+            with self._control_lock:
+                self._evicted_idle += evicted_idle
+                self._evicted_forced += evicted_forced
         return count
 
     def sync_rules(self) -> int:
@@ -433,6 +719,7 @@ class AdmissionController:
         local_keys = self.local_keys()
         fresh = self._source.get_rules(local_keys)
         updated = 0
+        revoked: "list[tuple[str, _LeaseRecord]]" = []
         for key in local_keys:
             shard = self._shard_of(key)
             with self._locks[shard]:
@@ -447,12 +734,24 @@ class AdmissionController:
                         bucket.update_rule_unlocked(default.capacity,
                                                     default.refill_rate)
                         updated += 1
+                        # A changed rule invalidates outstanding leases:
+                        # a router spending a stale balance would keep
+                        # admitting at the old plan for up to a TTL.
+                        for record in self._revoke_leases_for_key_locked(
+                                shard, key):
+                            revoked.append((key, record))
                 elif (bucket.capacity, bucket.refill_rate) != (rule.capacity,
                                                                rule.refill_rate):
                     bucket.update_rule_unlocked(rule.capacity, rule.refill_rate)
                     updated += 1
+                    for record in self._revoke_leases_for_key_locked(
+                            shard, key):
+                        revoked.append((key, record))
         with self._control_lock:
             self._syncs += 1
+            self._lease_revoked += len(revoked)
+        if revoked and self.lease_revoke_hook is not None:
+            self.lease_revoke_hook(revoked)       # outside every lock
         return updated
 
     def checkpoint(self) -> int:
@@ -499,19 +798,36 @@ class AdmissionController:
         frozen, which matches the paper's continuously replicating slave.
         """
         snaps: list[BucketSnapshot] = []
-        for shard, lock in zip(self._shards, self._locks):
+        for index, (shard, lock) in enumerate(zip(self._shards, self._locks)):
             with lock:
                 now = self._clock()
+                ledger = self._lease_shards[index]
+                by_key: "dict[str, list[LeaseSnapshot]]" = {}
+                for record in ledger.values():
+                    remaining = record.expiry - now
+                    if remaining <= 0:
+                        continue
+                    by_key.setdefault(record.key, []).append(LeaseSnapshot(
+                        lease_id=record.lease_id, granted=record.granted,
+                        ttl_remaining=remaining, holder=record.holder))
                 for key, bucket in shard.items():
                     snaps.append(BucketSnapshot(
                         key=key, capacity=bucket.capacity,
                         refill_rate=bucket.refill_rate,
-                        credit=bucket.credit_unlocked(now)))
+                        credit=bucket.credit_unlocked(now),
+                        leases=tuple(by_key.get(key, ()))))
         return snaps
 
     def restore(self, snapshots: Iterable[BucketSnapshot]) -> int:
-        """Load a replicated table (slave promotion / replacement node)."""
+        """Load a replicated table (slave promotion / replacement node).
+
+        Lease-ledger entries ride in the snapshots: the snapshot credit is
+        post-debit, so restoring the ledger (rather than forgetting it)
+        keeps the outstanding-grant bound intact and lets the restored
+        node validate returns and expire the grants on schedule.
+        """
         count = 0
+        max_lease_id = 0
         for snap in snapshots:
             shard = self._shard_of(snap.key)
             with self._locks[shard]:
@@ -525,5 +841,26 @@ class AdmissionController:
                 else:
                     bucket.update_rule_unlocked(snap.capacity, snap.refill_rate)
                     bucket.restore_credit_unlocked(snap.credit)
+                if snap.leases:
+                    now = self._clock()
+                    ledger = self._lease_shards[shard]
+                    outstanding = self._lease_outstanding[shard]
+                    for lease in snap.leases:
+                        if lease.lease_id in ledger or \
+                                lease.ttl_remaining <= 0:
+                            continue
+                        ledger[lease.lease_id] = _LeaseRecord(
+                            lease.lease_id, snap.key, lease.granted,
+                            now + lease.ttl_remaining, lease.holder)
+                        outstanding[snap.key] = (
+                            outstanding.get(snap.key, 0.0) + lease.granted)
+                        if lease.lease_id > max_lease_id:
+                            max_lease_id = lease.lease_id
             count += 1
+        if max_lease_id:
+            # Never re-issue a restored id: a router still holding the
+            # old lease must not collide with a fresh grant.
+            with self._control_lock:
+                self._lease_ids = itertools.count(
+                    max(max_lease_id + 1, next(self._lease_ids)))
         return count

@@ -101,7 +101,7 @@ class LeakyBucket:
 
     __slots__ = ("capacity", "refill_rate", "mode", "_credit", "_last_refill",
                  "_clock", "_lock", "_consumed_total", "_denied_total",
-                 "_continuous")
+                 "_continuous", "activity_at_sweep")
 
     def __init__(
         self,
@@ -127,6 +127,11 @@ class LeakyBucket:
         self._lock = threading.Lock()
         self._consumed_total = 0
         self._denied_total = 0
+        # Decision count stamped by the controller's housekeeping sweep;
+        # an unchanged value at the next sweep marks the bucket idle
+        # (eviction candidate).  -1 = never swept, so a bucket always
+        # survives at least one full sweep interval.
+        self.activity_at_sweep = -1
 
     # ------------------------------------------------------------------ #
     # hot path
@@ -190,6 +195,43 @@ class LeakyBucket:
         self._credit = credit
         self._denied_total += 1
         return False
+
+    # ------------------------------------------------------------------ #
+    # credit leases
+    # ------------------------------------------------------------------ #
+
+    def lease_debit_unlocked(self, amount: float,
+                             now: Optional[float] = None) -> float:
+        """Debit up to ``amount`` credits for a lease grant; return the debit.
+
+        The grant is debited *now*, before any leased request is admitted,
+        which is what bounds system-wide over-admission by the outstanding
+        grants: credit can be spent remotely only after it has left the
+        bucket.  Grants never go below zero credit — a drained bucket
+        grants 0 and the router stays on the wire path.
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        if self._continuous:
+            self.advance_unlocked(self._clock() if now is None else now)
+        credit = self._credit
+        grant = credit if credit < amount else amount
+        if grant <= _CREDIT_EPSILON:
+            return 0.0
+        self._credit = credit - grant
+        return grant
+
+    def lease_return_unlocked(self, amount: float) -> float:
+        """Re-credit the unspent remainder of a lease; return what fit.
+
+        Clamped to capacity — credit returned after a rule shrink (or
+        after refill caught up) is forfeited rather than overfilling.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        credit = self._credit + amount
+        self._credit = credit if credit < self.capacity else self.capacity
+        return self._credit - credit + amount
 
     # ------------------------------------------------------------------ #
     # maintenance

@@ -52,6 +52,20 @@ class AdmissionConfig:
     #: stats are scraped aggressively) at the cost of one extra
     #: low-contention lock acquisition per decision.
     stats_stripes: int = 0
+    #: Maximum buckets kept across the table shards; 0 = unbounded.  When
+    #: the table exceeds the cap, the housekeeping refill pass force-evicts
+    #: idle buckets (full-and-idle buckets are already evicted lazily —
+    #: they are exactly reconstructible from their rule, so eviction is
+    #: lossless).  Keys with an outstanding credit lease are never evicted.
+    max_table_entries: int = 0
+    #: Server-wide default for the fraction of a bucket's capacity that
+    #: may be out on credit leases at once; a rule's own
+    #: ``max_lease_fraction`` overrides it.  0 disables granting.
+    max_lease_fraction: float = 0.5
+    #: Ceiling on the lease TTL the server will grant (seconds); requests
+    #: asking for more are clamped, so a misconfigured or hostile router
+    #: cannot park credit beyond the server's revocation horizon.
+    max_lease_ttl: float = 5.0
 
     def __post_init__(self) -> None:
         if self.refill_interval <= 0:
@@ -64,6 +78,17 @@ class AdmissionConfig:
             raise ConfigurationError(
                 f"stats_stripes must be >= 0 (0 = one per lock shard), "
                 f"got {self.stats_stripes}")
+        if self.max_table_entries < 0:
+            raise ConfigurationError(
+                f"max_table_entries must be >= 0 (0 = unbounded), "
+                f"got {self.max_table_entries}")
+        if not (0.0 <= self.max_lease_fraction <= 1.0):
+            raise ConfigurationError(
+                f"max_lease_fraction must lie in [0, 1], "
+                f"got {self.max_lease_fraction}")
+        if self.max_lease_ttl <= 0:
+            raise ConfigurationError(
+                f"max_lease_ttl must be > 0, got {self.max_lease_ttl}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,6 +147,33 @@ class RouterConfig:
     #: least this many items.  2 means "one lone sequential client stays
     #: on the seed path; any real concurrency or batching multiplexes".
     auto_channel_threshold: int = 2
+    #: Enable the credit-lease plane: hot keys are admitted router-locally
+    #: from a leased credit balance with zero wire traffic (see
+    #: :mod:`repro.runtime.lease`).  Off by default — when off, the
+    #: router's wire image is byte-identical to the lease-free protocol
+    #: and the hot path carries no tracker overhead.  Leasing requires
+    #: the channel wire path (``wire_mode`` "channel" or "auto" with
+    #: ``wire_protocol=2``): grants and revokes arrive on the channel's
+    #: event loop.
+    lease_enabled: bool = False
+    #: A key becomes lease-worthy once it accrues this many wire checks
+    #: within one decay window of the router's hotness tracker.
+    lease_hot_threshold: int = 32
+    #: Hotness-tracker decay window (seconds): counts halve every window,
+    #: so a key that goes cold stops renewing within a few windows.
+    lease_window: float = 1.0
+    #: Credits requested per lease grant.  Sized against the hot key's
+    #: observed rate: one grant should cover roughly a TTL's worth of
+    #: checks.  The server may grant less (bucket low, or the rule's
+    #: ``max_lease_fraction`` cap binding).
+    lease_credits: float = 64.0
+    #: Lease TTL requested (seconds); the server clamps it to its own
+    #: ``AdmissionConfig.max_lease_ttl``.  On expiry the router returns
+    #: the unspent remainder and renews if the key is still hot.
+    lease_ttl: float = 0.5
+    #: Maximum keys tracked/leased per router (memory bound on the
+    #: tracker and lease cache; least-hot keys are dropped first).
+    lease_max_keys: int = 1024
 
     def __post_init__(self) -> None:
         if self.udp_timeout <= 0:
@@ -149,6 +201,27 @@ class RouterConfig:
             raise ConfigurationError(
                 f"trace_sample_rate must be in [0, 1], "
                 f"got {self.trace_sample_rate}")
+        if self.lease_hot_threshold < 1:
+            raise ConfigurationError(
+                f"lease_hot_threshold must be >= 1, "
+                f"got {self.lease_hot_threshold}")
+        if self.lease_window <= 0 or self.lease_ttl <= 0:
+            raise ConfigurationError(
+                "lease_window and lease_ttl must be > 0")
+        if self.lease_credits <= 0:
+            raise ConfigurationError(
+                f"lease_credits must be > 0, got {self.lease_credits}")
+        if self.lease_max_keys < 1:
+            raise ConfigurationError(
+                f"lease_max_keys must be >= 1, got {self.lease_max_keys}")
+        if self.lease_enabled and self.wire_mode == "thread":
+            raise ConfigurationError(
+                "lease_enabled requires wire_mode 'channel' or 'auto' "
+                "(grants arrive on the channel event loop)")
+        if self.lease_enabled and self.wire_protocol != 2:
+            raise ConfigurationError(
+                "lease_enabled requires wire_protocol 2 (lease frames "
+                "are v2-only)")
 
     @property
     def worst_case_wait(self) -> float:

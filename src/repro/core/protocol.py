@@ -68,6 +68,28 @@ The request id lets a router discard a stale response that arrives after it
 has already retried: the paper's routers resend "the same request ... until
 a response is received" (§III-C), so responses must be idempotently
 matchable.
+
+**Credit-lease frames (v2 types 3/4/5).**  A router that sees a hot key may
+ask the owning server for a short-TTL *lease* of bucket credit and then
+admit that key locally, with zero wire traffic, while the lease is live:
+
+- ``LEASE_REQ`` (type 3, router→server) — ``(request id, key, credits
+  wanted, ttl_ms, return_credits, return_lease_id)``.  One frame expresses
+  acquisition (*want k*), renewal (*return the unused remainder of lease
+  ``return_lease_id`` and want k fresh*) and a pure return (*want 0*).
+- ``LEASE_GRANT`` (type 4, server→router) — ``(request id, key, lease_id,
+  credits granted, ttl_ms)``.  ``credits == 0`` (with ``lease_id == 0``)
+  is a refusal.  The server debits the bucket **at grant time**, so the
+  aggregate the system can admit never exceeds the credits the buckets
+  issued; see ``docs/PROTOCOL.md`` for the over-admission bound.
+- ``LEASE_REVOKE`` (type 5, server→router) — ``(lease_id, key)``.  Sent on
+  a rule push so stale leases die before the TTL would expire them; a
+  router drops its cached lease on receipt and falls back to wire checks.
+
+Lease frames reuse the v2 batch-frame envelope (same header, count,
+TRACED flag), so peers that predate leasing fail them with the same
+"unknown frame type" path as any other garbage and the lease-free wire
+image is untouched.
 """
 
 from __future__ import annotations
@@ -81,14 +103,17 @@ from typing import Sequence
 
 from repro.core.errors import ProtocolError
 
-__all__ = ["QoSRequest", "QoSResponse", "RequestIdGenerator",
+__all__ = ["QoSRequest", "QoSResponse", "LeaseRequest", "LeaseGrant",
+           "LeaseRevoke", "RequestIdGenerator",
            "LockedRequestIdGenerator", "decode", "decode_any",
            "decode_any_traced", "encode_request_frame",
            "encode_request_frame_parts", "encode_response_frame",
+           "encode_lease_request_frame", "encode_lease_grant_frame",
+           "encode_lease_revoke_frame",
            "decode_frame", "decode_frame_traced",
            "MAX_KEY_BYTES", "MAX_FRAME_MESSAGES", "MAX_DATAGRAM_BYTES",
            "FRAME_HEADER_BYTES", "FRAME_REQ_ENTRY_OVERHEAD",
-           "FLAG_FRAME_TRACED", "TRACE_ID_BYTES",
+           "FLAG_FRAME_TRACED", "TRACE_ID_BYTES", "MAX_LEASE_TTL_MS",
            "MAGIC", "VERSION", "VERSION2"]
 
 MAGIC = 0x4A51
@@ -96,6 +121,9 @@ VERSION = 1
 VERSION2 = 2
 _TYPE_REQUEST = 1
 _TYPE_RESPONSE = 2
+_TYPE_LEASE_REQ = 3
+_TYPE_LEASE_GRANT = 4
+_TYPE_LEASE_REVOKE = 5
 
 _HEADER = struct.Struct("!HBBQ")          # magic, version, type, request id
 _REQ_KEY_LEN = struct.Struct("!H")
@@ -105,6 +133,13 @@ _RESP_BODY = struct.Struct("!BB")
 _FRAME_HEADER = struct.Struct("!HBBH")    # magic, version, type, count
 _ENTRY_REQ_HEAD = struct.Struct("!QH")    # request id, key length
 _ENTRY_RESP = struct.Struct("!QBB")       # request id, verdict, flags
+
+# Lease entries share the (u64, key-length) head shape of request entries;
+# the id means "request id" for REQ/GRANT and "lease id" for REVOKE.
+_ENTRY_LEASE_HEAD = struct.Struct("!QH")
+_LEASE_REQ_TAIL = struct.Struct("!ddQI")  # credits, return credits,
+#                                           return lease id, ttl_ms
+_LEASE_GRANT_TAIL = struct.Struct("!QdI")  # lease id, credits, ttl_ms
 
 #: Maximum encoded key size; u16 length prefix, and a QoS key should always
 #: fit one UDP datagram with room to spare.
@@ -133,6 +168,10 @@ FLAG_FRAME_TRACED = 0x80
 _TYPE_MASK = 0x7F
 _TRACE_ID = struct.Struct("!Q")
 TRACE_ID_BYTES = _TRACE_ID.size
+
+#: Lease TTLs ride the wire as u32 milliseconds; one hour is already far
+#: beyond any sane lease and keeps arithmetic clear of u32 overflow.
+MAX_LEASE_TTL_MS = 3_600_000
 
 
 @dataclass(frozen=True, slots=True)
@@ -192,6 +231,100 @@ class QoSResponse:
         flags = FLAG_DEFAULT_REPLY if self.is_default_reply else 0
         return (_HEADER.pack(MAGIC, VERSION, _TYPE_RESPONSE, self.request_id)
                 + _RESP_BODY.pack(1 if self.allowed else 0, flags))
+
+
+def _validated_lease_key(key: str) -> bytes:
+    key_bytes = key.encode("utf-8")
+    if not key_bytes:
+        raise ProtocolError("QoS key must be non-empty")
+    if len(key_bytes) > MAX_KEY_BYTES:
+        raise ProtocolError(f"QoS key exceeds {MAX_KEY_BYTES} bytes")
+    return key_bytes
+
+
+def _check_u64(value: int, what: str) -> None:
+    if not (0 <= value < 2**64):
+        raise ProtocolError(f"{what} out of u64 range: {value}")
+
+
+def _check_credits(value: float, what: str) -> None:
+    if not (math.isfinite(value) and value >= 0):
+        raise ProtocolError(f"{what} must be finite and >= 0, got {value}")
+
+
+def _check_ttl(ttl_ms: int) -> None:
+    if not (0 <= ttl_ms <= MAX_LEASE_TTL_MS):
+        raise ProtocolError(f"ttl_ms out of range 0..{MAX_LEASE_TTL_MS}: "
+                            f"{ttl_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseRequest:
+    """A credit-lease request (v2 LEASE_REQ, router→server).
+
+    ``credits`` is the fresh grant the router wants (0 = pure return);
+    ``return_credits``/``return_lease_id`` hand back the unspent
+    remainder of an expiring lease, so a renewal is one frame.
+    """
+
+    request_id: int
+    key: str
+    credits: float
+    ttl_ms: int
+    return_credits: float = 0.0
+    return_lease_id: int = 0
+
+    def validate(self) -> bytes:
+        key_bytes = _validated_lease_key(self.key)
+        _check_u64(self.request_id, "request_id")
+        _check_u64(self.return_lease_id, "return_lease_id")
+        _check_credits(self.credits, "credits")
+        _check_credits(self.return_credits, "return_credits")
+        _check_ttl(self.ttl_ms)
+        if self.return_credits > 0 and self.return_lease_id == 0:
+            raise ProtocolError("return_credits without a return_lease_id")
+        return key_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant:
+    """A credit-lease grant (v2 LEASE_GRANT, server→router).
+
+    ``credits == 0`` with ``lease_id == 0`` is a refusal — the router
+    keeps using the wire path for that key.
+    """
+
+    request_id: int
+    key: str
+    lease_id: int
+    credits: float
+    ttl_ms: int
+
+    def validate(self) -> bytes:
+        key_bytes = _validated_lease_key(self.key)
+        _check_u64(self.request_id, "request_id")
+        _check_u64(self.lease_id, "lease_id")
+        _check_credits(self.credits, "credits")
+        _check_ttl(self.ttl_ms)
+        if (self.credits > 0) != (self.lease_id != 0):
+            raise ProtocolError("grant must carry both a nonzero lease_id "
+                                "and credits > 0, or neither (refusal)")
+        return key_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseRevoke:
+    """A credit-lease revocation (v2 LEASE_REVOKE, server→router)."""
+
+    lease_id: int
+    key: str
+
+    def validate(self) -> bytes:
+        key_bytes = _validated_lease_key(self.key)
+        _check_u64(self.lease_id, "lease_id")
+        if self.lease_id == 0:
+            raise ProtocolError("revoke must name a nonzero lease_id")
+        return key_bytes
 
 
 def decode(datagram: bytes) -> "QoSRequest | QoSResponse":
@@ -330,6 +463,93 @@ def encode_response_frame(responses: Sequence[QoSResponse],
     return bytes(buf)
 
 
+def _lease_frame_prologue(count: int, trace_id: int, body_size: int,
+                          mtype: int) -> tuple[bytearray, int]:
+    """Validate the shared frame bounds and pack the v2 header.
+
+    Returns ``(buffer, offset)`` with ``offset`` past the header (and
+    trace id, when non-zero).
+    """
+    if not (1 <= count <= MAX_FRAME_MESSAGES):
+        raise ProtocolError(
+            f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
+    if not (0 <= trace_id < 2**64):
+        raise ProtocolError(f"trace_id out of u64 range: {trace_id}")
+    traced = trace_id != 0
+    size = (_FRAME_HEADER.size + (TRACE_ID_BYTES if traced else 0)
+            + body_size)
+    if size > MAX_DATAGRAM_BYTES:
+        raise ProtocolError(f"frame of {count} lease messages is {size} "
+                            f"bytes, over the {MAX_DATAGRAM_BYTES}-byte "
+                            f"datagram limit")
+    buf = bytearray(size)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2,
+                            mtype | (FLAG_FRAME_TRACED if traced else 0),
+                            count)
+    offset = _FRAME_HEADER.size
+    if traced:
+        _TRACE_ID.pack_into(buf, offset, trace_id)
+        offset += TRACE_ID_BYTES
+    return buf, offset
+
+
+def encode_lease_request_frame(requests: Sequence[LeaseRequest],
+                               trace_id: int = 0) -> bytes:
+    """Encode LEASE_REQ messages as one v2 type-3 frame."""
+    parts = [(r, r.validate()) for r in requests]
+    body = sum(_ENTRY_LEASE_HEAD.size + len(kb) + _LEASE_REQ_TAIL.size
+               for _, kb in parts)
+    buf, offset = _lease_frame_prologue(len(parts), trace_id, body,
+                                        _TYPE_LEASE_REQ)
+    for req, key_bytes in parts:
+        key_len = len(key_bytes)
+        _ENTRY_LEASE_HEAD.pack_into(buf, offset, req.request_id, key_len)
+        offset += _ENTRY_LEASE_HEAD.size
+        buf[offset:offset + key_len] = key_bytes
+        offset += key_len
+        _LEASE_REQ_TAIL.pack_into(buf, offset, req.credits,
+                                  req.return_credits, req.return_lease_id,
+                                  req.ttl_ms)
+        offset += _LEASE_REQ_TAIL.size
+    return bytes(buf)
+
+
+def encode_lease_grant_frame(grants: Sequence[LeaseGrant],
+                             trace_id: int = 0) -> bytes:
+    """Encode LEASE_GRANT messages as one v2 type-4 frame."""
+    parts = [(g, g.validate()) for g in grants]
+    body = sum(_ENTRY_LEASE_HEAD.size + len(kb) + _LEASE_GRANT_TAIL.size
+               for _, kb in parts)
+    buf, offset = _lease_frame_prologue(len(parts), trace_id, body,
+                                        _TYPE_LEASE_GRANT)
+    for grant, key_bytes in parts:
+        key_len = len(key_bytes)
+        _ENTRY_LEASE_HEAD.pack_into(buf, offset, grant.request_id, key_len)
+        offset += _ENTRY_LEASE_HEAD.size
+        buf[offset:offset + key_len] = key_bytes
+        offset += key_len
+        _LEASE_GRANT_TAIL.pack_into(buf, offset, grant.lease_id,
+                                    grant.credits, grant.ttl_ms)
+        offset += _LEASE_GRANT_TAIL.size
+    return bytes(buf)
+
+
+def encode_lease_revoke_frame(revokes: Sequence[LeaseRevoke],
+                              trace_id: int = 0) -> bytes:
+    """Encode LEASE_REVOKE messages as one v2 type-5 frame."""
+    parts = [(r, r.validate()) for r in revokes]
+    body = sum(_ENTRY_LEASE_HEAD.size + len(kb) for _, kb in parts)
+    buf, offset = _lease_frame_prologue(len(parts), trace_id, body,
+                                        _TYPE_LEASE_REVOKE)
+    for revoke, key_bytes in parts:
+        key_len = len(key_bytes)
+        _ENTRY_LEASE_HEAD.pack_into(buf, offset, revoke.lease_id, key_len)
+        offset += _ENTRY_LEASE_HEAD.size
+        buf[offset:offset + key_len] = key_bytes
+        offset += key_len
+    return bytes(buf)
+
+
 def decode_frame(datagram: bytes) -> "list[QoSRequest] | list[QoSResponse]":
     """Decode a v2 batch frame into its message list (trace id dropped)."""
     return decode_frame_traced(datagram)[1]
@@ -410,7 +630,55 @@ def decode_frame_traced(
                 request_id, bool(verdict),
                 is_default_reply=bool(flags & FLAG_DEFAULT_REPLY)))
         return trace_id, responses
+    if mtype in (_TYPE_LEASE_REQ, _TYPE_LEASE_GRANT, _TYPE_LEASE_REVOKE):
+        return trace_id, _decode_lease_entries(view, offset, total, count,
+                                               mtype)
     raise ProtocolError(f"unknown frame type {mtype}")
+
+
+def _decode_lease_entries(view: memoryview, offset: int, total: int,
+                          count: int, mtype: int) -> list:
+    """Decode the entries of a lease frame (types 3/4/5)."""
+    tail = (_LEASE_REQ_TAIL if mtype == _TYPE_LEASE_REQ
+            else _LEASE_GRANT_TAIL if mtype == _TYPE_LEASE_GRANT
+            else None)
+    tail_size = tail.size if tail is not None else 0
+    messages: list = []
+    for _ in range(count):
+        if offset + _ENTRY_LEASE_HEAD.size > total:
+            raise ProtocolError("lease frame truncated in entry header")
+        head_id, key_len = _ENTRY_LEASE_HEAD.unpack_from(view, offset)
+        offset += _ENTRY_LEASE_HEAD.size
+        if not (0 < key_len <= MAX_KEY_BYTES):
+            raise ProtocolError(f"bad key length {key_len}")
+        if offset + key_len + tail_size > total:
+            raise ProtocolError("lease frame truncated in entry body")
+        try:
+            key = str(view[offset:offset + key_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"key is not valid UTF-8: {exc}") from exc
+        offset += key_len
+        message: "LeaseRequest | LeaseGrant | LeaseRevoke"
+        if mtype == _TYPE_LEASE_REQ:
+            credits, returned, return_lease_id, ttl_ms = \
+                _LEASE_REQ_TAIL.unpack_from(view, offset)
+            message = LeaseRequest(head_id, key, credits, ttl_ms,
+                                   return_credits=returned,
+                                   return_lease_id=return_lease_id)
+        elif mtype == _TYPE_LEASE_GRANT:
+            lease_id, credits, ttl_ms = \
+                _LEASE_GRANT_TAIL.unpack_from(view, offset)
+            message = LeaseGrant(head_id, key, lease_id, credits, ttl_ms)
+        else:
+            message = LeaseRevoke(head_id, key)
+        offset += tail_size
+        message.validate()
+        messages.append(message)
+    if offset != total:
+        raise ProtocolError(
+            f"lease frame count {count} disagrees with payload: "
+            f"{total - offset} trailing bytes")
+    return messages
 
 
 def decode_any(datagram: bytes) -> "tuple[int, list]":

@@ -34,12 +34,19 @@ class QoSRule:
     credit:
         Last check-pointed credit, used to seed a replacement QoS server's
         bucket (§II-D).  ``None`` means "never check-pointed": start full.
+    max_lease_fraction:
+        Cap on the fraction of ``capacity`` that may be out on credit
+        leases to routers at once (the credit-lease plane's worst-case
+        over-admission bound for this key).  0 disables leasing for the
+        key; ``None`` defers to the server-wide
+        :class:`~repro.core.config.AdmissionConfig` default.
     """
 
     key: str
     refill_rate: float
     capacity: float
     credit: Optional[float] = None
+    max_lease_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, str) or not self.key:
@@ -51,6 +58,11 @@ class QoSRule:
         if self.credit is not None and not (0.0 <= self.credit <= self.capacity):
             raise ConfigurationError(
                 f"credit must lie in [0, capacity]={self.capacity}, got {self.credit}")
+        if self.max_lease_fraction is not None and \
+                not (0.0 <= self.max_lease_fraction <= 1.0):
+            raise ConfigurationError(
+                f"max_lease_fraction must lie in [0, 1], "
+                f"got {self.max_lease_fraction}")
 
     @property
     def denies_all(self) -> bool:

@@ -81,6 +81,11 @@ class QoSClient:
         self.transport_errors = 0
         self._sampler = HeadSampler(trace_sample_rate)
         self._tracer = default_tracer()
+        #: Set once the endpoint answers ``POST /qos/batch`` with 404/405
+        #: (a pre-batch router): later batches skip the doomed POST — and
+        #: the connection reset its error reply forces — and go straight
+        #: to per-key GETs on the persistent connection.
+        self._batch_unsupported = False
 
     def _sample_trace(self) -> int:
         return (self._tracer.new_trace_id() if self._sampler.sample()
@@ -155,6 +160,8 @@ class QoSClient:
         """
         if not keys:
             return []
+        if self._batch_unsupported:
+            return self._check_many_fallback(keys, cost)
         trace_id = self._sample_trace()
         payload: dict = {"items": [{"key": key, "cost": cost}
                                    for key in keys]}
@@ -176,9 +183,17 @@ class QoSClient:
                 response = conn.getresponse()
                 payload_bytes = response.read()
                 if response.status in (404, 405):   # pre-batch router
+                    self._batch_unsupported = True
+                    if response.will_close:
+                        # A stdlib-style error reply carries
+                        # ``Connection: close``: drop the dead socket now
+                        # so the first fallback GET reconnects cleanly
+                        # instead of burning a failed attempt on it.
+                        conn.close()
+                        self._local.conn = None
                     if span is not None:
                         self._tracer.finish(span, fallback=True)
-                    return [self.check_detailed(key, cost) for key in keys]
+                    return self._check_many_fallback(keys, cost)
                 if response.status != 200:
                     raise CommunicationError(
                         f"endpoint returned HTTP {response.status}")
@@ -209,6 +224,14 @@ class QoSClient:
                                attempts=0, latency=latency,
                                trace_id=trace_id)
                 for _ in keys]
+
+    def _check_many_fallback(self, keys: Sequence[str],
+                             cost: float = 1.0) -> list[QoSCheckResult]:
+        """Per-key GETs for pre-batch routers, on one persistent
+        connection (:meth:`check_detailed` reuses the thread-local
+        keep-alive socket, so the whole batch costs N pipelined requests
+        on a single connection instead of a reconnect per batch)."""
+        return [self.check_detailed(key, cost) for key in keys]
 
     def check_many(self, keys: Sequence[str], cost: float = 1.0) -> list[bool]:
         """Batch form of :meth:`check`: one verdict per key, in order."""

@@ -75,12 +75,18 @@ from repro.obs.tracing import (
     global_trace_buffer,
     parse_trace_id,
 )
+from repro.runtime.lease import LeaseManager
 from repro.runtime.udp_channel import ChannelSet
 
 __all__ = ["RequestRouterDaemon"]
 
 #: Upper bound on items per ``POST /qos/batch`` request.
 MAX_BATCH_ITEMS = 1024
+
+#: The reply for a check admitted from leased credit: no wire exchange
+#: happened, so there is no request id to echo (``attempts`` is 0 in the
+#: HTTP body, which is how clients and tests tell the lease path apart).
+_LEASE_ADMIT = QoSResponse(0, True)
 
 
 class RequestRouterDaemon:
@@ -161,6 +167,34 @@ class RequestRouterDaemon:
             self._channels = ChannelSet(self.qos_servers, self.config,
                                         registry=self.metrics,
                                         tracer=self._tracer, labels=labels)
+        # The credit-lease plane: hot keys are admitted locally from
+        # leased bucket credit (DESIGN.md).  Config validation
+        # guarantees lease_enabled implies channel/auto wire mode and
+        # protocol v2, so _channels is always present here.
+        self._lease_mgr: Optional[LeaseManager] = None
+        if self.config.lease_enabled and self._channels is not None:
+            manager = LeaseManager(self.config, tracer=self._tracer)
+            manager.send = self._channels.send_lease_frame
+            manager.schedule = self._channels.call_later
+            self._channels.lease_listener = manager.on_message
+            self._lease_mgr = manager
+            lease_counters = {
+                "local_admits": "Checks admitted from leased credit",
+                "requests_sent": "LEASE_REQ frames sent",
+                "grants": "Leases granted and installed",
+                "refusals": "Lease requests the server refused",
+                "revoked": "Leases revoked by a rule push",
+                "expired": "Leases retired at their TTL deadline",
+                "renewals": "Leases renewed at the TTL deadline",
+                "returned_credits": "Unspent leased credit returned",
+            }
+            for field, help_text in lease_counters.items():
+                self.metrics.counter(
+                    f"janus_router_lease_{field}_total", help_text,
+                    fn=(lambda f=field: getattr(manager, f)), **labels)
+            self.metrics.gauge(
+                "janus_router_leases_active", "Leases currently held",
+                fn=manager.active_leases, **labels)
         router = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -406,6 +440,8 @@ class RequestRouterDaemon:
         }
         if self._channels is not None:
             stats["channel"] = self._channels.stats.as_dict()
+        if self._lease_mgr is not None:
+            stats["lease"] = self._lease_mgr.stats()
         return stats
 
     def route(self, key: str) -> tuple[str, int]:
@@ -487,22 +523,34 @@ class RequestRouterDaemon:
         span = (tracer.start(trace_id, "router.exchange", "router",
                              {"key": key}) if trace_id else None)
         start_ns = time.perf_counter_ns()
-        self._inflight += 1
-        try:
-            if self._use_channel(1):
-                response, attempts = self._channels.exchange(
-                    self.route(key), key, cost, trace_id)
-            else:
-                response, attempts = self._qos_exchange_blocking(key, cost)
-        finally:
-            self._inflight -= 1
+        lease_mgr = self._lease_mgr
+        leased = (lease_mgr is not None
+                  and lease_mgr.check_local(key, cost, self.route(key),
+                                            trace_id))
+        if leased:
+            response, attempts = _LEASE_ADMIT, 0
+        else:
+            self._inflight += 1
+            try:
+                if self._use_channel(1):
+                    response, attempts = self._channels.exchange(
+                        self.route(key), key, cost, trace_id)
+                else:
+                    response, attempts = self._qos_exchange_blocking(key,
+                                                                     cost)
+            finally:
+                self._inflight -= 1
         self._m_latency.record(time.perf_counter_ns() - start_ns)
         self._m_requests.inc()
         if response.is_default_reply:
             self._m_defaults.inc()
         if span is not None:
-            tracer.finish(span, allow=response.allowed, attempts=attempts,
-                          default=response.is_default_reply)
+            if leased:
+                tracer.finish(span, allow=True, attempts=0, lease=True)
+            else:
+                tracer.finish(span, allow=response.allowed,
+                              attempts=attempts,
+                              default=response.is_default_reply)
         if outer is not None:
             tracer.finish(outer)
         return response, attempts, trace_id
@@ -533,17 +581,37 @@ class RequestRouterDaemon:
         span = (tracer.start(trace_id, "router.exchange", "router",
                              {"n": len(items)}) if trace_id else None)
         start_ns = time.perf_counter_ns()
-        self._inflight += 1
-        try:
-            if self._use_channel(len(items)):
-                checks = [(self.route(key), key, cost)
-                          for key, cost in items]
-                results = self._channels.exchange_many(checks, trace_id)
-            else:
-                results = [self._qos_exchange_blocking(key, cost)
-                           for key, cost in items]
-        finally:
-            self._inflight -= 1
+        lease_mgr = self._lease_mgr
+        if lease_mgr is not None:
+            # Leased items resolve locally; only the rest hit the wire
+            # (in their original relative order, merged back by index).
+            results = [None] * len(items)
+            wire: list[tuple[int, str, float]] = []
+            for index, (key, cost) in enumerate(items):
+                if lease_mgr.check_local(key, cost, self.route(key),
+                                         trace_id):
+                    results[index] = (_LEASE_ADMIT, 0)
+                else:
+                    wire.append((index, key, cost))
+        else:
+            results = [None] * len(items)
+            wire = [(index, key, cost)
+                    for index, (key, cost) in enumerate(items)]
+        if wire:
+            self._inflight += 1
+            try:
+                if self._use_channel(len(wire)):
+                    checks = [(self.route(key), key, cost)
+                              for _, key, cost in wire]
+                    exchanged = self._channels.exchange_many(checks,
+                                                             trace_id)
+                else:
+                    exchanged = [self._qos_exchange_blocking(key, cost)
+                                 for _, key, cost in wire]
+            finally:
+                self._inflight -= 1
+            for (index, _, _), result in zip(wire, exchanged):
+                results[index] = result
         self._m_latency.record(time.perf_counter_ns() - start_ns)
         self._m_requests.inc(len(results))
         defaults = sum(1 for response, _ in results

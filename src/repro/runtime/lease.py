@@ -1,0 +1,437 @@
+"""Router-side credit-lease plane (hot-key tracking + local admission).
+
+The credit-lease optimisation (DESIGN.md, "Credit leasing") moves
+admission for *hot* QoS keys from the wire to the router: the router
+asks the key's owning QoS server for a short-TTL lease of ``k`` credits
+(protocol-v2 ``LEASE_REQ``), the server debits the bucket up front and
+answers with a ``LEASE_GRANT``, and while the lease is live the router
+admits requests for that key locally by decrementing the leased balance
+— zero datagrams on the hot path.
+
+Correctness contract (the over-admission bound):
+
+- the server debits at *grant* time, so however the router spends (or
+  loses) the balance, aggregate admission never exceeds bucket credit
+  plus the sum of outstanding grants — itself capped per key by
+  ``max_lease_fraction * capacity``;
+- a lease may only *admit* locally, never deny: on a cache miss, an
+  expired lease, or an insufficient balance the check falls through to
+  the ordinary wire exchange, so leasing can starve nobody;
+- the router stops admitting at the lease expiry it recorded locally
+  and returns/renews slightly *before* that deadline, so the unused
+  remainder is re-credited while the server still honours the ledger
+  entry (a late return is simply dropped by the server: under-admission
+  only, bounded by one grant per key per TTL).
+
+The manager is wired between :class:`~repro.runtime.http_router.
+RequestRouterDaemon` (which consults :meth:`LeaseManager.check_local`
+on every check) and :class:`~repro.runtime.udp_channel.ChannelSet`
+(which carries lease frames on the existing per-backend sockets and
+feeds grants/revokes back through :meth:`LeaseManager.on_message`).
+The transport is injected as two callables — ``send(backend, payload)``
+and ``schedule(delay, fn)`` — so this module has no socket code and no
+import cycle with the channel.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.core.config import RouterConfig
+from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
+    RequestIdGenerator,
+    encode_lease_request_frame,
+)
+
+__all__ = ["HotKeyTracker", "LeaseManager", "RouterLease"]
+
+#: Fraction of the granted TTL after which the router proactively
+#: returns/renews.  The margin keeps the return inside the server's
+#: ledger window even with one datagram's worth of delay.
+_RENEW_FRACTION = 0.8
+
+#: A pending LEASE_REQ with no grant after this many seconds is
+#: forgotten (the datagram or its reply was lost); the key may re-ask.
+_PENDING_TTL = 1.0
+
+
+class HotKeyTracker:
+    """Approximate per-key hit counter with periodic halving decay.
+
+    A plain dict of counts, halved every ``window`` seconds so that
+    sustained traffic keeps a key hot while bursts age out.  Updates
+    are racy by design (a lost increment under concurrent handlers is
+    harmless for a hotness heuristic); the decay pass is guarded by a
+    non-blocking lock so exactly one thread pays for it.
+
+    Memory bound: once ``max_keys`` distinct keys are tracked, *new*
+    keys are not inserted — they simply cannot become hot until decay
+    prunes cold entries — so a hostile key-churn workload cannot grow
+    the tracker without bound.
+    """
+
+    __slots__ = ("threshold", "window", "max_keys",
+                 "_counts", "_decay_at", "_decay_lock")
+
+    def __init__(self, threshold: int, window: float, max_keys: int,
+                 *, now: Optional[float] = None):
+        self.threshold = threshold
+        self.window = window
+        self.max_keys = max_keys
+        self._counts: dict[str, int] = {}
+        self._decay_at = (time.monotonic() if now is None else now) + window
+        self._decay_lock = threading.Lock()
+
+    def hit(self, key: str, now: float) -> bool:
+        """Count one check for ``key``; True when the key is hot."""
+        self._maybe_decay(now)
+        counts = self._counts
+        value = counts.get(key)
+        if value is None:
+            if len(counts) >= self.max_keys:
+                return False
+            value = 0
+        counts[key] = value = value + 1
+        return value >= self.threshold
+
+    def _maybe_decay(self, now: float) -> None:
+        if now < self._decay_at \
+                or not self._decay_lock.acquire(blocking=False):
+            return
+        try:
+            # Catch up one halving per elapsed window, so a key that
+            # stopped getting hits still cools off with wall time.
+            while now >= self._decay_at:
+                self._decay_at += self.window
+                counts = self._counts
+                if not counts:
+                    self._decay_at = now + self.window
+                    return
+                self._counts = {k: v >> 1 for k, v in counts.items()
+                                if v >= 2}
+        finally:
+            self._decay_lock.release()
+
+    def count(self, key: str, now: Optional[float] = None) -> int:
+        """Current count for ``key``, decayed to ``now`` when given."""
+        if now is not None:
+            self._maybe_decay(now)
+        return self._counts.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class RouterLease:
+    """One live lease held by the router: a local balance with a deadline."""
+
+    __slots__ = ("key", "lease_id", "backend", "granted", "balance",
+                 "expiry", "lock")
+
+    def __init__(self, key: str, lease_id: int, backend: tuple[str, int],
+                 granted: float, expiry: float):
+        self.key = key
+        self.lease_id = lease_id
+        self.backend = backend
+        self.granted = granted
+        self.balance = granted
+        self.expiry = expiry
+        self.lock = threading.Lock()
+
+
+class _PendingAsk:
+    """A LEASE_REQ in flight, matched to its grant by request id."""
+
+    __slots__ = ("key", "backend", "deadline", "span")
+
+    def __init__(self, key: str, backend: tuple[str, int], deadline: float,
+                 span=None):
+        self.key = key
+        self.backend = backend
+        self.deadline = deadline
+        self.span = span
+
+
+class LeaseManager:
+    """The router's lease cache: tracks hotness, asks, admits, renews.
+
+    Thread model: ``check_local`` runs on every HTTP handler thread;
+    ``on_message`` and the TTL callbacks run on the channel's event
+    thread.  ``_lock`` guards the lease/pending/cooldown dicts; each
+    :class:`RouterLease` carries its own lock for the balance so hot
+    keys do not serialize against table mutations.
+    """
+
+    def __init__(self, config: RouterConfig, *,
+                 tracer=None, clock: Callable[[], float] = time.monotonic):
+        self._config = config
+        self._clock = clock
+        self._tracer = tracer
+        self._tracker = HotKeyTracker(
+            config.lease_hot_threshold, config.lease_window,
+            config.lease_max_keys, now=clock())
+        self._ids = RequestIdGenerator()
+        self._lock = threading.Lock()
+        self._leases: dict[str, RouterLease] = {}
+        self._pending: dict[int, _PendingAsk] = {}
+        self._pending_keys: set[str] = set()
+        #: Keys recently refused a lease; no re-ask until the deadline.
+        self._cooldown: dict[str, float] = {}
+        # Injected by the router after the channel is built:
+        #   send(backend, payload)   -- fire-and-forget datagram
+        #   schedule(delay, fn)      -- run fn on the event thread later
+        self.send: Optional[Callable[[tuple[str, int], bytes], None]] = None
+        self.schedule: Optional[Callable[[float, Callable[[], None]], None]] \
+            = None
+        # Counters (GIL-atomic increments; exported via fn= callbacks).
+        self.local_admits = 0
+        self.requests_sent = 0
+        self.grants = 0
+        self.refusals = 0
+        self.revoked = 0
+        self.expired = 0
+        self.returned_credits = 0.0
+        self.renewals = 0
+        self.send_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # hot path (HTTP handler threads)
+    # ------------------------------------------------------------------ #
+
+    def check_local(self, key: str, cost: float,
+                    backend: tuple[str, int], trace_id: int = 0) -> bool:
+        """Try to admit ``key`` from leased balance; never denies.
+
+        Returns True when the check was admitted locally (the caller
+        skips the wire).  False means "no verdict": fall through to the
+        ordinary wire exchange.  As a side effect, counts the key in the
+        hotness tracker and fires a LEASE_REQ when the key crosses the
+        hot threshold and no lease/ask is outstanding.
+        """
+        now = self._clock()
+        hot = self._tracker.hit(key, now)
+        lease = self._leases.get(key)
+        if lease is not None and now < lease.expiry:
+            admitted = False
+            with lease.lock:
+                if lease.balance >= cost:
+                    lease.balance -= cost
+                    admitted = True
+            if admitted:
+                self.local_admits += 1
+                return True
+            if hot:
+                # The balance drained before the TTL: top up early (one
+                # frame returns the dregs and asks afresh) instead of
+                # paying the wire for the rest of the lease window.
+                self._maybe_ask(key, backend, now, trace_id, refresh=lease)
+        elif hot and lease is None:
+            self._maybe_ask(key, backend, now, trace_id)
+        return False
+
+    def _maybe_ask(self, key: str, backend: tuple[str, int], now: float,
+                   trace_id: int,
+                   refresh: Optional[RouterLease] = None) -> None:
+        """Fire one LEASE_REQ for a hot key, deduplicated and cooled.
+
+        ``refresh`` names a live-but-drained lease to top up: its
+        remaining balance is harvested into the request's return fields
+        and the eventual grant replaces it in the cache.
+        """
+        send = self.send
+        if send is None:
+            return
+        return_credits, return_lease_id = 0.0, 0
+        with self._lock:
+            # Expire lost asks first: a key whose LEASE_REQ datagram
+            # vanished must be able to re-ask once its pending entry
+            # ages out, without waiting for some other key's ask.
+            self._expire_pending_locked(now)
+            if key in self._pending_keys:
+                return
+            if refresh is None and key in self._leases:
+                return
+            cooldown = self._cooldown.get(key)
+            if cooldown is not None:
+                if now < cooldown:
+                    return
+                del self._cooldown[key]
+            if refresh is None and len(self._leases) + len(self._pending_keys) \
+                    >= self._config.lease_max_keys:
+                return
+            if refresh is not None:
+                with refresh.lock:
+                    return_credits = refresh.balance
+                    refresh.balance = 0.0
+                return_lease_id = refresh.lease_id
+                self.renewals += 1
+            request_id = self._ids.next_id()
+            span = (self._tracer.start(trace_id, "router.lease_req",
+                                       "router", {"key": key})
+                    if trace_id and self._tracer is not None else None)
+            self._pending[request_id] = _PendingAsk(
+                key, backend, now + _PENDING_TTL, span)
+            self._pending_keys.add(key)
+        request = LeaseRequest(
+            request_id=request_id, key=key,
+            credits=self._config.lease_credits,
+            ttl_ms=max(1, int(self._config.lease_ttl * 1000.0)),
+            return_credits=return_credits,
+            return_lease_id=return_lease_id)
+        self._send_frame(backend, [request], trace_id)
+        self.requests_sent += 1
+        if return_credits:
+            self.returned_credits += return_credits
+
+    def _expire_pending_locked(self, now: float) -> None:
+        """Drop asks whose grant never arrived (lost datagrams)."""
+        if not self._pending:
+            return
+        dead = [rid for rid, ask in self._pending.items()
+                if now >= ask.deadline]
+        for rid in dead:
+            ask = self._pending.pop(rid)
+            self._pending_keys.discard(ask.key)
+            if ask.span is not None:
+                self._tracer.finish(ask.span, outcome="lost")
+
+    def _send_frame(self, backend: tuple[str, int],
+                    requests: list[LeaseRequest], trace_id: int = 0) -> None:
+        """Encode and fire one LEASE_REQ frame; losses are tolerated."""
+        send = self.send
+        if send is None:
+            return
+        try:
+            send(backend, encode_lease_request_frame(requests, trace_id))
+        except OSError:
+            self.send_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # channel callbacks (event thread)
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, message, backend: tuple[str, int]) -> None:
+        """Dispatch a decoded LEASE_GRANT/LEASE_REVOKE from the channel."""
+        if isinstance(message, LeaseGrant):
+            self._on_grant(message, backend)
+        elif isinstance(message, LeaseRevoke):
+            self._on_revoke(message)
+
+    def _on_grant(self, grant: LeaseGrant, backend: tuple[str, int]) -> None:
+        now = self._clock()
+        with self._lock:
+            ask = self._pending.pop(grant.request_id, None)
+            if ask is not None:
+                self._pending_keys.discard(ask.key)
+            if ask is None or ask.key != grant.key:
+                # Unsolicited or stale (e.g. the renewal's grant raced a
+                # revoke): any credit it carries is already debited on
+                # the server and simply goes unspent — safe, and
+                # reclaimed one TTL later by the server-side expiry.
+                return
+            if grant.lease_id == 0 or grant.credits <= 0.0:
+                self.refusals += 1
+                self._cooldown[ask.key] = now + self._config.lease_window
+                if len(self._cooldown) > self._config.lease_max_keys:
+                    self._cooldown = {k: t for k, t in self._cooldown.items()
+                                      if t > now}
+                if ask.span is not None:
+                    self._tracer.finish(ask.span, outcome="refused")
+                return
+            ttl = grant.ttl_ms / 1000.0
+            lease = RouterLease(grant.key, grant.lease_id, backend,
+                                grant.credits, now + ttl)
+            self._leases[grant.key] = lease
+            self.grants += 1
+            if ask.span is not None:
+                self._tracer.finish(ask.span, outcome="granted",
+                                    lease_id=grant.lease_id,
+                                    credits=grant.credits)
+        schedule = self.schedule
+        if schedule is not None:
+            schedule(ttl * _RENEW_FRACTION,
+                     lambda: self._on_ttl(lease))
+
+    def _on_revoke(self, revoke: LeaseRevoke) -> None:
+        """Server-initiated revoke (rule push): drop the lease at once."""
+        with self._lock:
+            lease = self._leases.get(revoke.key)
+            if lease is None or lease.lease_id != revoke.lease_id:
+                return
+            del self._leases[revoke.key]
+            self.revoked += 1
+        # The remaining balance is NOT returned: the server already
+        # re-materialized the bucket from the new rule, and the old
+        # ledger entry died with it.  Dropping the balance errs toward
+        # under-admission, the safe side.
+
+    def _on_ttl(self, lease: RouterLease) -> None:
+        """Deadline callback: return the remainder, renew if still hot."""
+        now = self._clock()
+        with self._lock:
+            current = self._leases.get(lease.key)
+            if current is not lease:
+                return                      # revoked or replaced meanwhile
+            del self._leases[lease.key]
+        with lease.lock:
+            remainder = lease.balance
+            lease.balance = 0.0
+        self.expired += 1
+        # Renew only for a lease that both saw real use this window and
+        # whose key still counts as warm — an untouched balance means
+        # the traffic moved on, so hand everything back.
+        still_hot = (remainder < lease.granted
+                     and self._tracker.count(lease.key, now)
+                     >= max(1, self._config.lease_hot_threshold // 2))
+        want = self._config.lease_credits if still_hot else 0.0
+        if remainder <= 0.0 and not still_hot:
+            return                          # nothing to say to the server
+        with self._lock:
+            request_id = self._ids.next_id()
+            if still_hot:
+                self._pending[request_id] = _PendingAsk(
+                    lease.key, lease.backend, now + _PENDING_TTL)
+                self._pending_keys.add(lease.key)
+                self.renewals += 1
+        request = LeaseRequest(
+            request_id=request_id, key=lease.key, credits=want,
+            ttl_ms=max(1, int(self._config.lease_ttl * 1000.0)),
+            return_credits=remainder, return_lease_id=lease.lease_id)
+        self._send_frame(lease.backend, [request])
+        if want:
+            self.requests_sent += 1
+        if remainder:
+            self.returned_credits += remainder
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def active_leases(self) -> int:
+        return len(self._leases)
+
+    def outstanding_balance(self) -> float:
+        """Sum of unspent leased credit held locally."""
+        with self._lock:
+            leases = list(self._leases.values())
+        return sum(lease.balance for lease in leases)
+
+    def stats(self) -> dict:
+        return {
+            "local_admits": self.local_admits,
+            "requests_sent": self.requests_sent,
+            "grants": self.grants,
+            "refusals": self.refusals,
+            "revoked": self.revoked,
+            "expired": self.expired,
+            "renewals": self.renewals,
+            "returned_credits": self.returned_credits,
+            "send_errors": self.send_errors,
+            "active": len(self._leases),
+            "tracked_keys": len(self._tracker),
+        }

@@ -491,6 +491,16 @@ class ProcPlaneNode:
 
     def stats(self) -> dict:
         workers = self.worker_stats()
+        # Each worker owns a disjoint shard range, so summing its lease
+        # ledger counters yields the node-wide ledger view: the live
+        # grant count and the aggregate over-admission bound.
+        lease = {
+            field: sum(w.get(field, 0) for w in workers)
+            for field in ("lease_grants", "lease_refusals",
+                          "lease_returns", "lease_expired", "lease_revoked",
+                          "leases_active", "lease_outstanding_credits",
+                          "lease_granted_credits", "lease_returned_credits")
+        }
         return {
             "name": self.name,
             "fanin": self.plane.fanin,
@@ -499,6 +509,7 @@ class ProcPlaneNode:
             "restarts": self.restarts_total,
             "port_map": self.port_map(),
             "decisions": sum(w.get("decisions", 0) for w in workers),
+            "lease": lease,
             "workers": workers,
         }
 

@@ -24,9 +24,11 @@ from repro.core.config import ProcPlaneConfig, ServerConfig
 from repro.core.errors import ProtocolError
 from repro.core.hashing import crc32_of
 from repro.core.protocol import (
+    LeaseRequest,
     QoSRequest,
     VERSION2,
     decode_any_traced,
+    encode_lease_request_frame,
     encode_request_frame_parts,
 )
 from repro.core.rules import QoSRule
@@ -215,6 +217,13 @@ class ShardWorkerDaemon(QoSServerDaemon):
             return
         n_shards = self.spec.n_shards
         my_index = self.spec.shard_index
+        if messages and type(messages[0]) is LeaseRequest:
+            # Lease frames route by key owner exactly like requests; the
+            # owning shard debits its own bucket and replies (grant or
+            # revoke) from the shared port, so the router's connected
+            # socket accepts the source address.
+            self._split_lease_frame(messages, addr, trace_id)
+            return
         mine: "list[QoSRequest]" = []
         other: "dict[int, list[QoSRequest]]" = {}
         malformed = 0
@@ -250,6 +259,28 @@ class ShardWorkerDaemon(QoSServerDaemon):
                  for m in batch],
                 trace_id=trace_id)
             self._forward(owner, payload, addr, count=len(batch))
+
+    def _split_lease_frame(self, messages, addr, trace_id: int) -> None:
+        """Route one LEASE_REQ frame's entries to their owning shards."""
+        n_shards = self.spec.n_shards
+        my_index = self.spec.shard_index
+        mine: "list[LeaseRequest]" = []
+        other: "dict[int, list[LeaseRequest]]" = {}
+        for message in messages:
+            if type(message) is not LeaseRequest:
+                self.malformed_packets += 1
+                continue
+            owner = crc32_of(message.key) % n_shards
+            if owner == my_index:
+                mine.append(message)
+            else:
+                other.setdefault(owner, []).append(message)
+        if mine:
+            self.inject(encode_lease_request_frame(mine, trace_id), addr)
+        for owner, batch in other.items():
+            self._forward(owner,
+                          encode_lease_request_frame(batch, trace_id),
+                          addr, count=len(batch))
 
     def _forward(self, owner: int, payload: bytes, reply_addr,
                  count: int = 1) -> None:

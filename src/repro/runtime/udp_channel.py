@@ -42,6 +42,8 @@ from typing import Optional, Sequence
 from repro.core.config import RouterConfig
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRevoke,
     QoSRequest,
     QoSResponse,
     RequestIdGenerator,
@@ -69,6 +71,14 @@ _LEADER_SLICE = 0.02
 #: Normal completions and baton handoffs wake it instantly; the slice
 #: only bounds recovery from rare lost-baton races.
 _FOLLOWER_SLICE = 0.05
+#: Period of the recurring lease-plane drain poke.  While the router
+#: holds leases it may go arbitrarily long without any exchange (every
+#: check admits locally), so nobody reads the channel sockets and an
+#: unsolicited LEASE_REVOKE would rot in the kernel buffer until the
+#: TTL renewal.  The poke bounds revoke latency to ~this period; armed
+#: only when a lease listener is wired, so the lease-disabled path keeps
+#: zero extra wakeups.
+_LEASE_DRAIN_INTERVAL = 0.05
 #: Keep batched frames comfortably under the datagram ceiling even with
 #: adversarially long keys.
 _FRAME_BYTE_BUDGET = MAX_DATAGRAM_BYTES - 512
@@ -266,13 +276,15 @@ def _timer_entry_dead(item) -> bool:
     """True when a wheel entry no longer needs to fire.
 
     ``item`` is ``(channel, batch)``: re-flush markers (``batch is
-    None``) always stay live; a frame's entry is dead once every
-    exchange in it has resolved.  ``done`` flips ``False → True``
-    exactly once, so the lock-free read can only misreport *live* —
-    which merely costs an extra wake, never a missed timeout.
+    None``) and deferred callbacks (``batch`` callable — lease TTLs)
+    always stay live; a frame's entry is dead once every exchange in it
+    has resolved.  ``done`` flips ``False → True`` exactly once, so the
+    lock-free read can only misreport *live* — which merely costs an
+    extra wake, never a missed timeout.
     """
     batch = item[1]
-    return batch is not None and all(e.done for e in batch)
+    return (batch is not None and not callable(batch)
+            and all(e.done for e in batch))
 
 
 class ChannelSet:
@@ -333,6 +345,12 @@ class ChannelSet:
                 fn=lambda: self.timer_wakeups, **labels)
         self._channels = {tuple(addr): _BackendChannel(tuple(addr))
                           for addr in backends}
+        # Credit-lease plane hook: when set (via the ``lease_listener``
+        # property), decoded LEASE_GRANT/LEASE_REVOKE messages are handed
+        # to it as ``listener(message, backend_address)`` with no lock
+        # held.  When unset, lease frames count as malformed — the
+        # pre-lease behaviour.
+        self._lease_listener = None
         # Channels retired by replace_backend; their sockets stay open
         # until stop() because armed timer entries still reference them.
         self._retired: list[_BackendChannel] = []
@@ -346,8 +364,10 @@ class ChannelSet:
                              / self.config.timer_tick) + 2)
         self._wheel = TimerWheel(self.config.timer_tick, slots=slots,
                                  is_dead=_timer_entry_dead)
+        # The third element is a frame batch (list), a re-flush marker
+        # (None), or a deferred callback (callable — lease TTLs).
         self._timer_inbox: deque[
-            tuple[float, _BackendChannel, Optional[list]]] = deque()
+            tuple[float, _BackendChannel, object]] = deque()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
@@ -371,6 +391,45 @@ class ChannelSet:
         for channel in self._channels.values():
             total.add(channel.stats)
         return total
+
+    @property
+    def lease_listener(self):
+        """Callback for decoded LEASE_GRANT/LEASE_REVOKE messages."""
+        return self._lease_listener
+
+    @lease_listener.setter
+    def lease_listener(self, listener) -> None:
+        arm = listener is not None and self._lease_listener is None
+        self._lease_listener = listener
+        if arm:
+            self._arm_lease_drain()
+
+    def _arm_lease_drain(self) -> None:
+        """Start the recurring event-thread drain for unsolicited frames.
+
+        A server-initiated LEASE_REVOKE arrives on a channel socket that
+        is only read while some exchange waiter holds the recv-leader
+        token; under pure local admission there is no such waiter.  This
+        self-rescheduling callback drains every channel whose token is
+        free each ``_LEASE_DRAIN_INTERVAL`` so revokes land promptly.
+        """
+        carrier = next(iter(self._channels.values()))
+
+        def tick() -> None:
+            if self._lease_listener is None or self._stop.is_set():
+                return
+            for channel in list(self._channels.values()):
+                if channel.recv_token.acquire(blocking=False):
+                    try:
+                        self._drain(channel)
+                    finally:
+                        channel.recv_token.release()
+            self._timer_inbox.append(
+                (time.monotonic() + _LEASE_DRAIN_INTERVAL, carrier, tick))
+
+        self._timer_inbox.append(
+            (time.monotonic() + _LEASE_DRAIN_INTERVAL, carrier, tick))
+        self._wake()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -506,6 +565,69 @@ class ChannelSet:
             self._rtt.record(span.duration_ns)
         return results
 
+    # ------------------------------------------------------------------ #
+    # credit-lease plane transport (any thread)
+    # ------------------------------------------------------------------ #
+
+    def send_lease_frame(self, backend: tuple[str, int],
+                         payload: bytes) -> None:
+        """Fire one pre-encoded lease frame at ``backend``, best-effort.
+
+        Lease acquisition is an optimisation, not a guarantee: a frame
+        lost to a full socket buffer is simply dropped (the hotness
+        tracker re-asks on the next window) and a dead backend counts a
+        send error exactly like the request path.  Unknown backends
+        (retired by :meth:`replace_backend`) are ignored — the lease
+        dies with its channel.
+        """
+        channel = self._channels.get(tuple(backend))
+        if channel is None or self._stop.is_set():
+            return
+        with channel.lock:
+            try:
+                channel.sock.send(payload)  # janus-lint: disable=blocking-under-lock
+            except BlockingIOError:
+                return      # buffer full: drop, hotness will re-ask
+            except OSError:
+                channel.stats.send_errors += 1
+                return
+            channel.stats.frames_sent += 1
+        # The reply rides the same socket, but the socket is only read
+        # while some exchange waiter holds the recv-leader token.  Under
+        # load that is continuous; on a quiet channel nobody would ever
+        # collect the grant — so arm two deferred drain pokes (one tick
+        # and five ticks out) on the event thread.  A poke that loses
+        # the token race is harmless: the active leader drains for us.
+        now = time.monotonic()
+        tick = self.config.timer_tick
+        poke = self._drain_poke(channel)
+        self._timer_inbox.append((now + tick, channel, poke))
+        self._timer_inbox.append((now + 5 * tick, channel, poke))
+        self._wake()
+
+    def _drain_poke(self, channel: _BackendChannel):
+        """A deferred callback that drains ``channel`` if nobody else is."""
+        def poke() -> None:
+            if channel.recv_token.acquire(blocking=False):
+                try:
+                    self._drain(channel)
+                finally:
+                    channel.recv_token.release()
+        return poke
+
+    def call_later(self, delay: float, fn) -> None:
+        """Run ``fn()`` on the event thread after ``delay`` seconds.
+
+        Rides the existing timer wheel: the entry's ``batch`` slot
+        carries the callable (``_timer_entry_dead`` keeps it live,
+        ``_expire`` invokes it with no lock held).  The lease plane uses
+        this for TTL return/renew deadlines so lease bookkeeping never
+        needs its own timer thread.
+        """
+        channel = next(iter(self._channels.values()))
+        self._timer_inbox.append((time.monotonic() + delay, channel, fn))
+        self._wake()
+
     def _dead_result(self) -> tuple[QoSResponse, int]:
         response = QoSResponse(self._ids.next_id(),
                                self.config.default_reply,
@@ -589,6 +711,8 @@ class ChannelSet:
                 break
         if not datagrams:
             return
+        lease_messages: list = []
+        lease_listener = self.lease_listener
         with channel.lock:
             stats = channel.stats
             inflight = channel.inflight
@@ -601,7 +725,15 @@ class ChannelSet:
                 stats.frames_received += 1
                 for message in messages:
                     if not isinstance(message, QoSResponse):
-                        stats.malformed_datagrams += 1
+                        if (lease_listener is not None
+                                and isinstance(message,
+                                               (LeaseGrant, LeaseRevoke))):
+                            # Dispatched below, outside the channel lock:
+                            # the listener may send (renew) on this very
+                            # channel.
+                            lease_messages.append(message)
+                        else:
+                            stats.malformed_datagrams += 1
                         continue
                     exchange = inflight.pop(message.request_id, None)
                     if exchange is None or exchange.done:
@@ -610,6 +742,8 @@ class ChannelSet:
                     exchange.done = True
                     stats.responses_matched += 1
                     exchange.group.notify()
+        for message in lease_messages:
+            lease_listener(message, channel.address)
 
     def _pass_baton(self, channel: _BackendChannel) -> None:
         """Wake one unresolved waiter so the channel keeps a recv leader."""
@@ -783,6 +917,11 @@ class ChannelSet:
 
     def _expire(self, now: float) -> None:
         for channel, batch in self._wheel.advance(now):
+            if callable(batch):
+                # Deferred callback (lease TTL): runs on the event
+                # thread with no lock held, so it may freely send.
+                batch()
+                continue
             with channel.lock:
                 if batch is None:               # deferred re-flush marker
                     self._flush_locked(channel)

@@ -43,10 +43,15 @@ from repro.core.dedup import DedupCache
 from repro.core.config import ServerConfig
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
     QoSRequest,
     QoSResponse,
     VERSION2,
     decode_any_traced,
+    encode_lease_grant_frame,
+    encode_lease_revoke_frame,
     encode_response_frame,
 )
 from repro.obs.metrics import MetricsRegistry, register_snapshot_gauges
@@ -121,6 +126,14 @@ class QoSServerDaemon:
         self.metrics.gauge(
             "janus_server_fifo_depth", "Datagram batches queued for workers",
             fn=lambda: self._fifo_depth, **labels)
+        self.metrics.gauge(
+            "janus_admission_table_size",
+            "Leaky buckets resident in the admission table",
+            fn=self.controller.table_size, **labels)
+        # Rule pushes revoke the affected keys' leases; the hook fires
+        # outside every controller lock, so sending datagrams here is
+        # safe (and best-effort — a lost revoke dies at the lease TTL).
+        self.controller.lease_revoke_hook = self._send_lease_revokes
         self._recv_batch = self.metrics.histogram(
             "janus_server_recv_batch",
             "Datagrams drained per listener wakeup", **labels)
@@ -253,6 +266,14 @@ class QoSServerDaemon:
                 except ProtocolError:
                     malformed += 1
                     continue
+                # Lease frames are homogeneous (one message type per
+                # frame), so one type check on the head dispatches the
+                # whole credit-lease path off the admission hot path.
+                if messages and type(messages[0]) is LeaseRequest:
+                    reply = self._lease_replies(messages, addr, trace_id)
+                    if reply is not None:
+                        out.append(reply)
+                    continue
                 # A traced frame earns a server-side decision span; the
                 # untraced path pays one integer comparison.
                 span = (tracer.start(trace_id, "server.decide", "qos_server",
@@ -301,6 +322,77 @@ class QoSServerDaemon:
             if sent:
                 self.responses_sent += sent
 
+    # ------------------------------------------------------------------ #
+    # credit-lease plane (DESIGN.md, "Credit leasing")
+    # ------------------------------------------------------------------ #
+
+    def _lease_replies(self, messages, addr,
+                       trace_id: int) -> "Optional[tuple[bytes, tuple, int]]":
+        """Process one LEASE_REQ frame; return the grant frame to send.
+
+        Returns are applied before fresh asks so a renewal (return +
+        ask in one request) sees its own remainder back in the bucket.
+        Every ask is answered — a refusal is a grant with ``lease_id=0``
+        — so the router's pending table never waits out a lost verdict;
+        pure returns (``credits == 0``) get no reply.
+        """
+        controller = self.controller
+        tracer = self._tracer
+        span = (tracer.start(trace_id, "server.lease", "qos_server",
+                             {"server": self.name}) if trace_id else None)
+        grants: list[LeaseGrant] = []
+        granted_total = 0.0
+        for message in messages:
+            if type(message) is not LeaseRequest:
+                self.malformed_packets += 1
+                continue
+            if message.return_lease_id:
+                # Also called with return_credits == 0: a fully-drained
+                # renewal has nothing to re-credit but must still close
+                # the old ledger entry, or its granted total would pin
+                # the key's max_lease_fraction headroom until the TTL.
+                controller.lease_return(message.key, message.return_lease_id,
+                                        message.return_credits)
+            if message.credits <= 0:
+                continue                        # pure return: no reply
+            lease_id, granted, ttl = controller.lease_grant(
+                message.key, message.credits, message.ttl_ms / 1000.0,
+                holder=addr)
+            grants.append(LeaseGrant(
+                message.request_id, message.key, lease_id, granted,
+                int(ttl * 1000.0) if lease_id else 0))
+            granted_total += granted
+        if span is not None:
+            tracer.finish(span, asks=len(grants), granted=granted_total)
+        if not grants:
+            return None
+        return (encode_lease_grant_frame(grants, trace_id=trace_id),
+                addr, len(grants))
+
+    def _send_lease_revokes(self, revoked) -> None:
+        """Push LEASE_REVOKE frames to the holders of revoked leases.
+
+        ``revoked`` is the controller hook's ``[(key, record), ...]``
+        list; records granted without a holder address (tests, simnet)
+        are skipped.  Fire-and-forget like every server send: a lost
+        revoke merely lets the router spend its already-debited balance
+        until the TTL.
+        """
+        by_holder: dict[tuple, list[LeaseRevoke]] = {}
+        for key, record in revoked:
+            if record.holder is None:
+                continue
+            by_holder.setdefault(tuple(record.holder), []).append(
+                LeaseRevoke(record.lease_id, key))
+        sock = self.reply_sock
+        for holder, revokes in by_holder.items():
+            try:
+                sock.sendto(encode_lease_revoke_frame(revokes), holder)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+
     def _housekeeping(self) -> None:
         """Interval refill of every leaky bucket (§III-C)."""
         interval = self.config.admission.refill_interval
@@ -316,6 +408,10 @@ class QoSServerDaemon:
         while not self._stop.wait(step):
             elapsed_sync += step
             elapsed_checkpoint += step
+            # Lease TTLs are sub-second; sweep the ledger every step so
+            # abandoned grants release their outstanding-credit headroom
+            # promptly (live leases are untouched).
+            self.controller.lease_expire()
             if elapsed_sync >= sync_every:
                 elapsed_sync = 0.0
                 self.controller.sync_rules()

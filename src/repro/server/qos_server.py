@@ -35,7 +35,13 @@ from repro.core.admission import AdmissionController, RuleSource
 from repro.core.dedup import DedupCache
 from repro.core.config import ServerConfig
 from repro.core.hashing import crc32_of
-from repro.core.protocol import QoSRequest, QoSResponse
+from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
+    QoSRequest,
+    QoSResponse,
+)
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.simnet.engine import Resource, Simulation, Store
 from repro.simnet.network import Network
@@ -146,7 +152,14 @@ class SimQoSServer:
         self.running = True
         self.responses_sent = 0
         self.decisions = 0
+        self.lease_grants = 0
+        self.lease_refusals = 0
         self._decisions_window0 = 0
+        # Revoke push on rule changes (credit-lease plane): the controller
+        # collects stale grants during sync_rules and hands them to this
+        # hook outside every lock; the sim delivers one datagram per grant.
+        for controller in self.controllers:
+            controller.lease_revoke_hook = self._send_lease_revokes
         self._procs = [sim.spawn(self._listener(), f"{name}.listener")]
         for w in range(base_config.workers):
             self._procs.append(sim.spawn(self._worker(), f"{name}.worker{w}"))
@@ -164,7 +177,7 @@ class SimQoSServer:
         return mean * self._service_rng.lognormvariate(-sigma * sigma / 2.0, sigma)
 
     def _on_datagram(self, src: str, payload) -> None:
-        if self.running and isinstance(payload, QoSRequest):
+        if self.running and isinstance(payload, (QoSRequest, LeaseRequest)):
             self._ingress.put((src, payload))
 
     def _listener(self):
@@ -186,6 +199,9 @@ class SimQoSServer:
             src, request = item
             # On-path burst 1: datagram decode, key extraction.
             yield from self.node.cpu(self._jitter(calib.qos_cpu_decode))
+            if isinstance(request, LeaseRequest):
+                yield from self._serve_lease(src, request)
+                continue
             # Duplicate suppression (extension): a retry of a request we
             # already decided returns the memoized verdict for free.
             memoized = (self._dedup.lookup(src, request.request_id)
@@ -228,6 +244,66 @@ class SimQoSServer:
             self.sim.spawn(self.node.cpu(self._jitter(calib.qos_cpu_overhead)),
                            f"{self.name}.ovh")
 
+    def _serve_lease(self, src: str, request: LeaseRequest):
+        """Decide one credit-lease ask under the table lock (generator).
+
+        Same shape as the request path: returned remainder is credited
+        first, then the ask is debited from the bucket at grant time —
+        over-admission across the cluster stays bounded by the sum of
+        outstanding grants.  Pure returns (``credits == 0``) get no reply.
+        """
+        calib = self.calib
+        if not self._warm and request.key not in self._keys_seen:
+            self._keys_seen.add(request.key)
+            yield self.sim.timeout(self._jitter(calib.qos_rule_fetch_time))
+        key_hash = crc32_of(request.key)
+        proc = ((key_hash // self._shard_count) % len(self.controllers)
+                if len(self.controllers) > 1 else 0)
+        lock = self._locks[proc * self._lock_shards
+                           + key_hash % self._lock_shards]
+        yield lock.acquire()
+        try:
+            yield from self.node.cpu(self._jitter(calib.qos_cpu_serial))
+            controller = self.controllers[proc]
+            if request.return_lease_id:
+                # return_credits may be 0: a drained renewal still closes
+                # the old ledger entry so its granted total stops pinning
+                # the key's max_lease_fraction headroom.
+                controller.lease_return(request.key, request.return_lease_id,
+                                        request.return_credits)
+            if request.credits > 0:
+                lease_id, granted, ttl = controller.lease_grant(
+                    request.key, request.credits,
+                    request.ttl_ms / 1000.0, holder=src)
+            else:
+                lease_id = None                 # pure return: no reply
+        finally:
+            lock.release()
+        if lease_id is None:
+            return
+        if lease_id:
+            self.lease_grants += 1
+        else:
+            self.lease_refusals += 1
+        yield from self.node.cpu(self._jitter(calib.qos_cpu_respond))
+        if self.running:
+            grant = LeaseGrant(request.request_id, request.key, lease_id,
+                               granted,
+                               int(ttl * 1000.0) if lease_id else 0)
+            self.net.udp_send(self.name, src, grant, size_bytes=96)
+            self.responses_sent += 1
+
+    def _send_lease_revokes(self, revoked) -> None:
+        """Push LEASE_REVOKE to each holder whose rule changed underneath."""
+        if not self.running:
+            return
+        for key, record in revoked:
+            if record.holder is None:
+                continue
+            self.net.udp_send(self.name, record.holder,
+                              LeaseRevoke(record.lease_id, key),
+                              size_bytes=64)
+
     def _housekeeping(self):
         """Refill every bucket at the configured interval (§III-C)."""
         interval = self.config.admission.refill_interval
@@ -235,6 +311,8 @@ class SimQoSServer:
             yield interval
             if not self.running:
                 return
+            for controller in self.controllers:
+                controller.lease_expire()
             n = sum(c.refill_all() for c in self.controllers)
             # A refill pass walks the local table: charge proportional CPU.
             if n:
@@ -251,6 +329,8 @@ class SimQoSServer:
             yield step
             if not self.running:
                 return
+            for controller in self.controllers:
+                controller.lease_expire()
             now = self.sim.now
             if now + 1e-12 >= next_sync:
                 next_sync += sync_interval
@@ -276,6 +356,17 @@ class SimQoSServer:
     def table_size(self) -> int:
         """Local QoS-table keys across every modeled worker process."""
         return sum(c.table_size() for c in self.controllers)
+
+    def lease_outstanding(self) -> float:
+        """Sum of live granted-but-unreturned lease credit on this node.
+
+        This is the node's contribution to the cluster-wide
+        over-admission bound (DESIGN.md)."""
+        return sum(c.lease_outstanding_total() for c in self.controllers)
+
+    def lease_count(self) -> int:
+        """Live ledger entries across every modeled worker process."""
+        return sum(c.lease_count() for c in self.controllers)
 
     def bucket_snapshots(self):
         """Bucket state across every modeled worker process."""

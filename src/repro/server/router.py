@@ -19,8 +19,16 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.config import RouterConfig
 from repro.core.hashing import crc32_router
-from repro.core.protocol import QoSRequest, QoSResponse, RequestIdGenerator
+from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
+    QoSRequest,
+    QoSResponse,
+    RequestIdGenerator,
+)
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.runtime.lease import HotKeyTracker
 from repro.simnet.engine import Resource, Simulation, first_of
 from repro.simnet.network import Network
 from repro.simnet.node import SimNode
@@ -29,6 +37,20 @@ from repro.simnet.rng import RngRegistry
 from repro.server.qos_server import background_load
 
 __all__ = ["SimRequestRouter"]
+
+
+class _SimLease:
+    """One live leased balance in the sim router's cache."""
+
+    __slots__ = ("key", "lease_id", "balance", "granted", "expiry")
+
+    def __init__(self, key: str, lease_id: int, granted: float,
+                 expiry: float):
+        self.key = key
+        self.lease_id = lease_id
+        self.balance = granted
+        self.granted = granted
+        self.expiry = expiry
 
 
 class SimRequestRouter:
@@ -75,6 +97,23 @@ class SimRequestRouter:
         self.default_replies = 0
         self.retries = 0
         self._handled_window0 = 0
+        # The credit-lease plane (DESIGN.md): a simplified but
+        # bound-faithful model of :mod:`repro.runtime.lease` on sim time —
+        # hot keys lease credit from the owning server and admit locally;
+        # the server debits at grant, so over-admission in a sweep is
+        # measurable against ``SimQoSServer.lease_outstanding()``.
+        self._lease_enabled = self.config.lease_enabled
+        self._hot = HotKeyTracker(self.config.lease_hot_threshold,
+                                  self.config.lease_window,
+                                  self.config.lease_max_keys, now=sim.now)
+        self._leases: Dict[str, _SimLease] = {}
+        self._lease_pending: set = set()
+        self.lease_local_admits = 0
+        self.lease_requests_sent = 0
+        self.lease_grants = 0
+        self.lease_refusals = 0
+        self.lease_revoked = 0
+        self.lease_returned_credits = 0.0
         background_load(sim, self.node, calibration.node_background_cores)
         net.attach(name, self._on_datagram,
                    nic_mbps=self.node.instance.network_mbps)
@@ -89,10 +128,19 @@ class SimRequestRouter:
         return mean * self._service_rng.lognormvariate(-sigma * sigma / 2.0, sigma)
 
     def _on_datagram(self, src: str, payload) -> None:
-        if isinstance(payload, QoSResponse):
+        if isinstance(payload, (QoSResponse, LeaseGrant)):
             event = self._pending.pop(payload.request_id, None)
             if event is not None and not event.triggered:   # type: ignore[attr-defined]
                 event.trigger(payload)                       # type: ignore[attr-defined]
+        elif isinstance(payload, LeaseRevoke):
+            lease = self._leases.get(payload.key)
+            if lease is not None and lease.lease_id == payload.lease_id:
+                # Drop without returning the balance: the server already
+                # wrote the stale grant off, re-crediting it here would
+                # double-spend.  Under-admission only, bounded by one
+                # grant (DESIGN.md).
+                del self._leases[payload.key]
+                self.lease_revoked += 1
 
     def route(self, key: str) -> str:
         """The paper's routing function over this router's backend list."""
@@ -123,7 +171,15 @@ class SimRequestRouter:
                 self._accept_lock.release()
             # PHP request handling up to the UDP exchange.
             yield from self.node.cpu(self._jitter(self.calib.rr_cpu_on_path * 0.6))
-            response = yield from self._udp_exchange(key, cost)
+            leased = False
+            if self._lease_enabled:
+                leased = self._lease_check(key, cost)
+            if leased:
+                # Local admission from leased credit: zero wire traffic
+                # (request_id 0 marks the lease path, as in the runtime).
+                response = QoSResponse(0, True)
+            else:
+                response = yield from self._udp_exchange(key, cost)
             # PHP response rendering after the UDP exchange.
             yield from self.node.cpu(self._jitter(self.calib.rr_cpu_on_path * 0.4))
             # Async per-request CPU (kernel TCP stack, Apache bookkeeping).
@@ -156,6 +212,100 @@ class SimRequestRouter:
                                is_default_reply=True)
         finally:
             self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------ #
+    # credit-lease plane (sim model of :mod:`repro.runtime.lease`)
+    # ------------------------------------------------------------------ #
+
+    def _lease_check(self, key: str, cost: float) -> bool:
+        """Try to admit locally from leased credit; never denies.
+
+        Mirrors :meth:`repro.runtime.lease.LeaseManager.check_local`: a
+        miss, an expired lease or an insufficient balance falls through
+        to the ordinary wire exchange, and a hot key triggers an
+        *asynchronous* lease ask (the current request still rides the
+        wire — exactly the runtime's behaviour).
+        """
+        now = self.sim.now
+        hot = self._hot.hit(key, now)
+        lease = self._leases.get(key)
+        if lease is not None and now >= lease.expiry:
+            # Local deadline passed: the server's ledger entry is gone
+            # too, so the remainder is unreturnable — drop it (bounded
+            # under-admission, one grant per key per TTL).
+            del self._leases[key]
+            lease = None
+        if lease is not None:
+            if lease.balance >= cost:
+                lease.balance -= cost
+                self.lease_local_admits += 1
+                return True
+            if hot:
+                self._lease_ask(key, refresh=lease)
+            return False
+        if hot:
+            self._lease_ask(key)
+        return False
+
+    def _lease_ask(self, key: str, refresh: Optional[_SimLease] = None) -> None:
+        """Spawn one LEASE_REQ exchange for ``key`` (deduplicated)."""
+        if not self.running or key in self._lease_pending:
+            return
+        if refresh is None and len(self._leases) >= self.config.lease_max_keys:
+            return
+        return_credits, return_lease_id = 0.0, 0
+        if refresh is not None and refresh.balance > 0:
+            # Renewal: hand the unused remainder back with the fresh ask
+            # so the server re-credits it before debiting the new grant.
+            return_credits = refresh.balance
+            return_lease_id = refresh.lease_id
+            refresh.balance = 0.0
+            self.lease_returned_credits += return_credits
+        self._lease_pending.add(key)
+        self.sim.spawn(
+            self._lease_exchange(key, return_credits, return_lease_id),
+            f"{self.name}.lease")
+
+    def _lease_exchange(self, key: str, return_credits: float,
+                        return_lease_id: int):
+        """One fire-and-collect lease ask (generator; yields sim events)."""
+        try:
+            request_id = self._ids.next_id()
+            request = LeaseRequest(
+                request_id, key, self.config.lease_credits,
+                int(self.config.lease_ttl * 1000.0),
+                return_credits=return_credits,
+                return_lease_id=return_lease_id)
+            result_event = self.sim.event()
+            self._pending[request_id] = result_event
+            self.lease_requests_sent += 1
+            try:
+                self.net.udp_send(self.name, self._resolve(self.route(key)),
+                                  request, size_bytes=128)
+                # Single attempt, generous timeout: a lost ask is simply
+                # re-issued by the next hot check (the embedded return is
+                # lost with it — under-admission only).
+                outcome, value = yield first_of(
+                    self.sim, result_event, self.config.udp_timeout * 4)
+            finally:
+                self._pending.pop(request_id, None)
+            if outcome != "ok":
+                return
+            if value.lease_id == 0:
+                self.lease_refusals += 1
+                return
+            self.lease_grants += 1
+            self._leases[key] = _SimLease(
+                key, value.lease_id, value.credits,
+                self.sim.now + value.ttl_ms / 1000.0)
+        finally:
+            self._lease_pending.discard(key)
+
+    def lease_outstanding(self) -> float:
+        """Unspent leased balance cached on this router (live leases)."""
+        now = self.sim.now
+        return sum(lease.balance for lease in self._leases.values()
+                   if now < lease.expiry)
 
     # ------------------------------------------------------------------ #
     # measurement

@@ -74,7 +74,10 @@ def run_ab(
         for i in range(per_worker[wid]):
             result = client.check_detailed(keygen(wid, i))
             samples[wid].append(result.latency)
-            if result.attempts == 0:
+            # A transport error is the client's synthetic default reply
+            # (attempts=0 AND default); a lease-local admission also
+            # reports attempts=0 but is a real verdict, not an error.
+            if result.attempts == 0 and result.is_default_reply:
                 errors[wid] += 1
             if result.is_default_reply:
                 defaults[wid] += 1

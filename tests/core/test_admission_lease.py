@@ -1,0 +1,289 @@
+"""Tests for the credit-lease ledger and the bucket-table memory bound.
+
+The lease ledger (PR 7) lives inside :class:`AdmissionController`: grants
+debit the bucket at grant time (the over-admission bound), returns
+re-credit validated remainders, expiry prunes without re-crediting, rule
+pushes revoke, and snapshots carry the ledger across restarts.  The
+table bound rides the housekeeping refill pass: full-and-idle buckets
+evict lazily, ``max_table_entries`` forces idle evictions, and every
+eviction check-points credit so re-materialization is lossless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import AdmissionController, InMemoryRuleSource
+from repro.core.config import AdmissionConfig
+from repro.core.rules import QoSRule
+
+
+def make_controller(rule_source, clock, **config_kwargs):
+    return AdmissionController(
+        rule_source, AdmissionConfig(**config_kwargs), clock=clock)
+
+
+@pytest.fixture
+def leased_source() -> InMemoryRuleSource:
+    return InMemoryRuleSource({
+        "hot": QoSRule("hot", refill_rate=100.0, capacity=1000.0),
+        "small": QoSRule("small", refill_rate=1.0, capacity=10.0),
+        "frac": QoSRule("frac", refill_rate=100.0, capacity=1000.0,
+                        max_lease_fraction=0.1),
+    })
+
+
+class TestLeaseGrant:
+    def test_grant_debits_the_bucket(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, granted, ttl = controller.lease_grant("hot", 200.0, 0.5)
+        assert lease_id > 0 and granted == 200.0 and ttl == 0.5
+        # The 1000-credit burst is now 800: wire admission stops there.
+        assert sum(controller.check("hot") for _ in range(1000)) == 800
+
+    def test_grant_clamped_by_max_lease_fraction(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        # Default fraction 0.5 of capacity 1000 caps the grant at 500.
+        _, granted, _ = controller.lease_grant("hot", 9999.0, 0.5)
+        assert granted == 500.0
+        # Headroom is exhausted: the next ask is refused outright.
+        lease_id, granted, ttl = controller.lease_grant("hot", 100.0, 0.5)
+        assert (lease_id, granted, ttl) == (0, 0.0, 0.0)
+
+    def test_per_rule_fraction_overrides_config(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        _, granted, _ = controller.lease_grant("frac", 9999.0, 0.5)
+        assert granted == pytest.approx(100.0)   # 0.1 * 1000
+
+    def test_grant_limited_by_available_credit(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        # Drain the small bucket to ~2 credits, then ask for 10.
+        assert sum(controller.check("small") for _ in range(8)) == 8
+        _, granted, _ = controller.lease_grant("small", 10.0, 0.5)
+        assert 0 < granted <= 2.0 + 1e-9
+
+    def test_ttl_clamped_to_config_max(self, leased_source, clock):
+        controller = make_controller(leased_source, clock, max_lease_ttl=1.0)
+        _, _, ttl = controller.lease_grant("hot", 10.0, 60.0)
+        assert ttl == 1.0
+
+    def test_nonpositive_ask_refused(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        assert controller.lease_grant("hot", 0.0, 0.5) == (0, 0.0, 0.0)
+        assert controller.lease_grant("hot", 10.0, 0.0) == (0, 0.0, 0.0)
+
+    def test_outstanding_totals_track_grants(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.lease_grant("hot", 100.0, 0.5)
+        controller.lease_grant("hot", 50.0, 0.5)
+        assert controller.lease_count() == 2
+        assert controller.lease_outstanding_total() == pytest.approx(150.0)
+
+
+class TestLeaseReturn:
+    def test_return_recredits_the_bucket(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, granted, _ = controller.lease_grant("hot", 200.0, 0.5)
+        accepted = controller.lease_return("hot", lease_id, 150.0)
+        assert accepted == 150.0
+        assert controller.lease_count() == 0
+        assert controller.lease_outstanding_total() == 0.0
+        # 1000 - 200 + 150 = 950 admissible.
+        assert sum(controller.check("hot") for _ in range(1000)) == 950
+
+    def test_unknown_lease_id_rejected(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        assert controller.lease_return("hot", 424242, 100.0) == 0.0
+        assert sum(controller.check("hot") for _ in range(1100)) == 1000
+
+    def test_mismatched_key_rejected(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, _, _ = controller.lease_grant("hot", 100.0, 0.5)
+        assert controller.lease_return("small", lease_id, 50.0) == 0.0
+        assert controller.lease_count() == 1    # ledger entry survives
+
+    def test_return_clamped_to_granted(self, leased_source, clock):
+        # A confused router can never mint credit by over-returning.
+        controller = make_controller(leased_source, clock)
+        lease_id, granted, _ = controller.lease_grant("hot", 100.0, 0.5)
+        assert controller.lease_return("hot", lease_id, 1e9) == granted
+
+    def test_zero_credit_return_closes_the_lease(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, _, _ = controller.lease_grant("hot", 100.0, 0.5)
+        assert controller.lease_return("hot", lease_id, 0.0) == 0.0
+        assert controller.lease_count() == 0
+
+    def test_double_return_rejected(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, _, _ = controller.lease_grant("hot", 100.0, 0.5)
+        assert controller.lease_return("hot", lease_id, 40.0) == 40.0
+        assert controller.lease_return("hot", lease_id, 40.0) == 0.0
+
+
+class TestLeaseExpiry:
+    def test_expiry_prunes_without_recredit(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.lease_grant("hot", 200.0, 0.5)
+        clock.advance(0.6)
+        assert controller.lease_expire() == 1
+        assert controller.lease_count() == 0
+        # Forfeited remainder stays debited (plus 0.6s * 100/s refill):
+        # under-admission only, never over.
+        admitted = sum(controller.check("hot") for _ in range(1000))
+        assert admitted == pytest.approx(800 + 60, abs=1)
+
+    def test_live_leases_survive_the_sweep(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.lease_grant("hot", 100.0, 10.0)
+        clock.advance(0.5)
+        assert controller.lease_expire() == 0
+        assert controller.lease_count() == 1
+
+    def test_late_return_rejected_after_expiry(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        lease_id, _, _ = controller.lease_grant("hot", 100.0, 0.5)
+        clock.advance(1.0)
+        controller.lease_expire()
+        assert controller.lease_return("hot", lease_id, 100.0) == 0.0
+
+
+class TestLeaseRevokeOnRulePush:
+    def test_rule_change_revokes_and_fires_hook(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.check("hot")                 # materialize the bucket
+        lease_id, _, _ = controller.lease_grant("hot", 100.0, 10.0,
+                                                holder=("10.0.0.1", 9999))
+        revoked: list = []
+        controller.lease_revoke_hook = revoked.extend
+        leased_source.put_rule(
+            QoSRule("hot", refill_rate=50.0, capacity=500.0))
+        controller.sync_rules()
+        assert controller.lease_count() == 0
+        assert [(key, record.lease_id, record.holder)
+                for key, record in revoked] == \
+            [("hot", lease_id, ("10.0.0.1", 9999))]
+
+    def test_unchanged_rules_revoke_nothing(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.check("hot")
+        controller.lease_grant("hot", 100.0, 10.0)
+        revoked: list = []
+        controller.lease_revoke_hook = revoked.extend
+        controller.sync_rules()
+        assert controller.lease_count() == 1
+        assert revoked == []
+
+
+class TestLeaseSnapshotRestore:
+    def test_ledger_rides_the_snapshot(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.check("hot")
+        lease_id, granted, _ = controller.lease_grant(
+            "hot", 200.0, 10.0, holder=("127.0.0.1", 4000))
+        snaps = controller.snapshot()
+        replacement = make_controller(leased_source, clock)
+        replacement.restore(snaps)
+        assert replacement.lease_count() == 1
+        assert replacement.lease_outstanding_total() == pytest.approx(granted)
+        # The restored entry keeps its id and remaining TTL: a return
+        # from the original holder still validates...
+        assert replacement.lease_return("hot", lease_id, 50.0) == 50.0
+
+    def test_restored_ttl_continues_not_restarts(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.lease_grant("hot", 100.0, 1.0)
+        clock.advance(0.7)
+        replacement = make_controller(leased_source, clock)
+        replacement.restore(controller.snapshot())
+        clock.advance(0.4)                     # 1.1s total > 1.0s TTL
+        assert replacement.lease_expire() == 1
+
+    def test_expired_entries_do_not_ride(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.check("hot")
+        controller.lease_grant("hot", 100.0, 0.5)
+        clock.advance(1.0)
+        replacement = make_controller(leased_source, clock)
+        replacement.restore(controller.snapshot())
+        assert replacement.lease_count() == 0
+
+    def test_fresh_grants_never_reuse_restored_ids(self, leased_source,
+                                                   clock):
+        controller = make_controller(leased_source, clock)
+        for _ in range(5):
+            controller.lease_grant("hot", 10.0, 10.0)
+        replacement = make_controller(leased_source, clock)
+        replacement.restore(controller.snapshot())
+        lease_id, granted, _ = replacement.lease_grant("hot", 10.0, 10.0)
+        assert granted > 0
+        assert lease_id > 5
+
+
+class TestBucketTableBound:
+    def test_full_idle_bucket_evicts_lazily(self, clock):
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=100.0, capacity=10.0)})
+        controller = make_controller(source, clock)
+        controller.check("k")
+        controller.refill_all()                # active this sweep: stays
+        assert controller.table_size() == 1
+        clock.advance(1.0)                     # refills back to full
+        controller.refill_all()                # idle but just refilled
+        controller.refill_all()                # idle + full: evicted
+        assert controller.table_size() == 0
+        assert controller.stats.evicted_idle >= 1
+
+    def test_eviction_checkpoints_credit(self, clock):
+        # A bucket evicted mid-drain must resume from its real credit,
+        # not the rule's (possibly stale) check-pointed value.
+        source = InMemoryRuleSource(
+            {"k": QoSRule("k", refill_rate=1000.0, capacity=50.0,
+                          credit=0.0)})
+        controller = make_controller(source, clock)
+        assert not controller.check("k")       # bucket at credit 0
+        clock.advance(0.05)                    # refills to full (50)
+        controller.refill_all()
+        controller.refill_all()                # idle + full: evicted
+        assert controller.table_size() == 0
+        # Re-materialization resumes from the check-pointed full credit.
+        assert controller.check("k")
+
+    def test_max_table_entries_forces_idle_evictions(self, clock):
+        rules = {f"k{i}": QoSRule(f"k{i}", refill_rate=0.001, capacity=100.0)
+                 for i in range(20)}
+        source = InMemoryRuleSource(rules)
+        controller = make_controller(source, clock, max_table_entries=5)
+        for key in rules:
+            controller.check(key)              # 20 buckets, none full
+        assert controller.table_size() == 20
+        controller.refill_all()                # stamp activity
+        controller.refill_all()                # now idle: force-evict
+        assert controller.table_size() <= 5
+        assert controller.stats.evicted_forced >= 15
+
+    def test_active_buckets_never_force_evicted(self, clock):
+        rules = {f"k{i}": QoSRule(f"k{i}", refill_rate=0.001, capacity=100.0)
+                 for i in range(6)}
+        source = InMemoryRuleSource(rules)
+        controller = make_controller(source, clock, max_table_entries=2)
+        for key in rules:
+            controller.check(key)
+        controller.refill_all()
+        for key in rules:
+            controller.check(key)              # all active again
+        controller.refill_all()                # nothing idle: no eviction
+        assert controller.table_size() == 6
+
+    def test_leased_keys_never_evicted(self, leased_source, clock):
+        controller = make_controller(leased_source, clock)
+        controller.lease_grant("hot", 100.0, 60.0)
+        controller.refill_all()
+        clock.advance(60.0)                    # bucket refills to capacity
+        controller.refill_all()
+        controller.refill_all()                # idle + full, but leased
+        assert controller.table_size() == 1
+        # Once the lease expires the bucket becomes evictable again.
+        controller.lease_expire()
+        controller.refill_all()
+        assert controller.table_size() == 0

@@ -13,9 +13,13 @@ from repro.core.protocol import (
     FLAG_FRAME_TRACED,
     MAX_FRAME_MESSAGES,
     MAX_KEY_BYTES,
+    MAX_LEASE_TTL_MS,
     TRACE_ID_BYTES,
     VERSION,
     VERSION2,
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
     LockedRequestIdGenerator,
     QoSRequest,
     QoSResponse,
@@ -25,6 +29,9 @@ from repro.core.protocol import (
     decode_any_traced,
     decode_frame,
     decode_frame_traced,
+    encode_lease_grant_frame,
+    encode_lease_request_frame,
+    encode_lease_revoke_frame,
     encode_request_frame,
     encode_request_frame_parts,
     encode_response_frame,
@@ -405,6 +412,128 @@ class TestV2FrameMalformedInput:
             decode_any(mutated)
         except ProtocolError:
             pass
+
+
+class TestLeaseFrames:
+    """Credit-lease frames (v2 LEASE_REQ/LEASE_GRANT/LEASE_REVOKE, PR 7)."""
+
+    TRACE_ID = 0xFEED_FACE_CAFE_BEEF
+
+    def _requests(self, n):
+        return [LeaseRequest(i + 1, f"hot:{i}", 32.0 + i, 500)
+                for i in range(n)]
+
+    def test_request_frame_round_trip(self):
+        requests = self._requests(3)
+        frame = encode_lease_request_frame(requests)
+        assert decode_frame(frame) == requests
+
+    def test_renewal_round_trip(self):
+        renewal = LeaseRequest(7, "hot", credits=64.0, ttl_ms=250,
+                               return_credits=12.5, return_lease_id=99)
+        assert decode_frame(encode_lease_request_frame([renewal])) == \
+            [renewal]
+
+    def test_pure_return_round_trip(self):
+        giveback = LeaseRequest(8, "hot", credits=0.0, ttl_ms=0,
+                                return_credits=3.0, return_lease_id=42)
+        assert decode_frame(encode_lease_request_frame([giveback])) == \
+            [giveback]
+
+    def test_grant_frame_round_trip(self):
+        grants = [LeaseGrant(i + 1, f"hot:{i}", 100 + i, 16.0, 500)
+                  for i in range(4)]
+        assert decode_frame(encode_lease_grant_frame(grants)) == grants
+
+    def test_refusal_grant_round_trip(self):
+        refusal = LeaseGrant(5, "hot", lease_id=0, credits=0.0, ttl_ms=0)
+        assert decode_frame(encode_lease_grant_frame([refusal])) == [refusal]
+
+    def test_revoke_frame_round_trip(self):
+        revokes = [LeaseRevoke(100 + i, f"hot:{i}") for i in range(3)]
+        assert decode_frame(encode_lease_revoke_frame(revokes)) == revokes
+
+    def test_traced_lease_frames_carry_the_id(self):
+        for encode, messages in (
+                (encode_lease_request_frame, self._requests(2)),
+                (encode_lease_grant_frame,
+                 [LeaseGrant(1, "k", 9, 8.0, 100)]),
+                (encode_lease_revoke_frame, [LeaseRevoke(9, "k")])):
+            frame = encode(messages, trace_id=self.TRACE_ID)
+            assert frame[3] & FLAG_FRAME_TRACED
+            assert decode_frame_traced(frame) == (self.TRACE_ID, messages)
+
+    def test_decode_any_routes_lease_frames(self):
+        requests = self._requests(2)
+        version, messages = decode_any(encode_lease_request_frame(requests))
+        assert (version, messages) == (VERSION2, requests)
+
+    def test_return_credits_require_a_lease_id(self):
+        bad = LeaseRequest(1, "k", 8.0, 100, return_credits=2.0,
+                           return_lease_id=0)
+        with pytest.raises(ProtocolError):
+            encode_lease_request_frame([bad])
+
+    def test_half_refusal_grants_rejected(self):
+        # credits>0 with lease_id 0, and lease_id>0 with credits 0, are
+        # both nonsense on the wire.
+        for lease_id, credits in ((0, 8.0), (9, 0.0)):
+            with pytest.raises(ProtocolError):
+                encode_lease_grant_frame(
+                    [LeaseGrant(1, "k", lease_id, credits, 100)])
+
+    def test_zero_lease_id_revoke_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_lease_revoke_frame([LeaseRevoke(0, "k")])
+
+    def test_ttl_out_of_range_rejected(self):
+        for ttl in (-1, MAX_LEASE_TTL_MS + 1):
+            with pytest.raises(ProtocolError):
+                encode_lease_request_frame([LeaseRequest(1, "k", 8.0, ttl)])
+
+    def test_empty_lease_frame_rejected(self):
+        for encode in (encode_lease_request_frame, encode_lease_grant_frame,
+                       encode_lease_revoke_frame):
+            with pytest.raises(ProtocolError):
+                encode([])
+
+    def test_truncated_lease_entry_rejected(self):
+        frame = encode_lease_request_frame(self._requests(2))
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-5])
+
+    @given(st.integers(1, 32))
+    @settings(max_examples=30)
+    def test_lease_request_frame_round_trip_property(self, n):
+        requests = self._requests(n)
+        assert decode_frame(encode_lease_request_frame(requests)) == requests
+
+    @given(st.binary(max_size=200), st.integers(0, 99))
+    @settings(max_examples=300)
+    def test_mutated_lease_frames_never_crash(self, junk, cut):
+        frame = encode_lease_grant_frame(
+            [LeaseGrant(1, "hot:a", 7, 16.0, 500),
+             LeaseGrant(2, "hot:b", 8, 32.0, 500)])
+        mutated = frame[:cut % len(frame)] + junk
+        for decoder in (decode_frame, decode_any, decode_frame_traced,
+                        decode_any_traced):
+            try:
+                decoder(mutated)
+            except ProtocolError:
+                pass    # the only acceptable failure mode
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_with_lease_types_never_crash(self, blob):
+        # Force the frame-type byte through the lease range so the fuzz
+        # actually reaches the type-3/4/5 decoders.
+        frame = bytearray(encode_lease_request_frame(self._requests(1)))
+        for mtype in (3, 4, 5):
+            mutated = bytes(frame[:3]) + bytes([mtype]) + bytes(blob)
+            try:
+                decode_any(mutated)
+            except ProtocolError:
+                pass
 
 
 class TestLockedRequestIdGenerator:

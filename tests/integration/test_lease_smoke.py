@@ -1,0 +1,114 @@
+"""Credit-lease smoke test over real sockets (gating in CI).
+
+Boots one :class:`QoSServerDaemon` and one :class:`RequestRouterDaemon`
+with leasing enabled, drives a hot key until the router admits from its
+leased balance, and then proves the two load-bearing properties:
+
+- steady-state hot-key checks are *local*: a burst of admissions moves
+  the ``local_admits`` counter without sending a single lease frame;
+- a rule push revokes: after ``put_rule`` the server's periodic DB sync
+  revokes the ledger entry, the LEASE_REVOKE datagram reaches the
+  router, and the cached lease dies well within one TTL.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import AdmissionConfig, RouterConfig, ServerConfig
+from repro.core.rules import QoSRule
+from repro.runtime.http_router import RequestRouterDaemon
+from repro.runtime.udp_server import QoSServerDaemon
+
+KEY = "lease-smoke"
+#: Long TTL keeps the renewal callback (at 0.8 * TTL) out of the timed
+#: burst, so "zero wire traffic" is assertable without races.
+LEASE_TTL = 2.0
+
+
+def hot_rule() -> QoSRule:
+    return QoSRule(KEY, refill_rate=1e9, capacity=1e12)
+
+
+def lease_router_config() -> RouterConfig:
+    return RouterConfig(
+        lease_enabled=True,
+        lease_hot_threshold=8,
+        lease_window=5.0,
+        lease_credits=100_000.0,
+        lease_ttl=LEASE_TTL,
+    )
+
+
+def wait_for(predicate, timeout: float, interval: float = 0.01) -> float:
+    """Poll until ``predicate()`` is true; return the elapsed seconds."""
+    deadline = time.monotonic() + timeout
+    start = time.monotonic()
+    while True:
+        if predicate():
+            return time.monotonic() - start
+        if time.monotonic() >= deadline:
+            pytest.fail(f"condition not reached within {timeout}s")
+        time.sleep(interval)
+
+
+def establish_lease(router: RequestRouterDaemon, timeout: float = 5.0):
+    """Hammer the hot key until a lease is active and admitting locally."""
+    def leased() -> bool:
+        response, _ = router.qos_exchange(KEY)
+        assert response.allowed
+        lease = router.stats().get("lease", {})
+        return lease.get("active", 0) >= 1 and lease.get("local_admits", 0) > 0
+
+    wait_for(leased, timeout)
+
+
+def test_hot_key_admits_locally_with_zero_wire_traffic():
+    source = InMemoryRuleSource({KEY: hot_rule()})
+    with QoSServerDaemon(source, name="lease-smoke-qos") as server:
+        with RequestRouterDaemon([server.address],
+                                 config=lease_router_config(),
+                                 name="lease-smoke-router") as router:
+            establish_lease(router)
+            before = dict(router.stats()["lease"])
+            burst = 200
+            for _ in range(burst):
+                response, _ = router.qos_exchange(KEY)
+                assert response.allowed
+            after = router.stats()["lease"]
+            assert after["local_admits"] - before["local_admits"] == burst
+            # The whole burst ran off the leased balance: no LEASE_REQ
+            # (and no QoS datagram — a local admit skips the wire).
+            assert after["requests_sent"] == before["requests_sent"]
+            # The server debited the grant up front; the outstanding
+            # ledger covers everything the router can locally admit.
+            assert server.controller.lease_outstanding_total() > 0
+
+
+def test_rule_push_revokes_within_one_ttl():
+    source = InMemoryRuleSource({KEY: hot_rule()})
+    admission = AdmissionConfig(sync_interval=0.2, checkpoint_interval=30.0)
+    with QoSServerDaemon(source, config=ServerConfig(admission=admission),
+                         name="lease-revoke-qos") as server:
+        with RequestRouterDaemon([server.address],
+                                 config=lease_router_config(),
+                                 name="lease-revoke-router") as router:
+            establish_lease(router)
+            assert server.controller.lease_count() >= 1
+            # Rule push: the next periodic sync revokes the ledger entry
+            # and fires a LEASE_REVOKE at the router that holds it.
+            source.put_rule(QoSRule(KEY, refill_rate=500.0, capacity=1000.0))
+            elapsed = wait_for(
+                lambda: router.stats()["lease"]["revoked"] >= 1
+                and router.stats()["lease"]["active"] == 0,
+                timeout=LEASE_TTL)
+            assert elapsed < LEASE_TTL
+            assert server.controller.lease_count() == 0
+            assert server.controller.lease_outstanding_total() == 0.0
+            # The router keeps answering (from the wire) under the new,
+            # tighter rule — leasing never denies, it only stops helping.
+            response, _ = router.qos_exchange(KEY)
+            assert response.allowed

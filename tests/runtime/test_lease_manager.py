@@ -1,0 +1,302 @@
+"""Unit tests for the router-side lease plane (:mod:`repro.runtime.lease`).
+
+The :class:`LeaseManager` takes its transport as two injected callables
+and its clock as a callable, so everything here runs without sockets or
+real time: a list captures outgoing LEASE_REQ frames, a list captures
+scheduled TTL callbacks, and a fake clock is advanced by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.protocol import LeaseGrant, LeaseRevoke, decode_any
+from repro.runtime.lease import HotKeyTracker, LeaseManager
+
+BACKEND = ("127.0.0.1", 9100)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestHotKeyTracker:
+    def test_key_becomes_hot_at_threshold(self):
+        tracker = HotKeyTracker(4, 10.0, 64, now=0.0)
+        assert [tracker.hit("k", 0.0) for _ in range(5)] == \
+            [False, False, False, True, True]
+
+    def test_decay_halves_counts(self):
+        tracker = HotKeyTracker(4, 1.0, 64, now=0.0)
+        for _ in range(8):
+            tracker.hit("k", 0.5)
+        assert tracker.count("k") == 8
+        tracker.hit("other", 1.1)          # crossing the window decays
+        assert tracker.count("k") == 4
+
+    def test_decay_catches_up_multiple_windows(self):
+        tracker = HotKeyTracker(4, 1.0, 64, now=0.0)
+        for _ in range(16):
+            tracker.hit("k", 0.5)
+        assert tracker.count("k", now=3.5) == 2      # 16 >> 3
+
+    def test_cold_keys_pruned_by_decay(self):
+        tracker = HotKeyTracker(4, 1.0, 64, now=0.0)
+        tracker.hit("once", 0.0)
+        tracker.hit("other", 1.1)
+        assert tracker.count("once") == 0
+        assert len(tracker) == 1                     # only "other" remains
+
+    def test_max_keys_bounds_the_table(self):
+        tracker = HotKeyTracker(1, 10.0, max_keys=2, now=0.0)
+        assert tracker.hit("a", 0.0)
+        assert tracker.hit("b", 0.0)
+        # Table is full: new keys are not inserted and cannot be hot.
+        assert not tracker.hit("c", 0.0)
+        assert tracker.count("c") == 0
+        assert len(tracker) == 2
+
+
+def make_manager(**overrides):
+    kwargs = dict(lease_enabled=True, lease_hot_threshold=4,
+                  lease_window=10.0, lease_credits=32.0, lease_ttl=1.0,
+                  lease_max_keys=8)
+    kwargs.update(overrides)
+    config = RouterConfig(**kwargs)
+    clock = FakeClock()
+    manager = LeaseManager(config, clock=clock)
+    sent: List[Tuple[Tuple[str, int], bytes]] = []
+    scheduled: List[Tuple[float, object]] = []
+    manager.send = lambda backend, payload: sent.append((backend, payload))
+    manager.schedule = lambda delay, fn: scheduled.append((delay, fn))
+    return manager, clock, sent, scheduled
+
+
+def sent_requests(sent):
+    """Decode every captured LEASE_REQ frame into message objects."""
+    out = []
+    for _backend, payload in sent:
+        _version, messages = decode_any(payload)
+        out.extend(messages)
+    return out
+
+
+def drive_hot(manager, key="hot", hits=4, cost=1.0):
+    """Hit ``key`` until it crosses the hot threshold (all wire misses)."""
+    for _ in range(hits):
+        assert not manager.check_local(key, cost, BACKEND)
+
+
+def grant(manager, sent, credits=32.0, ttl_ms=1000, lease_id=7):
+    """Answer the most recent LEASE_REQ with a grant (or refusal)."""
+    request = sent_requests(sent)[-1]
+    manager.on_message(
+        LeaseGrant(request_id=request.request_id, key=request.key,
+                   lease_id=lease_id, credits=credits, ttl_ms=ttl_ms),
+        BACKEND)
+    return request
+
+
+class TestAskPath:
+    def test_hot_key_fires_one_lease_req(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager, hits=6)
+        requests = sent_requests(sent)
+        assert len(requests) == 1            # deduplicated while pending
+        request = requests[0]
+        assert request.key == "hot"
+        assert request.credits == 32.0
+        assert request.ttl_ms == 1000
+        assert request.return_lease_id == 0
+        assert manager.requests_sent == 1
+
+    def test_cold_key_never_asks(self):
+        manager, _clock, sent, _ = make_manager()
+        for i in range(20):
+            assert not manager.check_local(f"k{i}", 1.0, BACKEND)
+        assert sent == []
+
+    def test_lost_ask_expires_and_reasks(self):
+        manager, clock, sent, _ = make_manager()
+        drive_hot(manager)
+        assert len(sent) == 1
+        clock.advance(1.5)                   # > _PENDING_TTL
+        drive_hot(manager)
+        assert len(sent) == 2
+
+    def test_lease_max_keys_caps_concurrent_asks(self):
+        manager, _clock, sent, _ = make_manager(lease_max_keys=2)
+        for i in range(4):
+            drive_hot(manager, key=f"hot{i}")
+        assert len(sent) == 2
+
+
+class TestGrantAndLocalAdmission:
+    def test_grant_enables_local_admission(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=3.0)
+        assert manager.grants == 1
+        assert manager.active_leases() == 1
+        assert [manager.check_local("hot", 1.0, BACKEND) for _ in range(4)] \
+            == [True, True, True, False]     # balance 3 then drained
+        assert manager.local_admits == 3
+        assert len(sent) >= 1
+
+    def test_drained_lease_tops_up_with_return(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=2.5, lease_id=11)
+        assert manager.check_local("hot", 2.0, BACKEND)
+        # Balance 0.5 < cost: a hot miss harvests the dregs into a
+        # renewal request instead of waiting out the TTL.
+        assert not manager.check_local("hot", 2.0, BACKEND)
+        renewal = sent_requests(sent)[-1]
+        assert renewal.return_lease_id == 11
+        assert renewal.return_credits == pytest.approx(0.5)
+        assert renewal.credits == 32.0
+        assert manager.renewals == 1
+        assert manager.returned_credits == pytest.approx(0.5)
+
+    def test_refusal_sets_cooldown(self):
+        manager, clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=0.0, ttl_ms=0, lease_id=0)
+        assert manager.refusals == 1
+        assert manager.active_leases() == 0
+        drive_hot(manager, hits=8)           # still hot, but cooled down
+        assert len(sent) == 1
+        clock.advance(manager._config.lease_window + 0.1)
+        drive_hot(manager, hits=8)
+        assert len(sent) == 2                # cooldown over: re-ask allowed
+
+    def test_unsolicited_grant_ignored(self):
+        manager, _clock, _sent, _ = make_manager()
+        manager.on_message(
+            LeaseGrant(request_id=999, key="hot", lease_id=5,
+                       credits=10.0, ttl_ms=1000), BACKEND)
+        assert manager.grants == 0
+        assert manager.active_leases() == 0
+
+    def test_expired_lease_stops_admitting(self):
+        manager, clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, ttl_ms=200)
+        assert manager.check_local("hot", 1.0, BACKEND)
+        clock.advance(0.3)                   # past the 200ms expiry
+        assert not manager.check_local("hot", 1.0, BACKEND)
+
+
+class TestRevoke:
+    def test_revoke_drops_lease_without_return(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, lease_id=7)
+        frames_before = len(sent)
+        manager.on_message(LeaseRevoke(lease_id=7, key="hot"), BACKEND)
+        assert manager.revoked == 1
+        assert manager.active_leases() == 0
+        assert len(sent) == frames_before    # balance forfeited, no frame
+        # The next hot check falls through to the wire (and may re-ask).
+        assert not manager.check_local("hot", 1.0, BACKEND)
+
+    def test_stale_revoke_ignored(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, lease_id=7)
+        manager.on_message(LeaseRevoke(lease_id=999, key="hot"), BACKEND)
+        assert manager.revoked == 0
+        assert manager.active_leases() == 1
+
+
+class TestTtlCallback:
+    def test_grant_schedules_renewal_before_expiry(self):
+        manager, _clock, sent, scheduled = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, ttl_ms=1000)
+        assert len(scheduled) == 1
+        delay, _fn = scheduled[0]
+        assert 0.0 < delay < 1.0             # strictly before the TTL
+
+    def test_ttl_renews_a_used_hot_lease(self):
+        manager, _clock, sent, scheduled = make_manager()
+        drive_hot(manager, hits=8)
+        grant(manager, sent, credits=32.0, lease_id=13)
+        for _ in range(10):                  # keep the key warm, spend 10
+            assert manager.check_local("hot", 1.0, BACKEND)
+        _delay, fn = scheduled[0]
+        fn()
+        assert manager.expired == 1
+        renewal = sent_requests(sent)[-1]
+        assert renewal.return_lease_id == 13
+        assert renewal.return_credits == pytest.approx(22.0)
+        assert renewal.credits == 32.0       # re-ask: key is still warm
+        assert manager.renewals == 1
+
+    def test_ttl_returns_everything_for_a_cooled_key(self):
+        manager, clock, sent, scheduled = make_manager(lease_window=0.5)
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, lease_id=13)
+        assert manager.check_local("hot", 1.0, BACKEND)
+        clock.advance(5.0)                   # several windows: key cools
+        manager.check_local("other", 1.0, BACKEND)   # trigger decay
+        _delay, fn = scheduled[0]
+        fn()
+        final = sent_requests(sent)[-1]
+        assert final.return_lease_id == 13
+        assert final.return_credits == pytest.approx(31.0)
+        assert final.credits == 0.0          # pure return, no renewal
+        assert manager.active_leases() == 0
+
+    def test_ttl_after_revoke_is_a_noop(self):
+        manager, _clock, sent, scheduled = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=32.0, lease_id=7)
+        manager.on_message(LeaseRevoke(lease_id=7, key="hot"), BACKEND)
+        frames_before = len(sent)
+        _delay, fn = scheduled[0]
+        fn()
+        assert manager.expired == 0
+        assert len(sent) == frames_before
+
+
+class TestStats:
+    def test_stats_shape(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent)
+        stats = manager.stats()
+        assert stats["grants"] == 1
+        assert stats["active"] == 1
+        assert stats["tracked_keys"] == 1
+        for field in ("local_admits", "requests_sent", "refusals",
+                      "revoked", "expired", "renewals", "returned_credits",
+                      "send_errors"):
+            assert field in stats
+
+    def test_outstanding_balance_sums_live_leases(self):
+        manager, _clock, sent, _ = make_manager()
+        drive_hot(manager)
+        grant(manager, sent, credits=10.0)
+        assert manager.check_local("hot", 4.0, BACKEND)
+        assert manager.outstanding_balance() == pytest.approx(6.0)
+
+    def test_send_errors_counted(self):
+        manager, _clock, _sent, _ = make_manager()
+
+        def broken_send(_backend, _payload):
+            raise OSError("network unreachable")
+
+        manager.send = broken_send
+        drive_hot(manager)
+        assert manager.send_errors == 1

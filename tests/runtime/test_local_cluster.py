@@ -168,6 +168,60 @@ class TestBatchAndInterop:
             httpd.shutdown()
             httpd.server_close()
 
+    def test_fallback_reuses_one_connection_and_stops_probing(self):
+        # Regression: the per-key-GET fallback used to open a fresh TCP
+        # connection per key (the POST's error reply carries
+        # ``Connection: close``, and every GET then re-dialled), and
+        # every subsequent batch re-probed POST /qos/batch.  The client
+        # must remember the 404/405, close the doomed connection once,
+        # and run all fallback GETs over one persistent connection.
+        import http.server
+        import json as _json
+        import threading as _threading
+
+        connections: list = []
+        posts: list = []
+
+        class PreBatchRouter(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def setup(self):
+                connections.append(self.client_address)
+                super().setup()
+
+            def do_GET(self):
+                payload = _json.dumps({"allow": True, "default": False,
+                                       "attempts": 1}).encode()
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_POST(self):
+                posts.append(self.path)
+                self.send_error(404)     # stdlib reply: Connection: close
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                                PreBatchRouter)
+        _threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        try:
+            host, port = httpd.server_address
+            client = QoSClient(f"http://{host}:{port}")
+            for _ in range(4):
+                assert client.check_many(["a", "b", "c"]) == [True] * 3
+            assert client.transport_errors == 0
+            # One probe ever: the first batch's 404 latches the flag.
+            assert len(posts) == 1
+            # Two connections total: the doomed POST's, then a single
+            # persistent one carrying all twelve fallback GETs.
+            assert len(connections) <= 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
     def test_v1_thread_router_interoperates_with_v2_server(self):
         # "v1 client against a v2 server": the seed thread-socket router
         # speaks one v1 datagram per check to servers that also accept

@@ -268,6 +268,145 @@ class TestLifecycle:
                 channels.stop()
 
 
+class _LeaseWire:
+    """Raw-socket lease/check client aimed at one procplane shard."""
+
+    def __init__(self, sock, node, shard: int):
+        self.sock = sock
+        self.node = node
+        self.shard = shard
+
+    def target(self):
+        return tuple(self.node.port_map()[self.shard])
+
+    def qos(self, request_id: int, key: str) -> "bool | None":
+        """One v1 check; None when the datagram was lost."""
+        from repro.core.protocol import QoSRequest, decode_any
+        import socket as socket_mod
+        try:
+            self.sock.sendto(QoSRequest(request_id, key).encode(),
+                             self.target())
+            data, _ = self.sock.recvfrom(65535)
+        except socket_mod.timeout:
+            return None
+        (response,) = decode_any(data)[1]
+        return bool(response.allowed)
+
+    def lease(self, request, retries: int = 8):
+        from repro.core.protocol import (
+            LeaseGrant, decode_any, encode_lease_request_frame)
+        import socket as socket_mod
+        for _ in range(retries):
+            try:
+                self.sock.sendto(encode_lease_request_frame([request]),
+                                 self.target())
+                data, _ = self.sock.recvfrom(65535)
+            except socket_mod.timeout:
+                continue
+            (reply,) = decode_any(data)[1]
+            if isinstance(reply, LeaseGrant) \
+                    and reply.request_id == request.request_id:
+                return reply
+        pytest.fail("no lease reply from worker")
+
+
+class TestLeaseRestart:
+    """SIGKILL + restart with an outstanding lease: exact accounting.
+
+    The periodic worker snapshot carries the lease ledger.  After a kill
+    the replacement restores both the post-debit bucket credit and the
+    ledger entry, so no credit is invented (the grant stays debited) and
+    none is lost beyond one TTL (a renewal's return of the unspent
+    remainder still validates against the restored entry).
+    """
+
+    def _kill_and_restart(self, node, shard: int) -> None:
+        time.sleep(0.5)     # snapshots carry the ledger upstream
+        victim = node._handles[shard]
+        old_pid = victim.pid
+        os.kill(old_pid, signal.SIGKILL)
+        assert _wait_until(
+            lambda: victim.pid != old_pid and not victim.exited), \
+            "worker was not restarted"
+        time.sleep(0.2)     # replacement settles
+
+    def test_kill_restart_preserves_lease_debit(self):
+        from repro.core.protocol import LeaseRequest
+        import socket as socket_mod
+
+        rules = tuple(QoSRule(f"svc-{i}", refill_rate=0.0, capacity=100.0)
+                      for i in range(4))
+        node = ProcPlaneNode(
+            rules, config=ServerConfig(workers=1, processes=2),
+            plane=FAST_PLANE, name="pp-lease-restart")
+        with node:
+            key = "svc-0"
+            shard = crc32_router(key, len(node.backend_addresses()))
+            with socket_mod.socket(socket_mod.AF_INET,
+                                   socket_mod.SOCK_DGRAM) as sock:
+                sock.settimeout(1.0)
+                wire = _LeaseWire(sock, node, shard)
+                grant = wire.lease(LeaseRequest(
+                    request_id=900, key=key, credits=40.0, ttl_ms=5_000))
+                assert grant.lease_id > 0 and grant.credits == 40.0
+                self._kill_and_restart(node, shard)
+                assert _wait_until(lambda: wire.qos(901, key) is not None,
+                                   timeout=5.0), "restarted shard silent"
+                # No credit invented: the restored bucket still carries
+                # the 40-credit debit (zero refill), so of the 100-credit
+                # capacity at most ~59 admits remain (one burned above).
+                allowed = 0
+                for i in range(80):
+                    verdict = wire.qos(1000 + i, key)
+                    if verdict:
+                        allowed += 1
+                    elif verdict is None:
+                        pytest.fail("lost datagram against live worker")
+                assert 55 <= allowed <= 59, (
+                    f"expected ~59 admits from the restored post-debit "
+                    f"bucket, got {allowed}")
+
+    def test_kill_restart_honours_renewal_return(self):
+        from repro.core.protocol import LeaseRequest
+        import socket as socket_mod
+
+        rules = (QoSRule("svc-0", refill_rate=0.0, capacity=100.0),)
+        node = ProcPlaneNode(
+            rules, config=ServerConfig(workers=1, processes=2),
+            plane=FAST_PLANE, name="pp-lease-return")
+        with node:
+            key = "svc-0"
+            shard = crc32_router(key, 2)
+            with socket_mod.socket(socket_mod.AF_INET,
+                                   socket_mod.SOCK_DGRAM) as sock:
+                sock.settimeout(1.0)
+                wire = _LeaseWire(sock, node, shard)
+                grant = wire.lease(LeaseRequest(
+                    request_id=910, key=key, credits=40.0, ttl_ms=5_000))
+                assert grant.credits == 40.0    # bucket: 100 -> 60
+                self._kill_and_restart(node, shard)
+                # Renewal against the restored ledger: return the full
+                # 40 and ask for 10 afresh.  If the ledger survived, the
+                # return re-credits (60 -> 100) and the 10-credit grant
+                # leaves 90 admits.  Had the entry been lost, the return
+                # would be rejected and only ~50 admits would remain.
+                renewed = wire.lease(LeaseRequest(
+                    request_id=911, key=key, credits=10.0, ttl_ms=5_000,
+                    return_credits=40.0, return_lease_id=grant.lease_id))
+                assert renewed.lease_id > grant.lease_id
+                assert renewed.credits == 10.0
+                allowed = 0
+                for i in range(100):
+                    verdict = wire.qos(2000 + i, key)
+                    if verdict:
+                        allowed += 1
+                    elif verdict is None:
+                        pytest.fail("lost datagram against live worker")
+                assert 85 <= allowed <= 90, (
+                    f"expected ~90 admits after the honoured return, "
+                    f"got {allowed} (a rejected return would leave ~50)")
+
+
 class TestRulePush:
     def test_put_rules_reaches_running_workers(self):
         node = ProcPlaneNode(HOT_RULES,

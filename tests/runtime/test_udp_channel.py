@@ -18,6 +18,12 @@ import pytest
 
 from repro.core.admission import InMemoryRuleSource
 from repro.core.config import RouterConfig, ServerConfig
+from repro.core.protocol import (
+    LeaseGrant,
+    LeaseRevoke,
+    encode_lease_grant_frame,
+    encode_lease_revoke_frame,
+)
 from repro.core.rules import QoSRule
 from repro.runtime.udp_channel import ChannelSet, TimerWheel
 from repro.runtime.udp_server import QoSServerDaemon
@@ -252,6 +258,57 @@ class TestStats:
             assert stats.malformed_datagrams == 0
             d = stats.as_dict()
             assert d["messages_sent"] == 32
+        finally:
+            channels.stop()
+
+
+class TestLeaseFrameInterop:
+    """Lease frames at a channel with no lease plane wired (v1-era router).
+
+    A pre-lease router never *sends* LEASE_REQ, but a lease-capable
+    server it shares a fleet with may still aim stray LEASE_GRANT /
+    LEASE_REVOKE datagrams at it (e.g. a stale holder address after a
+    router restart reused the port).  With no ``lease_listener`` those
+    frames must count as malformed and change nothing else.
+    """
+
+    def _inject_and_exchange(self, server, channels, payload):
+        """Queue ``payload`` at the channel's socket, then exchange."""
+        channel = next(iter(channels._channels.values()))
+        local = channel.sock.getsockname()
+        # The channel socket is connected to the server, so the frame
+        # must come from the server's own port to pass the kernel filter.
+        server.reply_sock.sendto(payload, local)
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            response, _ = channels.exchange(server.address, "alice")
+            assert response.allowed and not response.is_default_reply
+            if channels.stats.malformed_datagrams >= 1:
+                return
+            time.sleep(0.01)
+        pytest.fail("injected lease frame never drained")
+
+    def test_grant_frame_ignored_cleanly(self, server):
+        channels = make_channels(server)
+        try:
+            assert channels.lease_listener is None
+            self._inject_and_exchange(server, channels,
+                                      encode_lease_grant_frame([LeaseGrant(
+                                          request_id=1, key="alice",
+                                          lease_id=9, credits=50.0,
+                                          ttl_ms=1_000)]))
+            assert channels.stats.malformed_datagrams == 1
+        finally:
+            channels.stop()
+
+    def test_revoke_frame_ignored_cleanly(self, server):
+        channels = make_channels(server)
+        try:
+            self._inject_and_exchange(server, channels,
+                                      encode_lease_revoke_frame(
+                                          [LeaseRevoke(lease_id=9,
+                                                       key="alice")]))
+            assert channels.stats.malformed_datagrams == 1
         finally:
             channels.stop()
 

@@ -13,10 +13,13 @@ from repro.core.config import AdmissionConfig, ServerConfig
 from repro.core.protocol import (
     VERSION,
     VERSION2,
+    LeaseGrant,
+    LeaseRequest,
     QoSRequest,
     QoSResponse,
     decode,
     decode_any,
+    encode_lease_request_frame,
     encode_request_frame,
 )
 from repro.core.rules import QoSRule
@@ -309,6 +312,78 @@ class TestV2WirePath:
                 for response in decode_any(data)[1]:
                     got[response.request_id] = response.allowed
         assert got == {21: True, 22: True, 23: False}
+
+
+class TestLeaseInterop:
+    """The lease plane coexists with v1 and lease-free v2 traffic."""
+
+    def test_lease_ask_granted_over_raw_socket(self, server):
+        ask = LeaseRequest(request_id=500, key="alice", credits=100.0,
+                           ttl_ms=2_000)
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            sock.sendto(encode_lease_request_frame([ask]), server.address)
+            data, _ = sock.recvfrom(65535)
+        version, (reply,) = decode_any(data)
+        assert version == VERSION2
+        assert isinstance(reply, LeaseGrant)
+        assert reply.request_id == 500 and reply.key == "alice"
+        assert reply.lease_id > 0 and reply.credits == 100.0
+        assert reply.ttl_ms == 2_000
+        assert server.controller.lease_count() == 1
+        assert server.controller.lease_outstanding_total() == 100.0
+
+    def test_v1_client_unaffected_by_outstanding_lease(self, server):
+        # A pre-lease (v1-only) router against a lease-capable server:
+        # the lease some *other* router holds just looks like spent
+        # credit, and v1 datagrams keep getting v1 replies.
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            ask = LeaseRequest(request_id=501, key="alice", credits=50.0,
+                               ttl_ms=2_000)
+            sock.sendto(encode_lease_request_frame([ask]), server.address)
+            sock.recvfrom(65535)
+            sock.sendto(QoSRequest(502, "alice").encode(), server.address)
+            data, _ = sock.recvfrom(65535)
+        assert decode_any(data)[0] == VERSION
+        response = decode(data)
+        assert response.request_id == 502 and response.allowed
+
+    def test_lease_refused_for_unknown_key(self, server):
+        # DENY_ALL default policy: no rule, no credit to lease.  The
+        # refusal is an explicit grant with lease_id 0, not silence.
+        ask = LeaseRequest(request_id=503, key="stranger", credits=10.0,
+                           ttl_ms=1_000)
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            sock.sendto(encode_lease_request_frame([ask]), server.address)
+            data, _ = sock.recvfrom(65535)
+        _, (reply,) = decode_any(data)
+        assert isinstance(reply, LeaseGrant)
+        assert reply.lease_id == 0 and reply.credits == 0.0
+        assert server.controller.lease_count() == 0
+
+    def test_pure_return_draws_no_reply(self, server):
+        # credits=0 with a return is fire-and-forget: the server closes
+        # the ledger entry and stays silent, so the port must still
+        # answer the next ordinary request immediately afterwards.
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.settimeout(2.0)
+            ask = LeaseRequest(request_id=504, key="alice", credits=60.0,
+                               ttl_ms=2_000)
+            sock.sendto(encode_lease_request_frame([ask]), server.address)
+            _, (grant,) = decode_any(sock.recvfrom(65535)[0])
+            giveback = LeaseRequest(request_id=505, key="alice",
+                                    credits=0.0, ttl_ms=1,
+                                    return_credits=grant.credits,
+                                    return_lease_id=grant.lease_id)
+            sock.sendto(encode_lease_request_frame([giveback]),
+                        server.address)
+            sock.sendto(QoSRequest(506, "alice").encode(), server.address)
+            data, _ = sock.recvfrom(65535)
+        response = decode(data)
+        assert response.request_id == 506 and response.allowed
+        assert server.controller.lease_count() == 0
 
 
 class TestRecvTimeout:

@@ -1,0 +1,132 @@
+"""Simnet credit-lease tests (§V-style model, PR 7).
+
+The deterministic simulation models the same lease plane as the runtime:
+the sim router tracks hotness, asks the owning sim QoS server for a
+grant, admits locally from the leased balance, and honours server
+revokes; the server debits at grant time and expires abandoned ledger
+entries from its maintenance process.  These tests pin the three
+contracts the fig11-style sweeps lean on: local admission actually
+replaces wire exchanges, expiry drains the ledger without minting
+credit, and a rule push empties both ends within one TTL.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import AdmissionConfig, RouterConfig, ServerConfig
+from repro.core.rules import QoSRule
+from repro.server.qos_server import SimQoSServer
+from repro.server.router import SimRequestRouter
+from repro.simnet.engine import Simulation
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+KEY = "sim-hot"
+
+
+def build_lease(*, lease_ttl=0.2, lease_credits=64.0, hot_threshold=8,
+                capacity=1e6, refill_rate=1e6, sync_interval=0.5,
+                udp_loss=0.0, seed=11):
+    sim = Simulation()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng, udp_loss=udp_loss)
+    source = InMemoryRuleSource(
+        {KEY: QoSRule(KEY, refill_rate, capacity)})
+    server_config = ServerConfig(
+        workers=2, admission=AdmissionConfig(sync_interval=sync_interval,
+                                             checkpoint_interval=1e9))
+    server = SimQoSServer(sim, net, "qos-0", "c3.xlarge", source,
+                          config=server_config, rng=rng, warm=True)
+    router_config = RouterConfig(
+        lease_enabled=True, lease_hot_threshold=hot_threshold,
+        lease_window=1.0, lease_credits=lease_credits, lease_ttl=lease_ttl)
+    router = SimRequestRouter(sim, net, "rr-0", "c3.xlarge", [server.name],
+                              config=router_config, rng=rng)
+    return sim, source, router, server
+
+
+def drive(sim, router, checks, *, spacing=0.001):
+    results = []
+
+    def client():
+        for _ in range(checks):
+            response = yield from router.handle(KEY)
+            results.append(response.allowed)
+            yield spacing
+
+    sim.spawn(client(), "client")
+    return results
+
+
+class TestLocalAdmission:
+    def test_hot_key_moves_to_local_admission(self):
+        sim, _source, router, server = build_lease()
+        results = drive(sim, router, 600)
+        sim.run(until=2.0)
+        assert len(results) == 600 and all(results)
+        # The overwhelming majority of checks never touched the wire.
+        assert router.lease_local_admits > 500
+        assert router.lease_grants >= 1
+        # Server-side decisions = the pre-hot prefix plus ask overlap.
+        assert server.decisions < 100
+        assert server.lease_grants == router.lease_grants
+
+    def test_leasing_never_denies_what_wire_would_admit(self):
+        # Tight credits force constant renewals; every check must still
+        # come back allowed because a lease only admits, never denies.
+        sim, _source, router, _server = build_lease(lease_credits=8.0)
+        results = drive(sim, router, 400)
+        sim.run(until=2.0)
+        assert len(results) == 400 and all(results)
+        assert router.lease_requests_sent > 1      # renewals happened
+
+    def test_lossy_network_still_converges(self):
+        sim, _source, router, _server = build_lease(udp_loss=0.2)
+        results = drive(sim, router, 400)
+        sim.run(until=4.0)
+        assert len(results) == 400
+        # Losses cost asks/grants, not correctness: local admission
+        # still engages once a grant survives the wire.
+        assert router.lease_local_admits > 0
+
+
+class TestExpiry:
+    def test_abandoned_lease_expires_on_server(self):
+        sim, _source, router, server = build_lease(lease_ttl=0.2)
+        drive(sim, router, 200)
+        sim.run(until=0.5)                  # traffic stops around 0.2s
+        assert server.lease_outstanding() > 0 or server.lease_count() >= 0
+        sim.run(until=3.0)                  # >> TTL + maintenance step
+        assert server.lease_count() == 0
+        assert server.lease_outstanding() == 0.0
+
+    def test_expired_router_lease_stops_admitting(self):
+        sim, _source, router, _server = build_lease(lease_ttl=0.2)
+        drive(sim, router, 200)
+        sim.run(until=3.0)
+        admits_settled = router.lease_local_admits
+        # One late burst: the cached lease is long expired, so the first
+        # check falls through to the wire (and may re-ask) — the stale
+        # balance must not admit anything.
+        results = drive(sim, router, 1)     # spawned at t=3.0
+        sim.run(until=3.5)
+        assert results == [True]
+        assert router.lease_local_admits == admits_settled
+
+
+class TestRevoke:
+    def test_rule_push_revokes_router_cache_within_one_ttl(self):
+        sim, source, router, server = build_lease(
+            lease_ttl=5.0, sync_interval=0.25)
+        drive(sim, router, 300)
+        sim.run(until=1.0)
+        assert router.lease_local_admits > 0
+        assert server.lease_count() >= 1
+
+        source.put_rule(QoSRule(KEY, 500.0, 1000.0))   # push at t=1.0
+        # Rule sync fires at most one sync_interval later; the revoke
+        # datagram then lands well inside the 5s lease TTL.
+        sim.run(until=2.0)
+        assert server.lease_count() == 0
+        assert router.lease_revoked >= 1
+        assert router.lease_outstanding() == 0.0
