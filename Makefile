@@ -34,9 +34,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Admission hot-path regression matrix; writes BENCH_hotpath.json at the
-# repo root (fused vs seed decision path, lock_shards x workers).
+# repo root (seed vs fused per-key paths plus frame-at-a-time check_batch,
+# lock_shards x workers).  HOTPATH_BACKEND selects the bucket table
+# backend(s) for the batch arm, e.g. `make bench-hotpath
+# HOTPATH_BACKEND=object`; default benchmarks both stores.
+HOTPATH_BACKEND ?= slab object
 bench-hotpath:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_hotpath_regression.py -q -s -p no:cacheprovider
+	PYTHONPATH=src JANUS_HOTPATH_BACKENDS="$(HOTPATH_BACKEND)" $(PYTHON) -m pytest benchmarks/test_hotpath_regression.py -q -s -p no:cacheprovider
 
 # DES kernel + parallel sweep regression gate; writes BENCH_simkernel.json
 # at the repo root (optimized vs seed kernel events/s, serial vs --jobs 4

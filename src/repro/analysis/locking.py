@@ -17,7 +17,12 @@ lexical containment must not leak across it.
 **lock-discipline** — any call to a ``*_unlocked``/``*_locked`` method
 must occur in one of the two contexts above.  These methods mutate state
 that is only consistent under the owning lock; a bare call is a data race
-even if it happens to pass today's tests.
+even if it happens to pass today's tests.  The same rule covers the
+columnar slab store's parallel arrays (:mod:`repro.core.slabstore`): any
+subscript of a ``col_*`` column — ``slab.col_credit[slot]``, or a local
+bound from one inside a hot loop — is flagged outside the two contexts,
+because a column read racing a sweep's compaction can hand back another
+key's credit without ever raising.
 
 **blocking-under-lock** — inside either context, in the hot-path packages
 (``core/``, ``runtime/``, ``obs/``), forbid operations that can block or
@@ -81,13 +86,30 @@ def _with_holds_lock(node: ast.With) -> bool:
     return any(_is_lockish(item.context_expr) for item in node.items)
 
 
+def _col_subscript_name(node: ast.Subscript) -> Optional[str]:
+    """The ``col_*`` column a subscript touches, if any.
+
+    Matches both spellings the slab code uses: ``<expr>.col_credit[slot]``
+    and a hot-loop local bound from a column (``col_credit = slab.
+    col_credit`` … ``col_credit[slot]``).
+    """
+    target = node.value
+    if isinstance(target, ast.Attribute):
+        name = target.attr
+    elif isinstance(target, ast.Name):
+        name = target.id
+    else:
+        return None
+    return name if name.startswith("col_") else None
+
+
 class LockDisciplineChecker(Checker):
     """Calls to ``*_unlocked``/``*_locked`` methods need a held lock."""
 
     rule = "lock-discipline"
-    description = ("*_unlocked/*_locked calls must be lexically inside a "
-                   "'with <lock>:' block or another *_unlocked/_locked "
-                   "method")
+    description = ("*_unlocked/*_locked calls and slab col_* column "
+                   "subscripts must be lexically inside a 'with <lock>:' "
+                   "block or a *_unlocked/_locked method")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []
@@ -112,6 +134,16 @@ class LockDisciplineChecker(Checker):
                     f"call to {name}() outside any 'with <lock>:' block or "
                     f"*_unlocked/_locked method — the callee requires its "
                     f"owning lock to be held"))
+        elif isinstance(node, ast.Subscript) and not (under_lock or exempt):
+            column = _col_subscript_name(node)
+            if column is not None:
+                out.append(module.finding(
+                    self.rule, node,
+                    f"slab column subscript {column}[...] outside any "
+                    f"'with <lock>:' block or *_unlocked/_locked method — "
+                    f"columns are only consistent under the owning shard "
+                    f"lock (a racing sweep can compact slots underneath "
+                    f"the read)"))
         for child in ast.iter_child_nodes(node):
             self._walk(child, under_lock, exempt, module, out)
 

@@ -326,9 +326,14 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     report = run_hotpath_matrix(
         lock_shards=tuple(args.shards),
         workers=tuple(args.workers),
-        checks_per_worker=args.checks)
+        checks_per_worker=args.checks,
+        batch_size=args.batch,
+        batch_backends=tuple(args.backend),
+        reps=args.reps)
+    batch_path = f"batch-{args.backend[0]}"
     header = f"{'shards':>7} {'workers':>8} {'seed/s':>12} " \
-             f"{'fused/s':>12} {'speedup':>8}"
+             f"{'fused/s':>12} {'speedup':>8} {batch_path + '/s':>14} " \
+             f"{'vs fused':>9}"
     print(header)
     print("-" * len(header))
     for shards in args.shards:
@@ -337,10 +342,19 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
             fused = report.point("fused", shards, workers)
             ratio = report.speedup(shards, workers)
             ratio_s = f"{ratio:.2f}x" if ratio is not None else "n/a"
+            batch = report.point(batch_path, shards, workers)
+            bratio = report.batch_speedup(shards, workers,
+                                          backend=args.backend[0])
+            bratio_s = f"{bratio:.2f}x" if bratio is not None else "n/a"
             print(f"{shards:>7} {workers:>8} "
                   f"{seed.decisions_per_sec:>12.0f} "
                   f"{fused.decisions_per_sec:>12.0f} "
-                  f"{ratio_s:>8}")
+                  f"{ratio_s:>8} "
+                  f"{batch.decisions_per_sec:>14.0f} "
+                  f"{bratio_s:>9}")
+    for point in report.memory:
+        print(f"memory[{point.backend}]: {point.bytes_per_key:.1f} "
+              f"resident bytes/key over {point.n_keys} keys")
     write_report(args.out, report)
     print(f"wrote {args.out}")
     return 0
@@ -591,7 +605,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench-hotpath",
-        help="measure admission decisions/s, fused vs seed lock path")
+        help="measure admission decisions/s: seed vs fused per-key paths "
+             "plus frame-at-a-time check_batch per table backend")
     bench.add_argument("--out", default="BENCH_hotpath.json")
     bench.add_argument("--shards", type=int, nargs="+", default=[1, 8, 64],
                        help="lock_shards values to sweep")
@@ -599,6 +614,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread counts to sweep")
     bench.add_argument("--checks", type=int, default=10_000,
                        help="admission checks per worker thread")
+    bench.add_argument("--backend", choices=("slab", "object"), nargs="+",
+                       default=["slab", "object"],
+                       help="bucket table backend(s) for the batch arm "
+                            "(first one is shown in the table)")
+    bench.add_argument("--batch", type=int, default=64,
+                       help="requests per v2 batch frame for the batch arm")
+    bench.add_argument("--reps", type=int, default=1,
+                       help="measure each arm N times, keep the fastest "
+                            "(smooths noisy-neighbour episodes)")
     bench.set_defaults(func=_cmd_bench_hotpath)
 
     bench_sim = sub.add_parser(

@@ -38,21 +38,47 @@ so the hot path is never stalled for longer than one shard.
 ``benchmarks/test_hotpath_regression.py`` tracks the speedup and
 ``tests/core/test_lock_discipline.py`` pins the one-lock-per-decision
 invariant.
+
+Storage backends
+----------------
+Two table layouts implement identical semantics behind
+``AdmissionConfig.table_backend``:
+
+- ``"object"`` — the seed layout: one :class:`~repro.core.bucket.LeakyBucket`
+  heap object per key, per shard ``dict``.  Simple, but a bucket costs
+  hundreds of bytes and every decision chases pointers.
+- ``"slab"`` (default) — :class:`SlabAdmissionController` packs bucket state
+  into per-shard columnar arrays (:mod:`repro.core.slabstore`): ~60 bytes
+  per key, allocation-free decisions, and a housekeeping sweep that walks
+  flat arrays.  Constructing :class:`AdmissionController` dispatches to the
+  slab subclass automatically via ``__new__``.
+
+Both backends share the lease ledger, statistics stripes and snapshot
+format; ``tests/core/test_slab_equivalence.py`` drives randomized op
+sequences against both and requires bit-identical admit/deny streams.
+
+On top of either backend, :meth:`AdmissionController.check_batch` decides a
+whole protocol-v2 frame at a time: entries are grouped by shard, each shard
+lock is taken **once per frame**, one clock reading is shared by every
+refill in the shard, and the verdicts come back as a packed bitmap the
+server encodes straight into the v2 response frame.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol
+from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol, Sequence
 
-from repro.core.bucket import LeakyBucket
+from repro.core.bucket import LeakyBucket, RefillMode
 from repro.core.clock import MONOTONIC, Clock
 from repro.core.config import AdmissionConfig
 from repro.core.errors import ConfigurationError
 from repro.core.hashing import crc32_of
 from repro.core.rules import QoSRule
+from repro.core.slabstore import PlanTable, SlabShard, _BITS, _UNIT_THRESHOLD
 
 __all__ = [
     "AdmissionController",
@@ -61,11 +87,19 @@ __all__ = [
     "InMemoryRuleSource",
     "LeaseSnapshot",
     "RuleSource",
+    "SlabAdmissionController",
+    "SlabBucketView",
 ]
 
 #: Credit amounts below this are "zero" for lease accounting (mirrors the
 #: bucket's own epsilon; see :mod:`repro.core.bucket`).
 _LEASE_EPSILON = 1e-9
+
+#: Per-bucket heap bytes beyond the slotted ``LeakyBucket`` instance itself,
+#: used by the object backend's ``table_bytes`` estimate: the bucket's
+#: private lock plus the boxed floats/ints its slots reference (credit,
+#: last-refill, lifetime counters).  Measured once at import.
+_BUCKET_AUX_BYTES = sys.getsizeof(threading.Lock()) + 4 * sys.getsizeof(1.0)
 
 
 class RuleSource(Protocol):
@@ -234,6 +268,20 @@ class BucketSnapshot:
 
 class AdmissionController:
     """Per-node admission control over a local table of leaky buckets."""
+
+    def __new__(cls, rule_source=None, config=None, **kwargs):
+        # Backend dispatch: constructing the base class with the (default)
+        # slab backend transparently yields the columnar subclass, so every
+        # call site — runtime, simulator, procplane — picks the layout from
+        # config alone.  Explicit subclasses (the seed-path benchmark
+        # controller, SlabAdmissionController itself) are left untouched:
+        # their internals assume the layout they were written against.
+        if cls is AdmissionController:
+            backend = (config.table_backend if config is not None
+                       else AdmissionConfig().table_backend)
+            if backend == "slab":
+                return super().__new__(SlabAdmissionController)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -423,6 +471,124 @@ class AdmissionController:
         )
         table[key] = bucket
         return bucket, unknown
+
+    # ------------------------------------------------------------------ #
+    # frame-at-a-time admission
+    # ------------------------------------------------------------------ #
+
+    def _batch_groups(
+            self, keys: Sequence[str],
+    ) -> "list[Optional[Sequence[int]]]":
+        """Group frame positions by lock shard (preserving per-key order).
+
+        Returns a list aligned with the shard index — ``groups[i]`` is the
+        frame positions owned by shard ``i``, or empty/``None`` for shards
+        the frame does not touch (callers skip falsy entries).  Flat list
+        indexing keeps this pre-pass (one hash per key, paid instead of
+        one lock per key) as cheap as it can be in Python.
+        """
+        n = self._n_shards
+        if n <= 16:
+            # Few shards: pre-allocating every group removes the per-key
+            # emptiness branch from the loop; untouched shards stay as
+            # (falsy) empty lists.
+            groups: "list[Optional[list[int]]]" = [[] for _ in range(n)]
+            if n & (n - 1) == 0:
+                # Power-of-two shard counts (the default, and what
+                # OPERATIONS recommends) let the mod collapse to a mask;
+                # Python's ``%`` and ``&`` agree for any hash sign when n
+                # is a power of two.
+                mask = n - 1
+                for pos, key in enumerate(keys):
+                    groups[hash(key) & mask].append(pos)
+            else:
+                for pos, key in enumerate(keys):
+                    groups[hash(key) % n].append(pos)
+            return groups
+        # Many shards, small frames: ``None`` holes avoid allocating a
+        # list per untouched shard.
+        groups = [None] * n
+        if n & (n - 1) == 0:
+            mask = n - 1
+            for pos, key in enumerate(keys):
+                index = hash(key) & mask
+                positions = groups[index]
+                if positions is None:
+                    groups[index] = [pos]
+                else:
+                    positions.append(pos)
+        else:
+            for pos, key in enumerate(keys):
+                index = hash(key) % n
+                positions = groups[index]
+                if positions is None:
+                    groups[index] = [pos]
+                else:
+                    positions.append(pos)
+        return groups
+
+    def check_batch(self, keys: Sequence[str],
+                    costs: "Optional[Sequence[float]]" = None) -> int:
+        """Decide a whole batch frame; bit ``i`` of the result = verdict
+        for ``keys[i]`` (set = admitted).
+
+        This is the frame-at-a-time fast path behind protocol-v2 batch
+        frames: entries are grouped by lock shard, each shard lock is taken
+        exactly **once per frame**, and one clock reading is shared by every
+        refill in the frame (``try_consume_unlocked(now=...)``), so an
+        N-entry frame costs S lock acquisitions for S distinct shards and a
+        single clock read instead of N of each.  Per-key decision order is
+        preserved within a shard, so repeated keys interact with their
+        bucket exactly as N sequential :meth:`check` calls would.
+
+        The packed bitmap is what the server encodes straight into the v2
+        response frame (see ``protocol.encode_response_frame_bits``).
+        """
+        n_keys = len(keys)
+        if n_keys == 0:
+            return 0
+        verdicts = 0
+        exclusive = self._stripe_exclusive
+        if self._n_shards == 1:
+            shard_groups: "list[Optional[Sequence[int]]]" = [range(n_keys)]
+        else:
+            shard_groups = self._batch_groups(keys)
+        # One clock reading serves the whole frame: every bucket's refill
+        # guard (``dt <= 0`` → no-op) makes a slightly stale ``now`` safe,
+        # and per-bucket time still never moves backward.
+        now = self._clock()
+        for index, positions in enumerate(shard_groups):
+            if not positions:
+                continue
+            lock, table, stripe = self._shard_state[index]
+            admitted = denied = misses = unknowns = 0
+            with lock:
+                for pos in positions:
+                    key = keys[pos]
+                    cost = 1.0 if costs is None else costs[pos]
+                    bucket = table.get(key)
+                    if bucket is None:
+                        bucket, unknown = self._create_bucket_locked(table, key)
+                        misses += 1
+                        if unknown:
+                            unknowns += 1
+                    if bucket.try_consume_unlocked(cost, now=now):
+                        verdicts |= 1 << pos
+                        admitted += 1
+                    else:
+                        denied += 1
+                if exclusive:
+                    stripe.admitted += admitted
+                    stripe.denied += denied
+                    stripe.rule_misses += misses
+                    stripe.unknown_keys += unknowns
+            if not exclusive:
+                with stripe.lock:
+                    stripe.admitted += admitted
+                    stripe.denied += denied
+                    stripe.rule_misses += misses
+                    stripe.unknown_keys += unknowns
+        return verdicts
 
     # ------------------------------------------------------------------ #
     # credit leases
@@ -831,16 +997,7 @@ class AdmissionController:
         for snap in snapshots:
             shard = self._shard_of(snap.key)
             with self._locks[shard]:
-                bucket = self._shards[shard].get(snap.key)
-                if bucket is None:
-                    bucket = LeakyBucket(
-                        snap.capacity, snap.refill_rate,
-                        initial_credit=snap.credit,
-                        mode=self.config.refill_mode, clock=self._clock)
-                    self._shards[shard][snap.key] = bucket
-                else:
-                    bucket.update_rule_unlocked(snap.capacity, snap.refill_rate)
-                    bucket.restore_credit_unlocked(snap.credit)
+                self._restore_entry_locked(shard, snap)
                 if snap.leases:
                     now = self._clock()
                     ledger = self._lease_shards[shard]
@@ -864,3 +1021,568 @@ class AdmissionController:
                 self._lease_ids = itertools.count(
                     max(max_lease_id + 1, next(self._lease_ids)))
         return count
+
+    def _restore_entry_locked(self, shard: int, snap: BucketSnapshot) -> None:
+        """Materialize or overwrite one snapshot entry (backend-specific)."""
+        bucket = self._shards[shard].get(snap.key)
+        if bucket is None:
+            bucket = LeakyBucket(
+                snap.capacity, snap.refill_rate,
+                initial_credit=snap.credit,
+                mode=self.config.refill_mode, clock=self._clock)
+            self._shards[shard][snap.key] = bucket
+        else:
+            bucket.update_rule_unlocked(snap.capacity, snap.refill_rate)
+            bucket.restore_credit_unlocked(snap.credit)
+
+    def table_bytes(self) -> int:
+        """Estimated resident bytes of the QoS table (metrics gauge).
+
+        Walks the table under the shard locks at scrape time.  For the
+        object backend this sums the shard dicts plus a per-bucket estimate
+        (the slotted instance, its lock and its boxed floats/counters); the
+        slab backend overrides it with exact column accounting.
+        """
+        total = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                total += sys.getsizeof(shard)
+                for bucket in shard.values():
+                    total += sys.getsizeof(bucket) + _BUCKET_AUX_BYTES
+        return total
+
+
+class SlabBucketView:
+    """Introspection adapter presenting one slab slot as a bucket.
+
+    Returned by :meth:`SlabAdmissionController.bucket_for` so tests and
+    metrics keep the ``bucket_for(key).peek_credit()`` surface they use
+    against the object backend.  The view holds no slot number: the key is
+    re-resolved under the shard lock on every access, so it stays correct
+    across an eviction + re-materialization (and raises ``KeyError`` while
+    the key is absent, where a stale slot would silently read another
+    bucket's columns).
+    """
+
+    __slots__ = ("_controller", "_key")
+
+    def __init__(self, controller: "SlabAdmissionController", key: str):
+        self._controller = controller
+        self._key = key
+
+    def _resolve(self) -> "tuple[threading.Lock, SlabShard, int]":
+        c = self._controller
+        index = c._shard_of(self._key)
+        slab = c._slabs[index]
+        return c._locks[index], slab, index
+
+    @property
+    def capacity(self) -> float:
+        lock, slab, _ = self._resolve()
+        with lock:
+            return slab.capacity_unlocked(slab.index[self._key])
+
+    @property
+    def refill_rate(self) -> float:
+        lock, slab, _ = self._resolve()
+        with lock:
+            return slab.refill_rate_unlocked(slab.index[self._key])
+
+    @property
+    def credit(self) -> float:
+        """Current credit (advanced to now in continuous mode)."""
+        lock, slab, _ = self._resolve()
+        with lock:
+            return slab.credit_unlocked(slab.index[self._key])
+
+    def peek_credit(self) -> float:
+        """Credit as of the last update, without advancing time."""
+        lock, slab, _ = self._resolve()
+        with lock:
+            return slab.peek_credit_unlocked(slab.index[self._key])
+
+    def __repr__(self) -> str:
+        return (f"SlabBucketView(key={self._key!r}, "
+                f"credit={self.peek_credit():.3f})")
+
+
+class SlabAdmissionController(AdmissionController):
+    """Admission controller backed by the columnar slab store.
+
+    Same semantics as the object backend — the equivalence suite drives
+    randomized op sequences against both and demands bit-identical
+    admit/deny streams — at ~1/4 the resident bytes per key and with
+    allocation-free decisions.  Constructed automatically by
+    ``AdmissionController(...)`` when ``config.table_backend == "slab"``.
+
+    The lease ledger, statistics stripes, shard locks and snapshot format
+    are inherited unchanged; only the bucket *storage* differs, so every
+    override below is the base method with ``bucket.<op>_unlocked``
+    replaced by the slab's slot accessors under the same shard lock.
+    """
+
+    def __init__(
+        self,
+        rule_source: RuleSource,
+        config: Optional[AdmissionConfig] = None,
+        *,
+        clock: Clock = MONOTONIC,
+        shard_range: "Optional[tuple[int, int]]" = None,
+    ):
+        super().__init__(rule_source, config, clock=clock,
+                         shard_range=shard_range)
+        continuous = self.config.refill_mode is RefillMode.CONTINUOUS
+        self._continuous = continuous
+        self._plans = PlanTable()
+        self._slabs = [SlabShard(self._plans, clock=clock,
+                                 continuous=continuous)
+                       for _ in range(self._n_shards)]
+        # Mirror of _shard_state for the slab hot path: (lock, slab,
+        # stripe) per shard, resolved with one list index per decision.
+        # The inherited _shards dicts stay empty and unused.
+        self._slab_state = [
+            (self._locks[i], self._slabs[i],
+             self._stripes[i % self._n_stripes])
+            for i in range(self._n_shards)]
+        # check_batch's per-group state with the frame kernel prebound —
+        # one list index replaces an attribute walk per shard per frame.
+        self._slab_frame_state = [
+            (lock, slab, slab.consume_frame_unlocked, stripe)
+            for lock, slab, stripe in self._slab_state]
+
+    # ------------------------------------------------------------------ #
+    # hot path
+    # ------------------------------------------------------------------ #
+
+    def _create_slot_locked(
+            self, slab: SlabShard, key: str,
+    ) -> "tuple[Optional[int], bool, Optional[LeakyBucket]]":
+        """Materialize a slot for ``key`` under its shard lock.
+
+        Returns ``(slot, unknown, transient)``.  A non-memorized unknown
+        key gets no slot: like the object backend, the decision runs
+        against a throwaway ``transient`` bucket that is never stored.
+        """
+        rule = self._source.get_rule(key)
+        if rule is None:
+            rule = self.config.default_rule.rule_for(key)
+            if not self.config.default_rule.memorize_unknown_keys:
+                return None, True, LeakyBucket(
+                    rule.capacity, rule.refill_rate,
+                    mode=self.config.refill_mode, clock=self._clock)
+            unknown = True
+        else:
+            unknown = False
+        plan = self._plans.intern(float(rule.capacity),
+                                  float(rule.refill_rate))
+        slot = slab.insert_unlocked(key, plan, rule.initial_credit())
+        return slot, unknown, None
+
+    def check(self, key: str, cost: float = 1.0) -> bool:
+        if not self._stripe_exclusive:
+            return self._check_striped(key, cost)
+        n = self._n_shards
+        lock, slab, stripe = self._slab_state[
+            hash(key) % n if n > 1 else 0]
+        with lock:
+            slot = slab.index.get(key)
+            if slot is None:
+                slot, unknown, transient = self._create_slot_locked(slab, key)
+                stripe.rule_misses += 1
+                if unknown:
+                    stripe.unknown_keys += 1
+                if slot is None:
+                    if transient.try_consume_unlocked(cost):
+                        stripe.admitted += 1
+                        return True
+                    stripe.denied += 1
+                    return False
+            if slab.consume_unlocked(slot, cost):
+                stripe.admitted += 1
+                return True
+            stripe.denied += 1
+            return False
+
+    def _check_striped(self, key: str, cost: float) -> bool:
+        n = self._n_shards
+        lock, slab, stripe = self._slab_state[hash(key) % n if n > 1 else 0]
+        hit = True
+        unknown = False
+        with lock:
+            slot = slab.index.get(key)
+            if slot is None:
+                hit = False
+                slot, unknown, transient = self._create_slot_locked(slab, key)
+            if slot is None:
+                allowed = transient.try_consume_unlocked(cost)
+            else:
+                allowed = slab.consume_unlocked(slot, cost)
+        with stripe.lock:
+            if not hit:
+                stripe.rule_misses += 1
+                if unknown:
+                    stripe.unknown_keys += 1
+            if allowed:
+                stripe.admitted += 1
+            else:
+                stripe.denied += 1
+        return allowed
+
+    def check_batch(self, keys: Sequence[str],
+                    costs: "Optional[Sequence[float]]" = None) -> int:
+        n_keys = len(keys)
+        if n_keys == 0:
+            return 0
+        verdicts = 0
+        exclusive = self._stripe_exclusive
+        if self._n_shards == 1:
+            shard_groups: "list[Optional[Sequence[int]]]" = [range(n_keys)]
+        else:
+            shard_groups = self._batch_groups(keys)
+        # One clock reading serves the whole frame (see the base class).
+        now = self._clock()
+        unit_continuous = costs is None and self._continuous
+        if unit_continuous:
+            plan_rate = self._plans.rate
+            plan_cap = self._plans.cap
+            all_bits = _BITS
+            threshold = _UNIT_THRESHOLD
+        for index, positions in enumerate(shard_groups):
+            if not positions:
+                continue
+            lock, slab, consume_frame, stripe = self._slab_frame_state[index]
+            misses = unknowns = 0
+            with lock:
+                # One flat column loop for every key already resident;
+                # only unseen keys fall out for materialization below.
+                # The hottest shape — unit costs against a shard whose
+                # live slots all share one plan — is decided right here,
+                # with the plan's rate/capacity and every column hoisted
+                # into locals, so the steady-state path pays no method
+                # call or dispatch per group.  Arithmetic is op-for-op
+                # ``SlabShard.consume_unlocked``; mixed plans, explicit
+                # costs and interval mode take the general kernel.
+                plan = slab.uniform_plan if unit_continuous else None
+                if plan is not None:
+                    r = plan_rate[plan]
+                    c = plan_cap[plan]
+                    refilling = r > 0.0
+                    slot_of = slab.index
+                    col_credit = slab.col_credit
+                    col_last = slab.col_last
+                    col_touch = slab.col_touch
+                    epoch = slab.epoch
+                    bits = 0
+                    miss_positions = None
+                    for pos in positions:
+                        try:        # zero-cost until a key misses (3.11+)
+                            slot = slot_of[keys[pos]]
+                        except KeyError:
+                            if miss_positions is None:
+                                miss_positions = []
+                            miss_positions.append(pos)
+                            continue
+                        credit = col_credit[slot]
+                        dt = now - col_last[slot]
+                        if dt > 0.0:
+                            col_last[slot] = now
+                            if refilling and credit < c:
+                                credit += r * dt
+                                if credit > c:
+                                    credit = c
+                        if col_touch[slot] != epoch:
+                            col_touch[slot] = epoch
+                        if credit >= threshold:
+                            credit -= 1.0
+                            col_credit[slot] = (
+                                credit if credit > 0.0 else 0.0)
+                            bits |= all_bits[pos]
+                        else:
+                            col_credit[slot] = credit
+                    admitted = bits.bit_count()
+                else:
+                    bits, admitted, miss_positions = consume_frame(
+                        keys, positions, costs, now)
+                verdicts |= bits
+                denied = len(positions) - admitted
+                if miss_positions is not None:
+                    denied -= len(miss_positions)
+                    slab_index = slab.index
+                    consume = slab.consume_unlocked
+                    for pos in miss_positions:
+                        key = keys[pos]
+                        cost = 1.0 if costs is None else costs[pos]
+                        # A key repeated within the frame missed once and
+                        # is resident by its second occurrence.
+                        slot = slab_index.get(key)
+                        if slot is None:
+                            slot, unknown, transient = \
+                                self._create_slot_locked(slab, key)
+                            misses += 1
+                            if unknown:
+                                unknowns += 1
+                            if slot is None:
+                                if transient.try_consume_unlocked(cost,
+                                                                  now=now):
+                                    verdicts |= 1 << pos
+                                    admitted += 1
+                                else:
+                                    denied += 1
+                                continue
+                        if consume(slot, cost, now):
+                            verdicts |= 1 << pos
+                            admitted += 1
+                        else:
+                            denied += 1
+                if exclusive:
+                    stripe.admitted += admitted
+                    if denied:
+                        stripe.denied += denied
+                    if misses:
+                        stripe.rule_misses += misses
+                        stripe.unknown_keys += unknowns
+            if not exclusive:
+                with stripe.lock:
+                    stripe.admitted += admitted
+                    if denied:
+                        stripe.denied += denied
+                    if misses:
+                        stripe.rule_misses += misses
+                        stripe.unknown_keys += unknowns
+        return verdicts
+
+    # ------------------------------------------------------------------ #
+    # credit leases
+    # ------------------------------------------------------------------ #
+
+    def lease_grant(self, key: str, want: float, ttl: float,
+                    holder: "tuple | None" = None) -> "tuple[int, float, float]":
+        if want <= 0 or ttl <= 0:
+            return (0, 0.0, 0.0)
+        ttl = min(ttl, self.config.max_lease_ttl)
+        rule = self._source.get_rule(key)
+        fraction = self.config.max_lease_fraction
+        if rule is not None and rule.max_lease_fraction is not None:
+            fraction = rule.max_lease_fraction
+        n = self._n_shards
+        index = hash(key) % n if n > 1 else 0
+        lock, slab, _stripe = self._slab_state[index]
+        granted = 0.0
+        lease_id = 0
+        with lock:
+            slot = slab.index.get(key)
+            transient = None
+            if slot is None:
+                slot, _unknown, transient = self._create_slot_locked(slab, key)
+            outstanding = self._lease_outstanding[index]
+            if slot is None:
+                capacity = transient.capacity
+            else:
+                capacity = slab.capacity_unlocked(slot)
+            headroom = fraction * capacity - outstanding.get(key, 0.0)
+            ask = want if want < headroom else headroom
+            if ask > _LEASE_EPSILON:
+                if slot is None:
+                    granted = transient.lease_debit_unlocked(ask)
+                else:
+                    granted = slab.lease_debit_unlocked(slot, ask)
+            if granted > 0.0:
+                lease_id = next(self._lease_ids)
+                self._lease_shards[index][lease_id] = _LeaseRecord(
+                    lease_id, key, granted, self._clock() + ttl, holder)
+                outstanding[key] = outstanding.get(key, 0.0) + granted
+        with self._control_lock:
+            if granted > 0.0:
+                self._lease_grants += 1
+                self._lease_granted_credits += granted
+            else:
+                self._lease_refusals += 1
+        return (lease_id, granted, ttl if granted > 0.0 else 0.0)
+
+    def lease_return(self, key: str, lease_id: int, credits: float) -> float:
+        n = self._n_shards
+        index = hash(key) % n if n > 1 else 0
+        lock, slab, _stripe = self._slab_state[index]
+        accepted = 0.0
+        closed = False
+        with lock:
+            record = self._lease_shards[index].get(lease_id)
+            if record is not None and record.key == key:
+                del self._lease_shards[index][lease_id]
+                self._drop_outstanding_locked(index, key, record.granted)
+                closed = True
+                if credits > 0.0:
+                    slot = slab.index.get(key)
+                    if slot is not None:
+                        give = min(credits, record.granted)
+                        accepted = slab.lease_return_unlocked(slot, give)
+        if closed:
+            with self._control_lock:
+                self._lease_returns += 1
+                self._lease_returned_credits += accepted
+        return accepted
+
+    # ------------------------------------------------------------------ #
+    # housekeeping
+    # ------------------------------------------------------------------ #
+
+    def refill_all(self) -> int:
+        count = 0
+        cap = self.config.max_table_entries
+        force_budget = max(0, self.table_size() - cap) if cap else 0
+        evicted_idle = 0
+        evicted_forced = 0
+        evict_credits: Dict[str, float] = {}
+        for index, (lock, slab, _stripe) in enumerate(self._slab_state):
+            with lock:
+                now = self._clock()
+                leased = self._lease_outstanding[index]
+                epoch = slab.epoch
+                touch = slab.col_touch
+                doomed: "list[str] | None" = None
+                for key, slot in slab.index.items():
+                    slab.advance_unlocked(slot, now)
+                    # Epoch byte instead of the object backend's decision
+                    # counters: an untouched slot saw no decision since the
+                    # previous sweep.  Freshly inserted slots carry the
+                    # current epoch, so — like the object backend's
+                    # ``activity_at_sweep = -1`` — a bucket always survives
+                    # at least one full sweep interval.
+                    if touch[slot] == epoch or key in leased:
+                        continue
+                    credit = slab.credit_unlocked(slot, now)
+                    if credit >= slab.capacity_unlocked(slot) - _LEASE_EPSILON:
+                        evicted_idle += 1
+                    elif evicted_forced < force_budget:
+                        evicted_forced += 1
+                    else:
+                        continue
+                    evict_credits[key] = credit
+                    if doomed is None:
+                        doomed = []
+                    doomed.append(key)
+                count += len(slab.index)
+                if doomed:
+                    for key in doomed:
+                        slab.evict_unlocked(key)
+                slab.bump_epoch_unlocked()
+        if evict_credits:
+            self._source.checkpoint(evict_credits)   # no lock held
+        if evicted_idle or evicted_forced:
+            with self._control_lock:
+                self._evicted_idle += evicted_idle
+                self._evicted_forced += evicted_forced
+        return count
+
+    def sync_rules(self) -> int:
+        local_keys = self.local_keys()
+        fresh = self._source.get_rules(local_keys)
+        updated = 0
+        revoked: "list[tuple[str, _LeaseRecord]]" = []
+        for key in local_keys:
+            shard = self._shard_of(key)
+            slab = self._slabs[shard]
+            with self._locks[shard]:
+                slot = slab.index.get(key)
+                if slot is None:
+                    continue
+                current = (slab.capacity_unlocked(slot),
+                           slab.refill_rate_unlocked(slot))
+                rule = fresh.get(key)
+                if rule is None:
+                    default = self.config.default_rule
+                    if current != (default.capacity, default.refill_rate):
+                        slab.set_plan_unlocked(slot, self._plans.intern(
+                            float(default.capacity), float(default.refill_rate)))
+                        updated += 1
+                        for record in self._revoke_leases_for_key_locked(
+                                shard, key):
+                            revoked.append((key, record))
+                elif current != (rule.capacity, rule.refill_rate):
+                    slab.set_plan_unlocked(slot, self._plans.intern(
+                        float(rule.capacity), float(rule.refill_rate)))
+                    updated += 1
+                    for record in self._revoke_leases_for_key_locked(
+                            shard, key):
+                        revoked.append((key, record))
+        with self._control_lock:
+            self._syncs += 1
+            self._lease_revoked += len(revoked)
+        if revoked and self.lease_revoke_hook is not None:
+            self.lease_revoke_hook(revoked)       # outside every lock
+        return updated
+
+    def checkpoint(self) -> int:
+        credits: Dict[str, float] = {}
+        for lock, slab, _stripe in self._slab_state:
+            with lock:
+                now = self._clock()
+                for key, slot in slab.index.items():
+                    credits[key] = slab.credit_unlocked(slot, now)
+        self._source.checkpoint(credits)      # DB round trip: no lock held
+        with self._control_lock:
+            self._checkpoints += 1
+        return len(credits)
+
+    # ------------------------------------------------------------------ #
+    # replication / introspection
+    # ------------------------------------------------------------------ #
+
+    def local_keys(self) -> list[str]:
+        keys: list[str] = []
+        for lock, slab, _stripe in self._slab_state:
+            with lock:
+                keys.extend(slab.index.keys())
+        return keys
+
+    def table_size(self) -> int:
+        return sum(len(slab) for slab in self._slabs)
+
+    def bucket_for(self, key: str) -> "Optional[SlabBucketView]":
+        """Direct bucket access (tests and metrics only)."""
+        shard = self._shard_of(key)
+        with self._locks[shard]:
+            if key not in self._slabs[shard].index:
+                return None
+        return SlabBucketView(self, key)
+
+    def snapshot(self) -> list[BucketSnapshot]:
+        snaps: list[BucketSnapshot] = []
+        for index, (lock, slab, _stripe) in enumerate(self._slab_state):
+            with lock:
+                now = self._clock()
+                ledger = self._lease_shards[index]
+                by_key: "dict[str, list[LeaseSnapshot]]" = {}
+                for record in ledger.values():
+                    remaining = record.expiry - now
+                    if remaining <= 0:
+                        continue
+                    by_key.setdefault(record.key, []).append(LeaseSnapshot(
+                        lease_id=record.lease_id, granted=record.granted,
+                        ttl_remaining=remaining, holder=record.holder))
+                for key, slot in slab.index.items():
+                    snaps.append(BucketSnapshot(
+                        key=key, capacity=slab.capacity_unlocked(slot),
+                        refill_rate=slab.refill_rate_unlocked(slot),
+                        credit=slab.credit_unlocked(slot, now),
+                        leases=tuple(by_key.get(key, ()))))
+        return snaps
+
+    def _restore_entry_locked(self, shard: int, snap: BucketSnapshot) -> None:
+        slab = self._slabs[shard]
+        slot = slab.index.get(snap.key)
+        plan = self._plans.intern(float(snap.capacity),
+                                  float(snap.refill_rate))
+        if slot is None:
+            slab.insert_unlocked(snap.key, plan, snap.credit)
+        else:
+            slab.set_plan_unlocked(slot, plan)
+            slab.restore_credit_unlocked(slot, snap.credit)
+
+    def table_bytes(self) -> int:
+        """Exact resident bytes of the slab columns, index and plan table."""
+        total = self._plans.bytes_resident()
+        for lock, slab, _stripe in self._slab_state:
+            with lock:
+                total += slab.bytes_resident()
+        return total

@@ -50,6 +50,20 @@ holds the lock).  When adding a fast-path method here, keep the suffix; when
 calling one from new code, take the owning lock first or inherit the
 suffix so the obligation stays visible to both readers and the linter.
 See ``docs/ANALYSIS.md`` for the rule catalog and pragma escape hatch.
+
+Relationship to the columnar slab store
+---------------------------------------
+
+This class is the *reference semantics* for a bucket.  The default table
+backend (``AdmissionConfig.table_backend="slab"``,
+``repro.core.slabstore``) does not hold ``LeakyBucket`` instances at all —
+it packs the same state (credit, last-refill time, plan) into parallel
+columns and re-implements Eqs. 1–2 in flat loops, bit-exactly: the
+admit/deny stream and stored credits must match this class on every
+workload (``tests/core/test_slab_equivalence.py`` enforces it with
+randomized sequences).  When changing refill or consume semantics here,
+change the slab kernels in lock-step — the equivalence suite will catch a
+drift, but only if the new behaviour is covered by a test.
 """
 
 from __future__ import annotations

@@ -66,6 +66,12 @@ class AdmissionConfig:
     #: asking for more are clamped, so a misconfigured or hostile router
     #: cannot park credit beyond the server's revocation horizon.
     max_lease_ttl: float = 5.0
+    #: Storage backing the local QoS table.  ``"slab"`` (default) packs
+    #: bucket state into columnar arrays (~60 bytes/key, batch-friendly —
+    #: see ``repro.core.slabstore``); ``"object"`` keeps the seed
+    #: dict-of-LeakyBucket layout for A/B comparison and fallback.  Both
+    #: backends produce bit-identical admit/deny streams.
+    table_backend: str = "slab"
 
     def __post_init__(self) -> None:
         if self.refill_interval <= 0:
@@ -89,6 +95,10 @@ class AdmissionConfig:
         if self.max_lease_ttl <= 0:
             raise ConfigurationError(
                 f"max_lease_ttl must be > 0, got {self.max_lease_ttl}")
+        if self.table_backend not in ("slab", "object"):
+            raise ConfigurationError(
+                f"table_backend must be 'slab' or 'object', "
+                f"got {self.table_backend!r}")
 
 
 @dataclass(frozen=True, slots=True)

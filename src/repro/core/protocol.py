@@ -108,6 +108,7 @@ __all__ = ["QoSRequest", "QoSResponse", "LeaseRequest", "LeaseGrant",
            "LockedRequestIdGenerator", "decode", "decode_any",
            "decode_any_traced", "encode_request_frame",
            "encode_request_frame_parts", "encode_response_frame",
+           "encode_response_frame_bits",
            "encode_lease_request_frame", "encode_lease_grant_frame",
            "encode_lease_revoke_frame",
            "decode_frame", "decode_frame_traced",
@@ -460,6 +461,44 @@ def encode_response_frame(responses: Sequence[QoSResponse],
         _ENTRY_RESP.pack_into(buf, offset, response.request_id,
                               1 if response.allowed else 0, flags)
         offset += _ENTRY_RESP.size
+    return bytes(buf)
+
+
+def encode_response_frame_bits(request_ids: Sequence[int], verdicts: int,
+                               trace_id: int = 0) -> bytes:
+    """Encode a response frame straight from a packed verdict bitmap.
+
+    The server-side hot-path form of :func:`encode_response_frame`: bit
+    ``i`` of ``verdicts`` is the admission verdict for ``request_ids[i]``
+    (set = admitted), exactly as ``AdmissionController.check_batch``
+    returns it, so a whole frame's replies are packed without building a
+    ``QoSResponse`` object per entry.  The encoding is byte-identical to
+    :func:`encode_response_frame` over the equivalent response list (no
+    entry carries the default-reply flag — servers never default-reply).
+    """
+    count = len(request_ids)
+    if not (1 <= count <= MAX_FRAME_MESSAGES):
+        raise ProtocolError(
+            f"frame must carry 1..{MAX_FRAME_MESSAGES} messages, got {count}")
+    if not (0 <= trace_id < 2**64):
+        raise ProtocolError(f"trace_id out of u64 range: {trace_id}")
+    traced = trace_id != 0
+    buf = bytearray(_FRAME_HEADER.size + (TRACE_ID_BYTES if traced else 0)
+                    + count * _ENTRY_RESP.size)
+    mtype = _TYPE_RESPONSE | (FLAG_FRAME_TRACED if traced else 0)
+    _FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION2, mtype, count)
+    offset = _FRAME_HEADER.size
+    if traced:
+        _TRACE_ID.pack_into(buf, offset, trace_id)
+        offset += TRACE_ID_BYTES
+    pack_entry = _ENTRY_RESP.pack_into
+    entry_size = _ENTRY_RESP.size
+    for pos, request_id in enumerate(request_ids):
+        if not (0 <= request_id < 2**64):
+            raise ProtocolError(
+                f"request_id out of u64 range: {request_id}")
+        pack_entry(buf, offset, request_id, (verdicts >> pos) & 1, 0)
+        offset += entry_size
     return bytes(buf)
 
 

@@ -11,9 +11,18 @@ decisions/second, for both
   statistics under exactly one shard lock), and
 - the **seed** path (:class:`SeedPathController`, kept runnable here:
   shard lock → nested bucket lock → global stats lock, three
-  acquisitions per decision, as the repository originally shipped),
+  acquisitions per decision, as the repository originally shipped), and
+- the **batch** path (``check_batch``: one shard-lock take and one clock
+  read per shard per frame, measured per backend — the slab's columnar
+  store is where frame-at-a-time admission pays off),
 
-so the speedup is always computed on the same machine in the same run.
+so the speedups are always computed on the same machine in the same run.
+The fused and seed arms pin ``table_backend="object"`` regardless of the
+session default: "fused" *is* the PR-1 object-store baseline that the
+batch gate is defined against.  :func:`measure_resident_bytes_per_key`
+adds the memory half of the story — tracemalloc-attributed resident
+bytes per bucket for each backend, keys pre-materialized so only table
+state is counted.
 ``benchmarks/test_hotpath_regression.py`` turns the matrix into a
 regression gate and writes ``BENCH_hotpath.json`` for the performance
 trajectory; ``make bench-hotpath`` and ``janus bench-hotpath`` run it
@@ -22,11 +31,13 @@ from the command line.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
 import threading
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -42,8 +53,11 @@ from repro.workload.keygen import uuid_keys
 __all__ = [
     "HotpathPoint",
     "HotpathReport",
+    "MemoryPoint",
     "SeedPathController",
+    "measure_batch_decisions_per_sec",
     "measure_decisions_per_sec",
+    "measure_resident_bytes_per_key",
     "run_hotpath_matrix",
     "write_report",
 ]
@@ -104,12 +118,32 @@ class SeedPathController(AdmissionController):
 class HotpathPoint:
     """One measured configuration of the admission hot path."""
 
-    path: str                   # "fused" or "seed"
+    path: str                   # "fused", "seed", or "batch-<backend>"
     lock_shards: int
     workers: int
     decisions: int
     elapsed_s: float
     decisions_per_sec: float
+    batch_size: int = 1         # keys per check_batch frame; 1 = per-key
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryPoint:
+    """Resident table memory for one backend at one table size.
+
+    ``resident_bytes`` is tracemalloc's attribution of everything the
+    warmed controller keeps alive (keys pre-materialized, so strings are
+    excluded); ``table_bytes`` is the controller's own
+    :meth:`~repro.core.admission.AdmissionController.table_bytes`
+    accounting, reported alongside so the estimator can be sanity-checked
+    against ground truth.
+    """
+
+    backend: str
+    n_keys: int
+    resident_bytes: int
+    bytes_per_key: float
+    table_bytes: int
 
 
 @dataclass(slots=True)
@@ -117,6 +151,7 @@ class HotpathReport:
     """A full sweep plus the per-configuration fused/seed speedups."""
 
     points: list[HotpathPoint] = field(default_factory=list)
+    memory: list[MemoryPoint] = field(default_factory=list)
     machine: dict = field(default_factory=dict)
 
     def point(self, path: str, lock_shards: int,
@@ -135,20 +170,56 @@ class HotpathReport:
             return None
         return fused.decisions_per_sec / seed.decisions_per_sec
 
+    def batch_speedup(self, lock_shards: int, workers: int,
+                      backend: str = "slab") -> Optional[float]:
+        """Frame-at-a-time throughput over fused per-key throughput."""
+        batch = self.point(f"batch-{backend}", lock_shards, workers)
+        fused = self.point("fused", lock_shards, workers)
+        if batch is None or fused is None or fused.decisions_per_sec <= 0:
+            return None
+        return batch.decisions_per_sec / fused.decisions_per_sec
+
+    def memory_point(self, backend: str) -> Optional[MemoryPoint]:
+        for m in self.memory:
+            if m.backend == backend:
+                return m
+        return None
+
+    def memory_ratio(self) -> Optional[float]:
+        """Slab resident bytes/key over object resident bytes/key."""
+        slab = self.memory_point("slab")
+        obj = self.memory_point("object")
+        if slab is None or obj is None or obj.bytes_per_key <= 0:
+            return None
+        return slab.bytes_per_key / obj.bytes_per_key
+
     def as_dict(self) -> dict:
         speedups = {}
+        batch_speedups = {}
         for p in self.points:
-            if p.path != "fused":
-                continue
-            ratio = self.speedup(p.lock_shards, p.workers)
-            if ratio is not None:
-                speedups[f"shards{p.lock_shards}_workers{p.workers}"] = round(
-                    ratio, 3)
-        return {
+            config = f"shards{p.lock_shards}_workers{p.workers}"
+            if p.path == "fused":
+                ratio = self.speedup(p.lock_shards, p.workers)
+                if ratio is not None:
+                    speedups[config] = round(ratio, 3)
+            elif p.path.startswith("batch-"):
+                ratio = self.batch_speedup(p.lock_shards, p.workers,
+                                           p.path[len("batch-"):])
+                if ratio is not None:
+                    batch_speedups[f"{p.path}_{config}"] = round(ratio, 3)
+        out = {
             "machine": self.machine,
             "points": [asdict(p) for p in self.points],
             "speedup_fused_over_seed": speedups,
         }
+        if batch_speedups:
+            out["speedup_batch_over_fused"] = batch_speedups
+        if self.memory:
+            out["memory"] = [asdict(m) for m in self.memory]
+            ratio = self.memory_ratio()
+            if ratio is not None:
+                out["memory_slab_over_object"] = round(ratio, 4)
+        return out
 
 
 def _machine_info() -> dict:
@@ -183,7 +254,11 @@ def measure_decisions_per_sec(
         {k: QoSRule(k, refill_rate=_HOT_RULE_RATE,
                     capacity=_HOT_RULE_CAPACITY) for k in keys})
     cls = AdmissionController if fused else SeedPathController
-    controller = cls(source, AdmissionConfig(lock_shards=lock_shards))
+    # The fused arm is the PR-1 object-store baseline the batch gate
+    # compares against; pin the backend so the session default (slab)
+    # cannot silently redefine the denominator.
+    controller = cls(source, AdmissionConfig(lock_shards=lock_shards,
+                                             table_backend="object"))
     for k in keys:                      # materialize outside the timed region
         controller.check(k)
 
@@ -224,32 +299,190 @@ def measure_decisions_per_sec(
     )
 
 
+def measure_batch_decisions_per_sec(
+    *,
+    lock_shards: int,
+    workers: int,
+    backend: str = "slab",
+    batch_size: int = 64,
+    n_keys: int = 256,
+    checks_per_worker: int = 10_000,
+    seed: int = 88,
+) -> HotpathPoint:
+    """Throughput of ``workers`` threads driving whole ``check_batch``
+    frames against a warmed controller on the chosen backend.
+
+    Each worker pre-builds its frames (``batch_size`` keys apiece, the
+    same interleaved key stream the per-key arm walks) outside the timed
+    region, then hammers ``check_batch`` — so the measurement is the
+    frame-at-a-time decision cost, not list construction.  Decisions are
+    counted per key, which makes the number directly comparable to
+    :func:`measure_decisions_per_sec`.
+    """
+    keys = uuid_keys(n_keys, seed=seed)
+    source = InMemoryRuleSource(
+        {k: QoSRule(k, refill_rate=_HOT_RULE_RATE,
+                    capacity=_HOT_RULE_CAPACITY) for k in keys})
+    controller = AdmissionController(
+        source, AdmissionConfig(lock_shards=lock_shards,
+                                table_backend=backend))
+    for k in keys:                      # materialize outside the timed region
+        controller.check(k)
+
+    n_frames = max(1, checks_per_worker // batch_size)
+    frames_per_worker: list[list[list[str]]] = []
+    for wid in range(workers):
+        local = keys[wid::workers] or keys
+        stream = [local[i % len(local)]
+                  for i in range(n_frames * batch_size)]
+        frames_per_worker.append(
+            [stream[f * batch_size:(f + 1) * batch_size]
+             for f in range(n_frames)])
+
+    start = threading.Barrier(workers + 1)
+    done = threading.Barrier(workers + 1)
+
+    def run(wid: int) -> None:
+        frames = frames_per_worker[wid]
+        check_batch = controller.check_batch
+        start.wait()
+        for frame in frames:
+            check_batch(frame)
+        done.wait()
+
+    threads = [threading.Thread(target=run, args=(w,), daemon=True)
+               for w in range(workers)]
+    for t in threads:
+        t.start()
+    start.wait()
+    t0 = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - t0
+    for t in threads:
+        t.join()
+    decisions = workers * n_frames * batch_size
+    return HotpathPoint(
+        path=f"batch-{backend}",
+        lock_shards=lock_shards,
+        workers=workers,
+        decisions=decisions,
+        elapsed_s=elapsed,
+        decisions_per_sec=decisions / elapsed if elapsed > 0 else 0.0,
+        batch_size=batch_size,
+    )
+
+
+def measure_resident_bytes_per_key(
+    backend: str,
+    *,
+    n_keys: int = 20_000,
+    lock_shards: int = 8,
+    seed: int = 88,
+) -> MemoryPoint:
+    """Tracemalloc-attributed resident bytes per warmed bucket.
+
+    Key strings, their rules and the rule source are all materialized
+    *before* tracing starts, so the snapshot diff charges the controller
+    only for what it allocates itself: the table/index structures, plus
+    per-key bucket state (``LeakyBucket`` objects on the object backend;
+    column elements, the slot int and an index entry on the slab).
+    """
+    keys = uuid_keys(n_keys, seed=seed)
+    source = InMemoryRuleSource(
+        {k: QoSRule(k, refill_rate=_HOT_RULE_RATE,
+                    capacity=_HOT_RULE_CAPACITY) for k in keys})
+    gc.collect()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        controller = AdmissionController(
+            source, AdmissionConfig(lock_shards=lock_shards,
+                                    table_backend=backend))
+        for k in keys:
+            controller.check(k)
+        gc.collect()
+        after = tracemalloc.take_snapshot()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    resident = sum(stat.size_diff
+                   for stat in after.compare_to(before, "filename")
+                   if stat.size_diff > 0)
+    return MemoryPoint(
+        backend=backend,
+        n_keys=n_keys,
+        resident_bytes=resident,
+        bytes_per_key=resident / n_keys if n_keys else 0.0,
+        table_bytes=controller.table_bytes(),
+    )
+
+
 def run_hotpath_matrix(
     lock_shards: Sequence[int] = (1, 8, 64),
     workers: Sequence[int] = (1, 4, 8),
     *,
-    paths: Iterable[str] = ("seed", "fused"),
+    paths: Iterable[str] = ("seed", "fused", "batch"),
     checks_per_worker: int = 10_000,
     n_keys: int = 256,
     seed: int = 88,
+    batch_size: int = 64,
+    batch_backends: Sequence[str] = ("slab", "object"),
+    memory_keys: int = 20_000,
+    reps: int = 1,
 ) -> HotpathReport:
     """Sweep the full (path × lock_shards × workers) grid.
 
-    Seed and fused runs for the same configuration execute back-to-back so
-    their ratio is as same-machine/same-moment as the process can make it.
+    Seed, fused and batch runs for the same configuration execute
+    back-to-back so their ratios are as same-machine/same-moment as the
+    process can make them.  The "batch" path expands to one arm per
+    backend in ``batch_backends``.  With ``memory_keys > 0`` the report
+    also carries one :class:`MemoryPoint` per backend.
+
+    ``reps > 1`` measures each throughput arm that many times and keeps
+    the fastest: on a shared/virtualized box the *best* of a few short
+    runs tracks the machine's actual capability, while a single shot can
+    land in a noisy-neighbour episode and record garbage.
     """
+    def best_of(measure) -> HotpathPoint:
+        point = measure()
+        for _ in range(reps - 1):
+            again = measure()
+            if again.decisions_per_sec > point.decisions_per_sec:
+                point = again
+        return point
+
     report = HotpathReport(machine=_machine_info())
     for shards in lock_shards:
         for n_workers in workers:
             for path in paths:
-                report.points.append(measure_decisions_per_sec(
-                    lock_shards=shards,
-                    workers=n_workers,
-                    fused=(path == "fused"),
-                    n_keys=n_keys,
-                    checks_per_worker=checks_per_worker,
-                    seed=seed,
-                ))
+                if path == "batch":
+                    for backend in batch_backends:
+                        report.points.append(best_of(
+                            lambda: measure_batch_decisions_per_sec(
+                                lock_shards=shards,
+                                workers=n_workers,
+                                backend=backend,
+                                batch_size=batch_size,
+                                n_keys=n_keys,
+                                checks_per_worker=checks_per_worker,
+                                seed=seed,
+                            )))
+                    continue
+                report.points.append(best_of(
+                    lambda: measure_decisions_per_sec(
+                        lock_shards=shards,
+                        workers=n_workers,
+                        fused=(path == "fused"),
+                        n_keys=n_keys,
+                        checks_per_worker=checks_per_worker,
+                        seed=seed,
+                    )))
+    if memory_keys:
+        for backend in ("object", "slab"):
+            report.memory.append(measure_resident_bytes_per_key(
+                backend, n_keys=memory_keys, seed=seed))
     return report
 
 

@@ -342,6 +342,8 @@ def _serve_rpc(daemon: ShardWorkerDaemon, what: str, arg):
             "forward_drops": daemon.forward_drops,
             "fanin_frames": daemon.fanin_frames,
             "table_size": daemon.controller.table_size(),
+            "table_bytes": daemon.controller.table_bytes(),
+            "table_backend": spec.server.admission.table_backend,
         }
         payload.update(daemon.controller.stats_snapshot())
         payload["decisions"] = payload["admitted"] + payload["denied"]

@@ -53,6 +53,7 @@ from repro.core.protocol import (
     encode_lease_grant_frame,
     encode_lease_revoke_frame,
     encode_response_frame,
+    encode_response_frame_bits,
 )
 from repro.obs.metrics import MetricsRegistry, register_snapshot_gauges
 from repro.obs.tracing import default_tracer
@@ -63,6 +64,27 @@ _STOP = object()
 
 #: Receive buffer size; must fit a maximal v2 frame.
 _RECV_BUFFER = 65535
+
+
+class _WorkerScratch:
+    """Per-worker reusable buffers for the decode/decide loop.
+
+    The seed worker rebuilt its request-id, key and response lists for
+    every frame — one list churn per datagram at tens of thousands of
+    frames a second.  Each worker thread now owns one scratch set, cleared
+    in place between frames; ``tests/runtime/test_worker_alloc.py`` pins
+    the steady-state allocation count.
+    """
+
+    __slots__ = ("ids", "keys", "costs", "responses", "out")
+
+    def __init__(self) -> None:
+        self.ids: list[int] = []
+        self.keys: list[str] = []
+        self.costs: list[float] = []
+        self.responses: list[QoSResponse] = []
+        #: Outgoing ``(payload, addr, n_responses)`` triples per FIFO item.
+        self.out: list[tuple[bytes, tuple, int]] = []
 
 
 class QoSServerDaemon:
@@ -130,6 +152,11 @@ class QoSServerDaemon:
             "janus_admission_table_size",
             "Leaky buckets resident in the admission table",
             fn=self.controller.table_size, **labels)
+        self.metrics.gauge(
+            "janus_admission_table_bytes",
+            "Estimated resident bytes of the admission table "
+            "(exact column accounting on the slab backend)",
+            fn=self.controller.table_bytes, **labels)
         # Rule pushes revoke the affected keys' leases; the hook fires
         # outside every controller lock, so sending datagrams here is
         # safe (and best-effort — a lost revoke dies at the lease TTL).
@@ -246,72 +273,16 @@ class QoSServerDaemon:
         frame earns exactly one v2 response frame; v1 requests are
         answered with v1 datagrams.  Delivery stays fire-and-forget.
         """
-        check = self.controller.check
-        dedup = self._dedup
         sock = self.reply_sock
-        tracer = self._tracer
-        unwrap = self._unwrap
+        scratch = _WorkerScratch()
         while True:
             item = self._fifo.get()
             if item is _STOP:
                 return
             self._fifo_depth -= 1
-            out: list[tuple[bytes, tuple, int]] = []
-            malformed = 0
-            for data, addr in item:
-                if unwrap is not None:
-                    data, addr = unwrap(data, addr)
-                try:
-                    version, trace_id, messages = decode_any_traced(data)
-                except ProtocolError:
-                    malformed += 1
-                    continue
-                # Lease frames are homogeneous (one message type per
-                # frame), so one type check on the head dispatches the
-                # whole credit-lease path off the admission hot path.
-                if messages and type(messages[0]) is LeaseRequest:
-                    reply = self._lease_replies(messages, addr, trace_id)
-                    if reply is not None:
-                        out.append(reply)
-                    continue
-                # A traced frame earns a server-side decision span; the
-                # untraced path pays one integer comparison.
-                span = (tracer.start(trace_id, "server.decide", "qos_server",
-                                     {"server": self.name})
-                        if trace_id else None)
-                responses: list[QoSResponse] = []
-                admitted = 0
-                for message in messages:
-                    if not isinstance(message, QoSRequest):
-                        malformed += 1
-                        continue
-                    memoized = (dedup.lookup(addr, message.request_id)
-                                if dedup is not None else None)
-                    if memoized is not None:
-                        allowed = memoized
-                    else:
-                        allowed = check(message.key, message.cost)
-                        if dedup is not None:
-                            dedup.remember(addr, message.request_id, allowed)
-                    if allowed:
-                        admitted += 1
-                    responses.append(QoSResponse(message.request_id, allowed))
-                if span is not None:
-                    tracer.finish(span, n=len(responses), admitted=admitted)
-                if not responses:
-                    continue
-                if version == VERSION2:
-                    # Echo the trace id so the router can attribute the
-                    # response frame if it ever needs to.
-                    out.append((encode_response_frame(responses,
-                                                      trace_id=trace_id),
-                                addr, len(responses)))
-                else:
-                    out.append((responses[0].encode(), addr, 1))
-            if malformed:
-                self.malformed_packets += malformed
+            self._decide_item(item, scratch)
             sent = 0
-            for payload, addr, n_responses in out:
+            for payload, addr, n_responses in scratch.out:
                 try:
                     sock.sendto(payload, addr)
                     sent += n_responses
@@ -321,6 +292,105 @@ class QoSServerDaemon:
                     pass
             if sent:
                 self.responses_sent += sent
+
+    def _decide_item(self, item, scratch: _WorkerScratch) -> None:
+        """Decide one FIFO item into ``scratch.out`` (cleared first).
+
+        The fast path is frame-at-a-time: a v2 request frame (with request
+        deduplication off, its default) is decided by one
+        ``check_batch`` call — one shard-lock take and one clock read per
+        shard per frame — and its verdict bitmap is encoded straight into
+        the v2 response frame, no per-request ``QoSResponse`` objects.
+        Frames are homogeneous by construction (one message type per
+        frame), so one type check on the head dispatches the whole frame.
+
+        The per-message path remains for v1 datagrams and for deduping
+        servers, whose replay cache is consulted per request id.  All
+        working lists live in ``scratch`` and are cleared in place, so the
+        steady-state loop allocates only the decoded messages and the
+        encoded reply.
+        """
+        check = self.controller.check
+        check_batch = self.controller.check_batch
+        dedup = self._dedup
+        tracer = self._tracer
+        unwrap = self._unwrap
+        out = scratch.out
+        del out[:]
+        malformed = 0
+        for data, addr in item:
+            if unwrap is not None:
+                data, addr = unwrap(data, addr)
+            try:
+                version, trace_id, messages = decode_any_traced(data)
+            except ProtocolError:
+                malformed += 1
+                continue
+            # Lease frames are homogeneous (one message type per
+            # frame), so one type check on the head dispatches the
+            # whole credit-lease path off the admission hot path.
+            if messages and type(messages[0]) is LeaseRequest:
+                reply = self._lease_replies(messages, addr, trace_id)
+                if reply is not None:
+                    out.append(reply)
+                continue
+            # A traced frame earns a server-side decision span; the
+            # untraced path pays one integer comparison.
+            span = (tracer.start(trace_id, "server.decide", "qos_server",
+                                 {"server": self.name})
+                    if trace_id else None)
+            if (dedup is None and version == VERSION2 and messages
+                    and type(messages[0]) is QoSRequest):
+                ids = scratch.ids
+                keys = scratch.keys
+                costs = scratch.costs
+                del ids[:]
+                del keys[:]
+                del costs[:]
+                for message in messages:
+                    ids.append(message.request_id)
+                    keys.append(message.key)
+                    costs.append(message.cost)
+                verdicts = check_batch(keys, costs)
+                if span is not None:
+                    tracer.finish(span, n=len(ids),
+                                  admitted=verdicts.bit_count())
+                # Echo the trace id so the router can attribute the
+                # response frame if it ever needs to.
+                out.append((encode_response_frame_bits(ids, verdicts,
+                                                       trace_id=trace_id),
+                            addr, len(ids)))
+                continue
+            responses = scratch.responses
+            del responses[:]
+            admitted = 0
+            for message in messages:
+                if not isinstance(message, QoSRequest):
+                    malformed += 1
+                    continue
+                memoized = (dedup.lookup(addr, message.request_id)
+                            if dedup is not None else None)
+                if memoized is not None:
+                    allowed = memoized
+                else:
+                    allowed = check(message.key, message.cost)
+                    if dedup is not None:
+                        dedup.remember(addr, message.request_id, allowed)
+                if allowed:
+                    admitted += 1
+                responses.append(QoSResponse(message.request_id, allowed))
+            if span is not None:
+                tracer.finish(span, n=len(responses), admitted=admitted)
+            if not responses:
+                continue
+            if version == VERSION2:
+                out.append((encode_response_frame(responses,
+                                                  trace_id=trace_id),
+                            addr, len(responses)))
+            else:
+                out.append((responses[0].encode(), addr, 1))
+        if malformed:
+            self.malformed_packets += malformed
 
     # ------------------------------------------------------------------ #
     # credit-lease plane (DESIGN.md, "Credit leasing")

@@ -75,6 +75,20 @@ def test_scope_covers_procplane(lint):
     assert not lint(code, rules=RULE, subdir="procplane").ok
 
 
+def test_scope_covers_slab_store(lint):
+    # The columnar slab lives in core/ and every *_unlocked accessor runs
+    # under a shard lock that all admission for the shard serializes on —
+    # a blocking call there is the worst place in the whole plane.
+    code = """
+    class SlabShard:
+        def sweep_unlocked(self, log_path):
+            with open(log_path) as fh:
+                fh.read()
+    """
+    assert not lint(code, rules=RULE, subdir="core",
+                    name="slabstore.py").ok
+
+
 def test_nested_def_under_lock_not_flagged(lint):
     result = lint("""
     def arm(self):

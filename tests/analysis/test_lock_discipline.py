@@ -81,3 +81,56 @@ def test_pragma_disables(lint):
         bucket.restore_credit_unlocked(5.0)  # janus-lint: disable=lock-discipline
     """, rules=RULE)
     assert result.ok
+
+
+def test_bare_column_subscript_flagged(lint):
+    result = lint("""
+    def peek(slab, slot):
+        return slab.col_credit[slot]
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+    assert "col_credit" in result.findings[0].message
+
+
+def test_column_store_through_local_binding_flagged(lint):
+    # The hot kernels bind columns to locals before the loop; the rule
+    # must see through the rebind, not just ``slab.col_*[...]``.
+    result = lint("""
+    def race(slab, slot, now):
+        col_last = slab.col_last
+        col_last[slot] = now
+    """, rules=RULE)
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+    assert "col_last" in result.findings[0].message
+
+
+def test_column_subscript_under_lock_passes(lint):
+    result = lint("""
+    def frame(self, slab, positions, now):
+        with self._locks[0]:
+            col_credit = slab.col_credit
+            for slot in positions:
+                col_credit[slot] = col_credit[slot] - 1.0
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_column_subscript_in_unlocked_method_passes(lint):
+    result = lint("""
+    class SlabShard:
+        def consume_unlocked(self, slot):
+            credit = self.col_credit[slot]
+            self.col_touch[slot] = self.epoch
+            return credit
+    """, rules=RULE)
+    assert result.ok
+
+
+def test_column_attribute_read_without_subscript_passes(lint):
+    # Whole-column reads (len, identity, append) don't index a slot and
+    # are how bytes_resident and the tests size the columns.
+    result = lint("""
+    def size(slab):
+        return len(slab.col_credit)
+    """, rules=RULE)
+    assert result.ok

@@ -1,0 +1,200 @@
+"""Property-style equivalence: slab store ≡ seed object store.
+
+Randomized op sequences — per-key checks, whole batch frames, housekeeping
+sweeps (with eviction pressure), rule churn + sync, checkpoints, credit
+leases and snapshot/restore — are driven in lockstep against an
+object-backed and a slab-backed controller sharing one injected manual
+clock.  Every operation's observable result must be identical: the
+admit/deny stream bit-for-bit, lease grants to the credit, and the full
+table state (keys, credits, rules, stats) at every probe point.
+
+The snapshot/restore op *swaps* backends — the object controller is
+rebuilt from the slab's snapshot and vice versa — so the shared
+``BucketSnapshot`` format is exercised in both directions mid-sequence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.admission import (
+    AdmissionController,
+    InMemoryRuleSource,
+    SlabAdmissionController,
+)
+from repro.core.bucket import RefillMode
+from repro.core.clock import ManualClock
+from repro.core.config import AdmissionConfig
+from repro.core.rules import DefaultRulePolicy, QoSRule
+
+#: Credits must agree to this absolute tolerance; the arithmetic is
+#: mirrored op-for-op so the expectation is exact equality, but the
+#: assertion leaves room for a platform's fused-multiply-add quirks.
+TOL = 1e-12
+
+RULED_KEYS = [f"user{i}" for i in range(18)]
+UNKNOWN_KEYS = [f"guest{i}" for i in range(6)]
+ALL_KEYS = RULED_KEYS + UNKNOWN_KEYS
+
+
+def make_rules(rng: random.Random) -> dict[str, QoSRule]:
+    rules = {}
+    for i, key in enumerate(RULED_KEYS):
+        capacity = rng.choice([0.0, 1.0, 3.5, 10.0, 100.0])
+        rate = rng.choice([0.0, 0.5, 2.0, 25.0])
+        rules[key] = QoSRule(key=key, refill_rate=rate, capacity=capacity,
+                             max_lease_fraction=rng.choice([None, 0.0, 0.5]))
+    return rules
+
+
+def make_pair(mode: RefillMode, shards: int, rng: random.Random,
+              max_entries: int = 0):
+    """An (object, slab) controller pair over identical rule universes."""
+    clock = ManualClock()
+    rules = make_rules(rng)
+    policy = DefaultRulePolicy(refill_rate=1.0, capacity=2.0,
+                               memorize_unknown_keys=True)
+    pair = []
+    for backend in ("object", "slab"):
+        config = AdmissionConfig(
+            table_backend=backend, refill_mode=mode, lock_shards=shards,
+            default_rule=policy, max_table_entries=max_entries)
+        pair.append(AdmissionController(
+            InMemoryRuleSource(dict(rules)), config, clock=clock))
+    obj, slab = pair
+    assert type(obj) is AdmissionController
+    assert type(slab) is SlabAdmissionController
+    return obj, slab, clock
+
+
+def assert_same_state(obj, slab):
+    assert obj.table_size() == slab.table_size()
+    assert sorted(obj.local_keys()) == sorted(slab.local_keys())
+    for key in obj.local_keys():
+        ob = obj.bucket_for(key)
+        sb = slab.bucket_for(key)
+        assert sb is not None, f"{key} missing from slab table"
+        assert ob.capacity == sb.capacity
+        assert ob.refill_rate == sb.refill_rate
+        assert ob.peek_credit() == pytest.approx(sb.peek_credit(), abs=TOL)
+    assert obj.stats_snapshot() == pytest.approx(slab.stats_snapshot())
+
+
+def drive(obj, slab, clock, rng: random.Random, ops: int):
+    """Apply ``ops`` random operations in lockstep; compare along the way."""
+    live_leases: list[tuple[str, int, float]] = []
+    for step in range(ops):
+        roll = rng.random()
+        if roll < 0.45:                                   # per-key check
+            key = rng.choice(ALL_KEYS)
+            cost = rng.choice([1.0, 1.0, 1.0, 2.5, 0.25])
+            assert obj.check(key, cost) == slab.check(key, cost), (
+                f"step {step}: check({key!r}, {cost}) diverged")
+        elif roll < 0.60:                                 # whole batch frame
+            frame = [rng.choice(ALL_KEYS)
+                     for _ in range(rng.randint(1, 64))]
+            costs = ([rng.choice([1.0, 2.0, 0.5]) for _ in frame]
+                     if rng.random() < 0.5 else None)
+            assert obj.check_batch(frame, costs) == \
+                slab.check_batch(frame, costs), (
+                f"step {step}: check_batch diverged on {frame}")
+        elif roll < 0.72:                                 # time passes
+            clock.advance(rng.uniform(0.0, 2.0))
+        elif roll < 0.80:                                 # housekeeping sweep
+            assert obj.refill_all() == slab.refill_all()
+        elif roll < 0.86:                                 # rule churn + sync
+            key = rng.choice(RULED_KEYS)
+            # Draw once, apply to both sources, so the same pseudo-random
+            # rule lands on each side.
+            new_rule = (None if rng.random() < 0.3 else QoSRule(
+                key=key, refill_rate=rng.choice([0.0, 1.0, 50.0]),
+                capacity=rng.choice([0.0, 5.0, 20.0])))
+            for controller in (obj, slab):
+                if new_rule is None:
+                    controller._source.delete_rule(key)
+                else:
+                    controller._source.put_rule(new_rule)
+            assert obj.sync_rules() == slab.sync_rules()
+        elif roll < 0.90:                                 # checkpoint
+            assert obj.checkpoint() == slab.checkpoint()
+        elif roll < 0.96:                                 # credit leases
+            key = rng.choice(ALL_KEYS)
+            if live_leases and rng.random() < 0.5:
+                key, lease_id, granted = live_leases.pop()
+                remainder = rng.uniform(0.0, granted)
+                assert obj.lease_return(key, lease_id, remainder) == \
+                    pytest.approx(slab.lease_return(key, lease_id, remainder),
+                                  abs=TOL)
+            else:
+                want = rng.uniform(0.1, 5.0)
+                ttl = rng.uniform(0.05, 1.0)
+                og = obj.lease_grant(key, want, ttl)
+                sg = slab.lease_grant(key, want, ttl)
+                assert og[0] == sg[0]
+                assert og[1] == pytest.approx(sg[1], abs=TOL)
+                assert og[2] == pytest.approx(sg[2], abs=TOL)
+                if og[0]:
+                    live_leases.append((key, og[0], og[1]))
+            if rng.random() < 0.3:
+                clock.advance(rng.uniform(0.0, 1.5))
+                assert obj.lease_expire() == slab.lease_expire()
+                live_leases.clear()
+        else:                                             # snapshot swap
+            obj_snaps = obj.snapshot()
+            slab_snaps = slab.snapshot()
+            assert sorted(s.key for s in obj_snaps) == \
+                sorted(s.key for s in slab_snaps)
+            by_key = {s.key: s for s in slab_snaps}
+            for snap in obj_snaps:
+                twin = by_key[snap.key]
+                assert snap.capacity == twin.capacity
+                assert snap.refill_rate == twin.refill_rate
+                assert snap.credit == pytest.approx(twin.credit, abs=TOL)
+            # Cross-restore: each backend is reseeded from the *other's*
+            # snapshot — the replication format must be backend-neutral.
+            assert obj.restore(slab_snaps) == len(slab_snaps)
+            assert slab.restore(obj_snaps) == len(obj_snaps)
+        if step % 25 == 24:
+            assert_same_state(obj, slab)
+    assert_same_state(obj, slab)
+
+
+@pytest.mark.parametrize("mode", [RefillMode.CONTINUOUS, RefillMode.INTERVAL])
+@pytest.mark.parametrize("shards", [1, 5])
+@pytest.mark.parametrize("seed", [7, 19, 404])
+def test_slab_equivalent_to_object_store(mode, shards, seed):
+    rng = random.Random(seed)
+    obj, slab, clock = make_pair(mode, shards, rng)
+    drive(obj, slab, clock, rng, ops=300)
+
+
+@pytest.mark.parametrize("mode", [RefillMode.CONTINUOUS, RefillMode.INTERVAL])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_slab_equivalent_under_eviction_pressure(mode, seed):
+    """A tight ``max_table_entries`` cap forces the idle/forced eviction
+    paths on both backends; eviction choices must match exactly (the
+    slab's epoch byte must reproduce the object store's decision-counter
+    idleness rule)."""
+    rng = random.Random(seed)
+    obj, slab, clock = make_pair(mode, 3, rng, max_entries=10)
+    drive(obj, slab, clock, rng, ops=300)
+    stats_o = obj.stats_snapshot()
+    stats_s = slab.stats_snapshot()
+    assert stats_o["evicted_idle"] == stats_s["evicted_idle"]
+    assert stats_o["evicted_forced"] == stats_s["evicted_forced"]
+
+
+def test_batch_verdicts_match_sequential_checks_under_frozen_clock():
+    """With time frozen, a batch frame must admit exactly the keys that
+    the same sequence of per-key checks would (repeated keys drain their
+    bucket inside the frame)."""
+    rng = random.Random(5)
+    obj, slab, _clock = make_pair(RefillMode.CONTINUOUS, 4, rng)
+    frame = [rng.choice(ALL_KEYS) for _ in range(96)]
+    expected = 0
+    for pos, key in enumerate(frame):
+        if obj.check(key):
+            expected |= 1 << pos
+    assert slab.check_batch(frame) == expected

@@ -44,11 +44,15 @@ class TestMeasure:
 class TestReport:
     def test_matrix_covers_full_grid(self):
         report = small_matrix()
-        assert len(report.points) == 2 * 2 * 2    # paths × shards × workers
+        # seed + fused + one batch arm per backend, per (shards, workers).
+        assert len(report.points) == 4 * 2 * 2    # paths × shards × workers
         for shards in (1, 2):
             for workers in (1, 2):
                 assert report.point("seed", shards, workers) is not None
                 assert report.point("fused", shards, workers) is not None
+                assert report.point("batch-slab", shards, workers) is not None
+                assert report.point("batch-object", shards,
+                                    workers) is not None
         assert report.point("fused", 99, 1) is None
 
     def test_speedup_is_fused_over_seed(self):
@@ -62,8 +66,11 @@ class TestReport:
     def test_as_dict_includes_speedups(self):
         report = small_matrix()
         d = report.as_dict()
-        assert set(d) == {"machine", "points", "speedup_fused_over_seed"}
+        assert set(d) == {"machine", "points", "speedup_fused_over_seed",
+                          "speedup_batch_over_fused", "memory",
+                          "memory_slab_over_object"}
         assert "shards1_workers1" in d["speedup_fused_over_seed"]
+        assert "batch-slab_shards1_workers1" in d["speedup_batch_over_fused"]
         assert d["machine"]["cpu_count"] >= 1
         assert len(d["points"]) == len(report.points)
 

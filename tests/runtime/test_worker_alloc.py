@@ -1,0 +1,123 @@
+"""Steady-state allocation behaviour of the worker decode/decide loop.
+
+The seed worker rebuilt its response list and one ``QoSResponse`` object
+per request for every frame — at wire rate that is thousands of transient
+allocations a second that exist only to be flattened into a response
+frame.  ``_WorkerScratch`` plus the ``check_batch`` fast path removed
+them: these tests pin that property with ``tracemalloc`` so the churn
+cannot quietly return.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import pytest
+
+from repro.core.admission import InMemoryRuleSource
+from repro.core.config import ServerConfig
+from repro.core.protocol import (
+    QoSRequest,
+    decode_frame,
+    encode_request_frame,
+)
+from repro.core.rules import QoSRule
+from repro.runtime.udp_server import QoSServerDaemon, _WorkerScratch
+
+ADDR = ("127.0.0.1", 54321)
+
+
+@pytest.fixture
+def daemon():
+    source = InMemoryRuleSource({
+        f"k{i}": QoSRule(f"k{i}", refill_rate=1000.0, capacity=1000.0)
+        for i in range(64)})
+    d = QoSServerDaemon(source, config=ServerConfig(workers=1))
+    try:
+        yield d     # never started: _decide_item is driven directly
+    finally:
+        d._sock.close()
+
+
+def frame_payload(n: int = 64) -> bytes:
+    return encode_request_frame(
+        [QoSRequest(request_id=i + 1, key=f"k{i % 64}") for i in range(n)])
+
+
+class TestBatchFastPath:
+    def test_verdict_bitmap_round_trips_to_response_frame(self, daemon):
+        scratch = _WorkerScratch()
+        daemon._decide_item([(frame_payload(64), ADDR)], scratch)
+        assert len(scratch.out) == 1
+        payload, addr, n_responses = scratch.out[0]
+        assert addr == ADDR
+        assert n_responses == 64
+        responses = decode_frame(payload)
+        assert [r.request_id for r in responses] == list(range(1, 65))
+        assert all(r.allowed for r in responses)
+
+    def test_batch_path_builds_no_response_objects(self, daemon):
+        """The bitmap is encoded straight into the frame; the per-message
+        scratch list must stay untouched."""
+        scratch = _WorkerScratch()
+        daemon._decide_item([(frame_payload(64), ADDR)], scratch)
+        assert scratch.responses == []
+
+    def test_denials_encoded_from_bitmap(self):
+        # A zero-refill bucket with 2 credits, hit 8 times in one frame:
+        # exactly the first two may land in the bitmap.
+        source = InMemoryRuleSource(
+            {"k0": QoSRule("k0", refill_rate=0.0, capacity=2.0)})
+        d = QoSServerDaemon(source, config=ServerConfig(workers=1))
+        try:
+            payload = encode_request_frame(
+                [QoSRequest(request_id=i + 1, key="k0") for i in range(8)])
+            scratch = _WorkerScratch()
+            d._decide_item([(payload, ADDR)], scratch)
+            responses = decode_frame(scratch.out[0][0])
+            assert [r.allowed for r in responses] == [True, True] + [False] * 6
+        finally:
+            d._sock.close()
+
+
+class TestSteadyStateAllocations:
+    def test_second_frame_leaves_no_worker_garbage(self, daemon):
+        """After warm-up, deciding a 64-request frame must leave only the
+        outgoing ``(payload, addr, n)`` triple allocated from the worker
+        module — no response objects, no rebuilt lists.
+
+        The seed loop left 64 live ``QoSResponse`` instances (~6 KB)
+        attributed to the worker after every frame; the scratch-based loop
+        is pinned an order of magnitude below that.
+        """
+        scratch = _WorkerScratch()
+        payload = frame_payload(64)
+        daemon._decide_item([(payload, ADDR)], scratch)     # warm caches
+        gc.collect()
+        tracemalloc.start()
+        try:
+            daemon._decide_item([(payload, ADDR)], scratch)  # trace warm-up
+            before = tracemalloc.take_snapshot()
+            daemon._decide_item([(payload, ADDR)], scratch)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        here = tracemalloc.Filter(True, "*/runtime/udp_server.py")
+        grew = sum(
+            max(stat.size_diff, 0)
+            for stat in after.filter_traces([here]).compare_to(
+                before.filter_traces([here]), "lineno"))
+        assert grew < 600, (
+            f"worker loop retained {grew} bytes per frame; "
+            "per-request churn has crept back in")
+
+    def test_scratch_buffers_are_reused_in_place(self, daemon):
+        scratch = _WorkerScratch()
+        ids0, keys0, out0 = scratch.ids, scratch.keys, scratch.out
+        for _ in range(3):
+            daemon._decide_item([(frame_payload(16), ADDR)], scratch)
+        assert scratch.ids is ids0
+        assert scratch.keys is keys0
+        assert scratch.out is out0
+        assert len(scratch.ids) == 16
