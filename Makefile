@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore bench-lease experiments experiments-paper examples clean
+.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore bench-lease bench-reshard experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -74,6 +74,14 @@ bench-multicore:
 # still record) on single-CPU hosts.  LEASE_CHECKS scales duration.
 bench-lease:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_lease_regression.py -q -s -p no:cacheprovider
+
+# Live-reshard regression gate: migration fidelity (exact credit
+# accounting across a 2→3 reshard) plus the transfer window under
+# closed-loop load (default-reply rate in vs out of window); writes
+# BENCH_reshard.json at the repo root.  The wall-clock gates skip (but
+# still record) on single-CPU hosts.  RESHARD_SECONDS scales duration.
+bench-reshard:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_reshard_regression.py -q -s -p no:cacheprovider
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

@@ -154,10 +154,11 @@ class BlockingUnderLockChecker(Checker):
     rule = "blocking-under-lock"
     description = ("forbid socket send/recv, time.sleep, open() and "
                    "logging inside lock-holding code in core/, runtime/ "
-                   "(including runtime/procplane/ and the credit-lease "
-                   "plane), obs/ and the lease bench harness")
-    scope = ("core", "runtime", "obs", "procplane", "lease.py",
-             "leasepath.py")
+                   "(including runtime/procplane/, runtime/reshard/ and "
+                   "the credit-lease plane), obs/ and the lease/reshard "
+                   "bench harnesses")
+    scope = ("core", "runtime", "obs", "procplane", "reshard",
+             "lease.py", "leasepath.py", "reshardpath.py")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []

@@ -508,6 +508,65 @@ def _cmd_bench_lease(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    """Drive a live reshard through a router's ``/topology`` endpoint."""
+    endpoint = args.endpoint.rstrip("/")
+    if args.reshard_action == "status":
+        print(json.dumps(json.loads(_fetch(f"{endpoint}/topology")),
+                         indent=2, sort_keys=True))
+        return 0
+    payload: dict = {"action": args.reshard_action}
+    if args.reshard_action == "remove":
+        payload["node"] = args.node
+        payload["dead"] = args.dead
+    request = urllib.request.Request(
+        f"{endpoint}/topology", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            print(json.dumps(json.loads(response.read()),
+                             indent=2, sort_keys=True))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode(errors="replace")
+        try:
+            message = json.loads(body).get("error", body)
+        except ValueError:
+            message = body
+        print(f"reshard {args.reshard_action} failed ({exc.code}): "
+              f"{message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_reshard(args: argparse.Namespace) -> int:
+    from repro.metrics.reshardpath import run_reshard_bench, write_report
+
+    if args.clients < 1 or args.keys < 1 or args.seconds <= 0:
+        print("error: --clients and --keys must be >= 1, --seconds > 0",
+              file=sys.stderr)
+        return 2
+    report = run_reshard_bench(
+        clients=args.clients, n_keys=args.keys, run_seconds=args.seconds)
+    f, w = report.fidelity, report.window
+    print(f"fidelity: moved {f['keys_moved']}/{f['keys_scanned']} keys in "
+          f"{f['window_seconds'] * 1e3:.1f}ms "
+          f"({f['keys_per_sec']:,.0f} keys/s, {f['chunks']} chunks, "
+          f"{f['retries']} retries)")
+    print(f"          credit loss {f['credit_loss']} over "
+          f"{f['mismatched_keys']} mismatched keys; exact={f['exact']}")
+    print(f"window:   {w['checks']} checks @ {w['checks_per_sec']:,.0f}/s; "
+          f"{w['keys_moved']} keys migrated @ "
+          f"{w['keys_per_sec_migrated']:,.0f} keys/s")
+    print(f"          steady p99={w['steady_p99_ms']:.3f}ms "
+          f"default rate {w['steady_default_rate'] * 100.0:.2f}%")
+    print(f"          in-window p99={w['window_p99_ms']:.3f}ms "
+          f"default rate {w['window_default_rate'] * 100.0:.2f}% "
+          f"denied={w['denied']}")
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
@@ -707,6 +766,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench_lease.add_argument("--repeats", type=int, default=2,
                              help="runs per arm (best kept)")
     bench_lease.set_defaults(func=_cmd_bench_lease)
+
+    reshard = sub.add_parser(
+        "reshard",
+        help="live reshard: add/remove a QoS node via a router")
+    reshard_sub = reshard.add_subparsers(dest="reshard_action",
+                                         required=True)
+    reshard_add = reshard_sub.add_parser(
+        "add", help="boot one more QoS node and migrate keys to it")
+    reshard_add.add_argument("--endpoint", default="http://127.0.0.1:7080",
+                             help="router base URL")
+    reshard_rm = reshard_sub.add_parser(
+        "remove", help="drain a QoS node out of the cluster")
+    reshard_rm.add_argument("node", help="node name (see reshard status)")
+    reshard_rm.add_argument("--dead", action="store_true",
+                            help="node already crashed: skip the drain, "
+                                 "absorb its keys cold")
+    reshard_rm.add_argument("--endpoint", default="http://127.0.0.1:7080",
+                            help="router base URL")
+    reshard_st = reshard_sub.add_parser(
+        "status", help="committed topology (epoch, backends, nodes)")
+    reshard_st.add_argument("--endpoint", default="http://127.0.0.1:7080",
+                            help="router base URL")
+    reshard.set_defaults(func=_cmd_reshard)
+
+    bench_reshard = sub.add_parser(
+        "bench-reshard",
+        help="reshard bench: migration fidelity + loaded transfer window")
+    bench_reshard.add_argument("--out", default="BENCH_reshard.json")
+    bench_reshard.add_argument("--clients", type=int, default=4,
+                               help="closed-loop client threads "
+                                    "(default 4)")
+    bench_reshard.add_argument("--keys", type=int, default=96,
+                               help="keys in the migrated rule set "
+                                    "(default 96)")
+    bench_reshard.add_argument("--seconds", type=float, default=3.0,
+                               help="loaded-window run duration "
+                                    "(default 3.0)")
+    bench_reshard.set_defaults(func=_cmd_bench_reshard)
     return parser
 
 

@@ -1022,6 +1022,32 @@ class AdmissionController:
                     max(max_lease_id + 1, next(self._lease_ids)))
         return count
 
+    def drop_buckets(self, keys: "Iterable[str]") -> int:
+        """Release buckets that moved to another owner (reshard COMMIT).
+
+        The moved keys' snapshots — credit *and* lease ledger — already
+        travelled to the new owner, so the stale residents are dropped
+        without re-crediting anything: the transferred ledger keeps the
+        debit, and a resident left behind would double-count credit in
+        fleet-wide accounting and check-point stale values over the new
+        owner's.  Returns the number of buckets actually dropped.
+        """
+        dropped = 0
+        for key in keys:
+            shard = self._shard_of(key)
+            with self._locks[shard]:
+                if self._drop_bucket_locked(shard, key):
+                    dropped += 1
+                # Ledger entries for the moved key went with the
+                # snapshot; dropping the local copies is not a revoke
+                # (no hook, no re-credit — the new owner holds them).
+                self._revoke_leases_for_key_locked(shard, key)
+        return dropped
+
+    def _drop_bucket_locked(self, shard: int, key: str) -> bool:
+        """Remove one bucket under its shard lock (backend-specific)."""
+        return self._shards[shard].pop(key, None) is not None
+
     def _restore_entry_locked(self, shard: int, snap: BucketSnapshot) -> None:
         """Materialize or overwrite one snapshot entry (backend-specific)."""
         bucket = self._shards[shard].get(snap.key)
@@ -1567,6 +1593,13 @@ class SlabAdmissionController(AdmissionController):
                         credit=slab.credit_unlocked(slot, now),
                         leases=tuple(by_key.get(key, ()))))
         return snaps
+
+    def _drop_bucket_locked(self, shard: int, key: str) -> bool:
+        slab = self._slabs[shard]
+        if key not in slab.index:
+            return False
+        slab.evict_unlocked(key)
+        return True
 
     def _restore_entry_locked(self, shard: int, snap: BucketSnapshot) -> None:
         slab = self._slabs[shard]

@@ -90,6 +90,31 @@ Lease frames reuse the v2 batch-frame envelope (same header, count,
 TRACED flag), so peers that predate leasing fail them with the same
 "unknown frame type" path as any other garbage and the lease-free wire
 image is untouched.
+
+**Reshard frames (v2 types 6/7/8).**  The live-resharding plane
+(:mod:`repro.runtime.reshard`) moves warm bucket state from an old owner
+to a new owner when the cluster grows or shrinks:
+
+- ``SNAPSHOT_XFER`` (type 6, old owner/coordinator→new owner) — one
+  *chunk* of a transfer: a ``(xfer id, epoch, seq, total)`` head followed
+  by ``count`` serialized :class:`~repro.core.admission.BucketSnapshot`
+  entries, **including each bucket's live lease ledger**, so the
+  over-admission accounting survives the move.  A transfer too large for
+  one datagram is split into ``total`` chunks, each independently
+  ack'able and idempotently re-appliable.
+- ``XFER_ACK`` (type 7, new owner→sender) — ``(xfer id, epoch, seq)``
+  per entry.  The reserved xfer id 0 (:data:`XFER_ACK_TOPOLOGY`) acks a
+  TOPOLOGY frame instead, with ``seq`` echoing the phase.
+- ``TOPOLOGY`` (type 8, coordinator→server/router) — an epoch-numbered
+  two-phase topology announcement: ``(epoch, phase)`` plus the full
+  ordered backend address list (``count`` entries).  PREPARE opens the
+  transfer window on the old owners (moved keys get degraded default
+  replies, never double-spent credit); COMMIT cuts routers over and
+  lifts the freeze; ABORT lifts it without cutover.
+
+Like lease frames, all three reuse the v2 envelope; pre-reshard peers
+reject them via the "unknown frame type" path, and every frame type
+from PR 8 and earlier is byte-identical.
 """
 
 from __future__ import annotations
@@ -101,20 +126,27 @@ import threading
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.admission import BucketSnapshot, LeaseSnapshot
 from repro.core.errors import ProtocolError
 
 __all__ = ["QoSRequest", "QoSResponse", "LeaseRequest", "LeaseGrant",
-           "LeaseRevoke", "RequestIdGenerator",
+           "LeaseRevoke", "SnapshotChunk", "XferAck", "TopologyUpdate",
+           "RequestIdGenerator",
            "LockedRequestIdGenerator", "decode", "decode_any",
            "decode_any_traced", "encode_request_frame",
            "encode_request_frame_parts", "encode_response_frame",
            "encode_response_frame_bits",
            "encode_lease_request_frame", "encode_lease_grant_frame",
            "encode_lease_revoke_frame",
+           "encode_snapshot_xfer_frame", "encode_xfer_ack_frame",
+           "encode_topology_frame", "snapshot_entry_size",
            "decode_frame", "decode_frame_traced",
            "MAX_KEY_BYTES", "MAX_FRAME_MESSAGES", "MAX_DATAGRAM_BYTES",
            "FRAME_HEADER_BYTES", "FRAME_REQ_ENTRY_OVERHEAD",
            "FLAG_FRAME_TRACED", "TRACE_ID_BYTES", "MAX_LEASE_TTL_MS",
+           "MAX_EPOCH", "MAX_XFER_CHUNKS", "MAX_BUCKET_LEASES",
+           "TOPOLOGY_PREPARE", "TOPOLOGY_COMMIT", "TOPOLOGY_ABORT",
+           "XFER_ACK_TOPOLOGY", "SNAPSHOT_XFER_HEAD_BYTES",
            "MAGIC", "VERSION", "VERSION2"]
 
 MAGIC = 0x4A51
@@ -125,6 +157,9 @@ _TYPE_RESPONSE = 2
 _TYPE_LEASE_REQ = 3
 _TYPE_LEASE_GRANT = 4
 _TYPE_LEASE_REVOKE = 5
+_TYPE_SNAPSHOT_XFER = 6
+_TYPE_XFER_ACK = 7
+_TYPE_TOPOLOGY = 8
 
 _HEADER = struct.Struct("!HBBQ")          # magic, version, type, request id
 _REQ_KEY_LEN = struct.Struct("!H")
@@ -141,6 +176,22 @@ _ENTRY_LEASE_HEAD = struct.Struct("!QH")
 _LEASE_REQ_TAIL = struct.Struct("!ddQI")  # credits, return credits,
 #                                           return lease id, ttl_ms
 _LEASE_GRANT_TAIL = struct.Struct("!QdI")  # lease id, credits, ttl_ms
+
+# Reshard frames (types 6/7/8).  A SNAPSHOT_XFER frame is one chunk of a
+# transfer: chunk head, then `count` bucket entries, each carrying its
+# live lease-ledger entries.  Holders ride as (host-length, host, port)
+# with length 0 meaning "no holder recorded".
+_XFER_HEAD = struct.Struct("!QIHH")       # xfer id, epoch, seq, total
+_ENTRY_BUCKET_KEY = struct.Struct("!H")   # key length
+_ENTRY_BUCKET_TAIL = struct.Struct("!dddH")  # capacity, refill rate,
+#                                              credit, lease count
+_ENTRY_XFER_LEASE = struct.Struct("!QdIB")   # lease id, granted credits,
+#                                              ttl_ms, holder host length
+_HOLDER_PORT = struct.Struct("!H")
+_ENTRY_ACK = struct.Struct("!QIH")        # xfer id, epoch, seq
+_TOPOLOGY_HEAD = struct.Struct("!IB")     # epoch, phase
+_ENTRY_ADDR_HOST = struct.Struct("!B")    # host length
+_ENTRY_ADDR_PORT = struct.Struct("!H")
 
 #: Maximum encoded key size; u16 length prefix, and a QoS key should always
 #: fit one UDP datagram with room to spare.
@@ -173,6 +224,32 @@ TRACE_ID_BYTES = _TRACE_ID.size
 #: Lease TTLs ride the wire as u32 milliseconds; one hour is already far
 #: beyond any sane lease and keeps arithmetic clear of u32 overflow.
 MAX_LEASE_TTL_MS = 3_600_000
+
+#: Topology epochs ride the wire as u32; epoch 0 means "never resharded"
+#: and is a protocol error on the wire (the "bad epoch" fuzz case).
+MAX_EPOCH = 2**32 - 1
+
+#: Chunk sequence numbers are u16; a transfer may span up to this many
+#: SNAPSHOT_XFER frames.
+MAX_XFER_CHUNKS = 2**16 - 1
+
+#: Per-bucket lease-ledger bound inside a SNAPSHOT_XFER entry: one live
+#: lease per router is the natural ceiling, and a u16 count field caps
+#: the decode loop against forged frames.
+MAX_BUCKET_LEASES = 1024
+
+#: Topology phases (TOPOLOGY frame phase byte).
+TOPOLOGY_PREPARE = 0
+TOPOLOGY_COMMIT = 1
+TOPOLOGY_ABORT = 2
+
+#: Reserved xfer id: an XFER_ACK with this id acks a TOPOLOGY frame
+#: (``seq`` echoes the phase byte), not a snapshot chunk.
+XFER_ACK_TOPOLOGY = 0
+
+#: Fixed chunk-head size of a SNAPSHOT_XFER frame past the v2 header,
+#: for senders budgeting chunks against the datagram limit.
+SNAPSHOT_XFER_HEAD_BYTES = _XFER_HEAD.size
 
 
 @dataclass(frozen=True, slots=True)
@@ -326,6 +403,156 @@ class LeaseRevoke:
         if self.lease_id == 0:
             raise ProtocolError("revoke must name a nonzero lease_id")
         return key_bytes
+
+
+def _check_epoch(epoch: int) -> None:
+    if not (1 <= epoch <= MAX_EPOCH):
+        raise ProtocolError(f"epoch out of range 1..{MAX_EPOCH}: {epoch}")
+
+
+def _validated_holder(holder: "tuple | None") -> "tuple[bytes, int]":
+    """Validate a lease holder as ``(host_bytes, port)`` for the wire."""
+    if holder is None:
+        return b"", 0
+    try:
+        host, port = holder
+        host_bytes = host.encode("utf-8")
+    except (TypeError, ValueError, AttributeError, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"holder must be a (host, port) pair: {exc}")
+    if not (0 < len(host_bytes) <= 255):
+        raise ProtocolError(f"holder host must encode to 1..255 bytes")
+    if not (0 < port < 65536):
+        raise ProtocolError(f"holder port out of range 1..65535: {port}")
+    return host_bytes, port
+
+
+def _validated_bucket(snap: BucketSnapshot) -> bytes:
+    """Validate one bucket snapshot for the wire; returns its key bytes."""
+    key_bytes = _validated_lease_key(snap.key)
+    if not (math.isfinite(snap.capacity) and snap.capacity > 0):
+        raise ProtocolError(
+            f"bucket capacity must be finite and > 0, got {snap.capacity}")
+    _check_credits(snap.refill_rate, "bucket refill_rate")
+    _check_credits(snap.credit, "bucket credit")
+    if len(snap.leases) > MAX_BUCKET_LEASES:
+        raise ProtocolError(f"bucket carries {len(snap.leases)} leases, "
+                            f"over the {MAX_BUCKET_LEASES} wire bound")
+    for lease in snap.leases:
+        _check_u64(lease.lease_id, "lease_id")
+        if lease.lease_id == 0:
+            raise ProtocolError("snapshot lease must name a nonzero lease_id")
+        _check_credits(lease.granted, "lease granted credits")
+        _validated_holder(lease.holder)
+    return key_bytes
+
+
+def _lease_ttl_ms(ttl_remaining: float) -> int:
+    """Relative lease TTL (seconds) as wire milliseconds, clamped sane."""
+    if not math.isfinite(ttl_remaining):
+        raise ProtocolError(
+            f"lease ttl_remaining must be finite, got {ttl_remaining}")
+    return max(0, min(MAX_LEASE_TTL_MS, int(ttl_remaining * 1000.0)))
+
+
+def snapshot_entry_size(snap: BucketSnapshot) -> int:
+    """Encoded size of one bucket snapshot as a SNAPSHOT_XFER entry.
+
+    Senders use this to pack chunks up to the datagram budget without
+    trial-encoding.
+    """
+    size = (_ENTRY_BUCKET_KEY.size + len(snap.key.encode("utf-8"))
+            + _ENTRY_BUCKET_TAIL.size)
+    for lease in snap.leases:
+        host_bytes, _ = _validated_holder(lease.holder)
+        size += _ENTRY_XFER_LEASE.size + len(host_bytes) + _HOLDER_PORT.size
+    return size
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotChunk:
+    """One SNAPSHOT_XFER chunk (v2 type 6, old owner→new owner).
+
+    ``seq``/``total`` order the chunks of one transfer ``xfer_id``; every
+    chunk is independently ack'able (:class:`XferAck`) and idempotently
+    re-appliable — the receiver deduplicates ``(xfer_id, seq)`` so a
+    retransmit after a lost ack never double-restores credit.
+    """
+
+    xfer_id: int
+    epoch: int
+    seq: int
+    total: int
+    buckets: "tuple[BucketSnapshot, ...]"
+
+    def validate(self) -> "list[bytes]":
+        _check_u64(self.xfer_id, "xfer_id")
+        if self.xfer_id == XFER_ACK_TOPOLOGY:
+            raise ProtocolError(
+                "xfer_id 0 is reserved for topology acks")
+        _check_epoch(self.epoch)
+        if not (1 <= self.total <= MAX_XFER_CHUNKS):
+            raise ProtocolError(
+                f"chunk total out of range 1..{MAX_XFER_CHUNKS}: {self.total}")
+        if not (0 <= self.seq < self.total):
+            raise ProtocolError(
+                f"chunk seq {self.seq} outside 0..{self.total - 1}")
+        if not (1 <= len(self.buckets) <= MAX_FRAME_MESSAGES):
+            raise ProtocolError(
+                f"chunk must carry 1..{MAX_FRAME_MESSAGES} buckets, "
+                f"got {len(self.buckets)}")
+        return [_validated_bucket(snap) for snap in self.buckets]
+
+
+@dataclass(frozen=True, slots=True)
+class XferAck:
+    """A chunk acknowledgement (v2 type 7, new owner→sender).
+
+    ``xfer_id == XFER_ACK_TOPOLOGY`` (0) acks a TOPOLOGY frame instead;
+    ``seq`` then echoes the acknowledged phase byte.
+    """
+
+    xfer_id: int
+    epoch: int
+    seq: int
+
+    def validate(self) -> None:
+        _check_u64(self.xfer_id, "xfer_id")
+        _check_epoch(self.epoch)
+        limit = (TOPOLOGY_ABORT if self.xfer_id == XFER_ACK_TOPOLOGY
+                 else MAX_XFER_CHUNKS - 1)
+        if not (0 <= self.seq <= limit):
+            raise ProtocolError(f"ack seq out of range 0..{limit}: {self.seq}")
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyUpdate:
+    """An epoch-numbered topology announcement (v2 type 8).
+
+    ``backends`` is the full ordered backend address list of the *new*
+    map — position is the partition index, so a receiver re-derives key
+    ownership as ``crc32(key) % len(backends)`` exactly like the router.
+    """
+
+    epoch: int
+    phase: int
+    backends: "tuple[tuple[str, int], ...]"
+
+    def validate(self) -> "list[tuple[bytes, int]]":
+        _check_epoch(self.epoch)
+        if self.phase not in (TOPOLOGY_PREPARE, TOPOLOGY_COMMIT,
+                              TOPOLOGY_ABORT):
+            raise ProtocolError(f"unknown topology phase {self.phase}")
+        if not (1 <= len(self.backends) <= MAX_FRAME_MESSAGES):
+            raise ProtocolError(
+                f"topology must carry 1..{MAX_FRAME_MESSAGES} backends, "
+                f"got {len(self.backends)}")
+        parts: "list[tuple[bytes, int]]" = []
+        for backend in self.backends:
+            host_bytes, port = _validated_holder(backend)
+            if not host_bytes:
+                raise ProtocolError("topology backend must name a host")
+            parts.append((host_bytes, port))
+        return parts
 
 
 def decode(datagram: bytes) -> "QoSRequest | QoSResponse":
@@ -518,7 +745,7 @@ def _lease_frame_prologue(count: int, trace_id: int, body_size: int,
     size = (_FRAME_HEADER.size + (TRACE_ID_BYTES if traced else 0)
             + body_size)
     if size > MAX_DATAGRAM_BYTES:
-        raise ProtocolError(f"frame of {count} lease messages is {size} "
+        raise ProtocolError(f"frame of {count} entries is {size} "
                             f"bytes, over the {MAX_DATAGRAM_BYTES}-byte "
                             f"datagram limit")
     buf = bytearray(size)
@@ -586,6 +813,86 @@ def encode_lease_revoke_frame(revokes: Sequence[LeaseRevoke],
         offset += _ENTRY_LEASE_HEAD.size
         buf[offset:offset + key_len] = key_bytes
         offset += key_len
+    return bytes(buf)
+
+
+def encode_snapshot_xfer_frame(chunk: SnapshotChunk,
+                               trace_id: int = 0) -> bytes:
+    """Encode one SNAPSHOT_XFER chunk as a v2 type-6 frame.
+
+    The frame ``count`` is the number of bucket entries; the chunk head
+    ``(xfer_id, epoch, seq, total)`` sits between the v2 header and the
+    entries.  Raises :class:`ProtocolError` when the chunk would exceed
+    :data:`MAX_DATAGRAM_BYTES` — senders size chunks with
+    :func:`snapshot_entry_size` before encoding.
+    """
+    key_parts = chunk.validate()
+    body = _XFER_HEAD.size + sum(
+        snapshot_entry_size(snap) for snap in chunk.buckets)
+    buf, offset = _lease_frame_prologue(len(chunk.buckets), trace_id, body,
+                                        _TYPE_SNAPSHOT_XFER)
+    _XFER_HEAD.pack_into(buf, offset, chunk.xfer_id, chunk.epoch,
+                         chunk.seq, chunk.total)
+    offset += _XFER_HEAD.size
+    for snap, key_bytes in zip(chunk.buckets, key_parts):
+        key_len = len(key_bytes)
+        _ENTRY_BUCKET_KEY.pack_into(buf, offset, key_len)
+        offset += _ENTRY_BUCKET_KEY.size
+        buf[offset:offset + key_len] = key_bytes
+        offset += key_len
+        _ENTRY_BUCKET_TAIL.pack_into(buf, offset, snap.capacity,
+                                     snap.refill_rate, snap.credit,
+                                     len(snap.leases))
+        offset += _ENTRY_BUCKET_TAIL.size
+        for lease in snap.leases:
+            host_bytes, port = _validated_holder(lease.holder)
+            _ENTRY_XFER_LEASE.pack_into(buf, offset, lease.lease_id,
+                                        lease.granted,
+                                        _lease_ttl_ms(lease.ttl_remaining),
+                                        len(host_bytes))
+            offset += _ENTRY_XFER_LEASE.size
+            buf[offset:offset + len(host_bytes)] = host_bytes
+            offset += len(host_bytes)
+            _HOLDER_PORT.pack_into(buf, offset, port)
+            offset += _HOLDER_PORT.size
+    return bytes(buf)
+
+
+def encode_xfer_ack_frame(acks: "Sequence[XferAck]",
+                          trace_id: int = 0) -> bytes:
+    """Encode XFER_ACK messages as one v2 type-7 frame."""
+    for ack in acks:
+        ack.validate()
+    body = len(acks) * _ENTRY_ACK.size
+    buf, offset = _lease_frame_prologue(len(acks), trace_id, body,
+                                        _TYPE_XFER_ACK)
+    for ack in acks:
+        _ENTRY_ACK.pack_into(buf, offset, ack.xfer_id, ack.epoch, ack.seq)
+        offset += _ENTRY_ACK.size
+    return bytes(buf)
+
+
+def encode_topology_frame(update: TopologyUpdate,
+                          trace_id: int = 0) -> bytes:
+    """Encode one TOPOLOGY announcement as a v2 type-8 frame.
+
+    The frame ``count`` is the number of backend address entries.
+    """
+    parts = update.validate()
+    body = _TOPOLOGY_HEAD.size + sum(
+        _ENTRY_ADDR_HOST.size + len(host_bytes) + _ENTRY_ADDR_PORT.size
+        for host_bytes, _ in parts)
+    buf, offset = _lease_frame_prologue(len(parts), trace_id, body,
+                                        _TYPE_TOPOLOGY)
+    _TOPOLOGY_HEAD.pack_into(buf, offset, update.epoch, update.phase)
+    offset += _TOPOLOGY_HEAD.size
+    for host_bytes, port in parts:
+        _ENTRY_ADDR_HOST.pack_into(buf, offset, len(host_bytes))
+        offset += _ENTRY_ADDR_HOST.size
+        buf[offset:offset + len(host_bytes)] = host_bytes
+        offset += len(host_bytes)
+        _ENTRY_ADDR_PORT.pack_into(buf, offset, port)
+        offset += _ENTRY_ADDR_PORT.size
     return bytes(buf)
 
 
@@ -672,6 +979,12 @@ def decode_frame_traced(
     if mtype in (_TYPE_LEASE_REQ, _TYPE_LEASE_GRANT, _TYPE_LEASE_REVOKE):
         return trace_id, _decode_lease_entries(view, offset, total, count,
                                                mtype)
+    if mtype == _TYPE_SNAPSHOT_XFER:
+        return trace_id, [_decode_snapshot_chunk(view, offset, total, count)]
+    if mtype == _TYPE_XFER_ACK:
+        return trace_id, _decode_xfer_acks(view, offset, total, count)
+    if mtype == _TYPE_TOPOLOGY:
+        return trace_id, [_decode_topology(view, offset, total, count)]
     raise ProtocolError(f"unknown frame type {mtype}")
 
 
@@ -718,6 +1031,126 @@ def _decode_lease_entries(view: memoryview, offset: int, total: int,
             f"lease frame count {count} disagrees with payload: "
             f"{total - offset} trailing bytes")
     return messages
+
+
+def _decode_snapshot_chunk(view: memoryview, offset: int, total: int,
+                           count: int) -> SnapshotChunk:
+    """Decode a SNAPSHOT_XFER body; ``count`` is the bucket-entry count."""
+    if offset + _XFER_HEAD.size > total:
+        raise ProtocolError("snapshot frame truncated in chunk head")
+    xfer_id, epoch, seq, chunk_total = _XFER_HEAD.unpack_from(view, offset)
+    offset += _XFER_HEAD.size
+    buckets: "list[BucketSnapshot]" = []
+    for _ in range(count):
+        if offset + _ENTRY_BUCKET_KEY.size > total:
+            raise ProtocolError("snapshot frame truncated in bucket header")
+        (key_len,) = _ENTRY_BUCKET_KEY.unpack_from(view, offset)
+        offset += _ENTRY_BUCKET_KEY.size
+        if not (0 < key_len <= MAX_KEY_BYTES):
+            raise ProtocolError(f"bad key length {key_len}")
+        if offset + key_len + _ENTRY_BUCKET_TAIL.size > total:
+            raise ProtocolError("snapshot frame truncated in bucket body")
+        try:
+            key = str(view[offset:offset + key_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"key is not valid UTF-8: {exc}") from exc
+        offset += key_len
+        capacity, refill_rate, credit, n_leases = \
+            _ENTRY_BUCKET_TAIL.unpack_from(view, offset)
+        offset += _ENTRY_BUCKET_TAIL.size
+        if n_leases > MAX_BUCKET_LEASES:
+            raise ProtocolError(f"bucket carries {n_leases} leases, over "
+                                f"the {MAX_BUCKET_LEASES} wire bound")
+        leases: "list[LeaseSnapshot]" = []
+        for _ in range(n_leases):
+            if offset + _ENTRY_XFER_LEASE.size > total:
+                raise ProtocolError("snapshot frame truncated in lease entry")
+            lease_id, granted, ttl_ms, host_len = \
+                _ENTRY_XFER_LEASE.unpack_from(view, offset)
+            offset += _ENTRY_XFER_LEASE.size
+            if offset + host_len + _HOLDER_PORT.size > total:
+                raise ProtocolError("snapshot frame truncated in lease holder")
+            holder: "tuple | None" = None
+            host = ""
+            if host_len:
+                try:
+                    host = str(view[offset:offset + host_len], "utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(
+                        f"holder host is not valid UTF-8: {exc}") from exc
+            offset += host_len
+            (port,) = _HOLDER_PORT.unpack_from(view, offset)
+            offset += _HOLDER_PORT.size
+            if host_len:
+                if not (0 < port < 65536):
+                    raise ProtocolError(
+                        f"holder port out of range 1..65535: {port}")
+                holder = (host, port)
+            elif port:
+                raise ProtocolError("holder port without a holder host")
+            _check_ttl(ttl_ms)
+            leases.append(LeaseSnapshot(lease_id, granted, ttl_ms / 1000.0,
+                                        holder=holder))
+        buckets.append(BucketSnapshot(key, capacity, refill_rate, credit,
+                                      leases=tuple(leases)))
+    if offset != total:
+        raise ProtocolError(
+            f"snapshot frame count {count} disagrees with payload: "
+            f"{total - offset} trailing bytes")
+    chunk = SnapshotChunk(xfer_id, epoch, seq, chunk_total, tuple(buckets))
+    chunk.validate()
+    return chunk
+
+
+def _decode_xfer_acks(view: memoryview, offset: int, total: int,
+                      count: int) -> "list[XferAck]":
+    """Decode an XFER_ACK body (fixed-size entries)."""
+    if total != offset + count * _ENTRY_ACK.size:
+        raise ProtocolError(
+            f"ack frame length {total} disagrees with count {count}")
+    acks: "list[XferAck]" = []
+    for _ in range(count):
+        xfer_id, epoch, seq = _ENTRY_ACK.unpack_from(view, offset)
+        offset += _ENTRY_ACK.size
+        ack = XferAck(xfer_id, epoch, seq)
+        ack.validate()
+        acks.append(ack)
+    return acks
+
+
+def _decode_topology(view: memoryview, offset: int, total: int,
+                     count: int) -> TopologyUpdate:
+    """Decode a TOPOLOGY body; ``count`` is the backend-address count."""
+    if offset + _TOPOLOGY_HEAD.size > total:
+        raise ProtocolError("topology frame truncated in head")
+    epoch, phase = _TOPOLOGY_HEAD.unpack_from(view, offset)
+    offset += _TOPOLOGY_HEAD.size
+    backends: "list[tuple[str, int]]" = []
+    for _ in range(count):
+        if offset + _ENTRY_ADDR_HOST.size > total:
+            raise ProtocolError("topology frame truncated in address header")
+        (host_len,) = _ENTRY_ADDR_HOST.unpack_from(view, offset)
+        offset += _ENTRY_ADDR_HOST.size
+        if host_len == 0:
+            raise ProtocolError("topology backend must name a host")
+        if offset + host_len + _ENTRY_ADDR_PORT.size > total:
+            raise ProtocolError("topology frame truncated in address body")
+        try:
+            host = str(view[offset:offset + host_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"backend host is not valid UTF-8: {exc}") \
+                from exc
+        offset += host_len
+        (port,) = _ENTRY_ADDR_PORT.unpack_from(view, offset)
+        offset += _ENTRY_ADDR_PORT.size
+        backends.append((host, port))
+    if offset != total:
+        raise ProtocolError(
+            f"topology frame count {count} disagrees with payload: "
+            f"{total - offset} trailing bytes")
+    update = TopologyUpdate(epoch, phase, tuple(backends))
+    update.validate()
+    return update
 
 
 def decode_any(datagram: bytes) -> "tuple[int, list]":

@@ -37,6 +37,7 @@ from repro.runtime.client import QoSClient
 from repro.runtime.http_router import RequestRouterDaemon
 from repro.runtime.loadbalancer import GatewayLoadBalancerDaemon
 from repro.runtime.procplane import ProcPlaneNode
+from repro.runtime.reshard import NodeHandle, ReshardCoordinator, ReshardReport
 from repro.runtime.udp_server import QoSServerDaemon
 
 __all__ = ["LocalCluster"]
@@ -70,6 +71,8 @@ class LocalCluster:
         self.routers: list[RequestRouterDaemon] = []
         self.load_balancer: Optional[GatewayLoadBalancerDaemon] = None
         self._running = False
+        self._coordinator: Optional[ReshardCoordinator] = None
+        self._node_seq = n_qos_servers     # names for nodes added live
 
     @property
     def processes(self) -> int:
@@ -104,6 +107,13 @@ class LocalCluster:
         self.load_balancer = GatewayLoadBalancerDaemon(
             [r.url for r in self.routers],
             algorithm=self._lb_algorithm).start()
+        handles = ([self._node_handle(node) for node in self.qos_nodes]
+                   or [self._server_handle(s) for s in self.qos_servers])
+        self._coordinator = ReshardCoordinator(
+            self.routers, handles,
+            registry=self.routers[0].metrics if self.routers else None)
+        for router in self.routers:
+            router.reshard_control = self._reshard_control
         return self
 
     def _start_nodes(self) -> "list[tuple[str, int]]":
@@ -144,6 +154,121 @@ class LocalCluster:
         """Patch a restarted worker's new port into every router."""
         for router in self.routers:
             router.replace_backend(old_addr, new_addr)
+
+    # ------------------------------------------------------------------ #
+    # Live resharding (node join/leave without restart)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _server_handle(server: QoSServerDaemon) -> NodeHandle:
+        """Coordinator view of a single-process QoS daemon."""
+        return NodeHandle(
+            name=server.name,
+            addresses=(tuple(server.address),),
+            snapshot=server.controller.snapshot,
+            stop=server.stop,
+        )
+
+    @staticmethod
+    def _node_handle(node: ProcPlaneNode) -> NodeHandle:
+        """Coordinator view of a multi-process node (all workers)."""
+        def snapshot():
+            return [snap for _, snaps in sorted(
+                node.bucket_snapshots().items()) for snap in snaps]
+        return NodeHandle(
+            name=node.name,
+            addresses=tuple(tuple(a) for a in node.backend_addresses()),
+            snapshot=snapshot,
+            stop=node.stop,
+        )
+
+    def reshard_add(self) -> ReshardReport:
+        """Boot one more QoS node and migrate its share of keys to it."""
+        if self._coordinator is None:
+            raise RuntimeError("cluster is not started")
+        name = f"qos-{self._node_seq}"
+        self._node_seq += 1
+        if self.processes > 1:
+            shard_total = sum(n.n_workers for n in self.qos_nodes)
+            rules = tuple(self.rules.load_all().values())
+            node = ProcPlaneNode(
+                rules, config=self._server_config,
+                plane=self._plane_config, name=name,
+                shard_base=shard_total,
+                shard_total=shard_total + self.processes,
+                on_remap=self._on_worker_remap)
+            node.start()
+            try:
+                report = self._coordinator.add_node(self._node_handle(node))
+            except Exception:
+                node.stop()
+                raise
+            self.qos_nodes.append(node)
+            self._retarget_procplane()
+        else:
+            server = QoSServerDaemon(self.rules, config=self._server_config,
+                                     name=name).start()
+            try:
+                report = self._coordinator.add_node(
+                    self._server_handle(server))
+            except Exception:
+                server.stop()
+                raise
+            self.qos_servers.append(server)
+        return report
+
+    def reshard_remove(self, name: str, *, dead: bool = False) \
+            -> ReshardReport:
+        """Drain one QoS node out of the cluster and stop it.
+
+        ``dead=True`` marks it already crashed: it is excluded from the
+        topology broadcast and not snapshotted — its un-checkpointed
+        credit (at most one refill interval's worth once the remap
+        commits) is lost, and the remaining nodes absorb its keys cold.
+        """
+        if self._coordinator is None:
+            raise RuntimeError("cluster is not started")
+        report = self._coordinator.remove_node(name, dead=dead)
+        self.qos_servers = [s for s in self.qos_servers if s.name != name]
+        self.qos_nodes = [n for n in self.qos_nodes if n.name != name]
+        self._retarget_procplane()
+        return report
+
+    def _retarget_procplane(self) -> None:
+        """Renumber surviving workers after the node list changed.
+
+        The routers hash over the concatenated backend list, so each
+        node's workers occupy the global shard range at the node's
+        cumulative position.  Advisory only — a worker decides any key
+        handed to it — so retargeting after the commit is safe.
+        """
+        total = sum(node.n_workers for node in self.qos_nodes)
+        base = 0
+        for node in self.qos_nodes:
+            node.retarget_shards(base, total)
+            base += node.n_workers
+
+    def topology(self) -> dict:
+        """The committed cluster topology (epoch, backends, nodes)."""
+        if self._coordinator is None:
+            raise RuntimeError("cluster is not started")
+        return self._coordinator.status()
+
+    def _reshard_control(self, payload: dict) -> dict:
+        """``POST /topology`` dispatcher (wired into every router)."""
+        action = payload.get("action")
+        if action == "status":
+            return self.topology()
+        if action == "add":
+            return self.reshard_add().as_dict()
+        if action == "remove":
+            name = payload.get("node")
+            if not isinstance(name, str) or not name:
+                raise ValueError('remove needs a "node" name')
+            return self.reshard_remove(
+                name, dead=bool(payload.get("dead", False))).as_dict()
+        raise ValueError(f"unknown action {action!r}; "
+                         'use "add", "remove" or "status"')
 
     def put_rule(self, rule) -> None:
         """Write a rule to the database and push it to worker nodes."""

@@ -159,6 +159,22 @@ class RequestRouterDaemon:
         self._m_auto_thread = self.metrics.counter(
             "janus_router_auto_thread_total",
             "Auto wire-mode calls routed over the blocking path", **labels)
+        #: Committed topology epoch (0 until the first live reshard) and
+        #: the number of backend-map changes applied, both exported.
+        self.topology_epoch = 0
+        self.remap_total = 0
+        self.metrics.counter(
+            "janus_router_remap_total",
+            "Backend-map changes applied (restores and reshards)",
+            fn=lambda: self.remap_total, **labels)
+        self.metrics.gauge(
+            "janus_router_topology_epoch",
+            "Committed reshard topology epoch",
+            fn=lambda: self.topology_epoch, **labels)
+        #: ``POST /topology`` handler injected by the cluster supervisor
+        #: (``{"action": "add"|"remove"|"status", ...} -> dict``); the
+        #: endpoint answers 404 until something wires it.
+        self.reshard_control: "Optional[Callable[[dict], dict]]" = None
         #: Requests currently inside an exchange — the load signal the
         #: "auto" mode switches on.  GIL-atomic +=/-= suffices.
         self._inflight = 0
@@ -223,6 +239,19 @@ class RequestRouterDaemon:
                     self.end_headers()
                     self.wfile.write(payload)
                     return
+                if parsed.path == "/topology":
+                    body = router.topology()
+                    control = router.reshard_control
+                    if control is not None:
+                        # Merge the coordinator's view (node names — what
+                        # ``reshard remove`` needs — and reshard counters)
+                        # under the router's own committed map.
+                        try:
+                            body = {**control({"action": "status"}), **body}
+                        except Exception:   # noqa: BLE001 (view is best-effort)
+                            pass
+                    self._reply(200, body)
+                    return
                 if parsed.path == "/flight":
                     recorder = global_flight_recorder()
                     self._reply(200, {"recorded": recorder.recorded,
@@ -277,7 +306,28 @@ class RequestRouterDaemon:
                 self._reply(200, body)
 
             def do_POST(self):                     # noqa: N802 (stdlib API)
-                if urlparse(self.path).path != "/qos/batch":
+                path = urlparse(self.path).path
+                if path == "/topology":
+                    control = router.reshard_control
+                    if control is None:
+                        self._reply(404, {"error": "no reshard control"
+                                          " wired to this router"})
+                        return
+                    try:
+                        length = int(self.headers.get("Content-Length", "0"))
+                        payload = json.loads(self.rfile.read(length))
+                    except (ValueError, json.JSONDecodeError):
+                        self._reply(400, {"error": "bad JSON body"})
+                        return
+                    if not isinstance(payload, dict):
+                        self._reply(400, {"error": "body must be an object"})
+                        return
+                    try:
+                        self._reply(200, control(payload))
+                    except Exception as exc:    # noqa: BLE001 (operator API)
+                        self._reply(409, {"error": str(exc)})
+                    return
+                if path != "/qos/batch":
                     self._reply(404, {"error": "not found"})
                     return
                 try:
@@ -448,7 +498,57 @@ class RequestRouterDaemon:
         """The paper's routing function (Fig. 2)."""
         if self._sole_backend is not None:
             return self._sole_backend
-        return self.qos_servers[crc32_router(key, len(self.qos_servers))]
+        # Single read: apply_topology swaps the list atomically, and
+        # hashing against one snapshot keeps index and length coherent
+        # while the cluster shrinks.
+        servers = self.qos_servers
+        return servers[crc32_router(key, len(servers))]
+
+    def topology(self) -> dict:
+        """The committed partition map (served on ``GET /topology``)."""
+        return {
+            "epoch": self.topology_epoch,
+            "backends": [list(addr) for addr in self.qos_servers],
+            "remap_total": self.remap_total,
+        }
+
+    def apply_topology(self, epoch: int,
+                       backends: "Sequence[tuple[str, int]]") -> bool:
+        """Cut this router over to a resharded backend map.
+
+        Called by the reshard coordinator between the snapshot push and
+        the COMMIT broadcast.  Channels to new backends open first, the
+        list swaps atomically (every in-flight :meth:`route` call holds
+        its own snapshot), channels to removed backends retire (their
+        in-flight exchanges resolve through timers), and router-held
+        leases for moved keys are dropped without returning the balance
+        — the transferred bucket ledger keeps the debit, preserving the
+        over-admission bound.
+        """
+        if epoch <= self.topology_epoch:
+            return False
+        new_servers = [tuple(addr) for addr in backends]
+        if not new_servers:
+            raise ValueError("topology needs at least one backend")
+        old_servers = {tuple(addr) for addr in self.qos_servers}
+        if self._channels is not None:
+            for addr in new_servers:
+                if addr not in old_servers:
+                    self._channels.add_backend(addr)
+        self.qos_servers = new_servers
+        self._sole_backend = (new_servers[0]
+                              if len(new_servers) == 1 else None)
+        self.topology_epoch = epoch
+        self.remap_total += 1
+        if self._channels is not None:
+            for addr in old_servers.difference(new_servers):
+                self._channels.retire_backend(addr)
+        dropped = (self._lease_mgr.drop_moved(self.route)
+                   if self._lease_mgr is not None else 0)
+        global_flight_recorder().note(
+            "router.remap", router=self.name, epoch=epoch,
+            backends=len(new_servers), leases_dropped=dropped)
+        return True
 
     def replace_backend(self, old_addr: tuple[str, int],
                         new_addr: tuple[str, int]) -> bool:
@@ -467,8 +567,10 @@ class RequestRouterDaemon:
                 changed = True
         if self._sole_backend == old_t:
             self._sole_backend = new_t
-        if changed and self._channels is not None:
-            self._channels.replace_backend(old_t, new_t)
+        if changed:
+            self.remap_total += 1
+            if self._channels is not None:
+                self._channels.replace_backend(old_t, new_t)
         return changed
 
     def _use_channel(self, n_items: int) -> bool:

@@ -370,6 +370,27 @@ class LeaseManager:
         # ledger entry died with it.  Dropping the balance errs toward
         # under-admission, the safe side.
 
+    def drop_moved(self, route) -> int:
+        """Drop every lease whose key no longer routes to its backend.
+
+        Called by :meth:`RequestRouterDaemon.apply_topology` at the
+        reshard cutover: ``route`` is the router's *new* partition
+        function.  A moved key's lease was minted by the old owner,
+        whose transferred ledger entry travelled to the new owner
+        inside the bucket snapshot — so the debit survives and the
+        balance must NOT be returned (same under-admission-safe
+        accounting as :meth:`_on_revoke`; returning it to the new
+        owner would mint credit the snapshot already carries).
+        """
+        dropped = 0
+        with self._lock:
+            for key in [key for key, lease in self._leases.items()
+                        if tuple(route(key)) != tuple(lease.backend)]:
+                del self._leases[key]
+                dropped += 1
+            self.revoked += dropped
+        return dropped
+
     def _on_ttl(self, lease: RouterLease) -> None:
         """Deadline callback: return the remainder, renew if still hot."""
         now = self._clock()

@@ -23,7 +23,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 from multiprocessing.connection import wait as _wait_connections
 from typing import Callable, Iterable, Optional
@@ -462,6 +462,37 @@ class ProcPlaneNode:
         for handle in self._handles:
             if not handle.exited and not handle.failed:
                 handle.outbox.append(("rules", fresh))
+
+    def retarget_shards(self, shard_base: int, shard_total: int) -> None:
+        """Renumber this node's workers inside a new global shard space.
+
+        A live reshard changes the cluster-wide shard count, so every
+        surviving node's workers must re-learn their global index for
+        the advisory ``owns()`` test to keep matching the routers' new
+        CRC32 partitioner.  Ownership is advisory (any worker decides
+        any key handed to it), so brief skew while the control messages
+        propagate degrades nothing — it only mis-colors ``owns()``
+        scans until the message lands.
+        """
+        if shard_base < 0 or shard_base + self.n_workers > shard_total:
+            raise ConfigurationError(
+                f"shard range [{shard_base}, {shard_base + self.n_workers})"
+                f" does not fit in {shard_total} shards")
+        if self.plane.fanin == "reuseport" and (
+                shard_base != 0 or shard_total != self.n_workers):
+            raise ConfigurationError(
+                "reuseport fan-in requires the node to own the whole shard"
+                " space; it cannot be retargeted to a partial range")
+        self.shard_base = shard_base
+        self.shard_total = shard_total
+        for handle in self._handles:
+            handle.spec = replace(
+                handle.spec,
+                shard_index=shard_base + handle.local_index,
+                n_shards=shard_total)
+            if not handle.exited and not handle.failed:
+                handle.outbox.append(
+                    ("shard_range", handle.spec.shard_index, shard_total))
 
     # ------------------------------------------------------------------ #
     # RPC + aggregation

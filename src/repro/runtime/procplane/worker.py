@@ -145,6 +145,11 @@ class ShardWorkerDaemon(QoSServerDaemon):
             "janus_worker_fanin_frames_total",
             "Datagrams received on the shared SO_REUSEPORT port",
             fn=lambda: self.fanin_frames, **labels)
+        # Live shard range: starts at the spec's values, retargeted by a
+        # supervisor ("shard_range", ...) control message when a reshard
+        # renumbers the global shard space.
+        self._shard_index = spec.shard_index
+        self._n_shards = spec.n_shards
         if spec.fanin == "reuseport":
             sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
@@ -156,6 +161,10 @@ class ShardWorkerDaemon(QoSServerDaemon):
             # socket only accepts datagrams whose source address is the
             # peer it connected to.
             self.reply_sock = sock
+            # Routers aim at the shared fan-in address, so topology
+            # ownership during a reshard is judged against it too
+            # (node-granularity moves in reuseport mode).
+            self.reshard.address = tuple(self.fanin_address)
 
     # ------------------------------------------------------------------ #
 
@@ -170,6 +179,20 @@ class ShardWorkerDaemon(QoSServerDaemon):
     def set_sibling_ports(self, ports: Sequence[int]) -> None:
         """Install the port map (indexed by global shard index)."""
         self._sibling_ports = list(ports)
+
+    def set_shard_range(self, shard_index: int, n_shards: int) -> None:
+        """Retarget this worker's global shard range (live reshard).
+
+        A topology change renumbers the global shard space (``N*T`` to
+        ``M*T``); the supervisor pushes each surviving worker its new
+        index so the advisory ownership test, the fan-in split and rule
+        revocation scans agree with the routers' new map.  Ownership is
+        advisory (the controller still decides any key it is handed), so
+        a brief skew during the rollout only costs extra forwards.
+        """
+        self._shard_index = shard_index
+        self._n_shards = n_shards
+        self.controller.shard_range = (shard_index, n_shards)
 
     # ------------------------------------------------------------------ #
 
@@ -215,8 +238,8 @@ class ShardWorkerDaemon(QoSServerDaemon):
         except ProtocolError:
             self.malformed_packets += 1
             return
-        n_shards = self.spec.n_shards
-        my_index = self.spec.shard_index
+        n_shards = self._n_shards
+        my_index = self._shard_index
         if messages and type(messages[0]) is LeaseRequest:
             # Lease frames route by key owner exactly like requests; the
             # owning shard debits its own bucket and replies (grant or
@@ -262,8 +285,8 @@ class ShardWorkerDaemon(QoSServerDaemon):
 
     def _split_lease_frame(self, messages, addr, trace_id: int) -> None:
         """Route one LEASE_REQ frame's entries to their owning shards."""
-        n_shards = self.spec.n_shards
-        my_index = self.spec.shard_index
+        n_shards = self._n_shards
+        my_index = self._shard_index
         mine: "list[LeaseRequest]" = []
         other: "dict[int, list[LeaseRequest]]" = {}
         for message in messages:
@@ -322,6 +345,8 @@ def _handle_control(daemon: ShardWorkerDaemon, source: InMemoryRuleSource,
         for rule in message[1]:
             source.put_rule(rule)
         daemon.controller.sync_rules()
+    elif kind == "shard_range":
+        daemon.set_shard_range(message[1], message[2])
     elif kind == "rpc":
         _, request_id, what, arg = message
         _safe_send(conn, ("rpc", request_id, _serve_rpc(daemon, what, arg)))

@@ -1,0 +1,55 @@
+"""Live resharding plane: node join/leave with warm bucket-state migration.
+
+The paper pins the partition map at a static ``CRC32(key) mod N``
+(Fig. 2); this package makes ``N`` a live variable.  A topology change
+is an epoch-numbered two-phase remap:
+
+1. **PREPARE** — the coordinator announces the new map to every QoS
+   backend (protocol-v2 TOPOLOGY frame).  Old owners open a *transfer
+   window*: keys whose new owner differs get degraded default replies
+   (the paper's §III-B degradation model) instead of bucket decisions,
+   so no moved credit is spent after the snapshot is taken.
+2. **Transfer** — each moved key's warm :class:`BucketSnapshot` —
+   including the live lease ledger — travels to its new owner in
+   SNAPSHOT_XFER chunks sized under the datagram limit, acknowledged
+   per chunk and retried off a timer wheel.
+3. **COMMIT** — routers atomically swap their backend list
+   (:meth:`RequestRouterDaemon.apply_topology`), drop router-held
+   leases for moved keys (the transferred ledger keeps the debits, so
+   the over-admission bound is preserved), and the coordinator lifts
+   the old owners' freeze.
+
+Credit loss is bounded: after PREPARE is acknowledged the old owner
+makes no further decisions on moved keys, so the snapshot is exact and
+the only loss is the refill the moved buckets would have accrued during
+the transfer window — at most one refill interval for any window
+shorter than the interval (see ``DESIGN.md``, "Bounded credit loss").
+"""
+
+from repro.runtime.reshard.coordinator import (
+    NodeHandle,
+    ReshardCoordinator,
+    ReshardReport,
+)
+from repro.runtime.reshard.state import ReshardState
+from repro.runtime.reshard.topology import TopologyMap
+from repro.runtime.reshard.xfer import (
+    ReshardError,
+    SnapshotSender,
+    XferReport,
+    broadcast_topology,
+    chunk_snapshots,
+)
+
+__all__ = [
+    "NodeHandle",
+    "ReshardCoordinator",
+    "ReshardError",
+    "ReshardReport",
+    "ReshardState",
+    "SnapshotSender",
+    "TopologyMap",
+    "XferReport",
+    "broadcast_topology",
+    "chunk_snapshots",
+]

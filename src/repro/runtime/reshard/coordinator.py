@@ -1,0 +1,306 @@
+"""Reshard coordinator: drives the epoch-numbered two-phase remap.
+
+The coordinator owns the cluster's :class:`TopologyMap` and takes it
+from ``N`` to ``M`` live nodes:
+
+1. **PREPARE** the successor map to every backend (old and new) and
+   wait for acks — from this point the old owners default-reply moved
+   keys, so no moved credit is spent behind the snapshot's back.
+2. **Snapshot** each leaving/shrinking node's moved buckets (an
+   in-process call — the coordinator runs inside the cluster
+   supervisor) and **push** them to their new owners over
+   SNAPSHOT_XFER chunks with per-chunk ack + wheel retry.
+3. **Cut over** the routers (``apply_topology`` swaps the backend list
+   atomically and drops router-held leases for moved keys), then
+   **COMMIT** to every backend, lifting the freeze.
+
+Any ack or transfer failure before the cutover broadcasts ABORT and
+raises — the old map stays authoritative and the old owners resume
+normal service; a reshard is all-or-nothing below the commit point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.admission import BucketSnapshot
+from repro.core.protocol import (
+    TOPOLOGY_ABORT,
+    TOPOLOGY_COMMIT,
+    TOPOLOGY_PREPARE,
+    TopologyUpdate,
+)
+from repro.obs.recorder import global_flight_recorder
+from repro.runtime.reshard.topology import TopologyMap
+from repro.runtime.reshard.xfer import (
+    ReshardError,
+    SnapshotSender,
+    XferReport,
+    broadcast_topology,
+)
+
+__all__ = ["NodeHandle", "ReshardCoordinator", "ReshardReport",
+           "ReshardError"]
+
+
+@dataclass(frozen=True)
+class NodeHandle:
+    """One QoS node as the coordinator sees it.
+
+    ``addresses`` are the backend addresses this node contributes to
+    the partition map, in shard order — one for a single-process
+    daemon, one per worker for a multi-process node.  ``snapshot``
+    returns every resident bucket (with lease ledger); ``stop`` shuts
+    the node down after its keys have moved away.
+    """
+
+    name: str
+    addresses: "tuple[tuple[str, int], ...]"
+    snapshot: "Callable[[], Sequence[BucketSnapshot]]"
+    stop: "Callable[[], None]"
+
+
+@dataclass(slots=True)
+class ReshardReport:
+    """Outcome of one topology change."""
+
+    epoch: int
+    action: str
+    old_backends: int
+    new_backends: int
+    keys_moved: int = 0
+    keys_scanned: int = 0
+    chunks: int = 0
+    retries: int = 0
+    window_seconds: float = 0.0
+    duration: float = 0.0
+    transfers: "list[XferReport]" = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "action": self.action,
+            "old_backends": self.old_backends,
+            "new_backends": self.new_backends,
+            "keys_moved": self.keys_moved,
+            "keys_scanned": self.keys_scanned,
+            "chunks": self.chunks,
+            "retries": self.retries,
+            "window_seconds": self.window_seconds,
+            "duration": self.duration,
+            "transfers": [t.as_dict() for t in self.transfers],
+        }
+
+
+class ReshardCoordinator:
+    """Takes a live cluster from N to M QoS nodes, bounded credit loss."""
+
+    def __init__(self, routers: Sequence, nodes: "Sequence[NodeHandle]", *,
+                 registry=None, retry_timeout: float = 0.05,
+                 max_retries: int = 5, clock=time.monotonic):
+        self._routers = list(routers)
+        self._nodes: "list[NodeHandle]" = list(nodes)
+        self._retry_timeout = retry_timeout
+        self._max_retries = max_retries
+        self._clock = clock
+        self._xfer_ids = itertools.count(1)
+        self.map = TopologyMap(0, self._flatten(self._nodes))
+        self.keys_moved = 0
+        self.reshards_total = 0
+        self.reshards_failed = 0
+        self._xfer_seconds = None
+        if registry is not None:
+            registry.gauge(
+                "janus_reshard_epoch", "Committed topology epoch",
+                fn=lambda: self.map.epoch)
+            registry.counter(
+                "janus_reshard_keys_moved",
+                "Warm buckets migrated to a new owner",
+                fn=lambda: self.keys_moved)
+            registry.counter(
+                "janus_reshard_total", "Topology changes committed",
+                fn=lambda: self.reshards_total)
+            registry.counter(
+                "janus_reshard_failed_total",
+                "Topology changes aborted before commit",
+                fn=lambda: self.reshards_failed)
+            self._xfer_seconds = registry.histogram(
+                "janus_reshard_xfer_seconds",
+                "Wall-clock seconds per bucket-state transfer")
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _flatten(nodes: "Sequence[NodeHandle]") \
+            -> "tuple[tuple[str, int], ...]":
+        return tuple(addr for node in nodes for addr in node.addresses)
+
+    @property
+    def nodes(self) -> "tuple[NodeHandle, ...]":
+        return tuple(self._nodes)
+
+    def status(self) -> dict:
+        return {
+            "epoch": self.map.epoch,
+            "backends": [list(a) for a in self.map.backends],
+            "nodes": [{"name": n.name,
+                       "addresses": [list(a) for a in n.addresses]}
+                      for n in self._nodes],
+            "keys_moved": self.keys_moved,
+            "reshards_total": self.reshards_total,
+            "reshards_failed": self.reshards_failed,
+        }
+
+    # ------------------------------------------------------------------ #
+    # public operations
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: NodeHandle) -> ReshardReport:
+        """Join an already-running node; moves its share of keys to it."""
+        if any(existing.name == node.name for existing in self._nodes):
+            raise ReshardError(f"node {node.name!r} is already in the map")
+        new_nodes = self._nodes + [node]
+        report = self._reshard("add", new_nodes, leaving=())
+        return report
+
+    def remove_node(self, name: str, *, dead: bool = False) -> ReshardReport:
+        """Drain one node out of the map and stop it.
+
+        ``dead=True`` marks the node already crashed: it is neither
+        announced to nor snapshotted (its un-checkpointed credit is
+        lost — the sim mirror re-seeds a replacement from the last
+        snapshot instead, see ``repro.server.ha``).
+        """
+        leaving = [n for n in self._nodes if n.name == name]
+        if not leaving:
+            raise ReshardError(f"no node named {name!r} in the map")
+        survivors = [n for n in self._nodes if n.name != name]
+        if not survivors:
+            raise ReshardError("cannot remove the last QoS node")
+        report = self._reshard("remove", survivors,
+                               leaving=tuple(leaving), dead=dead)
+        for node in leaving:
+            if not dead:
+                node.stop()
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _broadcast(self, targets, update: TopologyUpdate) -> "set":
+        return broadcast_topology(
+            targets, update, retry_timeout=self._retry_timeout,
+            max_retries=self._max_retries, clock=self._clock)
+
+    def _reshard(self, action: str, new_nodes: "list[NodeHandle]",
+                 leaving: "tuple[NodeHandle, ...]",
+                 dead: bool = False) -> ReshardReport:
+        old_map = self.map
+        new_map = TopologyMap(old_map.epoch + 1, self._flatten(new_nodes))
+        recorder = global_flight_recorder()
+        started = self._clock()
+        report = ReshardReport(epoch=new_map.epoch, action=action,
+                               old_backends=len(old_map),
+                               new_backends=len(new_map))
+        dead_addrs = (set(self._flatten(leaving)) if dead else set())
+        # Every live backend of either map learns the announcement; a
+        # dead node is unreachable and excluded (its state is lost).
+        live_targets = sorted(
+            (set(old_map.backends) | set(new_map.backends)) - dead_addrs)
+        recorder.note("reshard.prepare", epoch=new_map.epoch, action=action,
+                      backends=len(new_map))
+        prepare = TopologyUpdate(new_map.epoch, TOPOLOGY_PREPARE,
+                                 new_map.backends)
+        window_open = self._clock()
+        unacked = self._broadcast(live_targets, prepare)
+        if unacked:
+            self._abort(live_targets, new_map, recorder,
+                        f"PREPARE unacked by {sorted(unacked)}")
+        # Freeze is now active on every old owner: snapshots taken from
+        # here are exact (no further spend on moved keys).
+        try:
+            moves = self._collect_moves(old_map, new_map, dead_addrs, report)
+            self._push_moves(moves, new_map, report)
+        except ReshardError as exc:
+            self._abort(live_targets, new_map, recorder, str(exc))
+        except Exception as exc:
+            # Any failure below the cutover — an encode error, a dead
+            # snapshot callback — must still broadcast ABORT, or the old
+            # owners stay frozen and default-reply forever.
+            self._abort(live_targets, new_map, recorder,
+                        f"{type(exc).__name__}: {exc}")
+        # Cut the routers over, then lift the freeze.  Stragglers that
+        # reach an old owner between these two steps still get default
+        # replies, never stale bucket decisions.
+        for router in self._routers:
+            router.apply_topology(new_map.epoch, new_map.backends)
+        commit = TopologyUpdate(new_map.epoch, TOPOLOGY_COMMIT,
+                                new_map.backends)
+        self._broadcast(live_targets, commit)
+        report.window_seconds = self._clock() - window_open
+        self.map = new_map
+        self._nodes = list(new_nodes)
+        self.keys_moved += report.keys_moved
+        self.reshards_total += 1
+        report.duration = self._clock() - started
+        recorder.note("reshard.commit", epoch=new_map.epoch, action=action,
+                      keys_moved=report.keys_moved,
+                      window_seconds=round(report.window_seconds, 6))
+        return report
+
+    def _abort(self, targets, new_map: TopologyMap, recorder,
+               reason: str) -> None:
+        recorder.note("reshard.abort", epoch=new_map.epoch, reason=reason)
+        self.reshards_failed += 1
+        self._broadcast(targets, TopologyUpdate(
+            new_map.epoch, TOPOLOGY_ABORT, new_map.backends))
+        raise ReshardError(f"reshard to epoch {new_map.epoch} aborted: "
+                           f"{reason}")
+
+    def _collect_moves(self, old_map: TopologyMap, new_map: TopologyMap,
+                       dead_addrs: set, report: ReshardReport) \
+            -> "dict[tuple[str, int], list[BucketSnapshot]]":
+        """Snapshot every live node; group moved buckets by new owner."""
+        moves: "dict[tuple[str, int], list[BucketSnapshot]]" = {}
+        for node in self._nodes:
+            if set(node.addresses) & dead_addrs:
+                continue
+            owned = set(node.addresses)
+            for snap in node.snapshot():
+                report.keys_scanned += 1
+                if snap.capacity <= 0:
+                    # A zero-capacity bucket is a pure deny rule: it can
+                    # hold neither credit nor leases, so there is nothing
+                    # to migrate (and the wire refuses to carry it).  The
+                    # new owner re-materializes it from the rule on first
+                    # touch.
+                    continue
+                source = old_map.owner(snap.key)
+                if source not in owned:
+                    continue    # stale resident bucket from an older epoch
+                target = new_map.owner(snap.key)
+                if target == source:
+                    continue
+                moves.setdefault(target, []).append(snap)
+        return moves
+
+    def _push_moves(self, moves, new_map: TopologyMap,
+                    report: ReshardReport) -> None:
+        sender = SnapshotSender(retry_timeout=self._retry_timeout,
+                                max_retries=self._max_retries,
+                                clock=self._clock)
+        for target, buckets in sorted(moves.items()):
+            xfer = sender.push(target, buckets, epoch=new_map.epoch,
+                               xfer_id=next(self._xfer_ids))
+            report.transfers.append(xfer)
+            report.chunks += xfer.chunks
+            report.retries += xfer.retries
+            if self._xfer_seconds is not None:
+                self._xfer_seconds.record(xfer.duration)
+            if not xfer.complete:
+                raise ReshardError(
+                    f"transfer {xfer.xfer_id} to {target} incomplete: "
+                    f"chunks {list(xfer.unacked)} unacked")
+            report.keys_moved += xfer.keys

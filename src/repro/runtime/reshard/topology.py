@@ -1,0 +1,81 @@
+"""Versioned topology map: epoch-numbered ``mod N -> mod M`` ownership.
+
+The map is the single source of truth for key ownership: position in
+the ordered backend list is the partition index, and a key's owner is
+``backends[crc32(key) % len(backends)]`` — the same function the
+routers (:func:`repro.core.hashing.crc32_router`) and the procplane's
+interleaved shard space use, so one map covers both single-process
+nodes (one address each) and multi-process nodes (one address per
+worker, in global shard order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import crc32_of
+
+__all__ = ["Address", "TopologyMap"]
+
+Address = "tuple[str, int]"
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyMap:
+    """One immutable epoch of the cluster's partition map.
+
+    Epoch 0 is the boot map (never resharded); every topology change
+    produces a successor map with ``epoch + 1``.  Maps are compared by
+    epoch only — a receiver holding epoch ``e`` ignores announcements
+    with epoch ``<= e`` (idempotent re-delivery).
+    """
+
+    epoch: int
+    backends: "tuple[tuple[str, int], ...]"
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {self.epoch}")
+        if not self.backends:
+            raise ConfigurationError("topology map needs at least one backend")
+        if len(set(self.backends)) != len(self.backends):
+            raise ConfigurationError(
+                f"topology map has duplicate backends: {self.backends}")
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    # ------------------------------------------------------------------ #
+
+    def owner_index(self, key: str) -> int:
+        """Partition index of ``key`` under this map (paper Fig. 2)."""
+        return crc32_of(key) % len(self.backends)
+
+    def owner(self, key: str) -> "tuple[str, int]":
+        """Owning backend address of ``key`` under this map."""
+        return self.backends[crc32_of(key) % len(self.backends)]
+
+    def moved_to(self, successor: "TopologyMap", key: str) \
+            -> "tuple[str, int] | None":
+        """Where ``key`` moves under ``successor``; ``None`` if it stays."""
+        target = successor.owner(key)
+        return None if target == self.owner(key) else target
+
+    # ------------------------------------------------------------------ #
+
+    def grown(self, addresses: "Iterable[tuple[str, int]]") -> "TopologyMap":
+        """The successor map with ``addresses`` appended (node join)."""
+        added = tuple(tuple(a) for a in addresses)
+        return TopologyMap(self.epoch + 1, self.backends + added)
+
+    def shrunk(self, addresses: "Iterable[tuple[str, int]]") -> "TopologyMap":
+        """The successor map with ``addresses`` removed (node leave)."""
+        gone = {tuple(a) for a in addresses}
+        missing = gone - set(self.backends)
+        if missing:
+            raise ConfigurationError(
+                f"cannot remove addresses not in the map: {sorted(missing)}")
+        kept = tuple(b for b in self.backends if b not in gone)
+        return TopologyMap(self.epoch + 1, kept)

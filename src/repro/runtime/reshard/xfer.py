@@ -1,0 +1,281 @@
+"""Warm bucket-state transfer over protocol-v2 SNAPSHOT_XFER frames.
+
+The sender side of the reshard plane: pack a set of
+:class:`~repro.core.admission.BucketSnapshot` into chunks that fit one
+UDP datagram each, push them to the new owner, and retransmit unacked
+chunks off a :class:`~repro.runtime.udp_channel.TimerWheel` until every
+chunk is acknowledged or the retry budget is spent.  The receiver side
+(:class:`~repro.runtime.reshard.state.ReshardState`) deduplicates
+``(xfer_id, seq)``, so a retransmit racing a lost ack never restores —
+and therefore never double-credits — the same chunk twice.
+
+TOPOLOGY announcements use the same ack/retry discipline via
+:func:`broadcast_topology`: a backend acks a TOPOLOGY frame with the
+reserved xfer id :data:`~repro.core.protocol.XFER_ACK_TOPOLOGY`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.admission import BucketSnapshot
+from repro.core.errors import JanusError, ProtocolError
+from repro.core.protocol import (
+    MAX_DATAGRAM_BYTES,
+    MAX_FRAME_MESSAGES,
+    MAX_XFER_CHUNKS,
+    SNAPSHOT_XFER_HEAD_BYTES,
+    XFER_ACK_TOPOLOGY,
+    SnapshotChunk,
+    TopologyUpdate,
+    XferAck,
+    decode_any_traced,
+    encode_snapshot_xfer_frame,
+    encode_topology_frame,
+    snapshot_entry_size,
+)
+from repro.runtime.udp_channel import TimerWheel
+
+__all__ = ["ReshardError", "SnapshotSender", "XferReport",
+           "broadcast_topology", "chunk_snapshots"]
+
+#: Chunk byte budget: leave the same slack under the datagram limit as
+#: the router channel's frame budget, for envelope headroom.
+_CHUNK_BYTE_BUDGET = MAX_DATAGRAM_BYTES - 512
+
+#: Fixed per-chunk overhead: v2 header + chunk head (untraced frames).
+_CHUNK_OVERHEAD = 6 + SNAPSHOT_XFER_HEAD_BYTES
+
+
+class ReshardError(JanusError):
+    """A topology change could not complete (transfer or ack failure)."""
+
+
+def chunk_snapshots(buckets: "Sequence[BucketSnapshot]", xfer_id: int,
+                    epoch: int,
+                    budget: int = _CHUNK_BYTE_BUDGET) -> "list[SnapshotChunk]":
+    """Pack bucket snapshots into datagram-sized SNAPSHOT_XFER chunks.
+
+    Greedy first-fit in input order: a chunk closes when the next entry
+    would push it past ``budget`` bytes or :data:`MAX_FRAME_MESSAGES`
+    entries.  A single bucket whose encoded entry exceeds the budget
+    (a pathological lease ledger) is a :class:`ProtocolError` — it could
+    never ride one datagram.
+    """
+    groups: "list[list[BucketSnapshot]]" = []
+    current: "list[BucketSnapshot]" = []
+    size = _CHUNK_OVERHEAD
+    for snap in buckets:
+        entry = snapshot_entry_size(snap)
+        if _CHUNK_OVERHEAD + entry > budget:
+            raise ProtocolError(
+                f"bucket snapshot for key {snap.key!r} encodes to {entry} "
+                f"bytes, over the {budget - _CHUNK_OVERHEAD}-byte chunk "
+                f"budget")
+        if current and (size + entry > budget
+                        or len(current) >= MAX_FRAME_MESSAGES):
+            groups.append(current)
+            current = []
+            size = _CHUNK_OVERHEAD
+        current.append(snap)
+        size += entry
+    if current:
+        groups.append(current)
+    total = len(groups)
+    if total > MAX_XFER_CHUNKS:
+        raise ProtocolError(f"transfer needs {total} chunks, over the "
+                            f"{MAX_XFER_CHUNKS} chunk bound")
+    return [SnapshotChunk(xfer_id, epoch, seq, total, tuple(group))
+            for seq, group in enumerate(groups)]
+
+
+@dataclass(slots=True)
+class XferReport:
+    """Outcome of one transfer (or one topology broadcast)."""
+
+    target: "tuple[str, int]"
+    epoch: int
+    xfer_id: int
+    keys: int = 0
+    chunks: int = 0
+    bytes_sent: int = 0
+    retries: int = 0
+    duration: float = 0.0
+    complete: bool = False
+    #: Chunk seqs never acknowledged (empty when ``complete``).
+    unacked: "tuple[int, ...]" = field(default=())
+
+    def as_dict(self) -> dict:
+        return {
+            "target": list(self.target),
+            "epoch": self.epoch,
+            "xfer_id": self.xfer_id,
+            "keys": self.keys,
+            "chunks": self.chunks,
+            "bytes_sent": self.bytes_sent,
+            "retries": self.retries,
+            "duration": self.duration,
+            "complete": self.complete,
+            "unacked": list(self.unacked),
+        }
+
+
+class _AckedSendLoop:
+    """Shared send/ack/retry engine for chunks and topology frames.
+
+    One ephemeral UDP socket, a payload table keyed by an opaque token,
+    and a timer wheel arming one retransmission deadline per unacked
+    payload.  The loop is synchronous — reshard control traffic is rare
+    and latency-tolerant, so it needs no event thread of its own.
+    """
+
+    def __init__(self, retry_timeout: float, max_retries: int,
+                 tick: float, clock=time.monotonic):
+        self._retry_timeout = retry_timeout
+        self._max_retries = max_retries
+        self._clock = clock
+        slots = max(64, int(2 * retry_timeout / tick) + 2)
+        self._wheel = TimerWheel(tick, slots=slots)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.settimeout(min(tick, retry_timeout) or 0.005)
+        self.retries = 0
+        self.bytes_sent = 0
+
+    def run(self, payloads: "dict[object, tuple[bytes, tuple[str, int]]]",
+            match) -> "set[object]":
+        """Send every payload until acked or retries exhaust.
+
+        ``match(ack, source_addr)`` maps a decoded :class:`XferAck` to
+        the token it acknowledges (or ``None``).  Returns the set of
+        tokens that were never acknowledged.
+        """
+        attempts = {token: 0 for token in payloads}
+        unacked = set(payloads)
+        try:
+            now = self._clock()
+            for token in payloads:
+                self._transmit(token, payloads, attempts, now)
+            while unacked:
+                self._collect_acks(unacked, match)
+                now = self._clock()
+                for token in self._wheel.advance(now):
+                    if token not in unacked:
+                        continue
+                    if attempts[token] > self._max_retries:
+                        return unacked
+                    self.retries += 1
+                    self._transmit(token, payloads, attempts, now)
+            return unacked
+        finally:
+            self._sock.close()
+
+    def _transmit(self, token, payloads, attempts, now: float) -> None:
+        payload, target = payloads[token]
+        attempts[token] += 1
+        try:
+            self._sock.sendto(payload, target)
+            self.bytes_sent += len(payload)
+        except OSError:
+            pass        # retried off the wheel like a lost datagram
+        self._wheel.schedule(now + self._retry_timeout, token)
+
+    def _collect_acks(self, unacked: set, match) -> None:
+        try:
+            data, addr = self._sock.recvfrom(MAX_DATAGRAM_BYTES)
+        except socket.timeout:
+            return
+        except OSError:
+            return
+        try:
+            _, _, messages = decode_any_traced(data)
+        except ProtocolError:
+            return
+        for message in messages:
+            if type(message) is not XferAck:
+                return      # homogeneous frames: not an ack frame at all
+            token = match(message, addr)
+            if token is not None:
+                unacked.discard(token)
+
+
+class SnapshotSender:
+    """Pushes one transfer's chunks to a new owner with ack + retry."""
+
+    def __init__(self, *, retry_timeout: float = 0.05, max_retries: int = 5,
+                 tick: float = 0.005, clock=time.monotonic):
+        if retry_timeout <= 0:
+            raise ReshardError(
+                f"retry_timeout must be > 0, got {retry_timeout}")
+        self._retry_timeout = retry_timeout
+        self._max_retries = max_retries
+        self._tick = tick
+        self._clock = clock
+
+    def push(self, target: "tuple[str, int]",
+             buckets: "Sequence[BucketSnapshot]", *, epoch: int,
+             xfer_id: int) -> XferReport:
+        """Transfer ``buckets`` to ``target``; blocks until done.
+
+        Every chunk is retransmitted up to ``max_retries`` times on its
+        own wheel deadline; the report's ``complete`` flag is only set
+        once *all* chunks are acknowledged.
+        """
+        target = tuple(target)
+        chunks = chunk_snapshots(buckets, xfer_id, epoch)
+        report = XferReport(target=target, epoch=epoch, xfer_id=xfer_id,
+                            keys=len(buckets), chunks=len(chunks))
+        if not chunks:
+            report.complete = True
+            return report
+        start = self._clock()
+        payloads = {
+            chunk.seq: (encode_snapshot_xfer_frame(chunk), target)
+            for chunk in chunks
+        }
+
+        def match(ack: XferAck, _addr) -> "Optional[int]":
+            if ack.xfer_id == xfer_id and ack.epoch == epoch:
+                return ack.seq
+            return None
+
+        loop = _AckedSendLoop(self._retry_timeout, self._max_retries,
+                              self._tick, self._clock)
+        unacked = loop.run(payloads, match)
+        report.bytes_sent = loop.bytes_sent
+        report.retries = loop.retries
+        report.duration = self._clock() - start
+        report.unacked = tuple(sorted(unacked))
+        report.complete = not unacked
+        return report
+
+
+def broadcast_topology(targets: "Sequence[tuple[str, int]]",
+                       update: TopologyUpdate, *,
+                       retry_timeout: float = 0.05, max_retries: int = 5,
+                       tick: float = 0.005,
+                       clock=time.monotonic) -> "set[tuple[str, int]]":
+    """Announce ``update`` to every target; returns the unacked set.
+
+    Each target acks with ``XferAck(XFER_ACK_TOPOLOGY, epoch, phase)``;
+    unacked targets get the frame retransmitted off the wheel like a
+    snapshot chunk.  An empty return set means every backend holds the
+    announcement.
+    """
+    targets = [tuple(t) for t in targets]
+    if not targets:
+        return set()
+    payload = encode_topology_frame(update)
+    payloads = {target: (payload, target) for target in targets}
+
+    def match(ack: XferAck, addr) -> "Optional[tuple[str, int]]":
+        if (ack.xfer_id == XFER_ACK_TOPOLOGY and ack.epoch == update.epoch
+                and ack.seq == update.phase):
+            source = tuple(addr)
+            return source if source in payloads else None
+        return None
+
+    loop = _AckedSendLoop(retry_timeout, max_retries, tick, clock)
+    return loop.run(payloads, match)

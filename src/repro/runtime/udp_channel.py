@@ -490,6 +490,23 @@ class ChannelSet:
         self._channels = channels
         return retired is not None
 
+    def retire_backend(self, backend: tuple[str, int]) -> bool:
+        """Drop one backend channel without a replacement (reshard shrink).
+
+        The channel moves to the retired list: exchanges still in
+        flight toward it resolve through their armed timers (retries,
+        then default replies), and the socket is closed at
+        :meth:`stop`.  The last remaining channel is never retired —
+        an empty channel set would strand every future submission.
+        """
+        addr = tuple(backend)
+        channels = dict(self._channels)
+        if addr not in channels or len(channels) <= 1:
+            return False
+        self._retired.append(channels.pop(addr))
+        self._channels = channels
+        return True
+
     # ------------------------------------------------------------------ #
     # submission API (any thread)
     # ------------------------------------------------------------------ #

@@ -48,15 +48,19 @@ from repro.core.protocol import (
     LeaseRevoke,
     QoSRequest,
     QoSResponse,
+    SnapshotChunk,
+    TopologyUpdate,
     VERSION2,
     decode_any_traced,
     encode_lease_grant_frame,
     encode_lease_revoke_frame,
     encode_response_frame,
     encode_response_frame_bits,
+    encode_xfer_ack_frame,
 )
 from repro.obs.metrics import MetricsRegistry, register_snapshot_gauges
 from repro.obs.tracing import default_tracer
+from repro.runtime.reshard.state import ReshardState
 
 __all__ = ["QoSServerDaemon"]
 
@@ -161,6 +165,27 @@ class QoSServerDaemon:
         # outside every controller lock, so sending datagrams here is
         # safe (and best-effort — a lost revoke dies at the lease TTL).
         self.controller.lease_revoke_hook = self._send_lease_revokes
+        # Live-resharding state: topology announcements open a transfer
+        # window during which moved keys get default replies instead of
+        # bucket decisions (no credit spent behind the snapshot's back).
+        self.reshard = ReshardState(self.address)
+        self.metrics.counter(
+            "janus_server_transfer_default_replies_total",
+            "Default replies served for frozen keys during a reshard "
+            "transfer window",
+            fn=lambda: self.reshard.transfer_default_replies, **labels)
+        self.metrics.counter(
+            "janus_reshard_chunks_received_total",
+            "SNAPSHOT_XFER chunks restored into the local table",
+            fn=lambda: self.reshard.chunks_received, **labels)
+        self.metrics.counter(
+            "janus_reshard_keys_restored_total",
+            "Warm buckets restored from snapshot transfer",
+            fn=lambda: self.reshard.keys_restored, **labels)
+        self.metrics.gauge(
+            "janus_reshard_committed_epoch",
+            "Topology epoch this server has committed",
+            fn=lambda: self.reshard.committed_epoch, **labels)
         self._recv_batch = self.metrics.histogram(
             "janus_server_recv_batch",
             "Datagrams drained per listener wakeup", **labels)
@@ -315,6 +340,10 @@ class QoSServerDaemon:
         dedup = self._dedup
         tracer = self._tracer
         unwrap = self._unwrap
+        reshard = self.reshard
+        # One boolean read per FIFO item: outside a transfer window the
+        # reshard plane costs the hot path a single branch.
+        window_open = reshard.active
         out = scratch.out
         del out[:]
         malformed = 0
@@ -330,17 +359,34 @@ class QoSServerDaemon:
             # frame), so one type check on the head dispatches the
             # whole credit-lease path off the admission hot path.
             if messages and type(messages[0]) is LeaseRequest:
-                reply = self._lease_replies(messages, addr, trace_id)
+                reply = self._lease_replies(messages, addr, trace_id,
+                                            window_open)
                 if reply is not None:
                     out.append(reply)
+                continue
+            # Reshard control frames (rare; off the admission path).
+            if messages and type(messages[0]) is SnapshotChunk:
+                ack = reshard.on_chunk(messages[0], self.controller.restore)
+                out.append((encode_xfer_ack_frame([ack], trace_id=trace_id),
+                            addr, 1))
+                continue
+            if messages and type(messages[0]) is TopologyUpdate:
+                ack = reshard.on_topology(
+                    messages[0], local_keys=self.controller.local_keys,
+                    drop=self.controller.drop_buckets)
+                # The window may have just opened or closed; re-read so
+                # the rest of this item honours the new state.
+                window_open = reshard.active
+                out.append((encode_xfer_ack_frame([ack], trace_id=trace_id),
+                            addr, 1))
                 continue
             # A traced frame earns a server-side decision span; the
             # untraced path pays one integer comparison.
             span = (tracer.start(trace_id, "server.decide", "qos_server",
                                  {"server": self.name})
                     if trace_id else None)
-            if (dedup is None and version == VERSION2 and messages
-                    and type(messages[0]) is QoSRequest):
+            if (dedup is None and not window_open and version == VERSION2
+                    and messages and type(messages[0]) is QoSRequest):
                 ids = scratch.ids
                 keys = scratch.keys
                 costs = scratch.costs
@@ -367,6 +413,16 @@ class QoSServerDaemon:
             for message in messages:
                 if not isinstance(message, QoSRequest):
                     malformed += 1
+                    continue
+                if window_open and reshard.frozen(message.key):
+                    # Transfer window: this key's warm state is moving
+                    # to a new owner.  Serve the paper's degraded default
+                    # reply — flagged as such — instead of a bucket
+                    # decision, so no moved credit is double-spent.
+                    reshard.transfer_default_replies += 1
+                    responses.append(QoSResponse(
+                        message.request_id, reshard.default_verdict,
+                        is_default_reply=True))
                     continue
                 memoized = (dedup.lookup(addr, message.request_id)
                             if dedup is not None else None)
@@ -396,8 +452,9 @@ class QoSServerDaemon:
     # credit-lease plane (DESIGN.md, "Credit leasing")
     # ------------------------------------------------------------------ #
 
-    def _lease_replies(self, messages, addr,
-                       trace_id: int) -> "Optional[tuple[bytes, tuple, int]]":
+    def _lease_replies(self, messages, addr, trace_id: int,
+                       window_open: bool = False) \
+            -> "Optional[tuple[bytes, tuple, int]]":
         """Process one LEASE_REQ frame; return the grant frame to send.
 
         Returns are applied before fresh asks so a renewal (return +
@@ -405,8 +462,15 @@ class QoSServerDaemon:
         Every ask is answered — a refusal is a grant with ``lease_id=0``
         — so the router's pending table never waits out a lost verdict;
         pure returns (``credits == 0``) get no reply.
+
+        During a reshard transfer window, frozen keys are refused and
+        their returns dropped: the lease ledger already travelled in the
+        snapshot, so touching the local bucket would fork the
+        accounting.  A dropped return errs toward under-admission — the
+        safe side — and is bounded by the key's outstanding leases.
         """
         controller = self.controller
+        reshard = self.reshard
         tracer = self._tracer
         span = (tracer.start(trace_id, "server.lease", "qos_server",
                              {"server": self.name}) if trace_id else None)
@@ -415,6 +479,12 @@ class QoSServerDaemon:
         for message in messages:
             if type(message) is not LeaseRequest:
                 self.malformed_packets += 1
+                continue
+            if window_open and reshard.frozen(message.key):
+                reshard.lease_refusals_frozen += 1
+                if message.credits > 0:
+                    grants.append(LeaseGrant(
+                        message.request_id, message.key, 0, 0.0, 0))
                 continue
             if message.return_lease_id:
                 # Also called with return_credits == 0: a fully-drained

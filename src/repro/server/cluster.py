@@ -59,14 +59,10 @@ class SimJanusCluster:
         self.db = ReplicatedDatabase()
         self.rules = RuleStore(self.db)
         topo = self.config.topology
-        if topo.qos_ha and self.config.server.processes > 1:
-            # HA replication snapshots/restores one controller per node
-            # (see HAPair); it would silently drop every shard but the
-            # first of a multi-process node.
-            from repro.core.errors import ConfigurationError
-            raise ConfigurationError(
-                "qos_ha does not support ServerConfig.processes > 1;"
-                " run multi-process nodes without HA pairs")
+        # HA + processes > 1 composes since HAPair replicates through
+        # bucket_snapshots/restore_snapshots, which aggregate and route
+        # across every modeled worker process (the old one-controller
+        # replication silently dropped every shard but the first).
 
         # --- QoS server layer (each under a stable failover DNS name) ----
         self.qos_servers: List[SimQoSServer] = []
@@ -84,7 +80,8 @@ class SimJanusCluster:
                 slave = SimQoSServer(
                     self.sim, self.net, f"qos-{i}-slave", topo.qos_instance,
                     self.rules, config=self.config.server,
-                    calibration=calibration, rng=self.rng)
+                    calibration=calibration, rng=self.rng,
+                    shard_index=i, shard_count=topo.n_qos_servers)
                 pair = HAPair(
                     self.sim, self.net, self.dns, service_name, master, slave,
                     replication_interval=self.config.server.ha_replication_interval)
@@ -158,6 +155,51 @@ class SimJanusCluster:
         self.qos_service_names = [f"qos-{i}.janus.internal"
                                   for i in range(new_count)]
         self.ha_pairs = [None] * new_count
+        return report
+
+    def fail_qos_server(self, index: int, *, seed_snapshots=None):
+        """Kill QoS node ``index`` mid-burst and recover it.
+
+        The simnet mirror of the live plane's dead-node reshard
+        (``janus reshard remove --dead`` followed by ``add``):
+
+        - with an HA pair, the up-to-date slave is promoted (the paper's
+          §III-C minimum-downtime path) and returned;
+        - without one, the dead node is replaced by a fresh server under
+          the same DNS name, re-seeded from ``seed_snapshots`` (the last
+          checkpoint/replica the operator holds — pass
+          ``server.bucket_snapshots()`` taken before the kill).  Credit
+          loss is bounded by the seed's age: at most one refill interval
+          when snapshots are taken every interval.
+
+        Deterministic under the simulation's seeded RNG, so
+        kill-a-node-mid-burst tests replay exactly.
+        """
+        pair = self.ha_pairs[index]
+        if pair is not None:
+            promoted = pair.fail_master()
+            self.qos_servers[index] = promoted
+            return promoted
+        from repro.server.elastic import replace_failed_server
+
+        topo = self.config.topology
+        self._replacements = getattr(self, "_replacements", 0) + 1
+        generation = self._replacements
+
+        def launch(i: int) -> SimQoSServer:
+            server = SimQoSServer(
+                self.sim, self.net, f"qos-{i}.r{generation}",
+                topo.qos_instance, self.rules,
+                config=self.config.server, calibration=self.calib,
+                rng=self.rng, shard_index=i,
+                shard_count=topo.n_qos_servers)
+            self.dns.promote(self.qos_service_names[i], server.name)
+            return server
+
+        fleet, report = replace_failed_server(
+            self.qos_servers, index, launch,
+            seed_snapshots=seed_snapshots or ())
+        self.qos_servers = fleet
         return report
 
     def prewarm(self, keys=None) -> None:

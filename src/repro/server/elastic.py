@@ -38,7 +38,7 @@ from repro.core.hashing import crc32_router
 from repro.server.qos_server import SimQoSServer
 from repro.server.router import SimRequestRouter
 
-__all__ = ["resize_qos_layer", "MigrationReport"]
+__all__ = ["replace_failed_server", "resize_qos_layer", "MigrationReport"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,4 +122,47 @@ def resize_qos_layer(
         old_count=old_count, new_count=new_count,
         keys_total=keys_total, keys_moved=keys_moved,
         servers_added=tuple(added), servers_retired=tuple(retired))
+    return fleet, report
+
+
+def replace_failed_server(
+    servers: List[SimQoSServer],
+    failed_index: int,
+    launch_server: Callable[[int], SimQoSServer],
+    *,
+    seed_snapshots: Sequence[BucketSnapshot] = (),
+) -> tuple[List[SimQoSServer], MigrationReport]:
+    """Kill-a-node recovery as a reshard: remove dead, add replacement.
+
+    The live plane's ``remove --dead`` + ``add`` sequence, collapsed to
+    one partition because the sim addresses partitions by stable DNS
+    names (the partition map never changes, only the name's target).
+    The dead node is unreachable, so its state cannot be drained;
+    instead the replacement is re-seeded from ``seed_snapshots`` — the
+    last HA replica or checkpoint the caller still holds.  Credit loss
+    is therefore bounded by the age of that seed: with snapshots taken
+    every refill interval, a key loses at most one interval's refill
+    (the live plane's bound, see ``DESIGN.md``).
+
+    ``launch_server(failed_index)`` provisions the replacement and flips
+    its DNS name; the routers are untouched.  Returns the repaired
+    fleet plus a :class:`MigrationReport`.
+    """
+    if not 0 <= failed_index < len(servers):
+        raise ConfigurationError(
+            f"failed_index {failed_index} outside fleet of {len(servers)}")
+    failed = servers[failed_index]
+    if failed.running:
+        failed.fail()
+    replacement = launch_server(failed_index)
+    seed = list(seed_snapshots)
+    if seed:
+        replacement.restore_snapshots(seed)
+        replacement.mark_warm(s.key for s in seed)
+    fleet = list(servers)
+    fleet[failed_index] = replacement
+    report = MigrationReport(
+        old_count=len(servers), new_count=len(servers),
+        keys_total=len(seed), keys_moved=len(seed),
+        servers_added=(replacement.name,), servers_retired=(failed.name,))
     return fleet, report

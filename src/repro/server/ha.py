@@ -63,17 +63,23 @@ class HAPair:
                                     f"{service_name}.replication")
 
     def _replication_loop(self):
-        """The slave's pull loop: copy the master's local QoS table."""
+        """The slave's pull loop: copy the master's local QoS table.
+
+        ``bucket_snapshots``/``restore_snapshots`` aggregate and route
+        across every modeled worker process, so multi-process masters
+        (``ServerConfig.processes > 1``) replicate every shard — not
+        just the first controller's.
+        """
         while True:
             yield self.replication_interval
             if self.slave is None or not self.master.running:
                 continue
             # Snapshot transfer: latency proportional to table size.
-            snapshot = self.master.controller.snapshot()
+            snapshot = self.master.bucket_snapshots()
             transfer = self.net.one_way() + len(snapshot) * 100 * 8 / 1e9
             yield self.sim.timeout(transfer)
             if self.slave is not None:
-                self.slave.controller.restore(snapshot)
+                self.slave.restore_snapshots(snapshot)
                 self.slave.mark_warm(s.key for s in snapshot)
                 self.replications += 1
 

@@ -8,12 +8,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.admission import BucketSnapshot
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
     FLAG_FRAME_TRACED,
     MAX_FRAME_MESSAGES,
     MAX_KEY_BYTES,
     MAX_LEASE_TTL_MS,
+    MAX_XFER_CHUNKS,
+    TOPOLOGY_ABORT,
+    TOPOLOGY_COMMIT,
+    TOPOLOGY_PREPARE,
     TRACE_ID_BYTES,
     VERSION,
     VERSION2,
@@ -24,6 +29,9 @@ from repro.core.protocol import (
     QoSRequest,
     QoSResponse,
     RequestIdGenerator,
+    SnapshotChunk,
+    TopologyUpdate,
+    XferAck,
     decode,
     decode_any,
     decode_any_traced,
@@ -35,6 +43,9 @@ from repro.core.protocol import (
     encode_request_frame,
     encode_request_frame_parts,
     encode_response_frame,
+    encode_snapshot_xfer_frame,
+    encode_topology_frame,
+    encode_xfer_ack_frame,
 )
 
 
@@ -547,3 +558,151 @@ class TestLockedRequestIdGenerator:
         a, b = RequestIdGenerator(start=5), LockedRequestIdGenerator(start=5)
         assert [a.next_id() for _ in range(10)] == \
             [b.next_id() for _ in range(10)]
+
+
+class TestReshardFrames:
+    """Reshard frames (v2 SNAPSHOT_XFER/XFER_ACK/TOPOLOGY, PR 9)."""
+
+    TRACE_ID = 0xDEAD_BEEF_0000_0009
+
+    def _buckets(self, n, leases=0):
+        from repro.core.admission import LeaseSnapshot
+
+        return tuple(
+            BucketSnapshot(
+                key=f"moved:{i}", capacity=100.0 + i, refill_rate=float(i),
+                credit=50.0 + i,
+                leases=tuple(LeaseSnapshot(
+                    lease_id=1 + i * 10 + j, granted=4.0 + j,
+                    ttl_remaining=0.5, holder=("10.0.0.9", 7000 + j))
+                    for j in range(leases)))
+            for i in range(n))
+
+    def _chunk(self, n=3, leases=0, **kwargs):
+        fields = dict(xfer_id=7, epoch=3, seq=1, total=4,
+                      buckets=self._buckets(n, leases))
+        fields.update(kwargs)
+        return SnapshotChunk(**fields)
+
+    def test_snapshot_chunk_round_trip(self):
+        chunk = self._chunk(n=3, leases=2)
+        assert decode_frame(encode_snapshot_xfer_frame(chunk)) == [chunk]
+
+    def test_snapshot_chunk_traced_round_trip(self):
+        chunk = self._chunk()
+        frame = encode_snapshot_xfer_frame(chunk, trace_id=self.TRACE_ID)
+        assert frame[3] & FLAG_FRAME_TRACED
+        assert decode_frame_traced(frame) == (self.TRACE_ID, [chunk])
+
+    def test_xfer_ack_round_trip(self):
+        acks = [XferAck(7, 3, i) for i in range(4)]
+        assert decode_frame(encode_xfer_ack_frame(acks)) == acks
+
+    def test_topology_round_trip(self):
+        for phase in (TOPOLOGY_PREPARE, TOPOLOGY_COMMIT, TOPOLOGY_ABORT):
+            update = TopologyUpdate(
+                epoch=9, phase=phase,
+                backends=(("10.0.0.1", 9001), ("10.0.0.2", 9002)))
+            assert decode_frame(encode_topology_frame(update)) == [update]
+
+    def test_decode_any_routes_reshard_frames(self):
+        chunk = self._chunk()
+        version, messages = decode_any(encode_snapshot_xfer_frame(chunk))
+        assert (version, messages) == (VERSION2, [chunk])
+
+    def test_epoch_zero_rejected_everywhere(self):
+        with pytest.raises(ProtocolError, match="epoch"):
+            encode_snapshot_xfer_frame(self._chunk(epoch=0))
+        with pytest.raises(ProtocolError, match="epoch"):
+            encode_xfer_ack_frame([XferAck(7, 0, 1)])
+        with pytest.raises(ProtocolError, match="epoch"):
+            encode_topology_frame(TopologyUpdate(
+                0, TOPOLOGY_PREPARE, (("h", 1),)))
+
+    def test_reserved_xfer_id_rejected_for_chunks(self):
+        with pytest.raises(ProtocolError, match="reserved"):
+            encode_snapshot_xfer_frame(self._chunk(xfer_id=0))
+
+    def test_chunk_seq_total_bounds(self):
+        with pytest.raises(ProtocolError):
+            encode_snapshot_xfer_frame(self._chunk(seq=4, total=4))
+        with pytest.raises(ProtocolError):
+            encode_snapshot_xfer_frame(self._chunk(total=0, seq=0))
+        with pytest.raises(ProtocolError):
+            encode_snapshot_xfer_frame(
+                self._chunk(total=MAX_XFER_CHUNKS + 1))
+
+    def test_oversized_lease_count_rejected_on_decode(self):
+        # Forge the bucket's lease count over the wire bound: the
+        # decoder must refuse before trying to read 64k lease entries.
+        chunk = self._chunk(n=1, leases=1)
+        frame = bytearray(encode_snapshot_xfer_frame(chunk))
+        # n_leases is the u16 closing the bucket tail, right before the
+        # lease entry (!QdIB, 21B fixed) + holder host ("10.0.0.9", 8B)
+        # + port (2B) that end the frame.
+        lease_entry = 21 + len("10.0.0.9") + 2
+        n_leases_at = len(frame) - lease_entry - 2
+        struct.pack_into("!H", frame, n_leases_at, 60_000)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_bad_topology_phase_rejected(self):
+        update = TopologyUpdate(5, TOPOLOGY_ABORT, (("h", 1),))
+        frame = bytearray(encode_topology_frame(update))
+        # The phase byte is the last byte of the topology head.
+        frame[6 + 4] = 9
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_truncation_at_every_boundary_rejected_cleanly(self):
+        chunk = self._chunk(n=2, leases=1)
+        for frame in (encode_snapshot_xfer_frame(chunk),
+                      encode_xfer_ack_frame([XferAck(7, 3, 0)]),
+                      encode_topology_frame(TopologyUpdate(
+                          4, TOPOLOGY_COMMIT, (("10.0.0.1", 9001),)))):
+            for cut in range(len(frame)):
+                with pytest.raises(ProtocolError):
+                    decode_frame(frame[:cut])
+
+    @given(st.integers(1, 16), st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_snapshot_round_trip_property(self, n, leases):
+        chunk = self._chunk(n=n, leases=leases)
+        (decoded,) = decode_frame(encode_snapshot_xfer_frame(chunk))
+        assert decoded.xfer_id == chunk.xfer_id
+        assert decoded.epoch == chunk.epoch
+        assert [b.key for b in decoded.buckets] == \
+            [b.key for b in chunk.buckets]
+        assert [b.credit for b in decoded.buckets] == \
+            [b.credit for b in chunk.buckets]
+        for before, after in zip(chunk.buckets, decoded.buckets):
+            assert [l.lease_id for l in after.leases] == \
+                [l.lease_id for l in before.leases]
+            assert all(l.holder == m.holder
+                       for l, m in zip(before.leases, after.leases))
+
+    @given(st.binary(max_size=200), st.integers(0, 99))
+    @settings(max_examples=300)
+    def test_mutated_reshard_frames_never_crash(self, junk, cut):
+        frame = encode_snapshot_xfer_frame(self._chunk(n=2, leases=1))
+        mutated = frame[:cut % len(frame)] + junk
+        for decoder in (decode_frame, decode_any, decode_frame_traced,
+                        decode_any_traced):
+            try:
+                decoder(mutated)
+            except ProtocolError:
+                pass    # the only acceptable failure mode
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_with_reshard_types_never_crash(self, blob):
+        # Force the frame-type byte through the reshard range so the
+        # fuzz actually reaches the type-6/7/8 decoders.
+        frame = bytearray(encode_topology_frame(TopologyUpdate(
+            1, TOPOLOGY_PREPARE, (("h", 1),))))
+        for mtype in (6, 7, 8):
+            mutated = bytes(frame[:3]) + bytes([mtype]) + bytes(blob)
+            try:
+                decode_any(mutated)
+            except ProtocolError:
+                pass

@@ -355,3 +355,90 @@ class TestBackendMutation:
             assert response.allowed
         finally:
             channels.stop()
+
+    def _black_hole(self):
+        """A bound UDP port that swallows datagrams and never replies."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        return sock
+
+    def _pending_exchanges(self, channels, target, n):
+        """Fire ``n`` exchanges at ``target`` from threads; return them."""
+        results: list = []
+        barrier = threading.Barrier(n + 1)
+
+        def call() -> None:
+            barrier.wait()
+            results.append(channels.exchange(target, "alice", 1.0))
+
+        threads = [threading.Thread(target=call, daemon=True)
+                   for _ in range(n)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        return threads, results
+
+    def test_replace_backend_resolves_every_outstanding_request(
+            self, rules, server):
+        """In-flight exchanges toward the replaced address all resolve.
+
+        The reshard cutover swaps addresses while requests are pending;
+        a stranded future would hang a router worker forever.  Pending
+        calls must resolve through their armed timers as default
+        replies — never block, never raise.
+        """
+        hole = self._black_hole()
+        dead = hole.getsockname()
+        try:
+            channels = make_channels(server, udp_timeout=0.3, max_retries=1)
+            channels.add_backend(dead)
+            try:
+                threads, results = self._pending_exchanges(channels, dead, 4)
+                time.sleep(0.05)   # let the exchanges reach the wire
+                assert channels.replace_backend(dead, server.address)
+                for t in threads:
+                    t.join(timeout=5.0)
+                assert not any(t.is_alive() for t in threads)
+                assert len(results) == 4
+                for response, retries in results:
+                    assert response.is_default_reply
+                # New submissions ride the replacement channel for real.
+                response, _ = channels.exchange(server.address, "alice", 1.0)
+                assert response.allowed and not response.is_default_reply
+            finally:
+                channels.stop()
+        finally:
+            hole.close()
+
+    def test_retire_backend_resolves_every_outstanding_request(
+            self, rules, server):
+        hole = self._black_hole()
+        dead = hole.getsockname()
+        try:
+            channels = make_channels(server, udp_timeout=0.3, max_retries=1)
+            channels.add_backend(dead)
+            try:
+                threads, results = self._pending_exchanges(channels, dead, 4)
+                time.sleep(0.05)
+                assert channels.retire_backend(dead)
+                for t in threads:
+                    t.join(timeout=5.0)
+                assert not any(t.is_alive() for t in threads)
+                assert len(results) == 4
+                assert all(r.is_default_reply for r, _ in results)
+                # The survivor still answers.
+                response, _ = channels.exchange(server.address, "alice", 1.0)
+                assert response.allowed and not response.is_default_reply
+            finally:
+                channels.stop()
+        finally:
+            hole.close()
+
+    def test_retire_never_drops_the_last_backend(self, server):
+        channels = make_channels(server)
+        try:
+            assert not channels.retire_backend(server.address)
+            response, _ = channels.exchange(server.address, "alice", 1.0)
+            assert response.allowed
+        finally:
+            channels.stop()

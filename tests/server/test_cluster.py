@@ -173,13 +173,79 @@ class TestMultiProcessModel:
         restored = fresh.restore_snapshots(snapshots)
         assert restored == len(snapshots)
 
-    def test_ha_with_processes_rejected(self):
+    def test_ha_with_processes_composes(self):
+        """HA + processes > 1: replication covers every worker shard.
+
+        The old HAPair replicated one controller per node and the
+        cluster rejected the combination outright; replication now goes
+        through ``bucket_snapshots``/``restore_snapshots``, so a
+        multi-process master's full table reaches the slave and a
+        failover loses at most one replication interval of credit.
+        """
         from repro.core.config import ServerConfig
-        from repro.core.errors import ConfigurationError
 
         config = JanusConfig(
             topology=ClusterTopology(n_routers=1, n_qos_servers=1,
                                      qos_ha=True),
-            server=ServerConfig(workers=2, processes=2))
-        with pytest.raises(ConfigurationError, match="qos_ha"):
-            SimJanusCluster(config)
+            server=ServerConfig(workers=2, processes=2,
+                                ha_replication_interval=0.5))
+        cluster = SimJanusCluster(config)
+        keys = uuid_keys(40)
+        for k in keys:
+            cluster.rules.put_rule(QoSRule(k, refill_rate=1e6, capacity=1e6))
+        cluster.prewarm()
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), mode="gateway",
+                         n_requests=120)
+        cluster.sim.run(until=5.0)
+        pair = cluster.ha_pairs[0]
+        master, slave = pair.master, pair.slave
+        assert pair.replications > 0
+        assert len(master.controllers) == 2
+        # Every populated master shard replicated to the slave, not
+        # just controllers[0].
+        assert slave.table_size() == master.table_size()
+        promoted = cluster.fail_qos_server(0)
+        assert promoted is slave
+        assert cluster.active_qos_server(0) is slave
+        assert promoted.table_size() == master.table_size()
+
+    def test_resize_still_rejects_ha_pairs(self):
+        """The resize path stays precisely scoped to plain servers."""
+        from repro.core.errors import ConfigurationError
+
+        cluster, _ = build(ClusterTopology(n_routers=1, n_qos_servers=2,
+                                           qos_ha=True))
+        with pytest.raises(ConfigurationError, match="HA"):
+            cluster.resize_qos(3)
+
+    def test_dead_node_replacement_reseeds_from_snapshot(self):
+        """Kill-a-node-mid-burst: remove dead, add replacement, re-seed.
+
+        The simnet mirror of the live dead-node reshard: the replacement
+        comes back under the same DNS name with the pre-kill snapshot's
+        credit, so the routers never remap and the moved keys keep their
+        buckets (loss bounded by the snapshot's age).
+        """
+        cluster, keys = self._build(processes=2)
+        ClosedLoopClient(cluster, "c0", KeyCycle(keys), mode="gateway",
+                         n_requests=100)
+        cluster.sim.run(until=5.0)
+        victim = cluster.qos_servers[0]
+        seed = victim.bucket_snapshots()
+        assert seed
+        report = cluster.fail_qos_server(0, seed_snapshots=seed)
+        assert not victim.running
+        assert report.servers_retired == (victim.name,)
+        replacement = cluster.qos_servers[0]
+        assert replacement is not victim
+        assert replacement.running
+        assert replacement.table_size() == len(seed)
+        resolver = cluster.new_resolver()
+        assert resolver.resolve_one(
+            cluster.qos_service_names[0]) == replacement.name
+        # Deterministic mid-burst replay: more traffic flows to the
+        # replacement and completes.
+        more = ClosedLoopClient(cluster, "c1", KeyCycle(keys), mode="gateway",
+                                n_requests=60)
+        cluster.sim.run(until=12.0)
+        assert more.done
