@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore bench-lease bench-reshard experiments experiments-paper examples clean
+.PHONY: install test lint wire-spec verify bench bench-hotpath bench-simkernel bench-wirepath bench-obs bench-multicore bench-lease bench-reshard experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,9 +12,11 @@ test:
 
 # Static analysis.  `janus lint` (repro.analysis) is self-hosted and always
 # gates; ruff and mypy gate when installed (CI installs them) and are
-# skipped with a notice when the local environment lacks them.
+# skipped with a notice when the local environment lacks them.  --cache
+# makes warm local runs incremental (keyed by content hash, stored in
+# .janus-lint-cache.json); CI checkouts are cold anyway.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.cli lint src
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --cache
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src tests benchmarks; \
 	else \
@@ -25,6 +27,14 @@ lint:
 	else \
 		echo "lint: mypy not installed, skipped (pip install mypy)"; \
 	fi
+
+# Extract the machine-readable wire spec and the boundary-value fuzz
+# seed corpus from core/protocol.py (and cross-check docs/PROTOCOL.md);
+# CI uploads both as artifacts of the lint job.
+wire-spec:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.wiremodel \
+		src/repro/core/protocol.py --out wire-spec.json \
+		--corpus wire-corpus --check-doc docs/PROTOCOL.md
 
 # Default pre-merge check: static analysis, then the tier-1 suite.
 verify: lint
@@ -96,5 +106,5 @@ examples:
 	done
 
 clean:
-	rm -rf build src/*.egg-info .pytest_cache
+	rm -rf build src/*.egg-info .pytest_cache .janus-lint-cache.json wire-spec.json wire-corpus
 	find . -name __pycache__ -type d -exec rm -rf {} +

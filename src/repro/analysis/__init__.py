@@ -7,14 +7,17 @@ that detects acquisition-order cycles and held-duration outliers under
 tests.  See ``docs/ANALYSIS.md`` for the rule catalog and pragma syntax.
 """
 
+from repro.analysis.blocking import TransitiveBlockingChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.framework import (
     Checker,
     Finding,
     LintResult,
     ModuleSource,
+    Project,
     lint_paths,
 )
+from repro.analysis.guards import GuardInferenceChecker
 from repro.analysis.lockorder import (
     InstrumentedLock,
     LockOrderGraph,
@@ -28,19 +31,24 @@ from repro.analysis.locking import (
 )
 from repro.analysis.protocol import ProtocolInvariantsChecker
 from repro.analysis.timing import MonotonicTimeChecker
+from repro.analysis.wiremodel import WireDocDriftChecker
 
 __all__ = [
     "Checker",
     "Finding",
     "LintResult",
     "ModuleSource",
+    "Project",
     "lint_paths",
     "all_checkers",
     "BlockingUnderLockChecker",
     "DeterminismChecker",
+    "GuardInferenceChecker",
     "LockDisciplineChecker",
     "MonotonicTimeChecker",
     "ProtocolInvariantsChecker",
+    "TransitiveBlockingChecker",
+    "WireDocDriftChecker",
     "InstrumentedLock",
     "LockOrderGraph",
     "current_graph",
@@ -57,4 +65,7 @@ def all_checkers() -> "list[Checker]":
         MonotonicTimeChecker(),
         ProtocolInvariantsChecker(),
         DeterminismChecker(),
+        GuardInferenceChecker(),
+        TransitiveBlockingChecker(),
+        WireDocDriftChecker(),
     ]

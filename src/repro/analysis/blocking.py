@@ -1,0 +1,171 @@
+"""Transitive blocking-under-lock: the whole-program half of PR 5's rule.
+
+``blocking-under-lock`` sees one lexical scope: ``with self._lock:
+self.sock.send(...)`` is flagged, but ``with self._lock:
+self._flush()`` is invisible to it even when ``_flush`` — or something
+three hops below it — sleeps on a socket.  After the lease ledger,
+procplane supervisor and reshard coordinator, most lock-holding code
+calls helpers, so the per-scope rule only guards the leaves.
+
+This checker walks the :mod:`repro.analysis.callgraph` graph instead:
+for every call made while a lock is held (lexically inside a ``with
+<lock>:`` block, or anywhere in a ``*_locked``/``*_unlocked`` method),
+it BFS-searches the callee's transitive closure (depth-bounded, cycle
+safe) for a function containing a *direct* blocking operation — the
+same sink model the per-scope rule uses: socket send/recv, ``time.
+sleep``, ``open()``/``print()``, logging.  A hit reports the full call
+path and the sink, e.g.::
+
+    with self._lock: self._drain() — transitively blocks:
+    _drain -> _flush_frames -> _send_frame: socket .sendto() at
+    runtime/udp_channel.py:312
+
+Two deliberate exclusions keep the rule precise:
+
+- a call that *is itself* a blocking op is the per-scope rule's finding,
+  not ours — one bug, one finding;
+- a sink line suppressed with ``# janus-lint: disable=blocking-under-
+  lock`` (e.g. the channel's group-commit send on a non-blocking socket)
+  is a *reviewed* non-blocking operation, so chains ending there are not
+  re-flagged transitively.  Suppressing a call site suppresses only that
+  site, as usual.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import (
+    MAX_CALL_DEPTH,
+    CallGraph,
+    FunctionInfo,
+    get_call_graph,
+)
+from repro.analysis.framework import Checker, Finding, Project
+from repro.analysis.locking import (
+    GUARDED_SUFFIXES,
+    blocking_reason,
+    with_holds_lock,
+)
+
+__all__ = ["TransitiveBlockingChecker"]
+
+#: Rules whose pragma on a sink line marks it as reviewed-non-blocking.
+_SINK_RULES = ("blocking-under-lock", "transitive-blocking-under-lock")
+
+
+def _direct_sink(info: FunctionInfo) -> "Optional[tuple[str, int]]":
+    """The first unsuppressed blocking op lexically in ``info``.
+
+    Nested ``def``/``lambda``/``class`` bodies are skipped (deferred
+    work) and pragma'd lines are honoured, so a justified non-blocking
+    send does not poison every chain through its function.
+    """
+    stack: "list[ast.AST]" = list(ast.iter_child_nodes(info.node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            reason = blocking_reason(node)
+            if reason is not None and not any(
+                    info.module.suppressed(rule, node.lineno)
+                    for rule in _SINK_RULES):
+                return reason, node.lineno
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+class TransitiveBlockingChecker(Checker):
+    """Calls under a lock must not *transitively* reach blocking ops."""
+
+    rule = "transitive-blocking-under-lock"
+    description = ("calls made while a lock is held must not reach "
+                   "socket/sleep/file-I/O/logging through any chain of "
+                   "project calls (call graph BFS, depth-bounded); the "
+                   "finding prints the offending path")
+    scope = ("core", "runtime", "obs", "procplane", "reshard",
+             "lease.py", "leasepath.py", "reshardpath.py")
+    project_wide = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = get_call_graph(project)
+        sink_cache: "dict[str, Optional[tuple[str, int]]]" = {}
+
+        def sink_of(qname: str) -> "Optional[tuple[str, int]]":
+            if qname not in sink_cache:
+                info = graph.functions.get(qname)
+                sink_cache[qname] = _direct_sink(info) if info else None
+            return sink_cache[qname]
+
+        for info in graph.functions.values():
+            if not self.path_in_scope(info.module.path):
+                continue
+            yield from self._check_function(graph, info, sink_of)
+
+    def _check_function(self, graph: CallGraph, info: FunctionInfo,
+                        sink_of) -> Iterator[Finding]:
+        calls_by_pos = {(c.lineno, c.col): c
+                        for c in graph.calls_from(info.qname)}
+        whole_body = info.name.endswith(GUARDED_SUFFIXES)
+        for call_node, under_lock in _walk_calls(info.node, whole_body):
+            if not under_lock:
+                continue
+            site = calls_by_pos.get((call_node.lineno,
+                                     call_node.col_offset))
+            if site is None:
+                continue                      # unresolved receiver
+            if blocking_reason(call_node) is not None:
+                continue                      # the per-scope rule's finding
+            path = graph.find_path(
+                site.callee,
+                lambda f: sink_of(f.qname) is not None,
+                max_depth=MAX_CALL_DEPTH)
+            if path is None:
+                continue
+            reason, sink_line = sink_of(path[-1])
+            sink_fn = graph.functions[path[-1]]
+            chain = " -> ".join(
+                graph.functions[q].display for q in path)
+            held = (f"inside {info.display}() which runs with its "
+                    f"caller's lock held"
+                    if whole_body and not _in_lock_block(
+                        info.node, call_node)
+                    else "while a lock is held")
+            yield info.module.finding(
+                self.rule, call_node,
+                f"call chain {chain} reaches {reason} at "
+                f"{sink_fn.module.path}:{sink_line} {held} — move the "
+                f"blocking work outside the critical section or break "
+                f"the chain")
+
+
+def _walk_calls(func: "ast.FunctionDef | ast.AsyncFunctionDef",
+                start_locked: bool,
+                ) -> "Iterator[tuple[ast.Call, bool]]":
+    """Yield ``(call, under_lock)`` for calls lexically in ``func``."""
+
+    def walk(node: ast.AST, under_lock: bool) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            child_locked = under_lock
+            if isinstance(child, ast.With) and with_holds_lock(child):
+                child_locked = True
+            if isinstance(child, ast.Call):
+                yield child, child_locked
+            yield from walk(child, child_locked)
+
+    yield from walk(func, start_locked)
+
+
+def _in_lock_block(func: "ast.FunctionDef | ast.AsyncFunctionDef",
+                   target: ast.Call) -> bool:
+    """Is ``target`` inside a ``with <lock>:`` block of ``func`` itself?"""
+    for call, under in _walk_calls(func, False):
+        if call is target:
+            return under
+    return False

@@ -1,0 +1,256 @@
+"""Incremental lint cache and finding baselines for janus-lint v2.
+
+The v2 passes are heavier than PR 5's per-file walkers — the call graph
+alone parses every module — so CI and pre-commit runs get two speed/
+adoption levers:
+
+**Incremental cache** (``janus lint --cache [FILE]``).  A JSON document
+keyed three ways:
+
+- per file, by the SHA-256 of its *content* — a per-module checker's
+  findings are replayed from the cache when the file's hash, the
+  selected rule set, and the cache schema all match;
+- project-wide, by the fingerprint over every ``(path, hash)`` pair —
+  the whole-program passes (call graph, transitive blocking) rerun
+  only when *any* file changed, since one edited callee can re-route a
+  chain that reports in an untouched caller;
+- never, for rules marked ``cacheable = False`` (the doc-drift gate
+  reads ``docs/PROTOCOL.md``, which lives outside the hashed tree) —
+  those rerun every time on the files they apply to.
+
+Timestamps are deliberately not used: content hashing survives clones,
+CI checkouts and ``touch``.
+
+**Baselines** (``--baseline FILE`` / ``--write-baseline FILE``).  A
+baseline is an ordinary ``--json`` findings document; under
+``--baseline``, findings whose ``(rule, path, message)`` triple appears
+in it are reported but do not fail the run — only *new* findings exit
+nonzero.  Line numbers are excluded from the identity on purpose, so an
+unrelated edit shifting a baselined finding by three lines does not
+resurrect it.  This is how the heavier passes roll out over a large
+tree: baseline today's debt, gate the delta at zero, burn the baseline
+down deliberately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    LintResult,
+    ModuleSource,
+    Project,
+    iter_python_files,
+)
+
+__all__ = ["Baseline", "DEFAULT_CACHE_FILE", "lint_paths_cached"]
+
+#: Bump to invalidate every cache when checker semantics change.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_FILE = ".janus-lint-cache.json"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _rules_key(checkers: Sequence[Checker]) -> str:
+    return _sha(",".join(sorted(c.rule for c in checkers)))
+
+
+def _load_json(path: Path) -> Optional[dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _finding_from_dict(raw: dict) -> Finding:
+    return Finding(rule=raw["rule"], path=raw["path"], line=raw["line"],
+                   col=raw["col"], message=raw["message"])
+
+
+def lint_paths_cached(
+    paths: Sequence[str],
+    checkers: Sequence[Checker],
+    rules: Optional[Iterable[str]] = None,
+    cache_file: "str | Path" = DEFAULT_CACHE_FILE,
+) -> LintResult:
+    """:func:`repro.analysis.framework.lint_paths`, with a result cache.
+
+    Byte-for-byte identical findings to the uncached run — the cache
+    only skips *recomputation*, never changes the verdict.  The cache
+    file is rewritten on every run (pruned to the files just linted).
+    """
+    selected = list(checkers)
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - {c.rule for c in selected}
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(c.rule for c in selected))}")
+        selected = [c for c in selected if c.rule in wanted]
+    local = [c for c in selected if not c.project_wide and c.cacheable]
+    uncached = [c for c in selected
+                if not c.project_wide and not c.cacheable]
+    global_ = [c for c in selected if c.project_wide]
+    rules_key = _rules_key(selected)
+
+    cache_path = Path(cache_file)
+    stored = _load_json(cache_path) or {}
+    if stored.get("schema") != CACHE_SCHEMA or \
+            stored.get("rules_key") != rules_key:
+        stored = {}
+    old_files: dict = stored.get("files", {})
+
+    findings: "list[Finding]" = []
+    texts: "dict[str, str]" = {}
+    hashes: "dict[str, str]" = {}
+    modules: "dict[str, ModuleSource]" = {}
+    new_files: dict = {}
+    files = 0
+
+    def parse(path: str) -> Optional[ModuleSource]:
+        module = modules.get(path)
+        if module is None:
+            try:
+                module = ModuleSource(path, texts[path])
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    rule="syntax-error", path=path,
+                    line=exc.lineno or 0, col=(exc.offset or 0),
+                    message=f"file does not parse: {exc.msg}"))
+                return None
+            modules[path] = module
+        return module
+
+    for file_path in iter_python_files(paths):
+        files += 1
+        path = str(file_path)
+        text = file_path.read_text(encoding="utf-8")
+        texts[path] = text
+        hashes[path] = _sha(text)
+
+    for path in texts:
+        entry = old_files.get(path)
+        if entry is not None and entry.get("hash") == hashes[path]:
+            cached = [_finding_from_dict(f) for f in entry["findings"]]
+        else:
+            module = parse(path)
+            cached = []
+            if module is not None:
+                for checker in local:
+                    if not checker.applies_to(module):
+                        continue
+                    for finding in checker.check(module):
+                        if not module.suppressed(finding.rule,
+                                                 finding.line):
+                            cached.append(finding)
+        new_files[path] = {"hash": hashes[path],
+                           "findings": [f.as_dict() for f in cached]}
+        findings.extend(cached)
+        # Uncacheable rules rerun unconditionally (their verdict depends
+        # on state outside this file's content hash).
+        for checker in uncached:
+            if not checker.path_in_scope(path):
+                continue
+            module = parse(path)
+            if module is None or not checker.applies_to(module):
+                continue
+            for finding in checker.check(module):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    project_findings: "list[Finding]" = []
+    fingerprint = _sha("\0".join(
+        f"{p}:{h}" for p, h in sorted(hashes.items())))
+    if global_:
+        cached_project = stored.get("project")
+        if cached_project is not None and \
+                cached_project.get("fingerprint") == fingerprint:
+            project_findings = [_finding_from_dict(f)
+                                for f in cached_project["findings"]]
+        else:
+            for path in texts:
+                parse(path)
+            project = Project(modules)
+            for checker in global_:
+                for finding in checker.check_project(project):
+                    if not checker.path_in_scope(finding.path):
+                        continue
+                    owner = project.module(finding.path)
+                    if owner is None or not owner.suppressed(
+                            finding.rule, finding.line):
+                        project_findings.append(finding)
+        findings.extend(project_findings)
+
+    document = {
+        "schema": CACHE_SCHEMA,
+        "rules_key": rules_key,
+        "files": new_files,
+        "project": {"fingerprint": fingerprint,
+                    "findings": [f.as_dict() for f in project_findings]},
+    }
+    try:
+        cache_path.write_text(
+            json.dumps(document, sort_keys=True) + "\n", encoding="utf-8")
+    except OSError:
+        pass                       # read-only checkout: run uncached
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings=findings, files_scanned=files,
+                      rules=[c.rule for c in selected])
+
+
+#: ``path.py:312``-style references inside finding messages (the
+#: transitive-blocking rule prints its sink location) — wildcarded in
+#: the identity key, for the same reason the finding's own line is
+#: excluded.
+_LINE_REF = re.compile(r"(\.py):\d+\b")
+
+
+class Baseline:
+    """Known findings that report but do not gate."""
+
+    def __init__(self, keys: "set[tuple[str, str, str]]"):
+        self._keys = keys
+
+    @staticmethod
+    def key(finding: Finding) -> "tuple[str, str, str]":
+        # Line numbers excluded: unrelated edits move findings around.
+        return (finding.rule, finding.path,
+                _LINE_REF.sub(r"\1:*", finding.message))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        document = _load_json(Path(path))
+        if document is None:
+            raise ValueError(f"no baseline document at {path}")
+        return cls({(f["rule"], f["path"],
+                     _LINE_REF.sub(r"\1:*", f["message"]))
+                    for f in document.get("findings", [])})
+
+    @staticmethod
+    def write(result: LintResult, path: "str | Path") -> None:
+        Path(path).write_text(
+            json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    def split(self, result: LintResult,
+              ) -> "tuple[list[Finding], list[Finding]]":
+        """Partition findings into (new, baselined)."""
+        new: "list[Finding]" = []
+        known: "list[Finding]" = []
+        for finding in result.findings:
+            (known if self.key(finding) in self._keys
+             else new).append(finding)
+        return new, known

@@ -1,0 +1,397 @@
+"""Project-wide symbol table and call graph for janus-lint v2.
+
+PR 5's checkers are per-scope: they see one ``with self._lock:`` block or
+one ``*_locked`` method at a time.  After the lease ledger (PR 7), the
+slab store (PR 8) and the reshard plane (PR 9), the interesting bugs span
+*call hops*: a method takes the shard lock and calls a helper three
+modules away that sleeps on a socket.  This module builds the structure
+those whole-program rules walk:
+
+- a **symbol table** over every parsed module of a lint run: top-level
+  functions, classes, methods, and each module's import aliases;
+- an **attribute-type map** per class, learned from ``self._x = D(...)``
+  assignments, so ``self._ledger.grant()`` resolves into the ledger
+  class when ``D`` is a project class and the attribute is assigned
+  exactly one type;
+- a **call graph**: for every function, the project functions it calls,
+  resolved through ``self.``/``cls.`` receivers (including base classes
+  defined in the project), bare names, ``from x import f`` aliases,
+  ``import x.y as z`` module attributes, and the attribute-type map.
+
+Resolution is deliberately conservative: a receiver whose type cannot be
+pinned produces *no* edge (no false paths), nested ``def``/``lambda``
+bodies are deferred work and contribute neither calls nor symbols, and
+dynamic dispatch is approximated by the static class hierarchy.  The
+graph is therefore an under-approximation — good enough to catch real
+cross-module blocking chains, never a source of fabricated ones.
+
+Module names are matched by dotted suffix, so the same machinery works
+on ``src/repro/...`` and on test fixture trees living under a tmp dir.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.framework import ModuleSource, Project
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "get_call_graph",
+]
+
+#: BFS depth bound for transitive walks (call hops, not lines).  Deep
+#: enough for any real chain in this tree; bounds pathological fixtures.
+MAX_CALL_DEPTH = 12
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One project function or method."""
+
+    qname: str                      # "<module path>:<Class.>name"
+    name: str
+    module: ModuleSource
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        owner = f"{self.class_name}." if self.class_name else ""
+        return f"{owner}{self.name}"
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One resolved call edge, anchored at its source location."""
+
+    callee: str                     # qname of the called FunctionInfo
+    lineno: int
+    col: int
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One project class: methods, raw base exprs, attribute types."""
+
+    qname: str                      # "<module path>:<name>"
+    name: str
+    module: ModuleSource
+    node: ast.ClassDef
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    bases: "list[ast.expr]" = field(default_factory=list)
+    #: attr name → class qname, when every observed ``self.attr = D(...)``
+    #: assignment agrees on one project class D.
+    attr_types: "dict[str, str]" = field(default_factory=dict)
+
+
+def _module_dots(path: str) -> "tuple[str, ...]":
+    """A module path as a dotted-name tuple (``__init__`` dropped)."""
+    parts = [p for p in path.replace("\\", "/").split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return tuple(parts)
+
+
+class CallGraph:
+    """The symbol table + resolved call edges of one :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: "dict[str, FunctionInfo]" = {}
+        self.classes: "dict[str, ClassInfo]" = {}
+        self.edges: "dict[str, list[CallSite]]" = {}
+        # dotted suffix tuple → module paths claiming it
+        self._suffixes: "dict[tuple[str, ...], list[str]]" = {}
+        # per module path: top-level name → ("func"|"class"|"module", key)
+        self._env: "dict[str, dict[str, tuple[str, str]]]" = {}
+        self._index_modules()
+        self._collect_symbols()
+        self._resolve_imports()
+        self._infer_attr_types()
+        self._build_edges()
+
+    # ------------------------------------------------------------- #
+    # construction
+    # ------------------------------------------------------------- #
+
+    def _index_modules(self) -> None:
+        for path in self.project.modules:
+            dots = _module_dots(path)
+            for start in range(len(dots)):
+                self._suffixes.setdefault(dots[start:], []).append(path)
+
+    def _module_for(self, dotted: str) -> Optional[str]:
+        """The unique module path whose dotted name ends in ``dotted``."""
+        candidates = self._suffixes.get(tuple(dotted.split(".")))
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _collect_symbols(self) -> None:
+        for path, module in self.project.modules.items():
+            env: "dict[str, tuple[str, str]]" = {}
+            self._env[path] = env
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{path}:{node.name}"
+                    self.functions[qname] = FunctionInfo(
+                        qname, node.name, module, node)
+                    env[node.name] = ("func", qname)
+                elif isinstance(node, ast.ClassDef):
+                    cls = ClassInfo(f"{path}:{node.name}", node.name,
+                                    module, node, bases=list(node.bases))
+                    self.classes[cls.qname] = cls
+                    env[node.name] = ("class", cls.qname)
+                    for child in node.body:
+                        if isinstance(child, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef)):
+                            qname = f"{path}:{node.name}.{child.name}"
+                            info = FunctionInfo(qname, child.name, module,
+                                                child, class_name=node.name)
+                            self.functions[qname] = info
+                            cls.methods[child.name] = info
+
+    def _resolve_imports(self) -> None:
+        for path, module in self.project.modules.items():
+            env = self._env[path]
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        target = self._module_for(alias.name)
+                        if target is not None:
+                            bound = alias.asname or alias.name.split(".")[0]
+                            # `import a.b` binds `a`; only map it when the
+                            # alias names the leaf unambiguously.
+                            if alias.asname or "." not in alias.name:
+                                env.setdefault(bound, ("module", target))
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level:     # relative: resolve against this file
+                        base = _module_dots(path)[:-node.level]
+                        dotted = ".".join(base + tuple(
+                            node.module.split("."))) if node.module \
+                            else ".".join(base)
+                    else:
+                        dotted = node.module or ""
+                    source = self._module_for(dotted) if dotted else None
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if source is not None:
+                            symbol = self._env.get(source, {}).get(alias.name)
+                            if symbol is not None:
+                                env.setdefault(bound, symbol)
+                                continue
+                        # `from pkg import mod` — the name may itself be
+                        # a module under pkg/.
+                        sub = self._module_for(
+                            f"{dotted}.{alias.name}" if dotted
+                            else alias.name)
+                        if sub is not None:
+                            env.setdefault(bound, ("module", sub))
+
+    def _class_by_name(self, module_path: str,
+                       name: str) -> Optional[ClassInfo]:
+        kind_key = self._env.get(module_path, {}).get(name)
+        if kind_key and kind_key[0] == "class":
+            return self.classes.get(kind_key[1])
+        return None
+
+    def _infer_attr_types(self) -> None:
+        for cls in self.classes.values():
+            seen: "dict[str, set[str]]" = {}
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if not (isinstance(node, ast.Assign)
+                            and isinstance(node.value, ast.Call)):
+                        continue
+                    target_cls = self._callee_class(cls, node.value.func)
+                    if target_cls is None:
+                        continue
+                    for target in node.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            seen.setdefault(target.attr,
+                                            set()).add(target_cls.qname)
+            cls.attr_types = {attr: next(iter(types))
+                              for attr, types in seen.items()
+                              if len(types) == 1}
+
+    def _callee_class(self, cls: ClassInfo,
+                      func: ast.expr) -> Optional[ClassInfo]:
+        """The project class a constructor-call expression names."""
+        module_path = cls.module.path
+        if isinstance(func, ast.Name):
+            return self._class_by_name(module_path, func.id)
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            kind_key = self._env.get(module_path, {}).get(func.value.id)
+            if kind_key and kind_key[0] == "module":
+                target = self._env.get(kind_key[1], {}).get(func.attr)
+                if target and target[0] == "class":
+                    return self.classes.get(target[1])
+        return None
+
+    def _method_in_hierarchy(self, cls: ClassInfo, name: str,
+                             _depth: int = 0) -> Optional[FunctionInfo]:
+        if name in cls.methods:
+            return cls.methods[name]
+        if _depth >= 8:
+            return None
+        for base_expr in cls.bases:
+            base: Optional[ClassInfo] = None
+            if isinstance(base_expr, ast.Name):
+                base = self._class_by_name(cls.module.path, base_expr.id)
+            elif isinstance(base_expr, ast.Attribute) and \
+                    isinstance(base_expr.value, ast.Name):
+                kind_key = self._env.get(cls.module.path,
+                                         {}).get(base_expr.value.id)
+                if kind_key and kind_key[0] == "module":
+                    target = self._env.get(kind_key[1],
+                                           {}).get(base_expr.attr)
+                    if target and target[0] == "class":
+                        base = self.classes.get(target[1])
+            if base is not None:
+                found = self._method_in_hierarchy(base, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _build_edges(self) -> None:
+        for info in list(self.functions.values()):
+            sites: "list[CallSite]" = []
+            owner = None
+            if info.class_name is not None:
+                owner = self.classes.get(
+                    f"{info.module.path}:{info.class_name}")
+            for call in _own_calls(info.node):
+                callee = self._resolve_call(info, owner, call)
+                if callee is not None:
+                    sites.append(CallSite(callee.qname, call.lineno,
+                                          call.col_offset))
+            self.edges[info.qname] = sites
+
+    def _resolve_call(self, info: FunctionInfo, owner: Optional[ClassInfo],
+                      call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        module_path = info.module.path
+        if isinstance(func, ast.Name):
+            kind_key = self._env.get(module_path, {}).get(func.id)
+            if kind_key is None:
+                return None
+            kind, key = kind_key
+            if kind == "func":
+                return self.functions.get(key)
+            if kind == "class":
+                cls = self.classes.get(key)
+                if cls is not None:
+                    return self._method_in_hierarchy(cls, "__init__")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in ("self", "cls") and owner is not None:
+                return self._method_in_hierarchy(owner, func.attr)
+            kind_key = self._env.get(module_path, {}).get(receiver.id)
+            if kind_key is None:
+                return None
+            kind, key = kind_key
+            if kind == "module":
+                target = self._env.get(key, {}).get(func.attr)
+                if target is None:
+                    return None
+                if target[0] == "func":
+                    return self.functions.get(target[1])
+                if target[0] == "class":
+                    cls = self.classes.get(target[1])
+                    if cls is not None:
+                        return self._method_in_hierarchy(cls, "__init__")
+                return None
+            if kind == "class":
+                cls = self.classes.get(key)
+                if cls is not None:
+                    return self._method_in_hierarchy(cls, func.attr)
+            return None
+        # self._attr.method() through the inferred attribute-type map
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self" and owner is not None):
+            target_qname = owner.attr_types.get(receiver.attr)
+            if target_qname is not None:
+                cls = self.classes.get(target_qname)
+                if cls is not None:
+                    return self._method_in_hierarchy(cls, func.attr)
+        return None
+
+    # ------------------------------------------------------------- #
+    # queries
+    # ------------------------------------------------------------- #
+
+    def calls_from(self, qname: str) -> "list[CallSite]":
+        return self.edges.get(qname, [])
+
+    def find_path(self, start: str, predicate,
+                  max_depth: int = MAX_CALL_DEPTH) -> "Optional[list[str]]":
+        """BFS from ``start`` to the first function where ``predicate``
+        holds; returns the qname path including both ends, or ``None``.
+
+        The visited set makes diamonds and recursion terminate; depth is
+        counted in call hops and bounded by ``max_depth``.
+        """
+        target = self.functions.get(start)
+        if target is None:
+            return None
+        if predicate(target):
+            return [start]
+        seen = {start}
+        frontier = [(start, [start])]
+        for _ in range(max_depth):
+            next_frontier: "list[tuple[str, list[str]]]" = []
+            for qname, path in frontier:
+                for site in self.edges.get(qname, []):
+                    if site.callee in seen:
+                        continue
+                    seen.add(site.callee)
+                    callee = self.functions.get(site.callee)
+                    if callee is None:
+                        continue
+                    new_path = path + [site.callee]
+                    if predicate(callee):
+                        return new_path
+                    next_frontier.append((site.callee, new_path))
+            if not next_frontier:
+                return None
+            frontier = next_frontier
+        return None
+
+
+def _own_calls(func: "ast.FunctionDef | ast.AsyncFunctionDef",
+               ) -> Iterator[ast.Call]:
+    """Call nodes lexically in ``func``, excluding nested def/lambda/class
+    bodies — those run later, outside this function's locking context."""
+    stack: "list[ast.AST]" = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def get_call_graph(project: Project) -> CallGraph:
+    """The (memoized) call graph of this lint run's project."""
+    graph = project.cache.get("callgraph")
+    if graph is None:
+        graph = CallGraph(project)
+        project.cache["callgraph"] = graph
+    return graph

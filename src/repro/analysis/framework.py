@@ -20,6 +20,14 @@ The framework is deliberately small:
 - :class:`Checker` — a rule with a name, a one-line description, an
   optional directory ``scope`` (e.g. the no-blocking-under-lock rule only
   applies to the hot-path packages) and a ``check`` generator.
+- :class:`Project` — every parsed module of one lint run, for
+  **whole-program** rules (v2): a checker that sets
+  ``project_wide = True`` implements ``check_project(project)`` instead
+  of per-module ``check`` and sees all files at once, so it can reason
+  across call and import edges (:mod:`repro.analysis.callgraph`,
+  :mod:`repro.analysis.guards`).  Pragma filtering still applies — a
+  project finding is suppressed by the pragma table of the file it
+  lands in.
 - :func:`lint_paths` — walk files/directories, run every (selected)
   checker, and return a :class:`LintResult` whose findings are sorted and
   pragma-filtered.  Unparseable files produce a ``syntax-error`` finding
@@ -44,6 +52,7 @@ __all__ = [
     "Finding",
     "LintResult",
     "ModuleSource",
+    "Project",
     "iter_python_files",
     "lint_paths",
 ]
@@ -123,23 +132,70 @@ class Checker:
     is in scope when any of its path components matches).  ``check``
     yields findings; pragma filtering happens in :func:`lint_paths`, so
     checkers never need to consult the pragma table themselves.
+
+    A **whole-program** rule sets :attr:`project_wide` and implements
+    :meth:`check_project` instead: it runs once per lint run against the
+    :class:`Project` of every parsed module.  ``scope`` then restricts
+    where such a rule may *report* (findings landing in out-of-scope
+    files are dropped), while the analysis itself still sees the whole
+    project — a call chain may leave the scoped packages and come back.
     """
 
     rule: str = ""
     description: str = ""
     scope: Optional[tuple[str, ...]] = None
+    project_wide: bool = False
+    #: False for rules whose verdict depends on files outside the linted
+    #: tree (the doc-drift gate) — the incremental cache always re-runs
+    #: them instead of trusting a per-file content hash.
+    cacheable: bool = True
 
     def applies_to(self, module: ModuleSource) -> bool:
+        return self.path_in_scope(module.path)
+
+    def path_in_scope(self, path: str) -> bool:
         if not self.scope:
             return True
-        parts = Path(module.path).parts
+        parts = Path(path).parts
         return any(name in parts for name in self.scope)
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         raise NotImplementedError
 
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<checker {self.rule}>"
+
+
+class Project:
+    """Every module one lint run parsed, for whole-program rules.
+
+    ``modules`` maps path → :class:`ModuleSource` in walk order.
+    ``cache`` is a scratch dict shared by all project-wide checkers of
+    one run, so expensive derived structures (the symbol table and call
+    graph of :mod:`repro.analysis.callgraph`) are built once per run,
+    not once per rule.
+    """
+
+    def __init__(self, modules: "dict[str, ModuleSource]"):
+        self.modules = modules
+        self.cache: dict = {}
+
+    def module(self, path: str) -> Optional[ModuleSource]:
+        return self.modules.get(path)
+
+    def fingerprint(self) -> str:
+        """Hash of every (path, text) pair — keys the incremental cache."""
+        import hashlib
+        digest = hashlib.sha256()
+        for path in sorted(self.modules):
+            digest.update(path.encode())
+            digest.update(b"\0")
+            digest.update(self.modules[path].text.encode())
+            digest.update(b"\0")
+        return digest.hexdigest()
 
 
 @dataclass(slots=True)
@@ -190,7 +246,10 @@ def lint_paths(
                 f"unknown rule(s): {', '.join(sorted(unknown))}; "
                 f"known: {', '.join(sorted(c.rule for c in selected))}")
         selected = [c for c in selected if c.rule in wanted]
+    local = [c for c in selected if not c.project_wide]
+    global_ = [c for c in selected if c.project_wide]
     findings: list[Finding] = []
+    modules: dict[str, ModuleSource] = {}
     files = 0
     for path in iter_python_files(paths):
         files += 1
@@ -203,11 +262,22 @@ def lint_paths(
                 line=exc.lineno or 0, col=(exc.offset or 0),
                 message=f"file does not parse: {exc.msg}"))
             continue
-        for checker in selected:
+        modules[module.path] = module
+        for checker in local:
             if not checker.applies_to(module):
                 continue
             for finding in checker.check(module):
                 if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    if global_:
+        project = Project(modules)
+        for checker in global_:
+            for finding in checker.check_project(project):
+                if not checker.path_in_scope(finding.path):
+                    continue
+                owner = project.module(finding.path)
+                if owner is None or \
+                        not owner.suppressed(finding.rule, finding.line):
                     findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintResult(findings=findings, files_scanned=files,

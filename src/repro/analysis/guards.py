@@ -1,0 +1,215 @@
+"""RacerD-style lock-guard inference over the hot-path classes.
+
+PR 5's ``lock-discipline`` trusts naming: only ``*_unlocked`` methods
+and ``col_*`` columns are known to need a lock.  But most shared state
+in this tree is ordinary attributes — ``self._table``, ``self._ledger``,
+``self._inflight`` — whose guard is a *convention the code itself
+demonstrates*: nearly every access sits inside ``with self._lock:``.
+This checker turns that demonstrated convention into an enforced one,
+the way RacerD infers guards from observed lock/access co-occurrence
+rather than annotations:
+
+1. For every class in the hot-path packages, record each ``self.<attr>``
+   access (read or write) in every method except ``__init__``/
+   ``__new__`` (construction happens before the object is published),
+   together with its lock context: the normalized ``with`` lock
+   expression (``self._lock``, ``self._locks[*]`` — subscripts are
+   wildcarded so stripe locks unify), or *caller-held* inside
+   ``*_locked``/``*_unlocked`` methods, or none.
+2. Per attribute, if at least :data:`MIN_GUARDED` accesses are under the
+   dominant lock and the guarded fraction (dominant lock + caller-held)
+   reaches :data:`MAJORITY`, the attribute is inferred **guarded by**
+   that lock, with the fraction as the confidence.
+3. Every access outside the inferred guard — bare, or under a
+   *different* lock — is a finding, reporting the inferred guard, the
+   confidence, and the access counts, so the reader can judge the
+   inference from the finding alone.
+
+The majority threshold is what makes this usable: attributes set once
+in ``__init__`` and read freely (config), or consistently accessed
+without locks (single-threaded helpers), never reach it and generate
+nothing.  Classes with two locks guarding different attributes are
+handled naturally — inference is per attribute.  Accesses inside nested
+``def``/``lambda`` bodies are skipped (deferred execution, unknown lock
+context at run time).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Checker, Finding, ModuleSource
+from repro.analysis.locking import GUARDED_SUFFIXES, is_lockish
+
+__all__ = ["GuardInferenceChecker", "MAJORITY", "MIN_GUARDED"]
+
+#: Guarded fraction at or above which an attribute's guard is inferred.
+MAJORITY = 0.75
+
+#: Minimum accesses under the dominant lock before inferring anything —
+#: one lucky co-occurrence is not a convention.
+MIN_GUARDED = 3
+
+#: Lock context marker: access inside a ``*_locked``/``*_unlocked``
+#: method — guarded by *whatever* lock the caller holds, so it counts
+#: toward any inferred guard and is never itself flagged.
+CALLER_HELD = "<caller-held>"
+
+_LOCK_ATTR = re.compile(r"lock|mutex|cond", re.IGNORECASE)
+_SUBSCRIPT = re.compile(r"\[[^]]*\]")
+
+#: Dunder methods skipped entirely: construction precedes publication,
+#: and the interpreter may call repr/del at arbitrary points we cannot
+#: reason about.
+_SKIPPED_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+
+@dataclass(slots=True)
+class _Access:
+    attr: str
+    kind: str                       # "read" | "write"
+    guard: Optional[str]            # lock token, CALLER_HELD, or None
+    node: ast.AST
+    method: str
+
+
+@dataclass(slots=True)
+class _ClassAccesses:
+    name: str
+    methods: "set[str]" = field(default_factory=set)
+    accesses: "list[_Access]" = field(default_factory=list)
+
+
+def _lock_token(expr: ast.expr) -> Optional[str]:
+    """Normalize a lockish ``with`` context expression to a stable token.
+
+    ``self._locks[shard]`` and ``self._locks[i]`` both become
+    ``self._locks[*]`` so striped locks unify into one guard.
+    """
+    if not is_lockish(expr):
+        return None
+    try:
+        source = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return None
+    return _SUBSCRIPT.sub("[*]", source)
+
+
+class GuardInferenceChecker(Checker):
+    """Infer which lock guards which attribute; flag unguarded accesses."""
+
+    rule = "guard-inference"
+    description = ("per class, learn which lock attribute guards which "
+                   "data attribute from the majority of observed "
+                   "accesses (with confidence), then flag accesses "
+                   "outside the inferred guard")
+    scope = ("core", "runtime", "obs", "procplane", "reshard",
+             "lease.py")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------- #
+    # collection
+    # ------------------------------------------------------------- #
+
+    def _check_class(self, module: ModuleSource,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        record = _ClassAccesses(cls.name)
+        for child in cls.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                record.methods.add(child.name)
+        for child in cls.body:
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            if child.name in _SKIPPED_METHODS:
+                continue
+            guard = (CALLER_HELD if child.name.endswith(GUARDED_SUFFIXES)
+                     else None)
+            self._collect(child, guard, child.name, record, {})
+        yield from self._report(module, record)
+
+    def _collect(self, node: ast.AST, guard: Optional[str], method: str,
+                 record: _ClassAccesses,
+                 aliases: "dict[str, str]") -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue               # deferred body: unknown lock context
+            child_guard = guard
+            if isinstance(child, ast.Assign) and \
+                    len(child.targets) == 1 and \
+                    isinstance(child.targets[0], ast.Name):
+                # `lock = self._locks[i]` — remember the alias so a later
+                # `with lock:` unifies with `with self._locks[i]:`.
+                token = _lock_token(child.value)
+                if token is not None:
+                    aliases[child.targets[0].id] = token
+            if isinstance(child, ast.With):
+                for item in child.items:
+                    ctx = item.context_expr
+                    if isinstance(ctx, ast.Name) and ctx.id in aliases:
+                        child_guard = aliases[ctx.id]
+                        break
+                    token = _lock_token(ctx)
+                    if token is not None:
+                        child_guard = token
+                        break
+            if isinstance(child, ast.Attribute) and \
+                    isinstance(child.value, ast.Name) and \
+                    child.value.id == "self":
+                attr = child.attr
+                if not _LOCK_ATTR.search(attr) and \
+                        attr not in record.methods:
+                    kind = ("write" if isinstance(
+                        child.ctx, (ast.Store, ast.Del)) else "read")
+                    record.accesses.append(_Access(
+                        attr, kind, child_guard, child, method))
+            self._collect(child, child_guard, method, record, aliases)
+
+    # ------------------------------------------------------------- #
+    # inference + reporting
+    # ------------------------------------------------------------- #
+
+    def _report(self, module: ModuleSource,
+                record: _ClassAccesses) -> Iterator[Finding]:
+        by_attr: "dict[str, list[_Access]]" = {}
+        for access in record.accesses:
+            by_attr.setdefault(access.attr, []).append(access)
+        for attr, accesses in sorted(by_attr.items()):
+            lock_counts: "dict[str, int]" = {}
+            held = 0
+            for access in accesses:
+                if access.guard == CALLER_HELD:
+                    held += 1
+                elif access.guard is not None:
+                    lock_counts[access.guard] = \
+                        lock_counts.get(access.guard, 0) + 1
+            if not lock_counts:
+                continue               # no specific lock ever observed
+            dominant = max(sorted(lock_counts), key=lock_counts.get)
+            guarded = lock_counts[dominant] + held
+            total = len(accesses)
+            confidence = guarded / total
+            if lock_counts[dominant] < MIN_GUARDED or \
+                    confidence < MAJORITY:
+                continue
+            for access in accesses:
+                if access.guard in (dominant, CALLER_HELD):
+                    continue
+                where = (f"under a different lock ({access.guard})"
+                         if access.guard is not None else "without it")
+                yield module.finding(
+                    self.rule, access.node,
+                    f"{record.name}.{attr} is guarded by "
+                    f"'with {dominant}:' (confidence "
+                    f"{confidence:.0%}, {guarded}/{total} accesses "
+                    f"guarded) but this {access.kind} in "
+                    f"{access.method}() happens {where} — a racing "
+                    f"thread holding {dominant} can interleave")

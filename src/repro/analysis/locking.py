@@ -42,7 +42,9 @@ from typing import Iterator, Optional
 
 from repro.analysis.framework import Checker, Finding, ModuleSource
 
-__all__ = ["BlockingUnderLockChecker", "LockDisciplineChecker"]
+__all__ = ["BlockingUnderLockChecker", "LockDisciplineChecker",
+           "blocking_reason", "is_lockish", "with_holds_lock",
+           "GUARDED_SUFFIXES"]
 
 _LOCKISH = re.compile(r"lock|mutex", re.IGNORECASE)
 
@@ -73,6 +75,17 @@ def _is_lockish(expr: ast.expr) -> bool:
     return bool(_LOCKISH.search(source))
 
 
+#: Shared vocabulary for the whole-program passes (guards, transitive
+#: blocking): the same lexical notions of "lock" this module enforces.
+is_lockish = _is_lockish
+GUARDED_SUFFIXES = _GUARDED_SUFFIXES
+
+
+def blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why this call can block/stall, or ``None`` (shared sink model)."""
+    return BlockingUnderLockChecker._blocking_reason(call)
+
+
 def _callee_name(call: ast.Call) -> Optional[str]:
     func = call.func
     if isinstance(func, ast.Attribute):
@@ -84,6 +97,9 @@ def _callee_name(call: ast.Call) -> Optional[str]:
 
 def _with_holds_lock(node: ast.With) -> bool:
     return any(_is_lockish(item.context_expr) for item in node.items)
+
+
+with_holds_lock = _with_holds_lock
 
 
 def _col_subscript_name(node: ast.Subscript) -> Optional[str]:

@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 output for janus-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the document
+GitHub code scanning ingests: upload the file from CI and findings
+render as inline annotations on the PR diff, with the rule catalog
+attached.  Only the small subset of the (large) SARIF schema that code
+scanning actually reads is emitted: one ``run`` with a ``tool.driver``
+carrying the rule catalog, and one ``result`` per finding pointing at a
+``physicalLocation``.
+
+Stable result identity matters for code-scanning's "new vs. existing"
+dedup, so each result carries a ``partialFingerprints`` entry built
+from the same ``(rule, path, message)`` triple the ``--baseline``
+machinery uses (:class:`repro.analysis.cache.Baseline`) — the two
+delta-gating mechanisms agree on what "the same finding" means.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+from repro.analysis.cache import Baseline
+from repro.analysis.framework import Checker, Finding, LintResult
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+               "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Everything janus-lint reports is gating (exit 1), so every result is
+#: a SARIF "error" — there is no warning tier to silently accumulate.
+_LEVEL = "error"
+
+
+def _fingerprint(finding: Finding) -> str:
+    key = "\0".join(Baseline.key(finding))
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def _rule_descriptor(checker: Checker) -> dict:
+    return {
+        "id": checker.rule,
+        "shortDescription": {"text": checker.description},
+        "defaultConfiguration": {"level": _LEVEL},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVEL,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": max(finding.line, 1),
+                           "startColumn": max(finding.col, 1)},
+            },
+        }],
+        "partialFingerprints": {
+            "janusLintFinding/v1": _fingerprint(finding),
+        },
+    }
+
+
+def to_sarif(result: LintResult,
+             checkers: Optional[Sequence[Checker]] = None) -> dict:
+    """Render a :class:`LintResult` as a SARIF 2.1.0 document (a dict).
+
+    ``checkers`` supplies the rule catalog for ``tool.driver.rules``;
+    rules not in ``result.rules`` (deselected via ``--rules``) are left
+    out so the document only describes what actually ran.
+    """
+    active = set(result.rules)
+    rules = [_rule_descriptor(c) for c in (checkers or [])
+             if c.rule in active]
+    # syntax-error findings come from the framework, not a checker.
+    if any(f.rule == "syntax-error" for f in result.findings):
+        rules.append({
+            "id": "syntax-error",
+            "shortDescription": {"text": "file does not parse"},
+            "defaultConfiguration": {"level": _LEVEL},
+        })
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "janus-lint",
+                    "informationUri":
+                        "https://github.com/janus-qos/janus",
+                    "rules": sorted(rules, key=lambda r: r["id"]),
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": [_result(f) for f in result.findings],
+        }],
+    }

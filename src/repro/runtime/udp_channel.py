@@ -877,6 +877,11 @@ class ChannelSet:
 
     def _wake(self) -> None:
         try:
+            # The wake socketpair is setblocking(False) at construction:
+            # this send either succeeds instantly or raises
+            # BlockingIOError (a wakeup is already pending) — it can
+            # never stall a lock holder, so chains reaching it are safe.
+            # janus-lint: disable=transitive-blocking-under-lock
             self._wake_w.send(b"\0")
         except (BlockingIOError, OSError):
             pass        # a wakeup is already pending, or we are shutting down

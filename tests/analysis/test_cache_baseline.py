@@ -1,0 +1,271 @@
+"""Incremental cache, baseline gating and SARIF output tests."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import all_checkers
+from repro.analysis.cache import Baseline, lint_paths_cached
+from repro.analysis.framework import lint_paths
+from repro.analysis.sarif import to_sarif
+from tests.analysis.test_wiremodel import MINI_PROTOCOL
+
+BAD_STORE = textwrap.dedent("""
+    import time
+
+
+    class Store:
+        def __init__(self):
+            self._lock = None
+            self._table = {}
+
+        def put(self, k, v):
+            with self._lock:
+                self._table[k] = v
+
+        def drop(self, k):
+            with self._lock:
+                del self._table[k]
+
+        def size(self):
+            with self._lock:
+                return len(self._table)
+
+        def peek(self, k):
+            return self._table.get(k)
+
+        def nap(self):
+            with self._lock:
+                self._snooze()
+
+        def _snooze(self):
+            time.sleep(0.1)
+""")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "store.py").write_text(BAD_STORE)
+    return tmp_path
+
+
+def _cached(tree, cache):
+    return lint_paths_cached([str(tree)], all_checkers(),
+                             cache_file=cache)
+
+
+def test_cold_run_matches_uncached(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    cached = _cached(tree, cache)
+    plain = lint_paths([str(tree)], all_checkers())
+    assert cached.findings == plain.findings
+    assert cached.files_scanned == plain.files_scanned
+    assert {f.rule for f in cached.findings} == {
+        "guard-inference", "transitive-blocking-under-lock"}
+
+
+def test_warm_run_replays_identical_findings(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    cold = _cached(tree, cache)
+    document = json.loads(cache.read_text())
+    assert document["schema"] == 1
+    warm = _cached(tree, cache)
+    assert warm.findings == cold.findings
+
+
+def test_editing_a_file_invalidates_its_entry(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    cold = _cached(tree, cache)
+    assert cold.findings
+    # Fix the unguarded read and the blocking helper: the stale cache
+    # must not replay the old findings.
+    (tree / "core" / "store.py").write_text(
+        BAD_STORE
+        .replace("        return self._table.get(k)",
+                 "        with self._lock:\n"
+                 "            return self._table.get(k)")
+        .replace("time.sleep(0.1)", "pass"))
+    warm = _cached(tree, cache)
+    assert warm.findings == []
+
+
+def test_project_pass_reruns_when_any_file_changes(tree, tmp_path):
+    # The blocking sink lives in helper.py; the lock-held call site in
+    # caller.py.  Fixing the *helper* must clear the finding reported in
+    # the untouched caller — a per-file cache that only invalidated
+    # caller.py would replay it forever.
+    (tree / "core" / "store.py").unlink()
+    (tree / "core" / "caller.py").write_text(textwrap.dedent("""
+        from core.helper import push
+
+
+        class Router:
+            def publish(self, payload):
+                with self._lock:
+                    push(payload)
+    """))
+    (tree / "core" / "helper.py").write_text(textwrap.dedent("""
+        import time
+
+
+        def push(payload):
+            time.sleep(0.1)
+    """))
+    cache = tmp_path / "cache.json"
+    cold = _cached(tree, cache)
+    assert [f.rule for f in cold.findings] == \
+        ["transitive-blocking-under-lock"]
+    assert cold.findings[0].path.endswith("caller.py")
+    (tree / "core" / "helper.py").write_text(textwrap.dedent("""
+        def push(payload):
+            pass
+    """))
+    warm = _cached(tree, cache)
+    assert warm.findings == []
+
+
+def test_uncacheable_rule_reruns_on_doc_only_change(tmp_path):
+    # wire-doc-drift depends on docs/PROTOCOL.md, which is outside the
+    # linted tree — no linted file's hash changes when the doc drifts,
+    # so the rule is marked cacheable=False and must rerun every time.
+    src = tmp_path / "src" / "core"
+    src.mkdir(parents=True)
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (src / "protocol.py").write_text(MINI_PROTOCOL)
+    (docs / "PROTOCOL.md").write_text(
+        "type (1=request, 2=response)\nmagic 0x4A51\n"
+        "key length L (u16, <= 4096)\n")
+    cache = tmp_path / "cache.json"
+    first = lint_paths_cached([str(tmp_path / "src")], all_checkers(),
+                              rules=["wire-doc-drift"], cache_file=cache)
+    assert first.ok
+    (docs / "PROTOCOL.md").write_text(
+        "type (1=request, 9=response)\nmagic 0x4A51\n")
+    second = lint_paths_cached([str(tmp_path / "src")], all_checkers(),
+                               rules=["wire-doc-drift"], cache_file=cache)
+    assert not second.ok, \
+        "doc-only drift was masked by the incremental cache"
+
+
+def test_rule_selection_change_invalidates_cache(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    narrow = lint_paths_cached([str(tree)], all_checkers(),
+                               rules=["monotonic-time"], cache_file=cache)
+    assert narrow.ok
+    full = _cached(tree, cache)
+    assert full.findings, "stale narrow-rule cache suppressed findings"
+
+
+def test_corrupt_cache_is_ignored(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    result = _cached(tree, cache)
+    assert result.findings == lint_paths([str(tree)],
+                                         all_checkers()).findings
+
+
+# ----------------------------------------------------------------- #
+# baselines
+# ----------------------------------------------------------------- #
+
+
+def test_baseline_splits_known_from_new(tree, tmp_path):
+    result = lint_paths([str(tree)], all_checkers())
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.write(result, baseline_file)
+    baseline = Baseline.load(baseline_file)
+    new, known = baseline.split(result)
+    assert new == [] and known == result.findings
+
+
+def test_baseline_survives_line_shift(tree, tmp_path):
+    result = lint_paths([str(tree)], all_checkers())
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.write(result, baseline_file)
+    # Prepend a comment: every finding moves down a line but none is new.
+    store = tree / "core" / "store.py"
+    store.write_text("# shifted\n" + store.read_text())
+    shifted = lint_paths([str(tree)], all_checkers())
+    assert shifted.findings != result.findings       # lines did move
+    new, known = Baseline.load(baseline_file).split(shifted)
+    assert new == []
+    assert len(known) == len(result.findings)
+
+
+def test_baseline_lets_new_findings_gate(tree, tmp_path):
+    result = lint_paths([str(tree)], all_checkers())
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.write(result, baseline_file)
+    store = tree / "core" / "store.py"
+    store.write_text(store.read_text() + textwrap.dedent("""
+
+        def fresh():
+            return time.time()
+    """))
+    now = lint_paths([str(tree)], all_checkers())
+    new, known = Baseline.load(baseline_file).split(now)
+    assert [f.rule for f in new] == ["monotonic-time"]
+    assert len(known) == len(result.findings)
+
+
+def test_baseline_load_rejects_garbage(tmp_path):
+    target = tmp_path / "nope.json"
+    with pytest.raises(ValueError):
+        Baseline.load(target)
+    target.write_text("not json at all")
+    with pytest.raises(ValueError):
+        Baseline.load(target)
+
+
+# ----------------------------------------------------------------- #
+# SARIF
+# ----------------------------------------------------------------- #
+
+
+def test_sarif_document_shape(tree):
+    result = lint_paths([str(tree)], all_checkers())
+    document = to_sarif(result, all_checkers())
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "janus-lint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert rule_ids == set(result.rules)
+    assert len(run["results"]) == len(result.findings)
+    sample = run["results"][0]
+    finding = result.findings[0]
+    assert sample["ruleId"] == finding.rule
+    assert sample["level"] == "error"
+    location = sample["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == finding.path
+    assert location["region"]["startLine"] == finding.line
+    assert json.dumps(document)          # serializable as-is
+
+
+def test_sarif_fingerprints_stable_across_line_shift(tree):
+    before = to_sarif(lint_paths([str(tree)], all_checkers()),
+                      all_checkers())
+    store = tree / "core" / "store.py"
+    store.write_text("# shifted\n" + store.read_text())
+    after = to_sarif(lint_paths([str(tree)], all_checkers()),
+                     all_checkers())
+
+    def prints(doc):
+        return sorted(r["partialFingerprints"]["janusLintFinding/v1"]
+                      for r in doc["runs"][0]["results"])
+
+    assert prints(before) == prints(after)
+
+
+def test_sarif_deselected_rules_left_out(tree):
+    result = lint_paths([str(tree)], all_checkers(),
+                        rules=["guard-inference"])
+    document = to_sarif(result, all_checkers())
+    rule_ids = [r["id"] for r in
+                document["runs"][0]["tool"]["driver"]["rules"]]
+    assert rule_ids == ["guard-inference"]

@@ -1,0 +1,221 @@
+"""Unit tests for the project symbol table and call graph."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph, get_call_graph
+from repro.analysis.framework import ModuleSource, Project
+
+
+@pytest.fixture
+def graph_of():
+    def build(files: dict) -> CallGraph:
+        modules = {path: ModuleSource(path, textwrap.dedent(code))
+                   for path, code in files.items()}
+        return get_call_graph(Project(modules))
+
+    return build
+
+
+def _callees(graph, qname):
+    return {site.callee for site in graph.calls_from(qname)}
+
+
+def test_self_method_and_module_function_resolution(graph_of):
+    graph = graph_of({"pkg/mod.py": """
+        def helper():
+            pass
+
+
+        class C:
+            def run(self):
+                self._step()
+                helper()
+
+            def _step(self):
+                pass
+    """})
+    assert _callees(graph, "pkg/mod.py:C.run") == {
+        "pkg/mod.py:C._step", "pkg/mod.py:helper"}
+
+
+def test_cross_module_from_import_and_alias(graph_of):
+    graph = graph_of({
+        "pkg/a.py": """
+            from pkg.b import push as shove
+            import pkg.b as wire
+
+
+            def go():
+                shove()
+                wire.pull()
+        """,
+        "pkg/b.py": """
+            def push():
+                pass
+
+
+            def pull():
+                pass
+        """,
+    })
+    assert _callees(graph, "pkg/a.py:go") == {
+        "pkg/b.py:push", "pkg/b.py:pull"}
+
+
+def test_relative_import_resolution(graph_of):
+    graph = graph_of({
+        "pkg/a.py": """
+            from .b import push
+
+
+            def go():
+                push()
+        """,
+        "pkg/b.py": """
+            def push():
+                pass
+        """,
+    })
+    assert _callees(graph, "pkg/a.py:go") == {"pkg/b.py:push"}
+
+
+def test_attr_type_inference_routes_method_calls(graph_of):
+    graph = graph_of({
+        "pkg/user.py": """
+            from pkg.ledger import Ledger
+
+
+            class Router:
+                def __init__(self):
+                    self._ledger = Ledger()
+
+                def admit(self, key):
+                    return self._ledger.grant(key)
+        """,
+        "pkg/ledger.py": """
+            class Ledger:
+                def grant(self, key):
+                    return True
+        """,
+    })
+    owner = graph.classes["pkg/user.py:Router"]
+    assert owner.attr_types == {"_ledger": "pkg/ledger.py:Ledger"}
+    assert _callees(graph, "pkg/user.py:Router.admit") == {
+        "pkg/ledger.py:Ledger.grant"}
+
+
+def test_ambiguous_attr_type_produces_no_edge(graph_of):
+    # The attribute is assigned two different project classes: the
+    # conservative resolver must refuse to pick one.
+    graph = graph_of({"pkg/m.py": """
+        class A:
+            def hit(self):
+                pass
+
+
+        class B:
+            def hit(self):
+                pass
+
+
+        class User:
+            def __init__(self, fast):
+                if fast:
+                    self._impl = A()
+                else:
+                    self._impl = B()
+
+            def go(self):
+                self._impl.hit()
+    """})
+    assert graph.classes["pkg/m.py:User"].attr_types == {}
+    assert _callees(graph, "pkg/m.py:User.go") == set()
+
+
+def test_base_class_method_resolution(graph_of):
+    graph = graph_of({"pkg/m.py": """
+        class Base:
+            def common(self):
+                pass
+
+
+        class Derived(Base):
+            def run(self):
+                self.common()
+    """})
+    assert _callees(graph, "pkg/m.py:Derived.run") == {
+        "pkg/m.py:Base.common"}
+
+
+def test_unknown_receiver_is_conservative(graph_of):
+    graph = graph_of({"pkg/m.py": """
+        def go(conn):
+            conn.send(b"x")
+            unknown_name()
+    """})
+    assert _callees(graph, "pkg/m.py:go") == set()
+
+
+def test_nested_def_calls_excluded(graph_of):
+    graph = graph_of({"pkg/m.py": """
+        def helper():
+            pass
+
+
+        def go():
+            def later():
+                helper()
+            return later
+    """})
+    assert _callees(graph, "pkg/m.py:go") == set()
+
+
+def test_find_path_bfs_shortest_and_bounded(graph_of):
+    graph = graph_of({"pkg/m.py": """
+        def a():
+            b()
+            c()
+
+
+        def b():
+            d()
+
+
+        def c():
+            pass
+
+
+        def d():
+            pass
+    """})
+    path = graph.find_path("pkg/m.py:a",
+                           lambda f: f.name == "d")
+    assert path == ["pkg/m.py:a", "pkg/m.py:b", "pkg/m.py:d"]
+    assert graph.find_path("pkg/m.py:a",
+                           lambda f: f.name == "d",
+                           max_depth=1) is None
+    assert graph.find_path("pkg/m.py:a",
+                           lambda f: f.name == "nowhere") is None
+
+
+def test_find_path_terminates_on_cycles(graph_of):
+    graph = graph_of({"pkg/m.py": """
+        def ping():
+            pong()
+
+
+        def pong():
+            ping()
+    """})
+    assert graph.find_path("pkg/m.py:ping",
+                           lambda f: f.name == "absent") is None
+
+
+def test_graph_memoized_per_project(graph_of):
+    modules = {"pkg/m.py": ModuleSource("pkg/m.py", "def f():\n    pass\n")}
+    project = Project(modules)
+    assert get_call_graph(project) is get_call_graph(project)

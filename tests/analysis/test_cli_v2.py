@@ -1,0 +1,89 @@
+"""End-to-end tests for the v2 ``janus lint`` CLI flags."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import _main
+
+BAD = textwrap.dedent("""
+    import time
+
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.1)
+""")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "bad.py").write_text(BAD)
+    return tmp_path
+
+
+def test_format_sarif_emits_valid_document(tree, capsys):
+    status = _main([str(tree), "--format", "sarif"])
+    assert status == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["blocking-under-lock"]
+
+
+def test_json_flag_still_works_as_alias(tree, capsys):
+    status = _main([str(tree), "--json"])
+    assert status == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["findings"][0]["rule"] == "blocking-under-lock"
+
+
+def test_baseline_round_trip_gates_only_new(tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert _main([str(tree), "--write-baseline", str(baseline)]) == 0
+    assert _main([str(tree), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr()
+    assert "(baselined)" in out.out
+    assert "(1 baselined)" in out.err
+    (tree / "core" / "worse.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    assert _main([str(tree), "--baseline", str(baseline)]) == 1
+
+
+def test_cache_flag_keeps_verdict_stable(tree, tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    assert _main([str(tree), "--cache", str(cache)]) == 1
+    cold = capsys.readouterr().out
+    assert cache.is_file()
+    assert _main([str(tree), "--cache", str(cache)]) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold
+
+
+def test_wire_outputs_from_lint_run(tree, tmp_path, capsys):
+    from tests.analysis.test_wiremodel import MINI_PROTOCOL
+
+    (tree / "core" / "protocol.py").write_text(MINI_PROTOCOL)
+    spec = tmp_path / "spec.json"
+    corpus = tmp_path / "corpus"
+    status = _main([str(tree), "--rules", "wire-doc-drift",
+                    "--wire-spec", str(spec),
+                    "--wire-corpus", str(corpus)])
+    assert status == 0
+    capsys.readouterr()
+    document = json.loads(spec.read_text())
+    assert document["frame_types"] == {"REQUEST": 1, "RESPONSE": 2}
+    assert (corpus / "manifest.json").is_file()
+    assert list(corpus.glob("*.bin"))
+
+
+def test_wire_spec_without_protocol_module_errors(tree, capsys):
+    status = _main([str(tree), "--rules", "wire-doc-drift",
+                    "--wire-spec", "/dev/null"])
+    assert status == 2
+    assert "core/protocol.py" in capsys.readouterr().err

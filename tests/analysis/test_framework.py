@@ -136,6 +136,6 @@ def test_cli_exit_codes_and_json(tmp_path, capsys):
 
 def test_every_checker_has_rule_and_description():
     checkers = all_checkers()
-    assert len({c.rule for c in checkers}) == len(checkers) == 5
+    assert len({c.rule for c in checkers}) == len(checkers) == 8
     for checker in checkers:
         assert checker.rule and checker.description

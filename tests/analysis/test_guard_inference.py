@@ -1,0 +1,292 @@
+"""Tests for :mod:`repro.analysis.guards` (RacerD-style inference)."""
+
+from __future__ import annotations
+
+RULE = "guard-inference"
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.findings]
+
+
+def test_unguarded_access_flagged_with_confidence(lint):
+    result = lint(
+        """
+        class Store:
+            def __init__(self):
+                self._lock = None
+                self._table = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._table[k] = v
+
+            def drop(self, k):
+                with self._lock:
+                    del self._table[k]
+
+            def size(self):
+                with self._lock:
+                    return len(self._table)
+
+            def peek(self, k):
+                return self._table.get(k)
+        """,
+        rules=[RULE])
+    assert rules_of(result) == [RULE]
+    message = result.findings[0].message
+    assert "Store._table" in message
+    assert "with self._lock:" in message
+    assert "confidence 75%" in message
+    assert "3/4 accesses guarded" in message
+    assert "read in peek()" in message
+    assert "without it" in message
+
+
+def test_fully_guarded_class_is_clean(lint):
+    result = lint(
+        """
+        class Store:
+            def __init__(self):
+                self._lock = None
+                self._table = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._table[k] = v
+
+            def get(self, k):
+                with self._lock:
+                    return self._table.get(k)
+
+            def size(self):
+                with self._lock:
+                    return len(self._table)
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_never_locked_attribute_infers_nothing(lint):
+    # A config attribute read freely everywhere demonstrates no guard
+    # convention, so nothing is inferred and nothing is flagged.
+    result = lint(
+        """
+        class Config:
+            def __init__(self):
+                self.limit = 8
+
+            def a(self):
+                return self.limit
+
+            def b(self):
+                return self.limit * 2
+
+            def c(self):
+                return self.limit + 1
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_mixed_below_majority_infers_nothing(lint):
+    # 2 guarded / 2 bare = 50% < MAJORITY, and 2 < MIN_GUARDED: no
+    # convention is demonstrated, so neither bare access is flagged.
+    result = lint(
+        """
+        class Half:
+            def __init__(self):
+                self._lock = None
+                self._data = []
+
+            def a(self):
+                with self._lock:
+                    self._data.append(1)
+
+            def b(self):
+                with self._lock:
+                    self._data.append(2)
+
+            def c(self):
+                return self._data[0]
+
+            def d(self):
+                return self._data[-1]
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_caller_held_methods_count_toward_guard(lint):
+    # *_unlocked methods run with the caller's lock held: they feed the
+    # inference's guarded tally and are never themselves flagged.
+    result = lint(
+        """
+        class Shard:
+            def __init__(self):
+                self._lock = None
+                self._rows = []
+
+            def add(self, row):
+                with self._lock:
+                    self._rows.append(row)
+
+            def drain(self):
+                with self._lock:
+                    self._rows.clear()
+
+            def scan(self):
+                with self._lock:
+                    return list(self._rows)
+
+            def _compact_unlocked(self):
+                self._rows.sort()
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_striped_lock_alias_unifies(lint):
+    # `lock = self._locks[i]` then `with lock:` must unify with direct
+    # `with self._locks[j]:` accesses — both normalize to
+    # self._locks[*], so neither style is flagged as "different lock".
+    result = lint(
+        """
+        class Striped:
+            def __init__(self):
+                self._locks = []
+                self._shards = []
+
+            def put(self, i, v):
+                with self._locks[i]:
+                    self._shards[i] = v
+
+            def get(self, i):
+                with self._locks[i]:
+                    return self._shards[i]
+
+            def swap(self, i, v):
+                lock = self._locks[i]
+                with lock:
+                    old = self._shards[i]
+                    self._shards[i] = v
+                    return old
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_access_under_different_lock_flagged(lint):
+    result = lint(
+        """
+        class TwoLocks:
+            def __init__(self):
+                self._lock = None
+                self._other_lock = None
+                self._ledger = {}
+
+            def credit(self, k):
+                with self._lock:
+                    self._ledger[k] = 1
+
+            def debit(self, k):
+                with self._lock:
+                    self._ledger[k] = -1
+
+            def total(self):
+                with self._lock:
+                    return sum(self._ledger.values())
+
+            def confused(self, k):
+                with self._other_lock:
+                    return self._ledger.get(k)
+        """,
+        rules=[RULE])
+    assert rules_of(result) == [RULE]
+    assert "under a different lock (self._other_lock)" in \
+        result.findings[0].message
+
+
+def test_pragma_suppresses_finding(lint):
+    result = lint(
+        """
+        class Store:
+            def __init__(self):
+                self._lock = None
+                self._table = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._table[k] = v
+
+            def drop(self, k):
+                with self._lock:
+                    del self._table[k]
+
+            def size(self):
+                with self._lock:
+                    return len(self._table)
+
+            def peek(self, k):
+                # deliberate lock-free read: dict.get is atomic here
+                # janus-lint: disable=guard-inference
+                return self._table.get(k)
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_init_writes_do_not_dilute_confidence(lint):
+    # __init__ runs before the object is published; its bare writes must
+    # not count as unguarded accesses (they would otherwise drag every
+    # class below the majority threshold).
+    result = lint(
+        """
+        class Warm:
+            def __init__(self):
+                self._lock = None
+                self._cache = {}
+                self._cache["seed"] = 0
+                self._cache["warm"] = 1
+
+            def put(self, k, v):
+                with self._lock:
+                    self._cache[k] = v
+
+            def get(self, k):
+                with self._lock:
+                    return self._cache.get(k)
+
+            def size(self):
+                with self._lock:
+                    return len(self._cache)
+        """,
+        rules=[RULE])
+    assert result.ok
+
+
+def test_out_of_scope_package_not_checked(lint):
+    result = lint(
+        """
+        class Store:
+            def __init__(self):
+                self._lock = None
+                self._table = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._table[k] = v
+
+            def drop(self, k):
+                with self._lock:
+                    del self._table[k]
+
+            def size(self):
+                with self._lock:
+                    return len(self._table)
+
+            def peek(self, k):
+                return self._table.get(k)
+        """,
+        rules=[RULE], subdir="bench")
+    assert result.ok

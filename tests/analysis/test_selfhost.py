@@ -26,4 +26,7 @@ def test_every_rule_was_active():
         "monotonic-time",
         "protocol-invariants",
         "determinism",
+        "guard-inference",
+        "transitive-blocking-under-lock",
+        "wire-doc-drift",
     }

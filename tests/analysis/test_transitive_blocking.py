@@ -1,0 +1,269 @@
+"""transitive-blocking-under-lock: call-graph reachability under locks."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_checkers
+from repro.analysis.callgraph import MAX_CALL_DEPTH
+from repro.analysis.framework import lint_paths
+
+RULE = "transitive-blocking-under-lock"
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a {relpath: code} tree under tmp_path and lint it whole.
+
+    Paths are relative, e.g. ``core/channel.py`` — directories are
+    created as needed so cross-module fixtures read naturally.
+    """
+
+    def run(files: dict, *, rules=(RULE,)):
+        for rel, code in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(code))
+        return lint_paths([str(tmp_path)], all_checkers(),
+                          rules=list(rules))
+
+    return run
+
+
+def test_one_hop_chain_reports_path_and_sink(lint_tree):
+    result = lint_tree({"core/channel.py": """
+        import time
+
+
+        class Channel:
+            def flush(self):
+                with self._lock:
+                    self._drain()
+
+            def _drain(self):
+                time.sleep(0.05)
+    """})
+    assert [f.rule for f in result.findings] == [RULE]
+    finding = result.findings[0]
+    message = finding.message
+    assert "call chain Channel._drain" in message
+    assert "time.sleep()" in message
+    assert "core/channel.py" in message     # sink file named in the path
+    # The finding lands on the call site under the lock, not the sink.
+    assert finding.line == 8
+
+
+def test_multi_hop_chain_prints_every_hop(lint_tree):
+    result = lint_tree({"core/deep.py": """
+        import time
+
+
+        class Deep:
+            def flush(self):
+                with self._lock:
+                    self._a()
+
+            def _a(self):
+                self._b()
+
+            def _b(self):
+                time.sleep(0.1)
+    """})
+    assert len(result.findings) == 1
+    assert "Deep._a -> Deep._b" in result.findings[0].message
+
+
+def test_direct_blocking_left_to_per_scope_rule(lint_tree):
+    # `with lock: time.sleep(...)` is blocking-under-lock's finding; the
+    # transitive rule must not double-report the same line.
+    result = lint_tree({"core/direct.py": """
+        import time
+
+
+        class Direct:
+            def flush(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """})
+    assert result.ok
+    both = lint_tree({"core/direct.py": """
+        import time
+
+
+        class Direct:
+            def flush(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """}, rules=("blocking-under-lock", RULE))
+    assert [f.rule for f in both.findings] == ["blocking-under-lock"]
+
+
+def test_cross_module_chain(lint_tree):
+    result = lint_tree({
+        "core/caller.py": """
+            from core.wire import push
+
+
+            class Router:
+                def publish(self, payload):
+                    with self._lock:
+                        push(payload)
+        """,
+        "core/wire.py": """
+            def push(payload):
+                _transmit(payload)
+
+
+            def _transmit(payload):
+                print("sending", payload)
+        """,
+    })
+    assert [f.rule for f in result.findings] == [RULE]
+    finding = result.findings[0]
+    assert finding.path.endswith("core/caller.py")
+    assert "push -> _transmit" in finding.message
+    assert "core/wire.py" in finding.message
+
+
+def test_diamond_converges_to_one_finding_per_site(lint_tree):
+    # a -> b -> d and a -> c -> d: two call sites under the lock, each
+    # reporting one shortest path — the diamond must not multiply
+    # findings beyond the lock-held call sites.
+    result = lint_tree({"core/diamond.py": """
+        import time
+
+
+        class Diamond:
+            def flush(self):
+                with self._lock:
+                    self._b()
+                    self._c()
+
+            def _b(self):
+                self._d()
+
+            def _c(self):
+                self._d()
+
+            def _d(self):
+                time.sleep(0.1)
+    """})
+    assert [f.rule for f in result.findings] == [RULE, RULE]
+    assert {f.line for f in result.findings} == {8, 9}
+
+
+def test_recursive_chain_terminates_and_reports(lint_tree):
+    result = lint_tree({"core/recur.py": """
+        import time
+
+
+        class Recur:
+            def flush(self):
+                with self._lock:
+                    self._spin(3)
+
+            def _spin(self, n):
+                if n:
+                    self._spin(n - 1)
+                time.sleep(0.1)
+    """})
+    assert [f.rule for f in result.findings] == [RULE]
+
+
+def test_pure_cycle_without_sink_is_clean(lint_tree):
+    result = lint_tree({"core/cycle.py": """
+        class Cycle:
+            def flush(self):
+                with self._lock:
+                    self._ping()
+
+            def _ping(self):
+                self._pong()
+
+            def _pong(self):
+                self._ping()
+    """})
+    assert result.ok
+
+
+def test_chain_beyond_depth_bound_not_reported(lint_tree):
+    hops = MAX_CALL_DEPTH + 2
+    body = ["import time", "", "", "class Long:",
+            "    def flush(self):",
+            "        with self._lock:",
+            "            self._hop0()"]
+    for i in range(hops):
+        body += [f"    def _hop{i}(self):",
+                 f"        self._hop{i + 1}()"]
+    body += [f"    def _hop{hops}(self):",
+             "        time.sleep(0.1)"]
+    result = lint_tree({"core/long.py": "\n".join(body) + "\n"})
+    assert result.ok
+
+
+def test_locked_suffix_method_body_counts_as_held(lint_tree):
+    result = lint_tree({"core/suffix.py": """
+        import time
+
+
+        class Shard:
+            def _sweep_unlocked(self):
+                self._evict()
+
+            def _evict(self):
+                time.sleep(0.1)
+    """})
+    assert [f.rule for f in result.findings] == [RULE]
+    assert "runs with its caller's lock held" in result.findings[0].message
+
+
+def test_pragmad_sink_does_not_poison_chains(lint_tree):
+    # The sink line carries a reviewed blocking-under-lock pragma (e.g.
+    # a send on a socket known to be non-blocking): chains reaching it
+    # are not flagged transitively either.
+    result = lint_tree({"core/wake.py": """
+        class Waker:
+            def notify(self):
+                with self._lock:
+                    self._wake()
+
+            def _wake(self):
+                # non-blocking socketpair: full pipe raises, never stalls
+                self.sock.send(b"0")  # janus-lint: disable=blocking-under-lock
+    """})
+    assert result.ok
+
+
+def test_pragma_on_call_site_suppresses(lint_tree):
+    result = lint_tree({"core/site.py": """
+        import time
+
+
+        class Site:
+            def flush(self):
+                with self._lock:
+                    # shutdown path only, lock uncontended by then
+                    self._drain()  # janus-lint: disable=transitive-blocking-under-lock
+
+            def _drain(self):
+                time.sleep(0.05)
+    """})
+    assert result.ok
+
+
+def test_out_of_scope_caller_not_reported(lint_tree):
+    result = lint_tree({"bench/driver.py": """
+        import time
+
+
+        class Driver:
+            def run(self):
+                with self._lock:
+                    self._work()
+
+            def _work(self):
+                time.sleep(0.1)
+    """})
+    assert result.ok
